@@ -1,0 +1,68 @@
+// E12 (extension ablation) -- variable-size windows over a bottleneck.
+//
+// The paper's closing remark: "It is possible, however, to extend all
+// our protocols to have variable size windows."  We give the sender an
+// AIMD-adapted effective window within [1, w] and run it against a
+// bottleneck link (fixed service rate, finite tail-drop queue), where a
+// fixed window far above the bandwidth-delay product loses whole bursts
+// every flight.
+//
+// Series: throughput and retransmission fraction vs (fixed) window size,
+// compared with the adaptive sender started at the same maximum.
+
+#include <cstdio>
+
+#include "workload/report.hpp"
+#include "workload/scenario.hpp"
+
+using namespace bacp;
+using namespace bacp::literals;
+using workload::Protocol;
+using workload::Scenario;
+
+namespace {
+
+struct Row {
+    double thr = 0, retx = 0;
+    bool completed = false;
+};
+
+Row run_one(Seq w, bool adaptive) {
+    Scenario s;
+    s.protocol = Protocol::BlockAck;
+    s.w = w;
+    s.count = 4000;
+    s.delay_lo = 2_ms;
+    s.delay_hi = 3_ms;
+    s.service_time = 1_ms;   // bottleneck: 1000 msg/s
+    s.queue_capacity = 8;    // BDP ~ 3 msgs, queue 8 -> knee around w ~ 11
+    s.adaptive_window = adaptive;
+    s.seed = 21;
+    const auto r = workload::run_scenario(s);
+    return Row{r.metrics.throughput_msgs_per_sec(), r.metrics.retx_fraction() * 100,
+               r.completed};
+}
+
+}  // namespace
+
+int main() {
+    std::printf("E12: variable (AIMD) windows over a bottleneck link\n");
+    std::printf("    (service 1 msg/ms, queue 8, propagation 2-3 ms, 4000 msgs)\n");
+    workload::Table table({"w (max)", "fixed thr", "fixed retx", "adaptive thr",
+                           "adaptive retx"});
+    for (const Seq w : {4u, 8u, 16u, 32u, 64u, 128u}) {
+        const Row fixed = run_one(w, false);
+        const Row adaptive = run_one(w, true);
+        table.add_row({std::to_string(w),
+                       fixed.completed ? workload::fmt(fixed.thr, 1) : "INCOMPLETE",
+                       workload::fmt(fixed.retx, 1) + "%",
+                       adaptive.completed ? workload::fmt(adaptive.thr, 1) : "INCOMPLETE",
+                       workload::fmt(adaptive.retx, 1) + "%"});
+    }
+    table.print("E12: fixed vs adaptive window over a bottleneck");
+    std::printf("\nExpected shape: fixed windows peak near the BDP+queue knee and then\n"
+                "waste capacity on queue-drop retransmissions; the adaptive sender\n"
+                "tracks the knee from any maximum, keeping retx low and throughput\n"
+                "near the bottleneck rate.\n");
+    return 0;
+}

@@ -1,0 +1,104 @@
+// E14 (architecture ablation) -- end-to-end vs hop-by-hop reliability.
+//
+// The same block-acknowledgment protocol deployed two ways over a chain
+// of lossy hops:
+//   * end-to-end: reliable only at the edges, dumb relays in between --
+//     a loss anywhere costs a full-path retransmission and a full-path
+//     timeout (the per-path lifetime is the sum of hop lifetimes);
+//   * hop-by-hop: every hop reliable, intermediate nodes re-originate --
+//     losses are repaired locally with per-hop timeouts, at the cost of
+//     per-hop protocol state and ack traffic.
+//
+// Series: completion time and frame counts vs per-hop loss and vs hop
+// count.  The end-to-end argument, quantified on this stack.
+
+#include <cstdio>
+
+#include "link/multihop.hpp"
+#include "sim/simulator.hpp"
+#include "workload/report.hpp"
+
+using namespace bacp;
+using namespace bacp::literals;
+using link::EndToEndPath;
+using link::HopByHopPath;
+using link::PathConfig;
+
+namespace {
+
+struct Outcome {
+    double seconds = 0;
+    double frames_per_msg = 0;
+    std::uint64_t retx = 0;
+    bool ok = false;
+};
+
+template <typename Path>
+Outcome run_path(std::size_t hops, double per_hop_loss, Seq count) {
+    sim::Simulator sim;
+    PathConfig cfg;
+    cfg.w = 16;
+    cfg.seed = 71;
+    for (std::size_t i = 0; i < hops; ++i) {
+        link::HopSpec hop;
+        hop.loss = per_hop_loss;
+        cfg.hops.push_back(hop);
+    }
+    Path path(sim, cfg);
+    path.set_on_deliver([](std::span<const std::uint8_t>) {});
+    for (Seq i = 0; i < count; ++i) path.send({static_cast<std::uint8_t>(i)});
+    sim.run();
+    Outcome out;
+    out.ok = path.delivered_count() == count && path.idle();
+    out.seconds = to_seconds(sim.now());
+    out.frames_per_msg = static_cast<double>(path.total_frames()) / static_cast<double>(count);
+    out.retx = path.total_retransmissions();
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("E14: end-to-end vs hop-by-hop reliability (w=16, 1000 msgs,\n"
+                "    1-2 ms hops, dumb relays vs per-hop links)\n");
+
+    workload::Table by_loss({"per-hop loss", "e2e time", "hbh time", "e2e frames/msg",
+                             "hbh frames/msg", "e2e retx", "hbh retx"});
+    for (const double loss : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+        const auto e2e = run_path<EndToEndPath>(4, loss, 1000);
+        const auto hbh = run_path<HopByHopPath>(4, loss, 1000);
+        by_loss.add_row({workload::fmt(loss * 100, 0) + "%",
+                         e2e.ok ? workload::fmt(e2e.seconds, 2) + " s" : "INCOMPLETE",
+                         hbh.ok ? workload::fmt(hbh.seconds, 2) + " s" : "INCOMPLETE",
+                         workload::fmt(e2e.frames_per_msg, 2),
+                         workload::fmt(hbh.frames_per_msg, 2), std::to_string(e2e.retx),
+                         std::to_string(hbh.retx)});
+    }
+    by_loss.print("E14a: 4-hop chain, loss sweep");
+
+    workload::Table by_hops({"hops", "e2e time", "hbh time", "e2e frames/msg",
+                             "hbh frames/msg"});
+    for (const std::size_t hops : {1u, 2u, 4u, 6u, 8u}) {
+        const auto e2e = run_path<EndToEndPath>(hops, 0.05, 1000);
+        const auto hbh = run_path<HopByHopPath>(hops, 0.05, 1000);
+        by_hops.add_row({std::to_string(hops),
+                         e2e.ok ? workload::fmt(e2e.seconds, 2) + " s" : "INCOMPLETE",
+                         hbh.ok ? workload::fmt(hbh.seconds, 2) + " s" : "INCOMPLETE",
+                         workload::fmt(e2e.frames_per_msg, 2),
+                         workload::fmt(hbh.frames_per_msg, 2)});
+    }
+    by_hops.print("E14b: 5% per-hop loss, path-length sweep");
+
+    std::printf(
+        "\nExpected shape: with equal per-connection windows, hop-by-hop wins on\n"
+        "time even when clean (each hop pipelines w messages over its own short\n"
+        "RTT, while one end-to-end window spans the whole path).  Frame costs\n"
+        "start similar (~1 data frame per hop plus acks) and then diverge: a\n"
+        "loss costs end-to-end a FULL-PATH retransmission and a sum-of-hops\n"
+        "timeout, so its frames/msg and completion time blow up with loss and\n"
+        "with path length, while hop-by-hop grows gently.  The price hop-by-hop\n"
+        "pays is per-flow state, buffering, and protocol processing at every\n"
+        "relay -- the end-to-end argument's other half, not visible in frame\n"
+        "counts.\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+// E16 -- theory vs simulation: the analytical envelope.
+//
+// Validates the closed-form models of src/analysis against the simulator:
+//   * the occupancy law thr = w / (RTT + T0*p2/(1-p2)) is ~exact for
+//     stop-and-wait and an upper bound for range-based windows;
+//   * the stall law is the matching lower bound;
+//   * the time-constrained N/T cap is exact when it binds.
+//
+// One table per loss rate with the measured protocols placed inside the
+// envelope -- the simulator and the algebra cross-check each other.
+
+#include <cstdio>
+
+#include "analysis/models.hpp"
+#include "runtime/tc_session.hpp"
+#include "workload/report.hpp"
+#include "workload/scenario.hpp"
+
+using namespace bacp;
+using namespace bacp::literals;
+using workload::Protocol;
+using workload::Scenario;
+
+namespace {
+
+constexpr double kRtt = 0.010;      // fixed 5 ms each way
+constexpr double kTimeout = 0.011;  // derived conservative timer
+
+double simulate(Protocol protocol, Seq w, double loss) {
+    Scenario s;
+    s.protocol = protocol;
+    s.w = w;
+    s.count = 3000;
+    s.loss = loss;
+    s.delay_lo = 5_ms;
+    s.delay_hi = 5_ms;
+    s.fifo = protocol == Protocol::GoBackN;
+    s.seed = 91;
+    const auto agg = workload::run_replicated(s, 3);
+    return agg.completed_runs == 3 ? agg.mean_throughput : -1;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("E16: analytical envelope vs simulation (w=16, fixed 5 ms links)\n");
+
+    workload::Table table({"loss", "stall floor", "occupancy ceiling", "block-ack",
+                           "sel-repeat", "gbn (FIFO)", "alt-bit meas", "alt-bit law"});
+    for (const double loss : {0.0, 0.02, 0.05, 0.10}) {
+        table.add_row({workload::fmt(loss * 100, 0) + "%",
+                       workload::fmt(analysis::stall_law_throughput(16, kRtt, kTimeout, loss,
+                                                                    loss),
+                                     0),
+                       workload::fmt(analysis::window_throughput(16, kRtt, kTimeout, loss,
+                                                                 loss),
+                                     0),
+                       workload::fmt(simulate(Protocol::BlockAck, 16, loss), 0),
+                       workload::fmt(simulate(Protocol::SelectiveRepeat, 16, loss), 0),
+                       workload::fmt(simulate(Protocol::GoBackN, 16, loss), 0),
+                       workload::fmt(simulate(Protocol::AlternatingBit, 1, loss), 0),
+                       workload::fmt(analysis::window_throughput(1, kRtt, kTimeout, loss,
+                                                                 loss),
+                                     0)});
+    }
+    table.print("E16a: throughput envelope (msg/s)");
+
+    // The exact cap of the time-constrained protocol.
+    workload::Table cap({"domain N", "cap N/T", "measured"});
+    for (const Seq domain : {9u, 16u, 32u}) {
+        runtime::TcConfig cfg;
+        cfg.w = 8;
+        cfg.count = 1000;
+        cfg.domain = domain;
+        cfg.reuse_interval = 100_ms;
+        cfg.data_link = runtime::LinkSpec::lossless(5_ms, 5_ms);
+        cfg.ack_link = runtime::LinkSpec::lossless(5_ms, 5_ms);
+        runtime::TcSession session(cfg);
+        const auto metrics = session.run();
+        cap.add_row({std::to_string(domain),
+                     workload::fmt(analysis::reuse_cap(domain, 0.1), 0),
+                     session.completed()
+                         ? workload::fmt(metrics.throughput_msgs_per_sec(), 1)
+                         : std::string("INCOMPLETE")});
+    }
+    cap.print("E16b: time-constrained reuse cap (exact when binding)");
+
+    std::printf("\nExpected shape: alt-bit tracks its law within ~2%%; every range-window\n"
+                "protocol lies between the stall floor and the occupancy ceiling,\n"
+                "drifting toward the floor as loss grows; the N/T cap is exact.\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+// E1 -- the paper's Section I failure scenario, machine-checked.
+//
+// Claim reproduced: a window protocol with cumulative acknowledgments and
+// bounded sequence numbers is UNSAFE over channels that reorder messages
+// (a stale ack aliases into a later window); the block-acknowledgment
+// protocol is safe under identical conditions.  Ablations show the two
+// ingredients are both necessary: unbounded seqnums -> safe, FIFO
+// channels -> safe.
+//
+// Output: one row per configuration with the exhaustive-exploration
+// verdict and, for the failing case, the shortest counterexample.
+
+#include <chrono>
+#include <cstdio>
+
+#include "verify/ba_system.hpp"
+#include "verify/explorer.hpp"
+#include "verify/gbn_system.hpp"
+#include "workload/report.hpp"
+
+using namespace bacp;
+using namespace bacp::verify;
+
+namespace {
+
+template <typename System, typename Options>
+void explore_row(workload::Table& table, const std::string& name, const Options& opt,
+                 std::vector<std::string>* counterexample = nullptr) {
+    Explorer<System> explorer;
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = explorer.explore(System(opt), 20'000'000);
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    table.add_row({name, std::to_string(result.states), std::to_string(result.transitions),
+                   result.violation_found ? "UNSAFE" : (result.ok() ? "safe" : "?!"),
+                   result.violation_found ? std::to_string(result.trace.size()) : "-",
+                   std::to_string(ms) + " ms"});
+    if (result.violation_found && counterexample != nullptr) {
+        *counterexample = result.trace;
+        counterexample->push_back("=> " + result.violation.front());
+    }
+}
+
+}  // namespace
+
+int main() {
+    std::printf("E1: Section I scenario -- who needs what to be safe (w=2, 6 messages)\n");
+
+    workload::Table table(
+        {"configuration", "states", "transitions", "verdict", "cex len", "time"});
+    std::vector<std::string> counterexample;
+
+    GbnOptions gbn;
+    gbn.w = 2;
+    gbn.max_ns = 6;
+
+    gbn.domain = 0;
+    explore_row<GbnSystem>(table, "go-back-N, unbounded seq, reordering", gbn);
+    gbn.domain = 3;
+    explore_row<GbnSystem>(table, "go-back-N, seq mod 3, reordering", gbn, &counterexample);
+    explore_row<GbnFifoSystem>(table, "go-back-N, seq mod 3, FIFO", gbn);
+    gbn.domain = 4;
+    explore_row<GbnSystem>(table, "go-back-N, seq mod 4, reordering", gbn);
+
+    BaOptions ba;
+    ba.w = 2;
+    ba.max_ns = 4;
+    ba.per_message_timeout = false;
+    explore_row<BaSystem>(table, "block-ack (SII), reordering", ba);
+    ba.per_message_timeout = true;
+    explore_row<BaSystem>(table, "block-ack (SIV), reordering", ba);
+
+    table.print("E1: safety under reorder + bounded sequence numbers");
+
+    std::printf("\nShortest counterexample for the unsafe configuration:\n");
+    for (const auto& line : counterexample) std::printf("  %s\n", line.c_str());
+    return 0;
+}

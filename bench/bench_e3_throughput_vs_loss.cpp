@@ -1,0 +1,82 @@
+// E3 -- throughput parity and loss tolerance.
+//
+// Claims reproduced:
+//   * with no loss, block acknowledgment matches go-back-N's windowed
+//     throughput ("behaves exactly like a regular go-back-N window
+//     protocol except for sending two sequence numbers ... in every
+//     acknowledgment") and the bounded (mod 2w) variant matches the
+//     unbounded one exactly;
+//   * as loss grows, go-back-N degrades sharply (every loss retransmits
+//     the whole window) while block acknowledgment degrades gently, like
+//     selective repeat;
+//   * stop-and-wait (alternating bit) is the no-pipelining floor.
+//
+// Series: throughput (msg/s) vs loss rate, one column per protocol,
+// w = 16, 3000 messages, uniform 4-6 ms delays (reordering), mean of
+// 5 seeds.
+
+#include <cstdio>
+
+#include "workload/report.hpp"
+#include "workload/scenario.hpp"
+
+using namespace bacp;
+using workload::Protocol;
+using workload::Scenario;
+
+int main() {
+    std::printf("E3: throughput vs loss (w=16, 3000 msgs, reordering 4-6 ms links, 5 seeds)\n");
+
+    struct Column {
+        const char* name;
+        Protocol protocol;
+        bool fifo;
+    };
+    // go-back-N appears twice: over reordering channels (its discard-on-
+    // disorder behavior is the paper's motivation) and over FIFO channels
+    // (its native regime, the fair throughput-parity comparison).
+    const Column columns[] = {
+        {"block-ack", Protocol::BlockAck, false},
+        {"ba-bounded", Protocol::BlockAckBounded, false},
+        {"sel-repeat", Protocol::SelectiveRepeat, false},
+        {"gbn (reorder)", Protocol::GoBackN, false},
+        {"gbn (FIFO)", Protocol::GoBackN, true},
+        {"alt-bit", Protocol::AlternatingBit, true},
+    };
+    const double losses[] = {0.0, 0.01, 0.02, 0.05, 0.10, 0.20};
+
+    std::vector<std::string> headers{"loss"};
+    for (const auto& column : columns) headers.emplace_back(column.name);
+    workload::Table table(headers);
+    workload::Table retx(headers);
+
+    for (const double loss : losses) {
+        std::vector<std::string> row{workload::fmt(loss * 100, 0) + "%"};
+        std::vector<std::string> retx_row = row;
+        for (const auto& column : columns) {
+            Scenario s;
+            s.protocol = column.protocol;
+            s.w = 16;
+            s.count = 3000;
+            s.loss = loss;
+            s.fifo = column.fifo;
+            s.seed = 7;
+            const auto agg = workload::run_replicated(s, 5);
+            row.push_back(agg.completed_runs == 5 ? workload::fmt(agg.mean_throughput, 1)
+                                                  : "INCOMPLETE");
+            retx_row.push_back(workload::fmt(agg.mean_retx_fraction * 100, 1) + "%");
+        }
+        table.add_row(std::move(row));
+        retx.add_row(std::move(retx_row));
+    }
+
+    table.print("E3a: throughput (msg/s) vs loss");
+    retx.print("E3b: retransmission fraction vs loss");
+    std::printf(
+        "\nExpected shape: at 0%% loss block-ack over REORDERING channels matches\n"
+        "gbn (FIFO) -- the paper's throughput-parity claim -- while gbn over the\n"
+        "same reordering channels collapses (discards every out-of-order arrival).\n"
+        "As loss grows, gbn (FIFO) degrades window-at-a-time; block-ack degrades\n"
+        "gently like selective repeat.  ba-bounded == block-ack everywhere.\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+// file_transfer: move a 1 MiB pseudo-file across a hostile link.
+//
+// The file is cut into 1 KiB chunks, pushed through a ReliableLink whose
+// channel loses, reorders, AND corrupts frames, and reassembled on the
+// far side.  End-to-end integrity is proven by comparing CRC-32C digests
+// of the source and the reassembly.
+//
+//   $ ./file_transfer [loss] [corrupt] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "link/reliable_link.hpp"
+#include "sim/simulator.hpp"
+#include "wire/crc32.hpp"
+
+using namespace bacp;
+using namespace bacp::literals;
+
+int main(int argc, char** argv) {
+    const double loss = argc > 1 ? std::atof(argv[1]) : 0.15;
+    const double corrupt = argc > 2 ? std::atof(argv[2]) : 0.05;
+    const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
+
+    // Synthesize a deterministic 1 MiB "file".
+    constexpr std::size_t kFileSize = 1 << 20;
+    constexpr std::size_t kChunk = 1024;
+    std::vector<std::uint8_t> file(kFileSize);
+    Rng rng(seed);
+    for (auto& byte : file) byte = static_cast<std::uint8_t>(rng());
+    const std::uint32_t source_crc = wire::crc32c(file);
+
+    sim::Simulator sim;
+    link::ReliableLink link(sim, {
+                                     .w = 32,
+                                     .loss = loss,
+                                     .corrupt_p = corrupt,
+                                     .delay_lo = 2_ms,
+                                     .delay_hi = 8_ms,
+                                     .ack_policy = runtime::AckPolicy::batch(8, 4_ms),
+                                     .seed = seed,
+                                 });
+
+    std::vector<std::uint8_t> reassembled;
+    reassembled.reserve(kFileSize);
+    link.set_on_deliver([&](std::span<const std::uint8_t> chunk) {
+        reassembled.insert(reassembled.end(), chunk.begin(), chunk.end());
+    });
+
+    for (std::size_t off = 0; off < kFileSize; off += kChunk) {
+        link.send(std::vector<std::uint8_t>(file.begin() + static_cast<std::ptrdiff_t>(off),
+                                            file.begin() + static_cast<std::ptrdiff_t>(off + kChunk)));
+    }
+
+    sim.run();
+
+    const std::uint32_t got_crc = wire::crc32c(reassembled);
+    const double seconds = to_seconds(sim.now());
+    std::printf("transferred %zu bytes in %.2f simulated seconds (%.1f KiB/s)\n",
+                reassembled.size(), seconds,
+                static_cast<double>(reassembled.size()) / 1024.0 / seconds);
+    std::printf("channel: loss=%.0f%% corrupt=%.0f%%  ->  drops=%llu bitflips=%llu "
+                "crc-rejected=%llu retransmissions=%llu\n",
+                loss * 100, corrupt * 100, (unsigned long long)link.data_stats().dropped,
+                (unsigned long long)link.data_stats().corrupted,
+                (unsigned long long)link.frames_rejected(),
+                (unsigned long long)link.retransmissions());
+    std::printf("source crc32c=%08x  reassembled crc32c=%08x  ->  %s\n", source_crc, got_crc,
+                source_crc == got_crc && reassembled.size() == kFileSize ? "INTACT" : "CORRUPT");
+    return source_crc == got_crc ? 0 : 1;
+}

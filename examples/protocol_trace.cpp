@@ -1,0 +1,66 @@
+// protocol_trace: an annotated walk through the paper's Section I.
+//
+// Part 1 replays the motivating failure scenario on go-back-N with
+// bounded sequence numbers, found automatically by the model checker
+// (shortest counterexample, reordering ack channel).
+//
+// Part 2 runs the block-acknowledgment protocol through the same kind of
+// disorder with full event tracing, showing why the (m, n) pairs make the
+// stale-ack confusion impossible.
+//
+//   $ ./protocol_trace
+
+#include <cstdio>
+
+#include "runtime/ba_session.hpp"
+#include "sim/diagram.hpp"
+#include "verify/explorer.hpp"
+#include "verify/gbn_system.hpp"
+
+using namespace bacp;
+using namespace bacp::literals;
+
+int main() {
+    // ---- Part 1: the Section I failure, machine-found --------------------
+    std::printf("== Part 1: go-back-N, cumulative acks, bounded seqnums (mod 3) ==\n");
+    std::printf("Model checker searching for a safety violation...\n\n");
+    verify::GbnOptions opt;
+    opt.w = 2;
+    opt.domain = 3;
+    opt.max_ns = 6;
+    verify::Explorer<verify::GbnSystem> explorer;
+    const auto result = explorer.explore(verify::GbnSystem(opt), 3'000'000);
+    if (result.violation_found) {
+        std::printf("VIOLATION after exploring %zu states (shortest trace, %zu steps):\n",
+                    result.states, result.trace.size());
+        int step = 1;
+        for (const auto& label : result.trace) {
+            std::printf("  %2d. %s\n", step++, label.c_str());
+        }
+        std::printf("  => %s\n", result.violation.front().c_str());
+        std::printf("  final state: %s\n\n", result.violating_state.c_str());
+        std::printf("The stale cumulative ack aliased into the new window: exactly the\n"
+                    "scenario of the paper's introduction.\n\n");
+    } else {
+        std::printf("unexpected: no violation found (%s)\n", result.summary().c_str());
+        return 1;
+    }
+
+    // ---- Part 2: block acknowledgment under the same disorder -------------
+    std::printf("== Part 2: block acknowledgment, traced ==\n\n");
+    runtime::SessionConfig cfg;
+    cfg.w = 6;
+    cfg.count = 6;
+    cfg.seed = 3;
+    cfg.record_trace = true;
+    cfg.ack_policy = runtime::AckPolicy::batch(5, 3_ms);  // grow a big block
+    cfg.data_link = runtime::LinkSpec::lossless(1_ms, 6_ms);  // heavy reorder
+    cfg.ack_link = runtime::LinkSpec::lossless(1_ms, 6_ms);
+    runtime::UnboundedSession session(cfg);
+    session.run();
+    std::printf("%s\n", sim::render_sequence_diagram(session.trace()).c_str());
+    std::printf("completed=%s  delivered=%llu  (every ack names its exact block (m,n);\n"
+                "no reordering of acks can convince the sender of more than was received)\n",
+                session.completed() ? "yes" : "no", (unsigned long long)session.delivered());
+    return session.completed() ? 0 : 1;
+}

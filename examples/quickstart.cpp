@@ -1,0 +1,65 @@
+// quickstart: the five-minute tour of the bacp public API.
+//
+// Creates a ReliableLink over a channel that loses 10% of frames, flips
+// bits in another 2%, and reorders everything via random delays -- then
+// sends 100 payloads and shows they arrive in order, exactly once.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "link/reliable_link.hpp"
+#include "sim/simulator.hpp"
+
+using namespace bacp;
+using namespace bacp::literals;
+
+int main() {
+    sim::Simulator sim;
+
+    // A window of 16 means sequence numbers travel as residues mod 32 --
+    // one byte on the wire -- per the paper's Section V construction.
+    link::ReliableLink link(sim, {
+                                     .w = 16,
+                                     .loss = 0.10,
+                                     .corrupt_p = 0.02,
+                                     .delay_lo = 4_ms,
+                                     .delay_hi = 6_ms,
+                                     .seed = 7,
+                                 });
+
+    std::vector<std::string> received;
+    link.set_on_deliver([&](std::span<const std::uint8_t> payload) {
+        received.emplace_back(payload.begin(), payload.end());
+    });
+
+    for (int i = 0; i < 100; ++i) {
+        const std::string text = "payload #" + std::to_string(i);
+        link.send(std::vector<std::uint8_t>(text.begin(), text.end()));
+    }
+
+    sim.run();  // drive the discrete-event simulation to quiescence
+
+    std::printf("delivered %zu payloads in order\n", received.size());
+    std::printf("first: \"%s\"   last: \"%s\"\n", received.front().c_str(),
+                received.back().c_str());
+    std::printf("data frames:  sent=%llu dropped=%llu corrupted=%llu\n",
+                (unsigned long long)link.data_stats().sent,
+                (unsigned long long)link.data_stats().dropped,
+                (unsigned long long)link.data_stats().corrupted);
+    std::printf("ack frames:   sent=%llu dropped=%llu\n",
+                (unsigned long long)link.ack_stats().sent,
+                (unsigned long long)link.ack_stats().dropped);
+    std::printf("recovery:     retransmissions=%llu crc-rejected=%llu\n",
+                (unsigned long long)link.retransmissions(),
+                (unsigned long long)link.frames_rejected());
+
+    bool in_order = received.size() == 100;
+    for (std::size_t i = 0; in_order && i < received.size(); ++i) {
+        in_order = received[i] == "payload #" + std::to_string(i);
+    }
+    std::printf("in-order, exactly-once delivery: %s\n", in_order ? "YES" : "NO");
+    return in_order ? 0 : 1;
+}

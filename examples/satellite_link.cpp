@@ -1,0 +1,72 @@
+// satellite_link: window protocols on a long-delay (high bandwidth-delay
+// product) link.
+//
+// A geostationary hop has ~270 ms of one-way delay; pipelining is
+// everything.  This example sweeps the window size for the block-ack
+// protocol and compares against stop-and-wait (alternating bit),
+// go-back-N, and selective repeat under mild loss.
+//
+//   $ ./satellite_link [loss]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "workload/report.hpp"
+#include "workload/scenario.hpp"
+
+using namespace bacp;
+using namespace bacp::literals;
+using workload::Protocol;
+using workload::Scenario;
+
+namespace {
+
+Scenario satellite_base(double loss) {
+    Scenario s;
+    s.count = 2000;
+    s.loss = loss;
+    s.delay_lo = 250_ms;
+    s.delay_hi = 290_ms;
+    s.seed = 2024;
+    return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const double loss = argc > 1 ? std::atof(argv[1]) : 0.02;
+    std::printf("satellite link: ~270 ms one-way delay, %.0f%% loss, 2000 messages\n",
+                loss * 100);
+
+    // Window sweep for block acknowledgment.
+    workload::Table sweep({"window w", "throughput msg/s", "p50 latency ms", "retx %"});
+    for (const Seq w : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+        Scenario s = satellite_base(loss);
+        s.protocol = Protocol::BlockAck;
+        s.w = w;
+        const auto r = workload::run_scenario(s);
+        sweep.add_row({std::to_string(w), workload::fmt(r.metrics.throughput_msgs_per_sec(), 1),
+                       workload::fmt(to_seconds(r.metrics.latency.quantile(0.5)) * 1e3, 1),
+                       workload::fmt(r.metrics.retx_fraction() * 100, 2)});
+    }
+    sweep.print("block acknowledgment: window scaling on the satellite hop");
+
+    // Protocol comparison at w = 64.
+    workload::Table compare({"protocol", "throughput msg/s", "acks/msg", "retx %"});
+    for (const auto protocol : {Protocol::AlternatingBit, Protocol::GoBackN,
+                                Protocol::SelectiveRepeat, Protocol::BlockAck,
+                                Protocol::BlockAckBounded}) {
+        Scenario s = satellite_base(loss);
+        s.protocol = protocol;
+        s.w = 64;
+        const auto r = workload::run_scenario(s);
+        compare.add_row({workload::to_string(protocol),
+                         workload::fmt(r.metrics.throughput_msgs_per_sec(), 1),
+                         workload::fmt(r.metrics.acks_per_delivered(), 2),
+                         workload::fmt(r.metrics.retx_fraction() * 100, 2)});
+    }
+    compare.print("protocol comparison at w = 64");
+    std::printf("\nNote: block-ack-bounded ships 1-byte sequence residues (mod 2w) and\n"
+                "matches the unbounded protocol's behavior exactly -- Section V's claim.\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+#include "analysis/models.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace bacp::analysis {
+
+double round_trip_loss(double p_data, double p_ack) {
+    BACP_ASSERT(p_data >= 0 && p_data < 1 && p_ack >= 0 && p_ack < 1);
+    return 1.0 - (1.0 - p_data) * (1.0 - p_ack);
+}
+
+double slot_occupancy_seconds(double rtt_seconds, double timeout_seconds, double p_data,
+                              double p_ack) {
+    BACP_ASSERT(rtt_seconds > 0 && timeout_seconds > 0);
+    const double p2 = round_trip_loss(p_data, p_ack);
+    return rtt_seconds + timeout_seconds * p2 / (1.0 - p2);
+}
+
+double window_throughput(Seq w, double rtt_seconds, double timeout_seconds, double p_data,
+                         double p_ack) {
+    BACP_ASSERT(w > 0);
+    return static_cast<double>(w) /
+           slot_occupancy_seconds(rtt_seconds, timeout_seconds, p_data, p_ack);
+}
+
+double reuse_cap(Seq domain, double reuse_interval_seconds) {
+    BACP_ASSERT(domain > 0 && reuse_interval_seconds > 0);
+    return static_cast<double>(domain) / reuse_interval_seconds;
+}
+
+double time_constrained_throughput(Seq w, Seq domain, double rtt_seconds,
+                                   double timeout_seconds, double reuse_interval_seconds,
+                                   double p_data, double p_ack) {
+    return std::min(window_throughput(w, rtt_seconds, timeout_seconds, p_data, p_ack),
+                    reuse_cap(domain, reuse_interval_seconds));
+}
+
+double bottleneck_cap(double service_seconds) {
+    BACP_ASSERT(service_seconds > 0);
+    return 1.0 / service_seconds;
+}
+
+double stall_law_throughput(Seq w, double rtt_seconds, double timeout_seconds, double p_data,
+                            double p_ack) {
+    BACP_ASSERT(w > 0);
+    const double p2 = round_trip_loss(p_data, p_ack);
+    const double per_message = rtt_seconds / static_cast<double>(w) +
+                               p2 * (timeout_seconds + rtt_seconds) / (1.0 - p2);
+    return 1.0 / per_message;
+}
+
+}  // namespace bacp::analysis

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file models.hpp
+/// Closed-form performance models for the protocols in this repository,
+/// matched to the simulator's regime (latency-bound links: no serialization
+/// unless a bottleneck is configured, fixed-ish RTT, Bernoulli loss,
+/// conservative retransmission timers).
+///
+/// These are the back-of-envelope laws a designer would use; the test
+/// suite and bench_e16_theory validate the simulator against them (and
+/// vice versa).  Derivations:
+///
+/// * OCCUPANCY LAW.  A window slot is occupied from a message's first
+///   transmission until its acknowledgment arrives.  With round-trip loss
+///   probability p2 = 1 - (1-p_data)(1-p_ack), each failed attempt costs
+///   one timeout period T0 before the next try, so
+///
+///       E[occupancy] = RTT + T0 * p2 / (1 - p2)
+///       thr          = w / E[occupancy]
+///
+///   This is EXACT for stop-and-wait (w = 1; the simulator matches within
+///   a couple of percent) and it assumes slots recover *independently* --
+///   true only for credit-based windows (the SVI hole-reuse sender under
+///   ack loss).  For the paper's range-based window (ns < na + w) a
+///   single data loss pins na and stalls the whole range until recovery,
+///   so the occupancy law is an UPPER bound under loss.
+///
+/// * STALL LAW.  If every round-trip loss stalls the entire window for a
+///   full recovery cycle (timeout + round trip), the per-message cost is
+///
+///       E[cost] = RTT/w + p2 * (T0 + RTT) / (1 - p2)
+///
+///   -- a LOWER bound: it ignores overlap between concurrent recoveries
+///   and the w-1 messages that slip out before the stall bites.  Measured
+///   range-window protocols (block-ack, selective repeat, go-back-N over
+///   FIFO) land between the two laws, approaching the stall law as loss
+///   grows (see test_models.cpp for the measured envelope).
+///
+/// * The time-constrained protocol adds the reuse cap N / T_reuse
+///   (sequence-number economy, paper SI):  thr = min(window law, N/T).
+///
+/// * A bottleneck link of service time s caps everything at 1/s.
+///
+/// All rates are messages/second; times in simulated seconds.
+
+#include "common/types.hpp"
+
+namespace bacp::analysis {
+
+/// Round-trip failure probability given one-way loss rates.
+double round_trip_loss(double p_data, double p_ack);
+
+/// Expected window-slot occupancy (seconds) under loss with a
+/// conservative retransmission timer.
+double slot_occupancy_seconds(double rtt_seconds, double timeout_seconds, double p_data,
+                              double p_ack);
+
+/// Sustained throughput of a w-slot sliding window (block-ack /
+/// selective-repeat family, and w = 1 for stop-and-wait).
+double window_throughput(Seq w, double rtt_seconds, double timeout_seconds, double p_data,
+                         double p_ack);
+
+/// Sequence-number-economy cap of the time-constrained protocol.
+double reuse_cap(Seq domain, double reuse_interval_seconds);
+
+/// Time-constrained throughput: window law clipped by the reuse cap.
+double time_constrained_throughput(Seq w, Seq domain, double rtt_seconds,
+                                   double timeout_seconds, double reuse_interval_seconds,
+                                   double p_data, double p_ack);
+
+/// Bottleneck service cap (messages/second) for per-message service time.
+double bottleneck_cap(double service_seconds);
+
+/// The stall law (see file header): lower bound for range-window
+/// protocols under loss; the envelope's floor.
+double stall_law_throughput(Seq w, double rtt_seconds, double timeout_seconds, double p_data,
+                            double p_ack);
+
+}  // namespace bacp::analysis

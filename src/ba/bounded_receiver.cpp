@@ -1,0 +1,64 @@
+#include "ba/bounded_receiver.hpp"
+
+#include "common/assert.hpp"
+#include "protocol/seqnum.hpp"
+
+namespace bacp::ba {
+
+using proto::mod_add;
+using proto::mod_offset;
+using proto::mod_sub;
+
+BoundedReceiver::BoundedReceiver(Seq w)
+    : w_(w), n_(proto::domain_for_window(w)), rcvd_(w, false) {
+    BACP_ASSERT_MSG(w > 0, "window size must be positive");
+}
+
+Seq BoundedReceiver::pending() const {
+    // True difference vr - nr lies in [0, w] (invariant 6).
+    return mod_offset(nr_, vr_, n_);
+}
+
+std::optional<proto::Ack> BoundedReceiver::on_data(const proto::Data& msg) {
+    const Seq v = msg.seq;
+    BACP_ASSERT_MSG(v < n_, "data residue outside domain");
+    // offset = v - (nr - w), exact in [0, 2w) by invariant 11.
+    const Seq base = mod_sub(nr_, w_, n_);
+    const Seq offset = mod_offset(base, v, n_);
+    if (offset < w_) {
+        // v < nr: duplicate of an accepted message.
+        return proto::Ack{v, v};
+    }
+    // v >= nr.  Distinguish [nr, vr) (received, awaiting ack; its slot was
+    // already released by action 4) from [vr, nr+w) (may need marking).
+    const Seq from_nr = offset - w_;  // v - nr, in [0, w)
+    if (from_nr >= pending()) {
+        rcvd_[v % w_] = true;  // idempotent for already-marked [vr, nr+w)
+    }
+    return std::nullopt;
+}
+
+bool BoundedReceiver::rcvd(Seq v_mod) const {
+    BACP_ASSERT_MSG(v_mod < n_, "residue outside domain");
+    const Seq base = mod_sub(nr_, w_, n_);
+    const Seq offset = mod_offset(base, v_mod, n_);
+    if (offset < w_) return true;          // v < nr: accepted
+    const Seq from_nr = offset - w_;       // v - nr, in [0, w)
+    if (from_nr < pending()) return true;  // [nr, vr): received, unacked
+    return rcvd_[v_mod % w_];              // [vr, nr + w): slot truth
+}
+
+void BoundedReceiver::advance() {
+    BACP_ASSERT_MSG(can_advance(), "action 4 executed while disabled");
+    rcvd_[vr_ % w_] = false;  // release the slot for seq vr + w
+    vr_ = mod_add(vr_, 1, n_);
+}
+
+proto::Ack BoundedReceiver::make_ack() {
+    BACP_ASSERT_MSG(can_ack(), "action 5 executed while disabled");
+    const proto::Ack ack{nr_, mod_sub(vr_, 1, n_)};
+    nr_ = vr_;
+    return ack;
+}
+
+}  // namespace bacp::ba

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file bounded_receiver.hpp
+/// Fully bounded block-acknowledgment receiver, paper SV (final refinement).
+///
+/// Counters nr and vr are residues mod n = 2w; rcvd has exactly w slots
+/// (slot = seq mod w), cleared as vr passes (paper: "rcvd[vr mod w] is set
+/// to false in action 4").
+///
+/// The duplicate test of action 3 ("v < nr") is performed on residues via
+/// the anchored offset v - (nr - w), which invariant 11 places in [0, 2w):
+/// the message is a duplicate of an accepted message iff the offset is
+/// below w.  This removes the max(0, nr - w) special case of the paper's
+/// mid-development form -- see protocol/seqnum.hpp.
+
+#include <compare>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "protocol/message.hpp"
+
+namespace bacp::ba {
+
+class BoundedReceiver {
+public:
+    explicit BoundedReceiver(Seq w);
+
+    Seq window() const { return w_; }
+    Seq domain() const { return n_; }
+    /// Residue of nr (next to accept).
+    Seq nr_mod() const { return nr_; }
+    /// Residue of vr (upper edge of the contiguous received run).
+    Seq vr_mod() const { return vr_; }
+    /// vr - nr, recovered exactly from the residues.
+    Seq pending() const;
+
+    /// Action 3 on residues.  Returns the duplicate ack (v, v) when the
+    /// message was accepted previously.
+    std::optional<proto::Ack> on_data(const proto::Data& msg);
+
+    /// Logical rcvd[] lookup by residue (valid for residues inside the
+    /// window constraint of invariant 11).  Used by oracle timeout guards.
+    bool rcvd(Seq v_mod) const;
+
+    /// Guard of action 4.
+    bool can_advance() const { return rcvd_[vr_ % w_]; }
+    /// Action 4 (clears the slot vr passes over).
+    void advance();
+
+    /// Guard of action 5.
+    bool can_ack() const { return pending() > 0; }
+    /// Action 5: block ack (nr, vr-1) on residues; slides nr to vr.
+    proto::Ack make_ack();
+
+    friend bool operator==(const BoundedReceiver&, const BoundedReceiver&) = default;
+
+private:
+    Seq w_;
+    Seq n_;
+    Seq nr_ = 0;  // residue mod n_
+    Seq vr_ = 0;  // residue mod n_
+    std::vector<bool> rcvd_;  // w_ slots, indexed by seq mod w_
+};
+
+}  // namespace bacp::ba

@@ -1,0 +1,87 @@
+#include "ba/bounded_sender.hpp"
+
+#include "common/assert.hpp"
+#include "protocol/seqnum.hpp"
+
+namespace bacp::ba {
+
+using proto::mod_add;
+using proto::mod_offset;
+
+BoundedSender::BoundedSender(Seq w)
+    : w_(w), n_(proto::domain_for_window(w)), limit_(w), ackd_(w, false) {
+    BACP_ASSERT_MSG(w > 0, "window size must be positive");
+}
+
+void BoundedSender::set_window_limit(Seq limit) {
+    BACP_ASSERT_MSG(limit >= 1 && limit <= w_, "window limit must be in [1, w]");
+    limit_ = limit;
+}
+
+Seq BoundedSender::outstanding() const {
+    // True difference ns - na lies in [0, w] (invariant 6), so the residue
+    // difference is exact.
+    return mod_offset(na_, ns_, n_);
+}
+
+proto::Data BoundedSender::send_new() {
+    BACP_ASSERT_MSG(can_send_new(), "action 0 executed while disabled");
+    const proto::Data msg{ns_};
+    ns_ = mod_add(ns_, 1, n_);
+    return msg;
+}
+
+void BoundedSender::on_ack(const proto::Ack& ack) {
+    BACP_ASSERT_MSG(ack.lo < n_ && ack.hi < n_, "ack residue outside domain");
+    // Invariants 9/10 bound the true values by na <= i <= j < na + w, so
+    // offsets from na are exact and lie in [0, w).
+    const Seq di = mod_offset(na_, ack.lo, n_);
+    const Seq dj = mod_offset(na_, ack.hi, n_);
+    BACP_ASSERT_MSG(di <= dj, "ack with lo > hi (invariant 9/10 violated)");
+    BACP_ASSERT_MSG(dj < w_, "ack beyond window (invariant 9/10 violated)");
+    BACP_ASSERT_MSG(dj < outstanding(), "ack beyond ns (invariant 8 violated)");
+    for (Seq k = di; k <= dj; ++k) {
+        const Seq slot = mod_add(na_, k, n_) % w_;
+        BACP_ASSERT_MSG(!ackd_[slot], "double acknowledgment (invariant 8 violated)");
+        ackd_[slot] = true;
+    }
+    // Advance na over the acknowledged prefix, releasing each slot
+    // (paper: "ackd[na mod w] is set to false in action 1'").
+    while (ackd_[na_ % w_]) {
+        ackd_[na_ % w_] = false;
+        na_ = mod_add(na_, 1, n_);
+    }
+}
+
+bool BoundedSender::can_resend(Seq i_mod) const {
+    if (i_mod >= n_) return false;
+    const Seq off = mod_offset(na_, i_mod, n_);
+    return off < outstanding() && !ackd_[i_mod % w_];
+}
+
+std::vector<Seq> BoundedSender::resend_candidates() const {
+    std::vector<Seq> out;
+    const Seq count = outstanding();
+    for (Seq k = 0; k < count; ++k) {
+        const Seq i_mod = mod_add(na_, k, n_);
+        if (!ackd_[i_mod % w_]) out.push_back(i_mod);
+    }
+    return out;
+}
+
+bool BoundedSender::acked_beyond(Seq i_mod) const {
+    BACP_ASSERT(i_mod < n_);
+    const Seq start = mod_offset(na_, i_mod, n_) + 1;
+    const Seq count = outstanding();
+    for (Seq k = start; k < count; ++k) {
+        if (ackd_[mod_add(na_, k, n_) % w_]) return true;
+    }
+    return false;
+}
+
+proto::Data BoundedSender::resend(Seq i_mod) const {
+    BACP_ASSERT_MSG(can_resend(i_mod), "resend of a non-outstanding message");
+    return proto::Data{i_mod};
+}
+
+}  // namespace bacp::ba

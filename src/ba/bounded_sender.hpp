@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file bounded_sender.hpp
+/// Fully bounded block-acknowledgment sender, paper SV (final refinement).
+///
+/// All counters are residues modulo n = 2w and the ackd array has exactly
+/// w slots (slot = seq mod w); the process state is finite.  Comparisons
+/// use residue differences, which are exact because the protocol invariant
+/// bounds every true difference by w < n (equations 13/14 of the paper,
+/// packaged in protocol/seqnum.hpp).
+///
+/// The wire carries residues: proto::Data.seq and proto::Ack.{lo,hi} hold
+/// values in [0, n).
+
+#include <compare>
+#include <vector>
+
+#include "common/types.hpp"
+#include "protocol/message.hpp"
+
+namespace bacp::ba {
+
+class BoundedSender {
+public:
+    explicit BoundedSender(Seq w);
+
+    Seq window() const { return w_; }
+    /// Sequence-number domain size n = 2w.
+    Seq domain() const { return n_; }
+    /// Residue of na (next to be acknowledged).
+    Seq na_mod() const { return na_; }
+    /// Residue of ns (next to be sent).
+    Seq ns_mod() const { return ns_; }
+    /// ns - na, recovered exactly from the residues.
+    Seq outstanding() const;
+
+    /// Current effective window limit (<= w); see ba::Sender for the
+    /// variable-window discussion.  The residue domain stays 2w.
+    Seq window_limit() const { return limit_; }
+    void set_window_limit(Seq limit);
+
+    /// Guard of action 0 ("ns < na + limit" on residues).
+    bool can_send_new() const { return outstanding() < limit_; }
+    /// Action 0: data message carrying the residue ns mod n.
+    proto::Data send_new();
+
+    /// Action 1' on residues.  Precondition (invariants 9/10): the true
+    /// values satisfy na <= i <= j < na + w.
+    void on_ack(const proto::Ack& ack);
+
+    /// Local timeout conjunct for the message whose residue is \p i_mod:
+    /// outstanding and unacknowledged.
+    bool can_resend(Seq i_mod) const;
+
+    /// Residues of all retransmission candidates, lowest (na) first.
+    std::vector<Seq> resend_candidates() const;
+
+    /// True when some outstanding message beyond the one with residue
+    /// \p i_mod is already acknowledged (ack hole) -- the realistic
+    /// per-message resend gate.
+    bool acked_beyond(Seq i_mod) const;
+
+    /// Action 2/2' on residues.
+    proto::Data resend(Seq i_mod) const;
+
+    friend bool operator==(const BoundedSender&, const BoundedSender&) = default;
+
+private:
+    Seq w_;
+    Seq n_;
+    Seq limit_;   // effective window, in [1, w_]
+    Seq na_ = 0;  // residue mod n_
+    Seq ns_ = 0;  // residue mod n_
+    std::vector<bool> ackd_;  // w_ slots, indexed by seq mod w_
+};
+
+}  // namespace bacp::ba

@@ -1,0 +1,55 @@
+#include "ba/hole_reuse_sender.hpp"
+
+#include "common/assert.hpp"
+
+namespace bacp::ba {
+
+HoleReuseSender::HoleReuseSender(Seq w, Seq buffer_cap)
+    : w_(w), cap_(buffer_cap == 0 ? 4 * w : buffer_cap), ackd_(cap_ == 0 ? 1 : cap_) {
+    BACP_ASSERT_MSG(w > 0, "window size must be positive");
+    BACP_ASSERT_MSG(cap_ >= w_, "buffer cap must be at least w");
+}
+
+proto::Data HoleReuseSender::send_new() {
+    BACP_ASSERT_MSG(can_send_new(), "action 0 executed while disabled");
+    ++unacked_;
+    return proto::Data{ns_++};
+}
+
+void HoleReuseSender::on_ack(const proto::Ack& ack) {
+    BACP_ASSERT_MSG(ack.lo <= ack.hi, "ack with lo > hi");
+    BACP_ASSERT_MSG(ack.lo >= na_, "ack below window (invariant 8 violated)");
+    BACP_ASSERT_MSG(ack.hi < ns_, "ack beyond ns (invariant 8 violated)");
+    for (Seq m = ack.lo; m <= ack.hi; ++m) {
+        BACP_ASSERT_MSG(!ackd_.test(m), "double acknowledgment (invariant 8 violated)");
+        ackd_.set(m);
+        BACP_ASSERT(unacked_ > 0);
+        --unacked_;
+    }
+    Seq new_na = na_;
+    while (ackd_.test(new_na)) ++new_na;
+    na_ = new_na;
+    ackd_.advance_to(new_na);
+}
+
+std::vector<Seq> HoleReuseSender::resend_candidates() const {
+    std::vector<Seq> out;
+    for (Seq i = na_; i < ns_; ++i) {
+        if (!ackd_.test(i)) out.push_back(i);
+    }
+    return out;
+}
+
+bool HoleReuseSender::acked_beyond(Seq i) const {
+    for (Seq m = (i < na_ ? na_ : i + 1); m < ns_; ++m) {
+        if (ackd_.test(m)) return true;
+    }
+    return false;
+}
+
+proto::Data HoleReuseSender::resend(Seq i) const {
+    BACP_ASSERT_MSG(can_resend(i), "resend of a non-outstanding message");
+    return proto::Data{i};
+}
+
+}  // namespace bacp::ba

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file hole_reuse_sender.hpp
+/// SVI extension: window accounting by *unacknowledged count*.
+///
+/// The paper's concluding remarks sketch a more aggressive sender that
+/// reuses window positions already known (via block acks) to have been
+/// received, even though earlier positions are still unacknowledged:
+/// "suppose messages 0 through 5 were sent, but only messages 3 through 5
+/// were acknowledged [ack (0,2) lost] ... it would then be possible ...
+/// to use positions 3 through 5 for sending more messages".
+///
+/// This class realizes that idea with new (monotonically increasing,
+/// unbounded) sequence numbers: action 0's guard becomes
+///
+///     #unacked in [na, ns) < w     (instead of  ns < na + w)
+///
+/// Correctness sketch: the receiver acknowledges in order only, so every
+/// sender-side ack hole lies below nr; hence at send time
+/// ns < nr + w, preserving invariant 11 (v < nr + w) -- the *unchanged*
+/// ba::Receiver remains correct against this sender.  What grows is the
+/// sender's own bookkeeping window [na, ns), which is no longer bounded
+/// by w; a configurable cap bounds memory (paper: "the sender ... would
+/// have to remember more information").  See DESIGN.md E9.
+
+#include <compare>
+#include <vector>
+
+#include "common/types.hpp"
+#include "protocol/message.hpp"
+#include "protocol/window.hpp"
+
+namespace bacp::ba {
+
+class HoleReuseSender {
+public:
+    /// \p w: credit (max unacknowledged messages in flight).
+    /// \p buffer_cap: hard bound on ns - na (bookkeeping window), >= w.
+    explicit HoleReuseSender(Seq w, Seq buffer_cap = 0);
+
+    Seq window() const { return w_; }
+    Seq buffer_cap() const { return cap_; }
+    Seq na() const { return na_; }
+    Seq ns() const { return ns_; }
+    bool ackd(Seq m) const { return ackd_.test(m); }
+    /// Messages sent and not yet acknowledged (the guard quantity).
+    Seq unacked() const { return unacked_; }
+
+    /// Relaxed action-0 guard: unacked credit available and buffer room.
+    bool can_send_new() const { return unacked_ < w_ && ns_ < na_ + cap_; }
+    proto::Data send_new();
+
+    /// Action 1 (unchanged semantics).
+    void on_ack(const proto::Ack& ack);
+
+    bool can_resend(Seq i) const { return na_ <= i && i < ns_ && !ackd_.test(i); }
+    std::vector<Seq> resend_candidates() const;
+    /// Ack-hole evidence above \p i (see ba::Sender::acked_beyond).
+    bool acked_beyond(Seq i) const;
+    proto::Data resend(Seq i) const;
+
+    friend bool operator==(const HoleReuseSender&, const HoleReuseSender&) = default;
+
+private:
+    Seq w_;
+    Seq cap_;
+    Seq na_ = 0;
+    Seq ns_ = 0;
+    Seq unacked_ = 0;
+    proto::WindowBitmap ackd_;  // base na_, width cap_
+};
+
+}  // namespace bacp::ba

@@ -1,0 +1,33 @@
+#include "ba/receiver.hpp"
+
+#include "common/assert.hpp"
+
+namespace bacp::ba {
+
+Receiver::Receiver(Seq w) : w_(w), rcvd_(w) { BACP_ASSERT_MSG(w > 0, "window size must be positive"); }
+
+std::optional<proto::Ack> Receiver::on_data(const proto::Data& msg) {
+    const Seq v = msg.seq;
+    BACP_ASSERT_MSG(v < nr_ + w_, "data beyond receive window (invariant 11 violated)");
+    if (v < nr_) {
+        // Already accepted: re-acknowledge with a singleton block.
+        return proto::Ack{v, v};
+    }
+    if (!rcvd_.test(v)) rcvd_.set(v);  // idempotent per the paper's rcvd[v] := true
+    return std::nullopt;
+}
+
+void Receiver::advance() {
+    BACP_ASSERT_MSG(can_advance(), "action 4 executed while disabled");
+    ++vr_;
+    rcvd_.advance_to(vr_);
+}
+
+proto::Ack Receiver::make_ack() {
+    BACP_ASSERT_MSG(can_ack(), "action 5 executed while disabled");
+    const proto::Ack ack{nr_, vr_ - 1};
+    nr_ = vr_;
+    return ack;
+}
+
+}  // namespace bacp::ba

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file receiver.hpp
+/// Block-acknowledgment receiver, paper SII (unbounded sequence numbers).
+///
+/// Paper actions (process R):
+///   3: rcv v       -> if v < nr  -> send (v, v)            (duplicate ack)
+///                     [] v >= nr -> rcvd[v] := true
+///   4: rcvd[vr]    -> vr := vr + 1
+///   5: nr < vr     -> send (nr, vr - 1); nr := vr
+///
+/// The receiver accepts data out of order but acknowledges strictly in
+/// order; action 5 emits one *block* acknowledgment covering everything
+/// contiguous since the last acknowledgment.  Delaying action 5 while more
+/// data arrives yields bigger blocks -- that is the throughput advantage
+/// over ack-per-message selective repeat.  The choice of *when* to fire
+/// action 5 is left to the runtime (AckPolicy); the core only exposes the
+/// guard.
+
+#include <compare>
+#include <optional>
+
+#include "common/types.hpp"
+#include "protocol/message.hpp"
+#include "protocol/window.hpp"
+
+namespace bacp::ba {
+
+class Receiver {
+public:
+    explicit Receiver(Seq w);
+
+    Seq window() const { return w_; }
+    /// Next message to be accepted (acknowledged in order).
+    Seq nr() const { return nr_; }
+    /// Upper bound of the contiguously received, not-yet-acknowledged run.
+    Seq vr() const { return vr_; }
+    /// Logical rcvd[m] of the paper's infinite array.
+    bool rcvd(Seq m) const { return rcvd_.test(m); }
+
+    /// Action 3.  Returns the duplicate acknowledgment (v, v) when the
+    /// message was accepted previously, std::nullopt otherwise.
+    /// Precondition (invariant 8/11): v < nr + w.
+    std::optional<proto::Ack> on_data(const proto::Data& msg);
+
+    /// Guard of action 4.
+    bool can_advance() const { return rcvd_.test(vr_); }
+    /// Action 4.
+    void advance();
+
+    /// Guard of action 5.
+    bool can_ack() const { return nr_ < vr_; }
+    /// Action 5: returns the block acknowledgment (nr, vr-1) and slides nr.
+    proto::Ack make_ack();
+
+    friend bool operator==(const Receiver&, const Receiver&) = default;
+
+    template <typename H>
+    void feed(H&& h) const {
+        h(nr_);
+        h(vr_);
+        rcvd_.feed(h);
+    }
+
+private:
+    Seq w_;
+    Seq nr_ = 0;
+    Seq vr_ = 0;
+    proto::WindowBitmap rcvd_;  // base vr_: true below vr_, window [vr_, vr_+w)
+};
+
+}  // namespace bacp::ba

@@ -1,0 +1,58 @@
+#include "ba/sender.hpp"
+
+#include "common/assert.hpp"
+
+namespace bacp::ba {
+
+Sender::Sender(Seq w) : w_(w), limit_(w), ackd_(w) {
+    BACP_ASSERT_MSG(w > 0, "window size must be positive");
+}
+
+void Sender::set_window_limit(Seq limit) {
+    BACP_ASSERT_MSG(limit >= 1 && limit <= w_, "window limit must be in [1, w]");
+    limit_ = limit;
+}
+
+proto::Data Sender::send_new() {
+    BACP_ASSERT_MSG(can_send_new(), "action 0 executed while disabled");
+    return proto::Data{ns_++};
+}
+
+void Sender::on_ack(const proto::Ack& ack) {
+    // Invariants 8-10 of the paper: a received ack covers only outstanding,
+    // unacknowledged messages inside the window.
+    BACP_ASSERT_MSG(ack.lo <= ack.hi, "ack with lo > hi");
+    BACP_ASSERT_MSG(ack.lo >= na_, "ack below window (invariant 8 violated)");
+    BACP_ASSERT_MSG(ack.hi < ns_, "ack beyond ns (invariant 8 violated)");
+    for (Seq m = ack.lo; m <= ack.hi; ++m) {
+        BACP_ASSERT_MSG(!ackd_.test(m), "double acknowledgment (invariant 8 violated)");
+        ackd_.set(m);
+    }
+    // Advance na past the acknowledged prefix (paper's interleaved loop).
+    Seq new_na = na_;
+    while (ackd_.test(new_na)) ++new_na;
+    na_ = new_na;
+    ackd_.advance_to(new_na);
+}
+
+std::vector<Seq> Sender::resend_candidates() const {
+    std::vector<Seq> out;
+    for (Seq i = na_; i < ns_; ++i) {
+        if (!ackd_.test(i)) out.push_back(i);
+    }
+    return out;
+}
+
+bool Sender::acked_beyond(Seq i) const {
+    for (Seq m = (i < na_ ? na_ : i + 1); m < ns_; ++m) {
+        if (ackd_.test(m)) return true;
+    }
+    return false;
+}
+
+proto::Data Sender::resend(Seq i) const {
+    BACP_ASSERT_MSG(can_resend(i), "resend of a non-outstanding message");
+    return proto::Data{i};
+}
+
+}  // namespace bacp::ba

@@ -1,0 +1,36 @@
+#include "baselines/alternating_bit.hpp"
+
+#include "common/assert.hpp"
+
+namespace bacp::baselines {
+
+proto::Data AbpSender::send_new() {
+    BACP_ASSERT_MSG(can_send_new(), "ABP send while awaiting ack");
+    awaiting_ack_ = true;
+    return proto::Data{bit_};
+}
+
+proto::Data AbpSender::resend() const {
+    BACP_ASSERT_MSG(awaiting_ack_, "ABP resend with nothing outstanding");
+    return proto::Data{bit_};
+}
+
+void AbpSender::on_ack(const proto::Ack& ack) {
+    if (!awaiting_ack_) return;     // stale ack after completion
+    if (ack.hi != bit_) return;     // ack for the previous incarnation
+    awaiting_ack_ = false;
+    bit_ ^= 1;
+    ++completed_;
+}
+
+proto::Ack AbpReceiver::on_data(const proto::Data& msg) {
+    if (msg.seq == expected_bit_) {
+        ++delivered_;
+        expected_bit_ ^= 1;
+    }
+    // Ack carries the bit of the last accepted message.
+    const Seq last = expected_bit_ ^ 1;
+    return proto::Ack{last, last};
+}
+
+}  // namespace bacp::baselines

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file alternating_bit.hpp
+/// Alternating-bit protocol (Lynch; Bartlett, Scantlebury & Wilkinson) --
+/// the historical root of the window protocol (paper SI) and the w = 1
+/// degenerate case.  One message outstanding, one sequence bit.
+///
+/// ABP assumes FIFO channels; over reordering channels it is unsafe, which
+/// the test suite demonstrates (that is *why* the paper's protocol
+/// exists).  Benchmarks run it over FIFO channels as the no-pipelining
+/// floor.
+
+#include <compare>
+#include <optional>
+
+#include "common/types.hpp"
+#include "protocol/message.hpp"
+
+namespace bacp::baselines {
+
+class AbpSender {
+public:
+    /// True when a new message may enter (previous one acknowledged).
+    bool can_send_new() const { return !awaiting_ack_; }
+
+    /// Sends the next message, tagged with the current bit.
+    proto::Data send_new();
+
+    /// Retransmission of the in-flight message (timeout path).
+    proto::Data resend() const;
+    bool awaiting_ack() const { return awaiting_ack_; }
+
+    /// Handles an acknowledgment; acks with the wrong bit are ignored.
+    void on_ack(const proto::Ack& ack);
+
+    /// Count of messages accepted by the peer so far (local view).
+    Seq completed() const { return completed_; }
+
+    friend bool operator==(const AbpSender&, const AbpSender&) = default;
+
+private:
+    Seq bit_ = 0;  // 0 or 1
+    bool awaiting_ack_ = false;
+    Seq completed_ = 0;
+};
+
+class AbpReceiver {
+public:
+    /// Handles a data message; always returns the ack to send (the bit of
+    /// the last accepted message).
+    proto::Ack on_data(const proto::Data& msg);
+
+    /// Messages accepted in order.
+    Seq delivered() const { return delivered_; }
+
+    friend bool operator==(const AbpReceiver&, const AbpReceiver&) = default;
+
+private:
+    Seq expected_bit_ = 0;
+    Seq delivered_ = 0;
+};
+
+}  // namespace bacp::baselines

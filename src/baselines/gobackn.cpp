@@ -1,0 +1,63 @@
+#include "baselines/gobackn.hpp"
+
+#include "common/assert.hpp"
+#include "protocol/seqnum.hpp"
+
+namespace bacp::baselines {
+
+GbnSender::GbnSender(Seq w, Seq domain) : w_(w), domain_(domain) {
+    BACP_ASSERT_MSG(w > 0, "window size must be positive");
+    BACP_ASSERT_MSG(domain == 0 || domain > w, "bounded domain must exceed w");
+}
+
+proto::Data GbnSender::send_new() {
+    BACP_ASSERT_MSG(can_send_new(), "send while window full");
+    return proto::Data{wire_seq(ns_++)};
+}
+
+void GbnSender::on_ack(const proto::Ack& ack) {
+    const Seq k = ack.hi;
+    if (domain_ == 0) {
+        // Unbounded: the true value discriminates stale acks exactly.
+        if (k >= na_ && k < ns_) na_ = k + 1;
+        return;
+    }
+    // Bounded: only the residue is available.  Interpret it relative to
+    // the current window -- the paper's SI scenario shows this aliases
+    // when an old ack resurfaces after the residue wrapped.
+    BACP_ASSERT_MSG(k < domain_, "ack residue outside domain");
+    if (!has_outstanding()) return;
+    const Seq offset = proto::mod_offset(na_ % domain_, k, domain_);
+    if (offset < outstanding()) {
+        na_ += offset + 1;  // may wrongly pass messages the receiver lacks
+    }
+}
+
+std::vector<proto::Data> GbnSender::retransmit_window() const {
+    std::vector<proto::Data> out;
+    out.reserve(static_cast<std::size_t>(outstanding()));
+    for (Seq m = na_; m < ns_; ++m) out.push_back(proto::Data{wire_seq(m)});
+    return out;
+}
+
+GbnReceiver::GbnReceiver(Seq domain) : domain_(domain) {}
+
+void GbnReceiver::on_data(const proto::Data& msg) {
+    if (msg.seq == wire_seq(nr_)) {
+        ++nr_;
+        return;
+    }
+    // Discarded.  If it looks like an old accepted message, schedule a
+    // re-ack so a sender stuck on a lost ack can recover.
+    if (nr_ > 0) reack_ = true;
+}
+
+proto::Ack GbnReceiver::make_ack() {
+    BACP_ASSERT_MSG(can_ack(), "ack action executed while disabled");
+    reack_ = false;
+    acked_ = nr_;
+    const Seq k = wire_seq(nr_ - 1);
+    return proto::Ack{k, k};
+}
+
+}  // namespace bacp::baselines

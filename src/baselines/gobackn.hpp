@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file gobackn.hpp
+/// Traditional go-back-N window protocol with *cumulative* acknowledgments
+/// (Stallings's formulation, the paper's introduction baseline).
+///
+/// An acknowledgment carries one number k and acknowledges every data
+/// message with sequence number <= k.  On the wire we reuse proto::Ack as
+/// the singleton (k, k); the cumulative meaning lives in this module.
+///
+/// Two sequence-number modes:
+///   - unbounded (domain = 0): correct under loss AND reorder;
+///   - bounded (domain = N): the sender interprets ack residues relative
+///     to its window.  This is the configuration the paper's SI scenario
+///     breaks: a stale cumulative ack left in a reordering channel aliases
+///     into the current window and the sender advances na past messages
+///     the receiver never accepted.  We implement it faithfully,
+///     bug included, so the model checker can exhibit the failure (E1).
+
+#include <compare>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "protocol/message.hpp"
+
+namespace bacp::baselines {
+
+class GbnSender {
+public:
+    /// \p domain = 0 selects unbounded sequence numbers; otherwise wire
+    /// sequence numbers are residues mod \p domain (must be > w).
+    explicit GbnSender(Seq w, Seq domain = 0);
+
+    Seq window() const { return w_; }
+    Seq domain() const { return domain_; }
+    Seq na() const { return na_; }
+    Seq ns() const { return ns_; }
+    Seq outstanding() const { return ns_ - na_; }
+    bool has_outstanding() const { return na_ < ns_; }
+
+    bool can_send_new() const { return ns_ < na_ + w_; }
+    /// Sends the next new message (wire seq is the residue when bounded).
+    proto::Data send_new();
+
+    /// Processes a cumulative acknowledgment (the ack's hi field).
+    /// Unbounded mode ignores stale acks correctly; bounded mode contains
+    /// the SI aliasing bug by design.
+    void on_ack(const proto::Ack& ack);
+
+    /// Go-back-N retransmission: every outstanding message, in order.
+    std::vector<proto::Data> retransmit_window() const;
+
+    friend bool operator==(const GbnSender&, const GbnSender&) = default;
+
+    template <typename H>
+    void feed(H&& h) const {
+        h(na_);
+        h(ns_);
+    }
+
+private:
+    Seq wire_seq(Seq m) const { return domain_ == 0 ? m : m % domain_; }
+
+    Seq w_;
+    Seq domain_;
+    Seq na_ = 0;
+    Seq ns_ = 0;
+};
+
+class GbnReceiver {
+public:
+    explicit GbnReceiver(Seq domain = 0);
+
+    Seq domain() const { return domain_; }
+    /// Next expected in-order sequence number (true, unbounded count).
+    Seq nr() const { return nr_; }
+
+    /// Accepts the message when it is the expected one; anything else is
+    /// discarded (go-back-N receivers keep no out-of-order buffer).
+    /// A discard of a previously-accepted duplicate arms the re-ack guard.
+    void on_data(const proto::Data& msg);
+
+    /// Guard of the (separate, nondeterministic) ack action: there is
+    /// something new to acknowledge, or a duplicate asked for a re-ack.
+    bool can_ack() const { return (nr_ > acked_ || reack_) && nr_ > 0; }
+    /// Emits the cumulative acknowledgment for nr - 1.
+    proto::Ack make_ack();
+
+    friend bool operator==(const GbnReceiver&, const GbnReceiver&) = default;
+
+    template <typename H>
+    void feed(H&& h) const {
+        h(nr_);
+        h(acked_);
+        h(static_cast<Seq>(reack_));
+    }
+
+private:
+    Seq wire_seq(Seq m) const { return domain_ == 0 ? m : m % domain_; }
+
+    Seq domain_;
+    Seq nr_ = 0;     // true count of accepted messages
+    Seq acked_ = 0;  // nr value covered by the last ack sent
+    bool reack_ = false;
+};
+
+}  // namespace bacp::baselines

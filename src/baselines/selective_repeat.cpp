@@ -1,0 +1,25 @@
+#include "baselines/selective_repeat.hpp"
+
+#include "common/assert.hpp"
+
+namespace bacp::baselines {
+
+SrReceiver::SrReceiver(Seq w) : w_(w), rcvd_(w) {
+    BACP_ASSERT_MSG(w > 0, "window size must be positive");
+}
+
+proto::Ack SrReceiver::on_data(const proto::Data& msg) {
+    const Seq v = msg.seq;
+    BACP_ASSERT_MSG(v < nr_ + w_, "data beyond receive window");
+    if (v >= nr_ && !rcvd_.test(v)) rcvd_.set(v);
+    // Distinct acknowledgment for every data message, always.
+    return proto::Ack{v, v};
+}
+
+void SrReceiver::deliver() {
+    BACP_ASSERT_MSG(can_deliver(), "deliver while next message missing");
+    ++nr_;
+    rcvd_.advance_to(nr_);
+}
+
+}  // namespace bacp::baselines

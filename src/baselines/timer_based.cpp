@@ -1,0 +1,53 @@
+#include "baselines/timer_based.hpp"
+
+#include "common/assert.hpp"
+#include "protocol/seqnum.hpp"
+
+namespace bacp::baselines {
+
+TcSender::TcSender(Seq w, Seq domain, SimTime reuse_interval)
+    : w_(w), domain_(domain), reuse_(reuse_interval), last_use_(domain, kNever) {
+    BACP_ASSERT_MSG(w > 0, "window size must be positive");
+    BACP_ASSERT_MSG(domain > w, "domain must exceed w");
+    BACP_ASSERT_MSG(reuse_interval > 0, "reuse interval must be positive");
+}
+
+bool TcSender::residue_free(SimTime now) const {
+    const SimTime last = last_use_[static_cast<std::size_t>(wire_seq(ns_))];
+    return last == kNever || now - last >= reuse_;
+}
+
+SimTime TcSender::residue_ready_at() const {
+    const SimTime last = last_use_[static_cast<std::size_t>(wire_seq(ns_))];
+    return last == kNever ? 0 : last + reuse_;
+}
+
+proto::Data TcSender::send_new(SimTime now) {
+    BACP_ASSERT_MSG(can_send_new(now), "send while guard disabled");
+    const Seq residue = wire_seq(ns_);
+    last_use_[static_cast<std::size_t>(residue)] = now;
+    ++ns_;
+    return proto::Data{residue};
+}
+
+void TcSender::on_ack(const proto::Ack& ack) {
+    const Seq k = ack.hi;
+    BACP_ASSERT_MSG(k < domain_, "ack residue outside domain");
+    if (!has_outstanding()) return;
+    const Seq offset = proto::mod_offset(na_ % domain_, k, domain_);
+    if (offset < outstanding()) na_ += offset + 1;
+}
+
+std::vector<proto::Data> TcSender::retransmit_window() const {
+    std::vector<proto::Data> out;
+    out.reserve(static_cast<std::size_t>(outstanding()));
+    for (Seq m = na_; m < ns_; ++m) out.push_back(proto::Data{wire_seq(m)});
+    return out;
+}
+
+void TcSender::note_resend(Seq true_seq, SimTime now) {
+    BACP_ASSERT(true_seq >= na_ && true_seq < ns_);
+    last_use_[static_cast<std::size_t>(wire_seq(true_seq))] = now;
+}
+
+}  // namespace bacp::baselines

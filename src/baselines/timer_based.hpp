@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file timer_based.hpp
+/// Time-constrained window protocol (Stenning; Shankar & Lam), the second
+/// existing approach the paper's introduction discusses.
+///
+/// Bounded sequence numbers + cumulative acks become safe under reorder by
+/// adding a *real-time* constraint: "a specified time period should elapse
+/// between the sending of two data messages with the same sequence
+/// number", long enough that no copy of the earlier incarnation or its
+/// acknowledgment is still in transit.  The cost is the paper's E7 claim:
+/// with a small sequence-number domain N the send rate is capped at
+/// N / reuse_interval, because every N-th message must wait out the
+/// spacing -- block acknowledgment needs no such wait.
+///
+/// Receiver side: a plain cumulative-ack go-back-N receiver over residues
+/// (GbnReceiver) -- the spacing makes the residue interpretation exact.
+
+#include <compare>
+#include <vector>
+
+#include "common/types.hpp"
+#include "protocol/message.hpp"
+
+namespace bacp::baselines {
+
+class TcSender {
+public:
+    /// \p domain N > w; \p reuse_interval is the minimum time between two
+    /// transmissions that share a residue (choose >= L_SR + L_RS).
+    TcSender(Seq w, Seq domain, SimTime reuse_interval);
+
+    Seq window() const { return w_; }
+    Seq domain() const { return domain_; }
+    SimTime reuse_interval() const { return reuse_; }
+    Seq na() const { return na_; }
+    Seq ns() const { return ns_; }
+    Seq outstanding() const { return ns_ - na_; }
+    bool has_outstanding() const { return na_ < ns_; }
+
+    /// Window half of the send guard.
+    bool window_open() const { return ns_ < na_ + w_; }
+    /// Real-time half: the residue of ns was last used long enough ago.
+    bool residue_free(SimTime now) const;
+    bool can_send_new(SimTime now) const { return window_open() && residue_free(now); }
+    /// Earliest time the residue constraint for ns clears (may be in the
+    /// past).  Lets the runtime schedule a precise retry instead of polling.
+    SimTime residue_ready_at() const;
+
+    /// Sends the next new message at time \p now (records residue usage).
+    proto::Data send_new(SimTime now);
+
+    /// Cumulative ack processing over residues (safe thanks to spacing).
+    void on_ack(const proto::Ack& ack);
+
+    /// Go-back-N retransmission of the outstanding window; the runtime
+    /// must call note_resend for each copy actually placed on the channel.
+    std::vector<proto::Data> retransmit_window() const;
+    void note_resend(Seq true_seq, SimTime now);
+
+private:
+    Seq wire_seq(Seq m) const { return m % domain_; }
+
+    Seq w_;
+    Seq domain_;
+    SimTime reuse_;
+    Seq na_ = 0;
+    Seq ns_ = 0;
+    std::vector<SimTime> last_use_;  // per residue; kNever when unused
+    static constexpr SimTime kNever = -1;
+};
+
+}  // namespace bacp::baselines

@@ -1,0 +1,58 @@
+#include "channel/delay_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace bacp::channel {
+
+FixedDelay::FixedDelay(SimTime delay) : delay_(delay) {
+    BACP_ASSERT_MSG(delay >= 0, "delay must be non-negative");
+}
+
+std::unique_ptr<DelayModel> FixedDelay::clone() const { return std::make_unique<FixedDelay>(delay_); }
+
+UniformDelay::UniformDelay(SimTime lo, SimTime hi) : lo_(lo), hi_(hi) {
+    BACP_ASSERT_MSG(lo >= 0 && lo <= hi, "uniform delay requires 0 <= lo <= hi");
+}
+
+SimTime UniformDelay::sample(Rng& rng) {
+    return lo_ + static_cast<SimTime>(rng.uniform(static_cast<std::uint64_t>(hi_ - lo_) + 1));
+}
+
+std::unique_ptr<DelayModel> UniformDelay::clone() const {
+    return std::make_unique<UniformDelay>(lo_, hi_);
+}
+
+ExponentialDelay::ExponentialDelay(SimTime base, SimTime mean, SimTime cap)
+    : base_(base), mean_(mean), cap_(cap) {
+    BACP_ASSERT_MSG(base >= 0 && mean > 0 && cap >= 0, "invalid exponential delay parameters");
+}
+
+SimTime ExponentialDelay::sample(Rng& rng) {
+    const auto tail = static_cast<SimTime>(rng.exponential(static_cast<double>(mean_)));
+    return base_ + std::min(tail, cap_);
+}
+
+std::unique_ptr<DelayModel> ExponentialDelay::clone() const {
+    return std::make_unique<ExponentialDelay>(base_, mean_, cap_);
+}
+
+HeavyTailDelay::HeavyTailDelay(SimTime base, SimTime scale, double alpha, SimTime cap)
+    : base_(base), scale_(scale), alpha_(alpha), cap_(cap) {
+    BACP_ASSERT_MSG(base >= 0 && scale > 0 && alpha > 0 && cap >= 0,
+                    "invalid heavy-tail delay parameters");
+}
+
+SimTime HeavyTailDelay::sample(Rng& rng) {
+    const double draw = rng.pareto(static_cast<double>(scale_), alpha_);
+    const auto tail = static_cast<SimTime>(std::min(draw, static_cast<double>(cap_)));
+    return base_ + std::min(tail, cap_);
+}
+
+std::unique_ptr<DelayModel> HeavyTailDelay::clone() const {
+    return std::make_unique<HeavyTailDelay>(base_, scale_, alpha_, cap_);
+}
+
+}  // namespace bacp::channel

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file delay_model.hpp
+/// Per-message transit-delay processes for the discrete-event channels.
+///
+/// Every model has a finite max_delay().  That bound is the channel's
+/// message lifetime L: the correctness of the timeout mechanisms (paper
+/// SII/SIV, "at most one copy of each data message or its acknowledgment
+/// is in transit") requires the sender's timers to exceed the sum of the
+/// two directions' lifetimes, so unbounded delay distributions are
+/// truncated at an explicit cap.
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace bacp::channel {
+
+class DelayModel {
+public:
+    virtual ~DelayModel() = default;
+    /// Transit delay for the next message; always <= max_delay().
+    virtual SimTime sample(Rng& rng) = 0;
+    /// Hard upper bound on any sampled delay (the message lifetime L).
+    virtual SimTime max_delay() const = 0;
+    virtual std::unique_ptr<DelayModel> clone() const = 0;
+};
+
+/// Constant delay (a perfectly deterministic link; no reorder).
+class FixedDelay final : public DelayModel {
+public:
+    explicit FixedDelay(SimTime delay);
+    SimTime sample(Rng&) override { return delay_; }
+    SimTime max_delay() const override { return delay_; }
+    std::unique_ptr<DelayModel> clone() const override;
+
+private:
+    SimTime delay_;
+};
+
+/// Uniform delay in [lo, hi]; the spread produces message reorder.
+class UniformDelay final : public DelayModel {
+public:
+    UniformDelay(SimTime lo, SimTime hi);
+    SimTime sample(Rng& rng) override;
+    SimTime max_delay() const override { return hi_; }
+    std::unique_ptr<DelayModel> clone() const override;
+
+private:
+    SimTime lo_, hi_;
+};
+
+/// base + Exp(mean), truncated at base + cap.
+class ExponentialDelay final : public DelayModel {
+public:
+    ExponentialDelay(SimTime base, SimTime mean, SimTime cap);
+    SimTime sample(Rng& rng) override;
+    SimTime max_delay() const override { return base_ + cap_; }
+    std::unique_ptr<DelayModel> clone() const override;
+
+private:
+    SimTime base_, mean_, cap_;
+};
+
+/// base + bounded Pareto tail: occasional large reorder excursions.
+class HeavyTailDelay final : public DelayModel {
+public:
+    HeavyTailDelay(SimTime base, SimTime scale, double alpha, SimTime cap);
+    SimTime sample(Rng& rng) override;
+    SimTime max_delay() const override { return base_ + cap_; }
+    std::unique_ptr<DelayModel> clone() const override;
+
+private:
+    SimTime base_, scale_;
+    double alpha_;
+    SimTime cap_;
+};
+
+}  // namespace bacp::channel

@@ -1,0 +1,62 @@
+#include "channel/loss_model.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace bacp::channel {
+
+BernoulliLoss::BernoulliLoss(double p) : p_(p) {
+    BACP_ASSERT_MSG(p >= 0.0 && p <= 1.0, "loss probability in [0,1]");
+}
+
+std::unique_ptr<LossModel> BernoulliLoss::clone() const {
+    return std::make_unique<BernoulliLoss>(p_);
+}
+
+GilbertElliottLoss::GilbertElliottLoss(double p_good_to_bad, double p_bad_to_good,
+                                       double loss_good, double loss_bad)
+    : p_gb_(p_good_to_bad), p_bg_(p_bad_to_good), loss_good_(loss_good), loss_bad_(loss_bad) {
+    BACP_ASSERT_MSG(p_gb_ >= 0 && p_gb_ <= 1 && p_bg_ >= 0 && p_bg_ <= 1,
+                    "transition probabilities in [0,1]");
+    BACP_ASSERT_MSG(loss_good_ >= 0 && loss_good_ <= 1 && loss_bad_ >= 0 && loss_bad_ <= 1,
+                    "loss probabilities in [0,1]");
+}
+
+bool GilbertElliottLoss::drop(Rng& rng) {
+    // Transition first, then draw from the new state's loss rate.
+    if (bad_) {
+        if (rng.chance(p_bg_)) bad_ = false;
+    } else {
+        if (rng.chance(p_gb_)) bad_ = true;
+    }
+    return rng.chance(bad_ ? loss_bad_ : loss_good_);
+}
+
+std::unique_ptr<LossModel> GilbertElliottLoss::clone() const {
+    return std::make_unique<GilbertElliottLoss>(p_gb_, p_bg_, loss_good_, loss_bad_);
+}
+
+double GilbertElliottLoss::steady_state_loss() const {
+    const double denom = p_gb_ + p_bg_;
+    if (denom == 0.0) return loss_good_;  // chain never leaves Good
+    const double pi_bad = p_gb_ / denom;
+    return (1.0 - pi_bad) * loss_good_ + pi_bad * loss_bad_;
+}
+
+ScriptedLoss::ScriptedLoss(std::vector<std::uint64_t> drop_indices)
+    : drop_indices_(std::move(drop_indices)) {
+    std::sort(drop_indices_.begin(), drop_indices_.end());
+}
+
+bool ScriptedLoss::drop(Rng&) {
+    const std::uint64_t index = next_++;
+    return std::binary_search(drop_indices_.begin(), drop_indices_.end(), index);
+}
+
+std::unique_ptr<LossModel> ScriptedLoss::clone() const {
+    auto copy = std::make_unique<ScriptedLoss>(drop_indices_);
+    return copy;
+}
+
+}  // namespace bacp::channel

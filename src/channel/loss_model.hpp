@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file loss_model.hpp
+/// Per-message loss processes for the discrete-event channels.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace bacp::channel {
+
+/// Decides, message by message, whether a transmission is lost.
+/// Implementations may keep state (burst models), so one instance serves
+/// exactly one channel direction.
+class LossModel {
+public:
+    virtual ~LossModel() = default;
+    /// True when the current message should be dropped.
+    virtual bool drop(Rng& rng) = 0;
+    /// Fresh instance with the same parameters and reset state.
+    virtual std::unique_ptr<LossModel> clone() const = 0;
+};
+
+/// Never drops.
+class NoLoss final : public LossModel {
+public:
+    bool drop(Rng&) override { return false; }
+    std::unique_ptr<LossModel> clone() const override { return std::make_unique<NoLoss>(); }
+};
+
+/// Independent (Bernoulli) loss with probability \p p per message.
+class BernoulliLoss final : public LossModel {
+public:
+    explicit BernoulliLoss(double p);
+    bool drop(Rng& rng) override { return rng.chance(p_); }
+    std::unique_ptr<LossModel> clone() const override;
+    double probability() const { return p_; }
+
+private:
+    double p_;
+};
+
+/// Two-state Gilbert-Elliott burst-loss model.  In the Good state messages
+/// drop with probability \p loss_good, in the Bad state with \p loss_bad;
+/// state transitions occur per message with the given probabilities.
+class GilbertElliottLoss final : public LossModel {
+public:
+    GilbertElliottLoss(double p_good_to_bad, double p_bad_to_good, double loss_good,
+                       double loss_bad);
+    bool drop(Rng& rng) override;
+    std::unique_ptr<LossModel> clone() const override;
+    bool in_bad_state() const { return bad_; }
+    /// Long-run average loss probability of the chain.
+    double steady_state_loss() const;
+
+private:
+    double p_gb_, p_bg_, loss_good_, loss_bad_;
+    bool bad_ = false;
+};
+
+/// Drops exactly the messages whose (0-based) transmission indices are
+/// listed; everything else passes.  Used to script the paper's SI
+/// scenario deterministically.
+class ScriptedLoss final : public LossModel {
+public:
+    explicit ScriptedLoss(std::vector<std::uint64_t> drop_indices);
+    bool drop(Rng& rng) override;
+    std::unique_ptr<LossModel> clone() const override;
+
+private:
+    std::vector<std::uint64_t> drop_indices_;  // sorted
+    std::uint64_t next_ = 0;                   // transmission counter
+};
+
+}  // namespace bacp::channel

@@ -1,0 +1,30 @@
+#include "channel/queue_channel.hpp"
+
+#include <sstream>
+
+namespace bacp::channel {
+
+QueueChannel::Message QueueChannel::receive_front() {
+    BACP_ASSERT_MSG(!messages_.empty(), "receive from empty channel");
+    Message msg = messages_.front();
+    messages_.pop_front();
+    return msg;
+}
+
+void QueueChannel::lose_at(std::size_t index) {
+    BACP_ASSERT_MSG(index < messages_.size(), "loss index out of range");
+    messages_.erase(messages_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+std::string QueueChannel::to_string() const {
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < messages_.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << proto::to_string(messages_[i]);
+    }
+    os << "]";
+    return os.str();
+}
+
+}  // namespace bacp::channel

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file queue_channel.hpp
+/// FIFO channel variant for the abstract (model-checked) system.
+///
+/// Classic bounded-sequence-number go-back-N is correct over FIFO channels
+/// with loss; the paper's point is that it breaks once channels reorder.
+/// This queue-semantics channel lets the model checker demonstrate the
+/// contrast (E1 ablation): same protocol, FIFO channel -> safe; set
+/// channel -> unsafe.
+///
+/// Loss may strike any queued element (a lossy FIFO link), but delivery is
+/// strictly front-first.
+
+#include <compare>
+#include <deque>
+#include <string>
+
+#include "common/assert.hpp"
+#include "protocol/message.hpp"
+
+namespace bacp::channel {
+
+class QueueChannel {
+public:
+    using Message = proto::Message;
+
+    std::size_t size() const { return messages_.size(); }
+    bool empty() const { return messages_.empty(); }
+
+    void send(const Message& msg) { messages_.push_back(msg); }
+
+    /// Delivery is FIFO: only the front may be received.
+    const Message& front() const {
+        BACP_ASSERT(!messages_.empty());
+        return messages_.front();
+    }
+    Message receive_front();
+
+    /// Loss can remove any element.
+    void lose_at(std::size_t index);
+
+    const std::deque<Message>& messages() const { return messages_; }
+
+    friend bool operator==(const QueueChannel&, const QueueChannel&) = default;
+
+    template <typename H>
+    void feed(H&& h) const {
+        h(static_cast<Seq>(messages_.size()));
+        for (const auto& msg : messages_) {
+            if (const auto* d = std::get_if<proto::Data>(&msg)) {
+                h(Seq{1});
+                h(d->seq);
+            } else if (const auto* a = std::get_if<proto::Ack>(&msg)) {
+                h(Seq{2});
+                h(a->lo);
+                h(a->hi);
+            } else if (const auto* k = std::get_if<proto::Nak>(&msg)) {
+                h(Seq{3});
+                h(k->seq);
+            } else {
+                const auto& da = std::get<proto::DataAck>(msg);
+                h(Seq{4});
+                h(da.data.seq);
+                h(da.ack.lo);
+                h(da.ack.hi);
+            }
+        }
+    }
+
+    std::string to_string() const;
+
+private:
+    std::deque<Message> messages_;
+};
+
+}  // namespace bacp::channel

@@ -1,0 +1,57 @@
+#include "channel/set_channel.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace bacp::channel {
+
+void SetChannel::send(const Message& msg) {
+    const auto it = std::upper_bound(messages_.begin(), messages_.end(), msg);
+    messages_.insert(it, msg);
+}
+
+SetChannel::Message SetChannel::receive_at(std::size_t index) {
+    BACP_ASSERT_MSG(index < messages_.size(), "receive from empty channel position");
+    Message msg = messages_[index];
+    messages_.erase(messages_.begin() + static_cast<std::ptrdiff_t>(index));
+    return msg;
+}
+
+SetChannel::Message SetChannel::receive_random(Rng& rng) {
+    BACP_ASSERT_MSG(!messages_.empty(), "receive from empty channel");
+    return receive_at(static_cast<std::size_t>(rng.uniform(messages_.size())));
+}
+
+void SetChannel::lose_at(std::size_t index) {
+    BACP_ASSERT_MSG(index < messages_.size(), "loss from empty channel position");
+    messages_.erase(messages_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+std::size_t SetChannel::count_data(Seq m) const {
+    std::size_t count = 0;
+    for (const auto& msg : messages_) {
+        if (proto::is_data(msg, m)) ++count;
+    }
+    return count;
+}
+
+std::size_t SetChannel::count_ack_covering(Seq m) const {
+    std::size_t count = 0;
+    for (const auto& msg : messages_) {
+        if (proto::ack_covers(msg, m)) ++count;
+    }
+    return count;
+}
+
+std::string SetChannel::to_string() const {
+    std::ostringstream os;
+    os << "{";
+    for (std::size_t i = 0; i < messages_.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << proto::to_string(messages_[i]);
+    }
+    os << "}";
+    return os.str();
+}
+
+}  // namespace bacp::channel

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file set_channel.hpp
+/// The paper's abstract channel: "formally defined as a set of messages
+/// whose membership changes as new messages are sent into it or as old
+/// messages are lost or received from it."
+///
+/// Receiving picks an *arbitrary* element (message disorder is the default,
+/// not an error case); losing removes an arbitrary element.  The
+/// representation is a sorted multiset so that logically equal channels
+/// compare equal -- the explicit-state model checker depends on that
+/// canonical form.
+
+#include <compare>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "protocol/message.hpp"
+
+namespace bacp::channel {
+
+class SetChannel {
+public:
+    using Message = proto::Message;
+
+    std::size_t size() const { return messages_.size(); }
+    bool empty() const { return messages_.empty(); }
+
+    /// Adds a message to the channel.
+    void send(const Message& msg);
+
+    /// All messages currently in transit (sorted canonical order).
+    const std::vector<Message>& messages() const { return messages_; }
+
+    /// Message at position \p index (model checker enumerates indices).
+    const Message& at(std::size_t index) const {
+        BACP_ASSERT(index < messages_.size());
+        return messages_[index];
+    }
+
+    /// Removes and returns the message at \p index (a "receive").
+    Message receive_at(std::size_t index);
+
+    /// Removes and returns a uniformly random message (a random-order
+    /// receive, used by randomized executions).
+    Message receive_random(Rng& rng);
+
+    /// Removes the message at \p index without delivering it (a "loss").
+    void lose_at(std::size_t index);
+
+    /// Paper's *SR^m: number of data messages with sequence number \p m.
+    std::size_t count_data(Seq m) const;
+
+    /// Paper's *RS^m: number of acks (x, y) with x <= m <= y.
+    std::size_t count_ack_covering(Seq m) const;
+
+    friend bool operator==(const SetChannel&, const SetChannel&) = default;
+
+    template <typename H>
+    void feed(H&& h) const {
+        h(static_cast<Seq>(messages_.size()));
+        for (const auto& msg : messages_) {
+            if (const auto* d = std::get_if<proto::Data>(&msg)) {
+                h(Seq{1});
+                h(d->seq);
+            } else if (const auto* a = std::get_if<proto::Ack>(&msg)) {
+                h(Seq{2});
+                h(a->lo);
+                h(a->hi);
+            } else if (const auto* k = std::get_if<proto::Nak>(&msg)) {
+                h(Seq{3});
+                h(k->seq);
+            } else {
+                const auto& da = std::get<proto::DataAck>(msg);
+                h(Seq{4});
+                h(da.data.seq);
+                h(da.ack.lo);
+                h(da.ack.hi);
+            }
+        }
+    }
+
+    /// "{D(0), A(1,3)}" rendering for traces and counterexamples.
+    std::string to_string() const;
+
+private:
+    std::vector<Message> messages_;  // kept sorted (canonical multiset)
+};
+
+}  // namespace bacp::channel

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file assert.hpp
+/// Always-on assertion macro used to guard protocol invariants.
+///
+/// Unlike <cassert>, BACP_ASSERT is active in every build type: the
+/// library's correctness claims rest on invariants (assertions 6-8 of the
+/// paper) and silently continuing past a violation would invalidate every
+/// measurement made afterwards.  Violations throw bacp::AssertionError so
+/// tests can observe them and simulations can report a counterexample.
+
+#include <stdexcept>
+#include <string>
+
+namespace bacp {
+
+/// Thrown when a BACP_ASSERT condition fails.
+class AssertionError : public std::logic_error {
+public:
+    explicit AssertionError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+    std::string full = "assertion failed: ";
+    full += expr;
+    full += " at ";
+    full += file;
+    full += ":";
+    full += std::to_string(line);
+    if (!msg.empty()) {
+        full += " (";
+        full += msg;
+        full += ")";
+    }
+    throw AssertionError(full);
+}
+}  // namespace detail
+
+}  // namespace bacp
+
+#define BACP_ASSERT(cond)                                                      \
+    do {                                                                       \
+        if (!(cond)) ::bacp::detail::assert_fail(#cond, __FILE__, __LINE__, ""); \
+    } while (0)
+
+#define BACP_ASSERT_MSG(cond, msg)                                              \
+    do {                                                                        \
+        if (!(cond)) ::bacp::detail::assert_fail(#cond, __FILE__, __LINE__, msg); \
+    } while (0)

@@ -1,0 +1,38 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace bacp {
+
+const char* to_string(LogLevel level) {
+    switch (level) {
+        case LogLevel::Trace: return "TRACE";
+        case LogLevel::Debug: return "DEBUG";
+        case LogLevel::Info: return "INFO";
+        case LogLevel::Warn: return "WARN";
+        case LogLevel::Error: return "ERROR";
+        case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+
+Logger& Logger::instance() {
+    static Logger logger;
+    return logger;
+}
+
+Logger::Logger() {
+    sink_ = [](LogLevel level, const std::string& message) {
+        std::fprintf(stderr, "[%s] %s\n", to_string(level), message.c_str());
+    };
+}
+
+void Logger::set_sink(Sink sink) {
+    if (sink) sink_ = std::move(sink);
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+    if (enabled(level)) sink_(level, message);
+}
+
+}  // namespace bacp

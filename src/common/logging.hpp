@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file logging.hpp
+/// Minimal leveled logger.
+///
+/// The simulator is deterministic, so logs are primarily a debugging aid;
+/// the default sink is stderr and the default level is Warn to keep test
+/// and benchmark output clean.
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace bacp {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+const char* to_string(LogLevel level);
+
+/// Process-wide logger configuration.
+class Logger {
+public:
+    using Sink = std::function<void(LogLevel, const std::string&)>;
+
+    static Logger& instance();
+
+    void set_level(LogLevel level) { level_ = level; }
+    LogLevel level() const { return level_; }
+
+    /// Replaces the output sink (default writes to stderr).
+    void set_sink(Sink sink);
+
+    bool enabled(LogLevel level) const { return level >= level_ && level_ != LogLevel::Off; }
+    void write(LogLevel level, const std::string& message);
+
+private:
+    Logger();
+    LogLevel level_ = LogLevel::Warn;
+    Sink sink_;
+};
+
+namespace detail {
+/// Builds the message lazily; only evaluated when the level is enabled.
+class LogLine {
+public:
+    LogLine(LogLevel level) : level_(level) {}
+    ~LogLine() { Logger::instance().write(level_, stream_.str()); }
+    template <typename T>
+    LogLine& operator<<(const T& value) {
+        stream_ << value;
+        return *this;
+    }
+
+private:
+    LogLevel level_;
+    std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace bacp
+
+#define BACP_LOG(level)                                   \
+    if (!::bacp::Logger::instance().enabled(level)) {     \
+    } else                                                \
+        ::bacp::detail::LogLine(level)
+
+#define BACP_LOG_TRACE BACP_LOG(::bacp::LogLevel::Trace)
+#define BACP_LOG_DEBUG BACP_LOG(::bacp::LogLevel::Debug)
+#define BACP_LOG_INFO BACP_LOG(::bacp::LogLevel::Info)
+#define BACP_LOG_WARN BACP_LOG(::bacp::LogLevel::Warn)
+#define BACP_LOG_ERROR BACP_LOG(::bacp::LogLevel::Error)

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file ring_buffer.hpp
+/// Fixed-capacity FIFO ring buffer.
+///
+/// Used for bounded send/receive queues where overflow must be an explicit,
+/// observable condition rather than a reallocation.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace bacp {
+
+template <typename T>
+class RingBuffer {
+public:
+    explicit RingBuffer(std::size_t capacity) : items_(capacity) {
+        BACP_ASSERT_MSG(capacity > 0, "ring buffer capacity must be positive");
+    }
+
+    std::size_t capacity() const { return items_.size(); }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == items_.size(); }
+
+    /// Appends \p value; returns false (and drops it) when full.
+    bool push(T value) {
+        if (full()) return false;
+        items_[(head_ + size_) % items_.size()] = std::move(value);
+        ++size_;
+        return true;
+    }
+
+    /// Removes and returns the oldest element.  Precondition: !empty().
+    T pop() {
+        BACP_ASSERT_MSG(!empty(), "pop() on empty ring buffer");
+        T value = std::move(items_[head_]);
+        head_ = (head_ + 1) % items_.size();
+        --size_;
+        return value;
+    }
+
+    /// Oldest element.  Precondition: !empty().
+    const T& front() const {
+        BACP_ASSERT_MSG(!empty(), "front() on empty ring buffer");
+        return items_[head_];
+    }
+
+    /// Element \p i positions from the front.  Precondition: i < size().
+    const T& at(std::size_t i) const {
+        BACP_ASSERT_MSG(i < size_, "ring buffer index out of range");
+        return items_[(head_ + i) % items_.size()];
+    }
+
+    void clear() {
+        head_ = 0;
+        size_ = 0;
+    }
+
+private:
+    std::vector<T> items_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+}  // namespace bacp

@@ -1,0 +1,18 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace bacp {
+
+double Rng::exponential(double mean) {
+    BACP_ASSERT_MSG(mean > 0.0, "exponential() mean must be positive");
+    // Inverse CDF; 1 - u avoids log(0).
+    return -mean * std::log(1.0 - uniform01());
+}
+
+double Rng::pareto(double scale, double alpha) {
+    BACP_ASSERT_MSG(scale > 0.0 && alpha > 0.0, "pareto() parameters must be positive");
+    return scale / std::pow(1.0 - uniform01(), 1.0 / alpha);
+}
+
+}  // namespace bacp

@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation.
+///
+/// Every stochastic component of the simulator (loss, delay, receive
+/// order) draws from an explicitly seeded Rng so that any run -- including
+/// a failing property test -- can be replayed exactly from its seed.
+/// The generator is xoshiro256**, seeded via splitmix64, following the
+/// reference implementations of Blackman & Vigna.
+
+#include <array>
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace bacp {
+
+/// splitmix64 step; used for seeding and as a cheap standalone mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator with convenience distributions.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Constructs a generator whose full 256-bit state is derived from
+    /// \p seed with splitmix64 (as recommended by the algorithm authors).
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+    /// Re-derives the state from \p seed; afterwards the stream is
+    /// identical to a freshly constructed Rng(seed).
+    void reseed(std::uint64_t seed) {
+        std::uint64_t sm = seed;
+        for (auto& word : state_) word = splitmix64(sm);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /// Next raw 64-bit output.
+    result_type operator()() {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound).  \p bound must be positive.
+    /// Uses Lemire's multiply-shift rejection method (no modulo bias).
+    std::uint64_t uniform(std::uint64_t bound) {
+        BACP_ASSERT_MSG(bound > 0, "uniform() bound must be positive");
+        // 128-bit multiply; rejection keeps the distribution exact.
+        std::uint64_t x = (*this)();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            const std::uint64_t threshold = (0 - bound) % bound;
+            while (lo < threshold) {
+                x = (*this)();
+                m = static_cast<__uint128_t>(x) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::uint64_t uniform_in(std::uint64_t lo, std::uint64_t hi) {
+        BACP_ASSERT(lo <= hi);
+        return lo + uniform(hi - lo + 1);
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform01() {
+        // 53 random bits scaled into [0,1).
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /// Bernoulli trial with success probability \p p (clamped to [0,1]).
+    bool chance(double p) {
+        if (p <= 0.0) return false;
+        if (p >= 1.0) return true;
+        return uniform01() < p;
+    }
+
+    /// Exponentially distributed double with the given mean (> 0).
+    double exponential(double mean);
+
+    /// Bounded Pareto-ish heavy tail: mean roughly \p mean, shape alpha.
+    double pareto(double scale, double alpha);
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace bacp

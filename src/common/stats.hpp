@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file stats.hpp
+/// Streaming summary statistics (Welford's algorithm).
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace bacp {
+
+/// Accumulates count / mean / variance / min / max of a stream of doubles
+/// in O(1) memory, numerically stable (Welford).
+class RunningStats {
+public:
+    /// Adds one observation.
+    void add(double x);
+
+    /// Merges another accumulator into this one (parallel-safe combine).
+    void merge(const RunningStats& other);
+
+    /// Removes all observations.
+    void reset() { *this = RunningStats{}; }
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    /// Population variance; 0 for fewer than two observations.
+    double variance() const;
+    /// Sample standard deviation; 0 for fewer than two observations.
+    double stddev() const;
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    /// Human-readable one-line summary, e.g. "n=10 mean=4.2 sd=1.1 [1,9]".
+    std::string summary() const;
+
+private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace bacp

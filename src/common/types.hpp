@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file types.hpp
+/// Fundamental scalar types shared across the library.
+
+#include <cstdint>
+
+namespace bacp {
+
+/// Unbounded (64-bit) message sequence number.  The abstract protocol of
+/// paper SII draws sequence numbers from the naturals; 64 bits is
+/// inexhaustible for any simulation we run.
+using Seq = std::uint64_t;
+
+/// Sequence number transmitted on the wire by the bounded protocol of
+/// paper SV: a residue modulo n = 2w.
+using WireSeq = std::uint32_t;
+
+/// Simulated time in integer nanoseconds.  Integer time keeps the
+/// discrete-event simulator exactly reproducible across platforms.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+namespace literals {
+constexpr SimTime operator""_ns(unsigned long long v) { return static_cast<SimTime>(v); }
+constexpr SimTime operator""_us(unsigned long long v) { return static_cast<SimTime>(v) * kMicrosecond; }
+constexpr SimTime operator""_ms(unsigned long long v) { return static_cast<SimTime>(v) * kMillisecond; }
+constexpr SimTime operator""_s(unsigned long long v) { return static_cast<SimTime>(v) * kSecond; }
+}  // namespace literals
+
+/// Converts simulated time to (floating) seconds for reporting.
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / static_cast<double>(kSecond); }
+
+}  // namespace bacp

@@ -1,0 +1,242 @@
+#include "link/link_endpoints.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "protocol/seqnum.hpp"
+#include "runtime/ack_clip.hpp"
+#include "wire/codec.hpp"
+
+namespace bacp::link {
+
+// --------------------------------------------------------------- LinkSender
+
+LinkSender::LinkSender(sim::Simulator& sim, ByteChannel& data_out, EndpointConfig config)
+    : cfg_(config),
+      sim_(sim),
+      data_out_(data_out),
+      sender_(cfg_.w),
+      horizon_timer_(sim, [this] { pump(); }) {
+    timeout_ = cfg_.timeout > 0
+                   ? cfg_.timeout
+                   : 2 * cfg_.path_lifetime + cfg_.ack_policy.max_ack_delay() + kMillisecond;
+}
+
+void LinkSender::send(std::vector<std::uint8_t> payload) {
+    queue_.push_back(std::move(payload));
+    pump();
+}
+
+bool LinkSender::horizon_blocks() {
+    if (horizon_until_ <= sim_.now()) {
+        horizon_cap_ = kNoCap;
+        return false;
+    }
+    return ghost_ns_ >= horizon_cap_;
+}
+
+void LinkSender::note_horizon(Seq true_seq) {
+    const auto it = last_tx_.find(true_seq);
+    if (it == last_tx_.end()) return;
+    const SimTime copy_gone = it->second + cfg_.path_lifetime;
+    if (copy_gone <= sim_.now()) return;
+    horizon_until_ = std::max(horizon_until_, copy_gone);
+    horizon_cap_ = std::min(horizon_cap_, true_seq + cfg_.w);
+}
+
+void LinkSender::pump() {
+    while (!queue_.empty() && sender_.can_send_new()) {
+        if (horizon_blocks()) {
+            if (!horizon_timer_.armed()) horizon_timer_.restart(horizon_until_ - sim_.now());
+            return;
+        }
+        sender_.send_new();  // residue == ghost_ns_ mod 2w by construction
+        const Seq true_seq = ghost_ns_++;
+        window_payloads_.emplace(true_seq, std::move(queue_.front()));
+        queue_.pop_front();
+        transmit(true_seq, /*retx=*/false);
+    }
+}
+
+void LinkSender::transmit(Seq true_seq, bool retx) {
+    if (retx) ++retransmissions_;
+    const auto payload = window_payloads_.find(true_seq);
+    BACP_ASSERT_MSG(payload != window_payloads_.end(), "transmit without stored payload");
+    const Seq residue = true_seq % sender_.domain();
+    data_out_.send(wire::encode_data(residue,
+                                     std::span<const std::uint8_t>(payload->second.data(),
+                                                                   payload->second.size()),
+                                     wire::kFlagBoundedSeq, cfg_.stream));
+    last_tx_[true_seq] = sim_.now();
+    sim_.schedule_after(timeout_, [this, true_seq] { per_message_fire(true_seq); });
+}
+
+void LinkSender::per_message_fire(Seq true_seq) {
+    if (true_seq < ghost_na_) {
+        last_tx_.erase(true_seq);
+        return;
+    }
+    const auto it = last_tx_.find(true_seq);
+    if (it == last_tx_.end()) return;
+    if (sim_.now() - it->second < timeout_) return;
+    const Seq residue = true_seq % sender_.domain();
+    if (!sender_.can_resend(residue)) return;
+    if (true_seq != ghost_na_ && !sender_.acked_beyond(residue)) return;  // hole gate
+    transmit(true_seq, /*retx=*/true);
+}
+
+void LinkSender::rescan_matured() {
+    for (const Seq residue : sender_.resend_candidates()) {
+        const Seq true_seq =
+            ghost_na_ + proto::mod_offset(sender_.na_mod(), residue, sender_.domain());
+        const auto it = last_tx_.find(true_seq);
+        if (it == last_tx_.end() || sim_.now() - it->second < timeout_) continue;
+        if (true_seq != ghost_na_ && !sender_.acked_beyond(residue)) continue;
+        transmit(true_seq, /*retx=*/true);
+    }
+}
+
+void LinkSender::on_nak(Seq residue) {
+    if (residue >= sender_.domain()) return;
+    const Seq off = proto::mod_offset(sender_.na_mod(), residue, sender_.domain());
+    if (off >= sender_.outstanding()) return;  // stale
+    const Seq true_seq = ghost_na_ + off;
+    if (!sender_.can_resend(residue)) return;
+    const auto it = last_tx_.find(true_seq);
+    if (it == last_tx_.end()) return;
+    if (sim_.now() - it->second < cfg_.path_lifetime) return;  // previous copy may live
+    ++fast_retx_;
+    transmit(true_seq, /*retx=*/true);
+}
+
+void LinkSender::on_frame(const ByteChannel::Frame& frame) {
+    const auto decoded = wire::decode(std::span<const std::uint8_t>(frame.data(), frame.size()));
+    if (!decoded.ok()) {
+        ++frames_rejected_;
+        return;
+    }
+    if (const auto* nak = std::get_if<wire::NakFrame>(&decoded.frame())) {
+        on_nak(nak->seq);
+        return;
+    }
+    const auto* ack = std::get_if<wire::AckFrame>(&decoded.frame());
+    if (ack == nullptr || ack->lo >= sender_.domain() || ack->hi >= sender_.domain()) {
+        ++frames_rejected_;
+        return;
+    }
+    for (const auto& run : runtime::clip_ack_bounded(sender_, proto::Ack{ack->lo, ack->hi})) {
+        const Seq before = sender_.na_mod();
+        const Seq lo_true = ghost_na_ + proto::mod_offset(before, run.lo, sender_.domain());
+        const Seq hi_true = ghost_na_ + proto::mod_offset(before, run.hi, sender_.domain());
+        for (Seq t = lo_true; t <= hi_true; ++t) note_horizon(t);
+        sender_.on_ack(run);
+        const Seq advanced = proto::mod_offset(before, sender_.na_mod(), sender_.domain());
+        for (Seq i = 0; i < advanced; ++i) {
+            window_payloads_.erase(ghost_na_ + i);
+            last_tx_.erase(ghost_na_ + i);
+        }
+        ghost_na_ += advanced;
+    }
+    pump();
+    rescan_matured();
+}
+
+// ------------------------------------------------------------- LinkReceiver
+
+LinkReceiver::LinkReceiver(sim::Simulator& sim, ByteChannel& ack_out, EndpointConfig config)
+    : cfg_(config),
+      sim_(sim),
+      ack_out_(ack_out),
+      receiver_(cfg_.w),
+      ack_flush_timer_(sim, [this] { flush_ack(); }) {}
+
+void LinkReceiver::on_frame(const ByteChannel::Frame& frame) {
+    const auto decoded = wire::decode(std::span<const std::uint8_t>(frame.data(), frame.size()));
+    if (!decoded.ok()) {
+        ++frames_rejected_;
+        return;
+    }
+    const auto* data = std::get_if<wire::DataFrame>(&decoded.frame());
+    if (data == nullptr) {
+        ++frames_rejected_;
+        return;
+    }
+    const Seq n = receiver_.domain();
+    const Seq w = receiver_.window();
+    const Seq residue = data->seq;
+    if (residue >= n) {
+        ++frames_rejected_;
+        return;
+    }
+    const Seq base = proto::mod_sub(receiver_.nr_mod(), w, n);
+    const Seq offset = proto::mod_offset(base, residue, n);
+    const auto dup = receiver_.on_data(proto::Data{residue});
+    if (dup) {
+        send_ack_frame(dup->lo, dup->hi);
+        return;
+    }
+    const Seq true_seq = ghost_nr_ + (offset - w);
+    if (true_seq >= ghost_vr_) {
+        reorder_buffer_[true_seq] = data->payload;
+    }
+    bool advanced = false;
+    while (receiver_.can_advance()) {
+        advanced = true;
+        receiver_.advance();
+        const Seq seq = ghost_vr_++;
+        const auto buffered = reorder_buffer_.find(seq);
+        BACP_ASSERT_MSG(buffered != reorder_buffer_.end(), "delivering unbuffered payload");
+        ++delivered_;
+        if (on_deliver_) {
+            on_deliver_(std::span<const std::uint8_t>(buffered->second.data(),
+                                                      buffered->second.size()));
+        }
+        reorder_buffer_.erase(buffered);
+    }
+    if (advanced) {
+        ooo_since_advance_ = 0;
+    } else {
+        ++ooo_since_advance_;
+        maybe_send_nak();
+    }
+    const Seq pending = receiver_.pending();
+    if (pending >= cfg_.ack_policy.threshold) {
+        flush_ack();
+    } else if (pending > 0 && !ack_flush_timer_.armed()) {
+        ack_flush_timer_.restart(cfg_.ack_policy.flush_delay);
+    }
+}
+
+void LinkReceiver::maybe_send_nak() {
+    if (!cfg_.enable_nak || ooo_since_advance_ < cfg_.nak_threshold) return;
+    const Seq missing = receiver_.vr_mod();
+    if (last_nak_field_ == missing && sim_.now() - last_nak_time_ < 2 * cfg_.path_lifetime) {
+        return;
+    }
+    last_nak_field_ = missing;
+    last_nak_time_ = sim_.now();
+    ++naks_sent_;
+    ack_out_.send(wire::encode_nak(missing, wire::kFlagBoundedSeq, cfg_.stream));
+}
+
+void LinkReceiver::flush_ack() {
+    ack_flush_timer_.cancel();
+    const Seq pending = receiver_.pending();
+    if (pending == 0) return;
+    const proto::Ack ack = receiver_.make_ack();
+    ghost_nr_ += pending;
+    send_ack_frame(ack.lo, ack.hi);
+}
+
+void LinkReceiver::send_ack_frame(Seq lo, Seq hi) {
+    if (lo <= hi) {
+        ack_out_.send(wire::encode_ack(lo, hi, wire::kFlagBoundedSeq, cfg_.stream));
+        return;
+    }
+    // Wrapped residue range: split at the domain boundary.
+    const Seq n = receiver_.domain();
+    ack_out_.send(wire::encode_ack(lo, n - 1, wire::kFlagBoundedSeq, cfg_.stream));
+    ack_out_.send(wire::encode_ack(0, hi, wire::kFlagBoundedSeq, cfg_.stream));
+}
+
+}  // namespace bacp::link

@@ -1,0 +1,173 @@
+#pragma once
+
+/// \file link_endpoints.hpp
+/// Composable one-direction link endpoints.
+///
+/// LinkSender originates payload-bearing DATA frames and consumes
+/// ACK/NAK frames; LinkReceiver consumes DATA frames and originates
+/// ACK/NAK frames.  Unlike ReliableLink (which bundles both ends and the
+/// channels for the common point-to-point case), the endpoints bind to
+/// *externally owned* ByteChannels, so arbitrary topologies can be built:
+/// multi-hop relay paths, hop-by-hop reliability chains, asymmetric
+/// routes (see examples/multihop.cpp and bench_e14_multihop).
+///
+/// Both run the paper's fully bounded protocol (SV) with the realistic
+/// disciplines of PROTOCOL.md SS6: conservative per-message timers,
+/// hole-gated retransmission, SACK-style ack clipping, the send-horizon
+/// rule, and optional NAK fast retransmit.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ba/bounded_receiver.hpp"
+#include "ba/bounded_sender.hpp"
+#include "common/types.hpp"
+#include "link/byte_channel.hpp"
+#include "runtime/ack_policy.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace bacp::link {
+
+/// "No stream tag" sentinel (mirrors wire::kNoStream).
+inline constexpr Seq kUntaggedStream = ~Seq{0};
+
+/// Shared endpoint parameters.
+struct EndpointConfig {
+    Seq w = 16;
+    /// When not kUntaggedStream, every emitted frame carries this stream
+    /// id (kFlagStream); used by StreamMux to share one channel pair.
+    Seq stream = kUntaggedStream;
+    /// Upper bound on one-way frame transit time over the path between
+    /// the endpoints (propagation + queueing + relays).  Drives the
+    /// conservative timeout, the send-horizon rule, and NAK gating.
+    SimTime path_lifetime = 6 * kMillisecond;
+    SimTime timeout = 0;  // 0 = derive: 2*path_lifetime + ack delay + 1ms
+    runtime::AckPolicy ack_policy = runtime::AckPolicy::eager();
+    bool enable_nak = false;
+    Seq nak_threshold = 3;
+};
+
+class LinkSender {
+public:
+    /// \p data_out carries DATA frames toward the receiver; incoming
+    /// ACK/NAK frames must be fed to on_frame() by the owner.
+    LinkSender(sim::Simulator& sim, ByteChannel& data_out, EndpointConfig config);
+    LinkSender(const LinkSender&) = delete;
+    LinkSender& operator=(const LinkSender&) = delete;
+
+    /// Enqueues a payload for reliable transmission.
+    void send(std::vector<std::uint8_t> payload);
+
+    /// Feeds one frame arriving on the reverse path (ACK or NAK).
+    void on_frame(const ByteChannel::Frame& frame);
+
+    std::size_t queued() const { return queue_.size(); }
+    Seq sent_count() const { return ghost_ns_; }
+    bool idle() const { return queue_.empty() && sender_.outstanding() == 0; }
+    std::uint64_t retransmissions() const { return retransmissions_; }
+    std::uint64_t fast_retransmissions() const { return fast_retx_; }
+    std::uint64_t frames_rejected() const { return frames_rejected_; }
+    SimTime timeout_value() const { return timeout_; }
+
+private:
+    void pump();
+    bool horizon_blocks();
+    void note_horizon(Seq true_seq);
+    void transmit(Seq true_seq, bool retx);
+    void per_message_fire(Seq true_seq);
+    void rescan_matured();
+    void on_nak(Seq residue);
+
+    EndpointConfig cfg_;
+    sim::Simulator& sim_;
+    ByteChannel& data_out_;
+    ba::BoundedSender sender_;
+    sim::Timer horizon_timer_;
+    SimTime timeout_ = 0;
+
+    std::deque<std::vector<std::uint8_t>> queue_;
+    std::unordered_map<Seq, std::vector<std::uint8_t>> window_payloads_;
+    std::unordered_map<Seq, SimTime> last_tx_;
+    Seq ghost_na_ = 0;
+    Seq ghost_ns_ = 0;
+    static constexpr Seq kNoCap = ~Seq{0};
+    SimTime horizon_until_ = 0;
+    Seq horizon_cap_ = kNoCap;
+    std::uint64_t retransmissions_ = 0;
+    std::uint64_t fast_retx_ = 0;
+    std::uint64_t frames_rejected_ = 0;
+};
+
+class LinkReceiver {
+public:
+    using DeliverFn = std::function<void(std::span<const std::uint8_t>)>;
+
+    /// \p ack_out carries ACK/NAK frames back toward the sender; incoming
+    /// DATA frames must be fed to on_frame() by the owner.
+    LinkReceiver(sim::Simulator& sim, ByteChannel& ack_out, EndpointConfig config);
+    LinkReceiver(const LinkReceiver&) = delete;
+    LinkReceiver& operator=(const LinkReceiver&) = delete;
+
+    void set_on_deliver(DeliverFn fn) { on_deliver_ = std::move(fn); }
+
+    /// Feeds one frame arriving on the forward path (DATA).
+    void on_frame(const ByteChannel::Frame& frame);
+
+    Seq delivered_count() const { return delivered_; }
+    std::uint64_t frames_rejected() const { return frames_rejected_; }
+    std::uint64_t naks_sent() const { return naks_sent_; }
+
+private:
+    void flush_ack();
+    void send_ack_frame(Seq lo, Seq hi);
+    void maybe_send_nak();
+
+    EndpointConfig cfg_;
+    sim::Simulator& sim_;
+    ByteChannel& ack_out_;
+    ba::BoundedReceiver receiver_;
+    sim::Timer ack_flush_timer_;
+    DeliverFn on_deliver_;
+
+    std::unordered_map<Seq, std::vector<std::uint8_t>> reorder_buffer_;
+    Seq ghost_nr_ = 0;
+    Seq ghost_vr_ = 0;
+    Seq delivered_ = 0;
+    std::uint64_t frames_rejected_ = 0;
+    std::uint64_t naks_sent_ = 0;
+    Seq ooo_since_advance_ = 0;
+    Seq last_nak_field_ = ~Seq{0};
+    SimTime last_nak_time_ = 0;
+};
+
+/// Store-and-forward frame relay: accepts frames from an upstream channel
+/// and re-emits them downstream after a processing delay.  Relays are
+/// oblivious to frame contents (they forward corrupted frames too -- CRC
+/// is end-to-end).
+class FrameRelay {
+public:
+    FrameRelay(sim::Simulator& sim, ByteChannel& downstream,
+               SimTime processing_delay = 50 * kMicrosecond)
+        : sim_(sim), downstream_(downstream), processing_delay_(processing_delay) {}
+
+    void on_frame(const ByteChannel::Frame& frame) {
+        ++forwarded_;
+        sim_.schedule_after(processing_delay_,
+                            [this, frame] { downstream_.send(frame); });
+    }
+
+    std::uint64_t forwarded() const { return forwarded_; }
+
+private:
+    sim::Simulator& sim_;
+    ByteChannel& downstream_;
+    SimTime processing_delay_;
+    std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace bacp::link

@@ -1,0 +1,35 @@
+#include "protocol/message.hpp"
+
+#include <sstream>
+
+namespace bacp::proto {
+
+std::string to_string(const Data& msg) {
+    std::ostringstream os;
+    os << "D(" << msg.seq << ")";
+    return os.str();
+}
+
+std::string to_string(const Ack& msg) {
+    std::ostringstream os;
+    os << "A(" << msg.lo << "," << msg.hi << ")";
+    return os.str();
+}
+
+std::string to_string(const Nak& msg) {
+    std::ostringstream os;
+    os << "N(" << msg.seq << ")";
+    return os.str();
+}
+
+std::string to_string(const DataAck& msg) {
+    std::ostringstream os;
+    os << "D+A(" << msg.data.seq << ";" << msg.ack.lo << "," << msg.ack.hi << ")";
+    return os.str();
+}
+
+std::string to_string(const Message& msg) {
+    return std::visit([](const auto& m) { return to_string(m); }, msg);
+}
+
+}  // namespace bacp::proto

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file message.hpp
+/// Abstract protocol messages.
+///
+/// Following paper SII, a data message "consists solely of its sequence
+/// number"; an acknowledgment carries the block pair (lo, hi) and
+/// acknowledges every data message with sequence number in [lo, hi].
+/// Payload bytes are a concern of the link layer (src/link), which maps
+/// sequence numbers to user buffers on both sides.
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace bacp::proto {
+
+/// Data message: just a sequence number (unbounded protocols use the full
+/// 64-bit value; bounded ones transmit a residue mod n = 2w).
+struct Data {
+    Seq seq = 0;
+    friend auto operator<=>(const Data&, const Data&) = default;
+};
+
+/// Block acknowledgment (lo, hi): acknowledges all data messages with
+/// sequence numbers in [lo, hi].  Invariant: lo <= hi.
+struct Ack {
+    Seq lo = 0;
+    Seq hi = 0;
+    friend auto operator<=>(const Ack&, const Ack&) = default;
+
+    /// True when this ack covers sequence number \p m (paper's *RS^m test).
+    bool covers(Seq m) const { return lo <= m && m <= hi; }
+};
+
+/// Negative acknowledgment (protocol extension, not part of the paper's
+/// core): the receiver reports that it currently lacks the message with
+/// sequence number \p seq (its nr).  A NAK is a receiver-assisted oracle
+/// for timeout(i)'s "(i < nr || !rcvd[i])" conjunct: it lets the sender
+/// fast-retransmit without waiting out a conservative timer.  NAKs are
+/// advisory -- losing or duplicating them affects only latency.
+struct Nak {
+    Seq seq = 0;
+    friend auto operator<=>(const Nak&, const Nak&) = default;
+};
+
+/// Piggybacked data + acknowledgment (duplex extension): when traffic
+/// flows both ways, an endpoint rides its pending block acknowledgment on
+/// an outgoing data message instead of spending a separate frame -- the
+/// classic full-duplex refinement of every window protocol.
+struct DataAck {
+    Data data;
+    Ack ack;
+    friend auto operator<=>(const DataAck&, const DataAck&) = default;
+};
+
+/// Any message that can sit in a channel.
+using Message = std::variant<Data, Ack, Nak, DataAck>;
+
+/// True if \p msg is a data message with the given sequence number.
+inline bool is_data(const Message& msg, Seq seq) {
+    const auto* d = std::get_if<Data>(&msg);
+    return d != nullptr && d->seq == seq;
+}
+
+/// True if \p msg is an ack covering sequence number \p m.
+inline bool ack_covers(const Message& msg, Seq m) {
+    const auto* a = std::get_if<Ack>(&msg);
+    return a != nullptr && a->covers(m);
+}
+
+/// Compact rendering, e.g. "D(5)", "A(2,4)", "N(3)", for traces and tests.
+std::string to_string(const Message& msg);
+std::string to_string(const Data& msg);
+std::string to_string(const Ack& msg);
+std::string to_string(const Nak& msg);
+std::string to_string(const DataAck& msg);
+
+}  // namespace bacp::proto

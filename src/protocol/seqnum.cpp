@@ -1,0 +1,39 @@
+#include "protocol/seqnum.hpp"
+
+// All of seqnum.hpp is constexpr; this translation unit pins the library
+// and hosts compile-time checks of the paper's equations (13) and (14).
+
+namespace bacp::proto {
+
+namespace {
+
+// Equation 13: for 0 <= x <= y < x + n,
+//   (x div n) == (y div n)  iff  (y mod n) >= (x mod n).
+constexpr bool check_eq13(Seq x, Seq y, Seq n) {
+    return ((x / n) == (y / n)) == ((y % n) >= (x % n));
+}
+
+// Equation 14: for 0 <= x <= y < x + n,
+//   (1 + (x div n)) == (y div n)  iff  (y mod n) < (x mod n).
+constexpr bool check_eq14(Seq x, Seq y, Seq n) {
+    return ((1 + (x / n)) == (y / n)) == ((y % n) < (x % n));
+}
+
+constexpr bool check_small_domain() {
+    for (Seq n = 1; n <= 8; ++n) {
+        for (Seq x = 0; x < 3 * n; ++x) {
+            for (Seq y = x; y < x + n; ++y) {
+                if (!check_eq13(x, y, n)) return false;
+                if (!check_eq14(x, y, n)) return false;
+                if (reconstruct(x, to_wire(y, n), n) != y) return false;
+            }
+        }
+    }
+    return true;
+}
+
+static_assert(check_small_domain(), "paper equations (13)/(14) must hold");
+
+}  // namespace
+
+}  // namespace bacp::proto

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file seqnum.hpp
+/// Sequence-number algebra for the bounded protocol of paper SV.
+///
+/// The paper's development: sender and receiver keep monotonically
+/// increasing counters internally but transmit residues (m mod n) with
+/// n = 2w.  A receiver of a residue reconstructs the true value with the
+/// function f (equations 13/14), valid whenever the true value y satisfies
+/// x <= y < x + n for a locally known anchor x:
+///
+///     f(x, y') = y' + n*(x div n)        if y' >= (x mod n)
+///              = y' + n*(1 + (x div n))  if y' <  (x mod n)
+///
+/// where y' = y mod n.  Anchors come from the invariants:
+///   (9,10)  na <= i <= j < na + w        (sender, action 1)
+///   (11)    max(0, nr - w) <= v < nr + w (receiver, action 3)
+///
+/// The fully bounded protocol (end of SV) never materializes true values:
+/// all state is kept mod n and comparisons are done on residue
+/// differences, which are exact whenever the true difference is known to
+/// lie in [0, n).  mod_offset() provides that primitive.
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace bacp::proto {
+
+/// y mod n for the wire.
+constexpr WireSeq to_wire(Seq y, Seq n) { return static_cast<WireSeq>(y % n); }
+
+/// Paper's f(x, y'): reconstructs the true sequence number y from its
+/// residue \p y_mod, given an anchor \p x with x <= y < x + n.
+constexpr Seq reconstruct(Seq x, WireSeq y_mod, Seq n) {
+    const Seq xm = x % n;
+    const Seq xd = x / n;
+    if (y_mod >= xm) return y_mod + n * xd;
+    return y_mod + n * (xd + 1);
+}
+
+/// Exact difference b - a given residues mod n, valid when the true
+/// difference lies in [0, n).  This is the primitive used by the fully
+/// bounded protocol for every comparison (e.g. "ns < na + w" becomes
+/// mod_offset(na', ns', n) < w).
+constexpr Seq mod_offset(Seq a_mod, Seq b_mod, Seq n) {
+    BACP_ASSERT(a_mod < n && b_mod < n);
+    return (b_mod + n - a_mod) % n;
+}
+
+/// (a + d) mod n.
+constexpr Seq mod_add(Seq a_mod, Seq d, Seq n) { return (a_mod + d % n) % n; }
+
+/// (a - d) mod n.
+constexpr Seq mod_sub(Seq a_mod, Seq d, Seq n) { return (a_mod + n - d % n) % n; }
+
+/// Sequence-number domain sizing: the paper proves n = 2w suffices.
+constexpr Seq domain_for_window(Seq w) { return 2 * w; }
+
+/// True when the true value of \p v_mod (receiver side, anchor nr) is
+/// below nr, i.e. the message is a duplicate of an accepted message.
+/// Derivation: v - (nr - w) in [0, 2w) by invariant 11 (and v >= 0),
+/// so offset = (v' - (nr' - w)) mod n is exact and v < nr iff offset < w.
+constexpr bool wire_before_nr(Seq v_mod, Seq nr_mod, Seq w) {
+    const Seq n = domain_for_window(w);
+    const Seq base = mod_sub(nr_mod, w, n);
+    return mod_offset(base, v_mod, n) < w;
+}
+
+/// Receiver-side slot of sequence number \p v_mod in a size-w buffer.
+constexpr Seq wire_slot(Seq v_mod, Seq w) { return v_mod % w; }
+
+}  // namespace bacp::proto

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file window.hpp
+/// Window-scoped boolean array.
+///
+/// Paper SII reasons over infinite arrays ackd[0..] and rcvd[0..]; SV shows
+/// that only a w-slot window of each is ever consulted:
+///   - sender: ackd[na .. ns-1]   (everything below na is true, above false)
+///   - receiver: rcvd[vr .. *]    (everything below vr is true)
+/// WindowBitmap realizes exactly that representation: a base sequence
+/// number plus w bits, with the closed-form answer outside the window.
+/// Storage is circular so sliding the base is O(1) per step; equality and
+/// hashing compare *logical* content (the model checker relies on states
+/// being canonical).
+
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace bacp::proto {
+
+class WindowBitmap {
+public:
+    /// Window of \p width bits starting at sequence number \p base.
+    /// Everything below base reads true; everything at or beyond
+    /// base+width reads false.
+    explicit WindowBitmap(Seq width, Seq base = 0) : base_(base), bits_(width, false) {
+        BACP_ASSERT_MSG(width > 0, "window width must be positive");
+    }
+
+    Seq base() const { return base_; }
+    Seq width() const { return bits_.size(); }
+
+    /// Logical array lookup at any sequence number.
+    bool test(Seq m) const {
+        if (m < base_) return true;
+        if (m >= base_ + width()) return false;
+        return bits_[slot(m)];
+    }
+
+    /// Sets position \p m (must lie inside the window).
+    void set(Seq m) {
+        BACP_ASSERT_MSG(m >= base_ && m < base_ + width(), "set outside window");
+        bits_[slot(m)] = true;
+    }
+
+    /// Slides the base forward to \p new_base.  Every position the base
+    /// moves past must already be set (they become implicitly true).
+    void advance_to(Seq new_base) {
+        BACP_ASSERT(new_base >= base_);
+        while (base_ < new_base) {
+            BACP_ASSERT_MSG(bits_[start_], "advancing past an unset position");
+            bits_[start_] = false;  // the slot is recycled for base + width
+            start_ = start_ + 1 == bits_.size() ? 0 : start_ + 1;
+            ++base_;
+        }
+    }
+
+    /// Number of set bits inside the window.
+    Seq popcount() const {
+        Seq count = 0;
+        for (const bool bit : bits_) count += bit ? 1 : 0;
+        return count;
+    }
+
+    /// Logical equality (representation-independent).
+    friend bool operator==(const WindowBitmap& a, const WindowBitmap& b) {
+        if (a.base_ != b.base_ || a.bits_.size() != b.bits_.size()) return false;
+        for (Seq m = a.base_; m < a.base_ + a.width(); ++m) {
+            if (a.bits_[a.slot(m)] != b.bits_[b.slot(m)]) return false;
+        }
+        return true;
+    }
+
+    /// Stable hash feed: base then logical bits.
+    template <typename H>
+    void feed(H&& h) const {
+        h(base_);
+        for (Seq m = base_; m < base_ + width(); ++m) h(static_cast<Seq>(bits_[slot(m)]));
+    }
+
+private:
+    std::size_t slot(Seq m) const {
+        const std::size_t offset = static_cast<std::size_t>(m - base_);
+        const std::size_t raw = start_ + offset;
+        return raw >= bits_.size() ? raw - bits_.size() : raw;
+    }
+
+    Seq base_;
+    std::size_t start_ = 0;  // circular index of base_
+    std::vector<bool> bits_;
+};
+
+}  // namespace bacp::proto

@@ -1,0 +1,84 @@
+#include "runtime/abp_session.hpp"
+
+namespace bacp::runtime {
+
+namespace {
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
+    std::uint64_t s = seed ^ (salt * 0x9e3779b97f4a7c15ULL);
+    return splitmix64(s);
+}
+
+LinkSpec force_fifo(LinkSpec spec) {
+    spec.fifo = true;  // ABP is only correct over FIFO channels
+    return spec;
+}
+}  // namespace
+
+AbpSession::AbpSession(AbpConfig config)
+    : cfg_(std::move(config)),
+      rng_data_(mix_seed(cfg_.seed, 0xd1)),
+      rng_ack_(mix_seed(cfg_.seed, 0xac)),
+      data_ch_(sim_, rng_data_, force_fifo(cfg_.data_link).make_config(), "C_SR"),
+      ack_ch_(sim_, rng_ack_, force_fifo(cfg_.ack_link).make_config(), "C_RS"),
+      retx_timer_(sim_, [this] { on_timeout(); }) {
+    timeout_ = cfg_.timeout > 0
+                   ? cfg_.timeout
+                   : cfg_.data_link.max_lifetime() + cfg_.ack_link.max_lifetime() + kMillisecond;
+    data_ch_.set_receiver(
+        [this](const proto::Message& m) { on_data_arrival(std::get<proto::Data>(m)); });
+    ack_ch_.set_receiver(
+        [this](const proto::Message& m) { on_ack_arrival(std::get<proto::Ack>(m)); });
+}
+
+sim::Metrics AbpSession::run() {
+    metrics_.start_time = sim_.now();
+    send_next();
+    sim_.run_until(cfg_.deadline, cfg_.max_events);
+    if (metrics_.end_time == 0) metrics_.end_time = sim_.now();
+    metrics_.sr_dropped = data_ch_.stats().dropped;
+    metrics_.rs_dropped = ack_ch_.stats().dropped;
+    return metrics_;
+}
+
+void AbpSession::send_next() {
+    if (sender_.completed() >= cfg_.count) return;
+    if (!sender_.can_send_new()) return;
+    ++metrics_.data_new;
+    current_send_time_ = sim_.now();
+    data_ch_.send(sender_.send_new());
+    retx_timer_.restart(timeout_);
+}
+
+void AbpSession::on_ack_arrival(const proto::Ack& ack) {
+    ++metrics_.acks_received;
+    const Seq before = sender_.completed();
+    sender_.on_ack(ack);
+    if (sender_.completed() > before) {
+        retx_timer_.cancel();
+        send_next();
+    }
+}
+
+void AbpSession::on_data_arrival(const proto::Data& msg) {
+    ++metrics_.data_received;
+    const Seq before = receiver_.delivered();
+    const proto::Ack ack = receiver_.on_data(msg);
+    if (receiver_.delivered() > before) {
+        ++metrics_.delivered;
+        metrics_.latency.add(sim_.now() - current_send_time_);
+        if (receiver_.delivered() == cfg_.count) metrics_.end_time = sim_.now();
+    } else {
+        ++metrics_.duplicates;
+    }
+    ++metrics_.acks_sent;
+    ack_ch_.send(ack);
+}
+
+void AbpSession::on_timeout() {
+    if (!sender_.awaiting_ack()) return;
+    ++metrics_.data_retx;
+    data_ch_.send(sender_.resend());
+    retx_timer_.restart(timeout_);
+}
+
+}  // namespace bacp::runtime

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file ack_policy.hpp
+/// When should the receiver fire action 5?
+///
+/// The core exposes only the guard nr < vr; the paper leaves the firing
+/// moment nondeterministic, and that freedom is where block acknowledgment
+/// earns its keep: waiting while more data arrives yields bigger blocks
+/// and fewer acks.  The policy is a (threshold, flush-delay) pair:
+///
+///   eager()        ack as soon as anything is pending  (threshold 1)
+///   batch(k, d)    ack when k messages are pending, or d after the first
+///                  pending message, whichever comes first
+///   delayed(d)     ack d after the first pending message
+///
+/// max_ack_delay() feeds the sender's conservative timeout derivation.
+
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace bacp::runtime {
+
+struct AckPolicy {
+    Seq threshold = 1;       // flush when pending >= threshold
+    SimTime flush_delay = 0; // flush this long after the first pending msg
+
+    static AckPolicy eager() { return AckPolicy{1, 0}; }
+
+    static AckPolicy batch(Seq k, SimTime d) {
+        BACP_ASSERT_MSG(k >= 1, "batch threshold must be >= 1");
+        BACP_ASSERT_MSG(d >= 0, "flush delay must be >= 0");
+        return AckPolicy{k, d};
+    }
+
+    static AckPolicy delayed(SimTime d) {
+        BACP_ASSERT_MSG(d >= 0, "flush delay must be >= 0");
+        return AckPolicy{std::numeric_limits<Seq>::max(), d};
+    }
+
+    /// Longest time an accepted message can wait before its ack is sent.
+    SimTime max_ack_delay() const { return threshold <= 1 ? 0 : flush_delay; }
+};
+
+}  // namespace bacp::runtime

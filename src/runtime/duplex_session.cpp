@@ -1,0 +1,216 @@
+#include "runtime/duplex_session.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "runtime/ack_clip.hpp"
+
+namespace bacp::runtime {
+
+namespace {
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
+    std::uint64_t s = seed ^ (salt * 0x9e3779b97f4a7c15ULL);
+    return splitmix64(s);
+}
+}  // namespace
+
+DuplexSession::DuplexSession(DuplexConfig config)
+    : cfg_(std::move(config)),
+      rng_ab_(mix_seed(cfg_.seed, 0xab)),
+      rng_ba_(mix_seed(cfg_.seed, 0xba)),
+      ab_(sim_, rng_ab_, cfg_.ab_link.make_config(), "C_AB"),
+      ba_(sim_, rng_ba_, cfg_.ba_link.make_config(), "C_BA"),
+      a_(sim_, cfg_.w, cfg_.count_a_to_b, [this] { flush_ack(0); }, [this] { pump(0); }),
+      b_(sim_, cfg_.w, cfg_.count_b_to_a, [this] { flush_ack(1); }, [this] { pump(1); }) {
+    // An ack may be held up to piggyback_delay before it costs a frame.
+    const SimTime hold = cfg_.piggyback ? cfg_.piggyback_delay : 0;
+    timeout_ = cfg_.timeout > 0 ? cfg_.timeout
+                                : cfg_.ab_link.max_lifetime() + cfg_.ba_link.max_lifetime() +
+                                      hold + kMillisecond;
+    ab_.set_receiver([this](const proto::Message& m) { on_message(1, m); });
+    ba_.set_receiver([this](const proto::Message& m) { on_message(0, m); });
+}
+
+DuplexSession::Result DuplexSession::run() {
+    a_.metrics.start_time = sim_.now();
+    b_.metrics.start_time = sim_.now();
+    pump(0);
+    pump(1);
+    sim_.run_until(cfg_.deadline, cfg_.max_events);
+    Result result;
+    if (a_.metrics.end_time == 0) a_.metrics.end_time = sim_.now();
+    if (b_.metrics.end_time == 0) b_.metrics.end_time = sim_.now();
+    a_.metrics.sr_dropped = ab_.stats().dropped;
+    b_.metrics.sr_dropped = ba_.stats().dropped;
+    result.a_to_b = a_.metrics;
+    result.b_to_a = b_.metrics;
+    result.frames_ab = ab_.stats().sent;
+    result.frames_ba = ba_.stats().sent;
+    result.piggybacked = piggybacked_;
+    result.standalone_acks = standalone_acks_;
+    return result;
+}
+
+bool DuplexSession::completed() const {
+    return a_.sent_new == cfg_.count_a_to_b && b_.sent_new == cfg_.count_b_to_a &&
+           b_.delivered_from_peer == cfg_.count_a_to_b &&
+           a_.delivered_from_peer == cfg_.count_b_to_a && a_.sender.outstanding() == 0 &&
+           b_.sender.outstanding() == 0;
+}
+
+bool DuplexSession::horizon_blocks(int id) {
+    Endpoint& self = endpoint(id);
+    if (self.horizon_until <= sim_.now()) {
+        self.horizon_cap = ~Seq{0};
+        return false;
+    }
+    return self.sent_new >= self.horizon_cap;
+}
+
+void DuplexSession::note_horizon(int id, Seq true_seq) {
+    Endpoint& self = endpoint(id);
+    const auto it = self.last_tx.find(true_seq);
+    if (it == self.last_tx.end()) return;
+    const LinkSpec& out_spec = id == 0 ? cfg_.ab_link : cfg_.ba_link;
+    const SimTime copy_gone = it->second + out_spec.max_lifetime();
+    if (copy_gone <= sim_.now()) return;
+    self.horizon_until = std::max(self.horizon_until, copy_gone);
+    self.horizon_cap = std::min(self.horizon_cap, true_seq + cfg_.w);
+}
+
+void DuplexSession::pump(int id) {
+    Endpoint& self = endpoint(id);
+    while (self.sent_new < self.to_send && self.sender.can_send_new()) {
+        if (horizon_blocks(id)) {
+            if (!self.horizon_timer.armed()) {
+                self.horizon_timer.restart(self.horizon_until - sim_.now());
+            }
+            return;
+        }
+        const proto::Data msg = self.sender.send_new();
+        const Seq true_seq = self.sent_new++;
+        self.first_send.emplace(true_seq, sim_.now());
+        transmit(id, msg, true_seq, /*retx=*/false);
+    }
+}
+
+void DuplexSession::transmit(int id, const proto::Data& msg, Seq true_seq, bool retx) {
+    Endpoint& self = endpoint(id);
+    if (retx) {
+        ++self.metrics.data_retx;
+    } else {
+        ++self.metrics.data_new;
+    }
+    self.last_tx[true_seq] = sim_.now();
+    // Piggyback a held acknowledgment if one is pending (action 5 of the
+    // endpoint's receiver half rides along for free).
+    if (cfg_.piggyback && self.receiver.can_ack()) {
+        const proto::Ack ride = self.receiver.make_ack();
+        self.ack_timer.cancel();
+        ++peer_of(id).metrics.acks_sent;  // the ack covers the peer's data
+        ++piggybacked_;
+        out_channel(id).send(proto::DataAck{msg, ride});
+    } else {
+        out_channel(id).send(msg);
+    }
+    sim_.schedule_after(timeout_, [this, id, true_seq] { per_message_fire(id, true_seq); });
+}
+
+bool DuplexSession::resend_gate(const Endpoint& self, Seq true_seq) const {
+    return true_seq == self.sender.na() || self.sender.acked_beyond(true_seq);
+}
+
+void DuplexSession::per_message_fire(int id, Seq true_seq) {
+    Endpoint& self = endpoint(id);
+    if (!self.sender.can_resend(true_seq)) return;
+    const auto it = self.last_tx.find(true_seq);
+    if (it == self.last_tx.end() || sim_.now() - it->second < timeout_) return;
+    if (!resend_gate(self, true_seq)) return;  // reconsidered on next ack
+    transmit(id, self.sender.resend(true_seq), true_seq, /*retx=*/true);
+}
+
+void DuplexSession::rescan_matured(int id) {
+    Endpoint& self = endpoint(id);
+    for (const Seq true_seq : self.sender.resend_candidates()) {
+        const auto it = self.last_tx.find(true_seq);
+        if (it == self.last_tx.end() || sim_.now() - it->second < timeout_) continue;
+        if (!resend_gate(self, true_seq)) continue;
+        transmit(id, self.sender.resend(true_seq), true_seq, /*retx=*/true);
+    }
+}
+
+void DuplexSession::handle_ack(int id, const proto::Ack& ack) {
+    Endpoint& self = endpoint(id);
+    ++self.metrics.acks_received;
+    for (const auto& run : clip_ack_unbounded(self.sender, ack)) {
+        for (Seq t = run.lo; t <= run.hi; ++t) note_horizon(id, t);
+        self.sender.on_ack(run);
+    }
+    pump(id);
+    rescan_matured(id);
+}
+
+void DuplexSession::handle_data(int id, const proto::Data& msg) {
+    // Endpoint `id` RECEIVES this data; metrics belong to the peer's
+    // sending direction.
+    Endpoint& self = endpoint(id);
+    Endpoint& peer = peer_of(id);
+    ++peer.metrics.data_received;
+    const auto dup = self.receiver.on_data(msg);
+    if (dup) {
+        ++peer.metrics.duplicates;
+        ++peer.metrics.dup_acks;
+        ++standalone_acks_;
+        out_channel(id).send(*dup);  // dup-acks go out immediately
+        return;
+    }
+    while (self.receiver.can_advance()) {
+        self.receiver.advance();
+        const Seq true_seq = self.delivered_from_peer++;
+        ++peer.metrics.delivered;
+        const auto sent = peer.first_send.find(true_seq);
+        if (sent != peer.first_send.end()) {
+            peer.metrics.latency.add(sim_.now() - sent->second);
+            peer.first_send.erase(sent);
+        }
+        if (peer.metrics.delivered == peer.to_send) peer.metrics.end_time = sim_.now();
+    }
+    if (self.receiver.can_ack()) {
+        if (cfg_.piggyback) {
+            // Try to ride on reverse data first: pump may emit some now.
+            pump(id);
+        }
+        // Both modes hold the ack for the same delay (so the piggyback
+        // ablation isolates riding from batching); in piggyback mode an
+        // outgoing data frame may pick it up before the timer fires.
+        if (self.receiver.can_ack() && !self.ack_timer.armed()) {
+            self.ack_timer.restart(cfg_.piggyback_delay);
+        }
+    }
+}
+
+void DuplexSession::flush_ack(int id) {
+    Endpoint& self = endpoint(id);
+    self.ack_timer.cancel();
+    if (!self.receiver.can_ack()) return;
+    ++peer_of(id).metrics.acks_sent;  // the ack covers the peer's data
+    ++standalone_acks_;
+    out_channel(id).send(self.receiver.make_ack());
+}
+
+void DuplexSession::on_message(int id, const proto::Message& msg) {
+    if (const auto* data = std::get_if<proto::Data>(&msg)) {
+        handle_data(id, *data);
+    } else if (const auto* ack = std::get_if<proto::Ack>(&msg)) {
+        handle_ack(id, *ack);
+    } else if (const auto* both = std::get_if<proto::DataAck>(&msg)) {
+        // Data first so its pending acknowledgment exists when the ack
+        // half opens the window and pumps -- the reply then rides it.
+        handle_data(id, both->data);
+        handle_ack(id, both->ack);
+    } else {
+        BACP_ASSERT_MSG(false, "unexpected message type on duplex channel");
+    }
+}
+
+}  // namespace bacp::runtime

@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file duplex_session.hpp
+/// Full-duplex block-acknowledgment session with ack piggybacking.
+///
+/// The paper's protocol is unidirectional (S -> R data, R -> S acks).
+/// The classic generalization runs one protocol instance per direction
+/// over the same channel pair and lets each endpoint *piggyback* its
+/// pending block acknowledgment on outgoing data (DATA+ACK frames),
+/// spending a standalone ACK frame only when no reverse data appears
+/// within a small piggyback delay.
+///
+/// With block acknowledgments the piggyback is particularly effective:
+/// one ridden (m, n) pair can acknowledge a whole window, so under
+/// symmetric bulk traffic the ack-frame count approaches zero.
+///
+/// Both directions use the SIV per-message timers with the hole-gated
+/// resend discipline, SACK-style ack clipping, and the send-horizon rule
+/// (see ba_session.hpp); the piggyback delay is folded into the
+/// conservative timeout derivation.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "ba/receiver.hpp"
+#include "ba/sender.hpp"
+#include "common/rng.hpp"
+#include "runtime/link_spec.hpp"
+#include "sim/metrics.hpp"
+#include "sim/sim_channel.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace bacp::runtime {
+
+struct DuplexConfig {
+    Seq w = 8;
+    Seq count_a_to_b = 1000;
+    Seq count_b_to_a = 1000;
+    SimTime timeout = 0;           // 0 = conservative derivation
+    bool piggyback = true;         // ablation switch
+    SimTime piggyback_delay = 2 * kMillisecond;  // max ack holding time
+    LinkSpec ab_link = LinkSpec::lossless();
+    LinkSpec ba_link = LinkSpec::lossless();
+    std::uint64_t seed = 1;
+    SimTime deadline = 3600 * kSecond;
+    std::size_t max_events = 50'000'000;
+};
+
+class DuplexSession {
+public:
+    explicit DuplexSession(DuplexConfig config);
+    DuplexSession(const DuplexSession&) = delete;
+    DuplexSession& operator=(const DuplexSession&) = delete;
+
+    struct Result {
+        sim::Metrics a_to_b;  // traffic sent by A (delivered at B)
+        sim::Metrics b_to_a;
+        std::uint64_t frames_ab = 0;       // messages placed on each channel
+        std::uint64_t frames_ba = 0;
+        std::uint64_t piggybacked = 0;     // acks that rode on data
+        std::uint64_t standalone_acks = 0; // acks that cost their own frame
+    };
+
+    Result run();
+    bool completed() const;
+
+private:
+    struct Endpoint {
+        Endpoint(sim::Simulator& sim, Seq w, Seq count, sim::Timer::Callback ack_cb,
+                 sim::Timer::Callback horizon_cb)
+            : sender(w),
+              receiver(w),
+              to_send(count),
+              ack_timer(sim, std::move(ack_cb)),
+              horizon_timer(sim, std::move(horizon_cb)) {}
+
+        ba::Sender sender;
+        ba::Receiver receiver;
+        Seq to_send;       // messages this endpoint must originate
+        Seq sent_new = 0;
+        Seq delivered_from_peer = 0;
+        sim::Metrics metrics;  // for the direction this endpoint SENDS
+        std::unordered_map<Seq, SimTime> first_send;
+        std::unordered_map<Seq, SimTime> last_tx;
+        sim::Timer ack_timer;      // flushes a held (piggybackable) ack
+        sim::Timer horizon_timer;  // re-pumps when the send horizon expires
+        // Send-horizon state (see ba_session.hpp).
+        SimTime horizon_until = 0;
+        Seq horizon_cap = ~Seq{0};
+    };
+
+    Endpoint& endpoint(int id) { return id == 0 ? a_ : b_; }
+    Endpoint& peer_of(int id) { return id == 0 ? b_ : a_; }
+    sim::SimChannel& out_channel(int id) { return id == 0 ? ab_ : ba_; }
+
+    void pump(int id);
+    void transmit(int id, const proto::Data& msg, Seq true_seq, bool retx);
+    void per_message_fire(int id, Seq true_seq);
+    void rescan_matured(int id);
+    bool resend_gate(const Endpoint& self, Seq true_seq) const;
+    void handle_ack(int id, const proto::Ack& ack);
+    void handle_data(int id, const proto::Data& msg);
+    void flush_ack(int id);  // standalone flush (piggyback window expired)
+    void on_message(int id, const proto::Message& msg);
+    void note_horizon(int id, Seq true_seq);
+    bool horizon_blocks(int id);
+
+    DuplexConfig cfg_;
+    sim::Simulator sim_;
+    Rng rng_ab_;
+    Rng rng_ba_;
+    sim::SimChannel ab_;
+    sim::SimChannel ba_;
+    Endpoint a_;
+    Endpoint b_;
+    SimTime timeout_ = 0;
+    std::uint64_t piggybacked_ = 0;
+    std::uint64_t standalone_acks_ = 0;
+};
+
+}  // namespace bacp::runtime

@@ -1,0 +1,107 @@
+#include "runtime/gbn_session.hpp"
+
+#include "common/assert.hpp"
+
+namespace bacp::runtime {
+
+namespace {
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
+    std::uint64_t s = seed ^ (salt * 0x9e3779b97f4a7c15ULL);
+    return splitmix64(s);
+}
+}  // namespace
+
+GbnSession::GbnSession(GbnConfig config)
+    : cfg_(std::move(config)),
+      rng_data_(mix_seed(cfg_.seed, 0xd1)),
+      rng_ack_(mix_seed(cfg_.seed, 0xac)),
+      sender_(cfg_.w, cfg_.domain),
+      receiver_(cfg_.domain),
+      data_ch_(sim_, rng_data_, cfg_.data_link.make_config(), "C_SR"),
+      ack_ch_(sim_, rng_ack_, cfg_.ack_link.make_config(), "C_RS"),
+      retx_timer_(sim_, [this] { on_timeout(); }) {
+    timeout_ = cfg_.timeout > 0
+                   ? cfg_.timeout
+                   : cfg_.data_link.max_lifetime() + cfg_.ack_link.max_lifetime() + kMillisecond;
+    data_ch_.set_receiver(
+        [this](const proto::Message& m) { on_data_arrival(std::get<proto::Data>(m)); });
+    ack_ch_.set_receiver(
+        [this](const proto::Message& m) { on_ack_arrival(std::get<proto::Ack>(m)); });
+}
+
+sim::Metrics GbnSession::run() {
+    metrics_.start_time = sim_.now();
+    pump_send();
+    sim_.run_until(cfg_.deadline, cfg_.max_events);
+    if (metrics_.end_time == 0) metrics_.end_time = sim_.now();
+    metrics_.sr_dropped = data_ch_.stats().dropped;
+    metrics_.rs_dropped = ack_ch_.stats().dropped;
+    return metrics_;
+}
+
+bool GbnSession::completed() const {
+    return sent_new_ == cfg_.count && delivered_ == cfg_.count && !sender_.has_outstanding();
+}
+
+void GbnSession::pump_send() {
+    while (sent_new_ < cfg_.count && sender_.can_send_new()) {
+        const Seq true_seq = sent_new_++;
+        first_send_.emplace(true_seq, sim_.now());
+        transmit(sender_.send_new(), true_seq, /*retx=*/false);
+    }
+}
+
+void GbnSession::transmit(const proto::Data& msg, Seq, bool retx) {
+    if (retx) {
+        ++metrics_.data_retx;
+    } else {
+        ++metrics_.data_new;
+    }
+    data_ch_.send(msg);
+    retx_timer_.restart(timeout_);
+}
+
+void GbnSession::on_ack_arrival(const proto::Ack& ack) {
+    ++metrics_.acks_received;
+    sender_.on_ack(ack);
+    if (!sender_.has_outstanding()) {
+        retx_timer_.cancel();
+    }
+    pump_send();
+}
+
+void GbnSession::on_data_arrival(const proto::Data& msg) {
+    ++metrics_.data_received;
+    const Seq before = receiver_.nr();
+    receiver_.on_data(msg);
+    if (receiver_.nr() > before) {
+        const Seq true_seq = receiver_.nr() - 1;
+        ++delivered_;
+        ++metrics_.delivered;
+        const auto sent = first_send_.find(true_seq);
+        if (sent != first_send_.end()) {
+            metrics_.latency.add(sim_.now() - sent->second);
+            first_send_.erase(sent);
+        }
+        if (delivered_ == cfg_.count) metrics_.end_time = sim_.now();
+    } else {
+        ++metrics_.duplicates;
+    }
+    if (receiver_.can_ack()) {
+        ++metrics_.acks_sent;
+        ack_ch_.send(receiver_.make_ack());
+    }
+}
+
+void GbnSession::on_timeout() {
+    if (!sender_.has_outstanding()) return;
+    // Go back N: retransmit the entire outstanding window.
+    const Seq base = sender_.na();
+    Seq offset = 0;
+    for (const auto& copy : sender_.retransmit_window()) {
+        transmit(copy, base + offset, /*retx=*/true);
+        ++offset;
+    }
+}
+
+}  // namespace bacp::runtime

@@ -1,0 +1,72 @@
+#include "runtime/link_spec.hpp"
+
+#include "common/assert.hpp"
+
+namespace bacp::runtime {
+
+LinkSpec LinkSpec::lossless(SimTime lo, SimTime hi) {
+    LinkSpec spec;
+    spec.delay_lo = lo;
+    spec.delay_hi = hi;
+    return spec;
+}
+
+LinkSpec LinkSpec::lossy(double p, SimTime lo, SimTime hi) {
+    LinkSpec spec = lossless(lo, hi);
+    spec.loss_kind = Loss::Bernoulli;
+    spec.loss_p = p;
+    return spec;
+}
+
+sim::SimChannel::Config LinkSpec::make_config() const {
+    sim::SimChannel::Config config;
+    switch (loss_kind) {
+        case Loss::None:
+            config.loss = std::make_unique<channel::NoLoss>();
+            break;
+        case Loss::Bernoulli:
+            config.loss = std::make_unique<channel::BernoulliLoss>(loss_p);
+            break;
+        case Loss::GilbertElliott:
+            config.loss = std::make_unique<channel::GilbertElliottLoss>(
+                ge_p_good_to_bad, ge_p_bad_to_good, ge_loss_good, ge_loss_bad);
+            break;
+        case Loss::Scripted:
+            config.loss = std::make_unique<channel::ScriptedLoss>(scripted_drops);
+            break;
+    }
+    switch (delay_kind) {
+        case Delay::Fixed:
+            config.delay = std::make_unique<channel::FixedDelay>(delay_lo);
+            break;
+        case Delay::Uniform:
+            config.delay = std::make_unique<channel::UniformDelay>(delay_lo, delay_hi);
+            break;
+        case Delay::Exponential:
+            // mean = (lo+hi)/2 - lo tail above the base, capped at hi - lo.
+            BACP_ASSERT(delay_hi > delay_lo);
+            config.delay = std::make_unique<channel::ExponentialDelay>(
+                delay_lo, (delay_hi - delay_lo) / 4 + 1, delay_hi - delay_lo);
+            break;
+        case Delay::HeavyTail:
+            BACP_ASSERT(delay_hi > delay_lo);
+            config.delay = std::make_unique<channel::HeavyTailDelay>(
+                delay_lo, (delay_hi - delay_lo) / 10 + 1, heavy_alpha, delay_hi - delay_lo);
+            break;
+    }
+    config.fifo = fifo;
+    config.track_contents = track_contents;
+    config.service_time = service_time;
+    config.queue_capacity = queue_capacity;
+    return config;
+}
+
+SimTime LinkSpec::max_lifetime() const {
+    const SimTime propagation = delay_kind == Delay::Fixed ? delay_lo : delay_hi;
+    // A queued message can wait behind up to queue_capacity predecessors.
+    const SimTime queueing =
+        service_time > 0 ? service_time * static_cast<SimTime>(queue_capacity + 1) : 0;
+    return propagation + queueing;
+}
+
+}  // namespace bacp::runtime

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file link_spec.hpp
+/// Declarative description of one channel direction, turned into a
+/// SimChannel::Config by make_config().  Benches and examples describe
+/// links with this value type instead of wiring model objects by hand.
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hpp"
+#include "sim/sim_channel.hpp"
+
+namespace bacp::runtime {
+
+struct LinkSpec {
+    enum class Loss { None, Bernoulli, GilbertElliott, Scripted };
+    enum class Delay { Fixed, Uniform, Exponential, HeavyTail };
+
+    Loss loss_kind = Loss::None;
+    double loss_p = 0.0;                     // Bernoulli
+    double ge_p_good_to_bad = 0.01;          // Gilbert-Elliott
+    double ge_p_bad_to_good = 0.2;
+    double ge_loss_good = 0.0;
+    double ge_loss_bad = 0.5;
+    std::vector<std::uint64_t> scripted_drops;  // Scripted
+
+    Delay delay_kind = Delay::Uniform;
+    SimTime delay_lo = 4 * kMillisecond;     // Fixed uses delay_lo only
+    SimTime delay_hi = 6 * kMillisecond;     // Uniform upper bound / cap
+    double heavy_alpha = 1.5;                // HeavyTail shape
+
+    bool fifo = false;
+    bool track_contents = false;
+
+    /// Bottleneck-link model (0 = off): serialization time per message
+    /// and the queue's tail-drop capacity.  See sim::SimChannel::Config.
+    SimTime service_time = 0;
+    std::size_t queue_capacity = 64;
+
+    /// Convenience: lossless link with uniform delay in [lo, hi].
+    static LinkSpec lossless(SimTime lo = 4 * kMillisecond, SimTime hi = 6 * kMillisecond);
+    /// Convenience: Bernoulli loss with uniform delay in [lo, hi].
+    static LinkSpec lossy(double p, SimTime lo = 4 * kMillisecond,
+                          SimTime hi = 6 * kMillisecond);
+
+    /// Materializes the model objects.
+    sim::SimChannel::Config make_config() const;
+
+    /// The channel's message lifetime L (bound on time-in-transit).
+    SimTime max_lifetime() const;
+};
+
+}  // namespace bacp::runtime

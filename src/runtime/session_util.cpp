@@ -1,0 +1,15 @@
+#include "runtime/ba_session.hpp"
+
+namespace bacp::runtime {
+
+const char* to_string(TimeoutMode mode) {
+    switch (mode) {
+        case TimeoutMode::OracleSimple: return "oracle-simple";
+        case TimeoutMode::OraclePerMessage: return "oracle-per-message";
+        case TimeoutMode::SimpleTimer: return "simple-timer";
+        case TimeoutMode::PerMessageTimer: return "per-message-timer";
+    }
+    return "?";
+}
+
+}  // namespace bacp::runtime

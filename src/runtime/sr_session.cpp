@@ -1,0 +1,100 @@
+#include "runtime/sr_session.hpp"
+
+namespace bacp::runtime {
+
+namespace {
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
+    std::uint64_t s = seed ^ (salt * 0x9e3779b97f4a7c15ULL);
+    return splitmix64(s);
+}
+}  // namespace
+
+SrSession::SrSession(SrConfig config)
+    : cfg_(std::move(config)),
+      rng_data_(mix_seed(cfg_.seed, 0xd1)),
+      rng_ack_(mix_seed(cfg_.seed, 0xac)),
+      sender_(cfg_.w),
+      receiver_(cfg_.w),
+      data_ch_(sim_, rng_data_, cfg_.data_link.make_config(), "C_SR"),
+      ack_ch_(sim_, rng_ack_, cfg_.ack_link.make_config(), "C_RS") {
+    timeout_ = cfg_.timeout > 0
+                   ? cfg_.timeout
+                   : cfg_.data_link.max_lifetime() + cfg_.ack_link.max_lifetime() + kMillisecond;
+    data_ch_.set_receiver(
+        [this](const proto::Message& m) { on_data_arrival(std::get<proto::Data>(m)); });
+    ack_ch_.set_receiver(
+        [this](const proto::Message& m) { on_ack_arrival(std::get<proto::Ack>(m)); });
+}
+
+sim::Metrics SrSession::run() {
+    metrics_.start_time = sim_.now();
+    pump_send();
+    sim_.run_until(cfg_.deadline, cfg_.max_events);
+    if (metrics_.end_time == 0) metrics_.end_time = sim_.now();
+    metrics_.sr_dropped = data_ch_.stats().dropped;
+    metrics_.rs_dropped = ack_ch_.stats().dropped;
+    return metrics_;
+}
+
+bool SrSession::completed() const {
+    return sent_new_ == cfg_.count && delivered_ == cfg_.count && sender_.outstanding() == 0;
+}
+
+void SrSession::pump_send() {
+    while (sent_new_ < cfg_.count && sender_.can_send_new()) {
+        const proto::Data msg = sender_.send_new();
+        first_send_.emplace(sent_new_, sim_.now());
+        ++sent_new_;
+        transmit(msg, /*retx=*/false);
+    }
+}
+
+void SrSession::transmit(const proto::Data& msg, bool retx) {
+    if (retx) {
+        ++metrics_.data_retx;
+    } else {
+        ++metrics_.data_new;
+    }
+    last_tx_[msg.seq] = sim_.now();
+    data_ch_.send(msg);
+    const Seq seq = msg.seq;
+    sim_.schedule_after(timeout_, [this, seq] { per_message_fire(seq); });
+}
+
+void SrSession::on_ack_arrival(const proto::Ack& ack) {
+    ++metrics_.acks_received;
+    sender_.on_ack(ack);
+    pump_send();
+}
+
+void SrSession::on_data_arrival(const proto::Data& msg) {
+    ++metrics_.data_received;
+    const bool was_new = msg.seq >= receiver_.nr() && !receiver_.rcvd(msg.seq);
+    const proto::Ack ack = receiver_.on_data(msg);
+    if (!was_new) ++metrics_.duplicates;
+    // Selective repeat: one distinct acknowledgment per data message.
+    ++metrics_.acks_sent;
+    ack_ch_.send(ack);
+    while (receiver_.can_deliver()) {
+        receiver_.deliver();
+        const Seq true_seq = receiver_.nr() - 1;
+        ++delivered_;
+        ++metrics_.delivered;
+        const auto sent = first_send_.find(true_seq);
+        if (sent != first_send_.end()) {
+            metrics_.latency.add(sim_.now() - sent->second);
+            first_send_.erase(sent);
+        }
+        if (delivered_ == cfg_.count) metrics_.end_time = sim_.now();
+    }
+}
+
+void SrSession::per_message_fire(Seq seq) {
+    if (!sender_.can_resend(seq)) return;  // acknowledged meanwhile
+    const auto it = last_tx_.find(seq);
+    if (it == last_tx_.end()) return;
+    if (sim_.now() - it->second < timeout_) return;  // a newer copy owns the timer
+    transmit(sender_.resend(seq), /*retx=*/true);
+}
+
+}  // namespace bacp::runtime

@@ -1,0 +1,80 @@
+#include "sim/diagram.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/types.hpp"
+
+namespace bacp::sim {
+
+namespace {
+
+constexpr int kColumn = 26;  // width of each actor column
+
+std::string pad(const std::string& text, int width, bool right_align) {
+    if (static_cast<int>(text.size()) >= width) return text.substr(0, static_cast<std::size_t>(width));
+    const std::string fill(static_cast<std::size_t>(width) - text.size(), ' ');
+    return right_align ? fill + text : text + fill;
+}
+
+std::string time_label(SimTime t) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%10.3f", to_seconds(t) * 1e3);
+    return buffer;
+}
+
+}  // namespace
+
+std::string render_sequence_diagram(const TraceRecorder& trace,
+                                    const std::string& forward_channel,
+                                    std::size_t max_events) {
+    std::ostringstream os;
+    os << pad("time (ms)", 10, true) << "  " << pad("sender", kColumn, false) << "|"
+       << pad("receiver", kColumn, true) << "\n";
+    os << std::string(10, '-') << "  " << std::string(kColumn, '-') << "+"
+       << std::string(kColumn, '-') << "\n";
+
+    std::size_t rendered = 0;
+    for (const auto& event : trace.events()) {
+        if (max_events != 0 && rendered >= max_events) {
+            os << pad("...", 10, true) << "  (" << trace.size() - rendered
+               << " more events)\n";
+            break;
+        }
+        std::string left, right, center;
+        const bool forward = event.actor == forward_channel;
+        if (event.actor == "S" || event.actor == "R") {
+            // Plain receptions duplicate the channel's delivery arrow.
+            if (event.what.rfind("rcv ", 0) == 0) continue;
+            (event.actor == "S" ? left : right) = event.what;
+        } else if (event.what.rfind("drop ", 0) == 0) {
+            center = "x " + event.what.substr(5) + " lost";
+        } else if (event.what.rfind("send ", 0) == 0) {
+            // The originator's own trace line already shows the send;
+            // channel send entries only add noise.
+            continue;
+        } else if (event.what.rfind("deliver ", 0) == 0) {
+            const std::string what = event.what.substr(8);
+            if (forward) {
+                right = "--> " + what;
+            } else {
+                left = what + " <--";
+            }
+        } else {
+            center = event.actor + ": " + event.what;
+        }
+        ++rendered;
+        os << time_label(event.time) << "  ";
+        if (!center.empty()) {
+            const int total = 2 * kColumn + 1;
+            const int lead = (total - static_cast<int>(center.size())) / 2;
+            os << std::string(static_cast<std::size_t>(lead > 0 ? lead : 0), ' ') << center
+               << "\n";
+            continue;
+        }
+        os << pad(left, kColumn, false) << "|" << (right.empty() ? "" : " " + right) << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace bacp::sim

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file diagram.hpp
+/// Message-sequence-chart rendering of a TraceRecorder.
+///
+/// Turns the flat event log into the two-column diagram protocol papers
+/// draw by hand: sender actions on the left, receiver actions on the
+/// right, channel deliveries as arrows, losses marked in the middle.
+
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace bacp::sim {
+
+/// Renders \p trace as a fixed-width sequence chart.  Events from actor
+/// "S" (and sends on \p forward_channel) appear on the left; events from
+/// "R" (and sends on the reverse channel) on the right; channel drops are
+/// centered.  \p max_events caps the output (0 = all).
+std::string render_sequence_diagram(const TraceRecorder& trace,
+                                    const std::string& forward_channel = "C_SR",
+                                    std::size_t max_events = 0);
+
+}  // namespace bacp::sim

@@ -1,0 +1,44 @@
+#include "sim/event_queue.hpp"
+
+#include "common/assert.hpp"
+
+namespace bacp::sim {
+
+EventId EventQueue::push(SimTime t, Handler fn) {
+    const EventId id = next_id_++;
+    heap_.push(Entry{t, id, std::move(fn)});
+    pending_.insert(id);
+    return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+    if (id == kInvalidEvent) return false;
+    return pending_.erase(id) > 0;
+}
+
+void EventQueue::skip_cancelled() const {
+    // pending_ is the source of truth; heap entries whose id is no longer
+    // pending were cancelled and are discarded here.
+    while (!heap_.empty() && pending_.find(heap_.top().id) == pending_.end()) {
+        heap_.pop();
+    }
+}
+
+SimTime EventQueue::next_time() const {
+    skip_cancelled();
+    BACP_ASSERT_MSG(!heap_.empty(), "next_time() on empty event queue");
+    return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+    skip_cancelled();
+    BACP_ASSERT_MSG(!heap_.empty(), "pop() on empty event queue");
+    // priority_queue::top() is const; copying the small closure out is the
+    // portable way to extract it.
+    Entry entry = heap_.top();
+    heap_.pop();
+    pending_.erase(entry.id);
+    return Fired{entry.time, std::move(entry.handler)};
+}
+
+}  // namespace bacp::sim

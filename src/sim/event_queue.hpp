@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file event_queue.hpp
+/// Deterministic pending-event set for the discrete-event simulator.
+///
+/// Events at equal timestamps execute in insertion order (FIFO tiebreak by
+/// a monotone sequence number), which makes every simulation run exactly
+/// reproducible.  Cancellation is O(1) lazy: cancelled ids are skipped at
+/// pop time.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bacp::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+public:
+    using Handler = std::function<void()>;
+
+    /// Enqueues \p fn at absolute time \p t; returns a cancellation handle.
+    EventId push(SimTime t, Handler fn);
+
+    /// Cancels a pending event; cancelling an already-fired or invalid id
+    /// is a harmless no-op.  Returns true when a pending event was removed.
+    bool cancel(EventId id);
+
+    /// True when no live (non-cancelled) events remain.
+    bool empty() const { return pending_.empty(); }
+
+    std::size_t size() const { return pending_.size(); }
+
+    /// Time of the earliest live event.  Precondition: !empty().
+    SimTime next_time() const;
+
+    /// Removes and returns the earliest live event.  Precondition: !empty().
+    struct Fired {
+        SimTime time;
+        Handler handler;
+    };
+    Fired pop();
+
+private:
+    struct Entry {
+        SimTime time;
+        EventId id;
+        Handler handler;
+    };
+    struct Later {
+        bool operator()(const Entry& a, const Entry& b) const {
+            if (a.time != b.time) return a.time > b.time;
+            return a.id > b.id;  // FIFO within a timestamp
+        }
+    };
+
+    /// Drops cancelled entries from the heap top.
+    void skip_cancelled() const;
+
+    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<EventId> pending_;  // live ids (pushed, not fired/cancelled)
+    EventId next_id_ = 1;
+};
+
+}  // namespace bacp::sim

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Per-run measurement record shared by tests, benches, and examples.
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.hpp"
+#include "common/types.hpp"
+
+namespace bacp::sim {
+
+struct Metrics {
+    // Sender side.
+    std::uint64_t data_new = 0;        // first transmissions (action 0)
+    std::uint64_t data_retx = 0;       // retransmissions (action 2/2')
+    std::uint64_t acks_received = 0;
+
+    // Receiver side.
+    std::uint64_t data_received = 0;   // every arriving data message
+    std::uint64_t duplicates = 0;      // arrivals with v < nr
+    std::uint64_t acks_sent = 0;       // block acks (action 5)
+    std::uint64_t dup_acks = 0;        // singleton re-acks from action 3
+    std::uint64_t delivered = 0;       // messages accepted in order (nr growth)
+
+    // NAK fast-retransmit extension.
+    std::uint64_t naks_sent = 0;      // receiver-side NAK emissions
+    std::uint64_t naks_received = 0;  // sender-side NAK arrivals
+    std::uint64_t fast_retx = 0;      // retransmissions triggered by NAKs
+
+    // Channel side.
+    std::uint64_t sr_dropped = 0;
+    std::uint64_t rs_dropped = 0;
+
+    // Wall-clock of the simulated run.
+    SimTime start_time = 0;
+    SimTime end_time = 0;
+
+    /// Send-to-accept latency per message (first transmission to the
+    /// moment nr passes it), in simulated nanoseconds.
+    Histogram latency{5};
+
+    SimTime elapsed() const { return end_time - start_time; }
+
+    /// Accepted messages per simulated second.
+    double throughput_msgs_per_sec() const;
+
+    /// Total acknowledgment messages per delivered data message (block +
+    /// duplicate acks) -- the E4 overhead measure.
+    double acks_per_delivered() const;
+
+    /// Fraction of data transmissions that were retransmissions.
+    double retx_fraction() const;
+
+    /// One-line human-readable report.
+    std::string summary() const;
+};
+
+}  // namespace bacp::sim

@@ -1,0 +1,76 @@
+#include "sim/sim_channel.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace bacp::sim {
+
+SimChannel::SimChannel(Simulator& sim, Rng& rng, Config config, std::string name)
+    : sim_(sim),
+      rng_(rng),
+      loss_(config.loss ? std::move(config.loss) : std::make_unique<channel::NoLoss>()),
+      delay_(config.delay ? std::move(config.delay)
+                          : std::make_unique<channel::FixedDelay>(kMillisecond)),
+      fifo_(config.fifo),
+      name_(std::move(name)),
+      track_contents_(config.track_contents),
+      service_time_(config.service_time),
+      queue_capacity_(config.queue_capacity) {}
+
+channel::SetChannel SimChannel::snapshot() const {
+    BACP_ASSERT_MSG(track_contents_, "snapshot() requires track_contents");
+    channel::SetChannel snap;
+    for (const auto& msg : contents_) snap.send(msg);
+    return snap;
+}
+
+void SimChannel::send(const proto::Message& msg) {
+    BACP_ASSERT_MSG(receiver_ != nullptr, "channel has no receiver");
+    ++stats_.sent;
+    if (loss_->drop(rng_)) {
+        ++stats_.dropped;
+        if (trace_ != nullptr) trace_->record(sim_.now(), name_, "drop " + proto::to_string(msg));
+        return;
+    }
+    SimTime departure = sim_.now();
+    if (service_time_ > 0) {
+        // Bottleneck: serialize through the link; tail-drop on overflow.
+        const SimTime backlog = link_free_at_ > sim_.now() ? link_free_at_ - sim_.now() : 0;
+        const auto queued = static_cast<std::size_t>(backlog / service_time_);
+        if (queued >= queue_capacity_) {
+            ++stats_.dropped;
+            if (trace_ != nullptr) {
+                trace_->record(sim_.now(), name_, "queue-drop " + proto::to_string(msg));
+            }
+            return;
+        }
+        departure = (link_free_at_ > sim_.now() ? link_free_at_ : sim_.now()) + service_time_;
+        link_free_at_ = departure;
+    }
+    SimTime delivery = departure + delay_->sample(rng_);
+    if (fifo_) {
+        // Never deliver before an earlier message, but stay within the
+        // lifetime bound L.
+        delivery = std::clamp(delivery, last_delivery_, sim_.now() + max_lifetime());
+        last_delivery_ = delivery;
+    }
+    ++in_flight_;
+    if (track_contents_) contents_.push_back(msg);
+    sim_.schedule_at(delivery, [this, msg] {
+        BACP_ASSERT(in_flight_ > 0);
+        --in_flight_;
+        if (track_contents_) {
+            const auto it = std::find(contents_.begin(), contents_.end(), msg);
+            BACP_ASSERT(it != contents_.end());
+            contents_.erase(it);
+        }
+        ++stats_.delivered;
+        if (trace_ != nullptr) trace_->record(sim_.now(), name_, "deliver " + proto::to_string(msg));
+        receiver_(msg);
+    });
+    if (trace_ != nullptr) trace_->record(sim_.now(), name_, "send " + proto::to_string(msg));
+}
+
+}  // namespace bacp::sim

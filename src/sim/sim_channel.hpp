@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file sim_channel.hpp
+/// Discrete-event unidirectional channel.
+///
+/// Each sent message is either dropped (loss model) or delivered to the
+/// registered receiver after a sampled transit delay.  Random per-message
+/// delays make delivery order differ from send order, realizing the
+/// paper's unordered-set channel semantics; an optional FIFO mode forces
+/// in-order delivery for baseline comparisons.
+///
+/// The delay model's max_delay() is the channel's message lifetime L.  A
+/// message is *never* in transit longer than L, which is the property the
+/// paper's realistic timeout implementation relies on ("a mechanism for
+/// aging messages in transit, i.e., ensuring that they are eventually
+/// discarded if not received").
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "channel/delay_model.hpp"
+#include "channel/loss_model.hpp"
+#include "channel/set_channel.hpp"
+#include "common/rng.hpp"
+#include "protocol/message.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace bacp::sim {
+
+struct ChannelStats {
+    std::uint64_t sent = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t delivered = 0;
+};
+
+class SimChannel {
+public:
+    using Receiver = std::function<void(const proto::Message&)>;
+
+    struct Config {
+        std::unique_ptr<channel::LossModel> loss;   // nullptr -> NoLoss
+        std::unique_ptr<channel::DelayModel> delay; // nullptr -> FixedDelay(1ms)
+        bool fifo = false;                          // force in-order delivery
+        /// Keep the multiset of in-flight messages so snapshot() can feed
+        /// the invariant checker (test/verification runs only).
+        bool track_contents = false;
+        /// Bottleneck-link model: when service_time > 0, each message
+        /// occupies the link for service_time (serialization); messages
+        /// found with more than queue_capacity predecessors waiting are
+        /// tail-dropped.  Propagation delay (the delay model) adds on top.
+        /// This makes window size a real congestion variable (E12).
+        SimTime service_time = 0;
+        std::size_t queue_capacity = 64;
+    };
+
+    /// \p name labels trace entries (e.g. "C_SR").  \p rng must outlive
+    /// the channel.
+    SimChannel(Simulator& sim, Rng& rng, Config config, std::string name = "C");
+
+    /// Registers the delivery callback (must be set before first send).
+    void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
+
+    /// Optional trace sink.
+    void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+    /// Accepts a message for transit.
+    void send(const proto::Message& msg);
+
+    /// Messages currently in transit (sent, neither dropped nor delivered).
+    std::size_t in_flight() const { return in_flight_; }
+
+    /// Upper bound on any message's time in transit (lifetime L).
+    SimTime max_lifetime() const { return delay_->max_delay(); }
+
+    const ChannelStats& stats() const { return stats_; }
+    const std::string& name() const { return name_; }
+
+    /// Abstract-channel view of the current in-flight multiset.
+    /// Precondition: constructed with track_contents = true.
+    channel::SetChannel snapshot() const;
+
+private:
+    Simulator& sim_;
+    Rng& rng_;
+    std::unique_ptr<channel::LossModel> loss_;
+    std::unique_ptr<channel::DelayModel> delay_;
+    bool fifo_;
+    std::string name_;
+    Receiver receiver_;
+    TraceRecorder* trace_ = nullptr;
+    ChannelStats stats_;
+    std::size_t in_flight_ = 0;
+    SimTime last_delivery_ = 0;  // FIFO mode: previous scheduled delivery
+    bool track_contents_ = false;
+    std::vector<proto::Message> contents_;  // in-flight multiset when tracked
+    SimTime service_time_ = 0;              // bottleneck serialization time
+    std::size_t queue_capacity_ = 64;
+    SimTime link_free_at_ = 0;              // bottleneck: next departure slot
+};
+
+}  // namespace bacp::sim

@@ -1,0 +1,65 @@
+#include "sim/simulator.hpp"
+
+#include "common/assert.hpp"
+
+namespace bacp::sim {
+
+EventId Simulator::schedule_at(SimTime t, Handler fn) {
+    BACP_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+    return queue_.push(t, std::move(fn));
+}
+
+EventId Simulator::schedule_after(SimTime delay, Handler fn) {
+    BACP_ASSERT_MSG(delay >= 0, "negative delay");
+    return queue_.push(now_ + delay, std::move(fn));
+}
+
+void Simulator::add_idle_hook(IdleHook hook) {
+    BACP_ASSERT(hook != nullptr);
+    idle_hooks_.push_back(std::move(hook));
+}
+
+bool Simulator::step() {
+    if (queue_.empty()) return false;
+    auto fired = queue_.pop();
+    BACP_ASSERT(fired.time >= now_);
+    now_ = fired.time;
+    fired.handler();
+    return true;
+}
+
+bool Simulator::run_idle_hooks() {
+    bool progressed = false;
+    for (auto& hook : idle_hooks_) {
+        if (hook()) progressed = true;
+    }
+    return progressed;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+    std::size_t fired = 0;
+    while (fired < max_events) {
+        if (step()) {
+            ++fired;
+            continue;
+        }
+        if (!run_idle_hooks()) break;  // truly quiescent
+    }
+    return fired;
+}
+
+std::size_t Simulator::run_until(SimTime deadline, std::size_t max_events) {
+    std::size_t fired = 0;
+    while (fired < max_events) {
+        if (queue_.empty()) {
+            if (!run_idle_hooks()) break;
+            continue;
+        }
+        if (queue_.next_time() > deadline) break;
+        step();
+        ++fired;
+    }
+    return fired;
+}
+
+}  // namespace bacp::sim

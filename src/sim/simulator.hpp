@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file simulator.hpp
+/// Single-threaded discrete-event simulator.
+///
+/// Besides the usual schedule/step/run loop, the simulator supports *idle
+/// hooks*: callbacks invoked only when the event queue has drained.  Idle
+/// hooks implement the paper's oracle timeout guards exactly -- the SII
+/// guard "timeout == (na != ns) and C_SR = {} and C_RS = {} and not
+/// rcvd[nr]" fires precisely when nothing else can happen, which in DES
+/// terms is an empty event queue (an eager receiver leaves no hidden
+/// enabled actions behind).
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/event_queue.hpp"
+
+namespace bacp::sim {
+
+class Simulator {
+public:
+    using Handler = EventQueue::Handler;
+    /// Returns true when the hook performed work (scheduled new events).
+    using IdleHook = std::function<bool()>;
+
+    SimTime now() const { return now_; }
+
+    /// Schedules \p fn at absolute simulated time \p t (>= now).
+    EventId schedule_at(SimTime t, Handler fn);
+
+    /// Schedules \p fn after a non-negative delay.
+    EventId schedule_after(SimTime delay, Handler fn);
+
+    /// Cancels a pending event (no-op if already fired).
+    void cancel(EventId id) { queue_.cancel(id); }
+
+    /// Registers an idle hook; hooks run in registration order when the
+    /// queue drains, and the run loop resumes if any reports work done.
+    void add_idle_hook(IdleHook hook);
+
+    /// Executes the next event.  Returns false when the queue is empty
+    /// (idle hooks are NOT consulted here).
+    bool step();
+
+    /// Runs until the queue is empty and no idle hook makes progress, or
+    /// until \p max_events have fired.  Returns the number fired.
+    std::size_t run(std::size_t max_events = kDefaultMaxEvents);
+
+    /// Runs until simulated time exceeds \p deadline, the queue drains
+    /// with no idle progress, or \p max_events fire.  Events scheduled at
+    /// or before the deadline still execute.
+    std::size_t run_until(SimTime deadline, std::size_t max_events = kDefaultMaxEvents);
+
+    std::size_t pending_events() const { return queue_.size(); }
+
+    static constexpr std::size_t kDefaultMaxEvents = 100'000'000;
+
+private:
+    /// Gives every idle hook a chance; true if any did work.
+    bool run_idle_hooks();
+
+    EventQueue queue_;
+    SimTime now_ = 0;
+    std::vector<IdleHook> idle_hooks_;
+};
+
+}  // namespace bacp::sim

@@ -1,0 +1,22 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace bacp::sim {
+
+std::string TraceRecorder::dump() const {
+    std::ostringstream os;
+    for (const auto& e : events_) {
+        os << "t=" << e.time << " [" << e.actor << "] " << e.what << "\n";
+    }
+    return os.str();
+}
+
+bool TraceRecorder::contains(const std::string& needle) const {
+    for (const auto& e : events_) {
+        if (e.what.find(needle) != std::string::npos) return true;
+    }
+    return false;
+}
+
+}  // namespace bacp::sim

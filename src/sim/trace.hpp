@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file trace.hpp
+/// Chronological event trace for debugging and for the annotated example
+/// walkthroughs (examples/protocol_trace).
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bacp::sim {
+
+struct TraceEvent {
+    SimTime time = 0;
+    std::string actor;  // e.g. "S", "R", "C_SR"
+    std::string what;   // e.g. "send D(3)", "drop A(0,2)"
+};
+
+class TraceRecorder {
+public:
+    void record(SimTime time, std::string actor, std::string what) {
+        events_.push_back(TraceEvent{time, std::move(actor), std::move(what)});
+    }
+
+    const std::vector<TraceEvent>& events() const { return events_; }
+    std::size_t size() const { return events_.size(); }
+    void clear() { events_.clear(); }
+
+    /// Multi-line "t=... [actor] what" rendering.
+    std::string dump() const;
+
+    /// True if any event's description contains \p needle (test helper).
+    bool contains(const std::string& needle) const;
+
+private:
+    std::vector<TraceEvent> events_;
+};
+
+}  // namespace bacp::sim

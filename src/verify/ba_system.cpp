@@ -1,0 +1,152 @@
+#include "verify/ba_system.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "verify/hash.hpp"
+#include "verify/invariants.hpp"
+
+namespace bacp::verify {
+
+BaSystem::BaSystem(const BaOptions& options)
+    : options_(options), sender_(options.w), receiver_(options.w) {}
+
+bool BaSystem::simple_timeout_enabled() const {
+    // timeout == (na != ns) && C_SR = {} && C_RS = {} && !rcvd[nr]
+    return sender_.na() != sender_.ns() && c_sr_.empty() && c_rs_.empty() &&
+           !receiver_.rcvd(receiver_.nr());
+}
+
+bool BaSystem::per_message_timeout_enabled(Seq i) const {
+    // timeout(i) == na <= i < ns && !ackd[i]            (local, can_resend)
+    //            && *SR^i = 0                            (no data copy)
+    //            && (i < nr || !rcvd[i])                  (R cannot ack it)
+    //            && *RS^i = 0                             (no ack copy)
+    return sender_.can_resend(i) && c_sr_.count_data(i) == 0 &&
+           (i < receiver_.nr() || !receiver_.rcvd(i)) && c_rs_.count_ack_covering(i) == 0;
+}
+
+template <typename Fn>
+void BaSystem::apply(std::vector<Successor<BaSystem>>& out, const std::string& label,
+                     Fn&& fn) const {
+    Successor<BaSystem> successor{label, *this};
+    try {
+        fn(successor.state);
+    } catch (const AssertionError& err) {
+        successor.state.action_violation_ = label + ": " + err.what();
+    }
+    out.push_back(std::move(successor));
+}
+
+std::vector<Successor<BaSystem>> BaSystem::successors() const {
+    std::vector<Successor<BaSystem>> out;
+
+    // Action 0: send a new data message (bounded by max_ns).
+    if (sender_.can_send_new() && sender_.ns() < options_.max_ns) {
+        apply(out, "S sends D(" + std::to_string(sender_.ns()) + ")",
+              [](BaSystem& s) { s.c_sr_.send(s.sender_.send_new()); });
+    }
+
+    // Action 1: sender receives any ack from C_RS.
+    for (std::size_t i = 0; i < c_rs_.size(); ++i) {
+        apply(out, "S receives " + proto::to_string(c_rs_.at(i)), [i](BaSystem& s) {
+            const auto msg = s.c_rs_.receive_at(i);
+            s.sender_.on_ack(std::get<proto::Ack>(msg));
+        });
+    }
+
+    // Action 2 / 2': timeout retransmissions (oracle guards).
+    if (!options_.per_message_timeout) {
+        if (simple_timeout_enabled()) {
+            apply(out, "S times out, resends D(" + std::to_string(sender_.na()) + ")",
+                  [](BaSystem& s) { s.c_sr_.send(s.sender_.resend(s.sender_.na())); });
+        }
+    } else {
+        for (const Seq i : sender_.resend_candidates()) {
+            if (per_message_timeout_enabled(i)) {
+                apply(out, "S times out(i), resends D(" + std::to_string(i) + ")",
+                      [i](BaSystem& s) { s.c_sr_.send(s.sender_.resend(i)); });
+            }
+        }
+    }
+
+    // Action 3: receiver receives any data message from C_SR.
+    for (std::size_t i = 0; i < c_sr_.size(); ++i) {
+        apply(out, "R receives " + proto::to_string(c_sr_.at(i)), [i](BaSystem& s) {
+            const auto msg = s.c_sr_.receive_at(i);
+            const auto dup = s.receiver_.on_data(std::get<proto::Data>(msg));
+            if (dup) s.c_rs_.send(*dup);
+        });
+    }
+
+    // Action 4: advance vr over a received message.
+    if (receiver_.can_advance()) {
+        apply(out, "R advances vr to " + std::to_string(receiver_.vr() + 1),
+              [](BaSystem& s) { s.receiver_.advance(); });
+    }
+
+    // Action 5: emit the block acknowledgment.
+    if (receiver_.can_ack()) {
+        apply(out,
+              "R acks (" + std::to_string(receiver_.nr()) + "," +
+                  std::to_string(receiver_.vr() - 1) + ")",
+              [](BaSystem& s) { s.c_rs_.send(s.receiver_.make_ack()); });
+    }
+
+    // SVI variable windows: the limit may move anywhere in [1, w].
+    if (options_.variable_window) {
+        for (Seq limit = 1; limit <= options_.w; ++limit) {
+            if (limit == sender_.window_limit()) continue;
+            apply(out, "S sets window limit to " + std::to_string(limit),
+                  [limit](BaSystem& s) { s.sender_.set_window_limit(limit); });
+        }
+    }
+
+    // Losses: any message in either channel may vanish.
+    if (options_.allow_loss) {
+        for (std::size_t i = 0; i < c_sr_.size(); ++i) {
+            apply(out, "C_SR loses " + proto::to_string(c_sr_.at(i)),
+                  [i](BaSystem& s) { s.c_sr_.lose_at(i); });
+        }
+        for (std::size_t i = 0; i < c_rs_.size(); ++i) {
+            apply(out, "C_RS loses " + proto::to_string(c_rs_.at(i)),
+                  [i](BaSystem& s) { s.c_rs_.lose_at(i); });
+        }
+    }
+
+    return out;
+}
+
+std::vector<std::string> BaSystem::violations() const {
+    if (!action_violation_.empty()) return {action_violation_};
+    return check_invariants(sender_, receiver_, c_sr_, c_rs_).violations;
+}
+
+bool BaSystem::done() const {
+    return sender_.ns() == options_.max_ns && sender_.na() == options_.max_ns &&
+           receiver_.nr() == options_.max_ns && c_sr_.empty() && c_rs_.empty();
+}
+
+std::size_t BaSystem::hash() const {
+    HashFeed h;
+    sender_.feed(h);
+    receiver_.feed(h);
+    c_sr_.feed(h);
+    c_rs_.feed(h);
+    return static_cast<std::size_t>(h.value);
+}
+
+bool BaSystem::operator==(const BaSystem& other) const {
+    return sender_ == other.sender_ && receiver_ == other.receiver_ && c_sr_ == other.c_sr_ &&
+           c_rs_ == other.c_rs_;
+}
+
+std::string BaSystem::describe() const {
+    std::ostringstream os;
+    os << "S{na=" << sender_.na() << " ns=" << sender_.ns() << "} R{nr=" << receiver_.nr()
+       << " vr=" << receiver_.vr() << "} C_SR=" << c_sr_.to_string()
+       << " C_RS=" << c_rs_.to_string();
+    return os.str();
+}
+
+}  // namespace bacp::verify

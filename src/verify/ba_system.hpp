@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file ba_system.hpp
+/// The paper's full nondeterministic system (sender + receiver + two set
+/// channels) packaged for the explicit-state explorer.
+///
+/// Successor states cover every enabled protocol action 0-5 (with either
+/// the SII simple timeout or the SIV per-message timeout), every possible
+/// receive order, and -- when enabled -- every possible message loss.
+/// violations() evaluates the full invariant (assertions 6-8); any
+/// AssertionError thrown by a protocol core during an action is likewise
+/// converted into a violation so the checker produces a trace instead of
+/// crashing.
+///
+/// Exploration is bounded by max_ns: action 0 stops once ns reaches it
+/// (the protocol state space is infinite otherwise -- sequence numbers are
+/// unbounded in SII).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ba/receiver.hpp"
+#include "ba/sender.hpp"
+#include "channel/set_channel.hpp"
+#include "verify/explorer.hpp"
+
+namespace bacp::verify {
+
+struct BaOptions {
+    Seq w = 2;
+    Seq max_ns = 4;                  // exploration bound on new sends
+    bool per_message_timeout = false;  // false: SII action 2; true: SIV 2'
+    bool allow_loss = true;
+    /// SVI variable-window claim: when true, the sender's effective
+    /// window limit may change nondeterministically to ANY value in
+    /// [1, w] at any step; the invariant must still hold everywhere.
+    bool variable_window = false;
+};
+
+class BaSystem {
+public:
+    explicit BaSystem(const BaOptions& options);
+
+    std::vector<Successor<BaSystem>> successors() const;
+    std::vector<std::string> violations() const;
+    /// Everything sent, accepted, and acknowledged; channels drained.
+    bool done() const;
+    std::size_t hash() const;
+    bool operator==(const BaSystem& other) const;
+    std::string describe() const;
+
+    const ba::Sender& sender() const { return sender_; }
+    const ba::Receiver& receiver() const { return receiver_; }
+    const channel::SetChannel& c_sr() const { return c_sr_; }
+    const channel::SetChannel& c_rs() const { return c_rs_; }
+
+private:
+    /// Guard of the SII simple timeout (oracle form).
+    bool simple_timeout_enabled() const;
+    /// Guard of the SIV timeout(i) (oracle form).
+    bool per_message_timeout_enabled(Seq i) const;
+
+    template <typename Fn>
+    void apply(std::vector<Successor<BaSystem>>& out, const std::string& label, Fn&& fn) const;
+
+    BaOptions options_;
+    ba::Sender sender_;
+    ba::Receiver receiver_;
+    channel::SetChannel c_sr_;
+    channel::SetChannel c_rs_;
+    std::string action_violation_;  // non-empty when an action threw
+};
+
+}  // namespace bacp::verify

@@ -1,0 +1,240 @@
+#include "verify/bounded_system.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "protocol/seqnum.hpp"
+#include "verify/hash.hpp"
+#include "verify/invariants.hpp"
+
+namespace bacp::verify {
+
+BoundedEquivSystem::BoundedEquivSystem(const BoundedEquivOptions& options)
+    : options_(options),
+      shadow_sender_(options.w),
+      shadow_receiver_(options.w),
+      bounded_sender_(options.w),
+      bounded_receiver_(options.w) {}
+
+void BoundedEquivSystem::diverged(const std::string& what) {
+    if (divergence_.empty()) divergence_ = what;
+}
+
+bool BoundedEquivSystem::per_message_timeout_enabled(Seq i) const {
+    return shadow_sender_.can_resend(i) && c_sr_.count_data(i) == 0 &&
+           (i < shadow_receiver_.nr() || !shadow_receiver_.rcvd(i)) &&
+           c_rs_.count_ack_covering(i) == 0;
+}
+
+template <typename Fn>
+void BoundedEquivSystem::apply(std::vector<Successor<BoundedEquivSystem>>& out,
+                               const std::string& label, Fn&& fn) const {
+    Successor<BoundedEquivSystem> successor{label, *this};
+    try {
+        fn(successor.state);
+    } catch (const AssertionError& err) {
+        successor.state.diverged(label + ": " + err.what());
+    }
+    out.push_back(std::move(successor));
+}
+
+std::vector<Successor<BoundedEquivSystem>> BoundedEquivSystem::successors() const {
+    std::vector<Successor<BoundedEquivSystem>> out;
+    const Seq n = domain();
+
+    // Action 0: both guards must agree; residue must be true seq mod n.
+    if (shadow_sender_.can_send_new() != bounded_sender_.can_send_new()) {
+        apply(out, "guard mismatch", [](BoundedEquivSystem& s) {
+            s.diverged("action 0 guard differs between shadow and bounded");
+        });
+        return out;
+    }
+    if (shadow_sender_.can_send_new() && shadow_sender_.ns() < options_.max_ns) {
+        apply(out, "S sends D(" + std::to_string(shadow_sender_.ns()) + ")",
+              [n](BoundedEquivSystem& s) {
+                  const auto true_msg = s.shadow_sender_.send_new();
+                  const auto wire_msg = s.bounded_sender_.send_new();
+                  if (wire_msg.seq != true_msg.seq % n) {
+                      s.diverged("wire residue != true seq mod 2w on new send");
+                  }
+                  s.c_sr_.send(true_msg);
+              });
+    }
+
+    // Action 1: sender receives an ack.
+    for (std::size_t i = 0; i < c_rs_.size(); ++i) {
+        apply(out, "S receives " + proto::to_string(c_rs_.at(i)), [i, n](BoundedEquivSystem& s) {
+            const auto msg = s.c_rs_.receive_at(i);
+            const auto true_ack = std::get<proto::Ack>(msg);
+            const Seq na_shadow_before = s.shadow_sender_.na();
+            s.shadow_sender_.on_ack(true_ack);
+            const proto::Ack wire_ack{true_ack.lo % n, true_ack.hi % n};
+            const Seq na_mod_before = s.bounded_sender_.na_mod();
+            s.bounded_sender_.on_ack(wire_ack);
+            const Seq shadow_advance = s.shadow_sender_.na() - na_shadow_before;
+            const Seq bounded_advance =
+                proto::mod_offset(na_mod_before, s.bounded_sender_.na_mod(), n);
+            if (shadow_advance != bounded_advance) {
+                s.diverged("window advance differs after ack");
+            }
+            if (s.bounded_sender_.na_mod() != s.shadow_sender_.na() % n ||
+                s.bounded_sender_.outstanding() != s.shadow_sender_.outstanding()) {
+                s.diverged("sender state mismatch after ack");
+            }
+        });
+    }
+
+    // Action 2 / 2': timeouts (oracle guards on the shadow).
+    if (!options_.per_message_timeout) {
+        const bool timeout = shadow_sender_.na() != shadow_sender_.ns() && c_sr_.empty() &&
+                             c_rs_.empty() && !shadow_receiver_.rcvd(shadow_receiver_.nr());
+        if (timeout) {
+            apply(out, "S times out, resends D(" + std::to_string(shadow_sender_.na()) + ")",
+                  [n](BoundedEquivSystem& s) {
+                      const auto true_msg = s.shadow_sender_.resend(s.shadow_sender_.na());
+                      const auto wire_msg =
+                          s.bounded_sender_.resend(s.bounded_sender_.na_mod());
+                      if (wire_msg.seq != true_msg.seq % n) {
+                          s.diverged("wire residue != true seq mod 2w on resend");
+                      }
+                      s.c_sr_.send(true_msg);
+                  });
+        }
+    } else {
+        for (const Seq i : shadow_sender_.resend_candidates()) {
+            if (!per_message_timeout_enabled(i)) continue;
+            apply(out, "S times out(i), resends D(" + std::to_string(i) + ")",
+                  [i, n](BoundedEquivSystem& s) {
+                      if (!s.bounded_sender_.can_resend(i % n)) {
+                          s.diverged("bounded sender cannot resend an eligible candidate");
+                          return;
+                      }
+                      const auto true_msg = s.shadow_sender_.resend(i);
+                      const auto wire_msg = s.bounded_sender_.resend(i % n);
+                      if (wire_msg.seq != true_msg.seq % n) {
+                          s.diverged("wire residue != true seq mod 2w on resend");
+                      }
+                      s.c_sr_.send(true_msg);
+                  });
+        }
+    }
+
+    // Action 3: receiver receives a data message.
+    for (std::size_t i = 0; i < c_sr_.size(); ++i) {
+        apply(out, "R receives " + proto::to_string(c_sr_.at(i)), [i, n](BoundedEquivSystem& s) {
+            const auto msg = s.c_sr_.receive_at(i);
+            const auto true_data = std::get<proto::Data>(msg);
+            const auto shadow_dup = s.shadow_receiver_.on_data(true_data);
+            const auto bounded_dup =
+                s.bounded_receiver_.on_data(proto::Data{true_data.seq % n});
+            if (shadow_dup.has_value() != bounded_dup.has_value()) {
+                s.diverged("duplicate classification differs");
+                return;
+            }
+            if (shadow_dup) {
+                if (bounded_dup->lo != shadow_dup->lo % n ||
+                    bounded_dup->hi != shadow_dup->hi % n) {
+                    s.diverged("duplicate-ack residues differ");
+                }
+                s.c_rs_.send(*shadow_dup);
+            }
+        });
+    }
+
+    // Action 4: advance vr.
+    if (shadow_receiver_.can_advance() != bounded_receiver_.can_advance()) {
+        apply(out, "guard mismatch", [](BoundedEquivSystem& s) {
+            s.diverged("action 4 guard differs between shadow and bounded");
+        });
+        return out;
+    }
+    if (shadow_receiver_.can_advance()) {
+        apply(out, "R advances vr to " + std::to_string(shadow_receiver_.vr() + 1),
+              [](BoundedEquivSystem& s) {
+                  s.shadow_receiver_.advance();
+                  s.bounded_receiver_.advance();
+              });
+    }
+
+    // Action 5: block ack.
+    if (shadow_receiver_.can_ack() != bounded_receiver_.can_ack()) {
+        apply(out, "guard mismatch", [](BoundedEquivSystem& s) {
+            s.diverged("action 5 guard differs between shadow and bounded");
+        });
+        return out;
+    }
+    if (shadow_receiver_.can_ack()) {
+        apply(out,
+              "R acks (" + std::to_string(shadow_receiver_.nr()) + "," +
+                  std::to_string(shadow_receiver_.vr() - 1) + ")",
+              [n](BoundedEquivSystem& s) {
+                  const auto true_ack = s.shadow_receiver_.make_ack();
+                  const auto wire_ack = s.bounded_receiver_.make_ack();
+                  if (wire_ack.lo != true_ack.lo % n || wire_ack.hi != true_ack.hi % n) {
+                      s.diverged("block-ack residues differ");
+                  }
+                  s.c_rs_.send(true_ack);
+              });
+    }
+
+    // Losses.
+    if (options_.allow_loss) {
+        for (std::size_t i = 0; i < c_sr_.size(); ++i) {
+            apply(out, "C_SR loses " + proto::to_string(c_sr_.at(i)),
+                  [i](BoundedEquivSystem& s) { s.c_sr_.lose_at(i); });
+        }
+        for (std::size_t i = 0; i < c_rs_.size(); ++i) {
+            apply(out, "C_RS loses " + proto::to_string(c_rs_.at(i)),
+                  [i](BoundedEquivSystem& s) { s.c_rs_.lose_at(i); });
+        }
+    }
+
+    return out;
+}
+
+std::vector<std::string> BoundedEquivSystem::violations() const {
+    if (!divergence_.empty()) return {divergence_};
+    // The shadow must itself satisfy the paper's invariant.
+    return check_invariants(shadow_sender_, shadow_receiver_, c_sr_, c_rs_).violations;
+}
+
+bool BoundedEquivSystem::done() const {
+    return shadow_sender_.ns() == options_.max_ns && shadow_sender_.na() == options_.max_ns &&
+           shadow_receiver_.nr() == options_.max_ns && c_sr_.empty() && c_rs_.empty();
+}
+
+std::size_t BoundedEquivSystem::hash() const {
+    HashFeed h;
+    shadow_sender_.feed(h);
+    shadow_receiver_.feed(h);
+    c_sr_.feed(h);
+    c_rs_.feed(h);
+    // Bounded-core state is a function of the shadow state when no
+    // divergence has occurred, but feed it anyway so any divergence is
+    // itself state-distinguishing.
+    h(bounded_sender_.na_mod());
+    h(bounded_sender_.ns_mod());
+    h(bounded_receiver_.nr_mod());
+    h(bounded_receiver_.vr_mod());
+    return static_cast<std::size_t>(h.value);
+}
+
+bool BoundedEquivSystem::operator==(const BoundedEquivSystem& other) const {
+    return shadow_sender_ == other.shadow_sender_ &&
+           shadow_receiver_ == other.shadow_receiver_ &&
+           bounded_sender_ == other.bounded_sender_ &&
+           bounded_receiver_ == other.bounded_receiver_ && c_sr_ == other.c_sr_ &&
+           c_rs_ == other.c_rs_ && divergence_ == other.divergence_;
+}
+
+std::string BoundedEquivSystem::describe() const {
+    std::ostringstream os;
+    os << "shadow S{na=" << shadow_sender_.na() << " ns=" << shadow_sender_.ns()
+       << "} R{nr=" << shadow_receiver_.nr() << " vr=" << shadow_receiver_.vr()
+       << "} bounded S{na'=" << bounded_sender_.na_mod() << " ns'=" << bounded_sender_.ns_mod()
+       << "} R{nr'=" << bounded_receiver_.nr_mod() << " vr'=" << bounded_receiver_.vr_mod()
+       << "} C_SR=" << c_sr_.to_string() << " C_RS=" << c_rs_.to_string();
+    return os.str();
+}
+
+}  // namespace bacp::verify

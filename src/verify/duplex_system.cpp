@@ -1,0 +1,222 @@
+#include "verify/duplex_system.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "verify/hash.hpp"
+#include "verify/invariants.hpp"
+
+namespace bacp::verify {
+
+DuplexSystem::DuplexSystem(const DuplexOptions& options)
+    : options_(options), a_(options.w), b_(options.w) {}
+
+void DuplexSystem::project(const channel::SetChannel& forward,
+                           const channel::SetChannel& reverse,
+                           channel::SetChannel& data_view, channel::SetChannel& ack_view) {
+    for (const auto& msg : forward.messages()) {
+        if (const auto* d = std::get_if<proto::Data>(&msg)) {
+            data_view.send(*d);
+        } else if (const auto* da = std::get_if<proto::DataAck>(&msg)) {
+            data_view.send(da->data);
+        }
+        // Standalone acks in the forward channel belong to the REVERSE
+        // direction's projection, not this one.
+    }
+    for (const auto& msg : reverse.messages()) {
+        if (const auto* ack = std::get_if<proto::Ack>(&msg)) {
+            ack_view.send(*ack);
+        } else if (const auto* da = std::get_if<proto::DataAck>(&msg)) {
+            ack_view.send(da->ack);
+        }
+    }
+}
+
+bool DuplexSystem::timeout_enabled(const End& from, const End& to,
+                                   const channel::SetChannel& forward,
+                                   const channel::SetChannel& reverse, Seq i) const {
+    if (!from.sender.can_resend(i)) return false;
+    channel::SetChannel data_view, ack_view;
+    project(forward, reverse, data_view, ack_view);
+    return data_view.count_data(i) == 0 &&
+           (i < to.receiver.nr() || !to.receiver.rcvd(i)) &&
+           ack_view.count_ack_covering(i) == 0;
+}
+
+template <typename Fn>
+void DuplexSystem::apply(std::vector<Successor<DuplexSystem>>& out, const std::string& label,
+                         Fn&& fn) const {
+    Successor<DuplexSystem> successor{label, *this};
+    try {
+        fn(successor.state);
+    } catch (const AssertionError& err) {
+        successor.state.action_violation_ = label + ": " + err.what();
+    }
+    out.push_back(std::move(successor));
+}
+
+std::vector<Successor<DuplexSystem>> DuplexSystem::successors() const {
+    std::vector<Successor<DuplexSystem>> out;
+
+    // Helper lambdas parameterized by direction: id 0 = A (sends on
+    // c_ab_, acks B's data), id 1 = B.
+    const auto for_direction = [&](int id) {
+        const End& self = id == 0 ? a_ : b_;
+        const Seq max_ns = id == 0 ? options_.max_ns_a : options_.max_ns_b;
+        const std::string who = id == 0 ? "A" : "B";
+
+        // Send new data, optionally riding the pending block ack (the
+        // choice is nondeterministic: both behaviors must be safe).
+        if (self.sender.can_send_new() && self.sender.ns() < max_ns) {
+            apply(out, who + " sends D(" + std::to_string(self.sender.ns()) + ")",
+                  [id](DuplexSystem& s) {
+                      End& me = id == 0 ? s.a_ : s.b_;
+                      auto& ch = id == 0 ? s.c_ab_ : s.c_ba_;
+                      ch.send(me.sender.send_new());
+                  });
+            if (self.receiver.can_ack()) {
+                apply(out,
+                      who + " sends D(" + std::to_string(self.sender.ns()) +
+                          ") + piggyback ack",
+                      [id](DuplexSystem& s) {
+                          End& me = id == 0 ? s.a_ : s.b_;
+                          auto& ch = id == 0 ? s.c_ab_ : s.c_ba_;
+                          const auto data = me.sender.send_new();
+                          const auto ride = me.receiver.make_ack();
+                          ch.send(proto::DataAck{data, ride});
+                      });
+            }
+        }
+
+        // Standalone ack flush (action 5).
+        if (self.receiver.can_ack()) {
+            apply(out, who + " acks standalone", [id](DuplexSystem& s) {
+                End& me = id == 0 ? s.a_ : s.b_;
+                auto& ch = id == 0 ? s.c_ab_ : s.c_ba_;
+                ch.send(me.receiver.make_ack());
+            });
+        }
+
+        // Receiver bookkeeping (action 4).
+        if (self.receiver.can_advance()) {
+            apply(out, who + " advances vr", [id](DuplexSystem& s) {
+                (id == 0 ? s.a_ : s.b_).receiver.advance();
+            });
+        }
+
+        // Per-message oracle timeouts for this direction's data.
+        const End& peer = id == 0 ? b_ : a_;
+        const auto& forward = id == 0 ? c_ab_ : c_ba_;
+        const auto& reverse = id == 0 ? c_ba_ : c_ab_;
+        for (const Seq i : self.sender.resend_candidates()) {
+            if (!timeout_enabled(self, peer, forward, reverse, i)) continue;
+            apply(out, who + " times out, resends D(" + std::to_string(i) + ")",
+                  [id, i](DuplexSystem& s) {
+                      End& me = id == 0 ? s.a_ : s.b_;
+                      auto& ch = id == 0 ? s.c_ab_ : s.c_ba_;
+                      ch.send(me.sender.resend(i));
+                  });
+        }
+    };
+    for_direction(0);
+    for_direction(1);
+
+    // Receptions: any message in either channel, processed by the far end.
+    // A DataAck is handled atomically: ack half to the local sender, data
+    // half to the local receiver (either internal order must be safe; the
+    // runtime uses data-first, the checker exercises ack-first too).
+    const auto receive_from = [&](int channel_id) {
+        const auto& ch = channel_id == 0 ? c_ab_ : c_ba_;  // 0: A->B, receiver is B
+        const std::string who = channel_id == 0 ? "B" : "A";
+        for (std::size_t i = 0; i < ch.size(); ++i) {
+            apply(out, who + " receives " + proto::to_string(ch.at(i)),
+                  [channel_id, i](DuplexSystem& s) {
+                      auto& ch2 = channel_id == 0 ? s.c_ab_ : s.c_ba_;
+                      End& me = channel_id == 0 ? s.b_ : s.a_;
+                      auto& back = channel_id == 0 ? s.c_ba_ : s.c_ab_;
+                      const auto msg = ch2.receive_at(i);
+                      if (const auto* d = std::get_if<proto::Data>(&msg)) {
+                          const auto dup = me.receiver.on_data(*d);
+                          if (dup) back.send(*dup);
+                      } else if (const auto* ack = std::get_if<proto::Ack>(&msg)) {
+                          me.sender.on_ack(*ack);
+                      } else {
+                          const auto& da = std::get<proto::DataAck>(msg);
+                          me.sender.on_ack(da.ack);
+                          const auto dup = me.receiver.on_data(da.data);
+                          if (dup) back.send(*dup);
+                      }
+                  });
+        }
+    };
+    receive_from(0);
+    receive_from(1);
+
+    // Losses.
+    if (options_.allow_loss) {
+        for (std::size_t i = 0; i < c_ab_.size(); ++i) {
+            apply(out, "C_AB loses " + proto::to_string(c_ab_.at(i)),
+                  [i](DuplexSystem& s) { s.c_ab_.lose_at(i); });
+        }
+        for (std::size_t i = 0; i < c_ba_.size(); ++i) {
+            apply(out, "C_BA loses " + proto::to_string(c_ba_.at(i)),
+                  [i](DuplexSystem& s) { s.c_ba_.lose_at(i); });
+        }
+    }
+
+    return out;
+}
+
+std::vector<std::string> DuplexSystem::violations() const {
+    if (!action_violation_.empty()) return {action_violation_};
+    std::vector<std::string> all;
+    // Direction A -> B.
+    {
+        channel::SetChannel data_view, ack_view;
+        project(c_ab_, c_ba_, data_view, ack_view);
+        const auto report = check_invariants(a_.sender, b_.receiver, data_view, ack_view);
+        for (const auto& v : report.violations) all.push_back("A->B " + v);
+    }
+    // Direction B -> A.
+    {
+        channel::SetChannel data_view, ack_view;
+        project(c_ba_, c_ab_, data_view, ack_view);
+        const auto report = check_invariants(b_.sender, a_.receiver, data_view, ack_view);
+        for (const auto& v : report.violations) all.push_back("B->A " + v);
+    }
+    return all;
+}
+
+bool DuplexSystem::done() const {
+    return a_.sender.ns() == options_.max_ns_a && a_.sender.na() == options_.max_ns_a &&
+           b_.receiver.nr() == options_.max_ns_a && b_.sender.ns() == options_.max_ns_b &&
+           b_.sender.na() == options_.max_ns_b && a_.receiver.nr() == options_.max_ns_b &&
+           c_ab_.empty() && c_ba_.empty();
+}
+
+std::size_t DuplexSystem::hash() const {
+    HashFeed h;
+    a_.sender.feed(h);
+    a_.receiver.feed(h);
+    b_.sender.feed(h);
+    b_.receiver.feed(h);
+    c_ab_.feed(h);
+    c_ba_.feed(h);
+    return static_cast<std::size_t>(h.value);
+}
+
+bool DuplexSystem::operator==(const DuplexSystem& other) const {
+    return a_ == other.a_ && b_ == other.b_ && c_ab_ == other.c_ab_ && c_ba_ == other.c_ba_ &&
+           action_violation_ == other.action_violation_;
+}
+
+std::string DuplexSystem::describe() const {
+    std::ostringstream os;
+    os << "A{na=" << a_.sender.na() << " ns=" << a_.sender.ns() << " nr=" << a_.receiver.nr()
+       << " vr=" << a_.receiver.vr() << "} B{na=" << b_.sender.na() << " ns=" << b_.sender.ns()
+       << " nr=" << b_.receiver.nr() << " vr=" << b_.receiver.vr()
+       << "} C_AB=" << c_ab_.to_string() << " C_BA=" << c_ba_.to_string();
+    return os.str();
+}
+
+}  // namespace bacp::verify

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file duplex_system.hpp
+/// Model-checked duplex (piggybacked) composition.
+///
+/// Two block-acknowledgment instances share a channel pair; an endpoint
+/// may nondeterministically ride its pending block ack on an outgoing
+/// data message (a DataAck), flush it standalone, or hold it.  The
+/// explorer verifies that BOTH directions' invariants (assertions 6-8)
+/// hold in every reachable state, over *direction-projected* channel
+/// views: the A->B data view is the Data content of C_AB (including the
+/// data half of DataAcks), and the A->B ack view is the Ack content of
+/// C_BA (standalone acks plus the ack half of DataAcks riding B's data).
+///
+/// This is precisely the composition where processing-order mistakes hide
+/// (the E13 development found one: handling a DataAck's ack half before
+/// its data half forfeits the ride; handling data after ack is required
+/// for the *reply* ride but either order must be SAFE).  The checker
+/// explores both halves as one atomic action, matching the runtime.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ba/receiver.hpp"
+#include "ba/sender.hpp"
+#include "channel/set_channel.hpp"
+#include "verify/explorer.hpp"
+
+namespace bacp::verify {
+
+struct DuplexOptions {
+    Seq w = 2;
+    Seq max_ns_a = 3;  // messages A originates
+    Seq max_ns_b = 3;  // messages B originates
+    bool allow_loss = true;
+};
+
+class DuplexSystem {
+public:
+    explicit DuplexSystem(const DuplexOptions& options);
+
+    std::vector<Successor<DuplexSystem>> successors() const;
+    std::vector<std::string> violations() const;
+    bool done() const;
+    std::size_t hash() const;
+    bool operator==(const DuplexSystem& other) const;
+    std::string describe() const;
+
+private:
+    struct End {
+        ba::Sender sender;
+        ba::Receiver receiver;
+        End(Seq w) : sender(w), receiver(w) {}
+        friend bool operator==(const End&, const End&) = default;
+    };
+
+    /// Direction-projected channel views for the invariant checker.
+    /// forward = channel carrying this direction's data (and piggybacked
+    /// reverse acks); reverse = channel carrying this direction's acks.
+    static void project(const channel::SetChannel& forward,
+                        const channel::SetChannel& reverse, channel::SetChannel& data_view,
+                        channel::SetChannel& ack_view);
+
+    /// Oracle per-message timeout guard for one direction.
+    bool timeout_enabled(const End& from, const End& to, const channel::SetChannel& forward,
+                         const channel::SetChannel& reverse, Seq i) const;
+
+    template <typename Fn>
+    void apply(std::vector<Successor<DuplexSystem>>& out, const std::string& label,
+               Fn&& fn) const;
+
+    DuplexOptions options_;
+    End a_;
+    End b_;
+    channel::SetChannel c_ab_;
+    channel::SetChannel c_ba_;
+    std::string action_violation_;
+};
+
+}  // namespace bacp::verify

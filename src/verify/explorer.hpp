@@ -1,0 +1,223 @@
+#pragma once
+
+/// \file explorer.hpp
+/// Explicit-state model checker (breadth-first).
+///
+/// A System type S models the paper's nondeterministic action system: one
+/// protocol process pair plus two channels, with every enabled action --
+/// including message losses -- producing a successor state.  Requirements
+/// on S:
+///
+///   std::vector<Successor<S>> successors() const;
+///   std::vector<std::string>  violations()  const;  // empty = state OK
+///   bool  done() const;          // reached the transfer goal
+///   std::size_t hash() const;
+///   bool operator==(const S&) const;
+///   std::string describe() const;
+///
+/// BFS guarantees a *shortest* counterexample trace, which makes the SI
+/// failure scenario reproduced by the checker directly readable.
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bacp::verify {
+
+template <typename S>
+struct Successor {
+    std::string label;  // human-readable action, e.g. "R receives D(3)"
+    S state;
+};
+
+struct ExploreResult {
+    std::size_t states = 0;       // distinct states visited
+    std::size_t transitions = 0;  // edges traversed
+    bool hit_state_limit = false;
+
+    bool violation_found = false;
+    std::vector<std::string> violation;     // what failed
+    std::vector<std::string> trace;         // action labels, initial -> bad
+    std::string violating_state;
+
+    bool deadlock_found = false;            // no successor and not done()
+    std::vector<std::string> trace_to_deadlock;
+    std::string deadlock_state;
+
+    std::size_t done_states = 0;            // states with done() == true
+
+    /// Progress audit (paper SIII-B, mechanized): when requested, states
+    /// from which no done() state is reachable -- livelock traps.  Under
+    /// action fairness, "done reachable from every reachable state"
+    /// implies the paper's progress property.
+    bool progress_checked = false;
+    std::size_t trapped_states = 0;
+    std::string trapped_state;              // an example, if any
+
+    bool ok() const { return !violation_found && !deadlock_found; }
+    std::string summary() const {
+        std::string s = "states=" + std::to_string(states) +
+                        " transitions=" + std::to_string(transitions) +
+                        " done_states=" + std::to_string(done_states);
+        if (violation_found) s += " VIOLATION";
+        if (deadlock_found) s += " DEADLOCK";
+        if (progress_checked) {
+            s += trapped_states == 0 ? " progress-ok"
+                                     : " TRAPPED=" + std::to_string(trapped_states);
+        }
+        if (hit_state_limit) s += " (state limit hit)";
+        return s;
+    }
+};
+
+template <typename S>
+class Explorer {
+public:
+    /// When true, explore() follows the safety pass with a backward
+    /// reachability pass from the done() states: any state that cannot
+    /// reach completion is reported as trapped (livelock).  Costs one
+    /// edge list over the whole graph.
+    bool check_progress = false;
+
+    /// Explores the reachable state space from \p initial, stopping at the
+    /// first violation (shortest trace), a deadlock, exhaustion, or the
+    /// state limit.
+    ExploreResult explore(const S& initial, std::size_t max_states = 1'000'000) {
+        ExploreResult result;
+
+        struct Node {
+            S state;
+            std::ptrdiff_t parent;  // index into nodes_, -1 for root
+            std::string via;        // action that led here
+        };
+        std::vector<Node> nodes;
+        nodes.reserve(1024);
+        // Map hash -> node indices with that hash (collision chain).
+        std::unordered_multimap<std::size_t, std::size_t> seen;
+        // Reverse edges, populated only for the progress pass.
+        std::vector<std::vector<std::uint32_t>> predecessors;
+
+        // Returns (index, inserted).
+        auto find_or_insert = [&](const S& s, std::ptrdiff_t parent,
+                                  const std::string& via) -> std::pair<std::size_t, bool> {
+            const std::size_t h = s.hash();
+            auto [lo, hi] = seen.equal_range(h);
+            for (auto it = lo; it != hi; ++it) {
+                if (nodes[it->second].state == s) return {it->second, false};
+            }
+            nodes.push_back(Node{s, parent, via});
+            seen.emplace(h, nodes.size() - 1);
+            if (check_progress) predecessors.emplace_back();
+            return {nodes.size() - 1, true};
+        };
+
+        auto trace_to = [&](std::size_t index) {
+            std::vector<std::string> labels;
+            for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(index); i >= 0;
+                 i = nodes[static_cast<std::size_t>(i)].parent) {
+                const auto& node = nodes[static_cast<std::size_t>(i)];
+                if (!node.via.empty()) labels.push_back(node.via);
+            }
+            std::reverse(labels.begin(), labels.end());
+            return labels;
+        };
+
+        std::deque<std::size_t> frontier;
+        find_or_insert(initial, -1, "");
+        frontier.push_back(0);
+
+        // Check the initial state itself.
+        {
+            auto bad = initial.violations();
+            if (!bad.empty()) {
+                result.violation_found = true;
+                result.violation = std::move(bad);
+                result.violating_state = initial.describe();
+                result.states = 1;
+                return result;
+            }
+        }
+
+        while (!frontier.empty()) {
+            const std::size_t index = frontier.front();
+            frontier.pop_front();
+            // Copy out: nodes may reallocate while expanding.
+            const S current = nodes[index].state;
+            if (current.done()) ++result.done_states;
+
+            auto next = current.successors();
+            if (next.empty() && !current.done()) {
+                result.deadlock_found = true;
+                result.trace_to_deadlock = trace_to(index);
+                result.deadlock_state = current.describe();
+                break;
+            }
+            for (auto& successor : next) {
+                ++result.transitions;
+                const auto [succ_index, inserted] =
+                    find_or_insert(successor.state, static_cast<std::ptrdiff_t>(index),
+                                   successor.label);
+                if (check_progress) {
+                    predecessors[succ_index].push_back(static_cast<std::uint32_t>(index));
+                }
+                if (!inserted) continue;  // revisit
+                auto bad = successor.state.violations();
+                if (!bad.empty()) {
+                    result.violation_found = true;
+                    result.violation = std::move(bad);
+                    result.trace = trace_to(succ_index);
+                    result.violating_state = successor.state.describe();
+                    result.states = nodes.size();
+                    return result;
+                }
+                if (nodes.size() >= max_states) {
+                    result.hit_state_limit = true;
+                    result.states = nodes.size();
+                    return result;
+                }
+                frontier.push_back(succ_index);
+            }
+        }
+
+        result.states = nodes.size();
+
+        // Progress pass (paper SIII-B): every reachable state must still be
+        // able to reach completion.  Backward BFS from the done() states
+        // over the recorded reverse edges.
+        if (check_progress && !result.deadlock_found && !result.hit_state_limit) {
+            result.progress_checked = true;
+            std::vector<char> can_finish(nodes.size(), 0);
+            std::deque<std::size_t> back;
+            for (std::size_t i = 0; i < nodes.size(); ++i) {
+                if (nodes[i].state.done()) {
+                    can_finish[i] = 1;
+                    back.push_back(i);
+                }
+            }
+            while (!back.empty()) {
+                const std::size_t i = back.front();
+                back.pop_front();
+                for (const auto pred : predecessors[i]) {
+                    if (!can_finish[pred]) {
+                        can_finish[pred] = 1;
+                        back.push_back(pred);
+                    }
+                }
+            }
+            for (std::size_t i = 0; i < nodes.size(); ++i) {
+                if (!can_finish[i]) {
+                    ++result.trapped_states;
+                    if (result.trapped_state.empty()) {
+                        result.trapped_state = nodes[i].state.describe();
+                    }
+                }
+            }
+        }
+        return result;
+    }
+};
+
+}  // namespace bacp::verify

@@ -1,0 +1,178 @@
+#pragma once
+
+/// \file gbn_system.hpp
+/// Model-checked go-back-N system, used to *reproduce the paper's SI
+/// failure scenario* (experiment E1) and its ablations:
+///
+///   domain = 0  (unbounded seqnums), set channel  -> safe
+///   domain > w  (bounded seqnums),   set channel  -> UNSAFE: a stale
+///       cumulative ack resurfaces after the residues wrapped and the
+///       sender advances na past messages the receiver never accepted
+///   domain > w  (bounded seqnums),   FIFO channel -> safe (classic GBN)
+///
+/// The safety property is the block-ack invariant's first conjunct,
+/// na <= nr: everything the sender believes acknowledged was accepted.
+///
+/// The channel semantics is a template parameter: channel::SetChannel
+/// (reordering) or channel::QueueChannel (FIFO).
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/gobackn.hpp"
+#include "channel/queue_channel.hpp"
+#include "channel/set_channel.hpp"
+#include "common/assert.hpp"
+#include "verify/explorer.hpp"
+#include "verify/hash.hpp"
+
+namespace bacp::verify {
+
+struct GbnOptions {
+    Seq w = 2;
+    Seq domain = 0;  // 0 = unbounded sequence numbers
+    Seq max_ns = 4;  // exploration bound on new sends
+    bool allow_loss = true;
+};
+
+template <typename Chan>
+class GbnSystemT {
+public:
+    explicit GbnSystemT(const GbnOptions& options)
+        : options_(options), sender_(options.w, options.domain), receiver_(options.domain) {}
+
+    std::vector<Successor<GbnSystemT>> successors() const {
+        std::vector<Successor<GbnSystemT>> out;
+
+        // Send a new data message.
+        if (sender_.can_send_new() && sender_.ns() < options_.max_ns) {
+            apply(out, "S sends seq " + std::to_string(sender_.ns()),
+                  [](GbnSystemT& s) { s.c_sr_.send(s.sender_.send_new()); });
+        }
+
+        // Sender receives an ack.
+        for_each_receivable(c_rs_, [&](std::size_t i, const proto::Message& msg) {
+            apply(out, "S receives " + proto::to_string(msg), [i](GbnSystemT& s) {
+                const auto received = receive(s.c_rs_, i);
+                s.sender_.on_ack(std::get<proto::Ack>(received));
+            });
+        });
+
+        // Conservative (oracle) timeout: both channels drained and the
+        // receiver has nothing further to say -> go back N.
+        if (sender_.has_outstanding() && c_sr_.empty() && c_rs_.empty() &&
+            !receiver_.can_ack()) {
+            apply(out, "S times out, goes back N", [](GbnSystemT& s) {
+                for (const auto& copy : s.sender_.retransmit_window()) s.c_sr_.send(copy);
+            });
+        }
+
+        // Receiver receives a data message.
+        for_each_receivable(c_sr_, [&](std::size_t i, const proto::Message& msg) {
+            apply(out, "R receives " + proto::to_string(msg), [i](GbnSystemT& s) {
+                const auto received = receive(s.c_sr_, i);
+                s.receiver_.on_data(std::get<proto::Data>(received));
+            });
+        });
+
+        // Receiver sends the cumulative ack.
+        if (receiver_.can_ack()) {
+            apply(out, "R acks cumulative " + std::to_string(receiver_.nr() - 1),
+                  [](GbnSystemT& s) { s.c_rs_.send(s.receiver_.make_ack()); });
+        }
+
+        // Losses.
+        if (options_.allow_loss) {
+            for (std::size_t i = 0; i < c_sr_.size(); ++i) {
+                apply(out, "C_SR loses a message", [i](GbnSystemT& s) { s.c_sr_.lose_at(i); });
+            }
+            for (std::size_t i = 0; i < c_rs_.size(); ++i) {
+                apply(out, "C_RS loses a message", [i](GbnSystemT& s) { s.c_rs_.lose_at(i); });
+            }
+        }
+
+        return out;
+    }
+
+    std::vector<std::string> violations() const {
+        if (!action_violation_.empty()) return {action_violation_};
+        if (sender_.na() > receiver_.nr()) {
+            return {"sender advanced na=" + std::to_string(sender_.na()) +
+                    " past receiver nr=" + std::to_string(receiver_.nr()) +
+                    " (messages lost without retransmission)"};
+        }
+        return {};
+    }
+
+    bool done() const {
+        return sender_.ns() == options_.max_ns && sender_.na() == options_.max_ns &&
+               receiver_.nr() == options_.max_ns && c_sr_.empty() && c_rs_.empty();
+    }
+
+    std::size_t hash() const {
+        HashFeed h;
+        sender_.feed(h);
+        receiver_.feed(h);
+        c_sr_.feed(h);
+        c_rs_.feed(h);
+        return static_cast<std::size_t>(h.value);
+    }
+
+    bool operator==(const GbnSystemT& other) const {
+        return sender_ == other.sender_ && receiver_ == other.receiver_ &&
+               c_sr_ == other.c_sr_ && c_rs_ == other.c_rs_;
+    }
+
+    std::string describe() const {
+        std::ostringstream os;
+        os << "S{na=" << sender_.na() << " ns=" << sender_.ns() << "} R{nr=" << receiver_.nr()
+           << "} C_SR=" << c_sr_.to_string() << " C_RS=" << c_rs_.to_string();
+        return os.str();
+    }
+
+    const baselines::GbnSender& sender() const { return sender_; }
+    const baselines::GbnReceiver& receiver() const { return receiver_; }
+
+private:
+    // Set channels allow receiving any element; FIFO channels only the front.
+    template <typename Fn>
+    static void for_each_receivable(const channel::SetChannel& chan, Fn&& fn) {
+        for (std::size_t i = 0; i < chan.size(); ++i) fn(i, chan.at(i));
+    }
+    template <typename Fn>
+    static void for_each_receivable(const channel::QueueChannel& chan, Fn&& fn) {
+        if (!chan.empty()) fn(0, chan.front());
+    }
+    static proto::Message receive(channel::SetChannel& chan, std::size_t i) {
+        return chan.receive_at(i);
+    }
+    static proto::Message receive(channel::QueueChannel& chan, std::size_t i) {
+        BACP_ASSERT(i == 0);
+        return chan.receive_front();
+    }
+
+    template <typename Fn>
+    void apply(std::vector<Successor<GbnSystemT>>& out, const std::string& label,
+               Fn&& fn) const {
+        Successor<GbnSystemT> successor{label, *this};
+        try {
+            fn(successor.state);
+        } catch (const AssertionError& err) {
+            successor.state.action_violation_ = label + ": " + err.what();
+        }
+        out.push_back(std::move(successor));
+    }
+
+    GbnOptions options_;
+    baselines::GbnSender sender_;
+    baselines::GbnReceiver receiver_;
+    Chan c_sr_;
+    Chan c_rs_;
+    std::string action_violation_;
+};
+
+using GbnSystem = GbnSystemT<channel::SetChannel>;
+using GbnFifoSystem = GbnSystemT<channel::QueueChannel>;
+
+}  // namespace bacp::verify

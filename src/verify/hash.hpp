@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file hash.hpp
+/// FNV-1a style accumulator used to hash protocol system states.  Cores
+/// and channels expose feed(h) methods that push their canonical fields
+/// through a callable; this is that callable.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace bacp::verify {
+
+struct HashFeed {
+    std::uint64_t value = 1469598103934665603ULL;
+
+    void operator()(Seq v) {
+        // Mix each 64-bit field byte-wise (FNV-1a over the value).
+        for (int i = 0; i < 8; ++i) {
+            value ^= (v >> (8 * i)) & 0xffu;
+            value *= 1099511628211ULL;
+        }
+    }
+};
+
+}  // namespace bacp::verify

@@ -1,0 +1,128 @@
+#include "verify/invariants.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace bacp::verify {
+
+namespace {
+
+void fail(InvariantReport& report, const std::string& what) { report.violations.push_back(what); }
+
+std::string seq_str(Seq m) { return std::to_string(m); }
+
+}  // namespace
+
+std::string InvariantReport::to_string() const {
+    if (ok()) return "invariant holds";
+    std::ostringstream os;
+    for (const auto& v : violations) os << v << "; ";
+    return os.str();
+}
+
+InvariantReport check_invariants(const ba::Sender& sender, const ba::Receiver& receiver,
+                                 const channel::SetChannel& c_sr,
+                                 const channel::SetChannel& c_rs,
+                                 ChannelStrictness strictness) {
+    const bool strict = strictness == ChannelStrictness::Strict;
+    InvariantReport report;
+    const Seq na = sender.na();
+    const Seq ns = sender.ns();
+    const Seq nr = receiver.nr();
+    const Seq vr = receiver.vr();
+    const Seq w = sender.window();
+
+    // --- Assertion 6 -----------------------------------------------------
+    if (!(na <= nr)) fail(report, "6: na > nr");
+    if (!(nr <= vr)) fail(report, "6: nr > vr");
+    if (!(vr <= ns)) fail(report, "6: vr > ns");
+    if (!(ns <= na + w)) fail(report, "6: ns > na + w");
+
+    // --- Assertion 7 (window-local content) ------------------------------
+    // ackd[m] => m < nr, for the explicitly stored window [na, ns).
+    for (Seq m = na; m < ns; ++m) {
+        if (sender.ackd(m) && !(m < nr)) fail(report, "7: ackd[" + seq_str(m) + "] but m >= nr");
+    }
+    if (sender.ackd(na) && na < ns) fail(report, "7: ackd[na]");
+    // rcvd[m] => m < ns.  Everything below vr is implicitly received.
+    if (!(vr <= ns)) {
+        // already reported under 6; avoid spurious range scans below
+    }
+    for (Seq m = vr; m < vr + w; ++m) {
+        if (receiver.rcvd(m) && !(m < ns)) fail(report, "7: rcvd[" + seq_str(m) + "] but m >= ns");
+    }
+
+    // --- Assertion 8 ------------------------------------------------------
+    // Gather per-sequence transit counts from both channels.
+    std::map<Seq, std::size_t> sr_count;  // *SR^m
+    std::map<Seq, std::size_t> rs_count;  // *RS^m
+    for (const auto& msg : c_sr.messages()) {
+        if (const auto* d = std::get_if<proto::Data>(&msg)) ++sr_count[d->seq];
+        // Only data travels S->R in this protocol; tolerate and flag.
+        else
+            fail(report, "8: non-data message in C_SR");
+    }
+    for (const auto& msg : c_rs.messages()) {
+        if (const auto* a = std::get_if<proto::Ack>(&msg)) {
+            for (Seq m = a->lo; m <= a->hi; ++m) ++rs_count[m];
+        } else if (std::holds_alternative<proto::Nak>(msg)) {
+            // NAKs (fast-retransmit extension) are advisory and carry no
+            // acknowledgment information; assertion 8 is silent on them.
+        } else {
+            fail(report, "8: data message in C_RS");
+        }
+    }
+
+    // (forall m: *SR^m + *RS^m <= 1).  Relaxed mode still forbids two DATA
+    // copies (timer spacing guarantees it) but tolerates overlapping ack
+    // coverage and a data copy coexisting with ack coverage.
+    for (const auto& [m, c] : sr_count) {
+        if (c > 1) {
+            fail(report, "8: " + seq_str(m) + " has " + std::to_string(c) +
+                             " data copies in transit");
+            continue;
+        }
+        if (!strict) continue;
+        const auto it = rs_count.find(m);
+        const std::size_t total = c + (it == rs_count.end() ? 0 : it->second);
+        if (total > 1) fail(report, "8: " + seq_str(m) + " has " + std::to_string(total) +
+                                        " copies in transit");
+    }
+    if (strict) {
+        for (const auto& [m, c] : rs_count) {
+            if (c > 1 && sr_count.find(m) == sr_count.end()) {
+                fail(report, "8: " + seq_str(m) + " covered by " + std::to_string(c) + " acks");
+            }
+        }
+    }
+
+    // (forall m: *SR^m > 0 : m < ns && !ackd[m] && (m < nr || !rcvd[m])).
+    // Relaxed mode permits the last conjunct's failure (a conservative
+    // retransmission of a message the receiver buffered out of order).
+    for (const auto& [m, c] : sr_count) {
+        if (c == 0) continue;
+        if (!(m < ns)) fail(report, "8: data " + seq_str(m) + " in transit but m >= ns");
+        // Relaxed mode: a conservative retransmission may still be in
+        // flight when the (late) ack covering it arrives.
+        if (strict && sender.ackd(m)) {
+            fail(report, "8: data " + seq_str(m) + " in transit but ackd");
+        }
+        if (strict && !(m < nr) && receiver.rcvd(m)) {
+            fail(report, "8: data " + seq_str(m) + " in transit but rcvd and m >= nr");
+        }
+    }
+
+    // (forall m: *RS^m > 0 : m < nr && !ackd[m]).  Relaxed mode permits
+    // ackd[m] (a slow block ack overlapping an already-processed dup ack).
+    for (const auto& [m, c] : rs_count) {
+        if (c == 0) continue;
+        if (!(m < nr)) fail(report, "8: ack covering " + seq_str(m) + " in transit but m >= nr");
+        if (strict && sender.ackd(m)) {
+            fail(report, "8: ack covering " + seq_str(m) + " in transit but ackd");
+        }
+    }
+
+    return report;
+}
+
+}  // namespace bacp::verify

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file invariants.hpp
+/// Runtime checker for the paper's system invariant (assertions 6-8,
+/// SIII-A).  Returns a report of violations instead of throwing, so the
+/// model checker can attach a counterexample trace and property tests can
+/// print context.
+///
+///   6: na <= nr <= vr <= ns <= na + w
+///   7: (forall m: !ackd[m] : m >= na)  &&  (forall m: ackd[m] : m < nr)
+///      && !ackd[na]
+///      && (forall m: rcvd[m] : m < ns) && (forall m: !rcvd[m] : m >= vr)
+///   8: (forall m: *SR^m + *RS^m <= 1)
+///      && (forall m: *SR^m > 0 : m < ns && !ackd[m] && (m < nr || !rcvd[m]))
+///      && (forall m: *RS^m > 0 : m < nr && !ackd[m])
+///
+/// The universally quantified parts of 7 that range over all naturals are
+/// discharged by the WindowBitmap representation (everything below the
+/// base is true, everything beyond the window is false); the checker
+/// verifies the remaining window-local content plus 6 and 8 in full.
+
+#include <string>
+#include <vector>
+
+#include "ba/receiver.hpp"
+#include "ba/sender.hpp"
+#include "channel/set_channel.hpp"
+
+namespace bacp::verify {
+
+struct InvariantReport {
+    std::vector<std::string> violations;
+    bool ok() const { return violations.empty(); }
+    std::string to_string() const;
+};
+
+/// How strictly to interpret assertion 8's channel conjuncts.
+///
+/// Strict is the paper's model and holds under the oracle timeouts and
+/// under the realistic SII single timer.  The realistic SIV per-message
+/// timer cannot evaluate the "(i < nr || !rcvd[i])" conjunct of
+/// timeout(i) -- the sender cannot observe the receiver -- so a deployed
+/// sender conservatively resends messages the receiver has already
+/// buffered.  The consequences (a data copy in transit for a buffered
+/// message; transiently overlapping ack coverage, tolerated sender-side
+/// exactly as TCP SACK processing does) are permitted by Relaxed mode;
+/// every other conjunct of 6-8 still holds and is checked.
+enum class ChannelStrictness { Strict, Relaxed };
+
+/// Checks assertions 6-8 for the unbounded protocol (SII or SIV; both
+/// share the invariant).
+InvariantReport check_invariants(const ba::Sender& sender, const ba::Receiver& receiver,
+                                 const channel::SetChannel& c_sr,
+                                 const channel::SetChannel& c_rs,
+                                 ChannelStrictness strictness = ChannelStrictness::Strict);
+
+}  // namespace bacp::verify

@@ -1,0 +1,80 @@
+#include "wire/buffer.hpp"
+
+namespace bacp::wire {
+
+void BufWriter::put_u16(std::uint16_t v) {
+    put_u8(static_cast<std::uint8_t>(v));
+    put_u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void BufWriter::put_u32(std::uint32_t v) {
+    put_u16(static_cast<std::uint16_t>(v));
+    put_u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void BufWriter::put_u64(std::uint64_t v) {
+    put_u32(static_cast<std::uint32_t>(v));
+    put_u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void BufWriter::put_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+        put_u8(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    put_u8(static_cast<std::uint8_t>(v));
+}
+
+void BufWriter::put_bytes(std::span<const std::uint8_t> bytes) {
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<std::uint8_t> BufReader::get_u8() {
+    if (remaining() < 1) return std::nullopt;
+    return data_[pos_++];
+}
+
+std::optional<std::uint16_t> BufReader::get_u16() {
+    if (remaining() < 2) return std::nullopt;
+    std::uint16_t v = data_[pos_];
+    v |= static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+    pos_ += 2;
+    return v;
+}
+
+std::optional<std::uint32_t> BufReader::get_u32() {
+    if (remaining() < 4) return std::nullopt;
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 4;
+    return v;
+}
+
+std::optional<std::uint64_t> BufReader::get_u64() {
+    if (remaining() < 8) return std::nullopt;
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 8;
+    return v;
+}
+
+std::optional<std::uint64_t> BufReader::get_varint() {
+    std::uint64_t v = 0;
+    for (unsigned shift = 0; shift < 70; shift += 7) {
+        const auto byte = get_u8();
+        if (!byte) return std::nullopt;
+        if (shift == 63 && (*byte & 0x7e) != 0) return std::nullopt;  // overflow
+        v |= static_cast<std::uint64_t>(*byte & 0x7f) << shift;
+        if ((*byte & 0x80) == 0) return v;
+    }
+    return std::nullopt;  // > 10 bytes: malformed
+}
+
+std::optional<std::span<const std::uint8_t>> BufReader::get_bytes(std::size_t n) {
+    if (remaining() < n) return std::nullopt;
+    auto view = data_.subspan(pos_, n);
+    pos_ += n;
+    return view;
+}
+
+}  // namespace bacp::wire

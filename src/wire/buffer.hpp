@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file buffer.hpp
+/// Bounds-checked serialization primitives.
+///
+/// BufWriter appends little-endian integers and byte ranges to a caller
+/// supplied vector; BufReader consumes them from a span.  Readers never
+/// throw on truncated input -- they return false / std::nullopt so the
+/// codec can reject malformed frames gracefully (wire input is untrusted).
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace bacp::wire {
+
+/// Appending writer over a growable byte vector.
+class BufWriter {
+public:
+    explicit BufWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+    void put_u8(std::uint8_t v) { out_.push_back(v); }
+    void put_u16(std::uint16_t v);
+    void put_u32(std::uint32_t v);
+    void put_u64(std::uint64_t v);
+
+    /// LEB128-style unsigned varint (1..10 bytes).
+    void put_varint(std::uint64_t v);
+
+    void put_bytes(std::span<const std::uint8_t> bytes);
+
+    std::size_t size() const { return out_.size(); }
+
+private:
+    std::vector<std::uint8_t>& out_;
+};
+
+/// Consuming reader over an immutable byte span.
+class BufReader {
+public:
+    explicit BufReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+    std::size_t remaining() const { return data_.size() - pos_; }
+    bool exhausted() const { return remaining() == 0; }
+    std::size_t position() const { return pos_; }
+
+    std::optional<std::uint8_t> get_u8();
+    std::optional<std::uint16_t> get_u16();
+    std::optional<std::uint32_t> get_u32();
+    std::optional<std::uint64_t> get_u64();
+
+    /// Reads a varint; fails on truncation or >10-byte encodings.
+    std::optional<std::uint64_t> get_varint();
+
+    /// Returns a view of the next \p n bytes and advances, or nullopt.
+    std::optional<std::span<const std::uint8_t>> get_bytes(std::size_t n);
+
+private:
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace bacp::wire

@@ -1,0 +1,211 @@
+#include "wire/codec.hpp"
+
+#include "common/assert.hpp"
+#include "wire/buffer.hpp"
+#include "wire/crc32.hpp"
+
+namespace bacp::wire {
+
+const char* to_string(DecodeError err) {
+    switch (err) {
+        case DecodeError::TooShort: return "TooShort";
+        case DecodeError::BadMagic: return "BadMagic";
+        case DecodeError::BadVersion: return "BadVersion";
+        case DecodeError::BadType: return "BadType";
+        case DecodeError::Truncated: return "Truncated";
+        case DecodeError::TrailingBytes: return "TrailingBytes";
+        case DecodeError::BadCrc: return "BadCrc";
+        case DecodeError::BadAckRange: return "BadAckRange";
+    }
+    return "?";
+}
+
+namespace {
+
+void append_crc(std::vector<std::uint8_t>& out) {
+    const std::uint32_t crc = crc32c(std::span<const std::uint8_t>(out.data(), out.size()));
+    BufWriter writer(out);
+    writer.put_u32(crc);
+}
+
+void put_header(BufWriter& writer, FrameType type, std::uint8_t flags, Seq stream) {
+    const bool tagged = stream != kNoStream;
+    writer.put_u8(kMagic);
+    writer.put_u8(kVersion);
+    writer.put_u8(static_cast<std::uint8_t>(type));
+    writer.put_u8(tagged ? static_cast<std::uint8_t>(flags | kFlagStream) : flags);
+    if (tagged) writer.put_varint(stream);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_data(Seq seq, std::span<const std::uint8_t> payload,
+                                      std::uint8_t flags, Seq stream) {
+    std::vector<std::uint8_t> out;
+    out.reserve(kMinFrameSize + payload.size() + 8);
+    BufWriter writer(out);
+    put_header(writer, FrameType::Data, flags, stream);
+    writer.put_varint(seq);
+    writer.put_varint(payload.size());
+    writer.put_bytes(payload);
+    append_crc(out);
+    return out;
+}
+
+std::vector<std::uint8_t> encode_ack(Seq lo, Seq hi, std::uint8_t flags, Seq stream) {
+    BACP_ASSERT_MSG(lo <= hi, "ack encode with lo > hi");
+    std::vector<std::uint8_t> out;
+    out.reserve(kMinFrameSize + 8);
+    BufWriter writer(out);
+    put_header(writer, FrameType::Ack, flags, stream);
+    writer.put_varint(lo);
+    writer.put_varint(hi);
+    append_crc(out);
+    return out;
+}
+
+std::vector<std::uint8_t> encode_nak(Seq seq, std::uint8_t flags, Seq stream) {
+    std::vector<std::uint8_t> out;
+    out.reserve(kMinFrameSize + 8);
+    BufWriter writer(out);
+    put_header(writer, FrameType::Nak, flags, stream);
+    writer.put_varint(seq);
+    append_crc(out);
+    return out;
+}
+
+std::vector<std::uint8_t> encode_data_ack(Seq seq, Seq ack_lo, Seq ack_hi,
+                                          std::span<const std::uint8_t> payload,
+                                          std::uint8_t flags, Seq stream) {
+    BACP_ASSERT_MSG(ack_lo <= ack_hi, "piggyback ack encode with lo > hi");
+    std::vector<std::uint8_t> out;
+    out.reserve(kMinFrameSize + payload.size() + 16);
+    BufWriter writer(out);
+    put_header(writer, FrameType::DataAck, flags, stream);
+    writer.put_varint(seq);
+    writer.put_varint(payload.size());
+    writer.put_bytes(payload);
+    writer.put_varint(ack_lo);
+    writer.put_varint(ack_hi);
+    append_crc(out);
+    return out;
+}
+
+std::vector<std::uint8_t> encode_message(const proto::Message& msg, std::uint8_t flags) {
+    if (const auto* data = std::get_if<proto::Data>(&msg)) {
+        return encode_data(data->seq, {}, flags);
+    }
+    if (const auto* ack = std::get_if<proto::Ack>(&msg)) {
+        return encode_ack(ack->lo, ack->hi, flags);
+    }
+    if (const auto* nak = std::get_if<proto::Nak>(&msg)) {
+        return encode_nak(nak->seq, flags);
+    }
+    const auto& da = std::get<proto::DataAck>(msg);
+    return encode_data_ack(da.data.seq, da.ack.lo, da.ack.hi, {}, flags);
+}
+
+DecodeResult decode(std::span<const std::uint8_t> bytes) {
+    if (bytes.size() < kMinFrameSize) return {DecodeError::TooShort};
+
+    // CRC first: corrupted frames must be rejected before any field is
+    // interpreted.
+    const auto body = bytes.first(bytes.size() - 4);
+    BufReader crc_reader(bytes.subspan(bytes.size() - 4));
+    const std::uint32_t stored_crc = *crc_reader.get_u32();
+    if (crc32c(body) != stored_crc) return {DecodeError::BadCrc};
+
+    BufReader reader(body);
+    const auto magic = reader.get_u8();
+    if (!magic || *magic != kMagic) return {DecodeError::BadMagic};
+    const auto version = reader.get_u8();
+    if (!version || *version != kVersion) return {DecodeError::BadVersion};
+    const auto type = reader.get_u8();
+    if (!type) return {DecodeError::Truncated};
+    const auto flags = reader.get_u8();
+    if (!flags) return {DecodeError::Truncated};
+    Seq stream = 0;
+    if (*flags & kFlagStream) {
+        const auto id = reader.get_varint();
+        if (!id) return {DecodeError::Truncated};
+        stream = *id;
+    }
+
+    switch (static_cast<FrameType>(*type)) {
+        case FrameType::Data: {
+            const auto seq = reader.get_varint();
+            if (!seq) return {DecodeError::Truncated};
+            const auto len = reader.get_varint();
+            if (!len) return {DecodeError::Truncated};
+            const auto payload = reader.get_bytes(static_cast<std::size_t>(*len));
+            if (!payload) return {DecodeError::Truncated};
+            if (!reader.exhausted()) return {DecodeError::TrailingBytes};
+            DataFrame frame;
+            frame.seq = *seq;
+            frame.flags = *flags;
+            frame.stream = stream;
+            frame.payload.assign(payload->begin(), payload->end());
+            return {DecodedFrame{std::move(frame)}};
+        }
+        case FrameType::Ack: {
+            const auto lo = reader.get_varint();
+            if (!lo) return {DecodeError::Truncated};
+            const auto hi = reader.get_varint();
+            if (!hi) return {DecodeError::Truncated};
+            if (!reader.exhausted()) return {DecodeError::TrailingBytes};
+            if (*lo > *hi) return {DecodeError::BadAckRange};
+            return {DecodedFrame{AckFrame{*lo, *hi, *flags, stream}}};
+        }
+        case FrameType::Nak: {
+            const auto seq = reader.get_varint();
+            if (!seq) return {DecodeError::Truncated};
+            if (!reader.exhausted()) return {DecodeError::TrailingBytes};
+            return {DecodedFrame{NakFrame{*seq, *flags, stream}}};
+        }
+        case FrameType::DataAck: {
+            const auto seq = reader.get_varint();
+            if (!seq) return {DecodeError::Truncated};
+            const auto len = reader.get_varint();
+            if (!len) return {DecodeError::Truncated};
+            const auto payload = reader.get_bytes(static_cast<std::size_t>(*len));
+            if (!payload) return {DecodeError::Truncated};
+            const auto lo = reader.get_varint();
+            if (!lo) return {DecodeError::Truncated};
+            const auto hi = reader.get_varint();
+            if (!hi) return {DecodeError::Truncated};
+            if (!reader.exhausted()) return {DecodeError::TrailingBytes};
+            if (*lo > *hi) return {DecodeError::BadAckRange};
+            DataAckFrame frame;
+            frame.seq = *seq;
+            frame.ack_lo = *lo;
+            frame.ack_hi = *hi;
+            frame.flags = *flags;
+            frame.stream = stream;
+            frame.payload.assign(payload->begin(), payload->end());
+            return {DecodedFrame{std::move(frame)}};
+        }
+        default:
+            return {DecodeError::BadType};
+    }
+}
+
+Seq stream_of(const DecodedFrame& frame) {
+    return std::visit(
+        [](const auto& f) { return (f.flags & kFlagStream) ? f.stream : kNoStream; }, frame);
+}
+
+proto::Message to_message(const DecodedFrame& frame) {
+    if (const auto* data = std::get_if<DataFrame>(&frame)) {
+        return proto::Data{data->seq};
+    }
+    if (const auto* ack = std::get_if<AckFrame>(&frame)) {
+        return proto::Ack{ack->lo, ack->hi};
+    }
+    if (const auto* nak = std::get_if<NakFrame>(&frame)) {
+        return proto::Nak{nak->seq};
+    }
+    const auto& da = std::get<DataAckFrame>(frame);
+    return proto::DataAck{proto::Data{da.seq}, proto::Ack{da.ack_lo, da.ack_hi}};
+}
+
+}  // namespace bacp::wire

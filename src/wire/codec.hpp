@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file codec.hpp
+/// Frame encoder/decoder with CRC-32C integrity checking.
+///
+/// Decoding never throws on malformed input: wire bytes are untrusted, so
+/// every failure mode maps to a DecodeError.  A frame whose CRC fails is
+/// indistinguishable from a corrupted one and must be treated as *lost*
+/// (the protocol's loss tolerance covers it); delivering it would break
+/// the channel model the correctness proof assumes.
+
+#include <cstdint>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "protocol/message.hpp"
+#include "wire/frame.hpp"
+
+namespace bacp::wire {
+
+enum class DecodeError {
+    TooShort,       // fewer than kMinFrameSize bytes
+    BadMagic,
+    BadVersion,
+    BadType,
+    Truncated,      // body shorter than its own length fields claim
+    TrailingBytes,  // body longer than the frame consumed
+    BadCrc,
+    BadAckRange,    // lo > hi
+};
+
+const char* to_string(DecodeError err);
+
+using DecodedFrame = std::variant<DataFrame, AckFrame, NakFrame, DataAckFrame>;
+
+/// Result of decode(): a frame or the reason it was rejected.
+struct DecodeResult {
+    std::variant<DecodedFrame, DecodeError> value;
+
+    bool ok() const { return std::holds_alternative<DecodedFrame>(value); }
+    const DecodedFrame& frame() const { return std::get<DecodedFrame>(value); }
+    DecodeError error() const { return std::get<DecodeError>(value); }
+};
+
+/// Sentinel: frame is not stream-tagged.
+inline constexpr Seq kNoStream = ~Seq{0};
+
+/// Serializes a DATA frame.  Passing a \p stream other than kNoStream
+/// sets kFlagStream and prepends the stream id to the body.
+std::vector<std::uint8_t> encode_data(Seq seq, std::span<const std::uint8_t> payload = {},
+                                      std::uint8_t flags = kFlagNone, Seq stream = kNoStream);
+
+/// Serializes an ACK frame.  Precondition: lo <= hi.
+std::vector<std::uint8_t> encode_ack(Seq lo, Seq hi, std::uint8_t flags = kFlagNone,
+                                     Seq stream = kNoStream);
+
+/// Serializes a NAK frame.
+std::vector<std::uint8_t> encode_nak(Seq seq, std::uint8_t flags = kFlagNone,
+                                     Seq stream = kNoStream);
+
+/// Serializes a DATA+ACK piggyback frame.  Precondition: lo <= hi.
+std::vector<std::uint8_t> encode_data_ack(Seq seq, Seq ack_lo, Seq ack_hi,
+                                          std::span<const std::uint8_t> payload = {},
+                                          std::uint8_t flags = kFlagNone,
+                                          Seq stream = kNoStream);
+
+/// Stream id of a decoded frame, or kNoStream when untagged.
+Seq stream_of(const DecodedFrame& frame);
+
+/// Serializes an abstract protocol message (payload-less).
+std::vector<std::uint8_t> encode_message(const proto::Message& msg,
+                                         std::uint8_t flags = kFlagNone);
+
+/// Parses one complete frame occupying exactly \p bytes.
+DecodeResult decode(std::span<const std::uint8_t> bytes);
+
+/// Converts a decoded frame to the abstract message type (drops payload).
+proto::Message to_message(const DecodedFrame& frame);
+
+}  // namespace bacp::wire

@@ -1,0 +1,35 @@
+#include "wire/crc32.hpp"
+
+#include <array>
+
+namespace bacp::wire {
+
+namespace {
+
+constexpr std::uint32_t kPolyReflected = 0x82F63B78u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit) {
+            crc = (crc & 1u) ? (crc >> 1) ^ kPolyReflected : crc >> 1;
+        }
+        table[i] = crc;
+    }
+    return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t seed) {
+    std::uint32_t crc = ~seed;
+    for (const std::uint8_t byte : data) {
+        crc = kTable[(crc ^ byte) & 0xffu] ^ (crc >> 8);
+    }
+    return ~crc;
+}
+
+}  // namespace bacp::wire

@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file crc32.hpp
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78).
+///
+/// Used as the frame integrity check.  The table is built once at static
+/// initialization; crc32c() is incremental-friendly via the seed argument.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace bacp::wire {
+
+/// Computes CRC-32C over \p data.  Pass a previous result as \p seed to
+/// continue a running checksum across multiple buffers.
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t seed = 0);
+
+}  // namespace bacp::wire

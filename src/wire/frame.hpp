@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file frame.hpp
+/// On-the-wire frame layout.
+///
+/// Layout (little-endian):
+///   magic   u8   0xBA
+///   version u8   0x01
+///   type    u8   1 = DATA, 2 = ACK, 3 = NAK, 4 = DATA+ACK
+///   flags   u8   bit0: bounded-domain residue seqnums
+///   body         DATA:     seq varint, payload_len varint, payload bytes
+///                ACK:      lo varint, hi varint
+///                NAK:      seq varint
+///                DATA+ACK: seq varint, payload_len varint, payload bytes,
+///                          lo varint, hi varint (piggybacked block ack)
+///   crc32c  u32  over every preceding byte
+///
+/// Varint sequence numbers keep the common case (small residues of the
+/// bounded SV protocol) at one byte while still carrying full 64-bit
+/// values for the unbounded variants.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bacp::wire {
+
+inline constexpr std::uint8_t kMagic = 0xBA;
+inline constexpr std::uint8_t kVersion = 0x01;
+
+enum class FrameType : std::uint8_t { Data = 1, Ack = 2, Nak = 3, DataAck = 4 };
+
+enum FrameFlags : std::uint8_t {
+    kFlagNone = 0,
+    kFlagBoundedSeq = 1,  // sequence fields are residues mod n = 2w
+    /// A varint stream id follows the header (before the body): several
+    /// independent protocol instances multiplexed over one channel pair.
+    kFlagStream = 2,
+};
+
+/// Decoded DATA frame.
+struct DataFrame {
+    Seq seq = 0;
+    std::uint8_t flags = kFlagNone;
+    Seq stream = 0;  // meaningful when flags & kFlagStream
+    std::vector<std::uint8_t> payload;
+};
+
+/// Decoded ACK frame (block acknowledgment [lo, hi]).
+struct AckFrame {
+    Seq lo = 0;
+    Seq hi = 0;
+    std::uint8_t flags = kFlagNone;
+    Seq stream = 0;
+};
+
+/// Decoded NAK frame (fast-retransmit request, advisory).
+struct NakFrame {
+    Seq seq = 0;
+    std::uint8_t flags = kFlagNone;
+    Seq stream = 0;
+};
+
+/// Decoded DATA+ACK frame (duplex piggyback).
+struct DataAckFrame {
+    Seq seq = 0;
+    Seq ack_lo = 0;
+    Seq ack_hi = 0;
+    std::uint8_t flags = kFlagNone;
+    Seq stream = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+/// Smallest possible frame: header (4) + one varint (1) + crc (4).
+inline constexpr std::size_t kMinFrameSize = 9;
+
+}  // namespace bacp::wire

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file report.hpp
+/// Fixed-width table printer for benchmark harness output.  Keeps every
+/// experiment's "figure" in a uniform, diffable text form (see
+/// EXPERIMENTS.md for the recorded outputs).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bacp::workload {
+
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// Adds a row; each cell is pre-rendered text.
+    void add_row(std::vector<std::string> cells);
+
+    /// Renders with aligned columns.
+    std::string to_string() const;
+
+    /// RFC-4180-ish CSV rendering (quotes cells containing commas/quotes).
+    std::string to_csv() const;
+
+    /// Convenience: prints to stdout with a title line.
+    void print(const std::string& title) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with \p digits fractional digits.
+std::string fmt(double value, int digits = 2);
+
+}  // namespace bacp::workload

@@ -1,0 +1,162 @@
+// Tests for the variable-window extension (paper SVI closing remark) and
+// the bottleneck-queue channel model that makes it meaningful.
+
+#include <gtest/gtest.h>
+
+#include "ba/bounded_sender.hpp"
+#include "ba/sender.hpp"
+#include "common/assert.hpp"
+#include "runtime/ba_session.hpp"
+#include "sim/sim_channel.hpp"
+#include "sim/simulator.hpp"
+
+namespace bacp {
+namespace {
+
+using namespace bacp::literals;
+
+// ------------------------------------------------------------- core limits --
+
+TEST(WindowLimit, DefaultsToMaxAndClamps) {
+    ba::Sender s(8);
+    EXPECT_EQ(s.window_limit(), 8u);
+    s.set_window_limit(3);
+    EXPECT_EQ(s.window_limit(), 3u);
+    EXPECT_THROW(s.set_window_limit(0), AssertionError);
+    EXPECT_THROW(s.set_window_limit(9), AssertionError);
+}
+
+TEST(WindowLimit, GatesNewSendsOnly) {
+    ba::Sender s(8);
+    s.set_window_limit(2);
+    s.send_new();
+    s.send_new();
+    EXPECT_FALSE(s.can_send_new());
+    // Shrinking below the current outstanding count is legal: it only
+    // blocks new sends, never invalidates in-flight state.
+    s.set_window_limit(1);
+    EXPECT_FALSE(s.can_send_new());
+    EXPECT_TRUE(s.can_resend(0));
+    s.on_ack(proto::Ack{0, 1});
+    EXPECT_TRUE(s.can_send_new());
+}
+
+TEST(WindowLimit, BoundedSenderKeepsDomainAtTwoWMax) {
+    ba::BoundedSender s(8);
+    s.set_window_limit(2);
+    EXPECT_EQ(s.domain(), 16u);  // residue domain sized by the MAX window
+    s.send_new();
+    s.send_new();
+    EXPECT_FALSE(s.can_send_new());
+}
+
+// ------------------------------------------------------- bottleneck channel --
+
+TEST(Bottleneck, SerializesDepartures) {
+    sim::Simulator sim;
+    Rng rng(1);
+    sim::SimChannel::Config cfg;
+    cfg.delay = std::make_unique<channel::FixedDelay>(1_ms);
+    cfg.service_time = 2_ms;
+    cfg.queue_capacity = 100;
+    sim::SimChannel ch(sim, rng, std::move(cfg));
+    std::vector<SimTime> arrivals;
+    ch.set_receiver([&](const proto::Message&) { arrivals.push_back(sim.now()); });
+    for (Seq i = 0; i < 5; ++i) ch.send(proto::Data{i});  // burst at t=0
+    sim.run();
+    ASSERT_EQ(arrivals.size(), 5u);
+    // Departures at 2,4,6,8,10 ms + 1 ms propagation.
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(arrivals[i], static_cast<SimTime>((i + 1)) * 2_ms + 1_ms);
+    }
+}
+
+TEST(Bottleneck, TailDropsOnOverflow) {
+    sim::Simulator sim;
+    Rng rng(2);
+    sim::SimChannel::Config cfg;
+    cfg.delay = std::make_unique<channel::FixedDelay>(1_ms);
+    cfg.service_time = 1_ms;
+    cfg.queue_capacity = 4;
+    sim::SimChannel ch(sim, rng, std::move(cfg));
+    int got = 0;
+    ch.set_receiver([&](const proto::Message&) { ++got; });
+    for (Seq i = 0; i < 20; ++i) ch.send(proto::Data{i});  // burst >> capacity
+    sim.run();
+    EXPECT_LT(got, 20);
+    EXPECT_GT(ch.stats().dropped, 0u);
+    EXPECT_EQ(got + static_cast<int>(ch.stats().dropped), 20);
+}
+
+TEST(Bottleneck, LifetimeBoundCoversQueueing) {
+    runtime::LinkSpec spec = runtime::LinkSpec::lossless(1_ms, 1_ms);
+    spec.delay_kind = runtime::LinkSpec::Delay::Fixed;
+    spec.service_time = 2_ms;
+    spec.queue_capacity = 10;
+    EXPECT_GE(spec.max_lifetime(), 1_ms + 22_ms);
+}
+
+// ------------------------------------------------------------ AIMD sessions --
+
+runtime::SessionConfig bottleneck_config(Seq w, bool adaptive, std::uint64_t seed) {
+    runtime::SessionConfig cfg;
+    cfg.w = w;
+    cfg.count = 1500;
+    cfg.seed = seed;
+    cfg.adaptive_window = adaptive;
+    cfg.data_link = runtime::LinkSpec::lossless(2_ms, 3_ms);
+    // Bottleneck: 1 msg/ms service, queue of 8 -- a window larger than
+    // BDP (+queue) overflows and loses whole bursts.
+    cfg.data_link.service_time = 1_ms;
+    cfg.data_link.queue_capacity = 8;
+    cfg.ack_link = runtime::LinkSpec::lossless(2_ms, 3_ms);
+    return cfg;
+}
+
+TEST(AdaptiveWindow, CompletesOverBottleneck) {
+    runtime::UnboundedSession session(bottleneck_config(64, true, 3));
+    const auto metrics = session.run();
+    EXPECT_TRUE(session.completed());
+    EXPECT_EQ(metrics.delivered, 1500u);
+}
+
+TEST(AdaptiveWindow, ReducesQueueLossVersusFixedOversizedWindow) {
+    runtime::UnboundedSession fixed(bottleneck_config(64, false, 3));
+    const auto fixed_metrics = fixed.run();
+    runtime::UnboundedSession adaptive(bottleneck_config(64, true, 3));
+    const auto adaptive_metrics = adaptive.run();
+    ASSERT_TRUE(fixed.completed());
+    ASSERT_TRUE(adaptive.completed());
+    EXPECT_LT(adaptive_metrics.retx_fraction(), fixed_metrics.retx_fraction() / 2)
+        << "fixed=" << fixed_metrics.retx_fraction()
+        << " adaptive=" << adaptive_metrics.retx_fraction();
+}
+
+TEST(AdaptiveWindow, LimitShrinksOnLossAndRegrows) {
+    runtime::UnboundedSession session(bottleneck_config(64, true, 5));
+    session.run();
+    ASSERT_TRUE(session.completed());
+    // After the run the limit reflects AIMD history: it must have moved
+    // off the initial maximum at some point; we can at least assert it is
+    // within the legal range and the run used retransmissions (losses).
+    EXPECT_GE(session.sender_core().window_limit(), 1u);
+    EXPECT_LE(session.sender_core().window_limit(), 64u);
+    EXPECT_GT(session.metrics().data_retx, 0u);
+}
+
+TEST(AdaptiveWindow, BoundedSessionAlsoAdapts) {
+    runtime::BoundedSession session(bottleneck_config(32, true, 7));
+    const auto metrics = session.run();
+    EXPECT_TRUE(session.completed());
+    EXPECT_EQ(metrics.delivered, 1500u);
+}
+
+TEST(AdaptiveWindow, NoAdaptationWithoutFlag) {
+    auto cfg = bottleneck_config(16, false, 9);
+    runtime::UnboundedSession session(cfg);
+    session.run();
+    EXPECT_EQ(session.sender_core().window_limit(), 16u);
+}
+
+}  // namespace
+}  // namespace bacp

@@ -1,0 +1,240 @@
+// Tests for src/baselines: go-back-N (incl. the bounded-domain aliasing
+// bug the paper's SI describes), selective repeat, alternating bit, and
+// the time-constrained sender.
+
+#include <gtest/gtest.h>
+
+#include "baselines/alternating_bit.hpp"
+#include "baselines/gobackn.hpp"
+#include "baselines/selective_repeat.hpp"
+#include "baselines/timer_based.hpp"
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace bacp::baselines {
+namespace {
+
+using namespace bacp::literals;
+
+// -------------------------------------------------------------- go-back-N --
+
+TEST(GbnSender, CumulativeAckSlidesWindow) {
+    GbnSender s(4);
+    for (int i = 0; i < 4; ++i) s.send_new();
+    s.on_ack(proto::Ack{2, 2});  // cumulative: covers 0..2
+    EXPECT_EQ(s.na(), 3u);
+    EXPECT_EQ(s.outstanding(), 1u);
+}
+
+TEST(GbnSender, UnboundedIgnoresStaleAck) {
+    GbnSender s(4);
+    for (int i = 0; i < 4; ++i) s.send_new();
+    s.on_ack(proto::Ack{3, 3});
+    EXPECT_EQ(s.na(), 4u);
+    s.send_new();  // seq 4
+    s.on_ack(proto::Ack{1, 1});  // stale duplicate from long ago
+    EXPECT_EQ(s.na(), 4u) << "stale cumulative ack must be ignored";
+}
+
+TEST(GbnSender, BoundedAliasingBugExists) {
+    // The paper's SI failure, reproduced at the core level: with residues
+    // mod N, a stale ack aliases into the current window.
+    GbnSender s(2, 3);
+    s.send_new();  // true 0, residue 0
+    s.send_new();  // true 1, residue 1
+    s.on_ack(proto::Ack{1, 1});  // acks 0..1
+    EXPECT_EQ(s.na(), 2u);
+    s.send_new();  // true 2, residue 2
+    s.send_new();  // true 3, residue 0
+    // Stale ack with residue 0 (it acknowledged true 0) resurfaces:
+    s.on_ack(proto::Ack{0, 0});
+    EXPECT_EQ(s.na(), 4u) << "the bug: sender wrongly advances past true 2 and 3";
+}
+
+TEST(GbnSender, RetransmitWindowListsAllOutstanding) {
+    GbnSender s(3);
+    s.send_new();
+    s.send_new();
+    const auto window = s.retransmit_window();
+    ASSERT_EQ(window.size(), 2u);
+    EXPECT_EQ(window[0].seq, 0u);
+    EXPECT_EQ(window[1].seq, 1u);
+}
+
+TEST(GbnSender, BoundedDomainMustExceedWindow) {
+    EXPECT_THROW(GbnSender(4, 4), AssertionError);
+    EXPECT_THROW(GbnSender(4, 3), AssertionError);
+}
+
+TEST(GbnReceiver, AcceptsOnlyInOrder) {
+    GbnReceiver r;
+    r.on_data(proto::Data{0});
+    EXPECT_EQ(r.nr(), 1u);
+    r.on_data(proto::Data{2});  // out of order: discarded
+    EXPECT_EQ(r.nr(), 1u);
+    r.on_data(proto::Data{1});
+    EXPECT_EQ(r.nr(), 2u);
+}
+
+TEST(GbnReceiver, CumulativeAckAndReack) {
+    GbnReceiver r;
+    EXPECT_FALSE(r.can_ack());  // nothing accepted yet
+    r.on_data(proto::Data{0});
+    r.on_data(proto::Data{1});
+    ASSERT_TRUE(r.can_ack());
+    EXPECT_EQ(r.make_ack(), (proto::Ack{1, 1}));
+    EXPECT_FALSE(r.can_ack());  // fully acknowledged
+    r.on_data(proto::Data{0});  // duplicate arrives -> re-ack armed
+    EXPECT_TRUE(r.can_ack());
+    EXPECT_EQ(r.make_ack(), (proto::Ack{1, 1}));
+    EXPECT_FALSE(r.can_ack());
+}
+
+TEST(GbnReceiver, BoundedResiduesWrap) {
+    GbnReceiver r(4);
+    for (Seq t = 0; t < 6; ++t) r.on_data(proto::Data{t % 4});
+    EXPECT_EQ(r.nr(), 6u);
+    EXPECT_EQ(r.make_ack(), (proto::Ack{1, 1}));  // residue of true 5
+}
+
+// -------------------------------------------------------- selective repeat --
+
+TEST(SrReceiver, AcksEveryMessageIndividually) {
+    SrReceiver r(4);
+    EXPECT_EQ(r.on_data(proto::Data{0}), (proto::Ack{0, 0}));
+    EXPECT_EQ(r.on_data(proto::Data{2}), (proto::Ack{2, 2}));  // out of order: still acked
+    EXPECT_EQ(r.on_data(proto::Data{2}), (proto::Ack{2, 2}));  // duplicate: acked again
+}
+
+TEST(SrReceiver, DeliversInOrderOnly) {
+    SrReceiver r(4);
+    r.on_data(proto::Data{1});
+    EXPECT_FALSE(r.can_deliver());
+    r.on_data(proto::Data{0});
+    ASSERT_TRUE(r.can_deliver());
+    r.deliver();
+    r.deliver();
+    EXPECT_EQ(r.nr(), 2u);
+    EXPECT_FALSE(r.can_deliver());
+    EXPECT_THROW(r.deliver(), AssertionError);
+}
+
+TEST(SrReceiver, WindowBoundEnforced) {
+    SrReceiver r(2);
+    EXPECT_THROW(r.on_data(proto::Data{2}), AssertionError);
+}
+
+TEST(SrReceiver, ReAckAfterDelivery) {
+    SrReceiver r(2);
+    r.on_data(proto::Data{0});
+    r.deliver();
+    EXPECT_EQ(r.on_data(proto::Data{0}), (proto::Ack{0, 0}));  // old msg re-acked
+}
+
+// --------------------------------------------------------- alternating bit --
+
+TEST(Abp, HappyPathAlternates) {
+    AbpSender s;
+    AbpReceiver r;
+    for (Seq i = 0; i < 6; ++i) {
+        ASSERT_TRUE(s.can_send_new());
+        const auto msg = s.send_new();
+        EXPECT_EQ(msg.seq, i % 2);
+        const auto ack = r.on_data(msg);
+        s.on_ack(ack);
+        EXPECT_EQ(s.completed(), i + 1);
+        EXPECT_EQ(r.delivered(), i + 1);
+    }
+}
+
+TEST(Abp, DuplicateDataIsReackedNotRedelivered) {
+    AbpSender s;
+    AbpReceiver r;
+    const auto msg = s.send_new();
+    const auto ack1 = r.on_data(msg);
+    const auto ack2 = r.on_data(msg);  // duplicate (retransmission)
+    EXPECT_EQ(r.delivered(), 1u);
+    EXPECT_EQ(ack1, ack2);
+    s.on_ack(ack1);
+    s.on_ack(ack2);  // stale second ack ignored
+    EXPECT_EQ(s.completed(), 1u);
+    EXPECT_TRUE(s.can_send_new());
+}
+
+TEST(Abp, WrongBitAckIgnored) {
+    AbpSender s;
+    s.send_new();  // bit 0 outstanding
+    s.on_ack(proto::Ack{1, 1});
+    EXPECT_TRUE(s.awaiting_ack());
+    s.on_ack(proto::Ack{0, 0});
+    EXPECT_FALSE(s.awaiting_ack());
+}
+
+TEST(Abp, ResendRepeatsCurrentBit) {
+    AbpSender s;
+    const auto msg = s.send_new();
+    EXPECT_EQ(s.resend().seq, msg.seq);
+    EXPECT_THROW((void)AbpSender{}.resend(), AssertionError);
+}
+
+// --------------------------------------------------------- time-constrained --
+
+TEST(TcSender, FirstDomainWorthOfSendsIsUnconstrained) {
+    TcSender s(4, 8, 10_ms);
+    for (Seq i = 0; i < 4; ++i) {
+        ASSERT_TRUE(s.can_send_new(0));
+        const auto msg = s.send_new(0);
+        EXPECT_EQ(msg.seq, i);
+        s.on_ack(proto::Ack{msg.seq, msg.seq});
+    }
+    // Residues 4..7 still unused.
+    EXPECT_TRUE(s.residue_free(0));
+}
+
+TEST(TcSender, ResidueReuseRequiresSpacing) {
+    TcSender s(2, 3, 10_ms);
+    // Burn residues 0,1,2 at t=0 (acking each immediately).
+    for (Seq i = 0; i < 3; ++i) {
+        const auto msg = s.send_new(0);
+        s.on_ack(proto::Ack{msg.seq, msg.seq});
+    }
+    // True 3 reuses residue 0: blocked until t=10ms.
+    EXPECT_TRUE(s.window_open());
+    EXPECT_FALSE(s.residue_free(5_ms));
+    EXPECT_EQ(s.residue_ready_at(), 10_ms);
+    EXPECT_TRUE(s.residue_free(10_ms));
+    EXPECT_EQ(s.send_new(10_ms).seq, 0u);
+}
+
+TEST(TcSender, CumulativeResidueAck) {
+    TcSender s(3, 8, 1_ms);
+    s.send_new(0);
+    s.send_new(0);
+    s.send_new(0);
+    s.on_ack(proto::Ack{1, 1});
+    EXPECT_EQ(s.na(), 2u);
+    EXPECT_EQ(s.outstanding(), 1u);
+}
+
+TEST(TcSender, NoteResendRefreshesQuarantine) {
+    TcSender s(2, 3, 10_ms);
+    s.send_new(0);  // true 0, residue 0
+    s.note_resend(0, 7_ms);
+    s.on_ack(proto::Ack{0, 0});
+    s.send_new(7_ms);  // true 1, residue 1
+    s.on_ack(proto::Ack{1, 1});
+    s.send_new(7_ms);  // true 2, residue 2
+    s.on_ack(proto::Ack{2, 2});
+    // True 3 (residue 0): last use was the RESEND at 7ms, so not free
+    // until 17ms.
+    EXPECT_FALSE(s.residue_free(12_ms));
+    EXPECT_TRUE(s.residue_free(17_ms));
+}
+
+TEST(TcSender, ParameterValidation) {
+    EXPECT_THROW(TcSender(4, 4, 1_ms), AssertionError);
+    EXPECT_THROW(TcSender(4, 8, 0), AssertionError);
+}
+
+}  // namespace
+}  // namespace bacp::baselines

@@ -1,0 +1,258 @@
+// Tests for src/channel: set channel (the paper's abstract channel),
+// FIFO queue channel, loss models, delay models.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "channel/delay_model.hpp"
+#include "channel/loss_model.hpp"
+#include "channel/queue_channel.hpp"
+#include "channel/set_channel.hpp"
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "verify/hash.hpp"
+
+namespace bacp::channel {
+namespace {
+
+using proto::Ack;
+using proto::Data;
+using proto::Message;
+
+// ------------------------------------------------------------- set channel --
+
+TEST(SetChannel, SendAndCount) {
+    SetChannel ch;
+    EXPECT_TRUE(ch.empty());
+    ch.send(Data{3});
+    ch.send(Ack{1, 4});
+    ch.send(Data{3});  // multiset: duplicates allowed
+    EXPECT_EQ(ch.size(), 3u);
+    EXPECT_EQ(ch.count_data(3), 2u);
+    EXPECT_EQ(ch.count_data(4), 0u);
+    EXPECT_EQ(ch.count_ack_covering(1), 1u);
+    EXPECT_EQ(ch.count_ack_covering(4), 1u);
+    EXPECT_EQ(ch.count_ack_covering(0), 0u);
+    EXPECT_EQ(ch.count_ack_covering(5), 0u);
+}
+
+TEST(SetChannel, CanonicalOrderIndependentOfSendOrder) {
+    SetChannel a, b;
+    a.send(Data{1});
+    a.send(Data{2});
+    a.send(Ack{0, 0});
+    b.send(Ack{0, 0});
+    b.send(Data{2});
+    b.send(Data{1});
+    EXPECT_EQ(a, b);
+    verify::HashFeed ha, hb;
+    a.feed(ha);
+    b.feed(hb);
+    EXPECT_EQ(ha.value, hb.value);
+}
+
+TEST(SetChannel, ReceiveAtRemovesExactElement) {
+    SetChannel ch;
+    ch.send(Data{1});
+    ch.send(Data{2});
+    const Message got = ch.receive_at(1);
+    EXPECT_EQ(got, Message{Data{2}});
+    EXPECT_EQ(ch.size(), 1u);
+    EXPECT_EQ(ch.count_data(1), 1u);
+}
+
+TEST(SetChannel, ReceiveRandomEventuallyPicksEverything) {
+    // Receiving is nondeterministic: over many trials the first receive
+    // must hit every element (that IS message disorder).
+    std::set<Seq> seen;
+    for (std::uint64_t seed = 0; seed < 100; ++seed) {
+        SetChannel ch;
+        ch.send(Data{0});
+        ch.send(Data{1});
+        ch.send(Data{2});
+        Rng rng(seed);
+        const Message got = ch.receive_random(rng);
+        seen.insert(std::get<Data>(got).seq);
+    }
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(SetChannel, LoseRemovesWithoutDelivery) {
+    SetChannel ch;
+    ch.send(Data{7});
+    ch.lose_at(0);
+    EXPECT_TRUE(ch.empty());
+    EXPECT_THROW(ch.lose_at(0), AssertionError);
+}
+
+TEST(SetChannel, ReceiveFromEmptyAsserts) {
+    SetChannel ch;
+    Rng rng(1);
+    EXPECT_THROW(ch.receive_random(rng), AssertionError);
+}
+
+TEST(SetChannel, ToStringRendersMessages) {
+    SetChannel ch;
+    ch.send(Data{1});
+    ch.send(Ack{2, 3});
+    EXPECT_EQ(ch.to_string(), "{D(1), A(2,3)}");
+}
+
+// ----------------------------------------------------------- queue channel --
+
+TEST(QueueChannel, FifoDelivery) {
+    QueueChannel ch;
+    ch.send(Data{1});
+    ch.send(Data{2});
+    ch.send(Data{3});
+    EXPECT_EQ(std::get<Data>(ch.receive_front()).seq, 1u);
+    EXPECT_EQ(std::get<Data>(ch.receive_front()).seq, 2u);
+    EXPECT_EQ(std::get<Data>(ch.receive_front()).seq, 3u);
+    EXPECT_THROW(ch.receive_front(), AssertionError);
+}
+
+TEST(QueueChannel, LossAnywhereKeepsOrder) {
+    QueueChannel ch;
+    ch.send(Data{1});
+    ch.send(Data{2});
+    ch.send(Data{3});
+    ch.lose_at(1);
+    EXPECT_EQ(std::get<Data>(ch.receive_front()).seq, 1u);
+    EXPECT_EQ(std::get<Data>(ch.receive_front()).seq, 3u);
+}
+
+TEST(QueueChannel, OrderMattersForEquality) {
+    QueueChannel a, b;
+    a.send(Data{1});
+    a.send(Data{2});
+    b.send(Data{2});
+    b.send(Data{1});
+    EXPECT_NE(a, b);
+}
+
+// -------------------------------------------------------------- loss models --
+
+TEST(LossModels, NoLossNeverDrops) {
+    NoLoss model;
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) EXPECT_FALSE(model.drop(rng));
+}
+
+TEST(LossModels, BernoulliMatchesRate) {
+    BernoulliLoss model(0.25);
+    Rng rng(2);
+    int drops = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) drops += model.drop(rng) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(drops) / n, 0.25, 0.01);
+}
+
+TEST(LossModels, BernoulliRejectsBadProbability) {
+    EXPECT_THROW(BernoulliLoss(-0.1), AssertionError);
+    EXPECT_THROW(BernoulliLoss(1.5), AssertionError);
+}
+
+TEST(LossModels, GilbertElliottSteadyState) {
+    GilbertElliottLoss model(0.05, 0.2, 0.0, 0.5);
+    Rng rng(3);
+    int drops = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) drops += model.drop(rng) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(drops) / n, model.steady_state_loss(), 0.01);
+}
+
+TEST(LossModels, GilbertElliottBursts) {
+    // Losses must cluster: the conditional loss probability after a loss
+    // should exceed the unconditional one.
+    GilbertElliottLoss model(0.02, 0.1, 0.0, 0.6);
+    Rng rng(4);
+    int losses = 0, pairs = 0, after_loss = 0;
+    bool prev = false;
+    const int n = 300000;
+    for (int i = 0; i < n; ++i) {
+        const bool d = model.drop(rng);
+        losses += d ? 1 : 0;
+        if (prev) {
+            ++pairs;
+            after_loss += d ? 1 : 0;
+        }
+        prev = d;
+    }
+    const double unconditional = static_cast<double>(losses) / n;
+    const double conditional = static_cast<double>(after_loss) / pairs;
+    EXPECT_GT(conditional, 2.0 * unconditional);
+}
+
+TEST(LossModels, ScriptedDropsExactIndices) {
+    ScriptedLoss model({0, 2, 5});
+    Rng rng(5);
+    std::vector<bool> dropped;
+    for (int i = 0; i < 8; ++i) dropped.push_back(model.drop(rng));
+    EXPECT_EQ(dropped, (std::vector<bool>{true, false, true, false, false, true, false, false}));
+}
+
+TEST(LossModels, CloneResetsState) {
+    ScriptedLoss model({0});
+    Rng rng(6);
+    EXPECT_TRUE(model.drop(rng));
+    EXPECT_FALSE(model.drop(rng));
+    auto fresh = model.clone();
+    EXPECT_TRUE(fresh->drop(rng));  // index counter restarted
+}
+
+// ------------------------------------------------------------- delay models --
+
+TEST(DelayModels, FixedIsConstant) {
+    FixedDelay model(5 * kMillisecond);
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(model.sample(rng), 5 * kMillisecond);
+    EXPECT_EQ(model.max_delay(), 5 * kMillisecond);
+}
+
+TEST(DelayModels, UniformStaysInRangeAndSpreads) {
+    UniformDelay model(kMillisecond, 3 * kMillisecond);
+    Rng rng(8);
+    std::set<SimTime> values;
+    for (int i = 0; i < 5000; ++i) {
+        const SimTime d = model.sample(rng);
+        EXPECT_GE(d, kMillisecond);
+        EXPECT_LE(d, 3 * kMillisecond);
+        values.insert(d);
+    }
+    EXPECT_GT(values.size(), 1000u);  // real spread, not a constant
+}
+
+TEST(DelayModels, ExponentialRespectsCap) {
+    ExponentialDelay model(kMillisecond, kMillisecond, 4 * kMillisecond);
+    Rng rng(9);
+    for (int i = 0; i < 20000; ++i) {
+        const SimTime d = model.sample(rng);
+        EXPECT_GE(d, kMillisecond);
+        EXPECT_LE(d, model.max_delay());
+    }
+}
+
+TEST(DelayModels, HeavyTailRespectsCap) {
+    HeavyTailDelay model(kMillisecond, 100 * kMicrosecond, 1.2, 10 * kMillisecond);
+    Rng rng(10);
+    SimTime max_seen = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const SimTime d = model.sample(rng);
+        EXPECT_GE(d, kMillisecond);
+        EXPECT_LE(d, model.max_delay());
+        max_seen = std::max(max_seen, d);
+    }
+    // The tail must actually reach far beyond the base occasionally.
+    EXPECT_GT(max_seen, 5 * kMillisecond);
+}
+
+TEST(DelayModels, ClonesAreIndependentButIdenticallyConfigured) {
+    UniformDelay model(0, kMillisecond);
+    auto copy = model.clone();
+    EXPECT_EQ(copy->max_delay(), model.max_delay());
+}
+
+}  // namespace
+}  // namespace bacp::channel

@@ -1,0 +1,181 @@
+// Tests for src/verify/invariants: the checker must accept every state a
+// faithful execution reaches and reject hand-built states violating each
+// conjunct of assertions 6-8.
+
+#include <gtest/gtest.h>
+
+#include "ba/receiver.hpp"
+#include "ba/sender.hpp"
+#include "channel/set_channel.hpp"
+#include "verify/invariants.hpp"
+
+namespace bacp::verify {
+namespace {
+
+using ba::Receiver;
+using ba::Sender;
+using channel::SetChannel;
+using proto::Ack;
+using proto::Data;
+
+struct System {
+    Sender s{4};
+    Receiver r{4};
+    SetChannel c_sr;
+    SetChannel c_rs;
+
+    InvariantReport check() const { return check_invariants(s, r, c_sr, c_rs); }
+};
+
+TEST(Invariants, InitialStateHolds) {
+    System sys;
+    EXPECT_TRUE(sys.check().ok());
+}
+
+TEST(Invariants, HoldAlongAFaithfulExecution) {
+    System sys;
+    // S sends 0..2.
+    for (int i = 0; i < 3; ++i) {
+        sys.c_sr.send(sys.s.send_new());
+        EXPECT_TRUE(sys.check().ok()) << sys.check().to_string();
+    }
+    // R receives 2 first (disorder), then 0, then 1.
+    for (const std::size_t pick : {2u, 0u, 0u}) {
+        const auto msg = sys.c_sr.receive_at(pick);
+        const auto dup = sys.r.on_data(std::get<Data>(msg));
+        EXPECT_FALSE(dup.has_value());
+        EXPECT_TRUE(sys.check().ok()) << sys.check().to_string();
+    }
+    while (sys.r.can_advance()) {
+        sys.r.advance();
+        EXPECT_TRUE(sys.check().ok());
+    }
+    sys.c_rs.send(sys.r.make_ack());
+    EXPECT_TRUE(sys.check().ok()) << sys.check().to_string();
+    sys.s.on_ack(std::get<Ack>(sys.c_rs.receive_at(0)));
+    EXPECT_TRUE(sys.check().ok());
+    EXPECT_EQ(sys.s.na(), 3u);
+}
+
+TEST(Invariants, HoldWithLossAndDuplicateAck) {
+    System sys;
+    sys.c_sr.send(sys.s.send_new());
+    sys.c_sr.lose_at(0);  // loss
+    EXPECT_TRUE(sys.check().ok());
+    // Timeout: resend 0 (channels empty, receiver stuck -- guard holds).
+    sys.c_sr.send(sys.s.resend(0));
+    EXPECT_TRUE(sys.check().ok());
+    sys.r.on_data(std::get<Data>(sys.c_sr.receive_at(0)));
+    sys.r.advance();
+    sys.c_rs.send(sys.r.make_ack());
+    sys.c_rs.lose_at(0);  // ack lost too
+    // Timeout again: resend 0; receiver answers with duplicate ack.
+    sys.c_sr.send(sys.s.resend(0));
+    const auto dup = sys.r.on_data(std::get<Data>(sys.c_sr.receive_at(0)));
+    ASSERT_TRUE(dup.has_value());
+    sys.c_rs.send(*dup);
+    EXPECT_TRUE(sys.check().ok()) << sys.check().to_string();
+    sys.s.on_ack(std::get<Ack>(sys.c_rs.receive_at(0)));
+    EXPECT_TRUE(sys.check().ok());
+}
+
+// --- violations of assertion 6 ------------------------------------------
+
+TEST(Invariants, DetectsNaAheadOfNr) {
+    System sys;
+    sys.s.send_new();
+    // Force na forward without the receiver accepting anything: feed the
+    // sender a forged ack directly (never went through R).
+    sys.s.on_ack(Ack{0, 0});
+    const auto report = sys.check();
+    ASSERT_FALSE(report.ok());
+    EXPECT_NE(report.to_string().find("6: na > nr"), std::string::npos);
+}
+
+// --- violations of assertion 7 ------------------------------------------
+
+TEST(Invariants, DetectsAckdAtOrAboveNr) {
+    System sys;
+    sys.s.send_new();
+    sys.s.send_new();
+    sys.s.on_ack(Ack{1, 1});  // hole-acked message 1, receiver never saw it
+    const auto report = sys.check();
+    ASSERT_FALSE(report.ok());
+    EXPECT_NE(report.to_string().find("7: ackd"), std::string::npos);
+}
+
+// --- violations of assertion 8 ------------------------------------------
+
+TEST(Invariants, DetectsTwoCopiesInTransit) {
+    System sys;
+    sys.c_sr.send(sys.s.send_new());
+    sys.c_sr.send(sys.s.resend(0));  // second copy while first still in transit
+    const auto report = sys.check();
+    ASSERT_FALSE(report.ok());
+    EXPECT_NE(report.to_string().find("copies in transit"), std::string::npos);
+}
+
+TEST(Invariants, DetectsDataAndAckCopiesTogether) {
+    System sys;
+    sys.c_sr.send(sys.s.send_new());
+    sys.r.on_data(Data{0});
+    sys.r.advance();
+    sys.c_rs.send(sys.r.make_ack());
+    // Data copy of 0 still in C_SR while its ack is in C_RS.
+    const auto report = sys.check();
+    ASSERT_FALSE(report.ok());
+}
+
+TEST(Invariants, DetectsDataBeyondNs) {
+    System sys;
+    sys.c_sr.send(Data{5});  // never sent by S
+    const auto report = sys.check();
+    ASSERT_FALSE(report.ok());
+    EXPECT_NE(report.to_string().find("m >= ns"), std::string::npos);
+}
+
+TEST(Invariants, DetectsAckCoveringUnaccepted) {
+    System sys;
+    sys.s.send_new();
+    sys.c_rs.send(Ack{0, 0});  // receiver never accepted 0
+    const auto report = sys.check();
+    ASSERT_FALSE(report.ok());
+    EXPECT_NE(report.to_string().find("m >= nr"), std::string::npos);
+}
+
+TEST(Invariants, DetectsReceivedCopyStillInTransitAboveNr) {
+    System sys;
+    sys.s.send_new();
+    sys.s.send_new();
+    sys.r.on_data(Data{1});      // receiver buffered 1 (out of order)
+    sys.c_sr.send(Data{1});      // ...but a copy is still in the channel
+    const auto report = sys.check();
+    ASSERT_FALSE(report.ok());
+    EXPECT_NE(report.to_string().find("rcvd and m >= nr"), std::string::npos);
+}
+
+TEST(Invariants, DetectsMisroutedMessages) {
+    System sys;
+    sys.c_sr.send(Ack{0, 0});
+    sys.c_rs.send(Data{0});
+    const auto report = sys.check();
+    ASSERT_FALSE(report.ok());
+    EXPECT_NE(report.to_string().find("non-data message in C_SR"), std::string::npos);
+    EXPECT_NE(report.to_string().find("data message in C_RS"), std::string::npos);
+}
+
+TEST(Invariants, ReportListsMultipleViolations) {
+    System sys;
+    sys.c_sr.send(Data{5});
+    sys.c_sr.send(Data{5});
+    const auto report = sys.check();
+    EXPECT_GE(report.violations.size(), 2u);
+}
+
+TEST(Invariants, ToStringOnSuccess) {
+    System sys;
+    EXPECT_EQ(sys.check().to_string(), "invariant holds");
+}
+
+}  // namespace
+}  // namespace bacp::verify

@@ -1,0 +1,247 @@
+// End-to-end tests for src/link: byte channel with corruption, and the
+// ReliableLink facade (bounded SV protocol + CRC codec over lossy,
+// reordering, corrupting channels).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "link/byte_channel.hpp"
+#include "link/reliable_link.hpp"
+#include "sim/simulator.hpp"
+
+namespace bacp::link {
+namespace {
+
+using namespace bacp::literals;
+
+std::vector<std::uint8_t> payload_for(Seq i) {
+    std::vector<std::uint8_t> p;
+    const std::string text = "message-" + std::to_string(i);
+    p.assign(text.begin(), text.end());
+    // Pad with a deterministic pattern so payloads differ in length too.
+    for (Seq k = 0; k < i % 17; ++k) p.push_back(static_cast<std::uint8_t>(i * 31 + k));
+    return p;
+}
+
+// -------------------------------------------------------------- byte channel --
+
+TEST(ByteChannel, DeliversFrames) {
+    sim::Simulator sim;
+    Rng rng(1);
+    ByteChannel ch(sim, rng, {});
+    std::vector<ByteChannel::Frame> got;
+    ch.set_receiver([&](const ByteChannel::Frame& f) { got.push_back(f); });
+    ch.send({1, 2, 3});
+    sim.run();
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], (ByteChannel::Frame{1, 2, 3}));
+    EXPECT_EQ(ch.stats().bytes_sent, 3u);
+}
+
+TEST(ByteChannel, CorruptionFlipsExactlyOneBit) {
+    sim::Simulator sim;
+    Rng rng(2);
+    ByteChannel::Config cfg;
+    cfg.corrupt_p = 1.0;
+    ByteChannel ch(sim, rng, std::move(cfg));
+    const ByteChannel::Frame original{0x00, 0x00, 0x00, 0x00};
+    ByteChannel::Frame got;
+    ch.set_receiver([&](const ByteChannel::Frame& f) { got = f; });
+    ch.send(original);
+    sim.run();
+    int flipped = 0;
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        flipped += __builtin_popcount(got[i] ^ original[i]);
+    }
+    EXPECT_EQ(flipped, 1);
+    EXPECT_EQ(ch.stats().corrupted, 1u);
+}
+
+TEST(ByteChannel, PerByteSerializationMakesSmallFramesCheaper) {
+    sim::Simulator sim;
+    Rng rng(9);
+    ByteChannel::Config cfg;
+    cfg.delay = std::make_unique<channel::FixedDelay>(0);
+    cfg.service_per_byte = 1000;  // 1 us per byte
+    cfg.queue_capacity = 100;
+    ByteChannel ch(sim, rng, std::move(cfg));
+    std::vector<std::pair<SimTime, std::size_t>> arrivals;
+    ch.set_receiver([&](const ByteChannel::Frame& f) { arrivals.emplace_back(sim.now(), f.size()); });
+    ch.send(ByteChannel::Frame(1000, 0xaa));  // 1000-byte data frame
+    ch.send(ByteChannel::Frame(10, 0xbb));    // 10-byte ack frame
+    sim.run();
+    ASSERT_EQ(arrivals.size(), 2u);
+    EXPECT_EQ(arrivals[0].first, 1000 * 1000);           // 1 ms serialization
+    EXPECT_EQ(arrivals[1].first, 1000 * 1000 + 10 * 1000);  // + 10 us behind it
+}
+
+TEST(ByteChannel, LossIsNotCorruption) {
+    sim::Simulator sim;
+    Rng rng(3);
+    ByteChannel::Config cfg;
+    cfg.loss = std::make_unique<channel::BernoulliLoss>(1.0);
+    ByteChannel ch(sim, rng, std::move(cfg));
+    int got = 0;
+    ch.set_receiver([&](const ByteChannel::Frame&) { ++got; });
+    ch.send({1});
+    sim.run();
+    EXPECT_EQ(got, 0);
+    EXPECT_EQ(ch.stats().dropped, 1u);
+    EXPECT_EQ(ch.stats().corrupted, 0u);
+}
+
+// ------------------------------------------------------------- reliable link --
+
+struct Collected {
+    std::vector<std::vector<std::uint8_t>> payloads;
+};
+
+void attach(ReliableLink& link, Collected& out) {
+    link.set_on_deliver([&out](std::span<const std::uint8_t> p) {
+        out.payloads.emplace_back(p.begin(), p.end());
+    });
+}
+
+TEST(ReliableLink, CleanChannelDeliversInOrder) {
+    sim::Simulator sim;
+    ReliableLink link(sim, {.w = 8});
+    Collected got;
+    attach(link, got);
+    for (Seq i = 0; i < 50; ++i) link.send(payload_for(i));
+    sim.run();
+    ASSERT_EQ(got.payloads.size(), 50u);
+    for (Seq i = 0; i < 50; ++i) EXPECT_EQ(got.payloads[i], payload_for(i)) << i;
+    EXPECT_TRUE(link.idle());
+    EXPECT_EQ(link.retransmissions(), 0u);
+    EXPECT_EQ(link.frames_rejected(), 0u);
+}
+
+TEST(ReliableLink, SurvivesLoss) {
+    sim::Simulator sim;
+    ReliableLink link(sim, {.w = 8, .loss = 0.15, .seed = 11});
+    Collected got;
+    attach(link, got);
+    for (Seq i = 0; i < 200; ++i) link.send(payload_for(i));
+    sim.run();
+    ASSERT_EQ(got.payloads.size(), 200u);
+    for (Seq i = 0; i < 200; ++i) ASSERT_EQ(got.payloads[i], payload_for(i)) << i;
+    EXPECT_TRUE(link.idle());
+    EXPECT_GT(link.retransmissions(), 0u);
+}
+
+TEST(ReliableLink, SurvivesCorruption) {
+    sim::Simulator sim;
+    ReliableLink link(sim, {.w = 8, .corrupt_p = 0.1, .seed = 12});
+    Collected got;
+    attach(link, got);
+    for (Seq i = 0; i < 200; ++i) link.send(payload_for(i));
+    sim.run();
+    ASSERT_EQ(got.payloads.size(), 200u);
+    for (Seq i = 0; i < 200; ++i) ASSERT_EQ(got.payloads[i], payload_for(i)) << i;
+    EXPECT_GT(link.frames_rejected(), 0u) << "corruption must have been detected by CRC";
+    EXPECT_TRUE(link.idle());
+}
+
+TEST(ReliableLink, SurvivesLossAndCorruptionTogether) {
+    sim::Simulator sim;
+    ReliableLink link(sim, {.w = 16, .loss = 0.1, .corrupt_p = 0.05, .seed = 13});
+    Collected got;
+    attach(link, got);
+    for (Seq i = 0; i < 300; ++i) link.send(payload_for(i));
+    sim.run();
+    ASSERT_EQ(got.payloads.size(), 300u);
+    for (Seq i = 0; i < 300; ++i) ASSERT_EQ(got.payloads[i], payload_for(i)) << i;
+    EXPECT_TRUE(link.idle());
+}
+
+TEST(ReliableLink, BatchedAcksReduceAckTraffic) {
+    auto run_with = [](runtime::AckPolicy policy) {
+        sim::Simulator sim;
+        ReliableLink::Config cfg{.w = 16, .seed = 14};
+        cfg.ack_policy = policy;
+        ReliableLink link(sim, cfg);
+        Collected got;
+        attach(link, got);
+        for (Seq i = 0; i < 400; ++i) link.send(payload_for(i));
+        sim.run();
+        EXPECT_EQ(got.payloads.size(), 400u);
+        return link.ack_stats().sent;
+    };
+    const auto eager = run_with(runtime::AckPolicy::eager());
+    const auto batched = run_with(runtime::AckPolicy::batch(8, 10_ms));
+    EXPECT_LT(batched, eager / 2);
+}
+
+TEST(ReliableLink, EmptyAndLargePayloads) {
+    sim::Simulator sim;
+    ReliableLink link(sim, {.w = 4, .loss = 0.1, .seed = 15});
+    Collected got;
+    attach(link, got);
+    std::vector<std::uint8_t> empty;
+    std::vector<std::uint8_t> large(4096);
+    std::iota(large.begin(), large.end(), 0);
+    link.send(empty);
+    link.send(large);
+    link.send(empty);
+    sim.run();
+    ASSERT_EQ(got.payloads.size(), 3u);
+    EXPECT_EQ(got.payloads[0], empty);
+    EXPECT_EQ(got.payloads[1], large);
+    EXPECT_EQ(got.payloads[2], empty);
+}
+
+TEST(ReliableLink, SmallWindowHeavyLossStress) {
+    // w=2 => residue domain 4: the tightest bounded configuration, under
+    // harsh loss.  Any residue aliasing would corrupt the delivery order.
+    sim::Simulator sim;
+    ReliableLink link(sim, {.w = 2, .loss = 0.25, .seed = 16});
+    Collected got;
+    attach(link, got);
+    for (Seq i = 0; i < 150; ++i) link.send(payload_for(i));
+    sim.run();
+    ASSERT_EQ(got.payloads.size(), 150u);
+    for (Seq i = 0; i < 150; ++i) ASSERT_EQ(got.payloads[i], payload_for(i)) << i;
+    EXPECT_TRUE(link.idle());
+}
+
+TEST(ReliableLink, QueueDrainsIncrementally) {
+    sim::Simulator sim;
+    ReliableLink link(sim, {.w = 4});
+    Collected got;
+    attach(link, got);
+    for (Seq i = 0; i < 20; ++i) link.send(payload_for(i));
+    // Only w messages fit the window; the rest queue.
+    EXPECT_EQ(link.sent_count(), 4u);
+    EXPECT_EQ(link.queued(), 16u);
+    sim.run();
+    EXPECT_EQ(link.queued(), 0u);
+    EXPECT_EQ(link.delivered_count(), 20u);
+}
+
+class ReliableLinkSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReliableLinkSeedSweep, ExactlyOnceInOrderUnderChaos) {
+    sim::Simulator sim;
+    ReliableLink link(sim, {.w = 8,
+                            .loss = 0.2,
+                            .corrupt_p = 0.05,
+                            .delay_lo = 1_ms,
+                            .delay_hi = 9_ms,  // strong reordering
+                            .seed = GetParam()});
+    Collected got;
+    attach(link, got);
+    for (Seq i = 0; i < 120; ++i) link.send(payload_for(i));
+    sim.run();
+    ASSERT_EQ(got.payloads.size(), 120u);
+    for (Seq i = 0; i < 120; ++i) ASSERT_EQ(got.payloads[i], payload_for(i)) << i;
+    EXPECT_TRUE(link.idle());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReliableLinkSeedSweep,
+                         ::testing::Values(21, 22, 23, 24, 25, 26, 27, 28));
+
+}  // namespace
+}  // namespace bacp::link

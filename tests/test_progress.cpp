@@ -1,0 +1,88 @@
+// Progress verification (paper SIII-B, mechanized): from EVERY reachable
+// state of the block-acknowledgment protocol, completion remains
+// reachable -- no livelock traps.  Under action fairness this implies the
+// paper's progress property (actions 0 and 5 execute infinitely often).
+
+#include <gtest/gtest.h>
+
+#include "verify/ba_system.hpp"
+#include "verify/bounded_system.hpp"
+#include "verify/explorer.hpp"
+#include "verify/gbn_system.hpp"
+
+namespace bacp::verify {
+namespace {
+
+TEST(Progress, BaSimpleTimeoutNoTraps) {
+    BaOptions opt;
+    opt.w = 2;
+    opt.max_ns = 4;
+    opt.per_message_timeout = false;
+    Explorer<BaSystem> explorer;
+    explorer.check_progress = true;
+    const auto result = explorer.explore(BaSystem(opt), 3'000'000);
+    ASSERT_TRUE(result.ok()) << result.summary();
+    ASSERT_TRUE(result.progress_checked);
+    EXPECT_EQ(result.trapped_states, 0u) << "trapped: " << result.trapped_state;
+    EXPECT_GT(result.done_states, 0u);
+}
+
+TEST(Progress, BaPerMessageTimeoutNoTraps) {
+    BaOptions opt;
+    opt.w = 3;
+    opt.max_ns = 5;
+    opt.per_message_timeout = true;
+    Explorer<BaSystem> explorer;
+    explorer.check_progress = true;
+    const auto result = explorer.explore(BaSystem(opt), 3'000'000);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.trapped_states, 0u) << "trapped: " << result.trapped_state;
+}
+
+TEST(Progress, BaLosslessNoTraps) {
+    BaOptions opt;
+    opt.w = 2;
+    opt.max_ns = 5;
+    opt.allow_loss = false;
+    Explorer<BaSystem> explorer;
+    explorer.check_progress = true;
+    const auto result = explorer.explore(BaSystem(opt), 3'000'000);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.trapped_states, 0u);
+}
+
+TEST(Progress, BoundedLockstepNoTraps) {
+    BoundedEquivOptions opt;
+    opt.w = 2;
+    opt.max_ns = 4;
+    Explorer<BoundedEquivSystem> explorer;
+    explorer.check_progress = true;
+    const auto result = explorer.explore(BoundedEquivSystem(opt), 3'000'000);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.trapped_states, 0u) << result.trapped_state;
+}
+
+TEST(Progress, UnboundedGbnNoTraps) {
+    GbnOptions opt;
+    opt.w = 2;
+    opt.domain = 0;
+    opt.max_ns = 4;
+    Explorer<GbnSystem> explorer;
+    explorer.check_progress = true;
+    const auto result = explorer.explore(GbnSystem(opt), 3'000'000);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.trapped_states, 0u) << result.trapped_state;
+}
+
+TEST(Progress, CheckDisabledByDefault) {
+    BaOptions opt;
+    opt.w = 1;
+    opt.max_ns = 2;
+    Explorer<BaSystem> explorer;
+    const auto result = explorer.explore(BaSystem(opt), 100'000);
+    EXPECT_FALSE(result.progress_checked);
+    EXPECT_EQ(result.trapped_states, 0u);
+}
+
+}  // namespace
+}  // namespace bacp::verify

@@ -1,0 +1,206 @@
+// Tests for src/protocol: the SV sequence-number algebra (equations
+// 13/14 and the reconstruction function f), mod-window helpers, the
+// WindowBitmap representation, and message types.
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "protocol/message.hpp"
+#include "protocol/seqnum.hpp"
+#include "protocol/window.hpp"
+#include "verify/hash.hpp"
+
+namespace bacp::proto {
+namespace {
+
+// ------------------------------------------------------------- reconstruct --
+
+// Exhaustive check of the paper's central lemma: for n = 2w and any anchor
+// x, f(x, y mod n) == y whenever x <= y < x + n.
+TEST(Reconstruct, ExhaustiveSmallDomains) {
+    for (Seq w = 1; w <= 16; ++w) {
+        const Seq n = domain_for_window(w);
+        for (Seq x = 0; x < 5 * n; ++x) {
+            for (Seq y = x; y < x + n; ++y) {
+                ASSERT_EQ(reconstruct(x, to_wire(y, n), n), y)
+                    << "w=" << w << " x=" << x << " y=" << y;
+            }
+        }
+    }
+}
+
+TEST(Reconstruct, FailsOutsideItsPrecondition) {
+    // y = x + n aliases to y' = x mod n and reconstructs to x, not y --
+    // exactly why the window bound w (hence n = 2w) matters.
+    const Seq n = 8;
+    const Seq x = 5;
+    const Seq y = x + n;
+    EXPECT_NE(reconstruct(x, to_wire(y, n), n), y);
+    EXPECT_EQ(reconstruct(x, to_wire(y, n), n), x);
+}
+
+TEST(Reconstruct, LargeAnchors) {
+    const Seq n = 64;
+    const Seq x = (1ULL << 40) + 17;
+    for (Seq y = x; y < x + n; ++y) EXPECT_EQ(reconstruct(x, to_wire(y, n), n), y);
+}
+
+// -------------------------------------------------------------- mod helpers --
+
+TEST(ModOffset, ExactWithinOneWrap) {
+    const Seq n = 12;
+    for (Seq a = 0; a < 4 * n; ++a) {
+        for (Seq d = 0; d < n; ++d) {
+            const Seq b = a + d;
+            EXPECT_EQ(mod_offset(a % n, b % n, n), d);
+        }
+    }
+}
+
+TEST(ModAddSub, Inverses) {
+    const Seq n = 10;
+    for (Seq a = 0; a < n; ++a) {
+        for (Seq d = 0; d < 3 * n; ++d) {
+            EXPECT_EQ(mod_sub(mod_add(a, d, n), d, n), a);
+        }
+    }
+}
+
+TEST(ModOffset, RejectsOutOfDomainResidue) {
+    EXPECT_THROW(mod_offset(12, 0, 12), AssertionError);
+}
+
+// The residue-only duplicate test of the bounded receiver: v < nr iff the
+// anchored offset is below w, for every reachable (nr, v) pair.
+TEST(WireBeforeNr, MatchesTrueComparison) {
+    for (Seq w = 1; w <= 12; ++w) {
+        const Seq n = domain_for_window(w);
+        for (Seq nr = 0; nr < 6 * n; ++nr) {
+            // Invariant 11: max(0, nr - w) <= v < nr + w.
+            const Seq lo = nr > w ? nr - w : 0;
+            for (Seq v = lo; v < nr + w; ++v) {
+                ASSERT_EQ(wire_before_nr(v % n, nr % n, w), v < nr)
+                    << "w=" << w << " nr=" << nr << " v=" << v;
+            }
+        }
+    }
+}
+
+TEST(WireSlot, DistinctWithinAnyWindow) {
+    // Any w consecutive sequence numbers map to w distinct slots.
+    for (Seq w = 1; w <= 10; ++w) {
+        for (Seq base = 0; base < 3 * w; ++base) {
+            std::vector<bool> used(w, false);
+            for (Seq m = base; m < base + w; ++m) {
+                const Seq slot = wire_slot(m % domain_for_window(w), w);
+                ASSERT_LT(slot, w);
+                ASSERT_FALSE(used[slot]);
+                used[slot] = true;
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ window bitmap --
+
+TEST(WindowBitmap, ImplicitValuesOutsideWindow) {
+    WindowBitmap bm(4, 10);
+    EXPECT_TRUE(bm.test(0));
+    EXPECT_TRUE(bm.test(9));
+    EXPECT_FALSE(bm.test(10));
+    EXPECT_FALSE(bm.test(13));
+    EXPECT_FALSE(bm.test(14));
+    EXPECT_FALSE(bm.test(1000));
+}
+
+TEST(WindowBitmap, SetAndTestInsideWindow) {
+    WindowBitmap bm(4, 0);
+    bm.set(2);
+    EXPECT_FALSE(bm.test(0));
+    EXPECT_FALSE(bm.test(1));
+    EXPECT_TRUE(bm.test(2));
+    EXPECT_FALSE(bm.test(3));
+    EXPECT_EQ(bm.popcount(), 1u);
+}
+
+TEST(WindowBitmap, SetOutsideWindowAsserts) {
+    WindowBitmap bm(4, 10);
+    EXPECT_THROW(bm.set(9), AssertionError);
+    EXPECT_THROW(bm.set(14), AssertionError);
+}
+
+TEST(WindowBitmap, AdvanceSlidesAndClears) {
+    WindowBitmap bm(3, 0);
+    bm.set(0);
+    bm.set(1);
+    bm.advance_to(2);
+    EXPECT_EQ(bm.base(), 2u);
+    EXPECT_TRUE(bm.test(1));   // below base
+    EXPECT_FALSE(bm.test(2));  // freshly exposed slot
+    EXPECT_FALSE(bm.test(4));
+    bm.set(4);
+    EXPECT_TRUE(bm.test(4));
+}
+
+TEST(WindowBitmap, AdvancePastUnsetAsserts) {
+    WindowBitmap bm(3, 0);
+    EXPECT_THROW(bm.advance_to(1), AssertionError);
+}
+
+TEST(WindowBitmap, EqualityIsCanonical) {
+    WindowBitmap a(3, 0), b(3, 0);
+    a.set(0);
+    a.advance_to(1);
+    b.set(0);
+    b.advance_to(1);
+    EXPECT_EQ(a, b);
+    b.set(2);
+    EXPECT_NE(a, b);
+}
+
+TEST(WindowBitmap, HashFeedDistinguishesStates) {
+    WindowBitmap a(3, 0), b(3, 0);
+    b.set(1);
+    verify::HashFeed ha, hb;
+    a.feed(ha);
+    b.feed(hb);
+    EXPECT_NE(ha.value, hb.value);
+}
+
+// ---------------------------------------------------------------- messages --
+
+TEST(Message, AckCovers) {
+    const Ack ack{3, 7};
+    EXPECT_FALSE(ack.covers(2));
+    EXPECT_TRUE(ack.covers(3));
+    EXPECT_TRUE(ack.covers(5));
+    EXPECT_TRUE(ack.covers(7));
+    EXPECT_FALSE(ack.covers(8));
+}
+
+TEST(Message, Helpers) {
+    const Message d = Data{4};
+    const Message a = Ack{1, 2};
+    EXPECT_TRUE(is_data(d, 4));
+    EXPECT_FALSE(is_data(d, 5));
+    EXPECT_FALSE(is_data(a, 1));
+    EXPECT_TRUE(ack_covers(a, 1));
+    EXPECT_FALSE(ack_covers(a, 3));
+    EXPECT_FALSE(ack_covers(d, 4));
+}
+
+TEST(Message, ToString) {
+    EXPECT_EQ(to_string(Message{Data{5}}), "D(5)");
+    EXPECT_EQ(to_string(Message{Ack{2, 4}}), "A(2,4)");
+}
+
+TEST(Message, OrderingIsDeterministic) {
+    const Message d0 = Data{0};
+    const Message d1 = Data{1};
+    const Message a = Ack{0, 0};
+    EXPECT_LT(d0, d1);
+    EXPECT_LT(d1, a);  // variant index orders Data before Ack
+}
+
+}  // namespace
+}  // namespace bacp::proto
