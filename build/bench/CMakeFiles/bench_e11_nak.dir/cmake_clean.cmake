@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_nak.dir/bench_e11_nak.cpp.o"
+  "CMakeFiles/bench_e11_nak.dir/bench_e11_nak.cpp.o.d"
+  "bench_e11_nak"
+  "bench_e11_nak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_nak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_adaptive_window.dir/bench_e12_adaptive_window.cpp.o"
+  "CMakeFiles/bench_e12_adaptive_window.dir/bench_e12_adaptive_window.cpp.o.d"
+  "bench_e12_adaptive_window"
+  "bench_e12_adaptive_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_adaptive_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_piggyback.dir/bench_e13_piggyback.cpp.o"
+  "CMakeFiles/bench_e13_piggyback.dir/bench_e13_piggyback.cpp.o.d"
+  "bench_e13_piggyback"
+  "bench_e13_piggyback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_piggyback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_multihop.dir/bench_e14_multihop.cpp.o"
+  "CMakeFiles/bench_e14_multihop.dir/bench_e14_multihop.cpp.o.d"
+  "bench_e14_multihop"
+  "bench_e14_multihop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_multihop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_streams.dir/bench_e15_streams.cpp.o"
+  "CMakeFiles/bench_e15_streams.dir/bench_e15_streams.cpp.o.d"
+  "bench_e15_streams"
+  "bench_e15_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

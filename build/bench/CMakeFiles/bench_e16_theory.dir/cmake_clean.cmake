@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e16_theory.dir/bench_e16_theory.cpp.o"
+  "CMakeFiles/bench_e16_theory.dir/bench_e16_theory.cpp.o.d"
+  "bench_e16_theory"
+  "bench_e16_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e17_offered_load.dir/bench_e17_offered_load.cpp.o"
+  "CMakeFiles/bench_e17_offered_load.dir/bench_e17_offered_load.cpp.o.d"
+  "bench_e17_offered_load"
+  "bench_e17_offered_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e17_offered_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

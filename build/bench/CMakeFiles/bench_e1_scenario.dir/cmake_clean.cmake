@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_scenario.dir/bench_e1_scenario.cpp.o"
+  "CMakeFiles/bench_e1_scenario.dir/bench_e1_scenario.cpp.o.d"
+  "bench_e1_scenario"
+  "bench_e1_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_modelcheck.dir/bench_e2_modelcheck.cpp.o"
+  "CMakeFiles/bench_e2_modelcheck.dir/bench_e2_modelcheck.cpp.o.d"
+  "bench_e2_modelcheck"
+  "bench_e2_modelcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_modelcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_throughput_vs_loss.dir/bench_e3_throughput_vs_loss.cpp.o"
+  "CMakeFiles/bench_e3_throughput_vs_loss.dir/bench_e3_throughput_vs_loss.cpp.o.d"
+  "bench_e3_throughput_vs_loss"
+  "bench_e3_throughput_vs_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_throughput_vs_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

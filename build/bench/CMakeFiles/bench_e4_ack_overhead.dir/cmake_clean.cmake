@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_ack_overhead.dir/bench_e4_ack_overhead.cpp.o"
+  "CMakeFiles/bench_e4_ack_overhead.dir/bench_e4_ack_overhead.cpp.o.d"
+  "bench_e4_ack_overhead"
+  "bench_e4_ack_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_ack_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_bounded_equiv.dir/bench_e6_bounded_equiv.cpp.o"
+  "CMakeFiles/bench_e6_bounded_equiv.dir/bench_e6_bounded_equiv.cpp.o.d"
+  "bench_e6_bounded_equiv"
+  "bench_e6_bounded_equiv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_bounded_equiv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_seqnum_domain.dir/bench_e7_seqnum_domain.cpp.o"
+  "CMakeFiles/bench_e7_seqnum_domain.dir/bench_e7_seqnum_domain.cpp.o.d"
+  "bench_e7_seqnum_domain"
+  "bench_e7_seqnum_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_seqnum_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

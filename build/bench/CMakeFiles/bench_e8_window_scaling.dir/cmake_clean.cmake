@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_window_scaling.dir/bench_e8_window_scaling.cpp.o"
+  "CMakeFiles/bench_e8_window_scaling.dir/bench_e8_window_scaling.cpp.o.d"
+  "bench_e8_window_scaling"
+  "bench_e8_window_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_window_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

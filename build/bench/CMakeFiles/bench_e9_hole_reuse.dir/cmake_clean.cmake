@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_hole_reuse.dir/bench_e9_hole_reuse.cpp.o"
+  "CMakeFiles/bench_e9_hole_reuse.dir/bench_e9_hole_reuse.cpp.o.d"
+  "bench_e9_hole_reuse"
+  "bench_e9_hole_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_hole_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

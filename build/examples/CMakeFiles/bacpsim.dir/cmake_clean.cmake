@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacpsim.dir/bacpsim.cpp.o"
+  "CMakeFiles/bacpsim.dir/bacpsim.cpp.o.d"
+  "bacpsim"
+  "bacpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

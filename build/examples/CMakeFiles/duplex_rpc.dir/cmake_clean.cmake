@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duplex_rpc.dir/duplex_rpc.cpp.o"
+  "CMakeFiles/duplex_rpc.dir/duplex_rpc.cpp.o.d"
+  "duplex_rpc"
+  "duplex_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duplex_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multihop.dir/multihop.cpp.o"
+  "CMakeFiles/multihop.dir/multihop.cpp.o.d"
+  "multihop"
+  "multihop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multihop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_trace.dir/protocol_trace.cpp.o"
+  "CMakeFiles/protocol_trace.dir/protocol_trace.cpp.o.d"
+  "protocol_trace"
+  "protocol_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satellite_link.dir/satellite_link.cpp.o"
+  "CMakeFiles/satellite_link.dir/satellite_link.cpp.o.d"
+  "satellite_link"
+  "satellite_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satellite_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

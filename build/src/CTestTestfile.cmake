@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("analysis")
+subdirs("wire")
+subdirs("protocol")
+subdirs("channel")
+subdirs("sim")
+subdirs("ba")
+subdirs("baselines")
+subdirs("verify")
+subdirs("runtime")
+subdirs("workload")
+subdirs("link")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacp_analysis.dir/models.cpp.o"
+  "CMakeFiles/bacp_analysis.dir/models.cpp.o.d"
+  "libbacp_analysis.a"
+  "libbacp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

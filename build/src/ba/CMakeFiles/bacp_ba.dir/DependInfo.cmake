@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ba/bounded_receiver.cpp" "src/ba/CMakeFiles/bacp_ba.dir/bounded_receiver.cpp.o" "gcc" "src/ba/CMakeFiles/bacp_ba.dir/bounded_receiver.cpp.o.d"
+  "/root/repo/src/ba/bounded_sender.cpp" "src/ba/CMakeFiles/bacp_ba.dir/bounded_sender.cpp.o" "gcc" "src/ba/CMakeFiles/bacp_ba.dir/bounded_sender.cpp.o.d"
+  "/root/repo/src/ba/hole_reuse_sender.cpp" "src/ba/CMakeFiles/bacp_ba.dir/hole_reuse_sender.cpp.o" "gcc" "src/ba/CMakeFiles/bacp_ba.dir/hole_reuse_sender.cpp.o.d"
+  "/root/repo/src/ba/receiver.cpp" "src/ba/CMakeFiles/bacp_ba.dir/receiver.cpp.o" "gcc" "src/ba/CMakeFiles/bacp_ba.dir/receiver.cpp.o.d"
+  "/root/repo/src/ba/sender.cpp" "src/ba/CMakeFiles/bacp_ba.dir/sender.cpp.o" "gcc" "src/ba/CMakeFiles/bacp_ba.dir/sender.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocol/CMakeFiles/bacp_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bacp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

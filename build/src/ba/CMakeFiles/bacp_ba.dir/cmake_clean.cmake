@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacp_ba.dir/bounded_receiver.cpp.o"
+  "CMakeFiles/bacp_ba.dir/bounded_receiver.cpp.o.d"
+  "CMakeFiles/bacp_ba.dir/bounded_sender.cpp.o"
+  "CMakeFiles/bacp_ba.dir/bounded_sender.cpp.o.d"
+  "CMakeFiles/bacp_ba.dir/hole_reuse_sender.cpp.o"
+  "CMakeFiles/bacp_ba.dir/hole_reuse_sender.cpp.o.d"
+  "CMakeFiles/bacp_ba.dir/receiver.cpp.o"
+  "CMakeFiles/bacp_ba.dir/receiver.cpp.o.d"
+  "CMakeFiles/bacp_ba.dir/sender.cpp.o"
+  "CMakeFiles/bacp_ba.dir/sender.cpp.o.d"
+  "libbacp_ba.a"
+  "libbacp_ba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacp_ba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/alternating_bit.cpp" "src/baselines/CMakeFiles/bacp_baselines.dir/alternating_bit.cpp.o" "gcc" "src/baselines/CMakeFiles/bacp_baselines.dir/alternating_bit.cpp.o.d"
+  "/root/repo/src/baselines/gobackn.cpp" "src/baselines/CMakeFiles/bacp_baselines.dir/gobackn.cpp.o" "gcc" "src/baselines/CMakeFiles/bacp_baselines.dir/gobackn.cpp.o.d"
+  "/root/repo/src/baselines/selective_repeat.cpp" "src/baselines/CMakeFiles/bacp_baselines.dir/selective_repeat.cpp.o" "gcc" "src/baselines/CMakeFiles/bacp_baselines.dir/selective_repeat.cpp.o.d"
+  "/root/repo/src/baselines/timer_based.cpp" "src/baselines/CMakeFiles/bacp_baselines.dir/timer_based.cpp.o" "gcc" "src/baselines/CMakeFiles/bacp_baselines.dir/timer_based.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ba/CMakeFiles/bacp_ba.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/bacp_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bacp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

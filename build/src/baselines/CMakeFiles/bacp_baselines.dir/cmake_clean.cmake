@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacp_baselines.dir/alternating_bit.cpp.o"
+  "CMakeFiles/bacp_baselines.dir/alternating_bit.cpp.o.d"
+  "CMakeFiles/bacp_baselines.dir/gobackn.cpp.o"
+  "CMakeFiles/bacp_baselines.dir/gobackn.cpp.o.d"
+  "CMakeFiles/bacp_baselines.dir/selective_repeat.cpp.o"
+  "CMakeFiles/bacp_baselines.dir/selective_repeat.cpp.o.d"
+  "CMakeFiles/bacp_baselines.dir/timer_based.cpp.o"
+  "CMakeFiles/bacp_baselines.dir/timer_based.cpp.o.d"
+  "libbacp_baselines.a"
+  "libbacp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

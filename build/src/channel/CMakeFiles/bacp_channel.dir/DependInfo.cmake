@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/delay_model.cpp" "src/channel/CMakeFiles/bacp_channel.dir/delay_model.cpp.o" "gcc" "src/channel/CMakeFiles/bacp_channel.dir/delay_model.cpp.o.d"
+  "/root/repo/src/channel/loss_model.cpp" "src/channel/CMakeFiles/bacp_channel.dir/loss_model.cpp.o" "gcc" "src/channel/CMakeFiles/bacp_channel.dir/loss_model.cpp.o.d"
+  "/root/repo/src/channel/queue_channel.cpp" "src/channel/CMakeFiles/bacp_channel.dir/queue_channel.cpp.o" "gcc" "src/channel/CMakeFiles/bacp_channel.dir/queue_channel.cpp.o.d"
+  "/root/repo/src/channel/set_channel.cpp" "src/channel/CMakeFiles/bacp_channel.dir/set_channel.cpp.o" "gcc" "src/channel/CMakeFiles/bacp_channel.dir/set_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocol/CMakeFiles/bacp_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bacp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

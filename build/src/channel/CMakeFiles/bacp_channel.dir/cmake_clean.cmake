@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacp_channel.dir/delay_model.cpp.o"
+  "CMakeFiles/bacp_channel.dir/delay_model.cpp.o.d"
+  "CMakeFiles/bacp_channel.dir/loss_model.cpp.o"
+  "CMakeFiles/bacp_channel.dir/loss_model.cpp.o.d"
+  "CMakeFiles/bacp_channel.dir/queue_channel.cpp.o"
+  "CMakeFiles/bacp_channel.dir/queue_channel.cpp.o.d"
+  "CMakeFiles/bacp_channel.dir/set_channel.cpp.o"
+  "CMakeFiles/bacp_channel.dir/set_channel.cpp.o.d"
+  "libbacp_channel.a"
+  "libbacp_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacp_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

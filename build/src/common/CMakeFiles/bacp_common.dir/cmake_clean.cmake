@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacp_common.dir/histogram.cpp.o"
+  "CMakeFiles/bacp_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/bacp_common.dir/logging.cpp.o"
+  "CMakeFiles/bacp_common.dir/logging.cpp.o.d"
+  "CMakeFiles/bacp_common.dir/rng.cpp.o"
+  "CMakeFiles/bacp_common.dir/rng.cpp.o.d"
+  "CMakeFiles/bacp_common.dir/stats.cpp.o"
+  "CMakeFiles/bacp_common.dir/stats.cpp.o.d"
+  "libbacp_common.a"
+  "libbacp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

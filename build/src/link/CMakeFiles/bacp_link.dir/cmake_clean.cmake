@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacp_link.dir/byte_channel.cpp.o"
+  "CMakeFiles/bacp_link.dir/byte_channel.cpp.o.d"
+  "CMakeFiles/bacp_link.dir/link_endpoints.cpp.o"
+  "CMakeFiles/bacp_link.dir/link_endpoints.cpp.o.d"
+  "CMakeFiles/bacp_link.dir/multihop.cpp.o"
+  "CMakeFiles/bacp_link.dir/multihop.cpp.o.d"
+  "CMakeFiles/bacp_link.dir/reliable_link.cpp.o"
+  "CMakeFiles/bacp_link.dir/reliable_link.cpp.o.d"
+  "CMakeFiles/bacp_link.dir/stream_mux.cpp.o"
+  "CMakeFiles/bacp_link.dir/stream_mux.cpp.o.d"
+  "libbacp_link.a"
+  "libbacp_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacp_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacp_protocol.dir/message.cpp.o"
+  "CMakeFiles/bacp_protocol.dir/message.cpp.o.d"
+  "CMakeFiles/bacp_protocol.dir/seqnum.cpp.o"
+  "CMakeFiles/bacp_protocol.dir/seqnum.cpp.o.d"
+  "libbacp_protocol.a"
+  "libbacp_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacp_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbacp_protocol.a"
+)

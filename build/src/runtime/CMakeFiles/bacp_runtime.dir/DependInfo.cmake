@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/abp_session.cpp" "src/runtime/CMakeFiles/bacp_runtime.dir/abp_session.cpp.o" "gcc" "src/runtime/CMakeFiles/bacp_runtime.dir/abp_session.cpp.o.d"
+  "/root/repo/src/runtime/duplex_session.cpp" "src/runtime/CMakeFiles/bacp_runtime.dir/duplex_session.cpp.o" "gcc" "src/runtime/CMakeFiles/bacp_runtime.dir/duplex_session.cpp.o.d"
+  "/root/repo/src/runtime/gbn_session.cpp" "src/runtime/CMakeFiles/bacp_runtime.dir/gbn_session.cpp.o" "gcc" "src/runtime/CMakeFiles/bacp_runtime.dir/gbn_session.cpp.o.d"
+  "/root/repo/src/runtime/link_spec.cpp" "src/runtime/CMakeFiles/bacp_runtime.dir/link_spec.cpp.o" "gcc" "src/runtime/CMakeFiles/bacp_runtime.dir/link_spec.cpp.o.d"
+  "/root/repo/src/runtime/session_util.cpp" "src/runtime/CMakeFiles/bacp_runtime.dir/session_util.cpp.o" "gcc" "src/runtime/CMakeFiles/bacp_runtime.dir/session_util.cpp.o.d"
+  "/root/repo/src/runtime/sr_session.cpp" "src/runtime/CMakeFiles/bacp_runtime.dir/sr_session.cpp.o" "gcc" "src/runtime/CMakeFiles/bacp_runtime.dir/sr_session.cpp.o.d"
+  "/root/repo/src/runtime/tc_session.cpp" "src/runtime/CMakeFiles/bacp_runtime.dir/tc_session.cpp.o" "gcc" "src/runtime/CMakeFiles/bacp_runtime.dir/tc_session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ba/CMakeFiles/bacp_ba.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/bacp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bacp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/bacp_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bacp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/bacp_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/bacp_protocol.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

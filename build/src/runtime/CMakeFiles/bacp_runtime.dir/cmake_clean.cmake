@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacp_runtime.dir/abp_session.cpp.o"
+  "CMakeFiles/bacp_runtime.dir/abp_session.cpp.o.d"
+  "CMakeFiles/bacp_runtime.dir/duplex_session.cpp.o"
+  "CMakeFiles/bacp_runtime.dir/duplex_session.cpp.o.d"
+  "CMakeFiles/bacp_runtime.dir/gbn_session.cpp.o"
+  "CMakeFiles/bacp_runtime.dir/gbn_session.cpp.o.d"
+  "CMakeFiles/bacp_runtime.dir/link_spec.cpp.o"
+  "CMakeFiles/bacp_runtime.dir/link_spec.cpp.o.d"
+  "CMakeFiles/bacp_runtime.dir/session_util.cpp.o"
+  "CMakeFiles/bacp_runtime.dir/session_util.cpp.o.d"
+  "CMakeFiles/bacp_runtime.dir/sr_session.cpp.o"
+  "CMakeFiles/bacp_runtime.dir/sr_session.cpp.o.d"
+  "CMakeFiles/bacp_runtime.dir/tc_session.cpp.o"
+  "CMakeFiles/bacp_runtime.dir/tc_session.cpp.o.d"
+  "libbacp_runtime.a"
+  "libbacp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/diagram.cpp" "src/sim/CMakeFiles/bacp_sim.dir/diagram.cpp.o" "gcc" "src/sim/CMakeFiles/bacp_sim.dir/diagram.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/bacp_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/bacp_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/bacp_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/bacp_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/sim_channel.cpp" "src/sim/CMakeFiles/bacp_sim.dir/sim_channel.cpp.o" "gcc" "src/sim/CMakeFiles/bacp_sim.dir/sim_channel.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/bacp_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/bacp_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/bacp_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/bacp_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/channel/CMakeFiles/bacp_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/bacp_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bacp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacp_sim.dir/diagram.cpp.o"
+  "CMakeFiles/bacp_sim.dir/diagram.cpp.o.d"
+  "CMakeFiles/bacp_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/bacp_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/bacp_sim.dir/metrics.cpp.o"
+  "CMakeFiles/bacp_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/bacp_sim.dir/sim_channel.cpp.o"
+  "CMakeFiles/bacp_sim.dir/sim_channel.cpp.o.d"
+  "CMakeFiles/bacp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/bacp_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/bacp_sim.dir/trace.cpp.o"
+  "CMakeFiles/bacp_sim.dir/trace.cpp.o.d"
+  "libbacp_sim.a"
+  "libbacp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/ba_system.cpp" "src/verify/CMakeFiles/bacp_verify.dir/ba_system.cpp.o" "gcc" "src/verify/CMakeFiles/bacp_verify.dir/ba_system.cpp.o.d"
+  "/root/repo/src/verify/bounded_system.cpp" "src/verify/CMakeFiles/bacp_verify.dir/bounded_system.cpp.o" "gcc" "src/verify/CMakeFiles/bacp_verify.dir/bounded_system.cpp.o.d"
+  "/root/repo/src/verify/duplex_system.cpp" "src/verify/CMakeFiles/bacp_verify.dir/duplex_system.cpp.o" "gcc" "src/verify/CMakeFiles/bacp_verify.dir/duplex_system.cpp.o.d"
+  "/root/repo/src/verify/invariants.cpp" "src/verify/CMakeFiles/bacp_verify.dir/invariants.cpp.o" "gcc" "src/verify/CMakeFiles/bacp_verify.dir/invariants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ba/CMakeFiles/bacp_ba.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/bacp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/bacp_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bacp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/bacp_protocol.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacp_verify.dir/ba_system.cpp.o"
+  "CMakeFiles/bacp_verify.dir/ba_system.cpp.o.d"
+  "CMakeFiles/bacp_verify.dir/bounded_system.cpp.o"
+  "CMakeFiles/bacp_verify.dir/bounded_system.cpp.o.d"
+  "CMakeFiles/bacp_verify.dir/duplex_system.cpp.o"
+  "CMakeFiles/bacp_verify.dir/duplex_system.cpp.o.d"
+  "CMakeFiles/bacp_verify.dir/invariants.cpp.o"
+  "CMakeFiles/bacp_verify.dir/invariants.cpp.o.d"
+  "libbacp_verify.a"
+  "libbacp_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacp_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/buffer.cpp" "src/wire/CMakeFiles/bacp_wire.dir/buffer.cpp.o" "gcc" "src/wire/CMakeFiles/bacp_wire.dir/buffer.cpp.o.d"
+  "/root/repo/src/wire/codec.cpp" "src/wire/CMakeFiles/bacp_wire.dir/codec.cpp.o" "gcc" "src/wire/CMakeFiles/bacp_wire.dir/codec.cpp.o.d"
+  "/root/repo/src/wire/crc32.cpp" "src/wire/CMakeFiles/bacp_wire.dir/crc32.cpp.o" "gcc" "src/wire/CMakeFiles/bacp_wire.dir/crc32.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bacp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/bacp_protocol.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacp_wire.dir/buffer.cpp.o"
+  "CMakeFiles/bacp_wire.dir/buffer.cpp.o.d"
+  "CMakeFiles/bacp_wire.dir/codec.cpp.o"
+  "CMakeFiles/bacp_wire.dir/codec.cpp.o.d"
+  "CMakeFiles/bacp_wire.dir/crc32.cpp.o"
+  "CMakeFiles/bacp_wire.dir/crc32.cpp.o.d"
+  "libbacp_wire.a"
+  "libbacp_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacp_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacp_workload.dir/report.cpp.o"
+  "CMakeFiles/bacp_workload.dir/report.cpp.o.d"
+  "CMakeFiles/bacp_workload.dir/scenario.cpp.o"
+  "CMakeFiles/bacp_workload.dir/scenario.cpp.o.d"
+  "libbacp_workload.a"
+  "libbacp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

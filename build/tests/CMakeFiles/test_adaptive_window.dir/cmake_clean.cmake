@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adaptive_window.dir/test_adaptive_window.cpp.o"
+  "CMakeFiles/test_adaptive_window.dir/test_adaptive_window.cpp.o.d"
+  "test_adaptive_window"
+  "test_adaptive_window.pdb"
+  "test_adaptive_window[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adaptive_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ba_cores.dir/test_ba_cores.cpp.o"
+  "CMakeFiles/test_ba_cores.dir/test_ba_cores.cpp.o.d"
+  "test_ba_cores"
+  "test_ba_cores.pdb"
+  "test_ba_cores[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ba_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

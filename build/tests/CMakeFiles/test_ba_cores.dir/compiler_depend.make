@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_ba_cores.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/test_baselines.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/test_baselines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/bacp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/bacp_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/bacp_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bacp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/bacp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/bacp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ba/CMakeFiles/bacp_ba.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bacp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/bacp_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/bacp_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/bacp_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bacp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

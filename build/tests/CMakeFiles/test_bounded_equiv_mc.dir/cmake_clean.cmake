@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bounded_equiv_mc.dir/test_bounded_equiv_mc.cpp.o"
+  "CMakeFiles/test_bounded_equiv_mc.dir/test_bounded_equiv_mc.cpp.o.d"
+  "test_bounded_equiv_mc"
+  "test_bounded_equiv_mc.pdb"
+  "test_bounded_equiv_mc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bounded_equiv_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

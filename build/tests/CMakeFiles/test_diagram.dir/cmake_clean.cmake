@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diagram.dir/test_diagram.cpp.o"
+  "CMakeFiles/test_diagram.dir/test_diagram.cpp.o.d"
+  "test_diagram"
+  "test_diagram.pdb"
+  "test_diagram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_duplex.dir/test_duplex.cpp.o"
+  "CMakeFiles/test_duplex.dir/test_duplex.cpp.o.d"
+  "test_duplex"
+  "test_duplex.pdb"
+  "test_duplex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_duplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

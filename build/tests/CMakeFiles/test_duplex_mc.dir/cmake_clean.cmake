@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_duplex_mc.dir/test_duplex_mc.cpp.o"
+  "CMakeFiles/test_duplex_mc.dir/test_duplex_mc.cpp.o.d"
+  "test_duplex_mc"
+  "test_duplex_mc.pdb"
+  "test_duplex_mc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_duplex_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link.dir/test_link.cpp.o"
+  "CMakeFiles/test_link.dir/test_link.cpp.o.d"
+  "test_link"
+  "test_link.pdb"
+  "test_link[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

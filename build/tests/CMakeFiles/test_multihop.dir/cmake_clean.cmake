@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multihop.dir/test_multihop.cpp.o"
+  "CMakeFiles/test_multihop.dir/test_multihop.cpp.o.d"
+  "test_multihop"
+  "test_multihop.pdb"
+  "test_multihop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multihop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

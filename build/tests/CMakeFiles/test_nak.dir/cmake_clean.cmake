@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nak.dir/test_nak.cpp.o"
+  "CMakeFiles/test_nak.dir/test_nak.cpp.o.d"
+  "test_nak"
+  "test_nak.pdb"
+  "test_nak[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

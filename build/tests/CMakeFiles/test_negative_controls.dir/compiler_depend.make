@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_negative_controls.
+# This may be replaced when dependencies are built.

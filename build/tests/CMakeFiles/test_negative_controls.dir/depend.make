@@ -1,0 +1,2 @@
+# Empty dependencies file for test_negative_controls.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_progress.dir/test_progress.cpp.o"
+  "CMakeFiles/test_progress.dir/test_progress.cpp.o.d"
+  "test_progress"
+  "test_progress.pdb"
+  "test_progress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

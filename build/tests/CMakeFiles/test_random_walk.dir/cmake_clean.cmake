@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_walk.dir/test_random_walk.cpp.o"
+  "CMakeFiles/test_random_walk.dir/test_random_walk.cpp.o.d"
+  "test_random_walk"
+  "test_random_walk.pdb"
+  "test_random_walk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seqnum.dir/test_seqnum.cpp.o"
+  "CMakeFiles/test_seqnum.dir/test_seqnum.cpp.o.d"
+  "test_seqnum"
+  "test_seqnum.pdb"
+  "test_seqnum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seqnum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sessions.dir/test_sessions.cpp.o"
+  "CMakeFiles/test_sessions.dir/test_sessions.cpp.o.d"
+  "test_sessions"
+  "test_sessions.pdb"
+  "test_sessions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_mux.dir/test_stream_mux.cpp.o"
+  "CMakeFiles/test_stream_mux.dir/test_stream_mux.cpp.o.d"
+  "test_stream_mux"
+  "test_stream_mux.pdb"
+  "test_stream_mux[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_mux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wire_fuzz.dir/test_wire_fuzz.cpp.o"
+  "CMakeFiles/test_wire_fuzz.dir/test_wire_fuzz.cpp.o.d"
+  "test_wire_fuzz"
+  "test_wire_fuzz.pdb"
+  "test_wire_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wire_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

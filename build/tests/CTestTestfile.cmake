@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_wire[1]_include.cmake")
+include("/root/repo/build/tests/test_wire_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_seqnum[1]_include.cmake")
+include("/root/repo/build/tests/test_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_diagram[1]_include.cmake")
+include("/root/repo/build/tests/test_ba_cores[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_invariants[1]_include.cmake")
+include("/root/repo/build/tests/test_model_check[1]_include.cmake")
+include("/root/repo/build/tests/test_bounded_equiv_mc[1]_include.cmake")
+include("/root/repo/build/tests/test_duplex_mc[1]_include.cmake")
+include("/root/repo/build/tests/test_random_walk[1]_include.cmake")
+include("/root/repo/build/tests/test_progress[1]_include.cmake")
+include("/root/repo/build/tests/test_sessions[1]_include.cmake")
+include("/root/repo/build/tests/test_soak[1]_include.cmake")
+include("/root/repo/build/tests/test_negative_controls[1]_include.cmake")
+include("/root/repo/build/tests/test_link[1]_include.cmake")
+include("/root/repo/build/tests/test_nak[1]_include.cmake")
+include("/root/repo/build/tests/test_adaptive_window[1]_include.cmake")
+include("/root/repo/build/tests/test_duplex[1]_include.cmake")
+include("/root/repo/build/tests/test_multihop[1]_include.cmake")
+include("/root/repo/build/tests/test_stream_mux[1]_include.cmake")
+include("/root/repo/build/tests/test_scenario[1]_include.cmake")
+include("/root/repo/build/tests/test_models[1]_include.cmake")
