@@ -68,14 +68,12 @@ int main() {
     // The exact cap of the time-constrained protocol.
     workload::Table cap({"domain N", "cap N/T", "measured"});
     for (const Seq domain : {9u, 16u, 32u}) {
-        runtime::TcConfig cfg;
+        runtime::EngineConfig cfg;
         cfg.w = 8;
         cfg.count = 1000;
-        cfg.domain = domain;
-        cfg.reuse_interval = 100_ms;
         cfg.data_link = runtime::LinkSpec::lossless(5_ms, 5_ms);
         cfg.ack_link = runtime::LinkSpec::lossless(5_ms, 5_ms);
-        runtime::TcSession session(cfg);
+        runtime::TcSession session(cfg, {.domain = domain, .reuse_interval = 100_ms});
         const auto metrics = session.run();
         cap.add_row({std::to_string(domain),
                      workload::fmt(analysis::reuse_cap(domain, 0.1), 0),

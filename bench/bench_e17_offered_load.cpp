@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "analysis/models.hpp"
+#include "runtime/ba_session.hpp"
 #include "workload/report.hpp"
 #include "workload/scenario.hpp"
 
@@ -28,7 +29,7 @@ struct Outcome {
 };
 
 Outcome run_load(double offered_per_sec, double loss) {
-    runtime::SessionConfig cfg;
+    runtime::EngineConfig cfg;
     cfg.w = 16;
     cfg.count = 4000;
     cfg.data_link = loss > 0 ? runtime::LinkSpec::lossy(loss, 5_ms, 5_ms)

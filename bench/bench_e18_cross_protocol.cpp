@@ -1,0 +1,90 @@
+// E18 -- cross-protocol sweep through the unified engine.
+//
+// The point of runtime::Engine: ONE EngineConfig object drives block
+// acknowledgment, go-back-N, and selective repeat -- the sessions below
+// differ only in the core type plugged into the engine, so every
+// protocol sees the identical channel model, seed, and RNG streams.
+//
+// Part 1 sweeps loss under each protocol's classic timer discipline.
+// Part 2 fixes loss and sweeps all four timeout disciplines per core --
+// a comparison that was impossible when only BaSession exposed
+// TimeoutMode.
+
+#include <cstdio>
+#include <string>
+
+#include "runtime/ba_session.hpp"
+#include "runtime/gbn_session.hpp"
+#include "runtime/sr_session.hpp"
+#include "workload/report.hpp"
+
+using namespace bacp;
+using namespace bacp::literals;
+using runtime::EngineConfig;
+using runtime::TimeoutMode;
+
+namespace {
+
+EngineConfig shared_config(double loss) {
+    EngineConfig cfg;
+    cfg.w = 16;
+    cfg.count = 3000;
+    cfg.data_link = loss > 0 ? runtime::LinkSpec::lossy(loss) : runtime::LinkSpec::lossless();
+    cfg.ack_link = cfg.data_link;
+    cfg.seed = 18;
+    return cfg;
+}
+
+struct Row {
+    double throughput = -1;
+    double acks_per_msg = 0;
+    double retx_frac = 0;
+};
+
+template <typename Session>
+Row run(const EngineConfig& cfg) {
+    Session session(cfg);
+    const auto m = session.run();
+    if (!session.completed()) return {};
+    return {m.throughput_msgs_per_sec(), m.acks_per_delivered(), m.retx_fraction()};
+}
+
+std::string cell(const Row& r) {
+    if (r.throughput < 0) return "INCOMPLETE";
+    return workload::fmt(r.throughput, 0) + " msg/s  " + workload::fmt(r.acks_per_msg, 2) +
+           " ack/msg  " + workload::fmt(r.retx_frac * 100, 1) + "% retx";
+}
+
+}  // namespace
+
+int main() {
+    std::printf("E18: three protocol cores through one EngineConfig\n"
+                "     (w=16, 3000 msgs, 4-6 ms reordering links, seed 18)\n");
+
+    workload::Table by_loss({"loss", "block-ack", "go-back-n", "selective-repeat"});
+    for (const double loss : {0.0, 0.02, 0.05, 0.1, 0.2}) {
+        const EngineConfig cfg = shared_config(loss);
+        by_loss.add_row({workload::fmt(loss * 100, 0) + "%",
+                         cell(run<runtime::UnboundedSession>(cfg)),
+                         cell(run<runtime::GbnSession>(cfg)),
+                         cell(run<runtime::SrSession>(cfg))});
+    }
+    by_loss.print("E18a: identical config, identical channels -- only the core differs");
+
+    workload::Table by_mode({"timeout mode", "block-ack", "go-back-n", "selective-repeat"});
+    for (const auto mode : {TimeoutMode::OracleSimple, TimeoutMode::OraclePerMessage,
+                            TimeoutMode::SimpleTimer, TimeoutMode::PerMessageTimer}) {
+        EngineConfig cfg = shared_config(0.1);
+        cfg.timeout_mode = mode;
+        by_mode.add_row({to_string(mode),
+                         cell(run<runtime::UnboundedSession>(cfg)),
+                         cell(run<runtime::GbnSession>(cfg)),
+                         cell(run<runtime::SrSession>(cfg))});
+    }
+    by_mode.print("E18b: every timer discipline, every core (10% loss)");
+
+    std::printf("\nExpected shape: block-ack holds its throughput with ~1/w the acks;\n"
+                "go-back-N pays whole-window retransmits off one timer; the oracle\n"
+                "rows bound what any realistic timer discipline can achieve.\n");
+    return 0;
+}

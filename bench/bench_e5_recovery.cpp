@@ -19,13 +19,13 @@
 
 using namespace bacp;
 using namespace bacp::literals;
-using runtime::SessionConfig;
+using runtime::EngineConfig;
 using runtime::TimeoutMode;
 
 namespace {
 
 SimTime run_once(Seq k, TimeoutMode mode) {
-    SessionConfig cfg;
+    EngineConfig cfg;
     cfg.w = k;
     cfg.count = 2 * k;
     cfg.timeout_mode = mode;

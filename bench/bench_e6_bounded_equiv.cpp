@@ -18,12 +18,12 @@
 #include "workload/report.hpp"
 
 using namespace bacp;
-using runtime::SessionConfig;
+using runtime::EngineConfig;
 
 namespace {
 
-SessionConfig config_for(Seq w, double loss, std::uint64_t seed) {
-    SessionConfig cfg;
+EngineConfig config_for(Seq w, double loss, std::uint64_t seed) {
+    EngineConfig cfg;
     cfg.w = w;
     cfg.count = 2000;
     cfg.data_link = loss > 0 ? runtime::LinkSpec::lossy(loss) : runtime::LinkSpec::lossless();

@@ -26,20 +26,18 @@ using namespace bacp::literals;
 namespace {
 
 double tc_throughput(Seq domain) {
-    runtime::TcConfig cfg;
+    runtime::EngineConfig cfg;
     cfg.w = 8;
     cfg.count = 1500;
-    cfg.domain = domain;
-    cfg.reuse_interval = 100_ms;
     cfg.data_link = runtime::LinkSpec::lossless(5_ms, 5_ms);
     cfg.ack_link = runtime::LinkSpec::lossless(5_ms, 5_ms);
-    runtime::TcSession session(cfg);
+    runtime::TcSession session(cfg, {.domain = domain, .reuse_interval = 100_ms});
     const auto metrics = session.run();
     return session.completed() ? metrics.throughput_msgs_per_sec() : -1;
 }
 
 double ba_throughput() {
-    runtime::SessionConfig cfg;
+    runtime::EngineConfig cfg;
     cfg.w = 8;
     cfg.count = 1500;
     cfg.data_link = runtime::LinkSpec::lossless(5_ms, 5_ms);

@@ -24,7 +24,7 @@
 //   --fifo            force in-order channels
 //   --batch K         ack policy: batch K (10 ms flush)    [eager]
 //   --timeout-mode M  oracle-simple | oracle-per-message |
-//                     simple-timer | per-message-timer     [per-message-timer]
+//                     simple-timer | per-message-timer     [protocol default]
 //   --tc-domain N     sequence domain for time-constrained [16]
 //   --nak             enable NAK fast retransmit
 //   --adaptive        enable AIMD window adaptation
@@ -140,10 +140,12 @@ int main(int argc, char** argv) {
                 static_cast<Seq>(std::strtoull(args.next_value(flag.c_str()), nullptr, 10));
             scenario.ack_policy = runtime::AckPolicy::batch(k, 10 * kMillisecond);
         } else if (flag == "--timeout-mode") {
-            if (!parse_timeout_mode(args.next_value(flag.c_str()), scenario.timeout_mode)) {
+            runtime::TimeoutMode mode;
+            if (!parse_timeout_mode(args.next_value(flag.c_str()), mode)) {
                 std::fprintf(stderr, "unknown timeout mode\n");
                 return 2;
             }
+            scenario.timeout_mode = mode;
         } else if (flag == "--tc-domain") {
             scenario.tc_domain =
                 static_cast<Seq>(std::strtoull(args.next_value(flag.c_str()), nullptr, 10));

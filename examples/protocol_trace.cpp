@@ -48,7 +48,7 @@ int main() {
 
     // ---- Part 2: block acknowledgment under the same disorder -------------
     std::printf("== Part 2: block acknowledgment, traced ==\n\n");
-    runtime::SessionConfig cfg;
+    runtime::EngineConfig cfg;
     cfg.w = 6;
     cfg.count = 6;
     cfg.seed = 3;

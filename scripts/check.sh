@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build and run the full test suite under ASan + UBSan.
+#
+#   $ scripts/check.sh            # sanitized tier-1 suite
+#   $ scripts/check.sh --fast     # plain build, no sanitizers
+#
+# Exits nonzero on any build failure, test failure, or sanitizer report.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-sanitize
+SANITIZE=ON
+if [[ "${1:-}" == "--fast" ]]; then
+    BUILD_DIR=build
+    SANITIZE=OFF
+fi
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DBACP_SANITIZE="$SANITIZE"
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j"$(nproc)"

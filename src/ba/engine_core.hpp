@@ -1,0 +1,354 @@
+#pragma once
+
+/// \file engine_core.hpp
+/// EndpointCore adapter for the block-acknowledgment protocol family.
+///
+/// EngineCore<SenderT, ReceiverT> packages any of the three sender cores
+/// (Sender, BoundedSender, HoleReuseSender) with either receiver behind
+/// the runtime::Engine concept.  Bounded cores speak residues on the
+/// wire; this adapter keeps *ghost* unbounded counters (never visible to
+/// the cores) and translates between the engine's true sequence numbers
+/// and wire fields, mirroring the paper's proof technique of reasoning
+/// about true values that the implementation no longer stores.
+///
+/// Besides the translation, the adapter owns the BA-specific protocol
+/// policies that are not transport concerns:
+///   - SACK-style ack clipping (ack_clip.hpp) before the strict core;
+///   - the send-horizon rule (horizon.hpp);
+///   - the SIV resend gate and the receiver-oracle conjunct
+///     (timeout_eligible);
+///   - the NAK fast-retransmit extension;
+///   - the AIMD variable-window extension (paper SVI).
+
+#include <algorithm>
+#include <concepts>
+#include <optional>
+#include <vector>
+
+#include "ba/bounded_receiver.hpp"
+#include "ba/bounded_sender.hpp"
+#include "ba/hole_reuse_sender.hpp"
+#include "ba/receiver.hpp"
+#include "ba/sender.hpp"
+#include "common/types.hpp"
+#include "protocol/message.hpp"
+#include "protocol/seqnum.hpp"
+#include "runtime/ack_clip.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/horizon.hpp"
+
+namespace bacp::ba {
+
+template <typename SenderT, typename ReceiverT>
+class EngineCore {
+public:
+    struct Options {};
+
+    static constexpr bool kRequiresFifo = false;
+    static constexpr runtime::TimeoutMode kDefaultTimeoutMode =
+        runtime::TimeoutMode::PerMessageTimer;
+    static constexpr bool kInvariantCheckable =
+        std::same_as<SenderT, Sender> && std::same_as<ReceiverT, Receiver>;
+
+    explicit EngineCore(const runtime::EngineConfig& cfg, Options = {})
+        : w_(cfg.w),
+          sender_(cfg.w),
+          receiver_(cfg.w),
+          adaptive_(cfg.adaptive_window),
+          nak_enabled_(cfg.enable_nak),
+          nak_threshold_(cfg.nak_threshold),
+          data_lifetime_(cfg.data_link.max_lifetime()),
+          nak_interval_(cfg.data_link.max_lifetime() + cfg.ack_link.max_lifetime()) {}
+
+    const SenderT& sender_core() const { return sender_; }
+    const ReceiverT& receiver_core() const { return receiver_; }
+
+    // ---- sender half -----------------------------------------------------
+
+    bool can_send_new() const { return sender_.can_send_new(); }
+
+    SimTime send_blocked_until(SimTime now) {
+        return horizon_.blocks(ghost_ns_, now) ? horizon_.until() : now;
+    }
+
+    proto::Data send_new(SimTime) {
+        const proto::Data msg = sender_.send_new();
+        ++ghost_ns_;
+        return msg;
+    }
+
+    /// Feeds one block ack to the core, tolerating duplicate coverage.
+    ///
+    /// With realistic per-message timers (SIV) the sender cannot evaluate
+    /// the "(i < nr || !rcvd[i])" conjunct of timeout(i), so it may
+    /// resend a message the receiver buffered out of order; the resulting
+    /// duplicate acknowledgments can overlap ranges the sender already
+    /// processed.  Exactly as a TCP SACK processor does, the adapter
+    /// clips the incoming range to the still-unacknowledged runs before
+    /// handing it to the strict core.  Under the oracle modes and the SII
+    /// single timer no clipping ever occurs (the paper's assertion 8
+    /// holds) -- the invariant checker enforces that in tests.
+    void on_ack(const proto::Ack& ack, const runtime::TxView& tx) {
+        std::vector<proto::Ack> runs;
+        if constexpr (kBoundedSender) {
+            runs = runtime::clip_ack_bounded(sender_, ack);
+        } else {
+            runs = runtime::clip_ack_unbounded(sender_, ack);
+        }
+        for (const auto& run : runs) {
+            if constexpr (kBoundedSender) {
+                const Seq na_before = sender_.na_mod();
+                const Seq lo_true =
+                    ghost_na_ + proto::mod_offset(na_before, run.lo, sender_.domain());
+                const Seq hi_true =
+                    ghost_na_ + proto::mod_offset(na_before, run.hi, sender_.domain());
+                for (Seq t = lo_true; t <= hi_true; ++t) note_horizon(t, tx);
+                sender_.on_ack(run);
+                const Seq advance =
+                    proto::mod_offset(na_before, sender_.na_mod(), sender_.domain());
+                ghost_na_ += advance;
+                window_on_ack_progress(advance);
+            } else {
+                for (Seq t = run.lo; t <= run.hi; ++t) note_horizon(t, tx);
+                const Seq na_before = sender_.na();
+                sender_.on_ack(run);
+                window_on_ack_progress(sender_.na() - na_before);
+            }
+        }
+    }
+
+    bool has_outstanding() const {
+        if constexpr (requires(const SenderT& s) { s.unacked(); }) {
+            return sender_.unacked() > 0;
+        } else {
+            return sender_.outstanding() > 0;
+        }
+    }
+
+    std::vector<Seq> resend_candidates() const {
+        std::vector<Seq> out;
+        for (const Seq field : sender_.resend_candidates()) out.push_back(true_of(field));
+        return out;
+    }
+
+    bool can_resend(Seq true_seq) const {
+        if (true_seq < ghost_na()) return false;  // acknowledged meanwhile
+        return sender_.can_resend(wire_of(true_seq));
+    }
+
+    proto::Data resend(Seq true_seq, SimTime) {
+        window_on_loss(true_seq);
+        return sender_.resend(wire_of(true_seq));
+    }
+
+    /// Lowest unacknowledged message -- what the SII single timer and the
+    /// OracleSimple guard resend (ackd[na] is false by invariant 7, so na
+    /// is always resendable).
+    std::vector<Seq> simple_timeout_set() const { return {ghost_na()}; }
+
+    /// Realistic SIV resend gate (oracle == false).  The sender may
+    /// resend a matured message i only when it can prove the receiver is
+    /// not holding i buffered beyond nr (the "(i < nr || !rcvd[i])"
+    /// conjunct of timeout(i), which it cannot observe directly):
+    ///
+    ///   - i == na: if the receiver had na buffered at nr == na it would
+    ///     have acknowledged within the ack-delay bound, and that ack
+    ///     would have arrived inside the conservative timeout;
+    ///   - an ack hole above i exists: in-order acking means the receiver
+    ///     accepted i (i < nr) and only the ack was lost.
+    ///
+    /// This gate is what keeps every in-transit data copy m
+    /// unacknowledged at the sender (assertion 8), which pins na <= m and
+    /// hence nr <= m + w -- without it a stale copy can outlive the SV
+    /// residue reconstruction window and alias into a future sequence
+    /// number.
+    ///
+    /// With oracle == true, evaluates timeout(i)'s receiver conjunct
+    /// directly: eligible unless the receiver holds i buffered beyond nr
+    /// and will acknowledge it without help.
+    bool timeout_eligible(Seq true_seq, bool oracle) const {
+        const Seq field = wire_of(true_seq);
+        if (oracle) return !receiver_can_still_ack(field);
+        return true_seq == ghost_na() || sender_.acked_beyond(field);
+    }
+
+    /// Sender side of the NAK extension: a NAK names a message the
+    /// receiver provably lacks -- the "(i < nr || !rcvd[i])" oracle
+    /// conjunct, receiver-supplied.  The only remaining obligation before
+    /// resending is the one-copy rule: the previous copy must have aged
+    /// out of the data channel.
+    std::optional<Seq> on_nak(const proto::Nak& nak, const runtime::TxView& tx) const {
+        Seq true_seq;
+        if constexpr (kBoundedSender) {
+            if (nak.seq >= sender_.domain()) return std::nullopt;  // malformed
+            const Seq off = proto::mod_offset(sender_.na_mod(), nak.seq, sender_.domain());
+            if (off >= sender_.outstanding()) return std::nullopt;  // stale NAK
+            true_seq = ghost_na_ + off;
+        } else {
+            true_seq = nak.seq;
+        }
+        if (!can_resend(true_seq)) return std::nullopt;
+        const auto last = tx.last_tx_time(true_seq);
+        if (!last) return std::nullopt;
+        if (tx.now - *last < data_lifetime_) return std::nullopt;  // copy may live
+        return true_seq;
+    }
+
+    // ---- receiver half ---------------------------------------------------
+
+    runtime::RxOutcome on_data(const proto::Data& msg, SimTime now) {
+        runtime::RxOutcome out;
+        const auto dup = receiver_.on_data(msg);
+        if (dup) {
+            out.duplicate = true;
+            out.dup_ack = *dup;
+            return out;
+        }
+        // Action 4, repeated: deliver the contiguous run in order.
+        while (receiver_.can_advance()) {
+            receiver_.advance();
+            ++ghost_vr_;
+            ++out.delivered;
+        }
+        if (out.delivered > 0) {
+            ooo_since_advance_ = 0;
+        } else {
+            ++ooo_since_advance_;  // buffered beyond a gap
+            out.nak = maybe_make_nak(now);
+        }
+        return out;
+    }
+
+    Seq ack_pending() const {
+        if constexpr (kBoundedReceiver) {
+            return receiver_.pending();
+        } else {
+            return receiver_.vr() - receiver_.nr();
+        }
+    }
+
+    proto::Ack make_ack() { return receiver_.make_ack(); }
+
+private:
+    static constexpr bool kBoundedSender = requires(const SenderT& s) { s.na_mod(); };
+    static constexpr bool kBoundedReceiver = requires(const ReceiverT& r) { r.nr_mod(); };
+
+    /// Ghost (true, unbounded) value of na.
+    Seq ghost_na() const {
+        if constexpr (kBoundedSender) {
+            return ghost_na_;
+        } else {
+            return sender_.na();
+        }
+    }
+
+    /// Wire field for the message with true sequence number \p true_seq.
+    Seq wire_of(Seq true_seq) const {
+        if constexpr (kBoundedSender) {
+            return true_seq % sender_.domain();
+        } else {
+            return true_seq;
+        }
+    }
+
+    /// True sequence number of a resend-candidate wire field.
+    Seq true_of(Seq field) const {
+        if constexpr (kBoundedSender) {
+            return ghost_na_ + proto::mod_offset(sender_.na_mod(), field, sender_.domain());
+        } else {
+            return field;
+        }
+    }
+
+    void note_horizon(Seq true_seq, const runtime::TxView& tx) {
+        const auto last = tx.last_tx_time(true_seq);
+        if (!last) return;
+        horizon_.note(true_seq, *last + tx.data_lifetime, tx.now, w_);
+    }
+
+    /// Oracle evaluation of timeout(i)'s receiver conjunct: returns the
+    /// NEGATION of "(i < nr || !rcvd[i])", i.e. true when the receiver
+    /// holds i buffered beyond nr and will acknowledge it without help.
+    bool receiver_can_still_ack(Seq field) const {
+        if constexpr (kBoundedReceiver) {
+            if (proto::wire_before_nr(field, receiver_.nr_mod(), receiver_.window())) {
+                return false;  // i < nr: accepted; resend is the recovery path
+            }
+            return receiver_.rcvd(field);
+        } else {
+            return field < receiver_.nr() ? false : receiver_.rcvd(field);
+        }
+    }
+
+    /// Receiver side of the NAK extension: after nak_threshold
+    /// out-of-order arrivals without progress, request the message
+    /// blocking vr (rate-limited to one NAK per blocked position per NAK
+    /// round trip).
+    std::optional<proto::Nak> maybe_make_nak(SimTime now) {
+        if (!nak_enabled_) return std::nullopt;
+        if (ooo_since_advance_ < nak_threshold_) return std::nullopt;
+        const Seq missing_field = [&] {
+            if constexpr (kBoundedReceiver) {
+                return receiver_.vr_mod();
+            } else {
+                return receiver_.vr();
+            }
+        }();
+        if (last_nak_field_ == missing_field && now - last_nak_time_ < nak_interval_) {
+            return std::nullopt;
+        }
+        last_nak_field_ = missing_field;
+        last_nak_time_ = now;
+        return proto::Nak{missing_field};
+    }
+
+    /// Multiplicative decrease, once per loss event: a retransmission of
+    /// a message sent before the previous decrease does not halve again.
+    void window_on_loss(Seq true_seq) {
+        if constexpr (requires(SenderT& s) { s.set_window_limit(Seq{1}); }) {
+            if (!adaptive_) return;
+            if (true_seq < recovery_mark_) return;  // same loss event
+            recovery_mark_ = ghost_ns_;
+            const Seq halved = std::max<Seq>(1, sender_.window_limit() / 2);
+            sender_.set_window_limit(halved);
+            acked_since_increase_ = 0;
+        }
+    }
+
+    /// Additive increase: +1 after a full effective window is acked.
+    void window_on_ack_progress(Seq advance) {
+        if constexpr (requires(SenderT& s) { s.set_window_limit(Seq{1}); }) {
+            if (!adaptive_ || advance == 0) return;
+            acked_since_increase_ += advance;
+            if (acked_since_increase_ >= sender_.window_limit() &&
+                sender_.window_limit() < w_) {
+                sender_.set_window_limit(sender_.window_limit() + 1);
+                acked_since_increase_ = 0;
+            }
+        }
+    }
+
+    Seq w_;
+    SenderT sender_;
+    ReceiverT receiver_;
+    runtime::SendHorizon horizon_;
+    Seq ghost_ns_ = 0;  // true ns (== engine's sent_new counter)
+    Seq ghost_na_ = 0;  // true na for bounded senders
+    Seq ghost_vr_ = 0;  // true vr for bounded receivers
+
+    // Adaptive-window (AIMD) state.
+    bool adaptive_;
+    Seq recovery_mark_ = 0;  // loss events below this are "the same"
+    Seq acked_since_increase_ = 0;
+
+    // NAK extension state.
+    bool nak_enabled_;
+    Seq nak_threshold_;
+    SimTime data_lifetime_;
+    SimTime nak_interval_;
+    Seq ooo_since_advance_ = 0;  // out-of-order arrivals since vr moved
+    Seq last_nak_field_ = ~Seq{0};
+    SimTime last_nak_time_ = 0;
+};
+
+}  // namespace bacp::ba

@@ -1,60 +1,15 @@
 #pragma once
 
 /// \file abp_session.hpp
-/// Discrete-event runtime for the alternating-bit baseline (stop-and-wait,
-/// FIFO channels only).  The no-pipelining floor in the window-scaling
-/// experiment E8.
+/// Alternating-bit session: the runtime::Engine driving baselines::AbpCore
+/// (stop-and-wait, FIFO channels only).  The no-pipelining floor in the
+/// window-scaling experiment E8.
 
-#include <cstdint>
-
-#include "baselines/alternating_bit.hpp"
-#include "common/rng.hpp"
-#include "runtime/link_spec.hpp"
-#include "sim/metrics.hpp"
-#include "sim/sim_channel.hpp"
-#include "sim/simulator.hpp"
-#include "sim/timer.hpp"
+#include "baselines/engine_cores.hpp"
+#include "runtime/engine.hpp"
 
 namespace bacp::runtime {
 
-struct AbpConfig {
-    Seq count = 1000;
-    SimTime timeout = 0;  // 0 = derive from link lifetimes
-    LinkSpec data_link = LinkSpec::lossless();
-    LinkSpec ack_link = LinkSpec::lossless();
-    std::uint64_t seed = 1;
-    SimTime deadline = 3600 * kSecond;
-    std::size_t max_events = 50'000'000;
-};
-
-class AbpSession {
-public:
-    explicit AbpSession(AbpConfig config);
-    AbpSession(const AbpSession&) = delete;
-    AbpSession& operator=(const AbpSession&) = delete;
-
-    sim::Metrics run();
-    bool completed() const { return receiver_.delivered() == cfg_.count; }
-    Seq delivered() const { return receiver_.delivered(); }
-
-private:
-    void send_next();
-    void on_ack_arrival(const proto::Ack& ack);
-    void on_data_arrival(const proto::Data& msg);
-    void on_timeout();
-
-    AbpConfig cfg_;
-    sim::Simulator sim_;
-    Rng rng_data_;
-    Rng rng_ack_;
-    baselines::AbpSender sender_;
-    baselines::AbpReceiver receiver_;
-    sim::SimChannel data_ch_;
-    sim::SimChannel ack_ch_;
-    sim::Timer retx_timer_;
-    sim::Metrics metrics_;
-    SimTime timeout_ = 0;
-    SimTime current_send_time_ = 0;
-};
+using AbpSession = Engine<baselines::AbpCore>;
 
 }  // namespace bacp::runtime

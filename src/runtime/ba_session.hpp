@@ -1,694 +1,20 @@
 #pragma once
 
 /// \file ba_session.hpp
-/// Discrete-event runtime for the block-acknowledgment protocol family.
-///
-/// BaSession wires a pure sender/receiver core pair to two SimChannels and
-/// drives a fixed-size transfer (config.count messages), implementing the
-/// paper's timeout machinery in four flavors:
-///
-///   OracleSimple      SII action 2 with its oracle guard: fires exactly
-///                     when the whole system is quiescent (empty event
-///                     queue == empty channels + receiver can't proceed).
-///   OraclePerMessage  SIV action 2' with its oracle guard; at quiescence
-///                     every unacknowledged message is eligible at once.
-///   SimpleTimer       SII realistic: one timer, restarted on every data
-///                     transmission ("elapsed time since it last sent a
-///                     data message"); on expiry resend na.
-///   PerMessageTimer   SIV realistic: an expiry check per transmission;
-///                     a message is resent only if it is still unacked and
-///                     its last copy was sent a full timeout ago.
-///
-/// Timer timeouts default to L_SR + L_RS + max_ack_delay + margin, the
-/// conservative bound that preserves assertion 8 ("at most one copy of
-/// each data message or its acknowledgment is in transit").
-///
-/// The template accepts any of the three sender cores (Sender,
-/// BoundedSender, HoleReuseSender) and either receiver.  Bounded cores
-/// speak residues on the wire; the session keeps *ghost* unbounded
-/// counters (never visible to the cores) for latency bookkeeping and
-/// timer-aliasing guards, mirroring the paper's proof technique of
-/// reasoning about true values that the implementation no longer stores.
+/// Block-acknowledgment sessions: the runtime::Engine driving the
+/// ba::EngineCore adapter over the paper's sender/receiver cores.
+/// All transport machinery (channels, the four TimeoutModes, metrics,
+/// tracing) lives in engine.hpp; the BA-specific policies (ghost
+/// counters, ack clipping, send horizon, resend gate, NAK, AIMD) live in
+/// ba/engine_core.hpp.
 
-#include <concepts>
-#include <cstdint>
-#include <string>
-#include <unordered_map>
-#include <vector>
-
-#include "ba/bounded_receiver.hpp"
-#include "ba/bounded_sender.hpp"
-#include "ba/hole_reuse_sender.hpp"
-#include "ba/receiver.hpp"
-#include "ba/sender.hpp"
-#include "common/assert.hpp"
-#include "common/rng.hpp"
-#include "common/types.hpp"
-#include "protocol/seqnum.hpp"
-#include "runtime/ack_clip.hpp"
-#include "runtime/ack_policy.hpp"
-#include "runtime/link_spec.hpp"
-#include "sim/metrics.hpp"
-#include "sim/sim_channel.hpp"
-#include "sim/simulator.hpp"
-#include "sim/timer.hpp"
-#include "sim/trace.hpp"
-#include "verify/invariants.hpp"
+#include "ba/engine_core.hpp"
+#include "runtime/engine.hpp"
 
 namespace bacp::runtime {
 
-enum class TimeoutMode { OracleSimple, OraclePerMessage, SimpleTimer, PerMessageTimer };
-
-const char* to_string(TimeoutMode mode);
-
-struct SessionConfig {
-    Seq w = 8;
-    Seq count = 1000;  // messages to transfer
-    TimeoutMode timeout_mode = TimeoutMode::PerMessageTimer;
-    SimTime timeout = 0;  // 0 = derive conservatively from links + ack policy
-    AckPolicy ack_policy = AckPolicy::eager();
-    LinkSpec data_link = LinkSpec::lossless();
-    LinkSpec ack_link = LinkSpec::lossless();
-    std::uint64_t seed = 1;
-    SimTime deadline = 3600 * kSecond;
-    std::size_t max_events = 50'000'000;
-    bool record_trace = false;
-    /// Check assertions 6-8 after every protocol step (unbounded cores
-    /// over set-tracked channels only); violations throw AssertionError.
-    bool check_invariants = false;
-    /// Fast-retransmit extension: the receiver NAKs the message blocking
-    /// vr after nak_threshold out-of-order arrivals; the sender resends
-    /// it as soon as the previous copy has provably aged out of the
-    /// channel (no full timeout wait).  Advisory: NAK loss or duplication
-    /// affects only latency.  See DESIGN.md (extensions).
-    bool enable_nak = false;
-    Seq nak_threshold = 3;
-    /// Variable-window extension (paper SVI: "it is possible ... to
-    /// extend all our protocols to have variable size windows"): AIMD
-    /// adaptation of the effective window limit within [1, w].  On each
-    /// loss event (first retransmission per flight) the limit halves; it
-    /// grows by one per acknowledged window otherwise.  Only meaningful
-    /// when the data link models a bottleneck queue.
-    bool adaptive_window = false;
-    /// Open-loop workload: when > 0, messages become available one per
-    /// interval (exponential gaps when poisson_arrivals) instead of all
-    /// upfront; `count` still bounds the total.  Latency then measures
-    /// arrival-to-delivery sojourn (queueing included), which is what the
-    /// offered-load experiments (E17) need.
-    SimTime arrival_interval = 0;
-    bool poisson_arrivals = false;
-};
-
 template <typename SenderCore, typename ReceiverCore>
-class BaSession {
-public:
-    explicit BaSession(SessionConfig config)
-        : cfg_(std::move(config)),
-          rng_data_(mix_seed(cfg_.seed, 0xd1)),
-          rng_ack_(mix_seed(cfg_.seed, 0xac)),
-          rng_arrivals_(mix_seed(cfg_.seed, 0xa7)),
-          sender_(cfg_.w),
-          receiver_(cfg_.w),
-          data_ch_(sim_, rng_data_, data_config(), "C_SR"),
-          ack_ch_(sim_, rng_ack_, ack_config(), "C_RS"),
-          ack_flush_timer_(sim_, [this] { flush_ack(); }),
-          simple_timer_(sim_, [this] { on_simple_timeout(); }),
-          horizon_timer_(sim_, [this] { pump_send(); }) {
-        timeout_ = cfg_.timeout > 0 ? cfg_.timeout : derived_timeout();
-        data_ch_.set_receiver(
-            [this](const proto::Message& m) { on_data_arrival(std::get<proto::Data>(m)); });
-        ack_ch_.set_receiver([this](const proto::Message& m) {
-            if (const auto* ack = std::get_if<proto::Ack>(&m)) {
-                on_ack_arrival(*ack);
-            } else {
-                on_nak_arrival(std::get<proto::Nak>(m));
-            }
-        });
-        if (cfg_.record_trace) {
-            data_ch_.set_trace(&trace_);
-            ack_ch_.set_trace(&trace_);
-        }
-        if (cfg_.timeout_mode == TimeoutMode::OracleSimple ||
-            cfg_.timeout_mode == TimeoutMode::OraclePerMessage) {
-            sim_.add_idle_hook([this] { return oracle_fire(); });
-        }
-    }
-
-    BaSession(const BaSession&) = delete;
-    BaSession& operator=(const BaSession&) = delete;
-
-    /// Runs the transfer to completion (or deadline/event cap) and
-    /// returns the measurements.
-    sim::Metrics run() {
-        metrics_.start_time = sim_.now();
-        if (cfg_.arrival_interval > 0) {
-            app_released_ = 0;
-            schedule_arrival();
-        } else {
-            app_released_ = cfg_.count;
-        }
-        pump_send();
-        sim_.run_until(cfg_.deadline, cfg_.max_events);
-        if (metrics_.end_time == 0) metrics_.end_time = sim_.now();
-        metrics_.sr_dropped = data_ch_.stats().dropped;
-        metrics_.rs_dropped = ack_ch_.stats().dropped;
-        return metrics_;
-    }
-
-    /// All messages delivered in order and fully acknowledged.
-    bool completed() const {
-        return sent_new_ == cfg_.count && delivered_ == cfg_.count && !sender_has_outstanding();
-    }
-
-    Seq delivered() const { return delivered_; }
-    SimTime timeout_value() const { return timeout_; }
-    const SenderCore& sender_core() const { return sender_; }
-    const ReceiverCore& receiver_core() const { return receiver_; }
-    const sim::Metrics& metrics() const { return metrics_; }
-    const sim::TraceRecorder& trace() const { return trace_; }
-    sim::Simulator& simulator() { return sim_; }
-    const std::vector<std::string>& invariant_violations() const { return violations_; }
-
-private:
-    static constexpr bool kBoundedSender = requires(const SenderCore& s) { s.na_mod(); };
-    static constexpr bool kBoundedReceiver = requires(const ReceiverCore& r) { r.nr_mod(); };
-    static constexpr bool kInvariantCheckable =
-        std::same_as<SenderCore, ba::Sender> && std::same_as<ReceiverCore, ba::Receiver>;
-
-    static std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
-        std::uint64_t s = seed ^ (salt * 0x9e3779b97f4a7c15ULL);
-        return splitmix64(s);
-    }
-
-    sim::SimChannel::Config data_config() const {
-        LinkSpec spec = cfg_.data_link;
-        spec.track_contents |= cfg_.check_invariants;
-        return spec.make_config();
-    }
-    sim::SimChannel::Config ack_config() const {
-        LinkSpec spec = cfg_.ack_link;
-        spec.track_contents |= cfg_.check_invariants;
-        return spec.make_config();
-    }
-
-    SimTime derived_timeout() const {
-        return cfg_.data_link.max_lifetime() + cfg_.ack_link.max_lifetime() +
-               cfg_.ack_policy.max_ack_delay() + kMillisecond;
-    }
-
-    // ---- uniform core access (bounded cores speak residues) -------------
-
-    bool sender_has_outstanding() const {
-        if constexpr (requires(const SenderCore& s) { s.unacked(); }) {
-            return sender_.unacked() > 0;
-        } else {
-            return sender_.outstanding() > 0;
-        }
-    }
-
-    /// Ghost (true, unbounded) value of na.
-    Seq ghost_na() const {
-        if constexpr (kBoundedSender) {
-            return ghost_na_;
-        } else {
-            return sender_.na();
-        }
-    }
-
-    /// Wire field for the message with true sequence number \p true_seq.
-    Seq wire_of(Seq true_seq) const {
-        if constexpr (kBoundedSender) {
-            return true_seq % sender_.domain();
-        } else {
-            return true_seq;
-        }
-    }
-
-    /// True sequence number of a resend-candidate wire field.
-    Seq true_of(Seq field) const {
-        if constexpr (kBoundedSender) {
-            return ghost_na_ + proto::mod_offset(sender_.na_mod(), field, sender_.domain());
-        } else {
-            return field;
-        }
-    }
-
-    Seq receiver_pending() const {
-        if constexpr (kBoundedReceiver) {
-            return receiver_.pending();
-        } else {
-            return receiver_.vr() - receiver_.nr();
-        }
-    }
-
-    // ---- sender ----------------------------------------------------------
-
-    /// Send-horizon rule.  When an acknowledgment covers a message i whose
-    /// last copy may still be in transit (last_tx(i) + L_SR > now -- only
-    /// possible after retransmissions), advancing the window past i + w
-    /// would let the receiver's nr outrun the in-flight copy by more than
-    /// w, and under bounded (mod 2w) sequence numbers the late copy would
-    /// alias into a *future* sequence number at the receiver.  Capping
-    /// ns <= i + w until the copy has provably aged out preserves
-    /// invariant 11 (v < nr + w) for every arrival.  This is the
-    /// per-message analogue of TCP's quiet-time rule.
-    void note_horizon(Seq true_seq) {
-        const auto it = last_tx_.find(true_seq);
-        if (it == last_tx_.end()) return;
-        const SimTime copy_gone = it->second + cfg_.data_link.max_lifetime();
-        if (copy_gone <= sim_.now()) return;
-        horizon_until_ = std::max(horizon_until_, copy_gone);
-        horizon_cap_ = std::min(horizon_cap_, true_seq + cfg_.w);
-    }
-
-    bool horizon_blocks() {
-        if (horizon_until_ <= sim_.now()) {
-            horizon_cap_ = kNoCap;  // expired
-            return false;
-        }
-        return sent_new_ >= horizon_cap_;
-    }
-
-    /// Open-loop arrival process: releases one message per interval.
-    void schedule_arrival() {
-        if (app_released_ >= cfg_.count) return;
-        const SimTime gap =
-            cfg_.poisson_arrivals
-                ? static_cast<SimTime>(
-                      rng_arrivals_.exponential(static_cast<double>(cfg_.arrival_interval)))
-                : cfg_.arrival_interval;
-        sim_.schedule_after(gap, [this] {
-            arrival_time_.emplace(app_released_, sim_.now());
-            ++app_released_;
-            pump_send();
-            schedule_arrival();
-        });
-    }
-
-    void pump_send() {
-        while (sent_new_ < cfg_.count && sent_new_ < app_released_ &&
-               sender_.can_send_new()) {
-            if (horizon_blocks()) {
-                if (!horizon_timer_.armed()) horizon_timer_.restart(horizon_until_ - sim_.now());
-                return;
-            }
-            const proto::Data msg = sender_.send_new();
-            const Seq true_seq = sent_new_++;
-            first_send_.emplace(true_seq, sim_.now());
-            transmit(msg, true_seq, /*retx=*/false);
-        }
-    }
-
-    /// Multiplicative decrease, once per loss event: a retransmission of
-    /// a message sent before the previous decrease does not halve again.
-    void window_on_loss(Seq true_seq) {
-        if constexpr (requires(SenderCore& s) { s.set_window_limit(Seq{1}); }) {
-            if (!cfg_.adaptive_window) return;
-            if (true_seq < recovery_mark_) return;  // same loss event
-            recovery_mark_ = sent_new_;
-            const Seq halved = std::max<Seq>(1, sender_.window_limit() / 2);
-            sender_.set_window_limit(halved);
-            acked_since_increase_ = 0;
-        }
-    }
-
-    /// Additive increase: +1 after a full effective window is acked.
-    void window_on_ack_progress(Seq advance) {
-        if constexpr (requires(SenderCore& s) { s.set_window_limit(Seq{1}); }) {
-            if (!cfg_.adaptive_window || advance == 0) return;
-            acked_since_increase_ += advance;
-            if (acked_since_increase_ >= sender_.window_limit() &&
-                sender_.window_limit() < cfg_.w) {
-                sender_.set_window_limit(sender_.window_limit() + 1);
-                acked_since_increase_ = 0;
-            }
-        }
-    }
-
-    void transmit(const proto::Data& msg, Seq true_seq, bool retx) {
-        if (retx) {
-            ++metrics_.data_retx;
-            window_on_loss(true_seq);
-        } else {
-            ++metrics_.data_new;
-        }
-        if (cfg_.record_trace) {
-            trace_.record(sim_.now(), "S", std::string(retx ? "resend " : "send ") +
-                                               proto::to_string(msg));
-        }
-        last_tx_[true_seq] = sim_.now();
-        data_ch_.send(msg);
-        switch (cfg_.timeout_mode) {
-            case TimeoutMode::SimpleTimer:
-                simple_timer_.restart(timeout_);
-                break;
-            case TimeoutMode::PerMessageTimer:
-                sim_.schedule_after(timeout_, [this, true_seq] { per_message_fire(true_seq); });
-                break;
-            default:
-                break;  // oracle modes use the idle hook
-        }
-    }
-
-    /// Feeds one block ack to the core, tolerating duplicate coverage.
-    ///
-    /// With realistic per-message timers (SIV) the sender cannot evaluate
-    /// the "(i < nr || !rcvd[i])" conjunct of timeout(i), so it may resend
-    /// a message the receiver buffered out of order; the resulting
-    /// duplicate acknowledgments can overlap ranges the sender already
-    /// processed.  Exactly as a TCP SACK processor does, the session clips
-    /// the incoming range to the still-unacknowledged runs before handing
-    /// it to the strict core.  Under the oracle modes and the SII single
-    /// timer no clipping ever occurs (the paper's assertion 8 holds) --
-    /// the invariant checker enforces that in tests.
-    void deliver_ack(const proto::Ack& ack) {
-        std::vector<proto::Ack> runs;
-        if constexpr (kBoundedSender) {
-            runs = clip_ack_bounded(sender_, ack);
-        } else {
-            runs = clip_ack_unbounded(sender_, ack);
-        }
-        for (const auto& run : runs) {
-            if constexpr (kBoundedSender) {
-                const Seq na_before = sender_.na_mod();
-                const Seq lo_true =
-                    ghost_na_ + proto::mod_offset(na_before, run.lo, sender_.domain());
-                const Seq hi_true =
-                    ghost_na_ + proto::mod_offset(na_before, run.hi, sender_.domain());
-                for (Seq t = lo_true; t <= hi_true; ++t) note_horizon(t);
-                sender_.on_ack(run);
-                const Seq advance =
-                    proto::mod_offset(na_before, sender_.na_mod(), sender_.domain());
-                ghost_na_ += advance;
-                window_on_ack_progress(advance);
-            } else {
-                for (Seq t = run.lo; t <= run.hi; ++t) note_horizon(t);
-                const Seq na_before = sender_.na();
-                sender_.on_ack(run);
-                window_on_ack_progress(sender_.na() - na_before);
-            }
-        }
-    }
-
-    void on_ack_arrival(const proto::Ack& ack) {
-        ++metrics_.acks_received;
-        if (cfg_.record_trace) trace_.record(sim_.now(), "S", "rcv " + proto::to_string(ack));
-        deliver_ack(ack);
-        if (cfg_.timeout_mode == TimeoutMode::SimpleTimer && !sender_has_outstanding()) {
-            simple_timer_.cancel();
-        }
-        pump_send();
-        rescan_matured();
-        maybe_check_invariants();
-    }
-
-    void on_simple_timeout() {
-        if (!sender_has_outstanding()) return;
-        resend_lowest();
-    }
-
-    void resend_lowest() {
-        Seq field;
-        if constexpr (kBoundedSender) {
-            field = sender_.na_mod();
-        } else {
-            // ackd[na] is false by invariant 7, so na is always resendable.
-            field = [&] {
-                if constexpr (requires(const SenderCore& s) { s.na(); }) return sender_.na();
-                else return Seq{0};
-            }();
-        }
-        transmit(sender_.resend(field), true_of(field), /*retx=*/true);
-    }
-
-    /// Realistic SIV resend gate.  The sender may resend a matured
-    /// message i only when it can prove the receiver is not holding i
-    /// buffered beyond nr (the "(i < nr || !rcvd[i])" conjunct of
-    /// timeout(i), which it cannot observe directly):
-    ///
-    ///   - i == na: if the receiver had na buffered at nr == na it would
-    ///     have acknowledged within the ack-delay bound, and that ack
-    ///     would have arrived inside the conservative timeout;
-    ///   - an ack hole above i exists: in-order acking means the receiver
-    ///     accepted i (i < nr) and only the ack was lost.
-    ///
-    /// This gate is what keeps every in-transit data copy m unacknowledged
-    /// at the sender (assertion 8), which pins na <= m and hence
-    /// nr <= m + w -- without it a stale copy can outlive the SV residue
-    /// reconstruction window and alias into a future sequence number.
-    bool resend_gate(Seq true_seq, Seq field) const {
-        return true_seq == ghost_na() || sender_.acked_beyond(field);
-    }
-
-    bool matured(Seq true_seq) const {
-        const auto it = last_tx_.find(true_seq);
-        return it != last_tx_.end() && sim_.now() - it->second >= timeout_;
-    }
-
-    void per_message_fire(Seq true_seq) {
-        if (true_seq < ghost_na()) return;  // acknowledged meanwhile
-        if (!matured(true_seq)) return;     // a newer copy owns the timer
-        const Seq field = wire_of(true_seq);
-        if (!sender_.can_resend(field)) return;      // acknowledged (hole)
-        if (!resend_gate(true_seq, field)) return;   // reconsidered on next ack
-        transmit(sender_.resend(field), true_seq, /*retx=*/true);
-    }
-
-    /// SIV's speed advantage: an arriving ack can unblock the resend gate
-    /// for already-matured messages; they go out immediately, with no
-    /// timeout period between successive resends (paper SIV: "successive
-    /// resendings of different messages do not have to be separated by
-    /// any specific time period").
-    void rescan_matured() {
-        if (cfg_.timeout_mode != TimeoutMode::PerMessageTimer) return;
-        for (const Seq field : sender_.resend_candidates()) {
-            const Seq true_seq = true_of(field);
-            if (matured(true_seq) && resend_gate(true_seq, field)) {
-                transmit(sender_.resend(field), true_seq, /*retx=*/true);
-            }
-        }
-    }
-
-    /// Oracle evaluation of timeout(i)'s receiver conjunct: returns the
-    /// NEGATION of "(i < nr || !rcvd[i])", i.e. true when the receiver
-    /// holds i buffered beyond nr and will acknowledge it without help.
-    bool receiver_can_still_ack(Seq field) const {
-        if constexpr (kBoundedReceiver) {
-            if (proto::wire_before_nr(field, receiver_.nr_mod(), receiver_.window())) {
-                return false;  // i < nr: accepted; resend is the recovery path
-            }
-            return receiver_.rcvd(field);
-        } else {
-            return field < receiver_.nr() ? false : receiver_.rcvd(field);
-        }
-    }
-
-    bool oracle_fire() {
-        if (!sender_has_outstanding()) return false;
-        // At an idle point the channels are provably empty (the *SR/*RS
-        // conjuncts of the guards hold trivially), but the receiver may
-        // hold out-of-order messages it cannot acknowledge yet -- the
-        // "(i < nr || !rcvd[i])" conjunct must still be consulted.
-        BACP_ASSERT(data_ch_.in_flight() == 0 && ack_ch_.in_flight() == 0);
-        if (cfg_.timeout_mode == TimeoutMode::OracleSimple) {
-            // Paper SII guard: na != ns, channels empty, !rcvd[nr].  At an
-            // idle point an eager/flushed receiver has nr == vr and
-            // !rcvd[vr], so the remaining conjuncts hold automatically.
-            resend_lowest();
-            return true;
-        }
-        bool any = false;
-        for (const Seq field : sender_.resend_candidates()) {
-            if (receiver_can_still_ack(field)) continue;  // guard blocks resend
-            transmit(sender_.resend(field), true_of(field), /*retx=*/true);
-            any = true;
-        }
-        // na always passes the guard (na < nr, or na == nr with !rcvd[nr]
-        // at idle), so progress is guaranteed.
-        BACP_ASSERT_MSG(any, "oracle timeout found no eligible candidate");
-        return true;
-    }
-
-    // ---- NAK fast retransmit (extension) -----------------------------------
-
-    /// Sender side: a NAK names a message the receiver provably lacks --
-    /// the "(i < nr || !rcvd[i])" oracle conjunct, receiver-supplied.
-    /// The only remaining obligation before resending is the one-copy
-    /// rule: the previous copy must have aged out of the data channel.
-    void on_nak_arrival(const proto::Nak& nak) {
-        ++metrics_.naks_received;
-        if (cfg_.record_trace) {
-            trace_.record(sim_.now(), "S", "rcv N(" + std::to_string(nak.seq) + ")");
-        }
-        Seq true_seq;
-        if constexpr (kBoundedSender) {
-            if (nak.seq >= sender_.domain()) return;  // malformed
-            const Seq off = proto::mod_offset(sender_.na_mod(), nak.seq, sender_.domain());
-            if (off >= sender_.outstanding()) return;  // stale NAK
-            true_seq = ghost_na_ + off;
-        } else {
-            true_seq = nak.seq;
-        }
-        const Seq field = wire_of(true_seq);
-        if (!sender_.can_resend(field)) return;
-        const auto it = last_tx_.find(true_seq);
-        if (it == last_tx_.end()) return;
-        if (sim_.now() - it->second < cfg_.data_link.max_lifetime()) return;  // copy may live
-        ++metrics_.fast_retx;
-        transmit(sender_.resend(field), true_seq, /*retx=*/true);
-    }
-
-    /// Receiver side: after nak_threshold out-of-order arrivals without
-    /// progress, request the message blocking vr.
-    void maybe_send_nak() {
-        if (!cfg_.enable_nak) return;
-        if (ooo_since_advance_ < cfg_.nak_threshold) return;
-        const Seq missing_field = [&] {
-            if constexpr (kBoundedReceiver) {
-                return receiver_.vr_mod();
-            } else {
-                return receiver_.vr();
-            }
-        }();
-        // Rate-limit: one NAK per blocked position per NAK round trip.
-        if (last_nak_field_ == missing_field &&
-            sim_.now() - last_nak_time_ < cfg_.ack_link.max_lifetime() +
-                                              cfg_.data_link.max_lifetime()) {
-            return;
-        }
-        last_nak_field_ = missing_field;
-        last_nak_time_ = sim_.now();
-        ++metrics_.naks_sent;
-        if (cfg_.record_trace) {
-            trace_.record(sim_.now(), "R", "nak N(" + std::to_string(missing_field) + ")");
-        }
-        ack_ch_.send(proto::Nak{missing_field});
-    }
-
-    // ---- receiver ---------------------------------------------------------
-
-    void on_data_arrival(const proto::Data& msg) {
-        ++metrics_.data_received;
-        if (cfg_.record_trace) trace_.record(sim_.now(), "R", "rcv " + proto::to_string(msg));
-        const auto dup = receiver_.on_data(msg);
-        if (dup) {
-            ++metrics_.duplicates;
-            ++metrics_.dup_acks;
-            if (cfg_.record_trace) {
-                trace_.record(sim_.now(), "R", "dup-ack " + proto::to_string(*dup));
-            }
-            ack_ch_.send(*dup);
-            maybe_check_invariants();
-            return;
-        }
-        // Action 4, repeated: deliver the contiguous run in order.
-        bool advanced = false;
-        while (receiver_.can_advance()) {
-            advanced = true;
-            receiver_.advance();
-            const Seq true_seq = ghost_vr_++;
-            ++delivered_;
-            ++metrics_.delivered;
-            // Open loop measures arrival-to-delivery sojourn; closed loop
-            // measures first-transmission-to-delivery.
-            const auto arrived = arrival_time_.find(true_seq);
-            if (arrived != arrival_time_.end()) {
-                metrics_.latency.add(sim_.now() - arrived->second);
-                arrival_time_.erase(arrived);
-                first_send_.erase(true_seq);
-            } else {
-                const auto sent = first_send_.find(true_seq);
-                if (sent != first_send_.end()) {
-                    metrics_.latency.add(sim_.now() - sent->second);
-                    first_send_.erase(sent);
-                }
-            }
-            if (delivered_ == cfg_.count) metrics_.end_time = sim_.now();
-        }
-        if (advanced) {
-            ooo_since_advance_ = 0;
-        } else {
-            ++ooo_since_advance_;  // buffered beyond a gap
-            maybe_send_nak();
-        }
-        // Action 5 scheduling per the ack policy.
-        const Seq pending = receiver_pending();
-        if (pending >= cfg_.ack_policy.threshold) {
-            flush_ack();
-        } else if (pending > 0 && !ack_flush_timer_.armed()) {
-            ack_flush_timer_.restart(cfg_.ack_policy.flush_delay);
-        }
-        maybe_check_invariants();
-    }
-
-    void flush_ack() {
-        ack_flush_timer_.cancel();
-        if (receiver_pending() == 0) return;
-        const proto::Ack ack = receiver_.make_ack();
-        ++metrics_.acks_sent;
-        if (cfg_.record_trace) trace_.record(sim_.now(), "R", "ack " + proto::to_string(ack));
-        ack_ch_.send(ack);
-        maybe_check_invariants();
-    }
-
-    // ---- verification hook -------------------------------------------------
-
-    void maybe_check_invariants() {
-        if constexpr (kInvariantCheckable) {
-            if (!cfg_.check_invariants) return;
-            // The realistic per-message timer mode legitimately relaxes
-            // assertion 8's channel conjuncts (see deliver_ack).
-            const auto strictness = cfg_.timeout_mode == TimeoutMode::PerMessageTimer
-                                        ? verify::ChannelStrictness::Relaxed
-                                        : verify::ChannelStrictness::Strict;
-            const auto report = verify::check_invariants(sender_, receiver_, data_ch_.snapshot(),
-                                                         ack_ch_.snapshot(), strictness);
-            if (!report.ok()) {
-                violations_.insert(violations_.end(), report.violations.begin(),
-                                   report.violations.end());
-                BACP_ASSERT_MSG(false, "invariant violated during DES run: " + report.to_string());
-            }
-        }
-    }
-
-    SessionConfig cfg_;
-    sim::Simulator sim_;
-    Rng rng_data_;
-    Rng rng_ack_;
-    Rng rng_arrivals_;
-    sim::TraceRecorder trace_;
-    SenderCore sender_;
-    ReceiverCore receiver_;
-    sim::SimChannel data_ch_;
-    sim::SimChannel ack_ch_;
-    sim::Timer ack_flush_timer_;
-    sim::Timer simple_timer_;
-    sim::Timer horizon_timer_;
-    sim::Metrics metrics_;
-
-    static constexpr Seq kNoCap = ~Seq{0};
-    SimTime timeout_ = 0;
-    SimTime horizon_until_ = 0;  // send-horizon expiry
-    Seq horizon_cap_ = kNoCap;   // ns may not exceed this before expiry
-    Seq sent_new_ = 0;    // new messages handed to the channel (== ghost ns)
-    Seq delivered_ = 0;   // in-order deliveries at the receiver (== ghost vr)
-    Seq ghost_na_ = 0;    // true na for bounded senders
-    Seq ghost_vr_ = 0;    // true vr for bounded receivers
-    Seq app_released_ = 0;  // open loop: messages made available so far
-    std::unordered_map<Seq, SimTime> arrival_time_;  // open loop only
-    std::unordered_map<Seq, SimTime> first_send_;  // true seq -> first tx time
-    std::unordered_map<Seq, SimTime> last_tx_;     // true seq -> last tx time
-    std::vector<std::string> violations_;
-
-    // NAK extension state.
-    Seq ooo_since_advance_ = 0;   // out-of-order arrivals since vr moved
-    Seq last_nak_field_ = ~Seq{0};
-    SimTime last_nak_time_ = 0;
-
-    // Adaptive-window (AIMD) state.
-    Seq recovery_mark_ = 0;         // loss events below this are "the same"
-    Seq acked_since_increase_ = 0;
-};
+using BaSession = Engine<ba::EngineCore<SenderCore, ReceiverCore>>;
 
 /// SII/SIV protocol with unbounded sequence numbers.
 using UnboundedSession = BaSession<ba::Sender, ba::Receiver>;

@@ -4,15 +4,9 @@
 
 #include "common/assert.hpp"
 #include "runtime/ack_clip.hpp"
+#include "runtime/session_util.hpp"
 
 namespace bacp::runtime {
-
-namespace {
-std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
-    std::uint64_t s = seed ^ (salt * 0x9e3779b97f4a7c15ULL);
-    return splitmix64(s);
-}
-}  // namespace
 
 DuplexSession::DuplexSession(DuplexConfig config)
     : cfg_(std::move(config)),
@@ -60,11 +54,7 @@ bool DuplexSession::completed() const {
 
 bool DuplexSession::horizon_blocks(int id) {
     Endpoint& self = endpoint(id);
-    if (self.horizon_until <= sim_.now()) {
-        self.horizon_cap = ~Seq{0};
-        return false;
-    }
-    return self.sent_new >= self.horizon_cap;
+    return self.horizon.blocks(self.sent_new, sim_.now());
 }
 
 void DuplexSession::note_horizon(int id, Seq true_seq) {
@@ -72,10 +62,7 @@ void DuplexSession::note_horizon(int id, Seq true_seq) {
     const auto it = self.last_tx.find(true_seq);
     if (it == self.last_tx.end()) return;
     const LinkSpec& out_spec = id == 0 ? cfg_.ab_link : cfg_.ba_link;
-    const SimTime copy_gone = it->second + out_spec.max_lifetime();
-    if (copy_gone <= sim_.now()) return;
-    self.horizon_until = std::max(self.horizon_until, copy_gone);
-    self.horizon_cap = std::min(self.horizon_cap, true_seq + cfg_.w);
+    self.horizon.note(true_seq, it->second + out_spec.max_lifetime(), sim_.now(), cfg_.w);
 }
 
 void DuplexSession::pump(int id) {
@@ -83,7 +70,7 @@ void DuplexSession::pump(int id) {
     while (self.sent_new < self.to_send && self.sender.can_send_new()) {
         if (horizon_blocks(id)) {
             if (!self.horizon_timer.armed()) {
-                self.horizon_timer.restart(self.horizon_until - sim_.now());
+                self.horizon_timer.restart(self.horizon.until() - sim_.now());
             }
             return;
         }

@@ -26,6 +26,7 @@
 #include "ba/receiver.hpp"
 #include "ba/sender.hpp"
 #include "common/rng.hpp"
+#include "runtime/horizon.hpp"
 #include "runtime/link_spec.hpp"
 #include "sim/metrics.hpp"
 #include "sim/sim_channel.hpp"
@@ -86,9 +87,7 @@ private:
         std::unordered_map<Seq, SimTime> last_tx;
         sim::Timer ack_timer;      // flushes a held (piggybackable) ack
         sim::Timer horizon_timer;  // re-pumps when the send horizon expires
-        // Send-horizon state (see ba_session.hpp).
-        SimTime horizon_until = 0;
-        Seq horizon_cap = ~Seq{0};
+        SendHorizon horizon;       // send-horizon rule (see horizon.hpp)
     };
 
     Endpoint& endpoint(int id) { return id == 0 ? a_ : b_; }

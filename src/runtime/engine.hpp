@@ -1,0 +1,533 @@
+#pragma once
+
+/// \file engine.hpp
+/// The unified discrete-event transport runtime.
+///
+/// Engine<Core> owns everything a session run needs -- the simulator, the
+/// two SimChannels, the retransmission-timer machinery (all four
+/// TimeoutMode flavors), the seed/deadline/max_events policy, and the
+/// metrics/trace hookup -- and drives a fixed-size transfer through a
+/// pure protocol core.  The core supplies only protocol decisions (what
+/// to send, how to absorb an ack, which messages are resend candidates);
+/// the engine supplies time, randomness, channels, and bookkeeping.
+///
+/// Cores model the EndpointCore concept below.  The block-ack family
+/// (ba::EngineCore over Sender/BoundedSender/HoleReuseSender) and all
+/// four baselines (baselines::{Abp,Gbn,Sr,Tc}Core) plug in; a scenario
+/// can therefore sweep protocols by changing nothing but the core type.
+///
+/// The engine speaks *true* (unbounded) sequence numbers everywhere:
+/// send_new is numbered by arrival order, and resend candidates are true
+/// sequence numbers.  Cores whose wire format is a residue (mod 2w or
+/// mod N) translate internally -- the paper's proof technique of
+/// reasoning about ghost values the implementation no longer stores.
+///
+/// Timer timeouts default to L_SR + L_RS + max_ack_delay + margin, the
+/// conservative bound that preserves assertion 8 ("at most one copy of
+/// each data message or its acknowledgment is in transit").
+
+#include <concepts>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "protocol/message.hpp"
+#include "runtime/ack_policy.hpp"
+#include "runtime/link_spec.hpp"
+#include "runtime/session_util.hpp"
+#include "runtime/timeout_mode.hpp"
+#include "sim/metrics.hpp"
+#include "sim/sim_channel.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "sim/trace.hpp"
+#include "verify/invariants.hpp"
+
+namespace bacp::runtime {
+
+/// One configuration for every protocol.  Core-specific knobs (residue
+/// domain, reuse interval, ...) live in the core's Options struct.
+struct EngineConfig {
+    Seq w = 8;
+    Seq count = 1000;  // messages to transfer
+    /// nullopt = the core's classic discipline (PerMessageTimer for the
+    /// block-ack family and selective repeat, SimpleTimer for the
+    /// single-timer baselines).
+    std::optional<TimeoutMode> timeout_mode;
+    SimTime timeout = 0;  // 0 = derive conservatively from links + ack policy
+    AckPolicy ack_policy = AckPolicy::eager();
+    LinkSpec data_link = LinkSpec::lossless();
+    LinkSpec ack_link = LinkSpec::lossless();
+    std::uint64_t seed = 1;
+    SimTime deadline = 3600 * kSecond;
+    std::size_t max_events = 50'000'000;
+    bool record_trace = false;
+    /// Check assertions 6-8 after every protocol step (unbounded BA cores
+    /// over set-tracked channels only); violations throw AssertionError.
+    bool check_invariants = false;
+    /// Fast-retransmit extension (BA cores): the receiver NAKs the
+    /// message blocking vr after nak_threshold out-of-order arrivals; the
+    /// sender resends it as soon as the previous copy has provably aged
+    /// out of the channel.  Advisory: NAK loss or duplication affects
+    /// only latency.  See DESIGN.md (extensions).
+    bool enable_nak = false;
+    Seq nak_threshold = 3;
+    /// Variable-window extension (paper SVI): AIMD adaptation of the
+    /// effective window limit within [1, w].  Only meaningful when the
+    /// data link models a bottleneck queue, and only for cores whose
+    /// sender supports set_window_limit.
+    bool adaptive_window = false;
+    /// Open-loop workload: when > 0, messages become available one per
+    /// interval (exponential gaps when poisson_arrivals) instead of all
+    /// upfront; `count` still bounds the total.  Latency then measures
+    /// arrival-to-delivery sojourn (queueing included).
+    SimTime arrival_interval = 0;
+    bool poisson_arrivals = false;
+};
+
+/// Read-only view of the engine's transmission log, handed to cores that
+/// need transmission times (send horizon, NAK one-copy rule).
+struct TxView {
+    SimTime now = 0;
+    SimTime data_lifetime = 0;  // max time a copy can survive in C_SR
+    const std::unordered_map<Seq, SimTime>* last_tx = nullptr;
+
+    std::optional<SimTime> last_tx_time(Seq true_seq) const {
+        const auto it = last_tx->find(true_seq);
+        if (it == last_tx->end()) return std::nullopt;
+        return it->second;
+    }
+};
+
+/// What the receiver half of a core reports for one data arrival.
+struct RxOutcome {
+    Seq delivered = 0;      // in-order deliveries unlocked by this arrival
+    bool duplicate = false; // arrival did not carry new information
+    /// BA-style duplicate re-ack: counted as a dup_ack, sent immediately,
+    /// and the arrival contributes nothing else (early return).
+    std::optional<proto::Ack> dup_ack;
+    /// Mandatory per-arrival acknowledgment (selective repeat, ABP);
+    /// bypasses the ack policy.
+    std::optional<proto::Ack> immediate_ack;
+    /// Fast-retransmit request the receiver wants on the ack channel.
+    std::optional<proto::Nak> nak;
+};
+
+// clang-format off
+/// The protocol surface the Engine drives.  All sequence numbers crossing
+/// this boundary are TRUE (unbounded) values; cores map to wire residues
+/// internally.  Optional extensions the engine detects per core:
+///
+///   send_blocked_until(now)      time gate on new sends (send horizon,
+///                                residue quarantine); the engine sleeps
+///                                until the returned instant
+///   timeout_eligible(seq, bool)  SIV resend gate (realistic) and the
+///                                receiver-oracle conjunct (oracle mode)
+///   on_nak(nak, tx)              sender-side NAK fast retransmit
+///   sender_core()/receiver_core() expose the underlying pure cores
+template <typename C>
+concept EndpointCore =
+    requires(C core, const C& ccore, proto::Data data, proto::Ack ack,
+             TxView tx, SimTime t, Seq seq) {
+        typename C::Options;
+        { C::kRequiresFifo } -> std::convertible_to<bool>;
+        { C::kDefaultTimeoutMode } -> std::convertible_to<TimeoutMode>;
+        { ccore.can_send_new() } -> std::convertible_to<bool>;
+        { core.send_new(t) } -> std::same_as<proto::Data>;
+        { core.on_ack(ack, tx) };
+        { ccore.has_outstanding() } -> std::convertible_to<bool>;
+        { core.on_data(data, t) } -> std::same_as<RxOutcome>;
+        { ccore.ack_pending() } -> std::convertible_to<Seq>;
+        { core.make_ack() } -> std::same_as<proto::Ack>;
+        { ccore.resend_candidates() } -> std::same_as<std::vector<Seq>>;
+        { ccore.can_resend(seq) } -> std::convertible_to<bool>;
+        { core.resend(seq, t) } -> std::same_as<proto::Data>;
+        { ccore.simple_timeout_set() } -> std::same_as<std::vector<Seq>>;
+    };
+// clang-format on
+
+template <EndpointCore Core>
+class Engine {
+public:
+    using Options = typename Core::Options;
+
+    explicit Engine(EngineConfig config, Options options = {})
+        : cfg_(std::move(config)),
+          mode_(cfg_.timeout_mode.value_or(Core::kDefaultTimeoutMode)),
+          rng_data_(mix_seed(cfg_.seed, 0xd1)),
+          rng_ack_(mix_seed(cfg_.seed, 0xac)),
+          rng_arrivals_(mix_seed(cfg_.seed, 0xa7)),
+          core_(cfg_, options),
+          data_ch_(sim_, rng_data_, channel_config(cfg_.data_link), "C_SR"),
+          ack_ch_(sim_, rng_ack_, channel_config(cfg_.ack_link), "C_RS"),
+          ack_flush_timer_(sim_, [this] { flush_ack(); }),
+          simple_timer_(sim_, [this] { on_simple_timeout(); }),
+          blocked_timer_(sim_, [this] { pump_send(); }) {
+        timeout_ = cfg_.timeout > 0 ? cfg_.timeout : derived_timeout();
+        data_ch_.set_receiver(
+            [this](const proto::Message& m) { on_data_arrival(std::get<proto::Data>(m)); });
+        ack_ch_.set_receiver([this](const proto::Message& m) {
+            if (const auto* ack = std::get_if<proto::Ack>(&m)) {
+                on_ack_arrival(*ack);
+            } else {
+                on_nak_arrival(std::get<proto::Nak>(m));
+            }
+        });
+        if (cfg_.record_trace) {
+            data_ch_.set_trace(&trace_);
+            ack_ch_.set_trace(&trace_);
+        }
+        if (mode_ == TimeoutMode::OracleSimple || mode_ == TimeoutMode::OraclePerMessage) {
+            sim_.add_idle_hook([this] { return oracle_fire(); });
+        }
+    }
+
+    Engine(const Engine&) = delete;
+    Engine& operator=(const Engine&) = delete;
+
+    /// Runs the transfer to completion (or deadline/event cap) and
+    /// returns the measurements.
+    sim::Metrics run() {
+        metrics_.start_time = sim_.now();
+        if (cfg_.arrival_interval > 0) {
+            app_released_ = 0;
+            schedule_arrival();
+        } else {
+            app_released_ = cfg_.count;
+        }
+        pump_send();
+        sim_.run_until(cfg_.deadline, cfg_.max_events);
+        if (metrics_.end_time == 0) metrics_.end_time = sim_.now();
+        metrics_.sr_dropped = data_ch_.stats().dropped;
+        metrics_.rs_dropped = ack_ch_.stats().dropped;
+        return metrics_;
+    }
+
+    /// All messages delivered in order and fully acknowledged.
+    bool completed() const {
+        return sent_new_ == cfg_.count && delivered_ == cfg_.count && !core_.has_outstanding();
+    }
+
+    Seq delivered() const { return delivered_; }
+    SimTime timeout_value() const { return timeout_; }
+    TimeoutMode timeout_mode() const { return mode_; }
+    const Core& core() const { return core_; }
+    const sim::Metrics& metrics() const { return metrics_; }
+    const sim::TraceRecorder& trace() const { return trace_; }
+    sim::Simulator& simulator() { return sim_; }
+    const std::vector<std::string>& invariant_violations() const { return violations_; }
+
+    decltype(auto) sender_core() const
+        requires requires(const Core& c) { c.sender_core(); }
+    {
+        return core_.sender_core();
+    }
+    decltype(auto) receiver_core() const
+        requires requires(const Core& c) { c.receiver_core(); }
+    {
+        return core_.receiver_core();
+    }
+
+private:
+    static constexpr bool kTimeGatedSend =
+        requires(Core& c, SimTime t) { { c.send_blocked_until(t) } -> std::convertible_to<SimTime>; };
+    static constexpr bool kGatedResend =
+        requires(const Core& c, Seq s) { { c.timeout_eligible(s, true) } -> std::convertible_to<bool>; };
+    static constexpr bool kHandlesNak =
+        requires(Core& c, const proto::Nak& n, const TxView& tx) {
+            { c.on_nak(n, tx) } -> std::same_as<std::optional<Seq>>;
+        };
+    static constexpr bool kInvariantCheckable = Core::kInvariantCheckable;
+
+    sim::SimChannel::Config channel_config(LinkSpec spec) const {
+        spec.fifo |= Core::kRequiresFifo;
+        spec.track_contents |= cfg_.check_invariants;
+        return spec.make_config();
+    }
+
+    SimTime derived_timeout() const {
+        return cfg_.data_link.max_lifetime() + cfg_.ack_link.max_lifetime() +
+               cfg_.ack_policy.max_ack_delay() + kMillisecond;
+    }
+
+    TxView txview() const { return {sim_.now(), cfg_.data_link.max_lifetime(), &last_tx_}; }
+
+    // ---- sender ----------------------------------------------------------
+
+    /// Open-loop arrival process: releases one message per interval.
+    void schedule_arrival() {
+        if (app_released_ >= cfg_.count) return;
+        const SimTime gap =
+            cfg_.poisson_arrivals
+                ? static_cast<SimTime>(
+                      rng_arrivals_.exponential(static_cast<double>(cfg_.arrival_interval)))
+                : cfg_.arrival_interval;
+        sim_.schedule_after(gap, [this] {
+            arrival_time_.emplace(app_released_, sim_.now());
+            ++app_released_;
+            pump_send();
+            schedule_arrival();
+        });
+    }
+
+    void pump_send() {
+        while (sent_new_ < cfg_.count && sent_new_ < app_released_ && core_.can_send_new()) {
+            if constexpr (kTimeGatedSend) {
+                const SimTime ready = core_.send_blocked_until(sim_.now());
+                if (ready > sim_.now()) {
+                    if (!blocked_timer_.armed()) blocked_timer_.restart(ready - sim_.now());
+                    return;
+                }
+            }
+            const proto::Data msg = core_.send_new(sim_.now());
+            const Seq true_seq = sent_new_++;
+            first_send_.emplace(true_seq, sim_.now());
+            transmit(msg, true_seq, /*retx=*/false);
+        }
+    }
+
+    void transmit(const proto::Data& msg, Seq true_seq, bool retx) {
+        if (retx) {
+            ++metrics_.data_retx;
+        } else {
+            ++metrics_.data_new;
+        }
+        if (cfg_.record_trace) {
+            trace_.record(sim_.now(), "S",
+                          std::string(retx ? "resend " : "send ") + proto::to_string(msg));
+        }
+        last_tx_[true_seq] = sim_.now();
+        data_ch_.send(msg);
+        switch (mode_) {
+            case TimeoutMode::SimpleTimer:
+                simple_timer_.restart(timeout_);
+                break;
+            case TimeoutMode::PerMessageTimer:
+                sim_.schedule_after(timeout_, [this, true_seq] { per_message_fire(true_seq); });
+                break;
+            default:
+                break;  // oracle modes use the idle hook
+        }
+    }
+
+    void on_ack_arrival(const proto::Ack& ack) {
+        ++metrics_.acks_received;
+        if (cfg_.record_trace) trace_.record(sim_.now(), "S", "rcv " + proto::to_string(ack));
+        core_.on_ack(ack, txview());
+        if (mode_ == TimeoutMode::SimpleTimer && !core_.has_outstanding()) {
+            simple_timer_.cancel();
+        }
+        pump_send();
+        if constexpr (kGatedResend) {
+            // SIV's speed advantage: an arriving ack can unblock the
+            // resend gate for already-matured messages; they go out
+            // immediately, with no timeout period between successive
+            // resends (paper SIV).
+            if (mode_ == TimeoutMode::PerMessageTimer) rescan_matured();
+        }
+        maybe_check_invariants();
+    }
+
+    void on_simple_timeout() {
+        if (!core_.has_outstanding()) return;
+        for (const Seq true_seq : core_.simple_timeout_set()) {
+            transmit(core_.resend(true_seq, sim_.now()), true_seq, /*retx=*/true);
+        }
+    }
+
+    bool matured(Seq true_seq) const {
+        const auto it = last_tx_.find(true_seq);
+        return it != last_tx_.end() && sim_.now() - it->second >= timeout_;
+    }
+
+    void per_message_fire(Seq true_seq) {
+        if (!core_.can_resend(true_seq)) return;  // acknowledged meanwhile
+        if (!matured(true_seq)) return;           // a newer copy owns the timer
+        if constexpr (kGatedResend) {
+            if (!core_.timeout_eligible(true_seq, /*oracle=*/false)) {
+                return;  // reconsidered on next ack
+            }
+        }
+        transmit(core_.resend(true_seq, sim_.now()), true_seq, /*retx=*/true);
+    }
+
+    void rescan_matured() {
+        for (const Seq true_seq : core_.resend_candidates()) {
+            if (!matured(true_seq)) continue;
+            if constexpr (kGatedResend) {
+                if (!core_.timeout_eligible(true_seq, /*oracle=*/false)) continue;
+            }
+            transmit(core_.resend(true_seq, sim_.now()), true_seq, /*retx=*/true);
+        }
+    }
+
+    bool oracle_fire() {
+        if (!core_.has_outstanding()) return false;
+        // At an idle point the channels are provably empty (the *SR/*RS
+        // conjuncts of the guards hold trivially), but the receiver may
+        // hold out-of-order messages it cannot acknowledge yet -- the
+        // "(i < nr || !rcvd[i])" conjunct must still be consulted.
+        BACP_ASSERT(data_ch_.in_flight() == 0 && ack_ch_.in_flight() == 0);
+        if (mode_ == TimeoutMode::OracleSimple) {
+            // Paper SII guard: na != ns, channels empty, !rcvd[nr].  At an
+            // idle point an eager/flushed receiver has nr == vr and
+            // !rcvd[vr], so the remaining conjuncts hold automatically.
+            for (const Seq true_seq : core_.simple_timeout_set()) {
+                transmit(core_.resend(true_seq, sim_.now()), true_seq, /*retx=*/true);
+            }
+            return true;
+        }
+        bool any = false;
+        for (const Seq true_seq : core_.resend_candidates()) {
+            if constexpr (kGatedResend) {
+                if (core_.timeout_eligible(true_seq, /*oracle=*/true) == false) continue;
+            }
+            transmit(core_.resend(true_seq, sim_.now()), true_seq, /*retx=*/true);
+            any = true;
+        }
+        // na always passes the guard (na < nr, or na == nr with !rcvd[nr]
+        // at idle), so progress is guaranteed.
+        BACP_ASSERT_MSG(any, "oracle timeout found no eligible candidate");
+        return true;
+    }
+
+    void on_nak_arrival(const proto::Nak& nak) {
+        ++metrics_.naks_received;
+        if (cfg_.record_trace) {
+            trace_.record(sim_.now(), "S", "rcv N(" + std::to_string(nak.seq) + ")");
+        }
+        if constexpr (kHandlesNak) {
+            const std::optional<Seq> target = core_.on_nak(nak, txview());
+            if (!target) return;
+            ++metrics_.fast_retx;
+            transmit(core_.resend(*target, sim_.now()), *target, /*retx=*/true);
+        } else {
+            BACP_ASSERT_MSG(false, "NAK received by a core without NAK support");
+        }
+    }
+
+    // ---- receiver --------------------------------------------------------
+
+    void on_data_arrival(const proto::Data& msg) {
+        ++metrics_.data_received;
+        if (cfg_.record_trace) trace_.record(sim_.now(), "R", "rcv " + proto::to_string(msg));
+        const RxOutcome out = core_.on_data(msg, sim_.now());
+        if (out.dup_ack) {
+            ++metrics_.duplicates;
+            ++metrics_.dup_acks;
+            if (cfg_.record_trace) {
+                trace_.record(sim_.now(), "R", "dup-ack " + proto::to_string(*out.dup_ack));
+            }
+            ack_ch_.send(*out.dup_ack);
+            maybe_check_invariants();
+            return;
+        }
+        if (out.duplicate) ++metrics_.duplicates;
+        for (Seq k = 0; k < out.delivered; ++k) note_delivery();
+        if (out.immediate_ack) {
+            ++metrics_.acks_sent;
+            if (cfg_.record_trace) {
+                trace_.record(sim_.now(), "R", "ack " + proto::to_string(*out.immediate_ack));
+            }
+            ack_ch_.send(*out.immediate_ack);
+        }
+        if (out.nak) {
+            ++metrics_.naks_sent;
+            if (cfg_.record_trace) {
+                trace_.record(sim_.now(), "R", "nak N(" + std::to_string(out.nak->seq) + ")");
+            }
+            ack_ch_.send(*out.nak);
+        }
+        // Action 5 scheduling per the ack policy.
+        const Seq pending = core_.ack_pending();
+        if (pending >= cfg_.ack_policy.threshold) {
+            flush_ack();
+        } else if (pending > 0 && !ack_flush_timer_.armed()) {
+            ack_flush_timer_.restart(cfg_.ack_policy.flush_delay);
+        }
+        maybe_check_invariants();
+    }
+
+    void note_delivery() {
+        const Seq true_seq = delivered_++;
+        ++metrics_.delivered;
+        // Open loop measures arrival-to-delivery sojourn; closed loop
+        // measures first-transmission-to-delivery.
+        const auto arrived = arrival_time_.find(true_seq);
+        if (arrived != arrival_time_.end()) {
+            metrics_.latency.add(sim_.now() - arrived->second);
+            arrival_time_.erase(arrived);
+            first_send_.erase(true_seq);
+        } else {
+            const auto sent = first_send_.find(true_seq);
+            if (sent != first_send_.end()) {
+                metrics_.latency.add(sim_.now() - sent->second);
+                first_send_.erase(sent);
+            }
+        }
+        if (delivered_ == cfg_.count) metrics_.end_time = sim_.now();
+    }
+
+    void flush_ack() {
+        ack_flush_timer_.cancel();
+        if (core_.ack_pending() == 0) return;
+        const proto::Ack ack = core_.make_ack();
+        ++metrics_.acks_sent;
+        if (cfg_.record_trace) trace_.record(sim_.now(), "R", "ack " + proto::to_string(ack));
+        ack_ch_.send(ack);
+        maybe_check_invariants();
+    }
+
+    // ---- verification hook -----------------------------------------------
+
+    void maybe_check_invariants() {
+        if constexpr (kInvariantCheckable) {
+            if (!cfg_.check_invariants) return;
+            // The realistic per-message timer mode legitimately relaxes
+            // assertion 8's channel conjuncts (see ba/engine_core.hpp).
+            const auto strictness = mode_ == TimeoutMode::PerMessageTimer
+                                        ? verify::ChannelStrictness::Relaxed
+                                        : verify::ChannelStrictness::Strict;
+            const auto report =
+                verify::check_invariants(core_.sender_core(), core_.receiver_core(),
+                                         data_ch_.snapshot(), ack_ch_.snapshot(), strictness);
+            if (!report.ok()) {
+                violations_.insert(violations_.end(), report.violations.begin(),
+                                   report.violations.end());
+                BACP_ASSERT_MSG(false, "invariant violated during DES run: " + report.to_string());
+            }
+        }
+    }
+
+    EngineConfig cfg_;
+    TimeoutMode mode_;
+    sim::Simulator sim_;
+    Rng rng_data_;
+    Rng rng_ack_;
+    Rng rng_arrivals_;
+    sim::TraceRecorder trace_;
+    Core core_;
+    sim::SimChannel data_ch_;
+    sim::SimChannel ack_ch_;
+    sim::Timer ack_flush_timer_;
+    sim::Timer simple_timer_;
+    sim::Timer blocked_timer_;  // wakes the pump when a send gate clears
+    sim::Metrics metrics_;
+
+    SimTime timeout_ = 0;
+    Seq sent_new_ = 0;      // new messages handed to the channel (== true ns)
+    Seq delivered_ = 0;     // in-order deliveries at the receiver (== true vr)
+    Seq app_released_ = 0;  // open loop: messages made available so far
+    std::unordered_map<Seq, SimTime> arrival_time_;  // open loop only
+    std::unordered_map<Seq, SimTime> first_send_;    // true seq -> first tx time
+    std::unordered_map<Seq, SimTime> last_tx_;       // true seq -> last tx time
+    std::vector<std::string> violations_;
+};
+
+}  // namespace bacp::runtime

@@ -1,76 +1,21 @@
 #pragma once
 
 /// \file gbn_session.hpp
-/// Discrete-event runtime for the go-back-N baseline.
+/// Go-back-N session: the runtime::Engine driving baselines::GbnCore.
+/// Classic discipline (the default SimpleTimer mode): cumulative acks
+/// after every accepted message, one timer restarted on every
+/// transmission, whole-window retransmission on expiry.
 ///
-/// Classic behavior: the receiver accepts in order only and acknowledges
-/// cumulatively after every accepted message (plus duplicate re-acks); the
-/// sender keeps one timer, restarted on every transmission, and on expiry
-/// retransmits the entire outstanding window.
-///
-/// Performance runs use the unbounded-sequence-number mode (domain = 0),
-/// which is correct under loss and reorder; the bounded mode exists for
-/// the model checker's E1 reproduction and is NOT safe over reordering
-/// channels -- see verify/gbn_system.hpp.
+/// Performance runs use the unbounded-sequence-number mode
+/// (Options::domain = 0), which is correct under loss and reorder; the
+/// bounded mode exists for the model checker's E1 reproduction and is
+/// NOT safe over reordering channels -- see verify/gbn_system.hpp.
 
-#include <cstdint>
-#include <unordered_map>
-
-#include "baselines/gobackn.hpp"
-#include "common/rng.hpp"
-#include "runtime/link_spec.hpp"
-#include "sim/metrics.hpp"
-#include "sim/sim_channel.hpp"
-#include "sim/simulator.hpp"
-#include "sim/timer.hpp"
+#include "baselines/engine_cores.hpp"
+#include "runtime/engine.hpp"
 
 namespace bacp::runtime {
 
-struct GbnConfig {
-    Seq w = 8;
-    Seq count = 1000;
-    Seq domain = 0;       // 0 = unbounded (safe); >w only for demonstrations
-    SimTime timeout = 0;  // 0 = derive from link lifetimes
-    LinkSpec data_link = LinkSpec::lossless();
-    LinkSpec ack_link = LinkSpec::lossless();
-    std::uint64_t seed = 1;
-    SimTime deadline = 3600 * kSecond;
-    std::size_t max_events = 50'000'000;
-};
-
-class GbnSession {
-public:
-    explicit GbnSession(GbnConfig config);
-    GbnSession(const GbnSession&) = delete;
-    GbnSession& operator=(const GbnSession&) = delete;
-
-    sim::Metrics run();
-    bool completed() const;
-    Seq delivered() const { return delivered_; }
-    const baselines::GbnSender& sender_core() const { return sender_; }
-    const baselines::GbnReceiver& receiver_core() const { return receiver_; }
-
-private:
-    void pump_send();
-    void transmit(const proto::Data& msg, Seq true_seq, bool retx);
-    void on_ack_arrival(const proto::Ack& ack);
-    void on_data_arrival(const proto::Data& msg);
-    void on_timeout();
-
-    GbnConfig cfg_;
-    sim::Simulator sim_;
-    Rng rng_data_;
-    Rng rng_ack_;
-    baselines::GbnSender sender_;
-    baselines::GbnReceiver receiver_;
-    sim::SimChannel data_ch_;
-    sim::SimChannel ack_ch_;
-    sim::Timer retx_timer_;
-    sim::Metrics metrics_;
-    SimTime timeout_ = 0;
-    Seq sent_new_ = 0;
-    Seq delivered_ = 0;
-    std::unordered_map<Seq, SimTime> first_send_;
-};
+using GbnSession = Engine<baselines::GbnCore>;
 
 }  // namespace bacp::runtime

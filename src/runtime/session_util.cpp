@@ -1,4 +1,6 @@
-#include "runtime/ba_session.hpp"
+#include "runtime/session_util.hpp"
+
+#include "common/rng.hpp"
 
 namespace bacp::runtime {
 
@@ -10,6 +12,11 @@ const char* to_string(TimeoutMode mode) {
         case TimeoutMode::PerMessageTimer: return "per-message-timer";
     }
     return "?";
+}
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
+    std::uint64_t s = seed ^ (salt * 0x9e3779b97f4a7c15ULL);
+    return splitmix64(s);
 }
 
 }  // namespace bacp::runtime

@@ -1,71 +1,15 @@
 #pragma once
 
 /// \file sr_session.hpp
-/// Discrete-event runtime for the selective-repeat baseline: ba::Sender
-/// (block acks degrade gracefully to singletons) driven against
-/// SrReceiver, which acknowledges *every* data message individually --
-/// the paper's "severe restriction" whose ack overhead E4 quantifies.
-///
-/// Retransmission uses per-message conservative timers (the natural
-/// choice for SR).
+/// Selective-repeat session: the runtime::Engine driving
+/// baselines::SrCore (ba::Sender against the ack-per-message SrReceiver).
+/// Per-message conservative timers are the default discipline.
 
-#include <cstdint>
-#include <unordered_map>
-
-#include "ba/sender.hpp"
-#include "baselines/selective_repeat.hpp"
-#include "common/rng.hpp"
-#include "runtime/link_spec.hpp"
-#include "sim/metrics.hpp"
-#include "sim/sim_channel.hpp"
-#include "sim/simulator.hpp"
+#include "baselines/engine_cores.hpp"
+#include "runtime/engine.hpp"
 
 namespace bacp::runtime {
 
-struct SrConfig {
-    Seq w = 8;
-    Seq count = 1000;
-    SimTime timeout = 0;  // 0 = derive from link lifetimes
-    LinkSpec data_link = LinkSpec::lossless();
-    LinkSpec ack_link = LinkSpec::lossless();
-    std::uint64_t seed = 1;
-    SimTime deadline = 3600 * kSecond;
-    std::size_t max_events = 50'000'000;
-};
-
-class SrSession {
-public:
-    explicit SrSession(SrConfig config);
-    SrSession(const SrSession&) = delete;
-    SrSession& operator=(const SrSession&) = delete;
-
-    sim::Metrics run();
-    bool completed() const;
-    Seq delivered() const { return delivered_; }
-    const ba::Sender& sender_core() const { return sender_; }
-    const baselines::SrReceiver& receiver_core() const { return receiver_; }
-
-private:
-    void pump_send();
-    void transmit(const proto::Data& msg, bool retx);
-    void on_ack_arrival(const proto::Ack& ack);
-    void on_data_arrival(const proto::Data& msg);
-    void per_message_fire(Seq seq);
-
-    SrConfig cfg_;
-    sim::Simulator sim_;
-    Rng rng_data_;
-    Rng rng_ack_;
-    ba::Sender sender_;
-    baselines::SrReceiver receiver_;
-    sim::SimChannel data_ch_;
-    sim::SimChannel ack_ch_;
-    sim::Metrics metrics_;
-    SimTime timeout_ = 0;
-    Seq sent_new_ = 0;
-    Seq delivered_ = 0;
-    std::unordered_map<Seq, SimTime> first_send_;
-    std::unordered_map<Seq, SimTime> last_tx_;
-};
+using SrSession = Engine<baselines::SrCore>;
 
 }  // namespace bacp::runtime

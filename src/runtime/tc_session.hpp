@@ -1,75 +1,18 @@
 #pragma once
 
 /// \file tc_session.hpp
-/// Discrete-event runtime for the time-constrained baseline (Stenning;
-/// Shankar & Lam): bounded sequence numbers + cumulative acks, made safe
-/// by a minimum reuse interval between transmissions sharing a residue.
-///
-/// When the window wants to advance but the residue of ns is still inside
-/// its quarantine period, the session schedules a precise retry at
-/// residue_ready_at() -- that stall is the throughput penalty experiment
-/// E7 measures as a function of the domain size N.
+/// Time-constrained session: the runtime::Engine driving
+/// baselines::TcCore (Stenning; Shankar & Lam).  The residue-quarantine
+/// stall surfaces through the core's send_blocked_until gate; the engine
+/// schedules a precise retry at the clearing instant -- that stall is the
+/// throughput penalty experiment E7 measures as a function of the domain
+/// size N.
 
-#include <cstdint>
-#include <unordered_map>
-
-#include "baselines/gobackn.hpp"
-#include "baselines/timer_based.hpp"
-#include "common/rng.hpp"
-#include "runtime/link_spec.hpp"
-#include "sim/metrics.hpp"
-#include "sim/sim_channel.hpp"
-#include "sim/simulator.hpp"
-#include "sim/timer.hpp"
+#include "baselines/engine_cores.hpp"
+#include "runtime/engine.hpp"
 
 namespace bacp::runtime {
 
-struct TcConfig {
-    Seq w = 8;
-    Seq count = 1000;
-    Seq domain = 16;           // sequence-number domain N (> w)
-    SimTime reuse_interval = 0;  // 0 = derive: L_SR + L_RS + margin
-    SimTime timeout = 0;         // 0 = derive from link lifetimes
-    LinkSpec data_link = LinkSpec::lossless();
-    LinkSpec ack_link = LinkSpec::lossless();
-    std::uint64_t seed = 1;
-    SimTime deadline = 3600 * kSecond;
-    std::size_t max_events = 50'000'000;
-};
-
-class TcSession {
-public:
-    explicit TcSession(TcConfig config);
-    TcSession(const TcSession&) = delete;
-    TcSession& operator=(const TcSession&) = delete;
-
-    sim::Metrics run();
-    bool completed() const;
-    Seq delivered() const { return delivered_; }
-    const baselines::TcSender& sender_core() const { return sender_; }
-
-private:
-    void pump_send();
-    void transmit(const proto::Data& msg, bool retx);
-    void on_ack_arrival(const proto::Ack& ack);
-    void on_data_arrival(const proto::Data& msg);
-    void on_timeout();
-
-    TcConfig cfg_;
-    sim::Simulator sim_;
-    Rng rng_data_;
-    Rng rng_ack_;
-    baselines::TcSender sender_;
-    baselines::GbnReceiver receiver_;
-    sim::SimChannel data_ch_;
-    sim::SimChannel ack_ch_;
-    sim::Timer retx_timer_;
-    sim::Timer reuse_timer_;  // wakes the sender when a residue clears
-    sim::Metrics metrics_;
-    SimTime timeout_ = 0;
-    Seq sent_new_ = 0;
-    Seq delivered_ = 0;
-    std::unordered_map<Seq, SimTime> first_send_;
-};
+using TcSession = Engine<baselines::TcCore>;
 
 }  // namespace bacp::runtime

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file timeout_mode.hpp
+/// The four retransmission-timer disciplines of the paper, available to
+/// every protocol core the Engine drives (see engine.hpp):
+///
+///   OracleSimple      SII action 2 with its oracle guard: fires exactly
+///                     when the whole system is quiescent (empty event
+///                     queue == empty channels + receiver can't proceed).
+///   OraclePerMessage  SIV action 2' with its oracle guard; at quiescence
+///                     every unacknowledged message is eligible at once.
+///   SimpleTimer       SII realistic: one timer, restarted on every data
+///                     transmission ("elapsed time since it last sent a
+///                     data message"); on expiry resend the core's
+///                     simple-timeout set (na for BA, the whole window
+///                     for go-back-N).
+///   PerMessageTimer   SIV realistic: an expiry check per transmission;
+///                     a message is resent only if it is still unacked
+///                     and its last copy was sent a full timeout ago.
+
+namespace bacp::runtime {
+
+enum class TimeoutMode { OracleSimple, OraclePerMessage, SimpleTimer, PerMessageTimer };
+
+const char* to_string(TimeoutMode mode);
+
+}  // namespace bacp::runtime

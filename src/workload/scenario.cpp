@@ -4,6 +4,7 @@
 #include "workload/report.hpp"
 
 #include "runtime/abp_session.hpp"
+#include "runtime/ba_session.hpp"
 #include "runtime/gbn_session.hpp"
 #include "runtime/sr_session.hpp"
 #include "runtime/tc_session.hpp"
@@ -58,18 +59,10 @@ runtime::LinkSpec make_data_link(const Scenario& s) {
     return spec;
 }
 
-template <typename Session, typename Config>
-ScenarioResult run_session(Config config) {
-    Session session(std::move(config));
-    ScenarioResult result;
-    result.metrics = session.run();
-    result.completed = session.completed();
-    return result;
-}
-
-template <typename Session>
-ScenarioResult run_ba(const Scenario& s) {
-    runtime::SessionConfig config;
+/// Every protocol runs from the same EngineConfig; only the core type
+/// (and its Options) varies per Protocol.
+runtime::EngineConfig engine_config(const Scenario& s) {
+    runtime::EngineConfig config;
     config.w = s.w;
     config.count = s.count;
     config.timeout_mode = s.timeout_mode;
@@ -82,7 +75,16 @@ ScenarioResult run_ba(const Scenario& s) {
     config.adaptive_window = s.adaptive_window;
     config.arrival_interval = s.arrival_interval;
     config.poisson_arrivals = s.poisson_arrivals;
-    return run_session<Session>(std::move(config));
+    return config;
+}
+
+template <typename Session>
+ScenarioResult run_session(const Scenario& s, typename Session::Options options = {}) {
+    Session session(engine_config(s), options);
+    ScenarioResult result;
+    result.metrics = session.run();
+    result.completed = session.completed();
+    return result;
 }
 
 }  // namespace
@@ -90,47 +92,19 @@ ScenarioResult run_ba(const Scenario& s) {
 ScenarioResult run_scenario(const Scenario& s) {
     switch (s.protocol) {
         case Protocol::BlockAck:
-            return run_ba<runtime::UnboundedSession>(s);
+            return run_session<runtime::UnboundedSession>(s);
         case Protocol::BlockAckBounded:
-            return run_ba<runtime::BoundedSession>(s);
+            return run_session<runtime::BoundedSession>(s);
         case Protocol::BlockAckHoleReuse:
-            return run_ba<runtime::HoleReuseSession>(s);
-        case Protocol::GoBackN: {
-            runtime::GbnConfig config;
-            config.w = s.w;
-            config.count = s.count;
-            config.data_link = make_link(s, s.loss);
-            config.ack_link = make_link(s, s.effective_ack_loss());
-            config.seed = s.seed;
-            return run_session<runtime::GbnSession>(std::move(config));
-        }
-        case Protocol::SelectiveRepeat: {
-            runtime::SrConfig config;
-            config.w = s.w;
-            config.count = s.count;
-            config.data_link = make_link(s, s.loss);
-            config.ack_link = make_link(s, s.effective_ack_loss());
-            config.seed = s.seed;
-            return run_session<runtime::SrSession>(std::move(config));
-        }
-        case Protocol::AlternatingBit: {
-            runtime::AbpConfig config;
-            config.count = s.count;
-            config.data_link = make_link(s, s.loss);
-            config.ack_link = make_link(s, s.effective_ack_loss());
-            config.seed = s.seed;
-            return run_session<runtime::AbpSession>(std::move(config));
-        }
-        case Protocol::TimeConstrained: {
-            runtime::TcConfig config;
-            config.w = s.w;
-            config.count = s.count;
-            config.domain = s.tc_domain;
-            config.data_link = make_link(s, s.loss);
-            config.ack_link = make_link(s, s.effective_ack_loss());
-            config.seed = s.seed;
-            return run_session<runtime::TcSession>(std::move(config));
-        }
+            return run_session<runtime::HoleReuseSession>(s);
+        case Protocol::GoBackN:
+            return run_session<runtime::GbnSession>(s);
+        case Protocol::SelectiveRepeat:
+            return run_session<runtime::SrSession>(s);
+        case Protocol::AlternatingBit:
+            return run_session<runtime::AbpSession>(s);
+        case Protocol::TimeConstrained:
+            return run_session<runtime::TcSession>(s, {.domain = s.tc_domain});
     }
     return {};
 }

@@ -7,12 +7,13 @@
 /// conditions and seeds.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "common/types.hpp"
 #include "runtime/ack_policy.hpp"
-#include "runtime/ba_session.hpp"
 #include "runtime/link_spec.hpp"
+#include "runtime/timeout_mode.hpp"
 #include "sim/metrics.hpp"
 
 namespace bacp::workload {
@@ -39,7 +40,9 @@ struct Scenario {
     SimTime delay_hi = 6 * kMillisecond;
     bool fifo = false;       // force in-order channels
     bool burst_loss = false; // Gilbert-Elliott instead of Bernoulli
-    runtime::TimeoutMode timeout_mode = runtime::TimeoutMode::PerMessageTimer;
+    /// nullopt = each protocol's classic timer discipline (see
+    /// runtime::EngineConfig::timeout_mode); applies to every protocol.
+    std::optional<runtime::TimeoutMode> timeout_mode;
     runtime::AckPolicy ack_policy = runtime::AckPolicy::eager();
     Seq tc_domain = 16;      // TimeConstrained: sequence-number domain N
     std::uint64_t seed = 1;

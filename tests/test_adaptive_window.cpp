@@ -98,8 +98,8 @@ TEST(Bottleneck, LifetimeBoundCoversQueueing) {
 
 // ------------------------------------------------------------ AIMD sessions --
 
-runtime::SessionConfig bottleneck_config(Seq w, bool adaptive, std::uint64_t seed) {
-    runtime::SessionConfig cfg;
+runtime::EngineConfig bottleneck_config(Seq w, bool adaptive, std::uint64_t seed) {
+    runtime::EngineConfig cfg;
     cfg.w = w;
     cfg.count = 1500;
     cfg.seed = seed;

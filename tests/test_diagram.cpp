@@ -45,7 +45,7 @@ TEST(Diagram, CapsOutput) {
 }
 
 TEST(Diagram, EndToEndSessionTraceRenders) {
-    runtime::SessionConfig cfg;
+    runtime::EngineConfig cfg;
     cfg.w = 4;
     cfg.count = 4;
     cfg.record_trace = true;

@@ -109,14 +109,12 @@ TEST(ModelsVsSim, OutOfOrderAcksNeverHurt) {
 
 TEST(ModelsVsSim, TimeConstrainedCapIsTight) {
     // The N/T cap is exact when it binds (E7 measured 90.3 vs cap 90).
-    runtime::TcConfig cfg;
+    runtime::EngineConfig cfg;
     cfg.w = 8;
     cfg.count = 1000;
-    cfg.domain = 9;
-    cfg.reuse_interval = 100_ms;
     cfg.data_link = runtime::LinkSpec::lossless(5_ms, 5_ms);
     cfg.ack_link = runtime::LinkSpec::lossless(5_ms, 5_ms);
-    runtime::TcSession session(cfg);
+    runtime::TcSession session(cfg, {.domain = 9, .reuse_interval = 100_ms});
     const auto metrics = session.run();
     ASSERT_TRUE(session.completed());
     const double predicted = time_constrained_throughput(8, 9, kRtt, kTimeout, 0.1, 0, 0);

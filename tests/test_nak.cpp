@@ -48,9 +48,9 @@ TEST(NakMessage, ToString) {
 
 // ---------------------------------------------------------------- session --
 
-runtime::SessionConfig lossy_config(Seq w, Seq count, double loss, std::uint64_t seed,
+runtime::EngineConfig lossy_config(Seq w, Seq count, double loss, std::uint64_t seed,
                                     bool nak) {
-    runtime::SessionConfig cfg;
+    runtime::EngineConfig cfg;
     cfg.w = w;
     cfg.count = count;
     cfg.data_link = runtime::LinkSpec::lossy(loss);
@@ -90,7 +90,7 @@ TEST(NakSession, ReducesTailLatencyUnderLoss) {
 }
 
 TEST(NakSession, BoundedSessionSupportsNaks) {
-    runtime::SessionConfig cfg = lossy_config(8, 400, 0.1, 23, true);
+    runtime::EngineConfig cfg = lossy_config(8, 400, 0.1, 23, true);
     runtime::BoundedSession session(cfg);
     const auto metrics = session.run();
     EXPECT_TRUE(session.completed());

@@ -79,7 +79,7 @@ TEST(NegativeControls, UngatedResendAloneIsAlreadyUnsafe) {
 // ------------------------------------------------------- open-loop arrivals --
 
 TEST(OpenLoop, FixedArrivalsPaceTheTransfer) {
-    runtime::SessionConfig cfg;
+    runtime::EngineConfig cfg;
     cfg.w = 16;
     cfg.count = 100;
     cfg.data_link = runtime::LinkSpec::lossless(1_ms, 1_ms);
@@ -97,7 +97,7 @@ TEST(OpenLoop, FixedArrivalsPaceTheTransfer) {
 
 TEST(OpenLoop, PoissonArrivalsAreDeterministicPerSeed) {
     auto run_once = [] {
-        runtime::SessionConfig cfg;
+        runtime::EngineConfig cfg;
         cfg.w = 8;
         cfg.count = 200;
         cfg.arrival_interval = 2 * kMillisecond;
@@ -110,7 +110,7 @@ TEST(OpenLoop, PoissonArrivalsAreDeterministicPerSeed) {
 }
 
 TEST(OpenLoop, OverloadQueuesButStillDeliversEverything) {
-    runtime::SessionConfig cfg;
+    runtime::EngineConfig cfg;
     cfg.w = 4;
     cfg.count = 500;
     cfg.data_link = runtime::LinkSpec::lossless(5_ms, 5_ms);
@@ -126,7 +126,7 @@ TEST(OpenLoop, OverloadQueuesButStillDeliversEverything) {
 }
 
 TEST(OpenLoop, ClosedLoopByDefault) {
-    runtime::SessionConfig cfg;
+    runtime::EngineConfig cfg;
     cfg.w = 8;
     cfg.count = 100;
     runtime::UnboundedSession session(cfg);

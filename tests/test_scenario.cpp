@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "ba/bounded_sender.hpp"
 #include "ba/sender.hpp"
 #include "runtime/ack_clip.hpp"
 #include "runtime/tc_session.hpp"
@@ -133,14 +134,13 @@ TEST(Scenario, TimeConstrainedSmallDomainIsSlower) {
     // 5 ms link, the send-rate cap N / reuse_interval dominates for small
     // domains -- the degradation the paper's introduction warns about.
     auto run_with_domain = [](Seq domain) {
-        runtime::TcConfig cfg;
+        runtime::EngineConfig cfg;
         cfg.w = 8;
         cfg.count = 300;
-        cfg.domain = domain;
-        cfg.reuse_interval = 100_ms;  // designer's worst-case lifetime bound
         cfg.data_link = runtime::LinkSpec::lossless(5_ms, 5_ms);
         cfg.ack_link = runtime::LinkSpec::lossless(5_ms, 5_ms);
-        runtime::TcSession session(cfg);
+        // 100 ms reuse interval: the designer's worst-case lifetime bound.
+        runtime::TcSession session(cfg, {.domain = domain, .reuse_interval = 100_ms});
         const auto metrics = session.run();
         EXPECT_TRUE(session.completed()) << "domain=" << domain;
         return metrics.throughput_msgs_per_sec();

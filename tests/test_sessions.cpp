@@ -18,8 +18,8 @@ namespace {
 
 using namespace bacp::literals;
 
-SessionConfig base_config(Seq w, Seq count, double loss, std::uint64_t seed) {
-    SessionConfig cfg;
+EngineConfig base_config(Seq w, Seq count, double loss, std::uint64_t seed) {
+    EngineConfig cfg;
     cfg.w = w;
     cfg.count = count;
     cfg.data_link = loss > 0 ? LinkSpec::lossy(loss) : LinkSpec::lossless();
@@ -80,12 +80,7 @@ TEST(HoleReuseSessionTest, LossyTransferCompletes) {
 }
 
 TEST(GbnSessionTest, LossyTransferCompletes) {
-    GbnConfig cfg;
-    cfg.w = 8;
-    cfg.count = 300;
-    cfg.data_link = LinkSpec::lossy(0.1);
-    cfg.ack_link = LinkSpec::lossy(0.1);
-    cfg.seed = 5;
+    auto cfg = base_config(8, 300, 0.1, 5);
     GbnSession session(cfg);
     const auto metrics = session.run();
     EXPECT_TRUE(session.completed());
@@ -93,12 +88,7 @@ TEST(GbnSessionTest, LossyTransferCompletes) {
 }
 
 TEST(SrSessionTest, LossyTransferCompletes) {
-    SrConfig cfg;
-    cfg.w = 8;
-    cfg.count = 300;
-    cfg.data_link = LinkSpec::lossy(0.1);
-    cfg.ack_link = LinkSpec::lossy(0.1);
-    cfg.seed = 6;
+    auto cfg = base_config(8, 300, 0.1, 6);
     SrSession session(cfg);
     const auto metrics = session.run();
     EXPECT_TRUE(session.completed());
@@ -108,25 +98,15 @@ TEST(SrSessionTest, LossyTransferCompletes) {
 }
 
 TEST(TcSessionTest, LossyTransferCompletes) {
-    TcConfig cfg;
-    cfg.w = 8;
-    cfg.domain = 32;
-    cfg.count = 300;
-    cfg.data_link = LinkSpec::lossy(0.05);
-    cfg.ack_link = LinkSpec::lossy(0.05);
-    cfg.seed = 7;
-    TcSession session(cfg);
+    auto cfg = base_config(8, 300, 0.05, 7);
+    TcSession session(cfg, {.domain = 32});
     const auto metrics = session.run();
     EXPECT_TRUE(session.completed());
     EXPECT_EQ(metrics.delivered, 300u);
 }
 
 TEST(AbpSessionTest, LossyTransferCompletes) {
-    AbpConfig cfg;
-    cfg.count = 100;
-    cfg.data_link = LinkSpec::lossy(0.1);
-    cfg.ack_link = LinkSpec::lossy(0.1);
-    cfg.seed = 8;
+    auto cfg = base_config(8, 100, 0.1, 8);
     AbpSession session(cfg);
     const auto metrics = session.run();
     EXPECT_TRUE(session.completed());
@@ -211,7 +191,7 @@ TEST(Recovery, PerMessageTimeoutRecoversFasterThanSimple) {
     // arrives ("successive resendings ... not separated by any specific
     // time period").
     auto make_cfg = [](TimeoutMode mode) {
-        SessionConfig cfg;
+        EngineConfig cfg;
         cfg.w = 8;
         cfg.count = 16;
         cfg.timeout_mode = mode;
@@ -314,7 +294,7 @@ INSTANTIATE_TEST_SUITE_P(
 class BurstLossSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(BurstLossSweep, BlockAckSurvivesBursts) {
-    SessionConfig cfg;
+    EngineConfig cfg;
     cfg.w = 8;
     cfg.count = 300;
     cfg.seed = GetParam();

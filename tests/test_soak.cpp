@@ -34,7 +34,7 @@ void check_conservation(const sim::Metrics& m, Seq count) {
 }
 
 TEST(Soak, Unbounded50kLossy) {
-    runtime::SessionConfig cfg;
+    runtime::EngineConfig cfg;
     cfg.w = 32;
     cfg.count = 50'000;
     cfg.data_link = runtime::LinkSpec::lossy(0.05);
@@ -47,7 +47,7 @@ TEST(Soak, Unbounded50kLossy) {
 }
 
 TEST(Soak, Bounded50kLossyNakAdaptive) {
-    runtime::SessionConfig cfg;
+    runtime::EngineConfig cfg;
     cfg.w = 32;
     cfg.count = 50'000;
     cfg.data_link = runtime::LinkSpec::lossy(0.08);
@@ -106,7 +106,7 @@ TEST(Soak, ReliableLink30kChaos) {
 }
 
 TEST(Soak, OracleMode20k) {
-    runtime::SessionConfig cfg;
+    runtime::EngineConfig cfg;
     cfg.w = 16;
     cfg.count = 20'000;
     cfg.timeout_mode = runtime::TimeoutMode::OraclePerMessage;
