@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <string>
 
+#include "json_out.hpp"
 #include "runtime/ba_session.hpp"
 #include "runtime/gbn_session.hpp"
 #include "runtime/sr_session.hpp"
@@ -83,8 +84,17 @@ int main() {
     }
     by_mode.print("E18b: every timer discipline, every core (10% loss)");
 
+    bench::BenchOutput out("e18_cross_protocol");
+    out.meta("w", bench::Json::num(16))
+        .meta("count", bench::Json::num(3000))
+        .meta("seed", bench::Json::num(18))
+        .add_table("identical config, identical channels -- only the core differs", by_loss)
+        .add_table("every timer discipline, every core (10% loss)", by_mode);
+    if (!out.write()) std::printf("warning: could not write BENCH_e18 output files\n");
+
     std::printf("\nExpected shape: block-ack holds its throughput with ~1/w the acks;\n"
                 "go-back-N pays whole-window retransmits off one timer; the oracle\n"
-                "rows bound what any realistic timer discipline can achieve.\n");
+                "rows bound what any realistic timer discipline can achieve.\n"
+                "Machine-readable copies: BENCH_e18_cross_protocol.{json,csv}\n");
     return 0;
 }

@@ -19,3 +19,11 @@ fi
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DBACP_SANITIZE="$SANITIZE"
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j"$(nproc)"
+
+# Example smoke runs: the real-time runtime end to end.  Deterministic
+# replay first, then a small wall-clock UDP transfer with a hard cap so
+# a wedged event loop fails fast instead of hanging CI.
+echo "== example smoke: udp_transfer --inproc =="
+"$BUILD_DIR"/examples/udp_transfer --inproc --mb 1
+echo "== example smoke: udp_transfer (UDP loopback, 2 s cap) =="
+"$BUILD_DIR"/examples/udp_transfer --mb 0.25 --deadline-ms 2000

@@ -24,6 +24,7 @@
 #include "common/assert.hpp"
 #include "common/types.hpp"
 #include "protocol/message.hpp"
+#include "runtime/ack_clip.hpp"
 #include "runtime/engine.hpp"
 
 namespace bacp::baselines {
@@ -144,9 +145,12 @@ private:
 /// gracefully to singletons); the receiver acknowledges *every* data
 /// message individually -- the paper's "severe restriction" whose ack
 /// overhead E4 quantifies.  Per-message conservative timers are the
-/// natural discipline, and they also guarantee at most one ack per
-/// sequence number in flight, which the strict ba::Sender ack processing
-/// relies on.
+/// natural discipline.  Incoming acks are clipped to the sender's
+/// still-unacknowledged runs (runtime/ack_clip.hpp) before reaching the
+/// strict ba::Sender: over the DES channels (which never duplicate)
+/// clipping is the identity, but a real or impaired network can
+/// duplicate an ack datagram outright, and the re-ack of a buffered
+/// duplicate can race its original under reordering.
 class SrCore {
 public:
     struct Options {};
@@ -164,7 +168,11 @@ public:
 
     bool can_send_new() const { return sender_.can_send_new(); }
     proto::Data send_new(SimTime) { return sender_.send_new(); }
-    void on_ack(const proto::Ack& ack, const runtime::TxView&) { sender_.on_ack(ack); }
+    void on_ack(const proto::Ack& ack, const runtime::TxView&) {
+        for (const proto::Ack& run : runtime::clip_ack_unbounded(sender_, ack)) {
+            sender_.on_ack(run);
+        }
+    }
     bool has_outstanding() const { return sender_.outstanding() > 0; }
 
     runtime::RxOutcome on_data(const proto::Data& msg, SimTime) {

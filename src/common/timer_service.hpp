@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file timer_service.hpp
+/// The timer interface both runtimes implement.
+///
+/// The discrete-event simulator (sim::Simulator, virtual time) and the
+/// real-time runtime (net::TimerWheel, std::chrono::steady_clock) expose
+/// the same three operations -- now / schedule_after / cancel -- so every
+/// timer-driven protocol policy (retransmission disciplines, ack
+/// batching, send-horizon wakeups) is written once against TimerService
+/// and runs unchanged over virtual or wall-clock time.
+///
+/// Semantics every implementation guarantees:
+///   - ids are never reused within one service instance, and 0 is never
+///     a valid id (kInvalidTimer);
+///   - cancel() of a fired, cancelled, or invalid id is a harmless no-op;
+///   - timers with equal deadlines fire in schedule order (FIFO), which
+///     keeps runs reproducible.
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace bacp {
+
+using TimerId = std::uint64_t;
+inline constexpr TimerId kInvalidTimer = 0;
+
+class TimerService {
+public:
+    using Handler = std::function<void()>;
+
+    virtual ~TimerService() = default;
+
+    /// Current time in nanoseconds (virtual or monotonic wall clock).
+    virtual SimTime now() const = 0;
+
+    /// Schedules \p fn after a non-negative delay; returns a cancel handle.
+    virtual TimerId schedule_after(SimTime delay, Handler fn) = 0;
+
+    /// Cancels a pending timer (no-op if already fired or invalid).
+    virtual void cancel(TimerId id) = 0;
+};
+
+/// Restartable one-shot timer bound to a TimerService.
+///
+/// Used by both runtimes for the paper's realistic timeout
+/// implementations: the SII sender keeps one timer ("S need only keep
+/// track of the elapsed time period since it last sent a data message");
+/// the SIV sender keeps one timer per outstanding message.
+class OneShotTimer {
+public:
+    using Callback = std::function<void()>;
+
+    OneShotTimer(TimerService& service, Callback cb)
+        : service_(&service), cb_(std::move(cb)) {
+        BACP_ASSERT(cb_ != nullptr);
+    }
+
+    OneShotTimer(const OneShotTimer&) = delete;
+    OneShotTimer& operator=(const OneShotTimer&) = delete;
+    OneShotTimer(OneShotTimer&&) = delete;
+    OneShotTimer& operator=(OneShotTimer&&) = delete;
+
+    ~OneShotTimer() { cancel(); }
+
+    /// (Re)arms the timer to fire after \p delay; any pending expiry is
+    /// cancelled first.
+    void restart(SimTime delay) {
+        cancel();
+        id_ = service_->schedule_after(delay, [this] {
+            id_ = kInvalidTimer;
+            cb_();
+        });
+    }
+
+    /// Stops the timer if armed.
+    void cancel() {
+        if (id_ != kInvalidTimer) {
+            service_->cancel(id_);
+            id_ = kInvalidTimer;
+        }
+    }
+
+    bool armed() const { return id_ != kInvalidTimer; }
+
+private:
+    TimerService* service_;
+    Callback cb_;
+    TimerId id_ = kInvalidTimer;
+};
+
+}  // namespace bacp

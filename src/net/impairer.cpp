@@ -1,0 +1,88 @@
+#include "net/impairer.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace bacp::net {
+
+ImpairSpec ImpairSpec::lossy(double p) {
+    ImpairSpec spec;
+    spec.loss = p;
+    spec.dup = p / 4.0;
+    spec.reorder = p / 4.0;
+    spec.delay_lo = 200 * kMicrosecond;
+    spec.delay_hi = 1 * kMillisecond;
+    return spec;
+}
+
+Impairer::Impairer(Transport& inner, TimerWheel& wheel, ImpairSpec spec, std::uint64_t seed)
+    : inner_(&inner), wheel_(&wheel), spec_(spec), rng_(seed) {
+    BACP_ASSERT_MSG(spec.delay_lo >= 0 && spec.delay_hi >= spec.delay_lo,
+                    "bad impairment delay range");
+}
+
+Impairer::~Impairer() {
+    for (const TimerId id : live_timers_) wheel_->cancel(id);
+}
+
+bool Impairer::send(std::span<const std::uint8_t> datagram) {
+    ++impair_stats_.offered;
+    // Draw order is fixed (loss, dup, then per-copy delay/reorder) so a
+    // given seed always produces the same impairment sequence.
+    if (rng_.chance(spec_.loss)) {
+        ++impair_stats_.dropped;
+        // To the caller a dropped datagram looks sent: loss is silent on
+        // real networks, and the protocol's timers are what notice it.
+        return true;
+    }
+    int copies = 1;
+    if (rng_.chance(spec_.dup)) {
+        copies = 2;
+        ++impair_stats_.duplicated;
+    }
+    for (int i = 0; i < copies; ++i) {
+        SimTime delay = 0;
+        if (spec_.delay_hi > 0) {
+            delay = static_cast<SimTime>(rng_.uniform_in(
+                static_cast<std::uint64_t>(spec_.delay_lo),
+                static_cast<std::uint64_t>(spec_.delay_hi)));
+        }
+        if (rng_.chance(spec_.reorder)) {
+            delay += spec_.reorder_extra;
+            ++impair_stats_.reordered;
+        }
+        dispatch(std::vector<std::uint8_t>(datagram.begin(), datagram.end()), delay);
+    }
+    return true;
+}
+
+void Impairer::forward(std::span<const std::uint8_t> datagram) {
+    if (inner_->send(datagram)) {
+        ++stats_.datagrams_sent;
+        stats_.bytes_sent += datagram.size();
+    } else {
+        ++stats_.send_drops;
+    }
+}
+
+void Impairer::dispatch(std::vector<std::uint8_t> copy, SimTime delay) {
+    if (delay <= 0) {
+        forward(copy);
+        return;
+    }
+    ++impair_stats_.delayed;
+    // The timer id is only known after schedule_after() returns, so the
+    // closure reads it through a shared slot patched in just below.
+    auto slot = std::make_shared<TimerId>(kInvalidTimer);
+    auto payload = std::make_shared<std::vector<std::uint8_t>>(std::move(copy));
+    const TimerId id = wheel_->schedule_after(delay, [this, slot, payload]() {
+        live_timers_.erase(*slot);
+        forward(*payload);
+    });
+    *slot = id;
+    live_timers_.insert(id);
+}
+
+}  // namespace bacp::net

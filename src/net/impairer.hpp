@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file impairer.hpp
+/// Seeded network impairment at the transport boundary.
+///
+/// Loopback UDP is, for our purposes, a perfect channel -- nothing to
+/// retransmit, so nothing to measure.  The Impairer sits between an
+/// endpoint and its Transport and re-introduces the adversary the paper
+/// assumes: Bernoulli loss and duplication, uniform extra delay, and
+/// probabilistic reordering (an extra delay spike applied to a single
+/// copy, which lets later datagrams overtake it).  Every decision comes
+/// from an explicitly seeded Rng drawn in send order, so a run over
+/// InprocTransport + ManualClock is exactly reproducible from its seed.
+///
+/// Delayed copies are parked on the endpoint's TimerWheel; the Impairer
+/// cancels its outstanding timers on destruction so a parked closure can
+/// never fire into a dead object.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/timer_wheel.hpp"
+#include "net/transport.hpp"
+
+namespace bacp::net {
+
+/// What to inflict on outgoing datagrams.  Defaults are a transparent
+/// wire; ImpairSpec::lossy() is the standard bench adversary.
+struct ImpairSpec {
+    double loss = 0.0;       // P(drop)
+    double dup = 0.0;        // P(send a second copy)
+    double reorder = 0.0;    // P(a copy gets the extra reorder delay)
+    SimTime delay_lo = 0;    // uniform base delay range applied to
+    SimTime delay_hi = 0;    //   every copy that is not dropped
+    SimTime reorder_extra = 2 * kMillisecond;  // overtaking window
+
+    /// Symmetric bench adversary: \p p loss, p/4 dup, p/4 reorder,
+    /// 0.2-1 ms jitter.
+    static ImpairSpec lossy(double p);
+};
+
+struct ImpairStats {
+    std::uint64_t offered = 0;    // datagrams handed to send()
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0; // extra copies created
+    std::uint64_t reordered = 0;  // copies given the reorder delay
+    std::uint64_t delayed = 0;    // copies parked on the timer wheel
+};
+
+/// A Transport decorator: impairs, then forwards to the inner transport.
+/// Not a Transport subclass on the receive path by accident -- recv() and
+/// fd() just forward, so an Impairer can be used anywhere a Transport is.
+class Impairer final : public Transport {
+public:
+    /// Impairs datagrams sent through \p inner.  \p wheel must outlive
+    /// this object and be fired by the same thread that calls send().
+    Impairer(Transport& inner, TimerWheel& wheel, ImpairSpec spec, std::uint64_t seed);
+    ~Impairer() override;
+
+    Impairer(const Impairer&) = delete;
+    Impairer& operator=(const Impairer&) = delete;
+
+    bool send(std::span<const std::uint8_t> datagram) override;
+    std::optional<std::vector<std::uint8_t>> recv() override { return inner_->recv(); }
+    int fd() const override { return inner_->fd(); }
+
+    const ImpairStats& impair_stats() const { return impair_stats_; }
+
+private:
+    /// Sends one copy through the inner transport, keeping our stats.
+    void forward(std::span<const std::uint8_t> datagram);
+
+    /// Forwards one copy now or parks it on the wheel.
+    void dispatch(std::vector<std::uint8_t> copy, SimTime delay);
+
+    Transport* inner_;
+    TimerWheel* wheel_;
+    ImpairSpec spec_;
+    Rng rng_;
+    ImpairStats impair_stats_;
+    std::unordered_set<TimerId> live_timers_;
+};
+
+}  // namespace bacp::net

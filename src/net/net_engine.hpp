@@ -1,0 +1,685 @@
+#pragma once
+
+/// \file net_engine.hpp
+/// The real-time transport runtime: the same EndpointCore machines the
+/// discrete-event runtime::Engine drives, run over actual datagrams and a
+/// wall (or manual) clock.
+///
+/// Structure mirrors runtime::Engine but splits it at the channel, as a
+/// real network forces: NetSender<Core> and NetReceiver<Core> each own a
+/// full core (a core bundles both protocol halves; each endpoint simply
+/// exercises only its half -- the halves share no state) plus a
+/// TimerWheel, and exchange frames serialized through wire::codec.  Every
+/// datagram is CRC-32C checked on receive; a frame that fails decode is
+/// counted and dropped, i.e. fed to the loss tolerance the protocol
+/// already has -- exactly the channel model the paper's proof assumes.
+///
+/// Timeout disciplines map as follows:
+///   SimpleTimer / PerMessageTimer  identical logic to the DES engine,
+///                                  running on the TimerWheel.
+///   OracleSimple / OraclePerMessage  the DES fires these at provable
+///     quiescence (empty event queue => empty channels).  Real time has
+///     no such oracle, so the net runtime approximates it with a
+///     *quiescence timer*: restarted on every send/receive while
+///     messages are outstanding, firing after a full conservative
+///     timeout of silence -- by which time any copy in flight has aged
+///     out of the channel.  The resend *sets* are the paper's; only the
+///     firing moment is heuristic.  See DESIGN.md (real-time runtime).
+///
+/// NetEngine<Core> composes a sender and receiver endpoint over a
+/// transport pair (UDP loopback or in-process queues) with symmetric
+/// seeded impairment, and drives a fixed-size transfer of pattern
+/// payloads to completion.  With --inproc (InprocTransport + ManualClock)
+/// a run is a pure function of its seed: time advances only to the next
+/// timer deadline, so two runs deliver byte-identical traffic.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/clock.hpp"
+#include "net/impairer.hpp"
+#include "net/timer_wheel.hpp"
+#include "net/transport.hpp"
+#include "protocol/message.hpp"
+#include "runtime/ack_policy.hpp"
+#include "runtime/endpoint_core.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/session_util.hpp"
+#include "runtime/timeout_mode.hpp"
+#include "sim/metrics.hpp"
+#include "wire/codec.hpp"
+
+namespace bacp::net {
+
+/// Configuration of a real-time transfer.  Core-specific knobs ride in
+/// the core's own Options struct, as with the DES engine.
+struct NetConfig {
+    Seq w = 8;
+    Seq count = 1000;               // messages to transfer
+    std::size_t payload_size = 1024;  // bytes of pattern payload per message
+    std::optional<runtime::TimeoutMode> timeout_mode;  // nullopt = core default
+    SimTime timeout = 0;            // 0 = derive from link_lifetime + ack policy
+    runtime::AckPolicy ack_policy = runtime::AckPolicy::eager();
+    /// Assumed bound on datagram time-in-transit (the paper's channel
+    /// lifetime L).  Feeds the cores' time-based rules (send horizon, NAK
+    /// one-copy) and the derived timeout.  Generous for loopback plus the
+    /// impairment delays.
+    SimTime link_lifetime = 50 * kMillisecond;
+    ImpairSpec impair;              // applied symmetrically, both directions
+    std::uint64_t seed = 1;
+    SimTime deadline = 60 * kSecond;  // run cap, in clock time
+    bool enable_nak = false;
+    Seq nak_threshold = 3;
+
+    /// The EngineConfig handed to core constructors: same knobs, with the
+    /// links described as lossless-with-lifetime (loss/delay live in the
+    /// real channel here, but cores only consult max_lifetime()).
+    runtime::EngineConfig engine_config() const {
+        runtime::EngineConfig e;
+        e.w = w;
+        e.count = count;
+        e.timeout_mode = timeout_mode;
+        e.ack_policy = ack_policy;
+        e.data_link = runtime::LinkSpec::lossless(0, link_lifetime);
+        e.ack_link = runtime::LinkSpec::lossless(0, link_lifetime);
+        e.seed = seed;
+        e.enable_nak = enable_nak;
+        e.nak_threshold = nak_threshold;
+        return e;
+    }
+
+    /// Retransmission timeout: explicit, or the conservative bound
+    /// L_SR + L_RS + max ack delay + margin (as the DES engine derives).
+    SimTime effective_timeout() const {
+        if (timeout > 0) return timeout;
+        return 2 * link_lifetime + ack_policy.max_ack_delay() + kMillisecond;
+    }
+};
+
+/// Deterministic payload for message \p seq: a splitmix64 stream keyed by
+/// the sequence number, so the receiver can verify every delivered byte
+/// without any side channel.
+inline std::vector<std::uint8_t> pattern_payload(Seq seq, std::size_t size) {
+    std::vector<std::uint8_t> payload(size);
+    std::uint64_t state = seq ^ 0xba5eba115eedULL;
+    std::size_t i = 0;
+    while (i < size) {
+        const std::uint64_t word = splitmix64(state);
+        for (int b = 0; b < 8 && i < size; ++b, ++i) {
+            payload[i] = static_cast<std::uint8_t>(word >> (8 * b));
+        }
+    }
+    return payload;
+}
+
+/// Sending endpoint: drives the sender half of a core over a Transport.
+/// poll() is the event loop body -- fire due timers, drain arriving
+/// datagrams -- and must be called from one thread only.
+template <runtime::EndpointCore Core>
+class NetSender {
+public:
+    using Options = typename Core::Options;
+
+    /// \p wheel is this endpoint's (and, when impaired, its Impairer's)
+    /// timer wheel; poll() fires it, so both must live on one thread.
+    NetSender(const NetConfig& cfg, Options options, TimerWheel& wheel, Transport& transport)
+        : cfg_(cfg),
+          ecfg_(cfg.engine_config()),
+          mode_(cfg.timeout_mode.value_or(Core::kDefaultTimeoutMode)),
+          timeout_(cfg.effective_timeout()),
+          core_(ecfg_, std::move(options)),
+          wheel_(wheel),
+          transport_(&transport),
+          simple_timer_(wheel_, [this] { on_simple_timeout(); }),
+          blocked_timer_(wheel_, [this] { pump_send(); }),
+          quiescence_timer_(wheel_, [this] { on_quiescence(); }) {}
+
+    NetSender(const NetSender&) = delete;
+    NetSender& operator=(const NetSender&) = delete;
+
+    ~NetSender() {
+        for (const auto& [id, slot] : per_message_timers_) wheel_.cancel(id);
+    }
+
+    /// Opens the faucet.  Call once before the poll loop.
+    void start() { pump_send(); }
+
+    /// One event-loop iteration: fires due timers, then handles every
+    /// datagram currently readable.  Returns how many units of work
+    /// (timers + datagrams) were processed.
+    std::size_t poll() {
+        std::size_t work = wheel_.fire_due();
+        while (auto datagram = transport_->recv()) {
+            handle_datagram(*datagram);
+            ++work;
+        }
+        return work;
+    }
+
+    /// Every message sent and acknowledged.
+    bool done() const { return sent_new_ == cfg_.count && !core_.has_outstanding(); }
+
+    TimerWheel& wheel() { return wheel_; }
+    const sim::Metrics& metrics() const { return metrics_; }
+    SimTime timeout_value() const { return timeout_; }
+    const Core& core() const { return core_; }
+
+private:
+    static constexpr bool kTimeGatedSend = runtime::kCoreTimeGatedSend<Core>;
+    static constexpr bool kGatedResend = runtime::kCoreGatedResend<Core>;
+    static constexpr bool kHandlesNak = runtime::kCoreHandlesNak<Core>;
+
+    runtime::TxView txview() const {
+        return txlog_.view(wheel_.now(), cfg_.link_lifetime);
+    }
+
+    void handle_datagram(const std::vector<std::uint8_t>& bytes) {
+        const wire::DecodeResult result = wire::decode(bytes);
+        if (!result.ok()) {
+            ++metrics_.decode_errors;
+            if (result.error() == wire::DecodeError::BadCrc) ++metrics_.crc_errors;
+            return;  // treated as loss
+        }
+        const wire::DecodedFrame& frame = result.frame();
+        if (const auto* ack = std::get_if<wire::AckFrame>(&frame)) {
+            on_ack_arrival(proto::Ack{ack->lo, ack->hi});
+        } else if (const auto* nak = std::get_if<wire::NakFrame>(&frame)) {
+            on_nak_arrival(proto::Nak{nak->seq});
+        } else {
+            // DATA at the sender endpoint of a one-way transfer: a frame
+            // we never sent for.  Count it as a decode-level anomaly.
+            ++metrics_.decode_errors;
+        }
+    }
+
+    void pump_send() {
+        while (sent_new_ < cfg_.count && core_.can_send_new()) {
+            if constexpr (kTimeGatedSend) {
+                const SimTime ready = core_.send_blocked_until(wheel_.now());
+                if (ready > wheel_.now()) {
+                    if (!blocked_timer_.armed()) blocked_timer_.restart(ready - wheel_.now());
+                    return;
+                }
+            }
+            const proto::Data msg = core_.send_new(wheel_.now());
+            const Seq true_seq = sent_new_++;
+            transmit(msg, true_seq, /*retx=*/false);
+        }
+    }
+
+    void transmit(const proto::Data& msg, Seq true_seq, bool retx) {
+        // Payloads are stashed by wire seq on the far side and consumed
+        // in true-seq order; that association requires unbounded wire
+        // seqnums (BA unbounded, go-back-n, selective repeat).  Bounded
+        // residue cores need a link-layer payload map (src/link) instead.
+        BACP_ASSERT_MSG(msg.seq == true_seq,
+                        "net runtime requires cores with unbounded wire seqnums");
+        if (retx) {
+            ++metrics_.data_retx;
+        } else {
+            ++metrics_.data_new;
+        }
+        txlog_.note(true_seq, wheel_.now());
+        const std::vector<std::uint8_t> payload =
+            pattern_payload(true_seq, cfg_.payload_size);
+        transport_->send(wire::encode_data(msg.seq, payload));
+        switch (mode_) {
+            case runtime::TimeoutMode::SimpleTimer:
+                simple_timer_.restart(timeout_);
+                break;
+            case runtime::TimeoutMode::PerMessageTimer:
+                schedule_per_message(true_seq);
+                break;
+            default:
+                touch_quiescence();
+                break;
+        }
+    }
+
+    /// Per-message expiry timer; tracked so the destructor can cancel
+    /// closures that would otherwise outlive this object on the wheel.
+    /// The id is only known after schedule_after() returns, so the
+    /// closure reads it through a shared slot patched in just below.
+    void schedule_per_message(Seq true_seq) {
+        auto slot = std::make_shared<TimerId>(kInvalidTimer);
+        const TimerId id = wheel_.schedule_after(timeout_, [this, slot, true_seq] {
+            per_message_timers_.erase(*slot);
+            per_message_fire(true_seq);
+        });
+        *slot = id;
+        per_message_timers_.emplace(id, std::move(slot));
+    }
+
+    void on_ack_arrival(const proto::Ack& ack) {
+        ++metrics_.acks_received;
+        core_.on_ack(ack, txview());
+        if (mode_ == runtime::TimeoutMode::SimpleTimer && !core_.has_outstanding()) {
+            simple_timer_.cancel();
+        }
+        pump_send();
+        if constexpr (kGatedResend) {
+            // SIV: an arriving ack can unblock the resend gate for
+            // already-matured messages; they go out immediately.
+            if (mode_ == runtime::TimeoutMode::PerMessageTimer) rescan_matured();
+        }
+        touch_quiescence();
+    }
+
+    void on_simple_timeout() {
+        if (!core_.has_outstanding()) return;
+        for (const Seq true_seq : core_.simple_timeout_set()) {
+            transmit(core_.resend(true_seq, wheel_.now()), true_seq, /*retx=*/true);
+        }
+    }
+
+    bool matured(Seq true_seq) const {
+        return txlog_.matured(true_seq, wheel_.now(), timeout_);
+    }
+
+    void per_message_fire(Seq true_seq) {
+        if (!core_.can_resend(true_seq)) return;  // acknowledged meanwhile
+        if (!matured(true_seq)) return;           // a newer copy owns the timer
+        if constexpr (kGatedResend) {
+            if (!core_.timeout_eligible(true_seq, /*oracle=*/false)) {
+                return;  // reconsidered on next ack
+            }
+        }
+        transmit(core_.resend(true_seq, wheel_.now()), true_seq, /*retx=*/true);
+    }
+
+    void rescan_matured() {
+        for (const Seq true_seq : core_.resend_candidates()) {
+            if (!matured(true_seq)) continue;
+            if constexpr (kGatedResend) {
+                if (!core_.timeout_eligible(true_seq, /*oracle=*/false)) continue;
+            }
+            transmit(core_.resend(true_seq, wheel_.now()), true_seq, /*retx=*/true);
+        }
+    }
+
+    /// Oracle-mode activity notification: while anything is outstanding,
+    /// (re)arm the quiescence timer; a full timeout of silence stands in
+    /// for the DES's provable idle point.
+    void touch_quiescence() {
+        if (mode_ != runtime::TimeoutMode::OracleSimple &&
+            mode_ != runtime::TimeoutMode::OraclePerMessage) {
+            return;
+        }
+        if (core_.has_outstanding()) {
+            quiescence_timer_.restart(timeout_);
+        } else {
+            quiescence_timer_.cancel();
+        }
+    }
+
+    void on_quiescence() {
+        if (!core_.has_outstanding()) return;
+        if (mode_ == runtime::TimeoutMode::OracleSimple) {
+            for (const Seq true_seq : core_.simple_timeout_set()) {
+                transmit(core_.resend(true_seq, wheel_.now()), true_seq, /*retx=*/true);
+            }
+            return;  // transmit re-armed the timer via touch_quiescence
+        }
+        bool any = false;
+        for (const Seq true_seq : core_.resend_candidates()) {
+            if constexpr (kGatedResend) {
+                // oracle=true consults the receiver half of *this* core,
+                // which is empty at the sender endpoint, so the gate
+                // reduces to the sender-side conjuncts -- conservative in
+                // the safe direction (never blocks a needed resend).
+                if (!core_.timeout_eligible(true_seq, /*oracle=*/true)) continue;
+            }
+            transmit(core_.resend(true_seq, wheel_.now()), true_seq, /*retx=*/true);
+            any = true;
+        }
+        if (!any) quiescence_timer_.restart(timeout_);  // keep watching
+    }
+
+    void on_nak_arrival(const proto::Nak& nak) {
+        ++metrics_.naks_received;
+        if constexpr (kHandlesNak) {
+            const std::optional<Seq> target = core_.on_nak(nak, txview());
+            if (!target) return;
+            ++metrics_.fast_retx;
+            transmit(core_.resend(*target, wheel_.now()), *target, /*retx=*/true);
+        }
+        // A core without NAK support simply ignores strays (the frame may
+        // be a duplicate from an earlier impairment).
+    }
+
+    NetConfig cfg_;
+    runtime::EngineConfig ecfg_;
+    runtime::TimeoutMode mode_;
+    SimTime timeout_;
+    Core core_;
+    TimerWheel& wheel_;
+    Transport* transport_;
+    OneShotTimer simple_timer_;
+    OneShotTimer blocked_timer_;
+    OneShotTimer quiescence_timer_;
+    sim::Metrics metrics_;
+
+    Seq sent_new_ = 0;
+    runtime::TxLog txlog_;
+    std::unordered_map<TimerId, std::shared_ptr<TimerId>> per_message_timers_;
+};
+
+/// Receiving endpoint: drives the receiver half of a core, reassembles
+/// and verifies pattern payloads, and speaks the ack policy.
+template <runtime::EndpointCore Core>
+class NetReceiver {
+public:
+    using Options = typename Core::Options;
+
+    /// Same threading contract as NetSender: \p wheel is fired by poll().
+    NetReceiver(const NetConfig& cfg, Options options, TimerWheel& wheel, Transport& transport)
+        : cfg_(cfg),
+          ecfg_(cfg.engine_config()),
+          core_(ecfg_, std::move(options)),
+          wheel_(wheel),
+          transport_(&transport),
+          ack_flush_timer_(wheel_, [this] { flush_ack(); }) {}
+
+    NetReceiver(const NetReceiver&) = delete;
+    NetReceiver& operator=(const NetReceiver&) = delete;
+
+    /// One event-loop iteration; single-threaded, like NetSender::poll().
+    std::size_t poll() {
+        std::size_t work = wheel_.fire_due();
+        while (auto datagram = transport_->recv()) {
+            handle_datagram(*datagram);
+            ++work;
+        }
+        return work;
+    }
+
+    Seq delivered() const { return delivered_; }
+    std::uint64_t bytes_delivered() const { return bytes_delivered_; }
+    /// Delivered payloads whose bytes did not match the expected pattern.
+    /// Must be zero: CRC-32C rejects corruption before the core sees it.
+    std::uint64_t payload_mismatches() const { return payload_mismatches_; }
+
+    TimerWheel& wheel() { return wheel_; }
+    const sim::Metrics& metrics() const { return metrics_; }
+    const Core& core() const { return core_; }
+
+private:
+    void handle_datagram(const std::vector<std::uint8_t>& bytes) {
+        const wire::DecodeResult result = wire::decode(bytes);
+        if (!result.ok()) {
+            ++metrics_.decode_errors;
+            if (result.error() == wire::DecodeError::BadCrc) ++metrics_.crc_errors;
+            return;  // treated as loss
+        }
+        const auto* data = std::get_if<wire::DataFrame>(&result.frame());
+        if (data == nullptr) {
+            ++metrics_.decode_errors;  // ACK/NAK at the receiver: anomaly
+            return;
+        }
+        on_data_arrival(*data);
+    }
+
+    void on_data_arrival(const wire::DataFrame& frame) {
+        ++metrics_.data_received;
+        // Stash before consulting the core so a delivery it unlocks can
+        // always find its bytes.
+        stash_.try_emplace(frame.seq, frame.payload);
+        const runtime::RxOutcome out = core_.on_data(proto::Data{frame.seq}, wheel_.now());
+        if (out.dup_ack) {
+            ++metrics_.duplicates;
+            ++metrics_.dup_acks;
+            send_ack(*out.dup_ack);
+            return;
+        }
+        if (out.duplicate) ++metrics_.duplicates;
+        for (Seq k = 0; k < out.delivered; ++k) note_delivery();
+        if (out.immediate_ack) {
+            ++metrics_.acks_sent;
+            send_ack(*out.immediate_ack);
+        }
+        if (out.nak) {
+            ++metrics_.naks_sent;
+            transport_->send(wire::encode_nak(out.nak->seq));
+        }
+        // Action 5 scheduling per the ack policy.
+        const Seq pending = core_.ack_pending();
+        if (pending >= cfg_.ack_policy.threshold) {
+            flush_ack();
+        } else if (pending > 0 && !ack_flush_timer_.armed()) {
+            ack_flush_timer_.restart(cfg_.ack_policy.flush_delay);
+        }
+    }
+
+    void note_delivery() {
+        const Seq true_seq = delivered_++;
+        ++metrics_.delivered;
+        const auto it = stash_.find(true_seq);
+        BACP_ASSERT_MSG(it != stash_.end(), "delivered message has no stashed payload");
+        if (it->second != pattern_payload(true_seq, it->second.size())) {
+            ++payload_mismatches_;
+        }
+        bytes_delivered_ += it->second.size();
+        stash_.erase(it);
+    }
+
+    void send_ack(const proto::Ack& ack) { transport_->send(wire::encode_ack(ack.lo, ack.hi)); }
+
+    void flush_ack() {
+        ack_flush_timer_.cancel();
+        if (core_.ack_pending() == 0) return;
+        const proto::Ack ack = core_.make_ack();
+        ++metrics_.acks_sent;
+        send_ack(ack);
+    }
+
+    NetConfig cfg_;
+    runtime::EngineConfig ecfg_;
+    Core core_;
+    TimerWheel& wheel_;
+    Transport* transport_;
+    OneShotTimer ack_flush_timer_;
+    sim::Metrics metrics_;
+
+    Seq delivered_ = 0;
+    std::uint64_t bytes_delivered_ = 0;
+    std::uint64_t payload_mismatches_ = 0;
+    std::unordered_map<Seq, std::vector<std::uint8_t>> stash_;
+};
+
+/// Everything a real-time run measures.
+struct NetReport {
+    sim::Metrics metrics;  // sender + receiver counters, field-wise sum
+    std::uint64_t bytes_delivered = 0;
+    std::uint64_t payload_mismatches = 0;
+    ImpairStats impair_sr;  // sender->receiver direction
+    ImpairStats impair_rs;
+    TransportStats transport_sr;  // inner transport, post-impairment
+    TransportStats transport_rs;
+    SimTime elapsed = 0;  // clock time, start of run to completion
+    bool completed = false;
+
+    double goodput_mbps() const {
+        if (elapsed <= 0) return 0.0;
+        return static_cast<double>(bytes_delivered) * 8.0 / to_seconds(elapsed) / 1e6;
+    }
+};
+
+enum class NetMode {
+    Udp,     // loopback sockets, SteadyClock (real time)
+    Inproc,  // in-process queues, ManualClock (deterministic)
+};
+
+/// A complete two-endpoint transfer in one process.
+template <runtime::EndpointCore Core>
+class NetEngine {
+public:
+    using Options = typename Core::Options;
+
+    explicit NetEngine(NetConfig cfg, Options options = {}, NetMode netmode = NetMode::Udp)
+        : cfg_(std::move(cfg)), netmode_(netmode) {
+        if (netmode_ == NetMode::Udp) {
+            clock_ = &steady_clock_;
+            auto [a, b] = UdpTransport::make_pair();
+            raw_s_ = std::move(a);
+            raw_r_ = std::move(b);
+        } else {
+            clock_ = &manual_clock_;
+            auto [a, b] = InprocTransport::make_pair();
+            raw_s_ = std::move(a);
+            raw_r_ = std::move(b);
+        }
+        // One wheel per endpoint thread; the impairer of a direction
+        // shares the wheel of the endpoint that sends through it.
+        wheel_s_ = std::make_unique<TimerWheel>(*clock_);
+        wheel_r_ = std::make_unique<TimerWheel>(*clock_);
+        imp_s_ = std::make_unique<Impairer>(*raw_s_, *wheel_s_, cfg_.impair,
+                                            runtime::mix_seed(cfg_.seed, 0xd1));
+        imp_r_ = std::make_unique<Impairer>(*raw_r_, *wheel_r_, cfg_.impair,
+                                            runtime::mix_seed(cfg_.seed, 0xac));
+        sender_ = std::make_unique<NetSender<Core>>(cfg_, options, *wheel_s_, *imp_s_);
+        receiver_ = std::make_unique<NetReceiver<Core>>(cfg_, options, *wheel_r_, *imp_r_);
+    }
+
+    /// Runs the transfer to completion or the deadline; single-threaded
+    /// (both endpoints serviced by the calling thread).  With
+    /// NetMode::Inproc this is exactly reproducible from the seed.
+    NetReport run() {
+        const SimTime start = clock_->now();
+        sender_->start();
+        while (!finished()) {
+            if (clock_->now() - start > cfg_.deadline) break;
+            // Fixed service order keeps Inproc runs deterministic.
+            const std::size_t work = sender_->poll() + receiver_->poll();
+            if (work > 0) continue;
+            if (netmode_ == NetMode::Inproc) {
+                // Idle with empty queues: jump to the next timer deadline.
+                const auto next = earliest_deadline();
+                if (!next) break;  // no timers, no traffic: wedged
+                manual_clock_.advance_to(*next);
+            } else {
+                idle_wait(start);
+            }
+        }
+        return make_report(start);
+    }
+
+    /// Runs with the receiver endpoint on a worker thread -- the real
+    /// deployment shape (two independent event loops).  Requires real
+    /// time (Udp mode); determinism is naturally out the window.
+    NetReport run_threaded() {
+        BACP_ASSERT_MSG(netmode_ == NetMode::Udp, "threaded run needs real time");
+        const SimTime start = clock_->now();
+        std::atomic<bool> stop{false};
+        std::thread rx([this, &stop] {
+            const int fds[] = {receiver_fd()};
+            while (!stop.load(std::memory_order_relaxed)) {
+                if (receiver_->poll() == 0) {
+                    wait_readable(fds, receiver_->wheel().next_deadline()
+                                           ? kMillisecond
+                                           : 5 * kMillisecond);
+                }
+            }
+        });
+        sender_->start();
+        while (!sender_->done() && clock_->now() - start <= cfg_.deadline) {
+            if (sender_->poll() == 0) {
+                const int fds[] = {sender_fd()};
+                wait_readable(fds, kMillisecond);
+            }
+        }
+        stop.store(true, std::memory_order_relaxed);
+        rx.join();
+        // Drain anything the receiver loop had not picked up yet.
+        receiver_->poll();
+        return make_report(start);
+    }
+
+    NetSender<Core>& sender() { return *sender_; }
+    NetReceiver<Core>& receiver() { return *receiver_; }
+
+private:
+    bool finished() const {
+        return sender_->done() && receiver_->delivered() == cfg_.count;
+    }
+
+    std::optional<SimTime> earliest_deadline() const {
+        const auto a = sender_->wheel().next_deadline();
+        const auto b = receiver_->wheel().next_deadline();
+        if (!a) return b;
+        if (!b) return a;
+        return std::min(*a, *b);
+    }
+
+    int sender_fd() const { return raw_s_->fd(); }
+    int receiver_fd() const { return raw_r_->fd(); }
+
+    void idle_wait(SimTime start) {
+        // Sleep until a datagram arrives or (approximately) the next
+        // timer deadline; cap the wait so the deadline check stays live.
+        SimTime wait = 5 * kMillisecond;
+        if (const auto next = earliest_deadline()) {
+            wait = std::clamp<SimTime>(*next - clock_->now(), 0, wait);
+        }
+        const int fds[] = {sender_fd(), receiver_fd()};
+        wait_readable(fds, wait);
+        (void)start;
+    }
+
+    NetReport make_report(SimTime start) const {
+        NetReport report;
+        report.metrics = merge(sender_->metrics(), receiver_->metrics());
+        report.metrics.start_time = start;
+        report.metrics.end_time = clock_->now();
+        report.bytes_delivered = receiver_->bytes_delivered();
+        report.payload_mismatches = receiver_->payload_mismatches();
+        report.impair_sr = imp_s_->impair_stats();
+        report.impair_rs = imp_r_->impair_stats();
+        report.transport_sr = raw_s_->stats();
+        report.transport_rs = raw_r_->stats();
+        report.elapsed = clock_->now() - start;
+        report.completed = sender_->done() && receiver_->delivered() == cfg_.count &&
+                           report.payload_mismatches == 0;
+        return report;
+    }
+
+    static sim::Metrics merge(const sim::Metrics& s, const sim::Metrics& r) {
+        sim::Metrics m = s;
+        m.data_received += r.data_received;
+        m.duplicates += r.duplicates;
+        m.acks_sent += r.acks_sent;
+        m.dup_acks += r.dup_acks;
+        m.delivered += r.delivered;
+        m.naks_sent += r.naks_sent;
+        m.decode_errors += r.decode_errors;
+        m.crc_errors += r.crc_errors;
+        return m;
+    }
+
+    NetConfig cfg_;
+    NetMode netmode_;
+    SteadyClock steady_clock_;
+    ManualClock manual_clock_;
+    Clock* clock_ = nullptr;
+    std::unique_ptr<Transport> raw_s_;
+    std::unique_ptr<Transport> raw_r_;
+    std::unique_ptr<TimerWheel> wheel_s_;
+    std::unique_ptr<TimerWheel> wheel_r_;
+    std::unique_ptr<Impairer> imp_s_;
+    std::unique_ptr<Impairer> imp_r_;
+    std::unique_ptr<NetSender<Core>> sender_;
+    std::unique_ptr<NetReceiver<Core>> receiver_;
+};
+
+}  // namespace bacp::net

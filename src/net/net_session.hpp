@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file net_session.hpp
+/// Convenience aliases binding the real-time runtime to concrete cores,
+/// mirroring runtime/{ba,gbn,sr}_session.hpp for the DES engine.  Only
+/// unbounded-wire-seqnum cores are listed: the net runtime associates
+/// payloads with frames by sequence number, which residue cores (bounded
+/// SV, threshold counters) cannot support without a link-layer map.
+
+#include "ba/engine_core.hpp"
+#include "baselines/engine_cores.hpp"
+#include "net/net_engine.hpp"
+
+namespace bacp::net {
+
+/// SII/SIV block acknowledgment with unbounded sequence numbers.
+using BaNetEngine = NetEngine<ba::EngineCore<ba::Sender, ba::Receiver>>;
+/// Go-back-N (run with Options::domain = 0, the safe unbounded mode).
+using GbnNetEngine = NetEngine<baselines::GbnCore>;
+/// Selective repeat (per-message conservative timers).
+using SrNetEngine = NetEngine<baselines::SrCore>;
+
+}  // namespace bacp::net

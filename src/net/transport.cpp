@@ -1,0 +1,164 @@
+#include "net/transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+#include <thread>
+
+#include "common/assert.hpp"
+
+namespace bacp::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+    throw std::system_error(errno, std::generic_category(), what);
+}
+
+sockaddr_in loopback(std::uint16_t port) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    return addr;
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (fd_ < 0) throw_errno("socket");
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) throw_errno("fcntl");
+    sockaddr_in addr = loopback(port);
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+        throw_errno("bind");
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+        throw_errno("getsockname");
+    }
+    port_ = ntohs(addr.sin_port);
+}
+
+UdpTransport::~UdpTransport() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+void UdpTransport::connect_peer(std::uint16_t port) {
+    const sockaddr_in addr = loopback(port);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+        throw_errno("connect");
+    }
+}
+
+bool UdpTransport::send(std::span<const std::uint8_t> datagram) {
+    BACP_ASSERT_MSG(datagram.size() <= kMaxDatagram, "datagram exceeds UDP limit");
+    const ssize_t n = ::send(fd_, datagram.data(), datagram.size(), 0);
+    if (n < 0) {
+        // A full socket buffer (or transient kernel shortage) is loss,
+        // which the protocol already tolerates; anything else is a bug.
+        BACP_ASSERT_MSG(errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS ||
+                            errno == ECONNREFUSED,
+                        "udp send failed");
+        ++stats_.send_drops;
+        return false;
+    }
+    ++stats_.datagrams_sent;
+    stats_.bytes_sent += static_cast<std::uint64_t>(n);
+    return true;
+}
+
+std::optional<std::vector<std::uint8_t>> UdpTransport::recv() {
+    std::vector<std::uint8_t> buf(kMaxDatagram);
+    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (n < 0) {
+        BACP_ASSERT_MSG(errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNREFUSED,
+                        "udp recv failed");
+        return std::nullopt;
+    }
+    buf.resize(static_cast<std::size_t>(n));
+    ++stats_.datagrams_received;
+    stats_.bytes_received += static_cast<std::uint64_t>(n);
+    return buf;
+}
+
+std::pair<std::unique_ptr<UdpTransport>, std::unique_ptr<UdpTransport>>
+UdpTransport::make_pair() {
+    auto a = std::make_unique<UdpTransport>();
+    auto b = std::make_unique<UdpTransport>();
+    a->connect_peer(b->local_port());
+    b->connect_peer(a->local_port());
+    return {std::move(a), std::move(b)};
+}
+
+std::pair<std::unique_ptr<InprocTransport>, std::unique_ptr<InprocTransport>>
+InprocTransport::make_pair(std::size_t capacity) {
+    auto ab = std::make_shared<Queue>();
+    auto ba = std::make_shared<Queue>();
+    ab->capacity = ba->capacity = capacity;
+    // a's outbox is b's inbox and vice versa.
+    auto a = std::unique_ptr<InprocTransport>(new InprocTransport(ba, ab));
+    auto b = std::unique_ptr<InprocTransport>(new InprocTransport(ab, ba));
+    return {std::move(a), std::move(b)};
+}
+
+bool InprocTransport::send(std::span<const std::uint8_t> datagram) {
+    {
+        const std::scoped_lock lock(outbox_->mutex);
+        if (outbox_->datagrams.size() >= outbox_->capacity) {
+            ++stats_.send_drops;
+            return false;
+        }
+        outbox_->datagrams.emplace_back(datagram.begin(), datagram.end());
+    }
+    ++stats_.datagrams_sent;
+    stats_.bytes_sent += datagram.size();
+    return true;
+}
+
+std::optional<std::vector<std::uint8_t>> InprocTransport::recv() {
+    std::vector<std::uint8_t> datagram;
+    {
+        const std::scoped_lock lock(inbox_->mutex);
+        if (inbox_->datagrams.empty()) return std::nullopt;
+        datagram = std::move(inbox_->datagrams.front());
+        inbox_->datagrams.pop_front();
+    }
+    ++stats_.datagrams_received;
+    stats_.bytes_received += datagram.size();
+    return datagram;
+}
+
+bool wait_readable(std::span<const int> fds, SimTime max_wait) {
+    if (max_wait < 0) max_wait = 0;
+    // Round up so a wait never returns before the deadline it covers.
+    const int timeout_ms =
+        static_cast<int>((max_wait + kMillisecond - 1) / kMillisecond);
+
+    pollfd entries[8];
+    nfds_t count = 0;
+    for (const int fd : fds) {
+        if (fd < 0) continue;
+        BACP_ASSERT(count < 8);
+        entries[count].fd = fd;
+        entries[count].events = POLLIN;
+        entries[count].revents = 0;
+        ++count;
+    }
+    if (count == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(std::max(timeout_ms, 1)));
+        return false;
+    }
+    const int ready = ::poll(entries, count, timeout_ms);
+    return ready > 0;
+}
+
+}  // namespace bacp::net

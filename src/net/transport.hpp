@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file transport.hpp
+/// Datagram transports for the real-time runtime.
+///
+/// A Transport is a bidirectional, unreliable, datagram-boundary-
+/// preserving carrier -- deliberately the weakest channel the paper's
+/// protocols are proved correct over.  send() is best-effort: a full
+/// socket buffer or queue drops the datagram (counted, never blocking),
+/// and recv() never blocks either, so a single-threaded event loop can
+/// interleave I/O with timer processing.
+///
+/// Two implementations:
+///   UdpTransport     a non-blocking IPv4/UDP socket on loopback; fd()
+///                    exposes the descriptor for poll(2)-based waiting.
+///   InprocTransport  a cross-connected in-process queue pair for
+///                    deterministic unit tests and single-process runs
+///                    (usable across two threads; a plain mutex guards
+///                    each queue -- contention is nil at our rates).
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bacp::net {
+
+struct TransportStats {
+    std::uint64_t datagrams_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t datagrams_received = 0;
+    std::uint64_t bytes_received = 0;
+    /// Datagrams the transport itself had to drop on send (full socket
+    /// buffer / full queue).  Indistinguishable from channel loss to the
+    /// protocol, which is exactly how it recovers.
+    std::uint64_t send_drops = 0;
+};
+
+class Transport {
+public:
+    virtual ~Transport() = default;
+
+    /// Enqueues one datagram; returns false when the transport dropped it.
+    virtual bool send(std::span<const std::uint8_t> datagram) = 0;
+
+    /// Non-blocking receive: one whole datagram, or nullopt when none is
+    /// waiting.
+    virtual std::optional<std::vector<std::uint8_t>> recv() = 0;
+
+    /// Pollable file descriptor, or -1 when the transport has none
+    /// (in-process queues).
+    virtual int fd() const { return -1; }
+
+    const TransportStats& stats() const { return stats_; }
+
+protected:
+    TransportStats stats_;
+};
+
+/// Non-blocking UDP over 127.0.0.1.
+class UdpTransport final : public Transport {
+public:
+    /// Largest UDP payload over IPv4 (65535 - 20 IP - 8 UDP).
+    static constexpr std::size_t kMaxDatagram = 65507;
+
+    /// Binds a non-blocking socket on 127.0.0.1:\p port (0 = ephemeral).
+    /// Throws std::system_error on socket failures.
+    explicit UdpTransport(std::uint16_t port = 0);
+    ~UdpTransport() override;
+
+    UdpTransport(const UdpTransport&) = delete;
+    UdpTransport& operator=(const UdpTransport&) = delete;
+
+    /// Fixes the peer to 127.0.0.1:\p port (connect(2), so send/recv need
+    /// no per-datagram address).
+    void connect_peer(std::uint16_t port);
+
+    std::uint16_t local_port() const { return port_; }
+
+    bool send(std::span<const std::uint8_t> datagram) override;
+    std::optional<std::vector<std::uint8_t>> recv() override;
+    int fd() const override { return fd_; }
+
+    /// Two ephemeral loopback sockets connected to each other.
+    static std::pair<std::unique_ptr<UdpTransport>, std::unique_ptr<UdpTransport>> make_pair();
+
+private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+/// In-process datagram pair: what one side sends, the other receives.
+class InprocTransport final : public Transport {
+public:
+    /// Cross-connected pair; each direction holds at most \p capacity
+    /// datagrams (tail drop beyond, like a full socket buffer).
+    static std::pair<std::unique_ptr<InprocTransport>, std::unique_ptr<InprocTransport>>
+    make_pair(std::size_t capacity = 4096);
+
+    bool send(std::span<const std::uint8_t> datagram) override;
+    std::optional<std::vector<std::uint8_t>> recv() override;
+
+private:
+    struct Queue {
+        std::mutex mutex;
+        std::deque<std::vector<std::uint8_t>> datagrams;
+        std::size_t capacity = 0;
+    };
+
+    InprocTransport(std::shared_ptr<Queue> inbox, std::shared_ptr<Queue> outbox)
+        : inbox_(std::move(inbox)), outbox_(std::move(outbox)) {}
+
+    std::shared_ptr<Queue> inbox_;   // peers' sends land here
+    std::shared_ptr<Queue> outbox_;  // our sends land in the peer's inbox
+};
+
+/// Sleeps until one of \p fds is readable or \p max_wait elapses
+/// (rounded up to whole milliseconds); negative descriptors are skipped,
+/// and with no usable descriptor it just sleeps.  Returns true when a
+/// descriptor was reported readable.
+bool wait_readable(std::span<const int> fds, SimTime max_wait);
+
+}  // namespace bacp::net

@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file endpoint_core.hpp
+/// The EndpointCore protocol surface and the transport-agnostic helpers
+/// shared by the two runtimes that drive cores: the discrete-event
+/// runtime::Engine (virtual time, sim::SimChannel) and the real-time
+/// net::NetSender / net::NetReceiver (wall clock, UDP or in-process
+/// datagrams).  Extracted from engine.hpp so a core written once runs
+/// unchanged over both -- the paper's protocol machines never learn
+/// which kind of time or channel is underneath them.
+
+#include <concepts>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "protocol/message.hpp"
+#include "runtime/timeout_mode.hpp"
+
+namespace bacp::runtime {
+
+/// Read-only view of a runtime's transmission log, handed to cores that
+/// need transmission times (send horizon, NAK one-copy rule).
+struct TxView {
+    SimTime now = 0;
+    SimTime data_lifetime = 0;  // max time a copy can survive in C_SR
+    const std::unordered_map<Seq, SimTime>* last_tx = nullptr;
+
+    std::optional<SimTime> last_tx_time(Seq true_seq) const {
+        const auto it = last_tx->find(true_seq);
+        if (it == last_tx->end()) return std::nullopt;
+        return it->second;
+    }
+};
+
+/// What the receiver half of a core reports for one data arrival.
+struct RxOutcome {
+    Seq delivered = 0;      // in-order deliveries unlocked by this arrival
+    bool duplicate = false; // arrival did not carry new information
+    /// BA-style duplicate re-ack: counted as a dup_ack, sent immediately,
+    /// and the arrival contributes nothing else (early return).
+    std::optional<proto::Ack> dup_ack;
+    /// Mandatory per-arrival acknowledgment (selective repeat, ABP);
+    /// bypasses the ack policy.
+    std::optional<proto::Ack> immediate_ack;
+    /// Fast-retransmit request the receiver wants on the ack channel.
+    std::optional<proto::Nak> nak;
+};
+
+// clang-format off
+/// The protocol surface a runtime drives.  All sequence numbers crossing
+/// this boundary are TRUE (unbounded) values; cores map to wire residues
+/// internally.  Optional extensions a runtime detects per core (see the
+/// kCore* traits below):
+///
+///   send_blocked_until(now)      time gate on new sends (send horizon,
+///                                residue quarantine); the runtime sleeps
+///                                until the returned instant
+///   timeout_eligible(seq, bool)  SIV resend gate (realistic) and the
+///                                receiver-oracle conjunct (oracle mode)
+///   on_nak(nak, tx)              sender-side NAK fast retransmit
+///   sender_core()/receiver_core() expose the underlying pure cores
+template <typename C>
+concept EndpointCore =
+    requires(C core, const C& ccore, proto::Data data, proto::Ack ack,
+             TxView tx, SimTime t, Seq seq) {
+        typename C::Options;
+        { C::kRequiresFifo } -> std::convertible_to<bool>;
+        { C::kDefaultTimeoutMode } -> std::convertible_to<TimeoutMode>;
+        { ccore.can_send_new() } -> std::convertible_to<bool>;
+        { core.send_new(t) } -> std::same_as<proto::Data>;
+        { core.on_ack(ack, tx) };
+        { ccore.has_outstanding() } -> std::convertible_to<bool>;
+        { core.on_data(data, t) } -> std::same_as<RxOutcome>;
+        { ccore.ack_pending() } -> std::convertible_to<Seq>;
+        { core.make_ack() } -> std::same_as<proto::Ack>;
+        { ccore.resend_candidates() } -> std::same_as<std::vector<Seq>>;
+        { ccore.can_resend(seq) } -> std::convertible_to<bool>;
+        { core.resend(seq, t) } -> std::same_as<proto::Data>;
+        { ccore.simple_timeout_set() } -> std::same_as<std::vector<Seq>>;
+    };
+// clang-format on
+
+/// Optional-extension detection, shared by both runtimes so the same
+/// core exercises the same policies over virtual and wall-clock time.
+template <typename C>
+inline constexpr bool kCoreTimeGatedSend =
+    requires(C& c, SimTime t) { { c.send_blocked_until(t) } -> std::convertible_to<SimTime>; };
+
+template <typename C>
+inline constexpr bool kCoreGatedResend =
+    requires(const C& c, Seq s) { { c.timeout_eligible(s, true) } -> std::convertible_to<bool>; };
+
+template <typename C>
+inline constexpr bool kCoreHandlesNak =
+    requires(C& c, const proto::Nak& n, const TxView& tx) {
+        { c.on_nak(n, tx) } -> std::same_as<std::optional<Seq>>;
+    };
+
+/// Last-transmission log: the bookkeeping every runtime keeps so cores
+/// can evaluate time-based rules.  matured() is the realistic
+/// per-message expiry test ("the last copy was sent a full timeout
+/// ago"); view() packages the log for the core-facing TxView.
+class TxLog {
+public:
+    void note(Seq true_seq, SimTime now) { last_tx_[true_seq] = now; }
+
+    bool matured(Seq true_seq, SimTime now, SimTime timeout) const {
+        const auto it = last_tx_.find(true_seq);
+        return it != last_tx_.end() && now - it->second >= timeout;
+    }
+
+    TxView view(SimTime now, SimTime data_lifetime) const {
+        return {now, data_lifetime, &last_tx_};
+    }
+
+private:
+    std::unordered_map<Seq, SimTime> last_tx_;
+};
+
+}  // namespace bacp::runtime

@@ -39,6 +39,7 @@
 #include "common/types.hpp"
 #include "protocol/message.hpp"
 #include "runtime/ack_policy.hpp"
+#include "runtime/endpoint_core.hpp"
 #include "runtime/link_spec.hpp"
 #include "runtime/session_util.hpp"
 #include "runtime/timeout_mode.hpp"
@@ -91,66 +92,10 @@ struct EngineConfig {
     bool poisson_arrivals = false;
 };
 
-/// Read-only view of the engine's transmission log, handed to cores that
-/// need transmission times (send horizon, NAK one-copy rule).
-struct TxView {
-    SimTime now = 0;
-    SimTime data_lifetime = 0;  // max time a copy can survive in C_SR
-    const std::unordered_map<Seq, SimTime>* last_tx = nullptr;
-
-    std::optional<SimTime> last_tx_time(Seq true_seq) const {
-        const auto it = last_tx->find(true_seq);
-        if (it == last_tx->end()) return std::nullopt;
-        return it->second;
-    }
-};
-
-/// What the receiver half of a core reports for one data arrival.
-struct RxOutcome {
-    Seq delivered = 0;      // in-order deliveries unlocked by this arrival
-    bool duplicate = false; // arrival did not carry new information
-    /// BA-style duplicate re-ack: counted as a dup_ack, sent immediately,
-    /// and the arrival contributes nothing else (early return).
-    std::optional<proto::Ack> dup_ack;
-    /// Mandatory per-arrival acknowledgment (selective repeat, ABP);
-    /// bypasses the ack policy.
-    std::optional<proto::Ack> immediate_ack;
-    /// Fast-retransmit request the receiver wants on the ack channel.
-    std::optional<proto::Nak> nak;
-};
-
-// clang-format off
-/// The protocol surface the Engine drives.  All sequence numbers crossing
-/// this boundary are TRUE (unbounded) values; cores map to wire residues
-/// internally.  Optional extensions the engine detects per core:
-///
-///   send_blocked_until(now)      time gate on new sends (send horizon,
-///                                residue quarantine); the engine sleeps
-///                                until the returned instant
-///   timeout_eligible(seq, bool)  SIV resend gate (realistic) and the
-///                                receiver-oracle conjunct (oracle mode)
-///   on_nak(nak, tx)              sender-side NAK fast retransmit
-///   sender_core()/receiver_core() expose the underlying pure cores
-template <typename C>
-concept EndpointCore =
-    requires(C core, const C& ccore, proto::Data data, proto::Ack ack,
-             TxView tx, SimTime t, Seq seq) {
-        typename C::Options;
-        { C::kRequiresFifo } -> std::convertible_to<bool>;
-        { C::kDefaultTimeoutMode } -> std::convertible_to<TimeoutMode>;
-        { ccore.can_send_new() } -> std::convertible_to<bool>;
-        { core.send_new(t) } -> std::same_as<proto::Data>;
-        { core.on_ack(ack, tx) };
-        { ccore.has_outstanding() } -> std::convertible_to<bool>;
-        { core.on_data(data, t) } -> std::same_as<RxOutcome>;
-        { ccore.ack_pending() } -> std::convertible_to<Seq>;
-        { core.make_ack() } -> std::same_as<proto::Ack>;
-        { ccore.resend_candidates() } -> std::same_as<std::vector<Seq>>;
-        { ccore.can_resend(seq) } -> std::convertible_to<bool>;
-        { core.resend(seq, t) } -> std::same_as<proto::Data>;
-        { ccore.simple_timeout_set() } -> std::same_as<std::vector<Seq>>;
-    };
-// clang-format on
+// TxView, RxOutcome, the EndpointCore concept, the kCore* extension
+// traits, and the TxLog bookkeeping live in endpoint_core.hpp: they are
+// shared verbatim with the real-time runtime (src/net), which drives the
+// same cores over actual sockets.
 
 template <EndpointCore Core>
 class Engine {
@@ -235,14 +180,9 @@ public:
     }
 
 private:
-    static constexpr bool kTimeGatedSend =
-        requires(Core& c, SimTime t) { { c.send_blocked_until(t) } -> std::convertible_to<SimTime>; };
-    static constexpr bool kGatedResend =
-        requires(const Core& c, Seq s) { { c.timeout_eligible(s, true) } -> std::convertible_to<bool>; };
-    static constexpr bool kHandlesNak =
-        requires(Core& c, const proto::Nak& n, const TxView& tx) {
-            { c.on_nak(n, tx) } -> std::same_as<std::optional<Seq>>;
-        };
+    static constexpr bool kTimeGatedSend = kCoreTimeGatedSend<Core>;
+    static constexpr bool kGatedResend = kCoreGatedResend<Core>;
+    static constexpr bool kHandlesNak = kCoreHandlesNak<Core>;
     static constexpr bool kInvariantCheckable = Core::kInvariantCheckable;
 
     sim::SimChannel::Config channel_config(LinkSpec spec) const {
@@ -256,7 +196,7 @@ private:
                cfg_.ack_policy.max_ack_delay() + kMillisecond;
     }
 
-    TxView txview() const { return {sim_.now(), cfg_.data_link.max_lifetime(), &last_tx_}; }
+    TxView txview() const { return txlog_.view(sim_.now(), cfg_.data_link.max_lifetime()); }
 
     // ---- sender ----------------------------------------------------------
 
@@ -302,7 +242,7 @@ private:
             trace_.record(sim_.now(), "S",
                           std::string(retx ? "resend " : "send ") + proto::to_string(msg));
         }
-        last_tx_[true_seq] = sim_.now();
+        txlog_.note(true_seq, sim_.now());
         data_ch_.send(msg);
         switch (mode_) {
             case TimeoutMode::SimpleTimer:
@@ -341,10 +281,7 @@ private:
         }
     }
 
-    bool matured(Seq true_seq) const {
-        const auto it = last_tx_.find(true_seq);
-        return it != last_tx_.end() && sim_.now() - it->second >= timeout_;
-    }
+    bool matured(Seq true_seq) const { return txlog_.matured(true_seq, sim_.now(), timeout_); }
 
     void per_message_fire(Seq true_seq) {
         if (!core_.can_resend(true_seq)) return;  // acknowledged meanwhile
@@ -526,7 +463,7 @@ private:
     Seq app_released_ = 0;  // open loop: messages made available so far
     std::unordered_map<Seq, SimTime> arrival_time_;  // open loop only
     std::unordered_map<Seq, SimTime> first_send_;    // true seq -> first tx time
-    std::unordered_map<Seq, SimTime> last_tx_;       // true seq -> last tx time
+    TxLog txlog_;                                    // true seq -> last tx time
     std::vector<std::string> violations_;
 };
 

@@ -27,8 +27,11 @@ std::string Metrics::summary() const {
        << " thr=" << throughput_msgs_per_sec() << "msg/s"
        << " tx=" << data_new << "+" << data_retx << "retx"
        << " acks=" << acks_sent << "+" << dup_acks << "dup"
-       << " drops=" << sr_dropped << "/" << rs_dropped
-       << " lat{" << latency.summary() << "}";
+       << " drops=" << sr_dropped << "/" << rs_dropped;
+    if (decode_errors > 0) {
+        os << " decode_errs=" << decode_errors << "(" << crc_errors << "crc)";
+    }
+    os << " lat{" << latency.summary() << "}";
     return os.str();
 }
 

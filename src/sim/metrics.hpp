@@ -33,6 +33,12 @@ struct Metrics {
     std::uint64_t sr_dropped = 0;
     std::uint64_t rs_dropped = 0;
 
+    // Wire side (real-time runtime and codec-backed channels): frames
+    // rejected by wire::decode.  A rejected frame is treated as lost --
+    // crc_errors counts the BadCrc subset of decode_errors.
+    std::uint64_t decode_errors = 0;
+    std::uint64_t crc_errors = 0;
+
     // Wall-clock of the simulated run.
     SimTime start_time = 0;
     SimTime end_time = 0;

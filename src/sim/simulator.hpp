@@ -10,32 +10,38 @@
 /// rcvd[nr]" fires precisely when nothing else can happen, which in DES
 /// terms is an empty event queue (an eager receiver leaves no hidden
 /// enabled actions behind).
+///
+/// The simulator is one of the two TimerService implementations (the
+/// other is the real-time net::TimerWheel), so timer-driven protocol
+/// policies run unchanged over virtual or wall-clock time.  The class is
+/// final so direct calls through Simulator& devirtualize.
 
 #include <cstddef>
 #include <functional>
 #include <vector>
 
+#include "common/timer_service.hpp"
 #include "common/types.hpp"
 #include "sim/event_queue.hpp"
 
 namespace bacp::sim {
 
-class Simulator {
+class Simulator final : public TimerService {
 public:
     using Handler = EventQueue::Handler;
     /// Returns true when the hook performed work (scheduled new events).
     using IdleHook = std::function<bool()>;
 
-    SimTime now() const { return now_; }
+    SimTime now() const override { return now_; }
 
     /// Schedules \p fn at absolute simulated time \p t (>= now).
     EventId schedule_at(SimTime t, Handler fn);
 
     /// Schedules \p fn after a non-negative delay.
-    EventId schedule_after(SimTime delay, Handler fn);
+    EventId schedule_after(SimTime delay, Handler fn) override;
 
     /// Cancels a pending event (no-op if already fired).
-    void cancel(EventId id) { queue_.cancel(id); }
+    void cancel(EventId id) override { queue_.cancel(id); }
 
     /// Registers an idle hook; hooks run in registration order when the
     /// queue drains, and the run loop resumes if any reports work done.

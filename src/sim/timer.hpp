@@ -3,59 +3,17 @@
 /// \file timer.hpp
 /// Restartable one-shot timer bound to a Simulator.
 ///
-/// Used by the runtime adapters for the paper's realistic timeout
-/// implementations: the SII sender keeps one timer ("S need only keep
-/// track of the elapsed time period since it last sent a data message");
-/// the SIV sender keeps one timer per outstanding message.
+/// The implementation is the runtime-agnostic bacp::OneShotTimer from
+/// common/timer_service.hpp, bound here to the simulator's TimerService
+/// surface; sim::Timer remains the name the DES-side code uses.  The
+/// real-time runtime (src/net) arms the identical class against a
+/// net::TimerWheel instead.
 
-#include <functional>
-#include <utility>
-
-#include "common/assert.hpp"
-#include "common/types.hpp"
+#include "common/timer_service.hpp"
 #include "sim/simulator.hpp"
 
 namespace bacp::sim {
 
-class Timer {
-public:
-    using Callback = std::function<void()>;
-
-    Timer(Simulator& sim, Callback cb) : sim_(&sim), cb_(std::move(cb)) {
-        BACP_ASSERT(cb_ != nullptr);
-    }
-
-    Timer(const Timer&) = delete;
-    Timer& operator=(const Timer&) = delete;
-    Timer(Timer&&) = delete;
-    Timer& operator=(Timer&&) = delete;
-
-    ~Timer() { cancel(); }
-
-    /// (Re)arms the timer to fire after \p delay; any pending expiry is
-    /// cancelled first.
-    void restart(SimTime delay) {
-        cancel();
-        event_ = sim_->schedule_after(delay, [this] {
-            event_ = kInvalidEvent;
-            cb_();
-        });
-    }
-
-    /// Stops the timer if armed.
-    void cancel() {
-        if (event_ != kInvalidEvent) {
-            sim_->cancel(event_);
-            event_ = kInvalidEvent;
-        }
-    }
-
-    bool armed() const { return event_ != kInvalidEvent; }
-
-private:
-    Simulator* sim_;
-    Callback cb_;
-    EventId event_ = kInvalidEvent;
-};
+using Timer = bacp::OneShotTimer;
 
 }  // namespace bacp::sim

@@ -16,6 +16,7 @@ const char* to_string(DecodeError err) {
         case DecodeError::TrailingBytes: return "TrailingBytes";
         case DecodeError::BadCrc: return "BadCrc";
         case DecodeError::BadAckRange: return "BadAckRange";
+        case DecodeError::Oversized: return "Oversized";
     }
     return "?";
 }
@@ -41,6 +42,7 @@ void put_header(BufWriter& writer, FrameType type, std::uint8_t flags, Seq strea
 
 std::vector<std::uint8_t> encode_data(Seq seq, std::span<const std::uint8_t> payload,
                                       std::uint8_t flags, Seq stream) {
+    BACP_ASSERT_MSG(payload.size() <= kMaxPayload, "payload exceeds kMaxPayload");
     std::vector<std::uint8_t> out;
     out.reserve(kMinFrameSize + payload.size() + 8);
     BufWriter writer(out);
@@ -78,6 +80,7 @@ std::vector<std::uint8_t> encode_data_ack(Seq seq, Seq ack_lo, Seq ack_hi,
                                           std::span<const std::uint8_t> payload,
                                           std::uint8_t flags, Seq stream) {
     BACP_ASSERT_MSG(ack_lo <= ack_hi, "piggyback ack encode with lo > hi");
+    BACP_ASSERT_MSG(payload.size() <= kMaxPayload, "payload exceeds kMaxPayload");
     std::vector<std::uint8_t> out;
     out.reserve(kMinFrameSize + payload.size() + 16);
     BufWriter writer(out);
@@ -137,6 +140,9 @@ DecodeResult decode(std::span<const std::uint8_t> bytes) {
             if (!seq) return {DecodeError::Truncated};
             const auto len = reader.get_varint();
             if (!len) return {DecodeError::Truncated};
+            // Declared length is untrusted: bound it before it can size
+            // a read or an allocation.
+            if (*len > kMaxPayload || *len > bytes.size()) return {DecodeError::Oversized};
             const auto payload = reader.get_bytes(static_cast<std::size_t>(*len));
             if (!payload) return {DecodeError::Truncated};
             if (!reader.exhausted()) return {DecodeError::TrailingBytes};
@@ -167,6 +173,7 @@ DecodeResult decode(std::span<const std::uint8_t> bytes) {
             if (!seq) return {DecodeError::Truncated};
             const auto len = reader.get_varint();
             if (!len) return {DecodeError::Truncated};
+            if (*len > kMaxPayload || *len > bytes.size()) return {DecodeError::Oversized};
             const auto payload = reader.get_bytes(static_cast<std::size_t>(*len));
             if (!payload) return {DecodeError::Truncated};
             const auto lo = reader.get_varint();

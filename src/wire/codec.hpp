@@ -28,6 +28,7 @@ enum class DecodeError {
     TrailingBytes,  // body longer than the frame consumed
     BadCrc,
     BadAckRange,    // lo > hi
+    Oversized,      // declared payload length > kMaxPayload or > datagram
 };
 
 const char* to_string(DecodeError err);

@@ -75,4 +75,11 @@ struct DataAckFrame {
 /// Smallest possible frame: header (4) + one varint (1) + crc (4).
 inline constexpr std::size_t kMinFrameSize = 9;
 
+/// Largest payload a DATA / DATA+ACK frame may carry: chosen so a
+/// maximal frame (header, stream tag, varints, CRC) still fits one
+/// maximum UDP datagram (65507 bytes).  The decoder rejects any frame
+/// declaring more as DecodeError::Oversized -- a declared length is
+/// attacker-controlled input and must never drive allocation.
+inline constexpr std::size_t kMaxPayload = 65000;
+
 }  // namespace bacp::wire

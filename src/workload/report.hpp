@@ -29,6 +29,10 @@ public:
 
     std::size_t rows() const { return rows_.size(); }
 
+    /// Raw cells, for machine-readable re-renderings (bench/json_out.hpp).
+    const std::vector<std::string>& headers() const { return headers_; }
+    const std::vector<std::vector<std::string>>& cells() const { return rows_; }
+
 private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;

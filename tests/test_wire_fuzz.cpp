@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "wire/buffer.hpp"
 #include "wire/codec.hpp"
+#include "wire/crc32.hpp"
 
 namespace bacp::wire {
 namespace {
@@ -84,6 +86,86 @@ TEST(CodecFuzzSanity, UnmutatedCorpusAllValid) {
     for (const auto& frame : corpus()) {
         EXPECT_TRUE(decode(frame).ok());
     }
+}
+
+// ---- adversarial length fields -----------------------------------------
+//
+// A frame with a *valid* CRC but a lying payload-length varint cannot be
+// produced by the encoder (it asserts payload <= kMaxPayload), so these
+// are hand-assembled: header, fields, CRC appended over everything, the
+// same way codec.cpp does it.  The decoder must reject the declared
+// length before it can size a read or an allocation.
+
+std::vector<std::uint8_t> raw_data_frame(Seq seq, std::uint64_t declared_len,
+                                         std::size_t actual_payload_bytes) {
+    std::vector<std::uint8_t> out;
+    BufWriter writer(out);
+    writer.put_u8(kMagic);
+    writer.put_u8(kVersion);
+    writer.put_u8(static_cast<std::uint8_t>(FrameType::Data));
+    writer.put_u8(kFlagNone);
+    writer.put_varint(seq);
+    writer.put_varint(declared_len);
+    for (std::size_t i = 0; i < actual_payload_bytes; ++i) {
+        writer.put_u8(static_cast<std::uint8_t>(i));
+    }
+    const std::uint32_t crc = crc32c(std::span<const std::uint8_t>(out.data(), out.size()));
+    writer.put_u32(crc);
+    return out;
+}
+
+TEST(CodecHardening, RejectsDeclaredLengthBeyondMaxPayload) {
+    // Valid CRC, declared length 2^40: without the bound this would size
+    // a terabyte read from a 20-byte datagram.
+    const auto frame = raw_data_frame(7, std::uint64_t{1} << 40, /*actual=*/8);
+    const auto result = decode(frame);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error(), DecodeError::Oversized);
+}
+
+TEST(CodecHardening, RejectsDeclaredLengthBeyondDatagram) {
+    // kMaxPayload-sized claim inside a tiny datagram: also Oversized (the
+    // declared length exceeds the datagram itself).
+    const auto frame = raw_data_frame(7, kMaxPayload, /*actual=*/4);
+    const auto result = decode(frame);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error(), DecodeError::Oversized);
+}
+
+TEST(CodecHardening, RejectsLengthShortOfDatagramAsTruncated) {
+    // Declared length fits the datagram total but not the remaining
+    // body bytes (the CRC trailer is not payload): Truncated, reached
+    // only after the Oversized bound passes.
+    const auto frame = raw_data_frame(7, /*declared=*/10, /*actual=*/8);
+    const auto result = decode(frame);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error(), DecodeError::Truncated);
+}
+
+TEST(CodecHardening, AcceptsPayloadAtMaxPayload) {
+    const std::vector<std::uint8_t> payload(kMaxPayload, 0xAB);
+    const auto frame = encode_data(1, payload);
+    const auto result = decode(frame);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(std::get<DataFrame>(result.frame()).payload.size(), kMaxPayload);
+}
+
+TEST(CodecHardening, OversizedDataAckAlsoRejected) {
+    std::vector<std::uint8_t> out;
+    BufWriter writer(out);
+    writer.put_u8(kMagic);
+    writer.put_u8(kVersion);
+    writer.put_u8(static_cast<std::uint8_t>(FrameType::DataAck));
+    writer.put_u8(kFlagNone);
+    writer.put_varint(3);                         // seq
+    writer.put_varint(std::uint64_t{1} << 32);    // lying payload length
+    writer.put_varint(0);                         // would-be ack lo
+    writer.put_varint(2);                         // would-be ack hi
+    const std::uint32_t crc = crc32c(std::span<const std::uint8_t>(out.data(), out.size()));
+    writer.put_u32(crc);
+    const auto result = decode(out);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error(), DecodeError::Oversized);
 }
 
 }  // namespace
