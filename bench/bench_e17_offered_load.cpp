@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "analysis/models.hpp"
+#include "parallel_sweep.hpp"
 #include "runtime/ba_session.hpp"
 #include "workload/report.hpp"
 #include "workload/scenario.hpp"
@@ -58,10 +59,20 @@ int main() {
                 clean_capacity);
 
     workload::Table table({"offered msg/s", "loss", "delivered msg/s", "p50 ms", "p99 ms"});
-    for (const double loss : {0.0, 0.02}) {
-        for (const double offered : {200.0, 800.0, 1200.0, 1500.0, 1800.0, 2400.0}) {
-            const auto out = run_load(offered, loss);
-            table.add_row({workload::fmt(offered, 0), workload::fmt(loss * 100, 0) + "%",
+    const double losses[] = {0.0, 0.02};
+    const double offered_rates[] = {200.0, 800.0, 1200.0, 1500.0, 1800.0, 2400.0};
+    // loss x offered-load grid; each point is one self-contained session,
+    // merged by index for thread-count-independent output.
+    const std::size_t n_rates = std::size(offered_rates);
+    bench::ParallelSweep sweep;
+    const auto outcomes = sweep.run(std::size(losses) * n_rates, [&](std::size_t job) {
+        return run_load(offered_rates[job % n_rates], losses[job / n_rates]);
+    });
+    for (std::size_t li = 0; li < std::size(losses); ++li) {
+        for (std::size_t ri = 0; ri < n_rates; ++ri) {
+            const auto& out = outcomes[li * n_rates + ri];
+            table.add_row({workload::fmt(offered_rates[ri], 0),
+                           workload::fmt(losses[li] * 100, 0) + "%",
                            out.ok ? workload::fmt(out.rate, 0) : std::string("INCOMPLETE"),
                            workload::fmt(out.p50, 1), workload::fmt(out.p99, 1)});
         }

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "json_out.hpp"
+#include "parallel_sweep.hpp"
 #include "runtime/ba_session.hpp"
 #include "runtime/gbn_session.hpp"
 #include "runtime/sr_session.hpp"
@@ -56,6 +57,22 @@ std::string cell(const Row& r) {
            " ack/msg  " + workload::fmt(r.retx_frac * 100, 1) + "% retx";
 }
 
+/// One job per (config row, protocol core) cell: job % 3 selects the
+/// core, job / 3 the config.  Merged by index, so the tables render
+/// byte-identically at any thread count.
+template <typename MakeConfig>
+std::vector<Row> sweep_cores(std::size_t configs, MakeConfig make_config) {
+    bench::ParallelSweep sweep;
+    return sweep.run(configs * 3, [&](std::size_t job) -> Row {
+        const EngineConfig cfg = make_config(job / 3);
+        switch (job % 3) {
+            case 0: return run<runtime::UnboundedSession>(cfg);
+            case 1: return run<runtime::GbnSession>(cfg);
+            default: return run<runtime::SrSession>(cfg);
+        }
+    });
+}
+
 }  // namespace
 
 int main() {
@@ -63,24 +80,26 @@ int main() {
                 "     (w=16, 3000 msgs, 4-6 ms reordering links, seed 18)\n");
 
     workload::Table by_loss({"loss", "block-ack", "go-back-n", "selective-repeat"});
-    for (const double loss : {0.0, 0.02, 0.05, 0.1, 0.2}) {
-        const EngineConfig cfg = shared_config(loss);
-        by_loss.add_row({workload::fmt(loss * 100, 0) + "%",
-                         cell(run<runtime::UnboundedSession>(cfg)),
-                         cell(run<runtime::GbnSession>(cfg)),
-                         cell(run<runtime::SrSession>(cfg))});
+    const double losses[] = {0.0, 0.02, 0.05, 0.1, 0.2};
+    const auto loss_rows = sweep_cores(
+        std::size(losses), [&](std::size_t i) { return shared_config(losses[i]); });
+    for (std::size_t i = 0; i < std::size(losses); ++i) {
+        by_loss.add_row({workload::fmt(losses[i] * 100, 0) + "%", cell(loss_rows[i * 3]),
+                         cell(loss_rows[i * 3 + 1]), cell(loss_rows[i * 3 + 2])});
     }
     by_loss.print("E18a: identical config, identical channels -- only the core differs");
 
     workload::Table by_mode({"timeout mode", "block-ack", "go-back-n", "selective-repeat"});
-    for (const auto mode : {TimeoutMode::OracleSimple, TimeoutMode::OraclePerMessage,
-                            TimeoutMode::SimpleTimer, TimeoutMode::PerMessageTimer}) {
+    const TimeoutMode modes[] = {TimeoutMode::OracleSimple, TimeoutMode::OraclePerMessage,
+                                 TimeoutMode::SimpleTimer, TimeoutMode::PerMessageTimer};
+    const auto mode_rows = sweep_cores(std::size(modes), [&](std::size_t i) {
         EngineConfig cfg = shared_config(0.1);
-        cfg.timeout_mode = mode;
-        by_mode.add_row({to_string(mode),
-                         cell(run<runtime::UnboundedSession>(cfg)),
-                         cell(run<runtime::GbnSession>(cfg)),
-                         cell(run<runtime::SrSession>(cfg))});
+        cfg.timeout_mode = modes[i];
+        return cfg;
+    });
+    for (std::size_t i = 0; i < std::size(modes); ++i) {
+        by_mode.add_row({to_string(modes[i]), cell(mode_rows[i * 3]),
+                         cell(mode_rows[i * 3 + 1]), cell(mode_rows[i * 3 + 2])});
     }
     by_mode.print("E18b: every timer discipline, every core (10% loss)");
 

@@ -17,6 +17,7 @@
 
 #include <cstdio>
 
+#include "parallel_sweep.hpp"
 #include "workload/report.hpp"
 #include "workload/scenario.hpp"
 
@@ -50,21 +51,37 @@ int main() {
     workload::Table table(headers);
     workload::Table retx(headers);
 
-    for (const double loss : losses) {
-        std::vector<std::string> row{workload::fmt(loss * 100, 0) + "%"};
-        std::vector<std::string> retx_row = row;
-        for (const auto& column : columns) {
+    // Every (loss, protocol) cell is an independent 5-seed replication;
+    // fan the grid out and merge by index (byte-identical at any thread
+    // count -- see parallel_sweep.hpp).
+    struct Cell {
+        std::string throughput, retx;
+    };
+    const std::size_t n_cols = std::size(columns);
+    bench::ParallelSweep sweep;
+    const auto cells =
+        sweep.run(std::size(losses) * n_cols, [&](std::size_t job) -> Cell {
+            const auto& column = columns[job % n_cols];
             Scenario s;
             s.protocol = column.protocol;
             s.w = 16;
             s.count = 3000;
-            s.loss = loss;
+            s.loss = losses[job / n_cols];
             s.fifo = column.fifo;
             s.seed = 7;
             const auto agg = workload::run_replicated(s, 5);
-            row.push_back(agg.completed_runs == 5 ? workload::fmt(agg.mean_throughput, 1)
-                                                  : "INCOMPLETE");
-            retx_row.push_back(workload::fmt(agg.mean_retx_fraction * 100, 1) + "%");
+            return {agg.completed_runs == 5 ? workload::fmt(agg.mean_throughput, 1)
+                                            : "INCOMPLETE",
+                    workload::fmt(agg.mean_retx_fraction * 100, 1) + "%"};
+        });
+
+    for (std::size_t li = 0; li < std::size(losses); ++li) {
+        std::vector<std::string> row{workload::fmt(losses[li] * 100, 0) + "%"};
+        std::vector<std::string> retx_row = row;
+        for (std::size_t ci = 0; ci < n_cols; ++ci) {
+            const Cell& cell = cells[li * n_cols + ci];
+            row.push_back(cell.throughput);
+            retx_row.push_back(cell.retx);
         }
         table.add_row(std::move(row));
         retx.add_row(std::move(retx_row));

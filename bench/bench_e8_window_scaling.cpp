@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "parallel_sweep.hpp"
 #include "workload/report.hpp"
 #include "workload/scenario.hpp"
 
@@ -48,10 +49,19 @@ int main() {
     };
 
     workload::Table table({"w", "metro msg/s", "continental msg/s", "satellite msg/s"});
-    for (const Seq w : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
-        std::vector<std::string> row{std::to_string(w)};
-        for (const auto& path : paths) {
-            row.push_back(workload::fmt(run_ba(w, path.lo, path.hi, 0.01), 1));
+    const Seq windows[] = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+    // w x path grid, one independent simulation per cell; merged by index
+    // so the table is byte-identical at any thread count.
+    const std::size_t n_paths = std::size(paths);
+    bench::ParallelSweep sweep;
+    const auto cells = sweep.run(std::size(windows) * n_paths, [&](std::size_t job) {
+        const auto& path = paths[job % n_paths];
+        return run_ba(windows[job / n_paths], path.lo, path.hi, 0.01);
+    });
+    for (std::size_t wi = 0; wi < std::size(windows); ++wi) {
+        std::vector<std::string> row{std::to_string(windows[wi])};
+        for (std::size_t pi = 0; pi < n_paths; ++pi) {
+            row.push_back(workload::fmt(cells[wi * n_paths + pi], 1));
         }
         table.add_row(std::move(row));
     }

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file parallel_sweep.hpp
+/// Deterministic fan-out for seed x config experiment grids.
+///
+/// Sweep experiments (E3, E8, E17, E18) run dozens of independent
+/// simulations that differ only in configuration and seed.  Each
+/// simulation owns its Simulator, RNG streams, and session end to end,
+/// so the runs share no mutable state and can execute on any thread.
+/// ParallelSweep shards such a grid across std::thread workers pulling
+/// job indices from an atomic counter (work stealing -- long runs do not
+/// convoy short ones behind a static partition).
+///
+/// Determinism contract: the caller's job function must derive
+/// everything from the job index (config tables, seeds), and results are
+/// merged into a vector slot keyed by that index.  Scheduling order then
+/// cannot leak into the output, so a sweep's rendered tables are
+/// byte-identical at 1, 2, or N threads -- which is what lets CI compare
+/// experiment outputs across machines with different core counts.
+///
+/// Thread count: explicit argument > BACP_SWEEP_THREADS environment
+/// variable > hardware concurrency, always clamped to the job count.
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace bacp::bench {
+
+class ParallelSweep {
+public:
+    /// \p threads = 0 consults BACP_SWEEP_THREADS, then hardware
+    /// concurrency.
+    explicit ParallelSweep(unsigned threads = 0) : threads_(resolve(threads)) {}
+
+    unsigned threads() const { return threads_; }
+
+    /// Runs fn(0) .. fn(jobs - 1) across the workers; returns results in
+    /// job-index order regardless of scheduling.  The first exception
+    /// thrown by any job is rethrown here after all workers join.
+    template <typename Fn>
+    auto run(std::size_t jobs, Fn fn) -> std::vector<std::invoke_result_t<Fn, std::size_t>> {
+        using Result = std::invoke_result_t<Fn, std::size_t>;
+        static_assert(std::is_default_constructible_v<Result>,
+                      "job results are pre-allocated by index");
+        std::vector<Result> results(jobs);
+        const unsigned workers =
+            static_cast<unsigned>(std::min<std::size_t>(threads_, jobs ? jobs : 1));
+        if (workers <= 1) {
+            for (std::size_t i = 0; i < jobs; ++i) results[i] = fn(i);
+            return results;
+        }
+        std::atomic<std::size_t> next{0};
+        std::exception_ptr error;
+        std::atomic<bool> failed{false};
+        auto worker = [&] {
+            for (;;) {
+                const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= jobs || failed.load(std::memory_order_relaxed)) return;
+                try {
+                    results[i] = fn(i);
+                } catch (...) {
+                    // Keep exactly one exception; let the others finish.
+                    if (!failed.exchange(true)) error = std::current_exception();
+                    return;
+                }
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+        for (auto& t : pool) t.join();
+        if (error) std::rethrow_exception(error);
+        return results;
+    }
+
+private:
+    static unsigned resolve(unsigned requested) {
+        if (requested > 0) return requested;
+        if (const char* env = std::getenv("BACP_SWEEP_THREADS")) {
+            const int n = std::atoi(env);
+            if (n > 0) return static_cast<unsigned>(n);
+        }
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw > 0 ? hw : 1;
+    }
+
+    unsigned threads_;
+};
+
+}  // namespace bacp::bench

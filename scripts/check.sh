@@ -27,3 +27,15 @@ echo "== example smoke: udp_transfer --inproc =="
 "$BUILD_DIR"/examples/udp_transfer --inproc --mb 1
 echo "== example smoke: udp_transfer (UDP loopback, 2 s cap) =="
 "$BUILD_DIR"/examples/udp_transfer --mb 0.25 --deadline-ms 2000
+
+# Bench smoke: the E20 steady-state allocation gate.  The budget is an
+# allocation count, not a wall-clock number, so it holds on shared and
+# sanitized runners alike: after warm-up the slab event queue + pooled
+# channels must not touch the heap at all (exactly 0 allocs/event).
+echo "== bench smoke: E20 steady-state alloc gate (budget 0) =="
+(cd "$BUILD_DIR"/bench && ./bench_e20_des_throughput --quick --check-budget 0)
+
+# Sweep determinism: the parallel experiment fan-out must render
+# byte-identical tables at 1, 2, and 8 threads (see scripts/sweep.sh).
+echo "== sweep determinism: E8 at 1/2/8 threads =="
+BUILD_DIR="$BUILD_DIR" scripts/sweep.sh --verify e8

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Runs the sweep-style experiments (E3, E8, E17, E18) with parallel
+# sharding, and optionally proves the determinism contract: identical
+# output at every thread count.
+#
+#   $ scripts/sweep.sh                 # all four sweeps, all cores
+#   $ scripts/sweep.sh e3 e18          # a subset
+#   $ scripts/sweep.sh --verify        # byte-compare 1 vs 2 vs 8 threads
+#
+# Thread count comes from BACP_SWEEP_THREADS (default: all cores); the
+# merge in bench::ParallelSweep is by job index, so the rendered tables
+# are byte-identical at any setting -- which --verify asserts.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+ROOT=$(pwd)
+
+BUILD_DIR=${BUILD_DIR:-build}
+SWEEPS_ALL=(e3_throughput_vs_loss e8_window_scaling e17_offered_load e18_cross_protocol)
+
+resolve() {
+    case "$1" in
+        e3|e3_throughput_vs_loss) echo e3_throughput_vs_loss ;;
+        e8|e8_window_scaling)     echo e8_window_scaling ;;
+        e17|e17_offered_load)     echo e17_offered_load ;;
+        e18|e18_cross_protocol)   echo e18_cross_protocol ;;
+        *) echo "unknown sweep: $1 (expected e3, e8, e17, or e18)" >&2; exit 2 ;;
+    esac
+}
+
+VERIFY=0
+SWEEPS=()
+for arg in "$@"; do
+    if [[ "$arg" == "--verify" ]]; then
+        VERIFY=1
+    else
+        SWEEPS+=("$(resolve "$arg")")
+    fi
+done
+[[ ${#SWEEPS[@]} -eq 0 ]] && SWEEPS=("${SWEEPS_ALL[@]}")
+
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target $(printf 'bench_%s ' "${SWEEPS[@]}") \
+    >/dev/null
+
+if [[ "$VERIFY" == 1 ]]; then
+    # The determinism contract, enforced: the same sweep at 1, 2, and 8
+    # threads must render byte-identical tables.
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    for sweep in "${SWEEPS[@]}"; do
+        echo "== verify $sweep: 1 vs 2 vs 8 threads =="
+        for t in 1 2 8; do
+            (cd "$tmp" && BACP_SWEEP_THREADS=$t \
+                "$ROOT/$BUILD_DIR/bench/bench_$sweep" > "out.$t.txt")
+        done
+        cmp "$tmp/out.1.txt" "$tmp/out.2.txt"
+        cmp "$tmp/out.1.txt" "$tmp/out.8.txt"
+        echo "   identical"
+    done
+    exit 0
+fi
+
+for sweep in "${SWEEPS[@]}"; do
+    "$BUILD_DIR/bench/bench_$sweep"
+done

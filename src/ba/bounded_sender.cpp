@@ -59,13 +59,17 @@ bool BoundedSender::can_resend(Seq i_mod) const {
     return off < outstanding() && !ackd_[i_mod % w_];
 }
 
-std::vector<Seq> BoundedSender::resend_candidates() const {
-    std::vector<Seq> out;
+void BoundedSender::resend_candidates(std::vector<Seq>& out) const {
     const Seq count = outstanding();
     for (Seq k = 0; k < count; ++k) {
         const Seq i_mod = mod_add(na_, k, n_);
         if (!ackd_[i_mod % w_]) out.push_back(i_mod);
     }
+}
+
+std::vector<Seq> BoundedSender::resend_candidates() const {
+    std::vector<Seq> out;
+    resend_candidates(out);
     return out;
 }
 

@@ -53,6 +53,7 @@ public:
     bool can_resend(Seq i_mod) const;
 
     /// Residues of all retransmission candidates, lowest (na) first.
+    void resend_candidates(std::vector<Seq>& out) const;
     std::vector<Seq> resend_candidates() const;
 
     /// True when some outstanding message beyond the one with residue

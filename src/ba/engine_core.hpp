@@ -89,13 +89,13 @@ public:
     /// single timer no clipping ever occurs (the paper's assertion 8
     /// holds) -- the invariant checker enforces that in tests.
     void on_ack(const proto::Ack& ack, const runtime::TxView& tx) {
-        std::vector<proto::Ack> runs;
+        runs_scratch_.clear();
         if constexpr (kBoundedSender) {
-            runs = runtime::clip_ack_bounded(sender_, ack);
+            runtime::clip_ack_bounded_into(sender_, ack, runs_scratch_);
         } else {
-            runs = runtime::clip_ack_unbounded(sender_, ack);
+            runtime::clip_ack_unbounded_into(sender_, ack, runs_scratch_);
         }
-        for (const auto& run : runs) {
+        for (const auto& run : runs_scratch_) {
             if constexpr (kBoundedSender) {
                 const Seq na_before = sender_.na_mod();
                 const Seq lo_true =
@@ -125,10 +125,12 @@ public:
         }
     }
 
-    std::vector<Seq> resend_candidates() const {
-        std::vector<Seq> out;
-        for (const Seq field : sender_.resend_candidates()) out.push_back(true_of(field));
-        return out;
+    void resend_candidates(std::vector<Seq>& out) const {
+        // Append the wire fields, then translate them to true sequence
+        // numbers in place -- no intermediate vector.
+        const std::size_t base = out.size();
+        sender_.resend_candidates(out);
+        for (std::size_t k = base; k < out.size(); ++k) out[k] = true_of(out[k]);
     }
 
     bool can_resend(Seq true_seq) const {
@@ -144,7 +146,7 @@ public:
     /// Lowest unacknowledged message -- what the SII single timer and the
     /// OracleSimple guard resend (ackd[na] is false by invariant 7, so na
     /// is always resendable).
-    std::vector<Seq> simple_timeout_set() const { return {ghost_na()}; }
+    void simple_timeout_set(std::vector<Seq>& out) const { out.push_back(ghost_na()); }
 
     /// Realistic SIV resend gate (oracle == false).  The sender may
     /// resend a matured message i only when it can prove the receiver is
@@ -349,6 +351,8 @@ private:
     Seq ooo_since_advance_ = 0;  // out-of-order arrivals since vr moved
     Seq last_nak_field_ = ~Seq{0};
     SimTime last_nak_time_ = 0;
+
+    std::vector<proto::Ack> runs_scratch_;  // clip output, reused per ack
 };
 
 }  // namespace bacp::ba

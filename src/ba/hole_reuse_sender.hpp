@@ -54,6 +54,7 @@ public:
     void on_ack(const proto::Ack& ack);
 
     bool can_resend(Seq i) const { return na_ <= i && i < ns_ && !ackd_.test(i); }
+    void resend_candidates(std::vector<Seq>& out) const;
     std::vector<Seq> resend_candidates() const;
     /// Ack-hole evidence above \p i (see ba::Sender::acked_beyond).
     bool acked_beyond(Seq i) const;

@@ -35,11 +35,15 @@ void Sender::on_ack(const proto::Ack& ack) {
     ackd_.advance_to(new_na);
 }
 
-std::vector<Seq> Sender::resend_candidates() const {
-    std::vector<Seq> out;
+void Sender::resend_candidates(std::vector<Seq>& out) const {
     for (Seq i = na_; i < ns_; ++i) {
         if (!ackd_.test(i)) out.push_back(i);
     }
+}
+
+std::vector<Seq> Sender::resend_candidates() const {
+    std::vector<Seq> out;
+    resend_candidates(out);
     return out;
 }
 

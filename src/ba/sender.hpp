@@ -68,6 +68,8 @@ public:
 
     /// All sequence numbers eligible for retransmission (SIV candidates).
     /// The SII simple-timeout sender only ever uses the first entry (na).
+    /// The appending overload is the runtimes' hot path (scratch reuse).
+    void resend_candidates(std::vector<Seq>& out) const;
     std::vector<Seq> resend_candidates() const;
 
     /// True when some message above \p i is already acknowledged (an ack

@@ -64,15 +64,14 @@ public:
     Seq ack_pending() const { return 0; }  // every arrival acks immediately
     proto::Ack make_ack() { return {}; }   // unreachable: ack_pending is 0
 
-    std::vector<Seq> resend_candidates() const {
-        if (!sender_.awaiting_ack()) return {};
-        return {sender_.completed()};
+    void resend_candidates(std::vector<Seq>& out) const {
+        if (sender_.awaiting_ack()) out.push_back(sender_.completed());
     }
     bool can_resend(Seq true_seq) const {
         return sender_.awaiting_ack() && true_seq == sender_.completed();
     }
     proto::Data resend(Seq, SimTime) { return sender_.resend(); }
-    std::vector<Seq> simple_timeout_set() const { return {sender_.completed()}; }
+    void simple_timeout_set(std::vector<Seq>& out) const { out.push_back(sender_.completed()); }
 
 private:
     AbpSender sender_;
@@ -120,10 +119,8 @@ public:
     Seq ack_pending() const { return receiver_.can_ack() ? 1 : 0; }
     proto::Ack make_ack() { return receiver_.make_ack(); }
 
-    std::vector<Seq> resend_candidates() const {
-        std::vector<Seq> out;
+    void resend_candidates(std::vector<Seq>& out) const {
         for (Seq m = sender_.na(); m < sender_.ns(); ++m) out.push_back(m);
-        return out;
     }
     bool can_resend(Seq true_seq) const {
         return true_seq >= sender_.na() && true_seq < sender_.ns();
@@ -132,7 +129,7 @@ public:
 
     /// Go back N: the simple timer retransmits the entire outstanding
     /// window, in order.
-    std::vector<Seq> simple_timeout_set() const { return resend_candidates(); }
+    void simple_timeout_set(std::vector<Seq>& out) const { resend_candidates(out); }
 
 private:
     Seq wire_of(Seq m) const { return sender_.domain() == 0 ? m : m % sender_.domain(); }
@@ -169,9 +166,9 @@ public:
     bool can_send_new() const { return sender_.can_send_new(); }
     proto::Data send_new(SimTime) { return sender_.send_new(); }
     void on_ack(const proto::Ack& ack, const runtime::TxView&) {
-        for (const proto::Ack& run : runtime::clip_ack_unbounded(sender_, ack)) {
-            sender_.on_ack(run);
-        }
+        runs_scratch_.clear();
+        runtime::clip_ack_unbounded_into(sender_, ack, runs_scratch_);
+        for (const proto::Ack& run : runs_scratch_) sender_.on_ack(run);
     }
     bool has_outstanding() const { return sender_.outstanding() > 0; }
 
@@ -191,14 +188,15 @@ public:
     Seq ack_pending() const { return 0; }  // every arrival acks immediately
     proto::Ack make_ack() { return {}; }   // unreachable: ack_pending is 0
 
-    std::vector<Seq> resend_candidates() const { return sender_.resend_candidates(); }
+    void resend_candidates(std::vector<Seq>& out) const { sender_.resend_candidates(out); }
     bool can_resend(Seq true_seq) const { return sender_.can_resend(true_seq); }
     proto::Data resend(Seq true_seq, SimTime) { return sender_.resend(true_seq); }
-    std::vector<Seq> simple_timeout_set() const { return {sender_.na()}; }
+    void simple_timeout_set(std::vector<Seq>& out) const { out.push_back(sender_.na()); }
 
 private:
     ba::Sender sender_;
     SrReceiver receiver_;
+    std::vector<proto::Ack> runs_scratch_;  // clip output, reused per ack
 };
 
 /// Time-constrained protocol (Stenning; Shankar & Lam): bounded sequence
@@ -262,10 +260,8 @@ public:
     Seq ack_pending() const { return receiver_.can_ack() ? 1 : 0; }
     proto::Ack make_ack() { return receiver_.make_ack(); }
 
-    std::vector<Seq> resend_candidates() const {
-        std::vector<Seq> out;
+    void resend_candidates(std::vector<Seq>& out) const {
         for (Seq m = sender_.na(); m < sender_.ns(); ++m) out.push_back(m);
-        return out;
     }
     bool can_resend(Seq true_seq) const {
         return true_seq >= sender_.na() && true_seq < sender_.ns();
@@ -274,7 +270,7 @@ public:
         sender_.note_resend(true_seq, now);  // records the residue reuse
         return proto::Data{true_seq % sender_.domain()};
     }
-    std::vector<Seq> simple_timeout_set() const { return resend_candidates(); }
+    void simple_timeout_set(std::vector<Seq>& out) const { resend_candidates(out); }
 
 private:
     TcSender sender_;

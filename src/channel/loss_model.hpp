@@ -19,6 +19,10 @@ public:
     virtual ~LossModel() = default;
     /// True when the current message should be dropped.
     virtual bool drop(Rng& rng) = 0;
+    /// True when drop() can never return true AND never consumes
+    /// randomness; channels query this once and skip the per-message
+    /// virtual call on lossless links.
+    virtual bool never_drops() const { return false; }
     /// Fresh instance with the same parameters and reset state.
     virtual std::unique_ptr<LossModel> clone() const = 0;
 };
@@ -27,6 +31,7 @@ public:
 class NoLoss final : public LossModel {
 public:
     bool drop(Rng&) override { return false; }
+    bool never_drops() const override { return true; }
     std::unique_ptr<LossModel> clone() const override { return std::make_unique<NoLoss>(); }
 };
 

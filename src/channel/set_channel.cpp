@@ -27,21 +27,9 @@ void SetChannel::lose_at(std::size_t index) {
     messages_.erase(messages_.begin() + static_cast<std::ptrdiff_t>(index));
 }
 
-std::size_t SetChannel::count_data(Seq m) const {
-    std::size_t count = 0;
-    for (const auto& msg : messages_) {
-        if (proto::is_data(msg, m)) ++count;
-    }
-    return count;
-}
+std::size_t SetChannel::count_data(Seq m) const { return view().count_data(m); }
 
-std::size_t SetChannel::count_ack_covering(Seq m) const {
-    std::size_t count = 0;
-    for (const auto& msg : messages_) {
-        if (proto::ack_covers(msg, m)) ++count;
-    }
-    return count;
-}
+std::size_t SetChannel::count_ack_covering(Seq m) const { return view().count_ack_covering(m); }
 
 std::string SetChannel::to_string() const {
     std::ostringstream os;

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "channel/transit_view.hpp"
 #include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "protocol/message.hpp"
@@ -34,6 +35,11 @@ public:
 
     /// All messages currently in transit (sorted canonical order).
     const std::vector<Message>& messages() const { return messages_; }
+
+    /// Span-backed multiset view (the invariant checker's input type,
+    /// shared with sim::SimChannel).  Valid until the next mutation.
+    TransitView view() const { return TransitView(messages_); }
+    operator TransitView() const { return view(); }
 
     /// Message at position \p index (model checker enumerates indices).
     const Message& at(std::size_t index) const {

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file transit_view.hpp
+/// Non-owning view of a multiset of in-transit messages.
+///
+/// The invariant checker consumes channel contents purely as an unordered
+/// multiset (it builds per-sequence counts), so both the sorted
+/// channel::SetChannel and the sim::SimChannel in-flight pool expose
+/// their storage through this one span-backed type -- an invariant sweep
+/// never copies or sorts a channel.
+
+#include <cstddef>
+#include <span>
+
+#include "protocol/message.hpp"
+
+namespace bacp::channel {
+
+class TransitView {
+public:
+    TransitView() = default;
+    /*implicit*/ TransitView(std::span<const proto::Message> messages) : messages_(messages) {}
+
+    std::size_t size() const { return messages_.size(); }
+    bool empty() const { return messages_.empty(); }
+
+    /// Messages currently in transit, in storage order (NOT sorted).
+    std::span<const proto::Message> messages() const { return messages_; }
+
+    auto begin() const { return messages_.begin(); }
+    auto end() const { return messages_.end(); }
+
+    /// Paper's *SR^m: number of data messages with sequence number \p m.
+    std::size_t count_data(Seq m) const {
+        std::size_t count = 0;
+        for (const auto& msg : messages_) {
+            if (proto::is_data(msg, m)) ++count;
+        }
+        return count;
+    }
+
+    /// Paper's *RS^m: number of acks (x, y) with x <= m <= y.
+    std::size_t count_ack_covering(Seq m) const {
+        std::size_t count = 0;
+        for (const auto& msg : messages_) {
+            if (proto::ack_covers(msg, m)) ++count;
+        }
+        return count;
+    }
+
+private:
+    std::span<const proto::Message> messages_;
+};
+
+}  // namespace bacp::channel

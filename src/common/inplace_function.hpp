@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file inplace_function.hpp
+/// Fixed-capacity, non-allocating callable wrapper.
+///
+/// std::function heap-allocates any closure larger than its small-buffer
+/// (two pointers on libstdc++), which puts one malloc/free pair on every
+/// scheduled simulator event and every armed timer.  InplaceFunction
+/// stores the callable inline in a Capacity-byte buffer and has NO heap
+/// fallback: a callable that does not fit is a compile-time error, so the
+/// hot path provably never allocates.  Capacity is tuned in
+/// timer_service.hpp to fit every lambda the runtimes schedule (the
+/// engine's largest capture is asserted in tests/test_inplace_function).
+///
+/// Move-only (accepting move-only captures is what lets channels move
+/// payload buffers into delivery events instead of copying them); a
+/// moved-from InplaceFunction is empty.
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace bacp {
+
+template <typename Signature, std::size_t Capacity>
+class InplaceFunction;  // undefined; only the R(Args...) partial below exists
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+public:
+    static constexpr std::size_t capacity = Capacity;
+
+    /// True when a callable of type \p F can be stored (fits the buffer,
+    /// is nothrow-movable, and is invocable with the right signature).
+    template <typename F>
+    static constexpr bool can_store_v =
+        sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<F> && std::is_invocable_r_v<R, F&, Args...>;
+
+    InplaceFunction() noexcept = default;
+    InplaceFunction(std::nullptr_t) noexcept {}
+
+    template <typename F>
+        requires(!std::is_same_v<std::remove_cvref_t<F>, InplaceFunction>)
+    InplaceFunction(F&& f) {  // NOLINT(bugprone-forwarding-reference-overload)
+        using Fn = std::remove_cvref_t<F>;
+        static_assert(sizeof(Fn) <= Capacity,
+                      "callable exceeds InplaceFunction capacity (no heap fallback; "
+                      "shrink the capture or raise the capacity)");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t), "over-aligned callable");
+        static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                      "callable must be nothrow-movable");
+        static_assert(std::is_invocable_r_v<R, Fn&, Args...>, "signature mismatch");
+        ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+        ops_ = &ops_for<Fn>;
+    }
+
+    InplaceFunction(InplaceFunction&& other) noexcept : ops_(other.ops_) {
+        if (ops_ != nullptr) {
+            ops_->relocate(storage_, other.storage_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+        if (this == &other) return *this;
+        reset();
+        ops_ = other.ops_;
+        if (ops_ != nullptr) {
+            ops_->relocate(storage_, other.storage_);
+            other.ops_ = nullptr;
+        }
+        return *this;
+    }
+
+    InplaceFunction& operator=(std::nullptr_t) noexcept {
+        reset();
+        return *this;
+    }
+
+    InplaceFunction(const InplaceFunction&) = delete;
+    InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+    ~InplaceFunction() { reset(); }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+    friend bool operator==(const InplaceFunction& f, std::nullptr_t) noexcept { return !f; }
+
+    R operator()(Args... args) {
+        BACP_ASSERT_MSG(ops_ != nullptr, "calling an empty InplaceFunction");
+        return ops_->invoke(storage_, std::forward<Args>(args)...);
+    }
+
+private:
+    struct Ops {
+        R (*invoke)(void*, Args&&...);
+        /// Move-constructs *src into dst, then destroys *src.
+        void (*relocate)(void* dst, void* src) noexcept;
+        void (*destroy)(void*) noexcept;
+    };
+
+    template <typename Fn>
+    static constexpr Ops ops_for{
+        [](void* p, Args&&... args) -> R {
+            return (*static_cast<Fn*>(p))(std::forward<Args>(args)...);
+        },
+        [](void* dst, void* src) noexcept {
+            ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+            static_cast<Fn*>(src)->~Fn();
+        },
+        [](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); },
+    };
+
+    void reset() noexcept {
+        if (ops_ != nullptr) {
+            ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[Capacity];
+    const Ops* ops_ = nullptr;
+};
+
+}  // namespace bacp

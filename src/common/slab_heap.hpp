@@ -1,0 +1,240 @@
+#pragma once
+
+/// \file slab_heap.hpp
+/// Indexed 4-ary min-heap over a slab of pooled timer/event records.
+///
+/// This is the engine room behind sim::EventQueue and net::TimerWheel.
+/// The previous design (std::priority_queue + unordered_set of live ids,
+/// lazy cancellation) paid a heap allocation per scheduled closure, a
+/// hash insert/erase per event, and dragged each handler through every
+/// sift.  SlabTimerHeap removes all three costs:
+///
+///   * Handlers live in a slab of fixed-size nodes recycled through a
+///     freelist -- after warm-up, push/pop touch no allocator at all
+///     (pair with a non-allocating Handler such as InplaceFunction).
+///   * Cancellation is eager and O(log n) with no hash set: each id
+///     carries the slot's generation counter, so a stale id is detected
+///     by a single compare.  Cancelled entries leave the heap
+///     immediately -- no lazy-skip pass, no const-laundering.
+///   * The heap orders 16-byte {time, seq} keys plus a slot index;
+///     handlers never move during sifts.  A 4-ary layout halves tree
+///     depth versus binary and keeps each child scan inside one cache
+///     line.
+///
+/// Determinism contract (same as the old queue): entries with equal
+/// times fire in push order, via a monotone sequence counter that is
+/// independent of slot reuse.
+///
+/// Id encoding: ((slot + 1) << 32) | generation.  Generation parity is
+/// the liveness bit (odd = live, even = free); both alloc and free
+/// increment it, so an id stays invalid forever once its entry fires or
+/// is cancelled, even after the slot is recycled.  0 is never a valid
+/// id, matching kInvalidEvent/kInvalidTimer.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace bacp {
+
+template <typename Handler>
+class SlabTimerHeap {
+public:
+    using Id = std::uint64_t;
+    static constexpr Id kInvalidId = 0;
+
+    /// Inserts \p fn at key \p time; returns a generation-validated
+    /// cancellation handle.
+    Id push(SimTime time, Handler fn) {
+        // The FIFO tiebreak only orders entries that coexist in the heap,
+        // so the counter can restart whenever the heap drains -- which
+        // keeps 32 bits (and a 16-byte HeapEntry) sufficient: overflow
+        // would need 2^32 pushes without the queue ever going empty.
+        if (heap_.empty()) {
+            seq_counter_ = 0;
+        } else {
+            BACP_ASSERT_MSG(seq_counter_ != 0xFFFF'FFFFu, "seq tiebreak exhausted");
+        }
+        const std::uint32_t slot = alloc_slot();
+        Node& node = nodes_[slot];
+        node.fn = std::move(fn);
+        node.heap_pos = static_cast<std::uint32_t>(heap_.size());
+        heap_.push_back(HeapEntry{time, seq_counter_++, slot});
+        sift_up(node.heap_pos);
+        return (static_cast<Id>(slot) + 1) << 32 | node.gen;
+    }
+
+    /// Eagerly removes a pending entry.  Stale ids (already fired,
+    /// already cancelled, or kInvalidId) are a harmless no-op returning
+    /// false.
+    bool cancel(Id id) {
+        const std::uint32_t slot = decode_live_slot(id);
+        if (slot == kNoSlot) return false;
+        remove_at(nodes_[slot].heap_pos);
+        free_slot(slot);
+        return true;
+    }
+
+    bool empty() const { return heap_.empty(); }
+
+    /// Live entry count (pushed, not yet fired or cancelled).
+    std::size_t size() const { return heap_.size(); }
+
+    /// Key of the earliest live entry.  Precondition: !empty().
+    SimTime top_time() const {
+        BACP_ASSERT_MSG(!heap_.empty(), "top_time() on empty heap");
+        return heap_.front().time;
+    }
+
+    struct Fired {
+        SimTime time;
+        Handler handler;
+    };
+
+    /// Removes and returns the earliest live entry.  Precondition: !empty().
+    Fired pop() {
+        BACP_ASSERT_MSG(!heap_.empty(), "pop() on empty heap");
+        const HeapEntry top = heap_.front();
+        Fired fired{top.time, std::move(nodes_[top.slot].fn)};
+        remove_at(0);
+        free_slot(top.slot);
+        return fired;
+    }
+
+    /// Pre-sizes slab and heap so the first \p n concurrent entries
+    /// trigger no allocator growth.
+    void reserve(std::size_t n) {
+        heap_.reserve(n);
+        nodes_.reserve(n);
+    }
+
+private:
+    struct HeapEntry {
+        SimTime time;
+        std::uint32_t seq;   // push order among coexisting entries (FIFO tiebreak)
+        std::uint32_t slot;  // index into nodes_; backlinked via Node::heap_pos
+    };
+    static_assert(sizeof(HeapEntry) == 16, "sift moves exactly one 16-byte key");
+
+    struct Node {
+        Handler fn{};
+        std::uint32_t gen = 0;  // odd = live; bumped on both alloc and free
+        std::uint32_t heap_pos = 0;  // position in heap_; next-free link when free
+    };
+
+    static constexpr std::uint32_t kNoSlot = 0xFFFF'FFFFu;
+    /// Fan-out of the implicit tree.  4 keeps each child scan within one
+    /// cache line of 16-byte keys while halving depth versus binary.
+    static constexpr std::uint32_t kArity = 4;
+
+    static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+        // Two-step compare on purpose: times are almost always distinct,
+        // so the first branch is nearly perfectly predicted and the seq
+        // tiebreak stays off the hot path.  (A fused branchless
+        // lexicographic compare benches measurably slower here.)
+        if (a.time != b.time) return a.time < b.time;
+        return a.seq < b.seq;
+    }
+
+    std::uint32_t alloc_slot() {
+        std::uint32_t slot;
+        if (free_head_ != kNoSlot) {
+            slot = free_head_;
+            free_head_ = nodes_[slot].heap_pos;
+        } else {
+            BACP_ASSERT_MSG(nodes_.size() < kNoSlot, "slab heap slot space exhausted");
+            slot = static_cast<std::uint32_t>(nodes_.size());
+            nodes_.emplace_back();
+        }
+        ++nodes_[slot].gen;  // even -> odd: live
+        return slot;
+    }
+
+    void free_slot(std::uint32_t slot) {
+        Node& node = nodes_[slot];
+        node.fn = Handler{};  // release captured state now, not at reuse
+        ++node.gen;           // odd -> even: any outstanding id goes stale
+        node.heap_pos = free_head_;
+        free_head_ = slot;
+    }
+
+    /// Decodes \p id and returns its slot iff the entry is still live;
+    /// kNoSlot for invalid, fired, or cancelled ids.
+    std::uint32_t decode_live_slot(Id id) const {
+        if (id == kInvalidId) return kNoSlot;
+        const std::uint64_t slot_plus_1 = id >> 32;
+        const auto gen = static_cast<std::uint32_t>(id);
+        if (slot_plus_1 == 0 || slot_plus_1 > nodes_.size()) return kNoSlot;
+        const auto slot = static_cast<std::uint32_t>(slot_plus_1 - 1);
+        if ((gen & 1u) == 0 || nodes_[slot].gen != gen) return kNoSlot;
+        return slot;
+    }
+
+    /// Removes the heap entry at \p pos, restoring the heap property.
+    /// Does not touch the slab node.
+    void remove_at(std::uint32_t pos) {
+        const auto last = static_cast<std::uint32_t>(heap_.size() - 1);
+        if (pos != last) {
+            heap_[pos] = heap_[last];
+            heap_.pop_back();
+            // The migrated entry may violate the heap property in either
+            // direction; sift_down settles the subtree, and only when the
+            // entry never left pos (and has a parent) can the upward
+            // direction still be violated.
+            if (sift_down(pos) == pos && pos != 0) sift_up(pos);
+        } else {
+            heap_.pop_back();
+        }
+    }
+
+    void place(std::uint32_t pos, const HeapEntry& entry) {
+        heap_[pos] = entry;
+        nodes_[entry.slot].heap_pos = pos;
+    }
+
+    void sift_up(std::uint32_t pos) { sift_up_from(pos, heap_[pos]); }
+
+    // \p entry by value: callers pass heap_[pos], which place() overwrites.
+    void sift_up_from(std::uint32_t pos, const HeapEntry entry) {
+        while (pos > 0) {
+            const std::uint32_t parent = (pos - 1) / kArity;
+            if (!earlier(entry, heap_[parent])) break;
+            place(pos, heap_[parent]);
+            pos = parent;
+        }
+        place(pos, entry);
+    }
+
+    /// Returns the entry's settled position.
+    std::uint32_t sift_down(std::uint32_t pos) {
+        const HeapEntry entry = heap_[pos];
+        const auto n = static_cast<std::uint32_t>(heap_.size());
+        for (;;) {
+            const std::uint64_t first_child = std::uint64_t{pos} * kArity + 1;
+            if (first_child >= n) break;
+            const auto last_child =
+                static_cast<std::uint32_t>(std::min<std::uint64_t>(first_child + (kArity - 1), n - 1));
+            std::uint32_t best = static_cast<std::uint32_t>(first_child);
+            for (std::uint32_t c = best + 1; c <= last_child; ++c) {
+                if (earlier(heap_[c], heap_[best])) best = c;
+            }
+            if (!earlier(heap_[best], entry)) break;
+            place(pos, heap_[best]);
+            pos = best;
+        }
+        place(pos, entry);
+        return pos;
+    }
+
+    std::vector<HeapEntry> heap_;  // ordered keys; index 0 is the minimum
+    std::vector<Node> nodes_;      // slab: handlers + generations, never moved by sifts
+    std::uint32_t free_head_ = kNoSlot;
+    std::uint32_t seq_counter_ = 0;  // restarts whenever the heap drains
+};
+
+}  // namespace bacp

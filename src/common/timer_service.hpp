@@ -11,17 +11,28 @@
 /// and runs unchanged over virtual or wall-clock time.
 ///
 /// Semantics every implementation guarantees:
-///   - ids are never reused within one service instance, and 0 is never
-///     a valid id (kInvalidTimer);
+///   - an id, once fired or cancelled, never becomes valid again within
+///     its service instance (slots may be recycled internally, but each
+///     handed-out id carries a generation stamp, so a stale id can never
+///     alias a live timer), and 0 is never a valid id (kInvalidTimer);
 ///   - cancel() of a fired, cancelled, or invalid id is a harmless no-op;
 ///   - timers with equal deadlines fire in schedule order (FIFO), which
 ///     keeps runs reproducible.
+///
+/// Handlers are stored in a fixed-capacity InplaceFunction rather than a
+/// std::function: scheduling is the hottest operation in the repo (every
+/// simulated message is at least one scheduled closure), and the inline
+/// buffer guarantees zero heap traffic per timer.  The capacity covers
+/// the largest closure any runtime schedules (net::Impairer's
+/// [this, slot, payload]: 40 bytes) with a little headroom; oversized
+/// captures fail to compile rather than silently allocating.
 
 #include <cstdint>
 #include <functional>
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/inplace_function.hpp"
 #include "common/types.hpp"
 
 namespace bacp {
@@ -29,9 +40,13 @@ namespace bacp {
 using TimerId = std::uint64_t;
 inline constexpr TimerId kInvalidTimer = 0;
 
+/// Inline storage for scheduled closures (see file comment).
+inline constexpr std::size_t kTimerHandlerCapacity = 48;
+using TimerHandler = InplaceFunction<void(), kTimerHandlerCapacity>;
+
 class TimerService {
 public:
-    using Handler = std::function<void()>;
+    using Handler = TimerHandler;
 
     virtual ~TimerService() = default;
 

@@ -157,8 +157,11 @@ public:
 
     void on_frame(const ByteChannel::Frame& frame) {
         ++forwarded_;
-        sim_.schedule_after(processing_delay_,
-                            [this, frame] { downstream_.send(frame); });
+        // Init-capture: a plain copy-capture of the const ref would give
+        // the closure a const member, making its move a throwing copy.
+        sim_.schedule_after(processing_delay_, [this, frame = frame]() mutable {
+            downstream_.send(std::move(frame));
+        });
     }
 
     std::uint64_t forwarded() const { return forwarded_; }

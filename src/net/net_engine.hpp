@@ -279,7 +279,9 @@ private:
 
     void on_simple_timeout() {
         if (!core_.has_outstanding()) return;
-        for (const Seq true_seq : core_.simple_timeout_set()) {
+        seq_scratch_.clear();
+        core_.simple_timeout_set(seq_scratch_);
+        for (const Seq true_seq : seq_scratch_) {
             transmit(core_.resend(true_seq, wheel_.now()), true_seq, /*retx=*/true);
         }
     }
@@ -300,7 +302,9 @@ private:
     }
 
     void rescan_matured() {
-        for (const Seq true_seq : core_.resend_candidates()) {
+        seq_scratch_.clear();
+        core_.resend_candidates(seq_scratch_);
+        for (const Seq true_seq : seq_scratch_) {
             if (!matured(true_seq)) continue;
             if constexpr (kGatedResend) {
                 if (!core_.timeout_eligible(true_seq, /*oracle=*/false)) continue;
@@ -327,13 +331,17 @@ private:
     void on_quiescence() {
         if (!core_.has_outstanding()) return;
         if (mode_ == runtime::TimeoutMode::OracleSimple) {
-            for (const Seq true_seq : core_.simple_timeout_set()) {
+            seq_scratch_.clear();
+            core_.simple_timeout_set(seq_scratch_);
+            for (const Seq true_seq : seq_scratch_) {
                 transmit(core_.resend(true_seq, wheel_.now()), true_seq, /*retx=*/true);
             }
             return;  // transmit re-armed the timer via touch_quiescence
         }
         bool any = false;
-        for (const Seq true_seq : core_.resend_candidates()) {
+        seq_scratch_.clear();
+        core_.resend_candidates(seq_scratch_);
+        for (const Seq true_seq : seq_scratch_) {
             if constexpr (kGatedResend) {
                 // oracle=true consults the receiver half of *this* core,
                 // which is empty at the sender endpoint, so the gate
@@ -373,6 +381,7 @@ private:
 
     Seq sent_new_ = 0;
     runtime::TxLog txlog_;
+    std::vector<Seq> seq_scratch_;  // candidate sets, reused per timeout/ack
     std::unordered_map<TimerId, std::shared_ptr<TimerId>> per_message_timers_;
 };
 

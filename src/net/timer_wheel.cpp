@@ -8,40 +8,15 @@ namespace bacp::net {
 
 TimerId TimerWheel::schedule_after(SimTime delay, Handler fn) {
     BACP_ASSERT_MSG(delay >= 0, "negative delay");
-    BACP_ASSERT(fn != nullptr);
-    const TimerId id = next_id_++;
-    heap_.push(Entry{clock_->now() + delay, id, std::move(fn)});
-    pending_.insert(id);
-    return id;
-}
-
-void TimerWheel::cancel(TimerId id) {
-    pending_.erase(id);  // lazy: the heap entry is skipped at pop time
-}
-
-void TimerWheel::skip_cancelled() const {
-    while (!heap_.empty() && pending_.find(heap_.top().id) == pending_.end()) {
-        heap_.pop();
-    }
-}
-
-std::optional<SimTime> TimerWheel::next_deadline() const {
-    skip_cancelled();
-    if (heap_.empty()) return std::nullopt;
-    return heap_.top().deadline;
+    BACP_ASSERT(fn);
+    return heap_.push(clock_->now() + delay, std::move(fn));
 }
 
 std::size_t TimerWheel::fire_due() {
     std::size_t fired = 0;
-    for (;;) {
-        skip_cancelled();
-        if (heap_.empty() || heap_.top().deadline > clock_->now()) break;
-        // priority_queue::top() is const; copying the small closure out
-        // is the portable way to extract it (as sim::EventQueue does).
-        Entry entry = heap_.top();
-        heap_.pop();
-        pending_.erase(entry.id);
-        entry.fn();
+    while (!heap_.empty() && heap_.top_time() <= clock_->now()) {
+        auto due = heap_.pop();
+        due.handler();
         ++fired;
     }
     return fired;

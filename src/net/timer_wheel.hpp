@@ -5,23 +5,24 @@
 ///
 /// TimerWheel keys deadlines off a net::Clock and fires everything due
 /// when the owning event loop calls fire_due() -- the real-time analogue
-/// of the simulator executing its event queue.  Deadlines are kept in a
-/// lazy-deletion binary heap with a FIFO tiebreak (identical discipline
-/// to sim::EventQueue): protocol timers are sparse and unsorted-insert
-/// heavy, where a heap beats a cascading hashed wheel at our scale, and
-/// the FIFO tiebreak is what keeps ManualClock runs exactly reproducible.
+/// of the simulator executing its event queue.  Deadlines live in the
+/// same common::SlabTimerHeap that backs sim::EventQueue: an indexed
+/// 4-ary min-heap over pooled records with a FIFO tiebreak, eager
+/// O(log n) cancellation via generation-stamped ids, and no steady-state
+/// allocation.  Protocol timers are sparse and unsorted-insert heavy,
+/// where a heap beats a cascading hashed wheel at our scale, and the
+/// FIFO tiebreak is what keeps ManualClock runs exactly reproducible.
 ///
 /// Semantics match the simulator's half of the TimerService contract:
-/// ids are never reused, cancel of a fired/cancelled id is a no-op, and
-/// equal deadlines fire in schedule order.  A handler may schedule new
-/// timers freely; ones already due fire within the same fire_due() call.
+/// a fired or cancelled id never becomes valid again, cancel of such an
+/// id is a no-op, and equal deadlines fire in schedule order.  A handler
+/// may schedule new timers freely; ones already due fire within the same
+/// fire_due() call.
 
 #include <cstddef>
 #include <optional>
-#include <queue>
-#include <unordered_set>
-#include <vector>
 
+#include "common/slab_heap.hpp"
 #include "common/timer_service.hpp"
 #include "common/types.hpp"
 #include "net/clock.hpp"
@@ -36,38 +37,24 @@ public:
 
     TimerId schedule_after(SimTime delay, Handler fn) override;
 
-    void cancel(TimerId id) override;
+    void cancel(TimerId id) override { heap_.cancel(id); }
 
     /// Deadline of the earliest live timer, or nullopt when none is armed.
-    std::optional<SimTime> next_deadline() const;
+    std::optional<SimTime> next_deadline() const {
+        if (heap_.empty()) return std::nullopt;
+        return heap_.top_time();
+    }
 
     /// Fires every timer whose deadline has been reached, in deadline
     /// (then FIFO) order; returns how many fired.
     std::size_t fire_due();
 
     /// Live (armed, not yet fired or cancelled) timers.
-    std::size_t armed() const { return pending_.size(); }
+    std::size_t armed() const { return heap_.size(); }
 
 private:
-    struct Entry {
-        SimTime deadline;
-        TimerId id;
-        Handler fn;
-    };
-    struct Later {
-        bool operator()(const Entry& a, const Entry& b) const {
-            if (a.deadline != b.deadline) return a.deadline > b.deadline;
-            return a.id > b.id;  // FIFO within a deadline
-        }
-    };
-
-    /// Drops cancelled entries from the heap top.
-    void skip_cancelled() const;
-
     Clock* clock_;
-    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    std::unordered_set<TimerId> pending_;
-    TimerId next_id_ = 1;
+    SlabTimerHeap<Handler> heap_;
 };
 
 }  // namespace bacp::net

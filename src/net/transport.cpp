@@ -101,9 +101,8 @@ UdpTransport::make_pair() {
 
 std::pair<std::unique_ptr<InprocTransport>, std::unique_ptr<InprocTransport>>
 InprocTransport::make_pair(std::size_t capacity) {
-    auto ab = std::make_shared<Queue>();
-    auto ba = std::make_shared<Queue>();
-    ab->capacity = ba->capacity = capacity;
+    auto ab = std::make_shared<Queue>(capacity);
+    auto ba = std::make_shared<Queue>(capacity);
     // a's outbox is b's inbox and vice versa.
     auto a = std::unique_ptr<InprocTransport>(new InprocTransport(ba, ab));
     auto b = std::unique_ptr<InprocTransport>(new InprocTransport(ab, ba));
@@ -113,11 +112,11 @@ InprocTransport::make_pair(std::size_t capacity) {
 bool InprocTransport::send(std::span<const std::uint8_t> datagram) {
     {
         const std::scoped_lock lock(outbox_->mutex);
-        if (outbox_->datagrams.size() >= outbox_->capacity) {
+        if (outbox_->datagrams.full()) {
             ++stats_.send_drops;
             return false;
         }
-        outbox_->datagrams.emplace_back(datagram.begin(), datagram.end());
+        outbox_->datagrams.push({datagram.begin(), datagram.end()});
     }
     ++stats_.datagrams_sent;
     stats_.bytes_sent += datagram.size();
@@ -129,8 +128,7 @@ std::optional<std::vector<std::uint8_t>> InprocTransport::recv() {
     {
         const std::scoped_lock lock(inbox_->mutex);
         if (inbox_->datagrams.empty()) return std::nullopt;
-        datagram = std::move(inbox_->datagrams.front());
-        inbox_->datagrams.pop_front();
+        datagram = inbox_->datagrams.pop();
     }
     ++stats_.datagrams_received;
     stats_.bytes_received += datagram.size();

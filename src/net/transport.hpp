@@ -19,7 +19,6 @@
 ///                    each queue -- contention is nil at our rates).
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -27,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/ring_buffer.hpp"
 #include "common/types.hpp"
 
 namespace bacp::net {
@@ -107,10 +107,13 @@ public:
     std::optional<std::vector<std::uint8_t>> recv() override;
 
 private:
+    /// Bounded FIFO with tail drop is exactly a ring buffer; reusing
+    /// RingBuffer keeps the queue allocation-free once its slots have
+    /// been cycled (popped vectors return their capacity on reuse).
     struct Queue {
+        explicit Queue(std::size_t capacity) : datagrams(capacity) {}
         std::mutex mutex;
-        std::deque<std::vector<std::uint8_t>> datagrams;
-        std::size_t capacity = 0;
+        RingBuffer<std::vector<std::uint8_t>> datagrams;
     };
 
     InprocTransport(std::shared_ptr<Queue> inbox, std::shared_ptr<Queue> outbox)

@@ -24,12 +24,15 @@
 namespace bacp::runtime {
 
 /// Bounded (residue) senders: core must expose domain(), na_mod(),
-/// outstanding(), can_resend().
+/// outstanding(), can_resend().  Appends the clipped runs to \p runs --
+/// the runtimes clip on every ack arrival and reuse one scratch vector
+/// per session; the returning overloads below are for tests and
+/// one-shot callers.
 template <typename BoundedCore>
-std::vector<proto::Ack> clip_ack_bounded(const BoundedCore& sender, const proto::Ack& ack) {
-    std::vector<proto::Ack> runs;
+void clip_ack_bounded_into(const BoundedCore& sender, const proto::Ack& ack,
+                           std::vector<proto::Ack>& runs) {
     const Seq n = sender.domain();
-    if (ack.lo >= n || ack.hi >= n) return runs;  // malformed residues
+    if (ack.lo >= n || ack.hi >= n) return;  // malformed residues
     const Seq len = proto::mod_offset(ack.lo, ack.hi, n);
     bool in_run = false;
     Seq run_lo = 0, run_hi = 0;
@@ -49,14 +52,13 @@ std::vector<proto::Ack> clip_ack_bounded(const BoundedCore& sender, const proto:
         }
     }
     if (in_run) runs.push_back(proto::Ack{run_lo, run_hi});
-    return runs;
 }
 
 /// Unbounded senders: core must expose na(), ns(), can_resend().
 template <typename Core>
-std::vector<proto::Ack> clip_ack_unbounded(const Core& sender, const proto::Ack& ack) {
-    std::vector<proto::Ack> runs;
-    if (ack.lo > ack.hi) return runs;
+void clip_ack_unbounded_into(const Core& sender, const proto::Ack& ack,
+                             std::vector<proto::Ack>& runs) {
+    if (ack.lo > ack.hi) return;
     const Seq lo = std::max(ack.lo, sender.na());
     bool in_run = false;
     Seq run_lo = 0, run_hi = 0;
@@ -73,6 +75,19 @@ std::vector<proto::Ack> clip_ack_unbounded(const Core& sender, const proto::Ack&
         }
     }
     if (in_run) runs.push_back(proto::Ack{run_lo, run_hi});
+}
+
+template <typename BoundedCore>
+std::vector<proto::Ack> clip_ack_bounded(const BoundedCore& sender, const proto::Ack& ack) {
+    std::vector<proto::Ack> runs;
+    clip_ack_bounded_into(sender, ack, runs);
+    return runs;
+}
+
+template <typename Core>
+std::vector<proto::Ack> clip_ack_unbounded(const Core& sender, const proto::Ack& ack) {
+    std::vector<proto::Ack> runs;
+    clip_ack_unbounded_into(sender, ack, runs);
     return runs;
 }
 

@@ -9,10 +9,10 @@
 /// unchanged over both -- the paper's protocol machines never learn
 /// which kind of time or channel is underneath them.
 
+#include <algorithm>
 #include <concepts>
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -21,17 +21,54 @@
 
 namespace bacp::runtime {
 
+/// Dense true-seq -> SimTime table.  True sequence numbers are assigned
+/// contiguously from 0, so a flat vector with a "never" sentinel beats a
+/// hash map on every axis that matters to the hot path: O(1) with no
+/// hashing, no rehash-driven allocation after reserve(), and entries are
+/// 8 bytes apiece.  Values are write-once-per-note and never erased
+/// (clearing is not needed: each runtime consults a seq only while it is
+/// outstanding).
+class SeqTimeTable {
+public:
+    static constexpr SimTime kNever = -1;
+
+    void set(Seq true_seq, SimTime t) {
+        if (true_seq >= times_.size()) {
+            // Grow in chunks: seqs arrive one at a time, and a resize per
+            // set() would pay a fill call on every message.  Clamp the
+            // chunk to an existing reserve() so a pre-sized table never
+            // reallocates mid-run.
+            std::size_t grow = times_.size() + times_.size() / 2 + 64;
+            if (grow > times_.capacity() && times_.capacity() > true_seq) {
+                grow = times_.capacity();
+            }
+            times_.resize(std::max<std::size_t>(true_seq + 1, grow), kNever);
+        }
+        times_[true_seq] = t;
+    }
+
+    /// kNever when the seq was never recorded.
+    SimTime get(Seq true_seq) const {
+        return true_seq < times_.size() ? times_[true_seq] : kNever;
+    }
+
+    void reserve(std::size_t n) { times_.reserve(n); }
+
+private:
+    std::vector<SimTime> times_;
+};
+
 /// Read-only view of a runtime's transmission log, handed to cores that
 /// need transmission times (send horizon, NAK one-copy rule).
 struct TxView {
     SimTime now = 0;
     SimTime data_lifetime = 0;  // max time a copy can survive in C_SR
-    const std::unordered_map<Seq, SimTime>* last_tx = nullptr;
+    const SeqTimeTable* last_tx = nullptr;
 
     std::optional<SimTime> last_tx_time(Seq true_seq) const {
-        const auto it = last_tx->find(true_seq);
-        if (it == last_tx->end()) return std::nullopt;
-        return it->second;
+        const SimTime t = last_tx->get(true_seq);
+        if (t == SeqTimeTable::kNever) return std::nullopt;
+        return t;
     }
 };
 
@@ -62,10 +99,15 @@ struct RxOutcome {
 ///                                receiver-oracle conjunct (oracle mode)
 ///   on_nak(nak, tx)              sender-side NAK fast retransmit
 ///   sender_core()/receiver_core() expose the underlying pure cores
+///
+/// resend_candidates(out) and simple_timeout_set(out) APPEND into a
+/// caller-owned vector instead of returning one: the runtimes call them
+/// on every ack / timeout, and the append style lets a runtime reuse one
+/// scratch vector for the whole session instead of allocating per call.
 template <typename C>
 concept EndpointCore =
     requires(C core, const C& ccore, proto::Data data, proto::Ack ack,
-             TxView tx, SimTime t, Seq seq) {
+             TxView tx, SimTime t, Seq seq, std::vector<Seq>& seqs) {
         typename C::Options;
         { C::kRequiresFifo } -> std::convertible_to<bool>;
         { C::kDefaultTimeoutMode } -> std::convertible_to<TimeoutMode>;
@@ -76,10 +118,10 @@ concept EndpointCore =
         { core.on_data(data, t) } -> std::same_as<RxOutcome>;
         { ccore.ack_pending() } -> std::convertible_to<Seq>;
         { core.make_ack() } -> std::same_as<proto::Ack>;
-        { ccore.resend_candidates() } -> std::same_as<std::vector<Seq>>;
+        { ccore.resend_candidates(seqs) } -> std::same_as<void>;
         { ccore.can_resend(seq) } -> std::convertible_to<bool>;
         { core.resend(seq, t) } -> std::same_as<proto::Data>;
-        { ccore.simple_timeout_set() } -> std::same_as<std::vector<Seq>>;
+        { ccore.simple_timeout_set(seqs) } -> std::same_as<void>;
     };
 // clang-format on
 
@@ -105,19 +147,21 @@ inline constexpr bool kCoreHandlesNak =
 /// ago"); view() packages the log for the core-facing TxView.
 class TxLog {
 public:
-    void note(Seq true_seq, SimTime now) { last_tx_[true_seq] = now; }
+    void note(Seq true_seq, SimTime now) { last_tx_.set(true_seq, now); }
 
     bool matured(Seq true_seq, SimTime now, SimTime timeout) const {
-        const auto it = last_tx_.find(true_seq);
-        return it != last_tx_.end() && now - it->second >= timeout;
+        const SimTime t = last_tx_.get(true_seq);
+        return t != SeqTimeTable::kNever && now - t >= timeout;
     }
 
     TxView view(SimTime now, SimTime data_lifetime) const {
         return {now, data_lifetime, &last_tx_};
     }
 
+    void reserve(std::size_t n) { last_tx_.reserve(n); }
+
 private:
-    std::unordered_map<Seq, SimTime> last_tx_;
+    SeqTimeTable last_tx_;
 };
 
 }  // namespace bacp::runtime

@@ -30,7 +30,6 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -115,6 +114,7 @@ public:
           simple_timer_(sim_, [this] { on_simple_timeout(); }),
           blocked_timer_(sim_, [this] { pump_send(); }) {
         timeout_ = cfg_.timeout > 0 ? cfg_.timeout : derived_timeout();
+        data_lifetime_ = cfg_.data_link.max_lifetime();
         data_ch_.set_receiver(
             [this](const proto::Message& m) { on_data_arrival(std::get<proto::Data>(m)); });
         ack_ch_.set_receiver([this](const proto::Message& m) {
@@ -131,6 +131,16 @@ public:
         if (mode_ == TimeoutMode::OracleSimple || mode_ == TimeoutMode::OraclePerMessage) {
             sim_.add_idle_hook([this] { return oracle_fire(); });
         }
+        // Pre-size the per-seq tables, the candidate scratch, and the
+        // event slab so the steady-state event loop never touches the
+        // allocator.  Concurrent events are bounded by the window: at
+        // most w data copies + w per-message timers in flight each way,
+        // plus the handful of engine-owned timers.
+        txlog_.reserve(cfg_.count);
+        first_send_.reserve(cfg_.count);
+        if (cfg_.arrival_interval > 0) arrival_time_.reserve(cfg_.count);
+        seq_scratch_.reserve(cfg_.w + 1);
+        sim_.reserve_events(8 * cfg_.w + 64);
     }
 
     Engine(const Engine&) = delete;
@@ -196,7 +206,7 @@ private:
                cfg_.ack_policy.max_ack_delay() + kMillisecond;
     }
 
-    TxView txview() const { return txlog_.view(sim_.now(), cfg_.data_link.max_lifetime()); }
+    TxView txview() const { return txlog_.view(sim_.now(), data_lifetime_); }
 
     // ---- sender ----------------------------------------------------------
 
@@ -209,7 +219,7 @@ private:
                       rng_arrivals_.exponential(static_cast<double>(cfg_.arrival_interval)))
                 : cfg_.arrival_interval;
         sim_.schedule_after(gap, [this] {
-            arrival_time_.emplace(app_released_, sim_.now());
+            arrival_time_.set(app_released_, sim_.now());
             ++app_released_;
             pump_send();
             schedule_arrival();
@@ -227,7 +237,7 @@ private:
             }
             const proto::Data msg = core_.send_new(sim_.now());
             const Seq true_seq = sent_new_++;
-            first_send_.emplace(true_seq, sim_.now());
+            first_send_.set(true_seq, sim_.now());
             transmit(msg, true_seq, /*retx=*/false);
         }
     }
@@ -276,7 +286,9 @@ private:
 
     void on_simple_timeout() {
         if (!core_.has_outstanding()) return;
-        for (const Seq true_seq : core_.simple_timeout_set()) {
+        seq_scratch_.clear();
+        core_.simple_timeout_set(seq_scratch_);
+        for (const Seq true_seq : seq_scratch_) {
             transmit(core_.resend(true_seq, sim_.now()), true_seq, /*retx=*/true);
         }
     }
@@ -288,20 +300,36 @@ private:
         if (!matured(true_seq)) return;           // a newer copy owns the timer
         if constexpr (kGatedResend) {
             if (!core_.timeout_eligible(true_seq, /*oracle=*/false)) {
-                return;  // reconsidered on next ack
+                gate_waiters_ = true;  // reconsidered on next ack
+                return;
             }
         }
         transmit(core_.resend(true_seq, sim_.now()), true_seq, /*retx=*/true);
     }
 
+    /// Resends every matured message the SIV gate now admits.  A message
+    /// only reaches "matured but gate-blocked" through per_message_fire
+    /// (its newest copy's timer fires exactly at maturity), which sets
+    /// gate_waiters_; when no fire has been blocked since the last scan
+    /// came up dry there is nothing to reconsider, and the per-ack
+    /// O(window) candidate scan is skipped -- the common case on healthy
+    /// links, where this runs on every single ack.
     void rescan_matured() {
-        for (const Seq true_seq : core_.resend_candidates()) {
+        if (!gate_waiters_) return;
+        bool still_blocked = false;
+        seq_scratch_.clear();
+        core_.resend_candidates(seq_scratch_);
+        for (const Seq true_seq : seq_scratch_) {
             if (!matured(true_seq)) continue;
             if constexpr (kGatedResend) {
-                if (!core_.timeout_eligible(true_seq, /*oracle=*/false)) continue;
+                if (!core_.timeout_eligible(true_seq, /*oracle=*/false)) {
+                    still_blocked = true;
+                    continue;
+                }
             }
             transmit(core_.resend(true_seq, sim_.now()), true_seq, /*retx=*/true);
         }
+        gate_waiters_ = still_blocked;
     }
 
     bool oracle_fire() {
@@ -315,13 +343,17 @@ private:
             // Paper SII guard: na != ns, channels empty, !rcvd[nr].  At an
             // idle point an eager/flushed receiver has nr == vr and
             // !rcvd[vr], so the remaining conjuncts hold automatically.
-            for (const Seq true_seq : core_.simple_timeout_set()) {
+            seq_scratch_.clear();
+            core_.simple_timeout_set(seq_scratch_);
+            for (const Seq true_seq : seq_scratch_) {
                 transmit(core_.resend(true_seq, sim_.now()), true_seq, /*retx=*/true);
             }
             return true;
         }
         bool any = false;
-        for (const Seq true_seq : core_.resend_candidates()) {
+        seq_scratch_.clear();
+        core_.resend_candidates(seq_scratch_);
+        for (const Seq true_seq : seq_scratch_) {
             if constexpr (kGatedResend) {
                 if (core_.timeout_eligible(true_seq, /*oracle=*/true) == false) continue;
             }
@@ -396,17 +428,12 @@ private:
         ++metrics_.delivered;
         // Open loop measures arrival-to-delivery sojourn; closed loop
         // measures first-transmission-to-delivery.
-        const auto arrived = arrival_time_.find(true_seq);
-        if (arrived != arrival_time_.end()) {
-            metrics_.latency.add(sim_.now() - arrived->second);
-            arrival_time_.erase(arrived);
-            first_send_.erase(true_seq);
+        const SimTime arrived = arrival_time_.get(true_seq);
+        if (arrived != SeqTimeTable::kNever) {
+            metrics_.latency.add(sim_.now() - arrived);
         } else {
-            const auto sent = first_send_.find(true_seq);
-            if (sent != first_send_.end()) {
-                metrics_.latency.add(sim_.now() - sent->second);
-                first_send_.erase(sent);
-            }
+            const SimTime sent = first_send_.get(true_seq);
+            if (sent != SeqTimeTable::kNever) metrics_.latency.add(sim_.now() - sent);
         }
         if (delivered_ == cfg_.count) metrics_.end_time = sim_.now();
     }
@@ -458,12 +485,15 @@ private:
     sim::Metrics metrics_;
 
     SimTime timeout_ = 0;
+    SimTime data_lifetime_ = 0;  // cached cfg_.data_link.max_lifetime()
+    bool gate_waiters_ = false;  // a per-message fire was gate-blocked
     Seq sent_new_ = 0;      // new messages handed to the channel (== true ns)
     Seq delivered_ = 0;     // in-order deliveries at the receiver (== true vr)
     Seq app_released_ = 0;  // open loop: messages made available so far
-    std::unordered_map<Seq, SimTime> arrival_time_;  // open loop only
-    std::unordered_map<Seq, SimTime> first_send_;    // true seq -> first tx time
-    TxLog txlog_;                                    // true seq -> last tx time
+    SeqTimeTable arrival_time_;    // open loop only
+    SeqTimeTable first_send_;      // true seq -> first tx time
+    TxLog txlog_;                  // true seq -> last tx time
+    std::vector<Seq> seq_scratch_; // candidate sets, reused per timeout/ack
     std::vector<std::string> violations_;
 };
 

@@ -3,17 +3,22 @@
 /// \file event_queue.hpp
 /// Deterministic pending-event set for the discrete-event simulator.
 ///
-/// Events at equal timestamps execute in insertion order (FIFO tiebreak by
-/// a monotone sequence number), which makes every simulation run exactly
-/// reproducible.  Cancellation is O(1) lazy: cancelled ids are skipped at
-/// pop time.
+/// A thin facade over common::SlabTimerHeap: an indexed 4-ary min-heap
+/// over pooled event records with generation-counter cancellation.  Two
+/// properties matter to callers:
+///
+///   * Determinism -- events at equal timestamps execute in insertion
+///     order (FIFO tiebreak by a monotone sequence number), so every
+///     simulation run is exactly reproducible.
+///   * No steady-state allocation -- handlers are InplaceFunctions in a
+///     slab recycled through a freelist, and cancellation is eager
+///     O(log n) with no side table, so after warm-up the push/cancel/pop
+///     cycle never touches the heap allocator.
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
-#include <vector>
 
+#include "common/slab_heap.hpp"
+#include "common/timer_service.hpp"
 #include "common/types.hpp"
 
 namespace bacp::sim {
@@ -23,49 +28,33 @@ inline constexpr EventId kInvalidEvent = 0;
 
 class EventQueue {
 public:
-    using Handler = std::function<void()>;
+    using Handler = TimerHandler;
 
     /// Enqueues \p fn at absolute time \p t; returns a cancellation handle.
-    EventId push(SimTime t, Handler fn);
+    EventId push(SimTime t, Handler fn) { return heap_.push(t, std::move(fn)); }
 
-    /// Cancels a pending event; cancelling an already-fired or invalid id
-    /// is a harmless no-op.  Returns true when a pending event was removed.
-    bool cancel(EventId id);
+    /// Eagerly removes a pending event; cancelling an already-fired or
+    /// invalid id is a harmless no-op.  Returns true when a pending event
+    /// was removed.
+    bool cancel(EventId id) { return heap_.cancel(id); }
 
     /// True when no live (non-cancelled) events remain.
-    bool empty() const { return pending_.empty(); }
+    bool empty() const { return heap_.empty(); }
 
-    std::size_t size() const { return pending_.size(); }
+    std::size_t size() const { return heap_.size(); }
 
     /// Time of the earliest live event.  Precondition: !empty().
-    SimTime next_time() const;
+    SimTime next_time() const { return heap_.top_time(); }
 
     /// Removes and returns the earliest live event.  Precondition: !empty().
-    struct Fired {
-        SimTime time;
-        Handler handler;
-    };
-    Fired pop();
+    using Fired = SlabTimerHeap<Handler>::Fired;
+    Fired pop() { return heap_.pop(); }
+
+    /// Pre-sizes the slab for \p n concurrent events.
+    void reserve(std::size_t n) { heap_.reserve(n); }
 
 private:
-    struct Entry {
-        SimTime time;
-        EventId id;
-        Handler handler;
-    };
-    struct Later {
-        bool operator()(const Entry& a, const Entry& b) const {
-            if (a.time != b.time) return a.time > b.time;
-            return a.id > b.id;  // FIFO within a timestamp
-        }
-    };
-
-    /// Drops cancelled entries from the heap top.
-    void skip_cancelled() const;
-
-    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    std::unordered_set<EventId> pending_;  // live ids (pushed, not fired/cancelled)
-    EventId next_id_ = 1;
+    SlabTimerHeap<Handler> heap_;
 };
 
 }  // namespace bacp::sim

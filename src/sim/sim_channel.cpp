@@ -13,23 +13,69 @@ SimChannel::SimChannel(Simulator& sim, Rng& rng, Config config, std::string name
       loss_(config.loss ? std::move(config.loss) : std::make_unique<channel::NoLoss>()),
       delay_(config.delay ? std::move(config.delay)
                           : std::make_unique<channel::FixedDelay>(kMillisecond)),
+      lossless_(loss_->never_drops()),
       fifo_(config.fifo),
       name_(std::move(name)),
       track_contents_(config.track_contents),
       service_time_(config.service_time),
       queue_capacity_(config.queue_capacity) {}
 
-channel::SetChannel SimChannel::snapshot() const {
+channel::TransitView SimChannel::snapshot() const {
     BACP_ASSERT_MSG(track_contents_, "snapshot() requires track_contents");
-    channel::SetChannel snap;
-    for (const auto& msg : contents_) snap.send(msg);
-    return snap;
+    return channel::TransitView(contents_);
+}
+
+std::uint32_t SimChannel::alloc_slot(const proto::Message& msg) {
+    std::uint32_t slot;
+    if (free_head_ != kNoSlot) {
+        slot = free_head_;
+        free_head_ = slots_[slot].link;
+        slots_[slot].msg = msg;
+    } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.push_back(Slot{msg, 0});
+    }
+    if (track_contents_) {
+        slots_[slot].link = static_cast<std::uint32_t>(contents_.size());
+        contents_.push_back(msg);
+        contents_slot_.push_back(slot);
+    }
+    return slot;
+}
+
+void SimChannel::release_slot(std::uint32_t slot) {
+    if (track_contents_) {
+        // Swap-and-pop; repoint the moved entry's owning slot.
+        const auto i = slots_[slot].link;
+        const auto last = static_cast<std::uint32_t>(contents_.size()) - 1;
+        if (i != last) {
+            contents_[i] = std::move(contents_[last]);
+            contents_slot_[i] = contents_slot_[last];
+            slots_[contents_slot_[i]].link = i;
+        }
+        contents_.pop_back();
+        contents_slot_.pop_back();
+    }
+    slots_[slot].link = free_head_;
+    free_head_ = slot;
+}
+
+void SimChannel::deliver_slot(std::uint32_t slot) {
+    BACP_ASSERT(in_flight_ > 0);
+    --in_flight_;
+    proto::Message msg = std::move(slots_[slot].msg);
+    // Release before invoking the receiver: it may send() reentrantly,
+    // which can grow the pool and invalidate slot references.
+    release_slot(slot);
+    ++stats_.delivered;
+    if (trace_ != nullptr) trace_->record(sim_.now(), name_, "deliver " + proto::to_string(msg));
+    receiver_(msg);
 }
 
 void SimChannel::send(const proto::Message& msg) {
     BACP_ASSERT_MSG(receiver_ != nullptr, "channel has no receiver");
     ++stats_.sent;
-    if (loss_->drop(rng_)) {
+    if (!lossless_ && loss_->drop(rng_)) {
         ++stats_.dropped;
         if (trace_ != nullptr) trace_->record(sim_.now(), name_, "drop " + proto::to_string(msg));
         return;
@@ -57,19 +103,8 @@ void SimChannel::send(const proto::Message& msg) {
         last_delivery_ = delivery;
     }
     ++in_flight_;
-    if (track_contents_) contents_.push_back(msg);
-    sim_.schedule_at(delivery, [this, msg] {
-        BACP_ASSERT(in_flight_ > 0);
-        --in_flight_;
-        if (track_contents_) {
-            const auto it = std::find(contents_.begin(), contents_.end(), msg);
-            BACP_ASSERT(it != contents_.end());
-            contents_.erase(it);
-        }
-        ++stats_.delivered;
-        if (trace_ != nullptr) trace_->record(sim_.now(), name_, "deliver " + proto::to_string(msg));
-        receiver_(msg);
-    });
+    const std::uint32_t slot = alloc_slot(msg);
+    sim_.schedule_at(delivery, [this, slot] { deliver_slot(slot); });
     if (trace_ != nullptr) trace_->record(sim_.now(), name_, "send " + proto::to_string(msg));
 }
 

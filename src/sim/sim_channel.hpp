@@ -16,13 +16,14 @@
 /// discarded if not received").
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "channel/delay_model.hpp"
 #include "channel/loss_model.hpp"
-#include "channel/set_channel.hpp"
+#include "channel/transit_view.hpp"
+#include "common/inplace_function.hpp"
 #include "common/rng.hpp"
 #include "protocol/message.hpp"
 #include "sim/simulator.hpp"
@@ -38,7 +39,11 @@ struct ChannelStats {
 
 class SimChannel {
 public:
-    using Receiver = std::function<void(const proto::Message&)>;
+    /// Delivery callback.  An InplaceFunction rather than std::function:
+    /// the callback runs once per delivered message, and the inline
+    /// storage keeps dispatch to a single indirect call with no
+    /// allocation when the channel is wired up.
+    using Receiver = InplaceFunction<void(const proto::Message&), 32>;
 
     struct Config {
         std::unique_ptr<channel::LossModel> loss;   // nullptr -> NoLoss
@@ -78,15 +83,33 @@ public:
     const ChannelStats& stats() const { return stats_; }
     const std::string& name() const { return name_; }
 
-    /// Abstract-channel view of the current in-flight multiset.
+    /// Span-backed view of the current in-flight multiset (unordered;
+    /// valid until the next send or delivery).
     /// Precondition: constructed with track_contents = true.
-    channel::SetChannel snapshot() const;
+    channel::TransitView snapshot() const;
 
 private:
+    /// In-flight messages live in a slot pool: the delivery event captures
+    /// only {this, slot}, so the event queue stores and relocates a
+    /// pointer-sized closure instead of a full proto::Message, and slots
+    /// recycle through a freelist with no steady-state allocation.
+    /// `link` doubles as the freelist next pointer (free slot) and the
+    /// contents_ index (live slot, tracked runs only).
+    struct Slot {
+        proto::Message msg;
+        std::uint32_t link = 0;
+    };
+    static constexpr std::uint32_t kNoSlot = 0xffffffff;
+
+    std::uint32_t alloc_slot(const proto::Message& msg);
+    void release_slot(std::uint32_t slot);
+    void deliver_slot(std::uint32_t slot);
+
     Simulator& sim_;
     Rng& rng_;
     std::unique_ptr<channel::LossModel> loss_;
     std::unique_ptr<channel::DelayModel> delay_;
+    bool lossless_;  // caches loss_->never_drops(): skip the virtual call
     bool fifo_;
     std::string name_;
     Receiver receiver_;
@@ -94,11 +117,14 @@ private:
     ChannelStats stats_;
     std::size_t in_flight_ = 0;
     SimTime last_delivery_ = 0;  // FIFO mode: previous scheduled delivery
+    std::vector<Slot> slots_;    // in-flight pool
+    std::uint32_t free_head_ = kNoSlot;
     bool track_contents_ = false;
-    std::vector<proto::Message> contents_;  // in-flight multiset when tracked
-    SimTime service_time_ = 0;              // bottleneck serialization time
+    std::vector<proto::Message> contents_;     // in-flight multiset when tracked
+    std::vector<std::uint32_t> contents_slot_; // slot owning contents_[i]
+    SimTime service_time_ = 0;                 // bottleneck serialization time
     std::size_t queue_capacity_ = 64;
-    SimTime link_free_at_ = 0;              // bottleneck: next departure slot
+    SimTime link_free_at_ = 0;                 // bottleneck: next departure slot
 };
 
 }  // namespace bacp::sim

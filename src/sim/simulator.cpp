@@ -4,28 +4,9 @@
 
 namespace bacp::sim {
 
-EventId Simulator::schedule_at(SimTime t, Handler fn) {
-    BACP_ASSERT_MSG(t >= now_, "cannot schedule into the past");
-    return queue_.push(t, std::move(fn));
-}
-
-EventId Simulator::schedule_after(SimTime delay, Handler fn) {
-    BACP_ASSERT_MSG(delay >= 0, "negative delay");
-    return queue_.push(now_ + delay, std::move(fn));
-}
-
 void Simulator::add_idle_hook(IdleHook hook) {
     BACP_ASSERT(hook != nullptr);
     idle_hooks_.push_back(std::move(hook));
-}
-
-bool Simulator::step() {
-    if (queue_.empty()) return false;
-    auto fired = queue_.pop();
-    BACP_ASSERT(fired.time >= now_);
-    now_ = fired.time;
-    fired.handler();
-    return true;
 }
 
 bool Simulator::run_idle_hooks() {

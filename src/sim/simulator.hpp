@@ -20,6 +20,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/timer_service.hpp"
 #include "common/types.hpp"
 #include "sim/event_queue.hpp"
@@ -35,10 +36,19 @@ public:
     SimTime now() const override { return now_; }
 
     /// Schedules \p fn at absolute simulated time \p t (>= now).
-    EventId schedule_at(SimTime t, Handler fn);
+    /// Defined inline: scheduling is the hottest call in the repo, and
+    /// keeping it in the header lets the closure build directly in the
+    /// event slab instead of relocating across a call boundary.
+    EventId schedule_at(SimTime t, Handler fn) {
+        BACP_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+        return queue_.push(t, std::move(fn));
+    }
 
     /// Schedules \p fn after a non-negative delay.
-    EventId schedule_after(SimTime delay, Handler fn) override;
+    EventId schedule_after(SimTime delay, Handler fn) override {
+        BACP_ASSERT_MSG(delay >= 0, "negative delay");
+        return queue_.push(now_ + delay, std::move(fn));
+    }
 
     /// Cancels a pending event (no-op if already fired).
     void cancel(EventId id) override { queue_.cancel(id); }
@@ -49,7 +59,15 @@ public:
 
     /// Executes the next event.  Returns false when the queue is empty
     /// (idle hooks are NOT consulted here).
-    bool step();
+    bool step() {
+        if (queue_.empty()) return false;
+        auto fired = queue_.pop();
+        BACP_ASSERT(fired.time >= now_);
+        now_ = fired.time;
+        ++total_fired_;
+        fired.handler();
+        return true;
+    }
 
     /// Runs until the queue is empty and no idle hook makes progress, or
     /// until \p max_events have fired.  Returns the number fired.
@@ -62,6 +80,16 @@ public:
 
     std::size_t pending_events() const { return queue_.size(); }
 
+    /// Pre-sizes the event slab for \p n concurrent events, so runtimes
+    /// that know their concurrency bound (window size + timers) keep the
+    /// steady-state loop allocation-free.
+    void reserve_events(std::size_t n) { queue_.reserve(n); }
+
+    /// Events fired over the simulator's whole lifetime (monotone; spans
+    /// multiple run()/run_until() calls).  Benches use it to compute
+    /// events/sec without threading counts through every runner.
+    std::uint64_t total_fired() const { return total_fired_; }
+
     static constexpr std::size_t kDefaultMaxEvents = 100'000'000;
 
 private:
@@ -70,6 +98,7 @@ private:
 
     EventQueue queue_;
     SimTime now_ = 0;
+    std::uint64_t total_fired_ = 0;
     std::vector<IdleHook> idle_hooks_;
 };
 

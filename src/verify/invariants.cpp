@@ -21,8 +21,7 @@ std::string InvariantReport::to_string() const {
 }
 
 InvariantReport check_invariants(const ba::Sender& sender, const ba::Receiver& receiver,
-                                 const channel::SetChannel& c_sr,
-                                 const channel::SetChannel& c_rs,
+                                 channel::TransitView c_sr, channel::TransitView c_rs,
                                  ChannelStrictness strictness) {
     const bool strict = strictness == ChannelStrictness::Strict;
     InvariantReport report;

@@ -24,7 +24,7 @@
 
 #include "ba/receiver.hpp"
 #include "ba/sender.hpp"
-#include "channel/set_channel.hpp"
+#include "channel/transit_view.hpp"
 
 namespace bacp::verify {
 
@@ -48,10 +48,11 @@ struct InvariantReport {
 enum class ChannelStrictness { Strict, Relaxed };
 
 /// Checks assertions 6-8 for the unbounded protocol (SII or SIV; both
-/// share the invariant).
+/// share the invariant).  The channel views are consumed as unordered
+/// multisets; a SetChannel converts implicitly, and sim::SimChannel's
+/// snapshot() hands its in-flight pool over without a copy.
 InvariantReport check_invariants(const ba::Sender& sender, const ba::Receiver& receiver,
-                                 const channel::SetChannel& c_sr,
-                                 const channel::SetChannel& c_rs,
+                                 channel::TransitView c_sr, channel::TransitView c_rs,
                                  ChannelStrictness strictness = ChannelStrictness::Strict);
 
 }  // namespace bacp::verify

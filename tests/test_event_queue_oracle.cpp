@@ -1,0 +1,134 @@
+// EventQueue determinism regression: the slab-heap queue must order an
+// interleaved schedule/cancel workload exactly like a reference
+// std::multimap (whose equal keys preserve insertion order -- the FIFO
+// tiebreak contract).  This pins the firing order bit-for-bit, so a
+// future heap rewrite that keeps the heap property but breaks the
+// tiebreak, eager cancellation, or the drain-reset sequence counter
+// fails here instead of silently perturbing experiment outputs.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/event_queue.hpp"
+
+namespace bacp::sim {
+namespace {
+
+class OracleQueue {
+public:
+    void push(SimTime t, int tag) { entries_.emplace(t, tag); }
+
+    /// Removes the entry carrying \p tag (tags are unique).
+    bool cancel(int tag) {
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->second == tag) {
+                entries_.erase(it);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    bool empty() const { return entries_.empty(); }
+
+    std::pair<SimTime, int> pop() {
+        auto it = entries_.begin();
+        auto front = *it;
+        entries_.erase(it);
+        return front;
+    }
+
+private:
+    // Equal keys keep insertion order in a multimap -- exactly the FIFO
+    // tiebreak EventQueue promises.
+    std::multimap<SimTime, int> entries_;
+};
+
+TEST(EventQueueOracle, InterleavedScheduleCancelMatchesMultimapExactly) {
+    EventQueue queue;
+    OracleQueue oracle;
+    std::unordered_map<int, EventId> live;  // tag -> cancellation handle
+    std::vector<int> fired;
+
+    Rng rng(20260806);
+    int next_tag = 0;
+
+    // Drive several phases with full drains between them: the drain
+    // resets the queue's internal tiebreak counter, which must never be
+    // observable in the firing order.
+    for (int phase = 0; phase < 8; ++phase) {
+        for (int step = 0; step < 600; ++step) {
+            const std::uint64_t action = rng.uniform(10);
+            if (action < 6 || live.empty()) {
+                // Schedule.  A narrow time range forces plenty of equal
+                // timestamps, exercising the FIFO tiebreak.
+                const auto t = static_cast<SimTime>(rng.uniform(40));
+                const int tag = next_tag++;
+                live[tag] = queue.push(t, [tag, &fired] { fired.push_back(tag); });
+                oracle.push(t, tag);
+            } else if (action < 8) {
+                // Cancel a random live event.
+                auto it = live.begin();
+                std::advance(it, static_cast<long>(rng.uniform(live.size())));
+                EXPECT_TRUE(queue.cancel(it->second));
+                EXPECT_FALSE(queue.cancel(it->second));  // stale id: no-op
+                EXPECT_TRUE(oracle.cancel(it->first));
+                live.erase(it);
+            } else {
+                // Pop: both queues must agree on time AND tag.
+                ASSERT_FALSE(queue.empty());
+                const auto [expect_time, expect_tag] = oracle.pop();
+                EXPECT_EQ(queue.next_time(), expect_time);
+                auto event = queue.pop();
+                EXPECT_EQ(event.time, expect_time);
+                const std::size_t before = fired.size();
+                // The handler records its tag; run it and check identity.
+                event.handler();
+                ASSERT_EQ(fired.size(), before + 1);
+                EXPECT_EQ(fired.back(), expect_tag);
+                live.erase(expect_tag);
+            }
+        }
+        // Drain the phase completely, comparing the exact firing order.
+        while (!oracle.empty()) {
+            ASSERT_FALSE(queue.empty());
+            const auto [expect_time, expect_tag] = oracle.pop();
+            auto event = queue.pop();
+            EXPECT_EQ(event.time, expect_time);
+            event.handler();
+            EXPECT_EQ(fired.back(), expect_tag);
+            live.erase(expect_tag);
+        }
+        EXPECT_TRUE(queue.empty());
+        EXPECT_TRUE(live.empty());
+    }
+}
+
+TEST(EventQueueOracle, CancellationIsEagerNotLazy) {
+    // The queue's size() counts live entries only: eager cancellation
+    // removes the entry immediately rather than leaving a tombstone to
+    // skip at pop time.
+    EventQueue queue;
+    std::vector<EventId> ids;
+    ids.reserve(100);
+    for (int i = 0; i < 100; ++i) {
+        ids.push_back(queue.push(static_cast<SimTime>(i), [] {}));
+    }
+    for (int i = 0; i < 100; i += 2) queue.cancel(ids[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(queue.size(), 50u);
+    SimTime prev = -1;
+    while (!queue.empty()) {
+        const auto event = queue.pop();
+        EXPECT_GT(event.time, prev);
+        EXPECT_EQ(event.time % 2, 1);  // every even-time event was cancelled
+        prev = event.time;
+    }
+}
+
+}  // namespace
+}  // namespace bacp::sim

@@ -1,0 +1,124 @@
+// InplaceFunction: the non-allocating callable behind every scheduled
+// event and timer.  The compile-time assertions here are the repo's
+// no-heap-fallback contract: every closure the runtimes actually
+// schedule must fit TimerHandler's inline buffer, so a capture that
+// outgrows it breaks the build instead of silently allocating per event.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/inplace_function.hpp"
+#include "common/timer_service.hpp"
+#include "common/types.hpp"
+
+namespace bacp {
+namespace {
+
+TEST(InplaceFunction, EngineClosuresFitWithoutHeapFallback) {
+    // Stand-ins for the captures the runtimes schedule, largest first.
+    // net::Impairer's delayed delivery: [this, slot, payload] where the
+    // payload is a moved-in byte vector -- the biggest closure in the
+    // repo (see timer_service.hpp's capacity rationale).
+    void* self = nullptr;
+    std::uint32_t slot = 0;
+    std::vector<std::uint8_t> payload;
+    auto impairer_fire = [self, slot, payload = std::move(payload)]() mutable {
+        (void)self;
+        (void)slot;
+        payload.clear();
+    };
+    static_assert(sizeof(impairer_fire) <= kTimerHandlerCapacity);
+    static_assert(TimerHandler::can_store_v<decltype(impairer_fire)>,
+                  "net::Impairer's delivery closure must fit TimerHandler inline");
+
+    // runtime::Engine's per-message retransmission timer: [this, true_seq].
+    Seq true_seq = 0;
+    auto per_message_fire = [self, true_seq] {
+        (void)self;
+        (void)true_seq;
+    };
+    static_assert(TimerHandler::can_store_v<decltype(per_message_fire)>);
+
+    // sim::SimChannel's delivery event: [this, slot] into the in-flight
+    // slot pool.
+    auto deliver = [self, slot] {
+        (void)self;
+        (void)slot;
+    };
+    static_assert(TimerHandler::can_store_v<decltype(deliver)>);
+
+    // And the channel receiver callback's own buffer.
+    static_assert(sizeof(deliver) <= 32, "SimChannel::Receiver capacity");
+}
+
+TEST(InplaceFunction, RejectsOversizedOrThrowingMovesAtCompileTime) {
+    struct Oversized {
+        unsigned char bytes[kTimerHandlerCapacity + 1];
+        void operator()() const {}
+    };
+    static_assert(!TimerHandler::can_store_v<Oversized>);
+
+    struct ThrowingMove {
+        ThrowingMove() = default;
+        ThrowingMove(ThrowingMove&&) noexcept(false) {}
+        void operator()() const {}
+    };
+    static_assert(!TimerHandler::can_store_v<ThrowingMove>);
+
+    struct WrongSignature {
+        int operator()(int x) const { return x; }
+    };
+    static_assert(!TimerHandler::can_store_v<WrongSignature>);
+}
+
+TEST(InplaceFunction, InvokesStoredCallable) {
+    int hits = 0;
+    InplaceFunction<void(), 16> fn([&hits] { ++hits; });
+    ASSERT_TRUE(static_cast<bool>(fn));
+    fn();
+    fn();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceFunction, MoveTransfersAndEmptiesSource) {
+    int hits = 0;
+    InplaceFunction<void(), 16> a([&hits] { ++hits; });
+    InplaceFunction<void(), 16> b(std::move(a));
+    EXPECT_TRUE(a == nullptr);  // NOLINT(bugprone-use-after-move): spec'd empty
+    b();
+    EXPECT_EQ(hits, 1);
+
+    InplaceFunction<void(), 16> c;
+    c = std::move(b);
+    EXPECT_TRUE(b == nullptr);  // NOLINT(bugprone-use-after-move)
+    c();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceFunction, StoresMoveOnlyCaptures) {
+    auto owned = std::make_unique<int>(41);
+    InplaceFunction<int(), 16> fn([p = std::move(owned)] { return *p + 1; });
+    EXPECT_EQ(fn(), 42);
+}
+
+TEST(InplaceFunction, DestroysCaptureExactlyOnce) {
+    auto counter = std::make_shared<int>(0);
+    {
+        InplaceFunction<void(), 32> fn([counter] {});
+        EXPECT_EQ(counter.use_count(), 2);
+        InplaceFunction<void(), 32> moved(std::move(fn));
+        EXPECT_EQ(counter.use_count(), 2);  // relocation, not duplication
+    }
+    EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InplaceFunction, CallingEmptyAsserts) {
+    InplaceFunction<void(), 16> fn;
+    EXPECT_THROW(fn(), AssertionError);
+}
+
+}  // namespace
+}  // namespace bacp

@@ -1,0 +1,86 @@
+// bench::ParallelSweep: the fan-out helper behind the E3/E8/E17/E18
+// sweeps.  The property that matters is determinism -- results merged by
+// job index must be identical at every thread count -- plus exception
+// transport and the thread-count resolution order.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "parallel_sweep.hpp"
+#include "workload/scenario.hpp"
+
+namespace bacp::bench {
+namespace {
+
+TEST(ParallelSweep, MergesByIndexRegardlessOfThreadCount) {
+    auto job = [](std::size_t i) { return static_cast<int>(i * i); };
+    const auto serial = ParallelSweep(1).run(97, job);
+    for (const unsigned threads : {2u, 3u, 8u}) {
+        const auto parallel = ParallelSweep(threads).run(97, job);
+        EXPECT_EQ(parallel, serial) << "thread count " << threads;
+    }
+}
+
+TEST(ParallelSweep, SimulationGridIsThreadCountInvariant) {
+    // The real contract: independent simulations (own Simulator, own RNG
+    // streams) produce bit-identical metrics no matter how the grid is
+    // sharded.  A miniature E3-style grid keeps this fast.
+    auto job = [](std::size_t i) {
+        workload::Scenario s;
+        s.w = 4;
+        s.count = 120;
+        s.loss = 0.05 * static_cast<double>(i % 3);
+        s.seed = 100 + i;
+        const auto r = workload::run_scenario(s);
+        return r.completed ? r.metrics.throughput_msgs_per_sec() : -1.0;
+    };
+    const auto serial = ParallelSweep(1).run(6, job);
+    const auto parallel = ParallelSweep(8).run(6, job);
+    EXPECT_EQ(parallel, serial);  // exact, not approximate
+}
+
+TEST(ParallelSweep, RunsEveryJobExactlyOnce) {
+    std::vector<std::atomic<int>> counts(64);
+    ParallelSweep(4).run(counts.size(), [&](std::size_t i) {
+        counts[i].fetch_add(1);
+        return 0;
+    });
+    for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelSweep, EmptyAndSingleJobGrids) {
+    ParallelSweep sweep(4);
+    EXPECT_TRUE(sweep.run(0, [](std::size_t) { return 1; }).empty());
+    const auto one = sweep.run(1, [](std::size_t i) { return i + 7; });
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], 7u);
+}
+
+TEST(ParallelSweep, PropagatesJobExceptions) {
+    ParallelSweep sweep(4);
+    EXPECT_THROW(sweep.run(32,
+                           [](std::size_t i) {
+                               if (i == 17) throw std::runtime_error("job 17");
+                               return 0;
+                           }),
+                 std::runtime_error);
+}
+
+TEST(ParallelSweep, ThreadCountResolutionOrder) {
+    // Explicit argument wins over everything.
+    EXPECT_EQ(ParallelSweep(3).threads(), 3u);
+    // BACP_SWEEP_THREADS drives the default.
+    ::setenv("BACP_SWEEP_THREADS", "5", 1);
+    EXPECT_EQ(ParallelSweep().threads(), 5u);
+    ::setenv("BACP_SWEEP_THREADS", "not-a-number", 1);
+    EXPECT_GE(ParallelSweep().threads(), 1u);  // falls back to hardware
+    ::unsetenv("BACP_SWEEP_THREADS");
+    EXPECT_GE(ParallelSweep().threads(), 1u);
+}
+
+}  // namespace
+}  // namespace bacp::bench
