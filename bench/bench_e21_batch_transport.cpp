@@ -1,0 +1,346 @@
+// E21 -- batch transport API: syscall amortization and allocation budget.
+//
+// E19 shows the batch path end to end through the protocol engines; this
+// bench isolates net::Transport itself.  Two questions:
+//
+//   1. What does sendmmsg/recvmmsg amortization buy at the socket
+//      boundary?  An offered-load sweep blasts a fixed byte volume over
+//      loopback UDP through three shapes of the same traffic: the
+//      pre-batch API reproduced from the seed (one send syscall per
+//      datagram, one ::recv into a freshly allocated-and-zeroed 64 KiB
+//      vector per receive), the deprecated recv() compatibility shim
+//      (batch-of-one underneath), and send_batch/recv_batch at burst
+//      8..128.  Reported per point: goodput, datagrams per syscall,
+//      allocations.  The headline compares the highest offered-load
+//      batched point against the pre-batch baseline.
+//
+//   2. Does the zero-alloc receive claim hold?  The steady-state half of
+//      each blast runs under the counting allocator hook (same hook as
+//      E20): after RecvBatch slabs, send scratch, and the inproc free
+//      list reach their high-water marks, allocations per received
+//      datagram must be exactly 0 on both transports.  That figure is
+//      the CI gate (--check-budget), stable on shared runners where
+//      wall-clock numbers are not.
+//
+//   --quick            smaller blast (CI smoke; same gate)
+//   --check-budget X   exit nonzero when steady-state allocs per received
+//                      datagram exceeds X on any transport
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "json_out.hpp"
+#include "net/transport.hpp"
+#include "workload/report.hpp"
+
+// ---- counting allocator hook -----------------------------------------------
+// Same scheme as E20: replace global operator new/delete so every heap
+// allocation in the process is counted, with no instrumentation to drift.
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+std::atomic<std::uint64_t> g_frees{0};
+
+std::uint64_t allocs_now() { return g_allocs.load(std::memory_order_relaxed); }
+}  // namespace
+
+void* operator new(std::size_t size) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+    if (void* p = std::malloc(size ? size : 1)) return p;
+    throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+    if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                     (size + static_cast<std::size_t>(align) - 1) &
+                                         ~(static_cast<std::size_t>(align) - 1))) {
+        return p;
+    }
+    throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+    return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept {
+    if (p != nullptr) g_frees.fetch_add(1, std::memory_order_relaxed);
+    std::free(p);
+}
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::align_val_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { ::operator delete(p); }
+
+// ---- the bench -------------------------------------------------------------
+
+using namespace bacp;
+using namespace bacp::net;
+
+namespace {
+
+constexpr std::size_t kPayload = 512;  // small enough that syscall cost matters
+
+std::size_t g_datagrams = 400000;  // per measured point (~200 MB offered)
+
+double now_sec() {
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+struct BlastResult {
+    std::size_t sent = 0;
+    std::size_t received = 0;
+    double wall_sec = 0;
+    std::uint64_t allocs_steady = 0;     // second half of the blast
+    std::uint64_t received_steady = 0;
+    Metrics tx;  // sender-side transport counters for the blast
+    Metrics rx;
+
+    double goodput_mbps() const {
+        if (wall_sec <= 0) return 0;
+        return static_cast<double>(received) * kPayload * 8.0 / wall_sec / 1e6;
+    }
+    double dgrams_per_syscall() const {
+        const std::uint64_t syscalls = tx.syscalls_sent + rx.syscalls_received;
+        if (syscalls == 0) return 0;
+        return static_cast<double>(tx.datagrams_sent + rx.datagrams_received) /
+               static_cast<double>(syscalls);
+    }
+    double steady_allocs_per_datagram() const {
+        if (received_steady == 0) return 0;
+        return static_cast<double>(allocs_steady) / static_cast<double>(received_steady);
+    }
+};
+
+/// How the receive side is driven.
+enum class Path {
+    OldApi,   // the seed's pre-batch receive, reproduced byte for byte:
+              // one ::recv(2) into a freshly value-initialized
+              // kMaxDatagram vector per call (alloc + 64 KiB zeroing +
+              // syscall per datagram) -- the "before" this PR replaces
+    Shim,     // the deprecated recv() compatibility shim (batch-of-one
+              // under the hood, one allocation for the returned copy)
+    Batched,  // send_batch/recv_batch at the row's burst size
+};
+
+/// The seed implementation of UdpTransport::recv(), preserved here as
+/// the baseline after the transport itself moved on.
+std::optional<std::vector<std::uint8_t>> old_api_recv(int fd) {
+    std::vector<std::uint8_t> buf(kMaxDatagram);
+    const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+    if (n < 0) return std::nullopt;
+    buf.resize(static_cast<std::size_t>(n));
+    return buf;
+}
+
+/// Moves g_datagrams of kPayload bytes from \p tx to \p rx in bursts,
+/// alternating one send sweep with a full drain (loopback delivery is
+/// synchronous, so nothing is in flight across iterations).
+BlastResult blast(Transport& tx, Transport& rx, std::size_t burst, Path path) {
+    BlastResult out;
+    const Metrics tx_before = tx.stats();
+    const Metrics rx_before = rx.stats();
+
+    std::vector<std::uint8_t> payload(kPayload);
+    for (std::size_t i = 0; i < kPayload; ++i) {
+        payload[i] = static_cast<std::uint8_t>(i * 7 + 3);
+    }
+    std::vector<std::span<const std::uint8_t>> spans(burst, std::span(payload));
+    RecvBatch batch(burst, kMaxDatagram);
+
+    const std::size_t half = g_datagrams / 2;
+    std::uint64_t allocs_at_half = 0;
+    std::size_t received_at_half = 0;
+    std::uint64_t old_api_received = 0;  // stats_ can't see the raw path
+
+    const double start = now_sec();
+    while (out.sent < g_datagrams) {
+        const std::size_t chunk = std::min(burst, g_datagrams - out.sent);
+        switch (path) {
+            case Path::OldApi:
+                tx.send(payload);
+                out.sent += 1;
+                while (old_api_recv(rx.fd())) {
+                    ++out.received;
+                    ++old_api_received;
+                }
+                break;
+            case Path::Shim:
+                tx.send(payload);
+                out.sent += 1;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+                while (rx.recv()) ++out.received;
+#pragma GCC diagnostic pop
+                break;
+            case Path::Batched:
+                tx.send_batch(std::span(spans.data(), chunk));
+                out.sent += chunk;
+                while (rx.recv_batch(batch) > 0) out.received += batch.size();
+                break;
+        }
+        if (allocs_at_half == 0 && out.sent >= half) {
+            allocs_at_half = allocs_now();
+            received_at_half = out.received;
+        }
+    }
+    out.wall_sec = now_sec() - start;
+    out.allocs_steady = allocs_now() - allocs_at_half;
+    out.received_steady = out.received - received_at_half;
+
+    // Per-blast deltas: the same pair serves several sweep points.
+    out.tx = tx.stats();
+    out.rx = rx.stats();
+    out.tx.datagrams_sent -= tx_before.datagrams_sent;
+    out.tx.syscalls_sent -= tx_before.syscalls_sent;
+    out.tx.bytes_sent -= tx_before.bytes_sent;
+    out.tx.send_drops -= tx_before.send_drops;
+    out.rx.datagrams_received -= rx_before.datagrams_received;
+    out.rx.syscalls_received -= rx_before.syscalls_received;
+    out.rx.bytes_received -= rx_before.bytes_received;
+    // The raw baseline bypasses Transport counters; reconstruct them so
+    // the table's dgram/syscall column stays truthful (1 syscall per
+    // attempted receive, 1 per send).
+    if (path == Path::OldApi) {
+        out.rx.datagrams_received = old_api_received;
+        out.rx.syscalls_received = out.sent + old_api_received;  // hit + empty probe
+        out.rx.bytes_received = old_api_received * kPayload;
+    }
+    return out;
+}
+
+/// Best-of-N wrapper: the fastest repetition is the one least disturbed
+/// by scheduler noise on a shared box, and the one the counters describe
+/// (syscall ratios are identical across reps; only wall time moves).
+BlastResult best_blast(Transport& tx, Transport& rx, std::size_t burst, Path path,
+                       int reps) {
+    BlastResult best = blast(tx, rx, burst, path);
+    for (int r = 1; r < reps; ++r) {
+        BlastResult cand = blast(tx, rx, burst, path);
+        if (cand.goodput_mbps() > best.goodput_mbps()) best = cand;
+    }
+    return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool quick = false;
+    double budget = -1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--check-budget") == 0 && i + 1 < argc) {
+            budget = std::atof(argv[++i]);
+        } else {
+            std::fprintf(stderr, "usage: %s [--quick] [--check-budget X]\n", argv[0]);
+            return 2;
+        }
+    }
+    if (quick) g_datagrams = 40000;
+
+    std::printf("E21: batch transport blast, %zu x %zu B per point\n"
+                "     (loopback UDP + inproc; old-api = the seed's per-datagram\n"
+                "      recv with a fresh zeroed 64 KiB buffer each call)\n\n",
+                g_datagrams, kPayload);
+
+    workload::Table table({"mode", "burst", "goodput", "dgram/syscall", "delivered",
+                           "steady allocs/dgram"});
+    bench::Json points = bench::Json::array();
+    bool over_budget = false;
+    double udp_single_goodput = 0;
+    double udp_top_goodput = 0;
+    double udp_top_ratio = 0;
+    double udp_top_allocs = 0;
+
+    auto record = [&](const char* name, std::size_t burst, const BlastResult& r) {
+        const double delivered =
+            static_cast<double>(r.received) / static_cast<double>(g_datagrams);
+        table.add_row({name, std::to_string(burst),
+                       workload::fmt(r.goodput_mbps(), 0) + " Mbit/s",
+                       workload::fmt(r.dgrams_per_syscall(), 2),
+                       workload::fmt(delivered * 100, 1) + "%",
+                       workload::fmt(r.steady_allocs_per_datagram(), 6)});
+        points.push(bench::Json::object()
+                        .set("mode", bench::Json::str(name))
+                        .set("burst", bench::Json::num(static_cast<std::uint64_t>(burst)))
+                        .set("goodput_mbps", bench::Json::num(r.goodput_mbps()))
+                        .set("dgrams_per_syscall", bench::Json::num(r.dgrams_per_syscall()))
+                        .set("received", bench::Json::num(static_cast<std::uint64_t>(r.received)))
+                        .set("steady_allocs_per_datagram",
+                             bench::Json::num(r.steady_allocs_per_datagram()))
+                        .set("tx", bench::counters_json(r.tx))
+                        .set("rx", bench::counters_json(r.rx)));
+        // The gate covers only the batch path: burst 1 is the old API,
+        // whose per-datagram allocation is part of what it demonstrates.
+        if (budget >= 0 && burst > 1 && r.steady_allocs_per_datagram() > budget) {
+            over_budget = true;
+        }
+    };
+
+    const int reps = quick ? 1 : 3;
+
+    {
+        auto [a, b] = UdpTransport::make_pair();
+        const BlastResult old_api = best_blast(*a, *b, 1, Path::OldApi, reps);
+        record("udp old-api", 1, old_api);
+        udp_single_goodput = old_api.goodput_mbps();
+        record("udp shim", 1, best_blast(*a, *b, 1, Path::Shim, reps));
+        for (const std::size_t burst : {std::size_t{8}, std::size_t{32},
+                                        std::size_t{128}}) {
+            const BlastResult r = best_blast(*a, *b, burst, Path::Batched, reps);
+            record("udp batched", burst, r);
+            if (burst == 128) {
+                udp_top_goodput = r.goodput_mbps();
+                udp_top_ratio = r.dgrams_per_syscall();
+                udp_top_allocs = r.steady_allocs_per_datagram();
+            }
+        }
+    }
+    {
+        auto [a, b] = InprocTransport::make_pair(/*capacity=*/256);
+        record("inproc shim", 1, best_blast(*a, *b, 1, Path::Shim, reps));
+        record("inproc batched", 32, best_blast(*a, *b, 32, Path::Batched, reps));
+    }
+
+    table.print("E21: offered-load sweep, batched vs the pre-batch API");
+
+    const double speedup =
+        udp_single_goodput > 0 ? udp_top_goodput / udp_single_goodput : 0;
+    std::printf("\nudp highest offered load (burst 128): %.0f Mbit/s, "
+                "%.2f dgrams/syscall, %.2fx over the pre-batch API, "
+                "%.6f steady allocs/dgram\n",
+                udp_top_goodput, udp_top_ratio, speedup, udp_top_allocs);
+
+    bench::BenchOutput out("e21_batch_transport");
+    out.meta("datagrams_per_point", bench::Json::num(static_cast<std::uint64_t>(g_datagrams)))
+        .meta("payload_bytes", bench::Json::num(static_cast<std::uint64_t>(kPayload)))
+        .meta("quick", bench::Json::boolean(quick))
+        .meta("udp_speedup_at_top_load", bench::Json::num(speedup))
+        .meta("points", std::move(points))
+        .add_table("offered-load sweep", table);
+    if (!out.write()) std::printf("warning: could not write BENCH_e21 output files\n");
+
+    if (budget >= 0) {
+        std::printf("budget gate: steady allocs/dgram <= %g: %s\n", budget,
+                    over_budget ? "FAIL" : "ok");
+        if (over_budget) return 1;
+    }
+    std::printf("Machine-readable copies: BENCH_e21_batch_transport.{json,csv}\n");
+    return 0;
+}

@@ -133,6 +133,19 @@ private:
     Value value_;
 };
 
+/// Serializes any counter struct exposing `fields()` (an iterable of
+/// {name, value} records, e.g. net::Metrics) as a flat JSON object --
+/// the one bridge between src-side counters and bench metadata, so a
+/// new counter shows up in every results file without bench edits.
+template <typename Counters>
+Json counters_json(const Counters& counters) {
+    Json obj = Json::object();
+    for (const auto& field : counters.fields()) {
+        obj.set(field.name, Json::num(static_cast<std::uint64_t>(field.value)));
+    }
+    return obj;
+}
+
 /// Accumulates an experiment's tables and metadata, then writes
 /// BENCH_<name>.json and BENCH_<name>.csv side by side.  CSV holds the
 /// tables verbatim (sections separated by "# <title>" comment lines);

@@ -35,6 +35,16 @@ echo "== example smoke: udp_transfer (UDP loopback, 2 s cap) =="
 echo "== bench smoke: E20 steady-state alloc gate (budget 0) =="
 (cd "$BUILD_DIR"/bench && ./bench_e20_des_throughput --quick --check-budget 0)
 
+# Batch transport gates.  E19 asserts the engine-level syscall
+# amortization (>= 8 datagrams per sendmmsg on the clean batched path);
+# E21 asserts the zero-alloc receive arena (0 steady-state allocations
+# per datagram on every batched row).  Both are count gates, not timing
+# gates, so they hold under sanitizers.
+echo "== bench smoke: E19 batched-path amortization gate =="
+(cd "$BUILD_DIR"/bench && ./bench_e19_net_loopback --quick)
+echo "== bench smoke: E21 batch transport alloc gate (budget 0) =="
+(cd "$BUILD_DIR"/bench && ./bench_e21_batch_transport --quick --check-budget 0)
+
 # Sweep determinism: the parallel experiment fan-out must render
 # byte-identical tables at 1, 2, and 8 threads (see scripts/sweep.sh).
 echo "== sweep determinism: E8 at 1/2/8 threads =="

@@ -27,59 +27,82 @@ Impairer::~Impairer() {
     for (const TimerId id : live_timers_) wheel_->cancel(id);
 }
 
-bool Impairer::send(std::span<const std::uint8_t> datagram) {
-    ++impair_stats_.offered;
-    // Draw order is fixed (loss, dup, then per-copy delay/reorder) so a
-    // given seed always produces the same impairment sequence.
-    if (rng_.chance(spec_.loss)) {
-        ++impair_stats_.dropped;
-        // To the caller a dropped datagram looks sent: loss is silent on
-        // real networks, and the protocol's timers are what notice it.
-        return true;
-    }
-    int copies = 1;
-    if (rng_.chance(spec_.dup)) {
-        copies = 2;
-        ++impair_stats_.duplicated;
-    }
-    for (int i = 0; i < copies; ++i) {
-        SimTime delay = 0;
-        if (spec_.delay_hi > 0) {
-            delay = static_cast<SimTime>(rng_.uniform_in(
-                static_cast<std::uint64_t>(spec_.delay_lo),
-                static_cast<std::uint64_t>(spec_.delay_hi)));
+std::size_t Impairer::send_batch(std::span<const std::span<const std::uint8_t>> datagrams) {
+    // Matured delayed copies staged before this call predate the new
+    // datagrams; push them out first to keep rough FIFO order.
+    flush();
+    immediate_.clear();
+    for (const std::span<const std::uint8_t> datagram : datagrams) {
+        ++stats_.offered;
+        // Draw order is fixed (loss, dup, then per-copy delay/reorder) --
+        // and identical whether the datagram arrives alone or mid-batch --
+        // so a given seed always produces the same impairment sequence.
+        if (rng_.chance(spec_.loss)) {
+            ++stats_.dropped;
+            // To the caller a dropped datagram looks sent: loss is silent
+            // on real networks, and the protocol's timers are what notice
+            // it.
+            continue;
         }
-        if (rng_.chance(spec_.reorder)) {
-            delay += spec_.reorder_extra;
-            ++impair_stats_.reordered;
+        int copies = 1;
+        if (rng_.chance(spec_.dup)) {
+            copies = 2;
+            ++stats_.duplicated;
         }
-        dispatch(std::vector<std::uint8_t>(datagram.begin(), datagram.end()), delay);
+        for (int i = 0; i < copies; ++i) {
+            SimTime delay = 0;
+            if (spec_.delay_hi > 0) {
+                delay = static_cast<SimTime>(rng_.uniform_in(
+                    static_cast<std::uint64_t>(spec_.delay_lo),
+                    static_cast<std::uint64_t>(spec_.delay_hi)));
+            }
+            if (rng_.chance(spec_.reorder)) {
+                delay += spec_.reorder_extra;
+                ++stats_.reordered;
+            }
+            dispatch(datagram, delay);
+        }
     }
-    return true;
+    // Everything leaving now goes through one inner batch -- the
+    // amortization survives the impairment boundary.
+    forward_spans(immediate_);
+    immediate_.clear();
+    return datagrams.size();
 }
 
-void Impairer::forward(std::span<const std::uint8_t> datagram) {
-    if (inner_->send(datagram)) {
-        ++stats_.datagrams_sent;
-        stats_.bytes_sent += datagram.size();
-    } else {
-        ++stats_.send_drops;
-    }
+void Impairer::flush() {
+    if (staged_.empty()) return;
+    forward_spans(staged_.spans());
+    staged_.clear();
 }
 
-void Impairer::dispatch(std::vector<std::uint8_t> copy, SimTime delay) {
+void Impairer::forward_spans(std::span<const std::span<const std::uint8_t>> spans) {
+    if (spans.empty()) return;
+    const std::size_t accepted = inner_->send_batch(spans);
+    for (std::size_t i = 0; i < accepted; ++i) {
+        stats_.bytes_sent += spans[i].size();
+    }
+    stats_.datagrams_sent += accepted;
+    stats_.send_drops += spans.size() - accepted;
+}
+
+void Impairer::dispatch(std::span<const std::uint8_t> copy, SimTime delay) {
     if (delay <= 0) {
-        forward(copy);
+        // Caller memory stays valid until send_batch returns, which is
+        // when immediate_ is forwarded and cleared.
+        immediate_.push_back(copy);
         return;
     }
-    ++impair_stats_.delayed;
+    ++stats_.delayed;
     // The timer id is only known after schedule_after() returns, so the
     // closure reads it through a shared slot patched in just below.
     auto slot = std::make_shared<TimerId>(kInvalidTimer);
-    auto payload = std::make_shared<std::vector<std::uint8_t>>(std::move(copy));
+    auto payload = std::make_shared<std::vector<std::uint8_t>>(copy.begin(), copy.end());
     const TimerId id = wheel_->schedule_after(delay, [this, slot, payload]() {
         live_timers_.erase(*slot);
-        forward(*payload);
+        // Stage rather than send: due copies coalesce into one inner
+        // batch at the owner's next flush(), right after fire_due().
+        staged_.append(*payload);
     });
     *slot = id;
     live_timers_.insert(id);

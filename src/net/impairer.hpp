@@ -12,9 +12,17 @@
 /// from an explicitly seeded Rng drawn in send order, so a run over
 /// InprocTransport + ManualClock is exactly reproducible from its seed.
 ///
-/// Delayed copies are parked on the endpoint's TimerWheel; the Impairer
-/// cancels its outstanding timers on destruction so a parked closure can
-/// never fire into a dead object.
+/// The boundary is batch-aware: send_batch() applies the per-datagram
+/// decisions to the whole batch in send order -- the exact RNG draw
+/// sequence of the single-datagram path, so batch and single-shot runs
+/// impair identically under the same seed -- and forwards every copy
+/// that goes out *now* as one inner send_batch.  Copies given a delay
+/// are parked on the endpoint's TimerWheel; when their timers mature
+/// they are staged rather than sent one by one, and the next flush()
+/// (called by the owning event loop right after firing the wheel, or by
+/// the next send_batch) pushes the whole coalesced group through one
+/// inner call.  The Impairer cancels its outstanding timers on
+/// destruction so a parked closure can never fire into a dead object.
 
 #include <cstdint>
 #include <memory>
@@ -24,6 +32,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "net/metrics.hpp"
 #include "net/timer_wheel.hpp"
 #include "net/transport.hpp"
 
@@ -44,17 +53,11 @@ struct ImpairSpec {
     static ImpairSpec lossy(double p);
 };
 
-struct ImpairStats {
-    std::uint64_t offered = 0;    // datagrams handed to send()
-    std::uint64_t dropped = 0;
-    std::uint64_t duplicated = 0; // extra copies created
-    std::uint64_t reordered = 0;  // copies given the reorder delay
-    std::uint64_t delayed = 0;    // copies parked on the timer wheel
-};
-
 /// A Transport decorator: impairs, then forwards to the inner transport.
-/// Not a Transport subclass on the receive path by accident -- recv() and
-/// fd() just forward, so an Impairer can be used anywhere a Transport is.
+/// recv_batch() and fd() just forward, so an Impairer can be used
+/// anywhere a Transport is.  Its Metrics carries both families of
+/// counters: the forwarding totals (what actually reached the inner
+/// transport) and the impairment decisions (offered/dropped/...).
 class Impairer final : public Transport {
 public:
     /// Impairs datagrams sent through \p inner.  \p wheel must outlive
@@ -65,25 +68,38 @@ public:
     Impairer(const Impairer&) = delete;
     Impairer& operator=(const Impairer&) = delete;
 
-    bool send(std::span<const std::uint8_t> datagram) override;
-    std::optional<std::vector<std::uint8_t>> recv() override { return inner_->recv(); }
+    /// Loss is silent on real networks: every datagram counts as
+    /// accepted, so this always returns datagrams.size().
+    std::size_t send_batch(std::span<const std::span<const std::uint8_t>> datagrams) override;
+    std::size_t recv_batch(RecvBatch& batch) override { return inner_->recv_batch(batch); }
     int fd() const override { return inner_->fd(); }
 
-    const ImpairStats& impair_stats() const { return impair_stats_; }
+    /// Forwards every matured delayed copy staged since the last flush
+    /// through one inner send_batch.
+    void flush() override;
+
+    /// Unified counters; same object as stats().  The name survives the
+    /// TransportStats/ImpairStats merger for existing callers.
+    const Metrics& impair_stats() const { return stats(); }
 
 private:
-    /// Sends one copy through the inner transport, keeping our stats.
-    void forward(std::span<const std::uint8_t> datagram);
+    /// Sends \p spans through the inner transport in one batch, keeping
+    /// our forwarding stats.
+    void forward_spans(std::span<const std::span<const std::uint8_t>> spans);
 
-    /// Forwards one copy now or parks it on the wheel.
-    void dispatch(std::vector<std::uint8_t> copy, SimTime delay);
+    /// Stages one copy for immediate forwarding or parks it on the wheel.
+    void dispatch(std::span<const std::uint8_t> copy, SimTime delay);
 
     Transport* inner_;
     TimerWheel* wheel_;
     ImpairSpec spec_;
     Rng rng_;
-    ImpairStats impair_stats_;
     std::unordered_set<TimerId> live_timers_;
+    /// Copies going out in the current send_batch call (zero-delay) --
+    /// spans into caller memory, valid for the duration of the call.
+    std::vector<std::span<const std::uint8_t>> immediate_;
+    /// Matured delayed copies awaiting the next flush().
+    SendBatch staged_;
 };
 
 }  // namespace bacp::net

@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Unified transport-layer counters for the real-time runtime.
+///
+/// One struct covers both families of counters that used to live apart
+/// (TransportStats on Transport, ImpairStats on Impairer): datagram and
+/// byte totals, batch-syscall counts, and the impairment decisions.  A
+/// plain transport leaves the impairment block at zero; an Impairer
+/// fills both.  Keeping them in one struct means every consumer -- the
+/// NetReport, bench JSON emitters, tests -- sees the same field list,
+/// and fields() gives serializers a name->value view so no bench ever
+/// hand-copies counter names again (bench/json_out.hpp consumes it via
+/// counters_json()).
+///
+/// syscalls_sent / syscalls_received count *batch boundary crossings*:
+/// real sendmmsg(2)/recvmmsg(2) invocations on UdpTransport, one per
+/// send_batch/recv_batch call on InprocTransport (whose "syscall" is a
+/// mutex-guarded queue sweep).  datagrams_sent / syscalls_sent is the
+/// amortization the batch API exists to buy; E19/E21 report it.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace bacp::net {
+
+struct Metrics {
+    // ---- transport counters (every Transport) -------------------------
+    std::uint64_t datagrams_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t datagrams_received = 0;
+    std::uint64_t bytes_received = 0;
+    /// Datagrams the transport itself had to drop on send (full socket
+    /// buffer / full queue), including the tail of a partial batch.
+    /// Indistinguishable from channel loss to the protocol, which is
+    /// exactly how it recovers.
+    std::uint64_t send_drops = 0;
+    /// Batch boundary crossings: sendmmsg/recvmmsg invocations on UDP,
+    /// queue sweeps on the in-process pair.
+    std::uint64_t syscalls_sent = 0;
+    std::uint64_t syscalls_received = 0;
+
+    // ---- impairment counters (zero on plain transports) ---------------
+    std::uint64_t offered = 0;     // datagrams handed to the impairer
+    std::uint64_t dropped = 0;     // silently lost
+    std::uint64_t duplicated = 0;  // extra copies created
+    std::uint64_t reordered = 0;   // copies given the reorder delay
+    std::uint64_t delayed = 0;     // copies parked on the timer wheel
+
+    double datagrams_per_send_syscall() const {
+        return syscalls_sent > 0
+                   ? static_cast<double>(datagrams_sent) / static_cast<double>(syscalls_sent)
+                   : 0.0;
+    }
+    double datagrams_per_recv_syscall() const {
+        return syscalls_received > 0 ? static_cast<double>(datagrams_received) /
+                                           static_cast<double>(syscalls_received)
+                                     : 0.0;
+    }
+
+    Metrics& operator+=(const Metrics& o) {
+        datagrams_sent += o.datagrams_sent;
+        bytes_sent += o.bytes_sent;
+        datagrams_received += o.datagrams_received;
+        bytes_received += o.bytes_received;
+        send_drops += o.send_drops;
+        syscalls_sent += o.syscalls_sent;
+        syscalls_received += o.syscalls_received;
+        offered += o.offered;
+        dropped += o.dropped;
+        duplicated += o.duplicated;
+        reordered += o.reordered;
+        delayed += o.delayed;
+        return *this;
+    }
+
+    struct Field {
+        const char* name;
+        std::uint64_t value;
+    };
+    static constexpr std::size_t kFieldCount = 12;
+
+    /// Stable name->value view of every counter, in declaration order.
+    /// The single source of truth for serialization: to_json() and
+    /// bench::counters_json() both walk it.
+    std::array<Field, kFieldCount> fields() const {
+        return {{{"datagrams_sent", datagrams_sent},
+                 {"bytes_sent", bytes_sent},
+                 {"datagrams_received", datagrams_received},
+                 {"bytes_received", bytes_received},
+                 {"send_drops", send_drops},
+                 {"syscalls_sent", syscalls_sent},
+                 {"syscalls_received", syscalls_received},
+                 {"offered", offered},
+                 {"dropped", dropped},
+                 {"duplicated", duplicated},
+                 {"reordered", reordered},
+                 {"delayed", delayed}}};
+    }
+
+    /// Flat JSON object of every counter.
+    std::string to_json() const {
+        std::string out = "{";
+        bool first = true;
+        for (const Field& f : fields()) {
+            if (!first) out += ",";
+            first = false;
+            out += "\"";
+            out += f.name;
+            out += "\":";
+            out += std::to_string(f.value);
+        }
+        out += "}";
+        return out;
+    }
+};
+
+/// Transitional aliases (one PR): the split stat structs are unified in
+/// Metrics; out-of-tree code keeps compiling against the old names.
+using TransportStats = Metrics;
+using ImpairStats = Metrics;
+
+}  // namespace bacp::net

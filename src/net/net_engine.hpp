@@ -82,6 +82,17 @@ struct NetConfig {
     SimTime deadline = 60 * kSecond;  // run cap, in clock time
     bool enable_nak = false;
     Seq nak_threshold = 3;
+    /// Datagrams per transport batch: the RecvBatch arena capacity and
+    /// the flush granularity of the tick's staged sends.  0 sizes it
+    /// from the window -- the batch the protocol naturally builds.
+    /// 1 degenerates to the single-shot path (one syscall per datagram),
+    /// kept as the A/B baseline E19 measures against.
+    std::size_t batch = 0;
+
+    std::size_t effective_batch() const {
+        if (batch > 0) return batch;
+        return std::max<std::size_t>(static_cast<std::size_t>(w), 1);
+    }
 
     /// The EngineConfig handed to core constructors: same knobs, with the
     /// links described as lossless-with-lifetime (loss/delay live in the
@@ -110,17 +121,22 @@ struct NetConfig {
 
 /// Deterministic payload for message \p seq: a splitmix64 stream keyed by
 /// the sequence number, so the receiver can verify every delivered byte
-/// without any side channel.
-inline std::vector<std::uint8_t> pattern_payload(Seq seq, std::size_t size) {
-    std::vector<std::uint8_t> payload(size);
+/// without any side channel.  The fill form writes into caller memory
+/// (the batch slab / a reused scratch) and is what the hot paths use.
+inline void pattern_fill(Seq seq, std::span<std::uint8_t> payload) {
     std::uint64_t state = seq ^ 0xba5eba115eedULL;
     std::size_t i = 0;
-    while (i < size) {
+    while (i < payload.size()) {
         const std::uint64_t word = splitmix64(state);
-        for (int b = 0; b < 8 && i < size; ++b, ++i) {
+        for (int b = 0; b < 8 && i < payload.size(); ++b, ++i) {
             payload[i] = static_cast<std::uint8_t>(word >> (8 * b));
         }
     }
+}
+
+inline std::vector<std::uint8_t> pattern_payload(Seq seq, std::size_t size) {
+    std::vector<std::uint8_t> payload(size);
+    pattern_fill(seq, payload);
     return payload;
 }
 
@@ -154,17 +170,26 @@ public:
     }
 
     /// Opens the faucet.  Call once before the poll loop.
-    void start() { pump_send(); }
+    void start() {
+        pump_send();
+        tx_batch_.flush(*transport_);
+    }
 
-    /// One event-loop iteration: fires due timers, then handles every
-    /// datagram currently readable.  Returns how many units of work
-    /// (timers + datagrams) were processed.
+    /// One event-loop iteration: fires due timers, pushes out matured
+    /// delayed copies, then handles every datagram currently readable --
+    /// drained a whole arena at a time -- and finally flushes everything
+    /// the tick staged (new sends, retransmits) as one batch.  Returns
+    /// how many units of work (timers + datagrams) were processed.
     std::size_t poll() {
         std::size_t work = wheel_.fire_due();
-        while (auto datagram = transport_->recv()) {
-            handle_datagram(*datagram);
-            ++work;
+        transport_->flush();  // delayed impairer copies matured above
+        for (;;) {
+            const std::size_t n = transport_->recv_batch(rx_batch_);
+            for (std::size_t i = 0; i < n; ++i) handle_datagram(rx_batch_[i]);
+            work += n;
+            if (n < rx_batch_.capacity()) break;
         }
+        tx_batch_.flush(*transport_);
         return work;
     }
 
@@ -185,7 +210,7 @@ private:
         return txlog_.view(wheel_.now(), cfg_.link_lifetime);
     }
 
-    void handle_datagram(const std::vector<std::uint8_t>& bytes) {
+    void handle_datagram(std::span<const std::uint8_t> bytes) {
         const wire::DecodeResult result = wire::decode(bytes);
         if (!result.ok()) {
             ++metrics_.decode_errors;
@@ -232,9 +257,16 @@ private:
             ++metrics_.data_new;
         }
         txlog_.note(true_seq, wheel_.now());
-        const std::vector<std::uint8_t> payload =
-            pattern_payload(true_seq, cfg_.payload_size);
-        transport_->send(wire::encode_data(msg.seq, payload));
+        // Stage the frame on the tick's batch; poll() flushes the whole
+        // window in one send_batch.  The payload pattern is generated
+        // into a reused scratch and encoded straight onto the slab --
+        // no per-frame allocation once both are at high-water mark.
+        payload_scratch_.resize(cfg_.payload_size);
+        pattern_fill(true_seq, payload_scratch_);
+        tx_batch_.append_with([&](std::vector<std::uint8_t>& slab) {
+            wire::encode_data_to(slab, msg.seq, payload_scratch_);
+        });
+        if (cfg_.effective_batch() <= 1) tx_batch_.flush(*transport_);
         switch (mode_) {
             case runtime::TimeoutMode::SimpleTimer:
                 simple_timer_.restart(timeout_);
@@ -383,6 +415,9 @@ private:
     runtime::TxLog txlog_;
     std::vector<Seq> seq_scratch_;  // candidate sets, reused per timeout/ack
     std::unordered_map<TimerId, std::shared_ptr<TimerId>> per_message_timers_;
+    RecvBatch rx_batch_{cfg_.effective_batch()};
+    SendBatch tx_batch_;                         // the tick's staged frames
+    std::vector<std::uint8_t> payload_scratch_;  // pattern bytes, reused
 };
 
 /// Receiving endpoint: drives the receiver half of a core, reassembles
@@ -405,12 +440,19 @@ public:
     NetReceiver& operator=(const NetReceiver&) = delete;
 
     /// One event-loop iteration; single-threaded, like NetSender::poll().
+    /// Drains arriving data an arena at a time and flushes the acks the
+    /// tick produced as one batch -- with an eager ack policy that is one
+    /// sendmmsg covering the whole received burst.
     std::size_t poll() {
         std::size_t work = wheel_.fire_due();
-        while (auto datagram = transport_->recv()) {
-            handle_datagram(*datagram);
-            ++work;
+        transport_->flush();  // delayed impairer copies matured above
+        for (;;) {
+            const std::size_t n = transport_->recv_batch(rx_batch_);
+            for (std::size_t i = 0; i < n; ++i) handle_datagram(rx_batch_[i]);
+            work += n;
+            if (n < rx_batch_.capacity()) break;
         }
+        tx_batch_.flush(*transport_);
         return work;
     }
 
@@ -425,7 +467,7 @@ public:
     const Core& core() const { return core_; }
 
 private:
-    void handle_datagram(const std::vector<std::uint8_t>& bytes) {
+    void handle_datagram(std::span<const std::uint8_t> bytes) {
         const wire::DecodeResult result = wire::decode(bytes);
         if (!result.ok()) {
             ++metrics_.decode_errors;
@@ -460,7 +502,11 @@ private:
         }
         if (out.nak) {
             ++metrics_.naks_sent;
-            transport_->send(wire::encode_nak(out.nak->seq));
+            const Seq nak_seq = out.nak->seq;
+            tx_batch_.append_with([&](std::vector<std::uint8_t>& slab) {
+                wire::encode_nak_to(slab, nak_seq);
+            });
+            if (cfg_.effective_batch() <= 1) tx_batch_.flush(*transport_);
         }
         // Action 5 scheduling per the ack policy.
         const Seq pending = core_.ack_pending();
@@ -476,14 +522,19 @@ private:
         ++metrics_.delivered;
         const auto it = stash_.find(true_seq);
         BACP_ASSERT_MSG(it != stash_.end(), "delivered message has no stashed payload");
-        if (it->second != pattern_payload(true_seq, it->second.size())) {
-            ++payload_mismatches_;
-        }
+        expected_scratch_.resize(it->second.size());
+        pattern_fill(true_seq, expected_scratch_);
+        if (it->second != expected_scratch_) ++payload_mismatches_;
         bytes_delivered_ += it->second.size();
         stash_.erase(it);
     }
 
-    void send_ack(const proto::Ack& ack) { transport_->send(wire::encode_ack(ack.lo, ack.hi)); }
+    void send_ack(const proto::Ack& ack) {
+        tx_batch_.append_with([&](std::vector<std::uint8_t>& slab) {
+            wire::encode_ack_to(slab, ack.lo, ack.hi);
+        });
+        if (cfg_.effective_batch() <= 1) tx_batch_.flush(*transport_);
+    }
 
     void flush_ack() {
         ack_flush_timer_.cancel();
@@ -505,6 +556,9 @@ private:
     std::uint64_t bytes_delivered_ = 0;
     std::uint64_t payload_mismatches_ = 0;
     std::unordered_map<Seq, std::vector<std::uint8_t>> stash_;
+    RecvBatch rx_batch_{cfg_.effective_batch()};
+    SendBatch tx_batch_;                         // the tick's staged acks/naks
+    std::vector<std::uint8_t> expected_scratch_;  // pattern verify, reused
 };
 
 /// Everything a real-time run measures.
@@ -512,16 +566,27 @@ struct NetReport {
     sim::Metrics metrics;  // sender + receiver counters, field-wise sum
     std::uint64_t bytes_delivered = 0;
     std::uint64_t payload_mismatches = 0;
-    ImpairStats impair_sr;  // sender->receiver direction
-    ImpairStats impair_rs;
-    TransportStats transport_sr;  // inner transport, post-impairment
-    TransportStats transport_rs;
+    Metrics impair_sr;  // impairment boundary, sender->receiver direction
+    Metrics impair_rs;
+    Metrics transport_sr;  // inner transport, post-impairment
+    Metrics transport_rs;
     SimTime elapsed = 0;  // clock time, start of run to completion
     bool completed = false;
 
     double goodput_mbps() const {
         if (elapsed <= 0) return 0.0;
         return static_cast<double>(bytes_delivered) * 8.0 / to_seconds(elapsed) / 1e6;
+    }
+
+    /// Inner-transport totals, both directions -- the send-side ratio is
+    /// the batch API's headline: datagrams moved per sendmmsg.
+    Metrics transport_totals() const {
+        Metrics t = transport_sr;
+        t += transport_rs;
+        return t;
+    }
+    double datagrams_per_send_syscall() const {
+        return transport_totals().datagrams_per_send_syscall();
     }
 };
 

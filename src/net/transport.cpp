@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <system_error>
@@ -30,9 +31,62 @@ sockaddr_in loopback(std::uint16_t port) {
     return addr;
 }
 
+/// A full socket buffer (or transient kernel shortage) is loss, which
+/// the protocol already tolerates; anything else is a bug.
+bool tolerable_send_errno(int err) {
+    return err == EAGAIN || err == EWOULDBLOCK || err == ENOBUFS || err == ECONNREFUSED;
+}
+
 }  // namespace
 
-UdpTransport::UdpTransport(std::uint16_t port) {
+// ---- single-shot shims on the batch path ------------------------------
+
+RecvBatch& Transport::shim_batch() {
+    if (!shim_batch_) shim_batch_ = std::make_unique<RecvBatch>(/*capacity=*/1);
+    return *shim_batch_;
+}
+
+std::optional<std::size_t> Transport::recv(std::span<std::uint8_t> out) {
+    RecvBatch& batch = shim_batch();
+    if (recv_batch(batch) == 0) return std::nullopt;
+    const std::span<const std::uint8_t> datagram = batch[0];
+    BACP_ASSERT_MSG(datagram.size() <= out.size(), "recv buffer smaller than datagram");
+    std::copy(datagram.begin(), datagram.end(), out.begin());
+    return datagram.size();
+}
+
+std::optional<std::vector<std::uint8_t>> Transport::recv() {
+    RecvBatch& batch = shim_batch();
+    if (recv_batch(batch) == 0) return std::nullopt;
+    const std::span<const std::uint8_t> datagram = batch[0];
+    return std::vector<std::uint8_t>(datagram.begin(), datagram.end());
+}
+
+// ---- UdpTransport -----------------------------------------------------
+
+/// mmsghdr/iovec staging arrays, reused across calls; resize() past the
+/// high-water mark is the only allocation, so steady-state batches are
+/// allocation-free.  Headers are wired to their iovecs once per reshape
+/// -- per-call work is just the iovec base/len stores, which keeps the
+/// hot path to two writes per datagram.
+struct UdpTransport::Scratch {
+    std::vector<::mmsghdr> hdrs;
+    std::vector<::iovec> iovs;
+
+    void shape(std::size_t n) {
+        if (hdrs.size() >= n) return;
+        hdrs.resize(n);
+        iovs.resize(n);
+        // resize() may have moved iovs; re-wire every header.
+        for (std::size_t i = 0; i < hdrs.size(); ++i) {
+            std::memset(&hdrs[i], 0, sizeof(hdrs[i]));
+            hdrs[i].msg_hdr.msg_iov = &iovs[i];
+            hdrs[i].msg_hdr.msg_iovlen = 1;
+        }
+    }
+};
+
+UdpTransport::UdpTransport(std::uint16_t port) : scratch_(std::make_unique<Scratch>()) {
     fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
     if (fd_ < 0) throw_errno("socket");
     const int flags = ::fcntl(fd_, F_GETFL, 0);
@@ -59,35 +113,67 @@ void UdpTransport::connect_peer(std::uint16_t port) {
     }
 }
 
-bool UdpTransport::send(std::span<const std::uint8_t> datagram) {
-    BACP_ASSERT_MSG(datagram.size() <= kMaxDatagram, "datagram exceeds UDP limit");
-    const ssize_t n = ::send(fd_, datagram.data(), datagram.size(), 0);
-    if (n < 0) {
-        // A full socket buffer (or transient kernel shortage) is loss,
-        // which the protocol already tolerates; anything else is a bug.
-        BACP_ASSERT_MSG(errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS ||
-                            errno == ECONNREFUSED,
-                        "udp send failed");
-        ++stats_.send_drops;
-        return false;
+std::size_t UdpTransport::send_batch(std::span<const std::span<const std::uint8_t>> datagrams) {
+    if (datagrams.empty()) return 0;
+    Scratch& sc = *scratch_;
+    sc.shape(datagrams.size());
+    for (std::size_t i = 0; i < datagrams.size(); ++i) {
+        BACP_ASSERT_MSG(datagrams[i].size() <= kMaxDatagram, "datagram exceeds UDP limit");
+        // sendmsg never writes through msg_iov; the const_cast is the
+        // usual iovec impedance mismatch.
+        sc.iovs[i].iov_base = const_cast<std::uint8_t*>(datagrams[i].data());
+        sc.iovs[i].iov_len = datagrams[i].size();
     }
-    ++stats_.datagrams_sent;
-    stats_.bytes_sent += static_cast<std::uint64_t>(n);
-    return true;
+    std::size_t sent = 0;
+    while (sent < datagrams.size()) {
+        const int n = ::sendmmsg(fd_, sc.hdrs.data() + sent,
+                                 static_cast<unsigned int>(datagrams.size() - sent), 0);
+        ++stats_.syscalls_sent;
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            BACP_ASSERT_MSG(tolerable_send_errno(errno), "udp sendmmsg failed");
+            break;  // the unsent tail is a drop, counted below
+        }
+        for (int i = 0; i < n; ++i) {
+            stats_.bytes_sent += datagrams[sent + static_cast<std::size_t>(i)].size();
+        }
+        stats_.datagrams_sent += static_cast<std::uint64_t>(n);
+        sent += static_cast<std::size_t>(n);
+        // A short count means the next datagram failed without setting
+        // errno; loop once more so the retry surfaces (and classifies)
+        // the error, typically EAGAIN on a full buffer.
+    }
+    stats_.send_drops += datagrams.size() - sent;
+    return sent;
 }
 
-std::optional<std::vector<std::uint8_t>> UdpTransport::recv() {
-    std::vector<std::uint8_t> buf(kMaxDatagram);
-    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+std::size_t UdpTransport::recv_batch(RecvBatch& batch) {
+    batch.clear();
+    Scratch& sc = *scratch_;
+    const std::size_t cap = batch.capacity();
+    sc.shape(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+        const std::span<std::uint8_t> slot = batch.slot(i);
+        sc.iovs[i].iov_base = slot.data();
+        sc.iovs[i].iov_len = slot.size();
+    }
+    int n;
+    do {
+        n = ::recvmmsg(fd_, sc.hdrs.data(), static_cast<unsigned int>(cap), 0, nullptr);
+        ++stats_.syscalls_received;
+    } while (n < 0 && errno == EINTR);
     if (n < 0) {
         BACP_ASSERT_MSG(errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNREFUSED,
-                        "udp recv failed");
-        return std::nullopt;
+                        "udp recvmmsg failed");
+        return 0;
     }
-    buf.resize(static_cast<std::size_t>(n));
-    ++stats_.datagrams_received;
-    stats_.bytes_received += static_cast<std::uint64_t>(n);
-    return buf;
+    for (int i = 0; i < n; ++i) {
+        const std::size_t len = sc.hdrs[i].msg_len;
+        batch.push_filled(len);
+        stats_.bytes_received += len;
+    }
+    stats_.datagrams_received += static_cast<std::uint64_t>(n);
+    return static_cast<std::size_t>(n);
 }
 
 std::pair<std::unique_ptr<UdpTransport>, std::unique_ptr<UdpTransport>>
@@ -99,6 +185,8 @@ UdpTransport::make_pair() {
     return {std::move(a), std::move(b)};
 }
 
+// ---- InprocTransport --------------------------------------------------
+
 std::pair<std::unique_ptr<InprocTransport>, std::unique_ptr<InprocTransport>>
 InprocTransport::make_pair(std::size_t capacity) {
     auto ab = std::make_shared<Queue>(capacity);
@@ -109,31 +197,62 @@ InprocTransport::make_pair(std::size_t capacity) {
     return {std::move(a), std::move(b)};
 }
 
-bool InprocTransport::send(std::span<const std::uint8_t> datagram) {
+std::size_t InprocTransport::send_batch(std::span<const std::span<const std::uint8_t>> datagrams) {
+    if (datagrams.empty()) return 0;
+    std::size_t accepted = 0;
+    std::uint64_t bytes = 0;
     {
         const std::scoped_lock lock(outbox_->mutex);
-        if (outbox_->datagrams.full()) {
-            ++stats_.send_drops;
-            return false;
+        for (const std::span<const std::uint8_t> datagram : datagrams) {
+            if (outbox_->datagrams.full()) break;  // tail drop, like a full socket buffer
+            std::vector<std::uint8_t> buffer;
+            if (!outbox_->free_list.empty()) {
+                buffer = std::move(outbox_->free_list.back());  // recycled capacity
+                outbox_->free_list.pop_back();
+            }
+            buffer.assign(datagram.begin(), datagram.end());
+            outbox_->datagrams.push(std::move(buffer));
+            ++accepted;
+            bytes += datagram.size();
         }
-        outbox_->datagrams.push({datagram.begin(), datagram.end()});
     }
-    ++stats_.datagrams_sent;
-    stats_.bytes_sent += datagram.size();
-    return true;
+    ++stats_.syscalls_sent;  // one queue sweep = one boundary crossing
+    stats_.datagrams_sent += accepted;
+    stats_.bytes_sent += bytes;
+    stats_.send_drops += datagrams.size() - accepted;
+    return accepted;
 }
 
-std::optional<std::vector<std::uint8_t>> InprocTransport::recv() {
-    std::vector<std::uint8_t> datagram;
+std::size_t InprocTransport::recv_batch(RecvBatch& batch) {
+    batch.clear();
+    std::size_t n = 0;
+    std::uint64_t bytes = 0;
     {
         const std::scoped_lock lock(inbox_->mutex);
-        if (inbox_->datagrams.empty()) return std::nullopt;
-        datagram = inbox_->datagrams.pop();
+        while (n < batch.capacity() && !inbox_->datagrams.empty()) {
+            std::vector<std::uint8_t> datagram = inbox_->datagrams.pop();
+            BACP_ASSERT_MSG(datagram.size() <= batch.max_datagram(),
+                            "inproc datagram exceeds arena slot");
+            const std::span<std::uint8_t> slot = batch.slot(n);
+            std::copy(datagram.begin(), datagram.end(), slot.begin());
+            batch.push_filled(datagram.size());
+            bytes += datagram.size();
+            ++n;
+            // Park the emptied buffer for the sender to refill: the pair
+            // stops allocating once every buffer has cycled.
+            datagram.clear();
+            if (inbox_->free_list.size() < inbox_->datagrams.capacity()) {
+                inbox_->free_list.push_back(std::move(datagram));
+            }
+        }
     }
-    ++stats_.datagrams_received;
-    stats_.bytes_received += datagram.size();
-    return datagram;
+    ++stats_.syscalls_received;
+    stats_.datagrams_received += n;
+    stats_.bytes_received += bytes;
+    return n;
 }
+
+// ---- wait_readable ----------------------------------------------------
 
 bool wait_readable(std::span<const int> fds, SimTime max_wait) {
     if (max_wait < 0) max_wait = 0;
@@ -141,11 +260,23 @@ bool wait_readable(std::span<const int> fds, SimTime max_wait) {
     const int timeout_ms =
         static_cast<int>((max_wait + kMillisecond - 1) / kMillisecond);
 
-    pollfd entries[8];
+    // Stage on the stack up to the documented capacity; larger spans take
+    // one heap allocation rather than a hard cap (the old BACP_ASSERT(n <
+    // 8) made an 9-fd caller a crash instead of a wait).
+    pollfd stack_entries[kWaitFdStackCapacity];
+    std::vector<pollfd> heap_entries;
+    pollfd* entries = stack_entries;
+    std::size_t usable = 0;
+    for (const int fd : fds) {
+        if (fd >= 0) ++usable;
+    }
+    if (usable > kWaitFdStackCapacity) {
+        heap_entries.resize(usable);
+        entries = heap_entries.data();
+    }
     nfds_t count = 0;
     for (const int fd : fds) {
         if (fd < 0) continue;
-        BACP_ASSERT(count < 8);
         entries[count].fd = fd;
         entries[count].events = POLLIN;
         entries[count].revents = 0;

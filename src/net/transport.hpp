@@ -1,22 +1,34 @@
 #pragma once
 
 /// \file transport.hpp
-/// Datagram transports for the real-time runtime.
+/// Batch-first datagram transports for the real-time runtime.
 ///
 /// A Transport is a bidirectional, unreliable, datagram-boundary-
 /// preserving carrier -- deliberately the weakest channel the paper's
-/// protocols are proved correct over.  send() is best-effort: a full
-/// socket buffer or queue drops the datagram (counted, never blocking),
-/// and recv() never blocks either, so a single-threaded event loop can
+/// protocols are proved correct over.  Sends are best-effort: a full
+/// socket buffer or queue drops datagrams (counted, never blocking), and
+/// receives never block either, so a single-threaded event loop can
 /// interleave I/O with timer processing.
 ///
+/// The API is *batch-first*: the two virtuals every transport implements
+/// are send_batch() and recv_batch(), moving a whole window's worth of
+/// datagrams per boundary crossing.  That is the shape the protocol
+/// already produces -- NetEngine builds a window of DATA per tick and one
+/// block ack covers a burst -- so per-datagram fixed costs (syscalls,
+/// allocations) amortize across it.  The single-shot send()/recv() are
+/// thin non-virtual shims over a batch of one, kept so existing callers
+/// migrate incrementally.
+///
 /// Two implementations:
-///   UdpTransport     a non-blocking IPv4/UDP socket on loopback; fd()
-///                    exposes the descriptor for poll(2)-based waiting.
+///   UdpTransport     a non-blocking IPv4/UDP socket on loopback;
+///                    send_batch/recv_batch are one sendmmsg(2)/
+///                    recvmmsg(2) each; fd() exposes the descriptor for
+///                    poll(2)-based waiting.
 ///   InprocTransport  a cross-connected in-process queue pair for
-///                    deterministic unit tests and single-process runs
-///                    (usable across two threads; a plain mutex guards
-///                    each queue -- contention is nil at our rates).
+///                    deterministic unit tests and single-process runs;
+///                    a batch is one mutex acquisition, and a free list
+///                    recycles payload buffers so the steady state never
+///                    allocates.
 
 #include <cstdint>
 #include <memory>
@@ -28,46 +40,208 @@
 
 #include "common/ring_buffer.hpp"
 #include "common/types.hpp"
+#include "net/metrics.hpp"
 
 namespace bacp::net {
 
-struct TransportStats {
-    std::uint64_t datagrams_sent = 0;
-    std::uint64_t bytes_sent = 0;
-    std::uint64_t datagrams_received = 0;
-    std::uint64_t bytes_received = 0;
-    /// Datagrams the transport itself had to drop on send (full socket
-    /// buffer / full queue).  Indistinguishable from channel loss to the
-    /// protocol, which is exactly how it recovers.
-    std::uint64_t send_drops = 0;
+/// Largest UDP payload over IPv4 (65535 - 20 IP - 8 UDP).
+inline constexpr std::size_t kMaxDatagram = 65507;
+
+/// Caller-owned, reusable receive arena for Transport::recv_batch(): one
+/// contiguous byte slab of capacity x max_datagram plus a length record
+/// per datagram.  All memory is allocated at construction (or on an
+/// explicit reshape()); filling and draining it is allocation-free, which
+/// is what lets the steady-state receive path run at exactly zero heap
+/// allocations per datagram (gated by bench_e21 --check-budget).
+///
+/// Slots are fixed-stride: datagram i occupies bytes
+/// [i * max_datagram, i * max_datagram + len[i]).  The stride makes the
+/// recvmmsg iovec setup a trivial loop and keeps every slot writable up
+/// to the UDP maximum, so no datagram can be truncated.
+class RecvBatch {
+public:
+    static constexpr std::size_t kDefaultCapacity = 32;
+
+    explicit RecvBatch(std::size_t capacity = kDefaultCapacity,
+                       std::size_t max_datagram = kMaxDatagram) {
+        reshape(capacity, max_datagram);
+    }
+
+    /// Reallocates the arena.  Not for the steady state.
+    void reshape(std::size_t capacity, std::size_t max_datagram = kMaxDatagram) {
+        capacity_ = capacity > 0 ? capacity : 1;
+        max_datagram_ = max_datagram > 0 ? max_datagram : 1;
+        slab_.assign(capacity_ * max_datagram_, 0);
+        lens_.assign(capacity_, 0);
+        size_ = 0;
+    }
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t max_datagram() const { return max_datagram_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    void clear() { size_ = 0; }
+
+    /// Datagram \p i of the last recv_batch().  Precondition: i < size().
+    std::span<const std::uint8_t> operator[](std::size_t i) const {
+        return {slab_.data() + i * max_datagram_, lens_[i]};
+    }
+
+    // ---- writer side (transports only) --------------------------------
+
+    /// Writable region of the next free slot (max_datagram bytes).
+    std::span<std::uint8_t> next_slot() {
+        return {slab_.data() + size_ * max_datagram_, max_datagram_};
+    }
+
+    /// Writable region of slot \p i; recvmmsg points one iovec at each.
+    std::span<std::uint8_t> slot(std::size_t i) {
+        return {slab_.data() + i * max_datagram_, max_datagram_};
+    }
+
+    /// Marks the next slot as holding \p len received bytes.  Slots are
+    /// committed strictly in order (the fixed stride implies it).
+    void push_filled(std::size_t len) {
+        lens_[size_] = len;
+        ++size_;
+    }
+
+private:
+    std::vector<std::uint8_t> slab_;
+    std::vector<std::size_t> lens_;
+    std::size_t capacity_ = 0;
+    std::size_t max_datagram_ = 0;
+    std::size_t size_ = 0;
+};
+
+class Transport;
+
+/// Builder for a send_batch() call: encoded datagrams packed back to
+/// back in one reusable slab.  append_with() lets an encoder serialize
+/// directly onto the slab tail (see wire::encode_*_to), so staging a
+/// frame costs no allocation once the slab has reached its high-water
+/// mark.  flush() hands the whole batch to a Transport in one call.
+class SendBatch {
+public:
+    std::size_t size() const { return extents_.size(); }
+    bool empty() const { return extents_.empty(); }
+    std::size_t bytes() const { return slab_.size(); }
+
+    void clear() {
+        slab_.clear();
+        extents_.clear();
+    }
+
+    /// Stages a copy of \p datagram.
+    void append(std::span<const std::uint8_t> datagram) {
+        append_with([&](std::vector<std::uint8_t>& slab) {
+            slab.insert(slab.end(), datagram.begin(), datagram.end());
+        });
+    }
+
+    /// Stages whatever \p fn appends to the slab as one datagram.
+    template <typename Fn>
+    void append_with(Fn&& fn) {
+        const std::size_t base = slab_.size();
+        fn(slab_);
+        extents_.push_back({base, slab_.size() - base});
+    }
+
+    /// Span-of-spans view of the staged batch, valid until the next
+    /// mutation.  (Rebuilt on demand: the slab may have reallocated.)
+    std::span<const std::span<const std::uint8_t>> spans() const {
+        spans_scratch_.clear();
+        spans_scratch_.reserve(extents_.size());
+        for (const Extent& e : extents_) {
+            spans_scratch_.emplace_back(slab_.data() + e.offset, e.length);
+        }
+        return spans_scratch_;
+    }
+
+    /// Sends every staged datagram through \p t in one send_batch call
+    /// and clears the builder.  Returns how many the transport accepted
+    /// (the tail of a partial send was counted in its send_drops).
+    std::size_t flush(Transport& t);
+
+private:
+    struct Extent {
+        std::size_t offset;
+        std::size_t length;
+    };
+    std::vector<std::uint8_t> slab_;
+    std::vector<Extent> extents_;
+    mutable std::vector<std::span<const std::uint8_t>> spans_scratch_;
 };
 
 class Transport {
 public:
     virtual ~Transport() = default;
 
-    /// Enqueues one datagram; returns false when the transport dropped it.
-    virtual bool send(std::span<const std::uint8_t> datagram) = 0;
+    /// Sends \p datagrams in order, amortizing the boundary crossing
+    /// across the batch (one sendmmsg on UDP).  Returns how many were
+    /// accepted; a transport that runs out of room mid-batch counts the
+    /// tail in send_drops and returns the prefix length.  Loss-silent
+    /// decorators (Impairer) accept everything.
+    virtual std::size_t send_batch(std::span<const std::span<const std::uint8_t>> datagrams) = 0;
 
-    /// Non-blocking receive: one whole datagram, or nullopt when none is
-    /// waiting.
-    virtual std::optional<std::vector<std::uint8_t>> recv() = 0;
+    /// Non-blocking bulk receive into the caller's arena: drains up to
+    /// batch.capacity() whole datagrams in one boundary crossing (one
+    /// recvmmsg on UDP).  Clears \p batch first; returns batch.size().
+    /// Steady-state allocation-free by contract -- the arena is caller
+    /// memory and transports only reuse warmed scratch.
+    virtual std::size_t recv_batch(RecvBatch& batch) = 0;
+
+    /// Pushes out anything the transport has staged internally (an
+    /// Impairer's matured delayed copies).  Default: nothing staged.
+    virtual void flush() {}
+
+    /// Single-shot shim: a send_batch of one.  Returns false when the
+    /// transport dropped the datagram.
+    bool send(std::span<const std::uint8_t> datagram) {
+        const std::span<const std::uint8_t> one[] = {datagram};
+        return send_batch(one) == 1;
+    }
+
+    /// Single-shot shim on the batch path: receives one whole datagram
+    /// into \p out (which must be at least its size -- kMaxDatagram
+    /// always suffices) and returns its length, or nullopt when nothing
+    /// is waiting.
+    std::optional<std::size_t> recv(std::span<std::uint8_t> out);
+
+    /// Deprecated single-shot receive; allocates a fresh buffer per
+    /// datagram.  Kept one more PR for out-of-tree callers -- migrate to
+    /// recv(std::span) or recv_batch().
+    [[deprecated("use recv(std::span<std::uint8_t>) or recv_batch()")]]
+    std::optional<std::vector<std::uint8_t>> recv();
 
     /// Pollable file descriptor, or -1 when the transport has none
     /// (in-process queues).
     virtual int fd() const { return -1; }
 
-    const TransportStats& stats() const { return stats_; }
+    const Metrics& stats() const { return stats_; }
 
 protected:
-    TransportStats stats_;
+    Metrics stats_;
+
+private:
+    /// Capacity-1 arena backing the single-shot recv shims, built on
+    /// first use so batch-only users never pay for it.
+    RecvBatch& shim_batch();
+    std::unique_ptr<RecvBatch> shim_batch_;
 };
+
+inline std::size_t SendBatch::flush(Transport& t) {
+    if (extents_.empty()) return 0;
+    const std::size_t accepted = t.send_batch(spans());
+    clear();
+    return accepted;
+}
 
 /// Non-blocking UDP over 127.0.0.1.
 class UdpTransport final : public Transport {
 public:
-    /// Largest UDP payload over IPv4 (65535 - 20 IP - 8 UDP).
-    static constexpr std::size_t kMaxDatagram = 65507;
+    /// Alias of net::kMaxDatagram, kept for existing spellings.
+    static constexpr std::size_t kMaxDatagram = net::kMaxDatagram;
 
     /// Binds a non-blocking socket on 127.0.0.1:\p port (0 = ephemeral).
     /// Throws std::system_error on socket failures.
@@ -83,16 +257,22 @@ public:
 
     std::uint16_t local_port() const { return port_; }
 
-    bool send(std::span<const std::uint8_t> datagram) override;
-    std::optional<std::vector<std::uint8_t>> recv() override;
+    std::size_t send_batch(std::span<const std::span<const std::uint8_t>> datagrams) override;
+    std::size_t recv_batch(RecvBatch& batch) override;
     int fd() const override { return fd_; }
 
     /// Two ephemeral loopback sockets connected to each other.
     static std::pair<std::unique_ptr<UdpTransport>, std::unique_ptr<UdpTransport>> make_pair();
 
 private:
+    /// Reusable mmsghdr/iovec arrays for sendmmsg/recvmmsg; sized to the
+    /// largest batch seen, so the steady state never allocates.  Defined
+    /// in the .cpp to keep <sys/socket.h> out of this header.
+    struct Scratch;
+
     int fd_ = -1;
     std::uint16_t port_ = 0;
+    std::unique_ptr<Scratch> scratch_;
 };
 
 /// In-process datagram pair: what one side sends, the other receives.
@@ -103,17 +283,21 @@ public:
     static std::pair<std::unique_ptr<InprocTransport>, std::unique_ptr<InprocTransport>>
     make_pair(std::size_t capacity = 4096);
 
-    bool send(std::span<const std::uint8_t> datagram) override;
-    std::optional<std::vector<std::uint8_t>> recv() override;
+    std::size_t send_batch(std::span<const std::span<const std::uint8_t>> datagrams) override;
+    std::size_t recv_batch(RecvBatch& batch) override;
 
 private:
-    /// Bounded FIFO with tail drop is exactly a ring buffer; reusing
-    /// RingBuffer keeps the queue allocation-free once its slots have
-    /// been cycled (popped vectors return their capacity on reuse).
+    /// Bounded FIFO with tail drop is exactly a ring buffer.  The free
+    /// list recycles payload buffers across the queue: recv_batch copies
+    /// a datagram into the caller's arena and parks the emptied vector;
+    /// send_batch refills a parked vector instead of allocating.  Once
+    /// every buffer has cycled at the high-water payload size, the pair
+    /// is allocation-free.
     struct Queue {
         explicit Queue(std::size_t capacity) : datagrams(capacity) {}
         std::mutex mutex;
         RingBuffer<std::vector<std::uint8_t>> datagrams;
+        std::vector<std::vector<std::uint8_t>> free_list;
     };
 
     InprocTransport(std::shared_ptr<Queue> inbox, std::shared_ptr<Queue> outbox)
@@ -122,6 +306,11 @@ private:
     std::shared_ptr<Queue> inbox_;   // peers' sends land here
     std::shared_ptr<Queue> outbox_;  // our sends land in the peer's inbox
 };
+
+/// wait_readable() stages up to this many descriptors on the stack; a
+/// larger span falls back to one (cold, off the steady path) heap
+/// allocation instead of asserting, so callers may pass any number.
+inline constexpr std::size_t kWaitFdStackCapacity = 64;
 
 /// Sleeps until one of \p fds is readable or \p max_wait elapses
 /// (rounded up to whole milliseconds); negative descriptors are skipped,

@@ -23,8 +23,11 @@ const char* to_string(DecodeError err) {
 
 namespace {
 
-void append_crc(std::vector<std::uint8_t>& out) {
-    const std::uint32_t crc = crc32c(std::span<const std::uint8_t>(out.data(), out.size()));
+/// Appends the CRC of out[base..] -- the frame being appended, not any
+/// earlier datagrams sharing the slab.
+void append_crc(std::vector<std::uint8_t>& out, std::size_t base) {
+    const std::uint32_t crc =
+        crc32c(std::span<const std::uint8_t>(out.data() + base, out.size() - base));
     BufWriter writer(out);
     writer.put_u32(crc);
 }
@@ -40,49 +43,47 @@ void put_header(BufWriter& writer, FrameType type, std::uint8_t flags, Seq strea
 
 }  // namespace
 
-std::vector<std::uint8_t> encode_data(Seq seq, std::span<const std::uint8_t> payload,
-                                      std::uint8_t flags, Seq stream) {
+void encode_data_to(std::vector<std::uint8_t>& out, Seq seq,
+                    std::span<const std::uint8_t> payload, std::uint8_t flags, Seq stream) {
     BACP_ASSERT_MSG(payload.size() <= kMaxPayload, "payload exceeds kMaxPayload");
-    std::vector<std::uint8_t> out;
-    out.reserve(kMinFrameSize + payload.size() + 8);
+    const std::size_t base = out.size();
+    out.reserve(base + kMinFrameSize + payload.size() + 8);
     BufWriter writer(out);
     put_header(writer, FrameType::Data, flags, stream);
     writer.put_varint(seq);
     writer.put_varint(payload.size());
     writer.put_bytes(payload);
-    append_crc(out);
-    return out;
+    append_crc(out, base);
 }
 
-std::vector<std::uint8_t> encode_ack(Seq lo, Seq hi, std::uint8_t flags, Seq stream) {
+void encode_ack_to(std::vector<std::uint8_t>& out, Seq lo, Seq hi, std::uint8_t flags,
+                   Seq stream) {
     BACP_ASSERT_MSG(lo <= hi, "ack encode with lo > hi");
-    std::vector<std::uint8_t> out;
-    out.reserve(kMinFrameSize + 8);
+    const std::size_t base = out.size();
+    out.reserve(base + kMinFrameSize + 8);
     BufWriter writer(out);
     put_header(writer, FrameType::Ack, flags, stream);
     writer.put_varint(lo);
     writer.put_varint(hi);
-    append_crc(out);
-    return out;
+    append_crc(out, base);
 }
 
-std::vector<std::uint8_t> encode_nak(Seq seq, std::uint8_t flags, Seq stream) {
-    std::vector<std::uint8_t> out;
-    out.reserve(kMinFrameSize + 8);
+void encode_nak_to(std::vector<std::uint8_t>& out, Seq seq, std::uint8_t flags, Seq stream) {
+    const std::size_t base = out.size();
+    out.reserve(base + kMinFrameSize + 8);
     BufWriter writer(out);
     put_header(writer, FrameType::Nak, flags, stream);
     writer.put_varint(seq);
-    append_crc(out);
-    return out;
+    append_crc(out, base);
 }
 
-std::vector<std::uint8_t> encode_data_ack(Seq seq, Seq ack_lo, Seq ack_hi,
-                                          std::span<const std::uint8_t> payload,
-                                          std::uint8_t flags, Seq stream) {
+void encode_data_ack_to(std::vector<std::uint8_t>& out, Seq seq, Seq ack_lo, Seq ack_hi,
+                        std::span<const std::uint8_t> payload, std::uint8_t flags,
+                        Seq stream) {
     BACP_ASSERT_MSG(ack_lo <= ack_hi, "piggyback ack encode with lo > hi");
     BACP_ASSERT_MSG(payload.size() <= kMaxPayload, "payload exceeds kMaxPayload");
-    std::vector<std::uint8_t> out;
-    out.reserve(kMinFrameSize + payload.size() + 16);
+    const std::size_t base = out.size();
+    out.reserve(base + kMinFrameSize + payload.size() + 16);
     BufWriter writer(out);
     put_header(writer, FrameType::DataAck, flags, stream);
     writer.put_varint(seq);
@@ -90,7 +91,33 @@ std::vector<std::uint8_t> encode_data_ack(Seq seq, Seq ack_lo, Seq ack_hi,
     writer.put_bytes(payload);
     writer.put_varint(ack_lo);
     writer.put_varint(ack_hi);
-    append_crc(out);
+    append_crc(out, base);
+}
+
+std::vector<std::uint8_t> encode_data(Seq seq, std::span<const std::uint8_t> payload,
+                                      std::uint8_t flags, Seq stream) {
+    std::vector<std::uint8_t> out;
+    encode_data_to(out, seq, payload, flags, stream);
+    return out;
+}
+
+std::vector<std::uint8_t> encode_ack(Seq lo, Seq hi, std::uint8_t flags, Seq stream) {
+    std::vector<std::uint8_t> out;
+    encode_ack_to(out, lo, hi, flags, stream);
+    return out;
+}
+
+std::vector<std::uint8_t> encode_nak(Seq seq, std::uint8_t flags, Seq stream) {
+    std::vector<std::uint8_t> out;
+    encode_nak_to(out, seq, flags, stream);
+    return out;
+}
+
+std::vector<std::uint8_t> encode_data_ack(Seq seq, Seq ack_lo, Seq ack_hi,
+                                          std::span<const std::uint8_t> payload,
+                                          std::uint8_t flags, Seq stream) {
+    std::vector<std::uint8_t> out;
+    encode_data_ack_to(out, seq, ack_lo, ack_hi, payload, flags, stream);
     return out;
 }
 

@@ -66,6 +66,27 @@ std::vector<std::uint8_t> encode_data_ack(Seq seq, Seq ack_lo, Seq ack_hi,
                                           std::uint8_t flags = kFlagNone,
                                           Seq stream = kNoStream);
 
+// Append-style variants: serialize the frame onto the *end* of \p out,
+// leaving prior bytes untouched (the CRC covers only the appended frame).
+// This is the batch-slab idiom -- net::SendBatch packs one tick's frames
+// back to back in a reused buffer, so encoding costs no allocation once
+// the slab has reached its high-water mark.  The value-returning
+// encoders above are thin wrappers.
+
+void encode_data_to(std::vector<std::uint8_t>& out, Seq seq,
+                    std::span<const std::uint8_t> payload = {},
+                    std::uint8_t flags = kFlagNone, Seq stream = kNoStream);
+
+void encode_ack_to(std::vector<std::uint8_t>& out, Seq lo, Seq hi,
+                   std::uint8_t flags = kFlagNone, Seq stream = kNoStream);
+
+void encode_nak_to(std::vector<std::uint8_t>& out, Seq seq, std::uint8_t flags = kFlagNone,
+                   Seq stream = kNoStream);
+
+void encode_data_ack_to(std::vector<std::uint8_t>& out, Seq seq, Seq ack_lo, Seq ack_hi,
+                        std::span<const std::uint8_t> payload = {},
+                        std::uint8_t flags = kFlagNone, Seq stream = kNoStream);
+
 /// Stream id of a decoded frame, or kNoStream when untagged.
 Seq stream_of(const DecodedFrame& frame);
 
