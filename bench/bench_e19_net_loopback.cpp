@@ -84,6 +84,7 @@ struct Outcome {
                        std::to_string(r.payload_mismatches),
                        std::to_string(r.metrics.decode_errors)});
         counters.set(name, bench::Json::object()
+                               .set("protocol", bench::counters_json(r.metrics))
                                .set("transport", bench::counters_json(r.transport_totals()))
                                .set("impair_sr", bench::counters_json(r.impair_sr))
                                .set("impair_rs", bench::counters_json(r.impair_rs)));

@@ -8,7 +8,7 @@
 //      loopback UDP through three shapes of the same traffic: the
 //      pre-batch API reproduced from the seed (one send syscall per
 //      datagram, one ::recv into a freshly allocated-and-zeroed 64 KiB
-//      vector per receive), the deprecated recv() compatibility shim
+//      vector per receive), the single-shot recv(span) shim
 //      (batch-of-one underneath), and send_batch/recv_batch at burst
 //      8..128.  Reported per point: goodput, datagrams per syscall,
 //      allocations.  The headline compares the highest offered-load
@@ -133,8 +133,8 @@ enum class Path {
               // one ::recv(2) into a freshly value-initialized
               // kMaxDatagram vector per call (alloc + 64 KiB zeroing +
               // syscall per datagram) -- the "before" this PR replaces
-    Shim,     // the deprecated recv() compatibility shim (batch-of-one
-              // under the hood, one allocation for the returned copy)
+    Shim,     // the single-shot recv(span) shim (batch-of-one into a
+              // caller buffer under the hood; no per-datagram copy out)
     Batched,  // send_batch/recv_batch at the row's burst size
 };
 
@@ -162,6 +162,7 @@ BlastResult blast(Transport& tx, Transport& rx, std::size_t burst, Path path) {
     }
     std::vector<std::span<const std::uint8_t>> spans(burst, std::span(payload));
     RecvBatch batch(burst, kMaxDatagram);
+    std::vector<std::uint8_t> shim_buf(kMaxDatagram);  // Path::Shim scratch
 
     const std::size_t half = g_datagrams / 2;
     std::uint64_t allocs_at_half = 0;
@@ -183,10 +184,7 @@ BlastResult blast(Transport& tx, Transport& rx, std::size_t burst, Path path) {
             case Path::Shim:
                 tx.send(payload);
                 out.sent += 1;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-                while (rx.recv()) ++out.received;
-#pragma GCC diagnostic pop
+                while (rx.recv(std::span<std::uint8_t>(shim_buf))) ++out.received;
                 break;
             case Path::Batched:
                 tx.send_batch(std::span(spans.data(), chunk));

@@ -9,6 +9,14 @@
 //   $ ./udp_transfer                          # 4 MB, 5% loss, two threads
 //   $ ./udp_transfer --mb 16 --loss 0.2 --proto sr
 //   $ ./udp_transfer --inproc                 # deterministic replay mode
+//   $ ./udp_transfer --proto ba-bounded --timeout-mode simple --w 16
+//
+// The protocol knobs (--w, --timeout-mode) are the unified
+// runtime::EngineConfig surface NetConfig inherits: the same fields, with
+// the same meanings and defaults, configure a DES run of the same core.
+// Every core the DES engine drives runs here too -- including the
+// wire-mapped ones (ba-bounded, tc), whose frames carry residues the
+// receiver translates back at delivery.
 //
 // Two-process mode splits the endpoints across real processes; each side
 // binds its own port and connects to the peer's:
@@ -43,6 +51,8 @@ struct Params {
     double loss = 0.05;
     std::uint64_t seed = 7;
     SimTime deadline = 60 * kSecond;
+    Seq w = 32;
+    std::optional<runtime::TimeoutMode> timeout_mode;  // nullopt = core default
     std::string proto = "ba";
     enum class Mode { Threads, Inproc, Send, Recv } mode = Mode::Threads;
     std::uint16_t port = 0;
@@ -51,14 +61,31 @@ struct Params {
 
 net::NetConfig make_cfg(const Params& p) {
     net::NetConfig cfg;
-    cfg.w = 32;
+    // Inherited runtime::EngineConfig fields -- identical surface to a
+    // DES runtime::Engine run of the same core.
+    cfg.w = p.proto == "abp" ? 1 : p.w;  // the alternating bit IS w = 1
     cfg.count = static_cast<Seq>((p.mb * 1e6 + kChunk - 1) / kChunk);
+    cfg.timeout_mode = p.timeout_mode;
+    cfg.seed = p.seed;
+    cfg.deadline = p.deadline;
+    // Net-only knobs.
     cfg.payload_size = kChunk;
     cfg.impair = net::ImpairSpec::lossy(p.loss);
-    cfg.seed = p.seed;
     cfg.link_lifetime = 20 * kMillisecond;
-    cfg.deadline = p.deadline;
     return cfg;
+}
+
+std::optional<runtime::TimeoutMode> parse_timeout_mode(const std::string& name) {
+    using runtime::TimeoutMode;
+    for (const TimeoutMode mode :
+         {TimeoutMode::SimpleTimer, TimeoutMode::PerMessageTimer, TimeoutMode::OracleSimple,
+          TimeoutMode::OraclePerMessage}) {
+        if (name == runtime::to_string(mode)) return mode;
+    }
+    // Short forms: the paper's realistic disciplines.
+    if (name == "simple") return TimeoutMode::SimpleTimer;
+    if (name == "per-message") return TimeoutMode::PerMessageTimer;
+    return std::nullopt;
 }
 
 void progress(const char* who, SimTime elapsed, const sim::Metrics& m, Seq delivered) {
@@ -215,7 +242,9 @@ int dispatch_mode(const Params& p) {
 int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--mb N] [--loss P] [--seed S] [--deadline-ms MS]\n"
-                 "          [--proto ba|gbn|sr] [--inproc]\n"
+                 "          [--w N] [--timeout-mode simple|per-message|oracle-simple|\n"
+                 "                                  oracle-per-message]\n"
+                 "          [--proto ba|ba-bounded|ba-hole|abp|gbn|sr|tc] [--inproc]\n"
                  "          [--send|--recv --port P --peer P]\n",
                  argv0);
     return 2;
@@ -244,6 +273,14 @@ int main(int argc, char** argv) {
         } else if (arg == "--deadline-ms") {
             if (const char* v = next()) p.deadline = std::atoll(v) * kMillisecond;
             else return usage(argv[0]);
+        } else if (arg == "--w") {
+            if (const char* v = next()) p.w = static_cast<Seq>(std::strtoull(v, nullptr, 10));
+            else return usage(argv[0]);
+        } else if (arg == "--timeout-mode") {
+            const char* v = next();
+            if (v == nullptr) return usage(argv[0]);
+            p.timeout_mode = parse_timeout_mode(v);
+            if (!p.timeout_mode) return usage(argv[0]);
         } else if (arg == "--proto") {
             if (const char* v = next()) p.proto = v; else return usage(argv[0]);
         } else if (arg == "--port") {
@@ -269,11 +306,25 @@ int main(int argc, char** argv) {
                     p.proto.c_str());
     }
 
+    if (p.proto == "ba-bounded") {
+        return dispatch_mode<ba::EngineCore<ba::BoundedSender, ba::BoundedReceiver>,
+                             net::BoundedBaNetEngine>(p);
+    }
+    if (p.proto == "ba-hole") {
+        return dispatch_mode<ba::EngineCore<ba::HoleReuseSender, ba::Receiver>,
+                             net::HoleReuseNetEngine>(p);
+    }
+    if (p.proto == "abp") {
+        return dispatch_mode<baselines::AbpCore, net::AbpNetEngine>(p);
+    }
     if (p.proto == "gbn") {
         return dispatch_mode<baselines::GbnCore, net::GbnNetEngine>(p);
     }
     if (p.proto == "sr") {
         return dispatch_mode<baselines::SrCore, net::SrNetEngine>(p);
+    }
+    if (p.proto == "tc") {
+        return dispatch_mode<baselines::TcCore, net::TcNetEngine>(p);
     }
     if (p.proto != "ba") return usage(argv[0]);
     return dispatch_mode<ba::EngineCore<ba::Sender, ba::Receiver>, net::BaNetEngine>(p);

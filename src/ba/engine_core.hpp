@@ -231,6 +231,28 @@ public:
 
     proto::Ack make_ack() { return receiver_.make_ack(); }
 
+    /// Wire residue the message with true sequence number \p true_seq
+    /// travels under.  Bounded senders only -- unbounded cores put the
+    /// true value on the wire, and environments detect the distinction
+    /// through runtime::kCoreWireMapped.
+    Seq wire_seq(Seq true_seq) const
+        requires requires(const SenderT& s) { s.na_mod(); }
+    {
+        return wire_of(true_seq);
+    }
+
+    /// Residue domain the receiver's ack blocks live in.  Bounded
+    /// receivers only: a block ack (lo, hi) is a residue range mod this
+    /// domain and may *wrap* it (hi < lo numerically, e.g. (7, 2) in
+    /// domain 8).  In-process handoff passes the struct through
+    /// unchanged, but wire environments must split a wrapped block into
+    /// two frames before encoding (runtime::kCoreAckWireWrapped).
+    Seq ack_wire_domain() const
+        requires requires(const ReceiverT& r) { r.nr_mod(); }
+    {
+        return receiver_.domain();
+    }
+
 private:
     static constexpr bool kBoundedSender = requires(const SenderT& s) { s.na_mod(); };
     static constexpr bool kBoundedReceiver = requires(const ReceiverT& r) { r.nr_mod(); };

@@ -131,6 +131,12 @@ public:
     /// window, in order.
     void simple_timeout_set(std::vector<Seq>& out) const { resend_candidates(out); }
 
+    /// Wire value the message with true sequence number \p m travels
+    /// under: the residue when a bounded domain is configured, the true
+    /// value otherwise.  Environments that key per-frame state by wire
+    /// value (the net runtime's payload stash) consult this.
+    Seq wire_seq(Seq m) const { return wire_of(m); }
+
 private:
     Seq wire_of(Seq m) const { return sender_.domain() == 0 ? m : m % sender_.domain(); }
 
@@ -271,6 +277,9 @@ public:
         return proto::Data{true_seq % sender_.domain()};
     }
     void simple_timeout_set(std::vector<Seq>& out) const { resend_candidates(out); }
+
+    /// Wire residue of true sequence number \p m (always mod N here).
+    Seq wire_seq(Seq m) const { return m % sender_.domain(); }
 
 private:
     TcSender sender_;

@@ -1,5 +1,6 @@
 #include "net/impairer.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -18,9 +19,14 @@ ImpairSpec ImpairSpec::lossy(double p) {
 }
 
 Impairer::Impairer(Transport& inner, TimerWheel& wheel, ImpairSpec spec, std::uint64_t seed)
-    : inner_(&inner), wheel_(&wheel), spec_(spec), rng_(seed) {
-    BACP_ASSERT_MSG(spec.delay_lo >= 0 && spec.delay_hi >= spec.delay_lo,
+    : inner_(&inner), wheel_(&wheel), spec_(std::move(spec)), rng_(seed) {
+    BACP_ASSERT_MSG(spec_.delay_lo >= 0 && spec_.delay_hi >= spec_.delay_lo,
                     "bad impairment delay range");
+    std::sort(spec_.scripted_drops.begin(), spec_.scripted_drops.end());
+}
+
+bool Impairer::scripted_drop(std::uint64_t index) const {
+    return std::binary_search(spec_.scripted_drops.begin(), spec_.scripted_drops.end(), index);
 }
 
 Impairer::~Impairer() {
@@ -33,7 +39,13 @@ std::size_t Impairer::send_batch(std::span<const std::span<const std::uint8_t>> 
     flush();
     immediate_.clear();
     for (const std::span<const std::uint8_t> datagram : datagrams) {
-        ++stats_.offered;
+        const std::uint64_t index = stats_.offered++;
+        // A scripted drop consumes no RNG draw (the DES ScriptedLoss
+        // semantics), so a script never perturbs the stochastic stream.
+        if (scripted_drop(index)) {
+            ++stats_.dropped;
+            continue;
+        }
         // Draw order is fixed (loss, dup, then per-copy delay/reorder) --
         // and identical whether the datagram arrives alone or mid-batch --
         // so a given seed always produces the same impairment sequence.

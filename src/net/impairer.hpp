@@ -47,6 +47,12 @@ struct ImpairSpec {
     SimTime delay_lo = 0;    // uniform base delay range applied to
     SimTime delay_hi = 0;    //   every copy that is not dropped
     SimTime reorder_extra = 2 * kMillisecond;  // overtaking window
+    /// Deterministic loss script: drops exactly the datagrams with these
+    /// 0-based offered indices, consuming no RNG draw -- the same
+    /// semantics as the DES LinkSpec::Loss::Scripted, so a scenario (or
+    /// the cross-runtime parity test) can stage identical loss in both
+    /// worlds.  Composes with `loss`: scripted indices are checked first.
+    std::vector<std::uint64_t> scripted_drops;
 
     /// Symmetric bench adversary: \p p loss, p/4 dup, p/4 reorder,
     /// 0.2-1 ms jitter.
@@ -83,6 +89,10 @@ public:
     const Metrics& impair_stats() const { return stats(); }
 
 private:
+    /// True when the datagram with 0-based offered index \p index is on
+    /// the loss script.
+    bool scripted_drop(std::uint64_t index) const;
+
     /// Sends \p spans through the inner transport in one batch, keeping
     /// our forwarding stats.
     void forward_spans(std::span<const std::span<const std::uint8_t>> spans);

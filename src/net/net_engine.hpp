@@ -1,37 +1,36 @@
 #pragma once
 
 /// \file net_engine.hpp
-/// The real-time transport runtime: the same EndpointCore machines the
-/// discrete-event runtime::Engine drives, run over actual datagrams and a
+/// The real-time transport runtime: transport adapters over
+/// runtime::EndpointDriver, driving the same EndpointCore machines the
+/// discrete-event runtime::Engine drives -- over actual datagrams and a
 /// wall (or manual) clock.
 ///
-/// Structure mirrors runtime::Engine but splits it at the channel, as a
-/// real network forces: NetSender<Core> and NetReceiver<Core> each own a
-/// full core (a core bundles both protocol halves; each endpoint simply
-/// exercises only its half -- the halves share no state) plus a
-/// TimerWheel, and exchange frames serialized through wire::codec.  Every
-/// datagram is CRC-32C checked on receive; a frame that fails decode is
-/// counted and dropped, i.e. fed to the loss tolerance the protocol
-/// already has -- exactly the channel model the paper's proof assumes.
+/// Where the DES engine adapts the shared driver to a simulator and two
+/// SimChannels, a real network forces a split at the channel: NetSender
+/// and NetReceiver each embed their own EndpointDriver over a full core
+/// (a core bundles both protocol halves; each endpoint simply exercises
+/// only its half -- the halves share no state), supply a TimerWheel as
+/// the driver's TimerService, and exchange frames serialized through
+/// wire::codec.  All timeout disciplines, window pumping, ack policy, and
+/// resend selection live in the driver (runtime/endpoint_driver.hpp);
+/// these classes only encode/decode, batch, stash payloads, and count
+/// transport-level anomalies.  Every datagram is CRC-32C checked on
+/// receive; a frame that fails decode is counted and dropped, i.e. fed to
+/// the loss tolerance the protocol already has -- exactly the channel
+/// model the paper's proof assumes.
 ///
-/// Timeout disciplines map as follows:
-///   SimpleTimer / PerMessageTimer  identical logic to the DES engine,
-///                                  running on the TimerWheel.
-///   OracleSimple / OraclePerMessage  the DES fires these at provable
-///     quiescence (empty event queue => empty channels).  Real time has
-///     no such oracle, so the net runtime approximates it with a
-///     *quiescence timer*: restarted on every send/receive while
-///     messages are outstanding, firing after a full conservative
-///     timeout of silence -- by which time any copy in flight has aged
-///     out of the channel.  The resend *sets* are the paper's; only the
-///     firing moment is heuristic.  See DESIGN.md (real-time runtime).
+/// This environment advertises kHasOracle = false: real time cannot
+/// prove quiescence, so the driver approximates the oracle timeout modes
+/// with its quiescence timer (a full conservative timeout of silence)
+/// instead of the DES's provable idle point.
 ///
 /// NetEngine<Core> composes a sender and receiver endpoint over a
-/// transport pair (UDP loopback or in-process queues) with symmetric
-/// seeded impairment, and drives a fixed-size transfer of pattern
-/// payloads to completion.  With --inproc (InprocTransport + ManualClock)
-/// a run is a pure function of its seed: time advances only to the next
-/// timer deadline, so two runs deliver byte-identical traffic.
+/// transport pair (UDP loopback or in-process queues) with seeded
+/// impairment, and drives a fixed-size transfer of pattern payloads to
+/// completion.  With --inproc (InprocTransport + ManualClock) a run is a
+/// pure function of its seed: time advances only to the next timer
+/// deadline, so two runs deliver byte-identical traffic.
 
 #include <algorithm>
 #include <atomic>
@@ -47,15 +46,15 @@
 
 #include "common/assert.hpp"
 #include "common/rng.hpp"
+#include "common/timer_service.hpp"
 #include "common/types.hpp"
 #include "net/clock.hpp"
 #include "net/impairer.hpp"
 #include "net/timer_wheel.hpp"
 #include "net/transport.hpp"
 #include "protocol/message.hpp"
-#include "runtime/ack_policy.hpp"
 #include "runtime/endpoint_core.hpp"
-#include "runtime/engine.hpp"
+#include "runtime/endpoint_driver.hpp"
 #include "runtime/session_util.hpp"
 #include "runtime/timeout_mode.hpp"
 #include "sim/metrics.hpp"
@@ -63,25 +62,29 @@
 
 namespace bacp::net {
 
-/// Configuration of a real-time transfer.  Core-specific knobs ride in
-/// the core's own Options struct, as with the DES engine.
-struct NetConfig {
-    Seq w = 8;
-    Seq count = 1000;               // messages to transfer
+/// Configuration of a real-time transfer: the shared runtime::EngineConfig
+/// surface (window, count, timeout discipline, ack policy, seed, ...)
+/// plus the knobs only a real network introduces.  Core-specific knobs
+/// ride in the core's own Options struct, as with the DES engine.
+///
+/// Of the inherited fields, the link specs are overridden by
+/// engine_config() (loss and delay live in the real channel here, via
+/// `impair`), and the DES-only knobs (max_events, record_trace,
+/// check_invariants) are ignored.
+struct NetConfig : runtime::EngineConfig {
+    NetConfig() { deadline = 60 * kSecond; }  // run cap, in clock time
+
     std::size_t payload_size = 1024;  // bytes of pattern payload per message
-    std::optional<runtime::TimeoutMode> timeout_mode;  // nullopt = core default
-    SimTime timeout = 0;            // 0 = derive from link_lifetime + ack policy
-    runtime::AckPolicy ack_policy = runtime::AckPolicy::eager();
     /// Assumed bound on datagram time-in-transit (the paper's channel
     /// lifetime L).  Feeds the cores' time-based rules (send horizon, NAK
     /// one-copy) and the derived timeout.  Generous for loopback plus the
     /// impairment delays.
     SimTime link_lifetime = 50 * kMillisecond;
-    ImpairSpec impair;              // applied symmetrically, both directions
-    std::uint64_t seed = 1;
-    SimTime deadline = 60 * kSecond;  // run cap, in clock time
-    bool enable_nak = false;
-    Seq nak_threshold = 3;
+    ImpairSpec impair;  // data direction (and ack direction, unless overridden)
+    /// Ack-direction impairment override; nullopt applies `impair`
+    /// symmetrically.  Lets a scenario impair one direction only (the
+    /// cross-runtime parity test scripts data-channel drops this way).
+    std::optional<ImpairSpec> impair_ack;
     /// Datagrams per transport batch: the RecvBatch arena capacity and
     /// the flush granularity of the tick's staged sends.  0 sizes it
     /// from the window -- the batch the protocol naturally builds.
@@ -94,35 +97,28 @@ struct NetConfig {
         return std::max<std::size_t>(static_cast<std::size_t>(w), 1);
     }
 
-    /// The EngineConfig handed to core constructors: same knobs, with the
-    /// links described as lossless-with-lifetime (loss/delay live in the
-    /// real channel here, but cores only consult max_lifetime()).
+    /// The EngineConfig handed to the drivers and core constructors: the
+    /// inherited fields verbatim, with the links described as
+    /// lossless-with-lifetime (cores and the derived timeout only consult
+    /// max_lifetime(); actual loss/delay happen in the Impairer).
     runtime::EngineConfig engine_config() const {
-        runtime::EngineConfig e;
-        e.w = w;
-        e.count = count;
-        e.timeout_mode = timeout_mode;
-        e.ack_policy = ack_policy;
+        runtime::EngineConfig e = *this;
         e.data_link = runtime::LinkSpec::lossless(0, link_lifetime);
         e.ack_link = runtime::LinkSpec::lossless(0, link_lifetime);
-        e.seed = seed;
-        e.enable_nak = enable_nak;
-        e.nak_threshold = nak_threshold;
         return e;
     }
 
     /// Retransmission timeout: explicit, or the conservative bound
-    /// L_SR + L_RS + max ack delay + margin (as the DES engine derives).
-    SimTime effective_timeout() const {
-        if (timeout > 0) return timeout;
-        return 2 * link_lifetime + ack_policy.max_ack_delay() + kMillisecond;
-    }
+    /// L_SR + L_RS + max ack delay + margin (the one shared formula,
+    /// runtime::derived_timeout).
+    SimTime effective_timeout() const { return runtime::effective_timeout(engine_config()); }
 };
 
 /// Deterministic payload for message \p seq: a splitmix64 stream keyed by
-/// the sequence number, so the receiver can verify every delivered byte
-/// without any side channel.  The fill form writes into caller memory
-/// (the batch slab / a reused scratch) and is what the hot paths use.
+/// the (true) sequence number, so the receiver can verify every delivered
+/// byte without any side channel.  The fill form writes into caller
+/// memory (the batch slab / a reused scratch) and is what the hot paths
+/// use.
 inline void pattern_fill(Seq seq, std::span<std::uint8_t> payload) {
     std::uint64_t state = seq ^ 0xba5eba115eedULL;
     std::size_t i = 0;
@@ -140,9 +136,9 @@ inline std::vector<std::uint8_t> pattern_payload(Seq seq, std::size_t size) {
     return payload;
 }
 
-/// Sending endpoint: drives the sender half of a core over a Transport.
-/// poll() is the event loop body -- fire due timers, drain arriving
-/// datagrams -- and must be called from one thread only.
+/// Sending endpoint: the transport environment for the sender half of a
+/// core's driver.  poll() is the event loop body -- fire due timers,
+/// drain arriving datagrams -- and must be called from one thread only.
 template <runtime::EndpointCore Core>
 class NetSender {
 public:
@@ -152,26 +148,16 @@ public:
     /// timer wheel; poll() fires it, so both must live on one thread.
     NetSender(const NetConfig& cfg, Options options, TimerWheel& wheel, Transport& transport)
         : cfg_(cfg),
-          ecfg_(cfg.engine_config()),
-          mode_(cfg.timeout_mode.value_or(Core::kDefaultTimeoutMode)),
-          timeout_(cfg.effective_timeout()),
-          core_(ecfg_, std::move(options)),
           wheel_(wheel),
           transport_(&transport),
-          simple_timer_(wheel_, [this] { on_simple_timeout(); }),
-          blocked_timer_(wheel_, [this] { pump_send(); }),
-          quiescence_timer_(wheel_, [this] { on_quiescence(); }) {}
+          driver_(cfg_.engine_config(), std::move(options), *this) {}
 
     NetSender(const NetSender&) = delete;
     NetSender& operator=(const NetSender&) = delete;
 
-    ~NetSender() {
-        for (const auto& [id, slot] : per_message_timers_) wheel_.cancel(id);
-    }
-
     /// Opens the faucet.  Call once before the poll loop.
     void start() {
-        pump_send();
+        driver_.start();
         tx_batch_.flush(*transport_);
     }
 
@@ -194,234 +180,84 @@ public:
     }
 
     /// Every message sent and acknowledged.
-    bool done() const { return sent_new_ == cfg_.count && !core_.has_outstanding(); }
+    bool done() const { return driver_.all_sent_and_acked(); }
 
     TimerWheel& wheel() { return wheel_; }
-    const sim::Metrics& metrics() const { return metrics_; }
-    SimTime timeout_value() const { return timeout_; }
-    const Core& core() const { return core_; }
+    const sim::Metrics& metrics() const { return driver_.metrics(); }
+    SimTime timeout_value() const { return driver_.timeout_value(); }
+    const Core& core() const { return driver_.core(); }
 
-private:
-    static constexpr bool kTimeGatedSend = runtime::kCoreTimeGatedSend<Core>;
-    static constexpr bool kGatedResend = runtime::kCoreGatedResend<Core>;
-    static constexpr bool kHandlesNak = runtime::kCoreHandlesNak<Core>;
+    /// Attach (or detach, with nullptr) a protocol-decision recorder.
+    void set_decision_log(runtime::DecisionLog* log) { driver_.set_decision_log(log); }
 
-    runtime::TxView txview() const {
-        return txlog_.view(wheel_.now(), cfg_.link_lifetime);
-    }
+    // ---- Environment hooks (called by EndpointDriver) ----------------------
+    // Public because the driver is a distinct type; not user API.
 
-    void handle_datagram(std::span<const std::uint8_t> bytes) {
-        const wire::DecodeResult result = wire::decode(bytes);
-        if (!result.ok()) {
-            ++metrics_.decode_errors;
-            if (result.error() == wire::DecodeError::BadCrc) ++metrics_.crc_errors;
-            return;  // treated as loss
-        }
-        const wire::DecodedFrame& frame = result.frame();
-        if (const auto* ack = std::get_if<wire::AckFrame>(&frame)) {
-            on_ack_arrival(proto::Ack{ack->lo, ack->hi});
-        } else if (const auto* nak = std::get_if<wire::NakFrame>(&frame)) {
-            on_nak_arrival(proto::Nak{nak->seq});
-        } else {
-            // DATA at the sender endpoint of a one-way transfer: a frame
-            // we never sent for.  Count it as a decode-level anomaly.
-            ++metrics_.decode_errors;
-        }
-    }
+    /// Real time cannot prove quiescence; the driver substitutes its
+    /// silence-timer approximation for the oracle modes.
+    static constexpr bool kHasOracle = false;
 
-    void pump_send() {
-        while (sent_new_ < cfg_.count && core_.can_send_new()) {
-            if constexpr (kTimeGatedSend) {
-                const SimTime ready = core_.send_blocked_until(wheel_.now());
-                if (ready > wheel_.now()) {
-                    if (!blocked_timer_.armed()) blocked_timer_.restart(ready - wheel_.now());
-                    return;
-                }
-            }
-            const proto::Data msg = core_.send_new(wheel_.now());
-            const Seq true_seq = sent_new_++;
-            transmit(msg, true_seq, /*retx=*/false);
-        }
-    }
+    TimerService& timer_service() { return wheel_; }
+    SimTime now() const { return wheel_.now(); }
 
-    void transmit(const proto::Data& msg, Seq true_seq, bool retx) {
-        // Payloads are stashed by wire seq on the far side and consumed
-        // in true-seq order; that association requires unbounded wire
-        // seqnums (BA unbounded, go-back-n, selective repeat).  Bounded
-        // residue cores need a link-layer payload map (src/link) instead.
-        BACP_ASSERT_MSG(msg.seq == true_seq,
-                        "net runtime requires cores with unbounded wire seqnums");
-        if (retx) {
-            ++metrics_.data_retx;
-        } else {
-            ++metrics_.data_new;
-        }
-        txlog_.note(true_seq, wheel_.now());
+    void send_data(const proto::Data& msg, Seq true_seq, bool /*retx*/) {
         // Stage the frame on the tick's batch; poll() flushes the whole
-        // window in one send_batch.  The payload pattern is generated
-        // into a reused scratch and encoded straight onto the slab --
-        // no per-frame allocation once both are at high-water mark.
+        // window in one send_batch.  The payload pattern is keyed by the
+        // true sequence number (the receiver re-derives it at delivery),
+        // while the frame carries the core's wire value -- identical for
+        // unbounded cores, a residue for bounded ones.  The pattern is
+        // generated into a reused scratch and encoded straight onto the
+        // slab -- no per-frame allocation once both are at high-water
+        // mark.
         payload_scratch_.resize(cfg_.payload_size);
         pattern_fill(true_seq, payload_scratch_);
         tx_batch_.append_with([&](std::vector<std::uint8_t>& slab) {
             wire::encode_data_to(slab, msg.seq, payload_scratch_);
         });
         if (cfg_.effective_batch() <= 1) tx_batch_.flush(*transport_);
-        switch (mode_) {
-            case runtime::TimeoutMode::SimpleTimer:
-                simple_timer_.restart(timeout_);
-                break;
-            case runtime::TimeoutMode::PerMessageTimer:
-                schedule_per_message(true_seq);
-                break;
-            default:
-                touch_quiescence();
-                break;
-        }
     }
 
-    /// Per-message expiry timer; tracked so the destructor can cancel
-    /// closures that would otherwise outlive this object on the wheel.
-    /// The id is only known after schedule_after() returns, so the
-    /// closure reads it through a shared slot patched in just below.
-    void schedule_per_message(Seq true_seq) {
-        auto slot = std::make_shared<TimerId>(kInvalidTimer);
-        const TimerId id = wheel_.schedule_after(timeout_, [this, slot, true_seq] {
-            per_message_timers_.erase(*slot);
-            per_message_fire(true_seq);
-        });
-        *slot = id;
-        per_message_timers_.emplace(id, std::move(slot));
+    void send_ack(const proto::Ack&, runtime::AckKind) {
+        BACP_ASSERT_MSG(false, "sender endpoint produced an ack");
     }
-
-    void on_ack_arrival(const proto::Ack& ack) {
-        ++metrics_.acks_received;
-        core_.on_ack(ack, txview());
-        if (mode_ == runtime::TimeoutMode::SimpleTimer && !core_.has_outstanding()) {
-            simple_timer_.cancel();
-        }
-        pump_send();
-        if constexpr (kGatedResend) {
-            // SIV: an arriving ack can unblock the resend gate for
-            // already-matured messages; they go out immediately.
-            if (mode_ == runtime::TimeoutMode::PerMessageTimer) rescan_matured();
-        }
-        touch_quiescence();
+    void send_nak(const proto::Nak&) {
+        BACP_ASSERT_MSG(false, "sender endpoint produced a nak");
     }
+    void on_delivery(Seq) { BACP_ASSERT_MSG(false, "sender endpoint delivered data"); }
+    void after_step() {}
 
-    void on_simple_timeout() {
-        if (!core_.has_outstanding()) return;
-        seq_scratch_.clear();
-        core_.simple_timeout_set(seq_scratch_);
-        for (const Seq true_seq : seq_scratch_) {
-            transmit(core_.resend(true_seq, wheel_.now()), true_seq, /*retx=*/true);
+private:
+    void handle_datagram(std::span<const std::uint8_t> bytes) {
+        const wire::DecodeResult result = wire::decode(bytes);
+        if (!result.ok()) {
+            ++driver_.metrics_mut().decode_errors;
+            if (result.error() == wire::DecodeError::BadCrc) ++driver_.metrics_mut().crc_errors;
+            return;  // treated as loss
         }
-    }
-
-    bool matured(Seq true_seq) const {
-        return txlog_.matured(true_seq, wheel_.now(), timeout_);
-    }
-
-    void per_message_fire(Seq true_seq) {
-        if (!core_.can_resend(true_seq)) return;  // acknowledged meanwhile
-        if (!matured(true_seq)) return;           // a newer copy owns the timer
-        if constexpr (kGatedResend) {
-            if (!core_.timeout_eligible(true_seq, /*oracle=*/false)) {
-                return;  // reconsidered on next ack
-            }
-        }
-        transmit(core_.resend(true_seq, wheel_.now()), true_seq, /*retx=*/true);
-    }
-
-    void rescan_matured() {
-        seq_scratch_.clear();
-        core_.resend_candidates(seq_scratch_);
-        for (const Seq true_seq : seq_scratch_) {
-            if (!matured(true_seq)) continue;
-            if constexpr (kGatedResend) {
-                if (!core_.timeout_eligible(true_seq, /*oracle=*/false)) continue;
-            }
-            transmit(core_.resend(true_seq, wheel_.now()), true_seq, /*retx=*/true);
-        }
-    }
-
-    /// Oracle-mode activity notification: while anything is outstanding,
-    /// (re)arm the quiescence timer; a full timeout of silence stands in
-    /// for the DES's provable idle point.
-    void touch_quiescence() {
-        if (mode_ != runtime::TimeoutMode::OracleSimple &&
-            mode_ != runtime::TimeoutMode::OraclePerMessage) {
-            return;
-        }
-        if (core_.has_outstanding()) {
-            quiescence_timer_.restart(timeout_);
+        const wire::DecodedFrame& frame = result.frame();
+        if (const auto* ack = std::get_if<wire::AckFrame>(&frame)) {
+            driver_.handle_ack(proto::Ack{ack->lo, ack->hi});
+        } else if (const auto* nak = std::get_if<wire::NakFrame>(&frame)) {
+            driver_.handle_nak(proto::Nak{nak->seq});
         } else {
-            quiescence_timer_.cancel();
+            // DATA at the sender endpoint of a one-way transfer: a frame
+            // we never sent for.  Count it as a decode-level anomaly.
+            ++driver_.metrics_mut().decode_errors;
         }
-    }
-
-    void on_quiescence() {
-        if (!core_.has_outstanding()) return;
-        if (mode_ == runtime::TimeoutMode::OracleSimple) {
-            seq_scratch_.clear();
-            core_.simple_timeout_set(seq_scratch_);
-            for (const Seq true_seq : seq_scratch_) {
-                transmit(core_.resend(true_seq, wheel_.now()), true_seq, /*retx=*/true);
-            }
-            return;  // transmit re-armed the timer via touch_quiescence
-        }
-        bool any = false;
-        seq_scratch_.clear();
-        core_.resend_candidates(seq_scratch_);
-        for (const Seq true_seq : seq_scratch_) {
-            if constexpr (kGatedResend) {
-                // oracle=true consults the receiver half of *this* core,
-                // which is empty at the sender endpoint, so the gate
-                // reduces to the sender-side conjuncts -- conservative in
-                // the safe direction (never blocks a needed resend).
-                if (!core_.timeout_eligible(true_seq, /*oracle=*/true)) continue;
-            }
-            transmit(core_.resend(true_seq, wheel_.now()), true_seq, /*retx=*/true);
-            any = true;
-        }
-        if (!any) quiescence_timer_.restart(timeout_);  // keep watching
-    }
-
-    void on_nak_arrival(const proto::Nak& nak) {
-        ++metrics_.naks_received;
-        if constexpr (kHandlesNak) {
-            const std::optional<Seq> target = core_.on_nak(nak, txview());
-            if (!target) return;
-            ++metrics_.fast_retx;
-            transmit(core_.resend(*target, wheel_.now()), *target, /*retx=*/true);
-        }
-        // A core without NAK support simply ignores strays (the frame may
-        // be a duplicate from an earlier impairment).
     }
 
     NetConfig cfg_;
-    runtime::EngineConfig ecfg_;
-    runtime::TimeoutMode mode_;
-    SimTime timeout_;
-    Core core_;
     TimerWheel& wheel_;
     Transport* transport_;
-    OneShotTimer simple_timer_;
-    OneShotTimer blocked_timer_;
-    OneShotTimer quiescence_timer_;
-    sim::Metrics metrics_;
-
-    Seq sent_new_ = 0;
-    runtime::TxLog txlog_;
-    std::vector<Seq> seq_scratch_;  // candidate sets, reused per timeout/ack
-    std::unordered_map<TimerId, std::shared_ptr<TimerId>> per_message_timers_;
     RecvBatch rx_batch_{cfg_.effective_batch()};
     SendBatch tx_batch_;                         // the tick's staged frames
     std::vector<std::uint8_t> payload_scratch_;  // pattern bytes, reused
+    runtime::EndpointDriver<Core, NetSender> driver_;  // last: uses members above
 };
 
-/// Receiving endpoint: drives the receiver half of a core, reassembles
-/// and verifies pattern payloads, and speaks the ack policy.
+/// Receiving endpoint: the transport environment for the receiver half of
+/// a core's driver -- reassembles and verifies pattern payloads while the
+/// driver speaks the ack policy.
 template <runtime::EndpointCore Core>
 class NetReceiver {
 public:
@@ -430,11 +266,9 @@ public:
     /// Same threading contract as NetSender: \p wheel is fired by poll().
     NetReceiver(const NetConfig& cfg, Options options, TimerWheel& wheel, Transport& transport)
         : cfg_(cfg),
-          ecfg_(cfg.engine_config()),
-          core_(ecfg_, std::move(options)),
           wheel_(wheel),
           transport_(&transport),
-          ack_flush_timer_(wheel_, [this] { flush_ack(); }) {}
+          driver_(cfg_.engine_config(), std::move(options), *this) {}
 
     NetReceiver(const NetReceiver&) = delete;
     NetReceiver& operator=(const NetReceiver&) = delete;
@@ -456,71 +290,75 @@ public:
         return work;
     }
 
-    Seq delivered() const { return delivered_; }
+    Seq delivered() const { return driver_.delivered(); }
     std::uint64_t bytes_delivered() const { return bytes_delivered_; }
     /// Delivered payloads whose bytes did not match the expected pattern.
     /// Must be zero: CRC-32C rejects corruption before the core sees it.
     std::uint64_t payload_mismatches() const { return payload_mismatches_; }
 
     TimerWheel& wheel() { return wheel_; }
-    const sim::Metrics& metrics() const { return metrics_; }
-    const Core& core() const { return core_; }
+    const sim::Metrics& metrics() const { return driver_.metrics(); }
+    const Core& core() const { return driver_.core(); }
 
-private:
-    void handle_datagram(std::span<const std::uint8_t> bytes) {
-        const wire::DecodeResult result = wire::decode(bytes);
-        if (!result.ok()) {
-            ++metrics_.decode_errors;
-            if (result.error() == wire::DecodeError::BadCrc) ++metrics_.crc_errors;
-            return;  // treated as loss
-        }
-        const auto* data = std::get_if<wire::DataFrame>(&result.frame());
-        if (data == nullptr) {
-            ++metrics_.decode_errors;  // ACK/NAK at the receiver: anomaly
-            return;
-        }
-        on_data_arrival(*data);
+    /// Attach (or detach, with nullptr) a protocol-decision recorder.
+    void set_decision_log(runtime::DecisionLog* log) { driver_.set_decision_log(log); }
+
+    // ---- Environment hooks (called by EndpointDriver) ----------------------
+
+    static constexpr bool kHasOracle = false;
+
+    TimerService& timer_service() { return wheel_; }
+    SimTime now() const { return wheel_.now(); }
+
+    void send_data(const proto::Data&, Seq, bool) {
+        BACP_ASSERT_MSG(false, "receiver endpoint transmitted data");
     }
 
-    void on_data_arrival(const wire::DataFrame& frame) {
-        ++metrics_.data_received;
-        // Stash before consulting the core so a delivery it unlocks can
-        // always find its bytes.
-        stash_.try_emplace(frame.seq, frame.payload);
-        const runtime::RxOutcome out = core_.on_data(proto::Data{frame.seq}, wheel_.now());
-        if (out.dup_ack) {
-            ++metrics_.duplicates;
-            ++metrics_.dup_acks;
-            send_ack(*out.dup_ack);
-            return;
+    /// Bounded cores ack residue *ranges*; a block that straddles the
+    /// domain edge arrives as (lo, hi) with hi < lo (e.g. (7, 2) in
+    /// domain 8).  The wire format carries closed intervals, so such a
+    /// block goes out as two frames, (lo, domain-1) and (0, hi) -- each
+    /// is itself a valid sub-block ack the sender absorbs independently,
+    /// and losing one of the pair is just an ordinary lost ack.
+    void send_ack(const proto::Ack& ack, runtime::AckKind) {
+        if constexpr (runtime::kCoreAckWireWrapped<Core>) {
+            if (ack.lo > ack.hi) {
+                const Seq top = driver_.core().ack_wire_domain() - 1;
+                tx_batch_.append_with([&](std::vector<std::uint8_t>& slab) {
+                    wire::encode_ack_to(slab, ack.lo, top);
+                });
+                tx_batch_.append_with([&](std::vector<std::uint8_t>& slab) {
+                    wire::encode_ack_to(slab, 0, ack.hi);
+                });
+                if (cfg_.effective_batch() <= 1) tx_batch_.flush(*transport_);
+                return;
+            }
         }
-        if (out.duplicate) ++metrics_.duplicates;
-        for (Seq k = 0; k < out.delivered; ++k) note_delivery();
-        if (out.immediate_ack) {
-            ++metrics_.acks_sent;
-            send_ack(*out.immediate_ack);
-        }
-        if (out.nak) {
-            ++metrics_.naks_sent;
-            const Seq nak_seq = out.nak->seq;
-            tx_batch_.append_with([&](std::vector<std::uint8_t>& slab) {
-                wire::encode_nak_to(slab, nak_seq);
-            });
-            if (cfg_.effective_batch() <= 1) tx_batch_.flush(*transport_);
-        }
-        // Action 5 scheduling per the ack policy.
-        const Seq pending = core_.ack_pending();
-        if (pending >= cfg_.ack_policy.threshold) {
-            flush_ack();
-        } else if (pending > 0 && !ack_flush_timer_.armed()) {
-            ack_flush_timer_.restart(cfg_.ack_policy.flush_delay);
-        }
+        tx_batch_.append_with([&](std::vector<std::uint8_t>& slab) {
+            wire::encode_ack_to(slab, ack.lo, ack.hi);
+        });
+        if (cfg_.effective_batch() <= 1) tx_batch_.flush(*transport_);
     }
 
-    void note_delivery() {
-        const Seq true_seq = delivered_++;
-        ++metrics_.delivered;
-        const auto it = stash_.find(true_seq);
+    void send_nak(const proto::Nak& nak) {
+        tx_batch_.append_with([&](std::vector<std::uint8_t>& slab) {
+            wire::encode_nak_to(slab, nak.seq);
+        });
+        if (cfg_.effective_batch() <= 1) tx_batch_.flush(*transport_);
+    }
+
+    /// Consumes the stashed payload of one in-order delivery.  The stash
+    /// is keyed by *wire* value (all the frame carries); wire-mapped
+    /// cores translate, unbounded ones are the identity.  The protocols
+    /// guarantee at most one live message per wire value at the receiver
+    /// (window/domain relation, residue quarantine), so the latest write
+    /// for a key is always the delivered message's own bytes.
+    void on_delivery(Seq true_seq) {
+        Seq key = true_seq;
+        if constexpr (runtime::kCoreWireMapped<Core>) {
+            key = driver_.core().wire_seq(true_seq);
+        }
+        const auto it = stash_.find(key);
         BACP_ASSERT_MSG(it != stash_.end(), "delivered message has no stashed payload");
         expected_scratch_.resize(it->second.size());
         pattern_fill(true_seq, expected_scratch_);
@@ -529,36 +367,39 @@ private:
         stash_.erase(it);
     }
 
-    void send_ack(const proto::Ack& ack) {
-        tx_batch_.append_with([&](std::vector<std::uint8_t>& slab) {
-            wire::encode_ack_to(slab, ack.lo, ack.hi);
-        });
-        if (cfg_.effective_batch() <= 1) tx_batch_.flush(*transport_);
-    }
+    void after_step() {}
 
-    void flush_ack() {
-        ack_flush_timer_.cancel();
-        if (core_.ack_pending() == 0) return;
-        const proto::Ack ack = core_.make_ack();
-        ++metrics_.acks_sent;
-        send_ack(ack);
+private:
+    void handle_datagram(std::span<const std::uint8_t> bytes) {
+        const wire::DecodeResult result = wire::decode(bytes);
+        if (!result.ok()) {
+            ++driver_.metrics_mut().decode_errors;
+            if (result.error() == wire::DecodeError::BadCrc) ++driver_.metrics_mut().crc_errors;
+            return;  // treated as loss
+        }
+        const auto* data = std::get_if<wire::DataFrame>(&result.frame());
+        if (data == nullptr) {
+            ++driver_.metrics_mut().decode_errors;  // ACK/NAK at the receiver: anomaly
+            return;
+        }
+        // Stash before consulting the driver so a delivery it unlocks can
+        // always find its bytes; latest write wins, so a wire value being
+        // reused (bounded cores) always maps to the newest message.
+        stash_.insert_or_assign(data->seq, data->payload);
+        driver_.handle_data(proto::Data{data->seq});
     }
 
     NetConfig cfg_;
-    runtime::EngineConfig ecfg_;
-    Core core_;
     TimerWheel& wheel_;
     Transport* transport_;
-    OneShotTimer ack_flush_timer_;
-    sim::Metrics metrics_;
 
-    Seq delivered_ = 0;
     std::uint64_t bytes_delivered_ = 0;
     std::uint64_t payload_mismatches_ = 0;
-    std::unordered_map<Seq, std::vector<std::uint8_t>> stash_;
+    std::unordered_map<Seq, std::vector<std::uint8_t>> stash_;  // wire seq -> payload
     RecvBatch rx_batch_{cfg_.effective_batch()};
-    SendBatch tx_batch_;                         // the tick's staged acks/naks
+    SendBatch tx_batch_;                          // the tick's staged acks/naks
     std::vector<std::uint8_t> expected_scratch_;  // pattern verify, reused
+    runtime::EndpointDriver<Core, NetReceiver> driver_;  // last: uses members above
 };
 
 /// Everything a real-time run measures.
@@ -620,7 +461,8 @@ public:
         wheel_r_ = std::make_unique<TimerWheel>(*clock_);
         imp_s_ = std::make_unique<Impairer>(*raw_s_, *wheel_s_, cfg_.impair,
                                             runtime::mix_seed(cfg_.seed, 0xd1));
-        imp_r_ = std::make_unique<Impairer>(*raw_r_, *wheel_r_, cfg_.impair,
+        imp_r_ = std::make_unique<Impairer>(*raw_r_, *wheel_r_,
+                                            cfg_.impair_ack.value_or(cfg_.impair),
                                             runtime::mix_seed(cfg_.seed, 0xac));
         sender_ = std::make_unique<NetSender<Core>>(cfg_, options, *wheel_s_, *imp_s_);
         receiver_ = std::make_unique<NetReceiver<Core>>(cfg_, options, *wheel_r_, *imp_r_);
@@ -682,6 +524,13 @@ public:
 
     NetSender<Core>& sender() { return *sender_; }
     NetReceiver<Core>& receiver() { return *receiver_; }
+
+    /// Attach protocol-decision recorders to the two endpoints (the
+    /// cross-runtime parity test compares them against a DES run's).
+    void set_decision_logs(runtime::DecisionLog* sender_log, runtime::DecisionLog* receiver_log) {
+        sender_->set_decision_log(sender_log);
+        receiver_->set_decision_log(receiver_log);
+    }
 
 private:
     bool finished() const {

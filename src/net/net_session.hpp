@@ -2,10 +2,10 @@
 
 /// \file net_session.hpp
 /// Convenience aliases binding the real-time runtime to concrete cores,
-/// mirroring runtime/{ba,gbn,sr}_session.hpp for the DES engine.  Only
-/// unbounded-wire-seqnum cores are listed: the net runtime associates
-/// payloads with frames by sequence number, which residue cores (bounded
-/// SV, threshold counters) cannot support without a link-layer map.
+/// mirroring runtime/{abp,ba,gbn,sr,tc}_session.hpp for the DES engine.
+/// All cores run here, including residue (wire-mapped) ones: the net
+/// runtime keys its payload stash by wire value and translates back at
+/// delivery through the cores' wire_seq() (runtime::kCoreWireMapped).
 
 #include "ba/engine_core.hpp"
 #include "baselines/engine_cores.hpp"
@@ -15,9 +15,17 @@ namespace bacp::net {
 
 /// SII/SIV block acknowledgment with unbounded sequence numbers.
 using BaNetEngine = NetEngine<ba::EngineCore<ba::Sender, ba::Receiver>>;
-/// Go-back-N (run with Options::domain = 0, the safe unbounded mode).
+/// SV block acknowledgment: bounded residues mod n = 2w on the wire.
+using BoundedBaNetEngine = NetEngine<ba::EngineCore<ba::BoundedSender, ba::BoundedReceiver>>;
+/// Hole-reuse variant (relaxed send guard; unbounded wire seqnums).
+using HoleReuseNetEngine = NetEngine<ba::EngineCore<ba::HoleReuseSender, ba::Receiver>>;
+/// Alternating-bit protocol (w = 1, FIFO).
+using AbpNetEngine = NetEngine<baselines::AbpCore>;
+/// Go-back-N (Options::domain = 0 is the safe unbounded mode).
 using GbnNetEngine = NetEngine<baselines::GbnCore>;
 /// Selective repeat (per-message conservative timers).
 using SrNetEngine = NetEngine<baselines::SrCore>;
+/// Time-constrained residue reuse (bounded domain N, FIFO).
+using TcNetEngine = NetEngine<baselines::TcCore>;
 
 }  // namespace bacp::net

@@ -55,13 +55,6 @@ std::optional<std::size_t> Transport::recv(std::span<std::uint8_t> out) {
     return datagram.size();
 }
 
-std::optional<std::vector<std::uint8_t>> Transport::recv() {
-    RecvBatch& batch = shim_batch();
-    if (recv_batch(batch) == 0) return std::nullopt;
-    const std::span<const std::uint8_t> datagram = batch[0];
-    return std::vector<std::uint8_t>(datagram.begin(), datagram.end());
-}
-
 // ---- UdpTransport -----------------------------------------------------
 
 /// mmsghdr/iovec staging arrays, reused across calls; resize() past the

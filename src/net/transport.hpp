@@ -208,12 +208,6 @@ public:
     /// is waiting.
     std::optional<std::size_t> recv(std::span<std::uint8_t> out);
 
-    /// Deprecated single-shot receive; allocates a fresh buffer per
-    /// datagram.  Kept one more PR for out-of-tree callers -- migrate to
-    /// recv(std::span) or recv_batch().
-    [[deprecated("use recv(std::span<std::uint8_t>) or recv_batch()")]]
-    std::optional<std::vector<std::uint8_t>> recv();
-
     /// Pollable file descriptor, or -1 when the transport has none
     /// (in-process queues).
     virtual int fd() const { return -1; }

@@ -1,100 +1,58 @@
 #pragma once
 
 /// \file engine.hpp
-/// The unified discrete-event transport runtime.
+/// The discrete-event transport runtime: a DES adapter over
+/// runtime::EndpointDriver.
 ///
-/// Engine<Core> owns everything a session run needs -- the simulator, the
-/// two SimChannels, the retransmission-timer machinery (all four
-/// TimeoutMode flavors), the seed/deadline/max_events policy, and the
-/// metrics/trace hookup -- and drives a fixed-size transfer through a
-/// pure protocol core.  The core supplies only protocol decisions (what
-/// to send, how to absorb an ack, which messages are resend candidates);
-/// the engine supplies time, randomness, channels, and bookkeeping.
+/// Engine<Core> supplies the *environment* -- the simulator (virtual
+/// time + TimerService), the two SimChannels, trace recording, the
+/// invariant-check hook, and the seed/deadline/max_events policy -- and
+/// delegates every protocol decision (timeout disciplines, window
+/// pumping, ack policy, resend selection) to the embedded
+/// EndpointDriver.  The real-time runtime (net::NetSender /
+/// net::NetReceiver) adapts the same driver over sockets; the driving
+/// logic exists exactly once, in endpoint_driver.hpp.
 ///
-/// Cores model the EndpointCore concept below.  The block-ack family
-/// (ba::EngineCore over Sender/BoundedSender/HoleReuseSender) and all
-/// four baselines (baselines::{Abp,Gbn,Sr,Tc}Core) plug in; a scenario
-/// can therefore sweep protocols by changing nothing but the core type.
+/// The DES is the one environment that can *prove* quiescence: when the
+/// event queue drains, both channels are empty by construction.  It
+/// therefore advertises kHasOracle and fires the oracle timeout modes
+/// from a simulator idle hook instead of the driver's quiescence-timer
+/// approximation.
 ///
 /// The engine speaks *true* (unbounded) sequence numbers everywhere:
 /// send_new is numbered by arrival order, and resend candidates are true
 /// sequence numbers.  Cores whose wire format is a residue (mod 2w or
 /// mod N) translate internally -- the paper's proof technique of
 /// reasoning about ghost values the implementation no longer stores.
-///
-/// Timer timeouts default to L_SR + L_RS + max_ack_delay + margin, the
-/// conservative bound that preserves assertion 8 ("at most one copy of
-/// each data message or its acknowledgment is in transit").
 
-#include <concepts>
 #include <cstdint>
-#include <optional>
 #include <string>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/rng.hpp"
+#include "common/timer_service.hpp"
 #include "common/types.hpp"
 #include "protocol/message.hpp"
-#include "runtime/ack_policy.hpp"
 #include "runtime/endpoint_core.hpp"
+#include "runtime/endpoint_driver.hpp"
 #include "runtime/link_spec.hpp"
 #include "runtime/session_util.hpp"
 #include "runtime/timeout_mode.hpp"
 #include "sim/metrics.hpp"
 #include "sim/sim_channel.hpp"
 #include "sim/simulator.hpp"
-#include "sim/timer.hpp"
 #include "sim/trace.hpp"
 #include "verify/invariants.hpp"
 
 namespace bacp::runtime {
 
-/// One configuration for every protocol.  Core-specific knobs (residue
-/// domain, reuse interval, ...) live in the core's Options struct.
-struct EngineConfig {
-    Seq w = 8;
-    Seq count = 1000;  // messages to transfer
-    /// nullopt = the core's classic discipline (PerMessageTimer for the
-    /// block-ack family and selective repeat, SimpleTimer for the
-    /// single-timer baselines).
-    std::optional<TimeoutMode> timeout_mode;
-    SimTime timeout = 0;  // 0 = derive conservatively from links + ack policy
-    AckPolicy ack_policy = AckPolicy::eager();
-    LinkSpec data_link = LinkSpec::lossless();
-    LinkSpec ack_link = LinkSpec::lossless();
-    std::uint64_t seed = 1;
-    SimTime deadline = 3600 * kSecond;
-    std::size_t max_events = 50'000'000;
-    bool record_trace = false;
-    /// Check assertions 6-8 after every protocol step (unbounded BA cores
-    /// over set-tracked channels only); violations throw AssertionError.
-    bool check_invariants = false;
-    /// Fast-retransmit extension (BA cores): the receiver NAKs the
-    /// message blocking vr after nak_threshold out-of-order arrivals; the
-    /// sender resends it as soon as the previous copy has provably aged
-    /// out of the channel.  Advisory: NAK loss or duplication affects
-    /// only latency.  See DESIGN.md (extensions).
-    bool enable_nak = false;
-    Seq nak_threshold = 3;
-    /// Variable-window extension (paper SVI): AIMD adaptation of the
-    /// effective window limit within [1, w].  Only meaningful when the
-    /// data link models a bottleneck queue, and only for cores whose
-    /// sender supports set_window_limit.
-    bool adaptive_window = false;
-    /// Open-loop workload: when > 0, messages become available one per
-    /// interval (exponential gaps when poisson_arrivals) instead of all
-    /// upfront; `count` still bounds the total.  Latency then measures
-    /// arrival-to-delivery sojourn (queueing included).
-    SimTime arrival_interval = 0;
-    bool poisson_arrivals = false;
-};
-
-// TxView, RxOutcome, the EndpointCore concept, the kCore* extension
-// traits, and the TxLog bookkeeping live in endpoint_core.hpp: they are
-// shared verbatim with the real-time runtime (src/net), which drives the
-// same cores over actual sockets.
+// EngineConfig, derived_timeout/effective_timeout, and the driver itself
+// live in endpoint_driver.hpp (shared verbatim with src/net); TxView,
+// RxOutcome, the EndpointCore concept, and the kCore* traits live in
+// endpoint_core.hpp.
 
 template <EndpointCore Core>
 class Engine {
@@ -103,43 +61,50 @@ public:
 
     explicit Engine(EngineConfig config, Options options = {})
         : cfg_(std::move(config)),
-          mode_(cfg_.timeout_mode.value_or(Core::kDefaultTimeoutMode)),
           rng_data_(mix_seed(cfg_.seed, 0xd1)),
           rng_ack_(mix_seed(cfg_.seed, 0xac)),
-          rng_arrivals_(mix_seed(cfg_.seed, 0xa7)),
-          core_(cfg_, options),
           data_ch_(sim_, rng_data_, channel_config(cfg_.data_link), "C_SR"),
           ack_ch_(sim_, rng_ack_, channel_config(cfg_.ack_link), "C_RS"),
-          ack_flush_timer_(sim_, [this] { flush_ack(); }),
-          simple_timer_(sim_, [this] { on_simple_timeout(); }),
-          blocked_timer_(sim_, [this] { pump_send(); }) {
-        timeout_ = cfg_.timeout > 0 ? cfg_.timeout : derived_timeout();
-        data_lifetime_ = cfg_.data_link.max_lifetime();
-        data_ch_.set_receiver(
-            [this](const proto::Message& m) { on_data_arrival(std::get<proto::Data>(m)); });
+          driver_(cfg_, std::move(options), *this) {
+        data_ch_.set_receiver([this](const proto::Message& m) {
+            const auto& msg = std::get<proto::Data>(m);
+            if (cfg_.record_trace) {
+                trace_.record(sim_.now(), "R", "rcv " + proto::to_string(msg));
+            }
+            driver_.handle_data(msg);
+        });
         ack_ch_.set_receiver([this](const proto::Message& m) {
             if (const auto* ack = std::get_if<proto::Ack>(&m)) {
-                on_ack_arrival(*ack);
+                if (cfg_.record_trace) {
+                    trace_.record(sim_.now(), "S", "rcv " + proto::to_string(*ack));
+                }
+                driver_.handle_ack(*ack);
             } else {
-                on_nak_arrival(std::get<proto::Nak>(m));
+                const auto& nak = std::get<proto::Nak>(m);
+                if (cfg_.record_trace) {
+                    trace_.record(sim_.now(), "S", "rcv N(" + std::to_string(nak.seq) + ")");
+                }
+                driver_.handle_nak(nak);
             }
         });
         if (cfg_.record_trace) {
             data_ch_.set_trace(&trace_);
             ack_ch_.set_trace(&trace_);
         }
-        if (mode_ == TimeoutMode::OracleSimple || mode_ == TimeoutMode::OraclePerMessage) {
-            sim_.add_idle_hook([this] { return oracle_fire(); });
+        if (driver_.mode() == TimeoutMode::OracleSimple ||
+            driver_.mode() == TimeoutMode::OraclePerMessage) {
+            sim_.add_idle_hook([this] {
+                if (!driver_.core().has_outstanding()) return false;
+                // The proof the oracle modes rely on: an idle DES has
+                // nothing scheduled, so nothing is in flight.
+                BACP_ASSERT(data_ch_.in_flight() == 0 && ack_ch_.in_flight() == 0);
+                return driver_.oracle_fire();
+            });
         }
-        // Pre-size the per-seq tables, the candidate scratch, and the
-        // event slab so the steady-state event loop never touches the
-        // allocator.  Concurrent events are bounded by the window: at
-        // most w data copies + w per-message timers in flight each way,
-        // plus the handful of engine-owned timers.
-        txlog_.reserve(cfg_.count);
-        first_send_.reserve(cfg_.count);
-        if (cfg_.arrival_interval > 0) arrival_time_.reserve(cfg_.count);
-        seq_scratch_.reserve(cfg_.w + 1);
+        // Concurrent events are bounded by the window: at most w data
+        // copies + w per-message timers in flight each way, plus the
+        // handful of driver-owned timers.  (The driver pre-sizes its own
+        // per-seq tables.)
         sim_.reserve_events(8 * cfg_.w + 64);
     }
 
@@ -149,50 +114,81 @@ public:
     /// Runs the transfer to completion (or deadline/event cap) and
     /// returns the measurements.
     sim::Metrics run() {
-        metrics_.start_time = sim_.now();
-        if (cfg_.arrival_interval > 0) {
-            app_released_ = 0;
-            schedule_arrival();
-        } else {
-            app_released_ = cfg_.count;
-        }
-        pump_send();
+        driver_.start();
         sim_.run_until(cfg_.deadline, cfg_.max_events);
-        if (metrics_.end_time == 0) metrics_.end_time = sim_.now();
-        metrics_.sr_dropped = data_ch_.stats().dropped;
-        metrics_.rs_dropped = ack_ch_.stats().dropped;
-        return metrics_;
+        sim::Metrics& m = driver_.metrics_mut();
+        if (m.end_time == 0) m.end_time = sim_.now();
+        m.sr_dropped = data_ch_.stats().dropped;
+        m.rs_dropped = ack_ch_.stats().dropped;
+        return m;
     }
 
     /// All messages delivered in order and fully acknowledged.
-    bool completed() const {
-        return sent_new_ == cfg_.count && delivered_ == cfg_.count && !core_.has_outstanding();
-    }
+    bool completed() const { return driver_.completed(); }
 
-    Seq delivered() const { return delivered_; }
-    SimTime timeout_value() const { return timeout_; }
-    TimeoutMode timeout_mode() const { return mode_; }
-    const Core& core() const { return core_; }
-    const sim::Metrics& metrics() const { return metrics_; }
+    Seq delivered() const { return driver_.delivered(); }
+    SimTime timeout_value() const { return driver_.timeout_value(); }
+    TimeoutMode timeout_mode() const { return driver_.mode(); }
+    const Core& core() const { return driver_.core(); }
+    const sim::Metrics& metrics() const { return driver_.metrics(); }
     const sim::TraceRecorder& trace() const { return trace_; }
     sim::Simulator& simulator() { return sim_; }
     const std::vector<std::string>& invariant_violations() const { return violations_; }
 
+    /// Attach (or detach, with nullptr) a protocol-decision recorder --
+    /// the cross-runtime parity test compares this stream against the
+    /// net runtime's.
+    void set_decision_log(DecisionLog* log) { driver_.set_decision_log(log); }
+
     decltype(auto) sender_core() const
         requires requires(const Core& c) { c.sender_core(); }
     {
-        return core_.sender_core();
+        return driver_.core().sender_core();
     }
     decltype(auto) receiver_core() const
         requires requires(const Core& c) { c.receiver_core(); }
     {
-        return core_.receiver_core();
+        return driver_.core().receiver_core();
     }
 
+    // ---- Environment hooks (called by EndpointDriver) ----------------------
+    // Public because the driver is a distinct type, not a friend; these
+    // are the DES halves of the DriverEnvironment concept, not user API.
+
+    static constexpr bool kHasOracle = true;
+
+    TimerService& timer_service() { return sim_; }
+    SimTime now() const { return sim_.now(); }
+
+    void send_data(const proto::Data& msg, Seq /*true_seq*/, bool retx) {
+        if (cfg_.record_trace) {
+            trace_.record(sim_.now(), "S",
+                          std::string(retx ? "resend " : "send ") + proto::to_string(msg));
+        }
+        data_ch_.send(msg);
+    }
+
+    void send_ack(const proto::Ack& ack, AckKind kind) {
+        if (cfg_.record_trace) {
+            trace_.record(sim_.now(), "R",
+                          std::string(kind == AckKind::Dup ? "dup-ack " : "ack ") +
+                              proto::to_string(ack));
+        }
+        ack_ch_.send(ack);
+    }
+
+    void send_nak(const proto::Nak& nak) {
+        if (cfg_.record_trace) {
+            trace_.record(sim_.now(), "R", "nak N(" + std::to_string(nak.seq) + ")");
+        }
+        ack_ch_.send(nak);
+    }
+
+    void on_delivery(Seq /*true_seq*/) {}  // payload handoff is a net-runtime concern
+
+    void after_step() { maybe_check_invariants(); }
+
 private:
-    static constexpr bool kTimeGatedSend = kCoreTimeGatedSend<Core>;
-    static constexpr bool kGatedResend = kCoreGatedResend<Core>;
-    static constexpr bool kHandlesNak = kCoreHandlesNak<Core>;
     static constexpr bool kInvariantCheckable = Core::kInvariantCheckable;
 
     sim::SimChannel::Config channel_config(LinkSpec spec) const {
@@ -201,266 +197,17 @@ private:
         return spec.make_config();
     }
 
-    SimTime derived_timeout() const {
-        return cfg_.data_link.max_lifetime() + cfg_.ack_link.max_lifetime() +
-               cfg_.ack_policy.max_ack_delay() + kMillisecond;
-    }
-
-    TxView txview() const { return txlog_.view(sim_.now(), data_lifetime_); }
-
-    // ---- sender ----------------------------------------------------------
-
-    /// Open-loop arrival process: releases one message per interval.
-    void schedule_arrival() {
-        if (app_released_ >= cfg_.count) return;
-        const SimTime gap =
-            cfg_.poisson_arrivals
-                ? static_cast<SimTime>(
-                      rng_arrivals_.exponential(static_cast<double>(cfg_.arrival_interval)))
-                : cfg_.arrival_interval;
-        sim_.schedule_after(gap, [this] {
-            arrival_time_.set(app_released_, sim_.now());
-            ++app_released_;
-            pump_send();
-            schedule_arrival();
-        });
-    }
-
-    void pump_send() {
-        while (sent_new_ < cfg_.count && sent_new_ < app_released_ && core_.can_send_new()) {
-            if constexpr (kTimeGatedSend) {
-                const SimTime ready = core_.send_blocked_until(sim_.now());
-                if (ready > sim_.now()) {
-                    if (!blocked_timer_.armed()) blocked_timer_.restart(ready - sim_.now());
-                    return;
-                }
-            }
-            const proto::Data msg = core_.send_new(sim_.now());
-            const Seq true_seq = sent_new_++;
-            first_send_.set(true_seq, sim_.now());
-            transmit(msg, true_seq, /*retx=*/false);
-        }
-    }
-
-    void transmit(const proto::Data& msg, Seq true_seq, bool retx) {
-        if (retx) {
-            ++metrics_.data_retx;
-        } else {
-            ++metrics_.data_new;
-        }
-        if (cfg_.record_trace) {
-            trace_.record(sim_.now(), "S",
-                          std::string(retx ? "resend " : "send ") + proto::to_string(msg));
-        }
-        txlog_.note(true_seq, sim_.now());
-        data_ch_.send(msg);
-        switch (mode_) {
-            case TimeoutMode::SimpleTimer:
-                simple_timer_.restart(timeout_);
-                break;
-            case TimeoutMode::PerMessageTimer:
-                sim_.schedule_after(timeout_, [this, true_seq] { per_message_fire(true_seq); });
-                break;
-            default:
-                break;  // oracle modes use the idle hook
-        }
-    }
-
-    void on_ack_arrival(const proto::Ack& ack) {
-        ++metrics_.acks_received;
-        if (cfg_.record_trace) trace_.record(sim_.now(), "S", "rcv " + proto::to_string(ack));
-        core_.on_ack(ack, txview());
-        if (mode_ == TimeoutMode::SimpleTimer && !core_.has_outstanding()) {
-            simple_timer_.cancel();
-        }
-        pump_send();
-        if constexpr (kGatedResend) {
-            // SIV's speed advantage: an arriving ack can unblock the
-            // resend gate for already-matured messages; they go out
-            // immediately, with no timeout period between successive
-            // resends (paper SIV).
-            if (mode_ == TimeoutMode::PerMessageTimer) rescan_matured();
-        }
-        maybe_check_invariants();
-    }
-
-    void on_simple_timeout() {
-        if (!core_.has_outstanding()) return;
-        seq_scratch_.clear();
-        core_.simple_timeout_set(seq_scratch_);
-        for (const Seq true_seq : seq_scratch_) {
-            transmit(core_.resend(true_seq, sim_.now()), true_seq, /*retx=*/true);
-        }
-    }
-
-    bool matured(Seq true_seq) const { return txlog_.matured(true_seq, sim_.now(), timeout_); }
-
-    void per_message_fire(Seq true_seq) {
-        if (!core_.can_resend(true_seq)) return;  // acknowledged meanwhile
-        if (!matured(true_seq)) return;           // a newer copy owns the timer
-        if constexpr (kGatedResend) {
-            if (!core_.timeout_eligible(true_seq, /*oracle=*/false)) {
-                gate_waiters_ = true;  // reconsidered on next ack
-                return;
-            }
-        }
-        transmit(core_.resend(true_seq, sim_.now()), true_seq, /*retx=*/true);
-    }
-
-    /// Resends every matured message the SIV gate now admits.  A message
-    /// only reaches "matured but gate-blocked" through per_message_fire
-    /// (its newest copy's timer fires exactly at maturity), which sets
-    /// gate_waiters_; when no fire has been blocked since the last scan
-    /// came up dry there is nothing to reconsider, and the per-ack
-    /// O(window) candidate scan is skipped -- the common case on healthy
-    /// links, where this runs on every single ack.
-    void rescan_matured() {
-        if (!gate_waiters_) return;
-        bool still_blocked = false;
-        seq_scratch_.clear();
-        core_.resend_candidates(seq_scratch_);
-        for (const Seq true_seq : seq_scratch_) {
-            if (!matured(true_seq)) continue;
-            if constexpr (kGatedResend) {
-                if (!core_.timeout_eligible(true_seq, /*oracle=*/false)) {
-                    still_blocked = true;
-                    continue;
-                }
-            }
-            transmit(core_.resend(true_seq, sim_.now()), true_seq, /*retx=*/true);
-        }
-        gate_waiters_ = still_blocked;
-    }
-
-    bool oracle_fire() {
-        if (!core_.has_outstanding()) return false;
-        // At an idle point the channels are provably empty (the *SR/*RS
-        // conjuncts of the guards hold trivially), but the receiver may
-        // hold out-of-order messages it cannot acknowledge yet -- the
-        // "(i < nr || !rcvd[i])" conjunct must still be consulted.
-        BACP_ASSERT(data_ch_.in_flight() == 0 && ack_ch_.in_flight() == 0);
-        if (mode_ == TimeoutMode::OracleSimple) {
-            // Paper SII guard: na != ns, channels empty, !rcvd[nr].  At an
-            // idle point an eager/flushed receiver has nr == vr and
-            // !rcvd[vr], so the remaining conjuncts hold automatically.
-            seq_scratch_.clear();
-            core_.simple_timeout_set(seq_scratch_);
-            for (const Seq true_seq : seq_scratch_) {
-                transmit(core_.resend(true_seq, sim_.now()), true_seq, /*retx=*/true);
-            }
-            return true;
-        }
-        bool any = false;
-        seq_scratch_.clear();
-        core_.resend_candidates(seq_scratch_);
-        for (const Seq true_seq : seq_scratch_) {
-            if constexpr (kGatedResend) {
-                if (core_.timeout_eligible(true_seq, /*oracle=*/true) == false) continue;
-            }
-            transmit(core_.resend(true_seq, sim_.now()), true_seq, /*retx=*/true);
-            any = true;
-        }
-        // na always passes the guard (na < nr, or na == nr with !rcvd[nr]
-        // at idle), so progress is guaranteed.
-        BACP_ASSERT_MSG(any, "oracle timeout found no eligible candidate");
-        return true;
-    }
-
-    void on_nak_arrival(const proto::Nak& nak) {
-        ++metrics_.naks_received;
-        if (cfg_.record_trace) {
-            trace_.record(sim_.now(), "S", "rcv N(" + std::to_string(nak.seq) + ")");
-        }
-        if constexpr (kHandlesNak) {
-            const std::optional<Seq> target = core_.on_nak(nak, txview());
-            if (!target) return;
-            ++metrics_.fast_retx;
-            transmit(core_.resend(*target, sim_.now()), *target, /*retx=*/true);
-        } else {
-            BACP_ASSERT_MSG(false, "NAK received by a core without NAK support");
-        }
-    }
-
-    // ---- receiver --------------------------------------------------------
-
-    void on_data_arrival(const proto::Data& msg) {
-        ++metrics_.data_received;
-        if (cfg_.record_trace) trace_.record(sim_.now(), "R", "rcv " + proto::to_string(msg));
-        const RxOutcome out = core_.on_data(msg, sim_.now());
-        if (out.dup_ack) {
-            ++metrics_.duplicates;
-            ++metrics_.dup_acks;
-            if (cfg_.record_trace) {
-                trace_.record(sim_.now(), "R", "dup-ack " + proto::to_string(*out.dup_ack));
-            }
-            ack_ch_.send(*out.dup_ack);
-            maybe_check_invariants();
-            return;
-        }
-        if (out.duplicate) ++metrics_.duplicates;
-        for (Seq k = 0; k < out.delivered; ++k) note_delivery();
-        if (out.immediate_ack) {
-            ++metrics_.acks_sent;
-            if (cfg_.record_trace) {
-                trace_.record(sim_.now(), "R", "ack " + proto::to_string(*out.immediate_ack));
-            }
-            ack_ch_.send(*out.immediate_ack);
-        }
-        if (out.nak) {
-            ++metrics_.naks_sent;
-            if (cfg_.record_trace) {
-                trace_.record(sim_.now(), "R", "nak N(" + std::to_string(out.nak->seq) + ")");
-            }
-            ack_ch_.send(*out.nak);
-        }
-        // Action 5 scheduling per the ack policy.
-        const Seq pending = core_.ack_pending();
-        if (pending >= cfg_.ack_policy.threshold) {
-            flush_ack();
-        } else if (pending > 0 && !ack_flush_timer_.armed()) {
-            ack_flush_timer_.restart(cfg_.ack_policy.flush_delay);
-        }
-        maybe_check_invariants();
-    }
-
-    void note_delivery() {
-        const Seq true_seq = delivered_++;
-        ++metrics_.delivered;
-        // Open loop measures arrival-to-delivery sojourn; closed loop
-        // measures first-transmission-to-delivery.
-        const SimTime arrived = arrival_time_.get(true_seq);
-        if (arrived != SeqTimeTable::kNever) {
-            metrics_.latency.add(sim_.now() - arrived);
-        } else {
-            const SimTime sent = first_send_.get(true_seq);
-            if (sent != SeqTimeTable::kNever) metrics_.latency.add(sim_.now() - sent);
-        }
-        if (delivered_ == cfg_.count) metrics_.end_time = sim_.now();
-    }
-
-    void flush_ack() {
-        ack_flush_timer_.cancel();
-        if (core_.ack_pending() == 0) return;
-        const proto::Ack ack = core_.make_ack();
-        ++metrics_.acks_sent;
-        if (cfg_.record_trace) trace_.record(sim_.now(), "R", "ack " + proto::to_string(ack));
-        ack_ch_.send(ack);
-        maybe_check_invariants();
-    }
-
-    // ---- verification hook -----------------------------------------------
-
     void maybe_check_invariants() {
         if constexpr (kInvariantCheckable) {
             if (!cfg_.check_invariants) return;
             // The realistic per-message timer mode legitimately relaxes
             // assertion 8's channel conjuncts (see ba/engine_core.hpp).
-            const auto strictness = mode_ == TimeoutMode::PerMessageTimer
+            const auto strictness = driver_.mode() == TimeoutMode::PerMessageTimer
                                         ? verify::ChannelStrictness::Relaxed
                                         : verify::ChannelStrictness::Strict;
-            const auto report =
-                verify::check_invariants(core_.sender_core(), core_.receiver_core(),
-                                         data_ch_.snapshot(), ack_ch_.snapshot(), strictness);
+            const auto report = verify::check_invariants(
+                driver_.core().sender_core(), driver_.core().receiver_core(),
+                data_ch_.snapshot(), ack_ch_.snapshot(), strictness);
             if (!report.ok()) {
                 violations_.insert(violations_.end(), report.violations.begin(),
                                    report.violations.end());
@@ -470,31 +217,14 @@ private:
     }
 
     EngineConfig cfg_;
-    TimeoutMode mode_;
     sim::Simulator sim_;
     Rng rng_data_;
     Rng rng_ack_;
-    Rng rng_arrivals_;
     sim::TraceRecorder trace_;
-    Core core_;
     sim::SimChannel data_ch_;
     sim::SimChannel ack_ch_;
-    sim::Timer ack_flush_timer_;
-    sim::Timer simple_timer_;
-    sim::Timer blocked_timer_;  // wakes the pump when a send gate clears
-    sim::Metrics metrics_;
-
-    SimTime timeout_ = 0;
-    SimTime data_lifetime_ = 0;  // cached cfg_.data_link.max_lifetime()
-    bool gate_waiters_ = false;  // a per-message fire was gate-blocked
-    Seq sent_new_ = 0;      // new messages handed to the channel (== true ns)
-    Seq delivered_ = 0;     // in-order deliveries at the receiver (== true vr)
-    Seq app_released_ = 0;  // open loop: messages made available so far
-    SeqTimeTable arrival_time_;    // open loop only
-    SeqTimeTable first_send_;      // true seq -> first tx time
-    TxLog txlog_;                  // true seq -> last tx time
-    std::vector<Seq> seq_scratch_; // candidate sets, reused per timeout/ack
     std::vector<std::string> violations_;
+    EndpointDriver<Core, Engine> driver_;  // last: its ctor uses the members above
 };
 
 }  // namespace bacp::runtime

@@ -3,6 +3,7 @@
 /// \file metrics.hpp
 /// Per-run measurement record shared by tests, benches, and examples.
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -61,6 +62,51 @@ struct Metrics {
 
     /// One-line human-readable report.
     std::string summary() const;
+
+    struct Field {
+        const char* name;
+        std::uint64_t value;
+    };
+    static constexpr std::size_t kFieldCount = 15;
+
+    /// Stable name->value view of every protocol counter, in declaration
+    /// order -- the same shape net::Metrics exposes, so benches serialize
+    /// identically from either runtime (bench::counters_json walks it).
+    /// Time stamps and the latency histogram are not counters and stay
+    /// out; consumers report those through their own fields.
+    std::array<Field, kFieldCount> fields() const {
+        return {{{"data_new", data_new},
+                 {"data_retx", data_retx},
+                 {"acks_received", acks_received},
+                 {"data_received", data_received},
+                 {"duplicates", duplicates},
+                 {"acks_sent", acks_sent},
+                 {"dup_acks", dup_acks},
+                 {"delivered", delivered},
+                 {"naks_sent", naks_sent},
+                 {"naks_received", naks_received},
+                 {"fast_retx", fast_retx},
+                 {"sr_dropped", sr_dropped},
+                 {"rs_dropped", rs_dropped},
+                 {"decode_errors", decode_errors},
+                 {"crc_errors", crc_errors}}};
+    }
+
+    /// Flat JSON object of every counter.
+    std::string to_json() const {
+        std::string out = "{";
+        bool first = true;
+        for (const Field& f : fields()) {
+            if (!first) out += ",";
+            first = false;
+            out += "\"";
+            out += f.name;
+            out += "\":";
+            out += std::to_string(f.value);
+        }
+        out += "}";
+        return out;
+    }
 };
 
 }  // namespace bacp::sim

@@ -1,13 +1,15 @@
 // Dedicated tests for the small runtime utilities: SACK-style ack
 // clipping at the mod-2w wrap boundary (ack_clip.hpp), the seed-mixing
-// and TimeoutMode naming helpers (session_util.cpp), and the send-horizon
-// rule (horizon.hpp).
+// and TimeoutMode naming helpers (session_util.cpp), the send-horizon
+// rule (horizon.hpp), and the shared derived-timeout formula
+// (endpoint_driver.hpp).
 
 #include <gtest/gtest.h>
 
 #include "ba/bounded_sender.hpp"
 #include "ba/sender.hpp"
 #include "runtime/ack_clip.hpp"
+#include "runtime/endpoint_driver.hpp"
 #include "runtime/horizon.hpp"
 #include "runtime/session_util.hpp"
 #include "runtime/timeout_mode.hpp"
@@ -124,6 +126,62 @@ TEST(SessionUtil, MixSeedIsDeterministicAndSaltSensitive) {
     // Channel RNG streams must stay decorrelated even for seed 0.
     EXPECT_NE(mix_seed(0, 0xd1), mix_seed(0, 0xac));
     EXPECT_NE(mix_seed(0, 0xd1), 0u);
+}
+
+// ------------------------------------------------------------ derived timeout --
+
+// The conservative retransmission timeout that preserves the paper's
+// assertion 8 (at most one copy of each data message or its ack in
+// transit): one data lifetime out, one ack lifetime back, the longest the
+// receiver may sit on the ack, plus a millisecond of margin.  Both
+// runtimes derive from this one function; the values here pin the bound.
+
+TEST(DerivedTimeout, SumOfLifetimesAckDelayAndMargin) {
+    LinkSpec data;
+    data.delay_kind = LinkSpec::Delay::Fixed;
+    data.delay_lo = 7 * kMillisecond;  // Fixed: lifetime == delay_lo
+    LinkSpec ack;
+    ack.delay_kind = LinkSpec::Delay::Uniform;
+    ack.delay_lo = 2 * kMillisecond;
+    ack.delay_hi = 5 * kMillisecond;  // Uniform: lifetime == delay_hi
+    const AckPolicy policy = AckPolicy::batch(4, 3 * kMillisecond);
+    EXPECT_EQ(derived_timeout(data, ack, policy),
+              7 * kMillisecond + 5 * kMillisecond + 3 * kMillisecond + kMillisecond);
+}
+
+TEST(DerivedTimeout, EagerPolicyContributesNoAckDelay) {
+    const LinkSpec link = LinkSpec::lossless(0, 10 * kMillisecond);
+    EXPECT_EQ(derived_timeout(link, link, AckPolicy::eager()),
+              2 * 10 * kMillisecond + kMillisecond);
+}
+
+TEST(DerivedTimeout, BottleneckQueueExtendsTheLifetime) {
+    // A queued message can wait behind queue_capacity predecessors plus
+    // its own service slot; the bound must absorb that worst case.
+    LinkSpec data = LinkSpec::lossless(0, 4 * kMillisecond);
+    data.service_time = 100 * kMicrosecond;
+    data.queue_capacity = 9;
+    const LinkSpec ack = LinkSpec::lossless(0, 4 * kMillisecond);
+    EXPECT_EQ(derived_timeout(data, ack, AckPolicy::eager()),
+              (4 * kMillisecond + 10 * 100 * kMicrosecond) + 4 * kMillisecond + kMillisecond);
+}
+
+TEST(DerivedTimeout, StrictlyExceedsTheRoundTrip) {
+    // The margin is what makes assertion 8 hold: the timer may not fire
+    // while the previous copy (or the ack it provoked) can still arrive.
+    const LinkSpec link = LinkSpec::lossless(0, 10 * kMillisecond);
+    EXPECT_GT(derived_timeout(link, link, AckPolicy::eager()),
+              link.max_lifetime() + link.max_lifetime());
+}
+
+TEST(DerivedTimeout, EffectiveTimeoutPrefersTheExplicitValue) {
+    EngineConfig cfg;
+    cfg.data_link = LinkSpec::lossless(0, 10 * kMillisecond);
+    cfg.ack_link = LinkSpec::lossless(0, 10 * kMillisecond);
+    EXPECT_EQ(effective_timeout(cfg),
+              derived_timeout(cfg.data_link, cfg.ack_link, cfg.ack_policy));
+    cfg.timeout = 42 * kMillisecond;
+    EXPECT_EQ(effective_timeout(cfg), 42 * kMillisecond);
 }
 
 // --------------------------------------------------------------- SendHorizon --
