@@ -24,6 +24,15 @@
 //   terminal 1: ./udp_transfer --recv --port 9001 --peer 9000
 //   terminal 2: ./udp_transfer --send --port 9000 --peer 9001
 //
+// Server mode multiplexes many concurrent senders over a few shared
+// sockets (net::Server): every client -- tagged or plain v1 -- becomes
+// a session keyed by (source address, conn-id), with per-session
+// impairment seeded from the base seed and the conn-id:
+//
+//   terminal 1: ./udp_transfer --serve --port 9000
+//   terminal 2: ./udp_transfer --send --port 9001 --peer 9000
+//   terminal 3: ./udp_transfer --send --port 9002 --peer 9000
+//
 // Exit status is nonzero if the transfer is incomplete at the deadline
 // or any delivered payload fails verification.
 
@@ -37,6 +46,7 @@
 
 #include "common/types.hpp"
 #include "net/net_session.hpp"
+#include "net/server.hpp"
 #include "runtime/session_util.hpp"
 
 using namespace bacp;
@@ -54,9 +64,10 @@ struct Params {
     Seq w = 32;
     std::optional<runtime::TimeoutMode> timeout_mode;  // nullopt = core default
     std::string proto = "ba";
-    enum class Mode { Threads, Inproc, Send, Recv } mode = Mode::Threads;
+    enum class Mode { Threads, Inproc, Send, Recv, Serve } mode = Mode::Threads;
     std::uint16_t port = 0;
     std::uint16_t peer = 0;
+    std::size_t shards = 2;  // --serve: reuseport sockets sharing the port
 };
 
 net::NetConfig make_cfg(const Params& p) {
@@ -229,12 +240,77 @@ int run_endpoint(const Params& p) {
     return ok ? 0 : 1;
 }
 
+/// Multi-session server: every arriving client (tagged conn or plain v1)
+/// becomes its own session over the shared reuseport shards, with
+/// impairment seeded per session from (seed, conn-id).  Runs until the
+/// deadline, printing a per-second census while sessions live and die.
+template <typename Core>
+int run_serve(const Params& p) {
+    net::ServerConfig scfg;
+    scfg.session = make_cfg(p);
+    // Impairment moves up a level: the server wraps each session's
+    // egress, so the session config's own impair spec must not apply.
+    scfg.impair = scfg.session.impair;
+    scfg.session.impair = {};
+
+    net::SteadyClock clock;
+    auto [shard_sockets, port] = net::make_reuseport_shards(p.port, p.shards);
+    std::vector<net::AddressedTransport*> shards;
+    std::vector<int> fds;
+    for (const auto& s : shard_sockets) {
+        shards.push_back(s.get());
+        fds.push_back(s->fd());
+    }
+    net::Server<Core> server(scfg, {}, clock, shards);
+    std::printf("serving on 127.0.0.1:%u, %zu shard(s), protocol %s -- expecting "
+                "%llu x %zu B per session, %.0f%% ack-side loss\n",
+                port, p.shards, p.proto.c_str(),
+                (unsigned long long)scfg.session.count, kChunk, p.loss * 100);
+
+    const SimTime start = clock.now();
+    SimTime last_print = start;
+    while (clock.now() - start <= p.deadline) {
+        if (server.poll() == 0) net::wait_readable(fds, kMillisecond);
+        if (clock.now() - last_print >= kSecond) {
+            last_print = clock.now();
+            const net::ServerStats& st = server.stats();
+            std::printf("[serve %5.1fs] sessions=%zu opened=%llu evicted=%llu "
+                        "delivered=%llu\n",
+                        to_seconds(last_print - start), server.session_count(),
+                        (unsigned long long)st.sessions_opened,
+                        (unsigned long long)st.sessions_evicted,
+                        (unsigned long long)server.protocol_metrics().delivered);
+            std::fflush(stdout);
+        }
+    }
+
+    std::uint64_t bytes = 0;
+    std::uint64_t mismatches = 0;
+    for (const net::SessionView& v : server.sessions()) {
+        bytes += v.bytes_delivered;
+        mismatches += v.payload_mismatches;
+    }
+    const net::ServerStats& st = server.stats();
+    std::printf("server: %llu sessions opened (%llu evicted, %llu reset), "
+                "%llu delivered / %.2f MB still resident, "
+                "%.1f datagrams per sendmmsg -- payloads %s\n",
+                (unsigned long long)st.sessions_opened,
+                (unsigned long long)st.sessions_evicted,
+                (unsigned long long)st.sessions_reset,
+                (unsigned long long)server.protocol_metrics().delivered,
+                static_cast<double>(bytes) / 1e6,
+                server.merged_metrics().datagrams_per_send_syscall(),
+                mismatches == 0 ? "INTACT" : "CORRUPT");
+    return mismatches == 0 ? 0 : 1;
+}
+
 template <typename Core, typename Engine>
 int dispatch_mode(const Params& p) {
     switch (p.mode) {
         case Params::Mode::Inproc: return run_inproc<Engine>(p);
         case Params::Mode::Send:
         case Params::Mode::Recv: return run_endpoint<Core>(p);
+        case Params::Mode::Serve: return run_serve<Core>(p);
         default: return run_threads<Core>(p);
     }
 }
@@ -245,7 +321,8 @@ int usage(const char* argv0) {
                  "          [--w N] [--timeout-mode simple|per-message|oracle-simple|\n"
                  "                                  oracle-per-message]\n"
                  "          [--proto ba|ba-bounded|ba-hole|abp|gbn|sr|tc] [--inproc]\n"
-                 "          [--send|--recv --port P --peer P]\n",
+                 "          [--send|--recv --port P --peer P]\n"
+                 "          [--serve --port P [--shards N]]\n",
                  argv0);
     return 2;
 }
@@ -263,6 +340,11 @@ int main(int argc, char** argv) {
             p.mode = Params::Mode::Send;
         } else if (arg == "--recv") {
             p.mode = Params::Mode::Recv;
+        } else if (arg == "--serve") {
+            p.mode = Params::Mode::Serve;
+        } else if (arg == "--shards") {
+            if (const char* v = next()) p.shards = std::strtoull(v, nullptr, 10);
+            else return usage(argv[0]);
         } else if (arg == "--mb") {
             if (const char* v = next()) p.mb = std::atof(v); else return usage(argv[0]);
         } else if (arg == "--loss") {

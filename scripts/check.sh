@@ -45,6 +45,13 @@ echo "== bench smoke: E19 batched-path amortization gate =="
 echo "== bench smoke: E21 batch transport alloc gate (budget 0) =="
 (cd "$BUILD_DIR"/bench && ./bench_e21_batch_transport --quick --check-budget 0)
 
+# Multi-session server gate.  E22 demuxes many concurrent loopback
+# sessions off shared reuseport sockets; the gate holds the same
+# zero-steady-state-allocation budget per received datagram once every
+# session table, stash, and timer slab has reached high water.
+echo "== bench smoke: E22 server scale alloc gate (budget 0) =="
+(cd "$BUILD_DIR"/bench && ./bench_e22_server_scale --quick --check-budget 0)
+
 # Sweep determinism: the parallel experiment fan-out must render
 # byte-identical tables at 1, 2, and 8 threads (see scripts/sweep.sh).
 echo "== sweep determinism: E8 at 1/2/8 threads =="

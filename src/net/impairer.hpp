@@ -84,6 +84,10 @@ public:
     /// through one inner send_batch.
     void flush() override;
 
+    /// True when matured delayed copies are waiting for the next
+    /// flush() -- lets a server flush only the sessions that need it.
+    bool has_staged() const { return !staged_.empty(); }
+
     /// Unified counters; same object as stats().  The name survives the
     /// TransportStats/ImpairStats merger for existing callers.
     const Metrics& impair_stats() const { return stats(); }

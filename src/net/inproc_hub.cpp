@@ -1,0 +1,174 @@
+#include "net/inproc_hub.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace bacp::net {
+
+namespace {
+
+/// Synthetic client network: 10.0.0.1 with sequential ports.
+constexpr std::uint32_t kClientIp = 0x0A000001;
+
+}  // namespace
+
+InprocHub::InprocHub(std::size_t capacity, std::size_t server_capacity)
+    : shared_(std::make_shared<Shared>(capacity > 0 ? capacity : 1,
+                                       server_capacity > 0 ? server_capacity
+                                                           : (capacity > 0 ? capacity : 1))),
+      server_(std::make_unique<ServerEndpoint>(shared_)) {}
+
+PeerAddr InprocHub::next_client_addr() const {
+    const std::scoped_lock lock(shared_->clients_mutex);
+    return PeerAddr{kClientIp, shared_->next_port};
+}
+
+std::unique_ptr<Transport> InprocHub::make_client() {
+    auto inbox = std::make_shared<Ring>(shared_->client_capacity);
+    PeerAddr addr{kClientIp, 0};
+    {
+        const std::scoped_lock lock(shared_->clients_mutex);
+        BACP_ASSERT_MSG(shared_->next_port != 0, "inproc hub client address space exhausted");
+        addr.port = shared_->next_port++;
+        shared_->clients.emplace(addr.key(), inbox);
+    }
+    return std::make_unique<ClientEndpoint>(shared_, std::move(inbox), addr);
+}
+
+// ---- ServerEndpoint ---------------------------------------------------
+
+std::size_t InprocHub::ServerEndpoint::send_batch(
+    std::span<const std::span<const std::uint8_t>> datagrams) {
+    // No destination: a shared endpoint cannot deliver unaddressed
+    // datagrams, so they are all (observable) drops.
+    ++stats_.syscalls_sent;
+    stats_.send_drops += datagrams.size();
+    return 0;
+}
+
+std::size_t InprocHub::ServerEndpoint::send_batch_to(
+    std::span<const std::span<const std::uint8_t>> datagrams,
+    std::span<const PeerAddr> peers) {
+    BACP_ASSERT_MSG(datagrams.size() == peers.size(), "addressed batch spans not parallel");
+    if (datagrams.empty()) return 0;
+    std::size_t accepted = 0;
+    for (std::size_t i = 0; i < datagrams.size(); ++i) {
+        std::shared_ptr<Ring> inbox;
+        {
+            const std::scoped_lock lock(shared_->clients_mutex);
+            const auto it = shared_->clients.find(peers[i].key());
+            if (it != shared_->clients.end()) inbox = it->second;
+        }
+        if (!inbox) {
+            ++stats_.send_drops;  // unknown peer: like an unroutable address
+            continue;
+        }
+        const std::scoped_lock lock(inbox->mutex);
+        if (inbox->entries.full()) {
+            ++stats_.send_drops;
+            continue;
+        }
+        Entry entry;
+        entry.peer = {};  // clients see the hub as their one connected peer
+        if (!inbox->free_list.empty()) {
+            entry.bytes = std::move(inbox->free_list.back());
+            inbox->free_list.pop_back();
+        }
+        entry.bytes.assign(datagrams[i].begin(), datagrams[i].end());
+        inbox->entries.push(std::move(entry));
+        ++accepted;
+        stats_.bytes_sent += datagrams[i].size();
+    }
+    ++stats_.syscalls_sent;  // one hub sweep = one boundary crossing
+    stats_.datagrams_sent += accepted;
+    return accepted;
+}
+
+std::size_t InprocHub::ServerEndpoint::recv_batch(RecvBatch& batch) {
+    batch.clear();
+    std::size_t n = 0;
+    std::uint64_t bytes = 0;
+    {
+        Ring& ring = shared_->to_server;
+        const std::scoped_lock lock(ring.mutex);
+        while (n < batch.capacity() && !ring.entries.empty()) {
+            Entry entry = ring.entries.pop();
+            BACP_ASSERT_MSG(entry.bytes.size() <= batch.max_datagram(),
+                            "inproc datagram exceeds arena slot");
+            const std::span<std::uint8_t> slot = batch.slot(n);
+            std::copy(entry.bytes.begin(), entry.bytes.end(), slot.begin());
+            batch.push_filled(entry.bytes.size(), entry.peer);
+            bytes += entry.bytes.size();
+            ++n;
+            entry.bytes.clear();
+            if (ring.free_list.size() < ring.entries.capacity()) {
+                ring.free_list.push_back(std::move(entry.bytes));
+            }
+        }
+    }
+    ++stats_.syscalls_received;
+    stats_.datagrams_received += n;
+    stats_.bytes_received += bytes;
+    return n;
+}
+
+// ---- ClientEndpoint ---------------------------------------------------
+
+std::size_t InprocHub::ClientEndpoint::send_batch(
+    std::span<const std::span<const std::uint8_t>> datagrams) {
+    if (datagrams.empty()) return 0;
+    std::size_t accepted = 0;
+    std::uint64_t bytes = 0;
+    {
+        Ring& ring = shared_->to_server;
+        const std::scoped_lock lock(ring.mutex);
+        for (const std::span<const std::uint8_t> datagram : datagrams) {
+            if (ring.entries.full()) break;  // tail drop, like a full socket buffer
+            Entry entry;
+            entry.peer = addr_;
+            if (!ring.free_list.empty()) {
+                entry.bytes = std::move(ring.free_list.back());
+                ring.free_list.pop_back();
+            }
+            entry.bytes.assign(datagram.begin(), datagram.end());
+            ring.entries.push(std::move(entry));
+            ++accepted;
+            bytes += datagram.size();
+        }
+    }
+    ++stats_.syscalls_sent;
+    stats_.datagrams_sent += accepted;
+    stats_.bytes_sent += bytes;
+    stats_.send_drops += datagrams.size() - accepted;
+    return accepted;
+}
+
+std::size_t InprocHub::ClientEndpoint::recv_batch(RecvBatch& batch) {
+    batch.clear();
+    std::size_t n = 0;
+    std::uint64_t bytes = 0;
+    {
+        const std::scoped_lock lock(inbox_->mutex);
+        while (n < batch.capacity() && !inbox_->entries.empty()) {
+            Entry entry = inbox_->entries.pop();
+            BACP_ASSERT_MSG(entry.bytes.size() <= batch.max_datagram(),
+                            "inproc datagram exceeds arena slot");
+            const std::span<std::uint8_t> slot = batch.slot(n);
+            std::copy(entry.bytes.begin(), entry.bytes.end(), slot.begin());
+            batch.push_filled(entry.bytes.size(), entry.peer);
+            bytes += entry.bytes.size();
+            ++n;
+            entry.bytes.clear();
+            if (inbox_->free_list.size() < inbox_->entries.capacity()) {
+                inbox_->free_list.push_back(std::move(entry.bytes));
+            }
+        }
+    }
+    ++stats_.syscalls_received;
+    stats_.datagrams_received += n;
+    stats_.bytes_received += bytes;
+    return n;
+}
+
+}  // namespace bacp::net

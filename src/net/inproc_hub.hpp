@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file inproc_hub.hpp
+/// Deterministic many-clients-to-one-server datagram fabric.
+///
+/// InprocTransport models one point-to-point link; a multi-session
+/// server needs a *star*: N clients, each with its own address, all
+/// funneling into one shared server endpoint that sees source addresses
+/// and can reply per peer.  The hub provides exactly that shape
+/// in-process, so `net::Server` tests run with ManualClock determinism
+/// -- no sockets, no kernel scheduling -- while exercising the same
+/// demux-by-peer and addressed-egress paths the UDP build uses.
+///
+/// Topology: every client send lands in the server's single inbound
+/// ring tagged with the client's synthetic address (recv_batch order is
+/// therefore global arrival order, reproducible under one thread); the
+/// server's send_batch_to routes each datagram to the named client's
+/// inbound ring.  Rings are bounded with tail drop, like socket
+/// buffers, and both directions recycle payload buffers through free
+/// lists so the steady state never allocates.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+#include "net/transport.hpp"
+
+namespace bacp::net {
+
+class InprocHub {
+public:
+    /// \p capacity bounds each client's inbound ring; the server's
+    /// shared inbound ring gets \p server_capacity (0 = same).
+    explicit InprocHub(std::size_t capacity = 4096, std::size_t server_capacity = 0);
+
+    /// The shared server endpoint.  recv_batch() tags each datagram
+    /// with its source client's address; send_batch_to() routes by
+    /// address.  Unaddressed send_batch() has no destination and counts
+    /// every datagram as a drop.  Valid for the hub's lifetime.
+    AddressedTransport& server() { return *server_; }
+
+    /// Creates a client endpoint with a fresh synthetic address
+    /// (10.0.0.1:1, :2, ...).  The endpoint may outlive the hub object
+    /// it came from (state is shared), but not be used concurrently
+    /// with hub destruction.
+    std::unique_ptr<Transport> make_client();
+
+    /// Address the next make_client() will be assigned -- lets a test
+    /// know a client's identity before creating it.
+    PeerAddr next_client_addr() const;
+
+private:
+    /// One bounded datagram ring + recycling free list (the
+    /// InprocTransport::Queue idiom, with an optional peer tag per
+    /// entry for the server direction).
+    struct Entry {
+        PeerAddr peer;
+        std::vector<std::uint8_t> bytes;
+    };
+    struct Ring {
+        explicit Ring(std::size_t capacity) : entries(capacity) {}
+        std::mutex mutex;
+        RingBuffer<Entry> entries;
+        std::vector<std::vector<std::uint8_t>> free_list;
+    };
+
+    struct Shared {
+        Shared(std::size_t client_capacity, std::size_t server_capacity)
+            : to_server(server_capacity), client_capacity(client_capacity) {}
+        Ring to_server;
+        std::size_t client_capacity;
+        std::mutex clients_mutex;
+        std::unordered_map<std::uint64_t, std::shared_ptr<Ring>> clients;  // PeerAddr::key()
+        std::uint16_t next_port = 1;
+    };
+
+    class ServerEndpoint final : public AddressedTransport {
+    public:
+        explicit ServerEndpoint(std::shared_ptr<Shared> shared)
+            : shared_(std::move(shared)) {}
+        std::size_t send_batch(
+            std::span<const std::span<const std::uint8_t>> datagrams) override;
+        std::size_t send_batch_to(std::span<const std::span<const std::uint8_t>> datagrams,
+                                  std::span<const PeerAddr> peers) override;
+        std::size_t recv_batch(RecvBatch& batch) override;
+
+    private:
+        std::shared_ptr<Shared> shared_;
+    };
+
+    class ClientEndpoint final : public Transport {
+    public:
+        ClientEndpoint(std::shared_ptr<Shared> shared, std::shared_ptr<Ring> inbox,
+                       PeerAddr addr)
+            : shared_(std::move(shared)), inbox_(std::move(inbox)), addr_(addr) {}
+        std::size_t send_batch(
+            std::span<const std::span<const std::uint8_t>> datagrams) override;
+        std::size_t recv_batch(RecvBatch& batch) override;
+
+    private:
+        std::shared_ptr<Shared> shared_;
+        std::shared_ptr<Ring> inbox_;
+        PeerAddr addr_;
+    };
+
+    std::shared_ptr<Shared> shared_;
+    std::unique_ptr<ServerEndpoint> server_;
+};
+
+}  // namespace bacp::net

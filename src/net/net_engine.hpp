@@ -50,6 +50,7 @@
 #include "common/types.hpp"
 #include "net/clock.hpp"
 #include "net/impairer.hpp"
+#include "net/payload_stash.hpp"
 #include "net/timer_wheel.hpp"
 #include "net/transport.hpp"
 #include "protocol/message.hpp"
@@ -91,6 +92,16 @@ struct NetConfig : runtime::EngineConfig {
     /// 1 degenerates to the single-shot path (one syscall per datagram),
     /// kept as the A/B baseline E19 measures against.
     std::size_t batch = 0;
+    /// Largest datagram this endpoint expects (the RecvBatch arena
+    /// stride).  The UDP maximum is always safe; a server hosting
+    /// thousands of sessions shrinks it to its known frame size so
+    /// per-session arenas stay cheap.
+    std::size_t max_datagram = kMaxDatagram;
+    /// Connection tag stamped on every frame this endpoint encodes.
+    /// Untagged (the default) selects the byte-identical v1 wire format;
+    /// a server session sets it so its acks come back tagged for demux
+    /// at a multiplexed peer.
+    wire::Conn conn;
 
     std::size_t effective_batch() const {
         if (batch > 0) return batch;
@@ -150,7 +161,12 @@ public:
         : cfg_(cfg),
           wheel_(wheel),
           transport_(&transport),
-          driver_(cfg_.engine_config(), std::move(options), *this) {}
+          driver_(cfg_.engine_config(), std::move(options), *this) {
+        // Worst case live timers: one per outstanding message (per-message
+        // mode) plus the simple/quiescence/pacing singletons.  Reserving
+        // now means a loss burst late in a run grows nothing.
+        wheel_.reserve(static_cast<std::size_t>(cfg_.w) + 4);
+    }
 
     NetSender(const NetSender&) = delete;
     NetSender& operator=(const NetSender&) = delete;
@@ -169,14 +185,35 @@ public:
     std::size_t poll() {
         std::size_t work = wheel_.fire_due();
         transport_->flush();  // delayed impairer copies matured above
+        RecvBatch& rx = rx_batch();
         for (;;) {
-            const std::size_t n = transport_->recv_batch(rx_batch_);
-            for (std::size_t i = 0; i < n; ++i) handle_datagram(rx_batch_[i]);
+            const std::size_t n = transport_->recv_batch(rx);
+            for (std::size_t i = 0; i < n; ++i) handle_datagram(rx[i]);
             work += n;
-            if (n < rx_batch_.capacity()) break;
+            if (n < rx.capacity()) break;
         }
         tx_batch_.flush(*transport_);
         return work;
+    }
+
+    /// Feeds one already-decoded frame to the driver -- the entry point
+    /// a server uses after demuxing a shared socket's arena (each
+    /// datagram is decoded exactly once, by the demux).  poll() routes
+    /// its own datagrams through here too.
+    void handle_frame(const wire::FrameView& frame) {
+        switch (frame.type) {
+            case wire::FrameType::Ack:
+                driver_.handle_ack(proto::Ack{frame.lo, frame.hi});
+                break;
+            case wire::FrameType::Nak:
+                driver_.handle_nak(proto::Nak{frame.seq});
+                break;
+            default:
+                // DATA at the sender endpoint of a one-way transfer: a
+                // frame we never asked for.  Count it as an anomaly.
+                ++driver_.metrics_mut().decode_errors;
+                break;
+        }
     }
 
     /// Every message sent and acknowledged.
@@ -212,7 +249,8 @@ public:
         payload_scratch_.resize(cfg_.payload_size);
         pattern_fill(true_seq, payload_scratch_);
         tx_batch_.append_with([&](std::vector<std::uint8_t>& slab) {
-            wire::encode_data_to(slab, msg.seq, payload_scratch_);
+            wire::encode_data_to(slab, msg.seq, payload_scratch_, wire::kFlagNone,
+                                 wire::kNoStream, cfg_.conn);
         });
         if (cfg_.effective_batch() <= 1) tx_batch_.flush(*transport_);
     }
@@ -228,28 +266,29 @@ public:
 
 private:
     void handle_datagram(std::span<const std::uint8_t> bytes) {
-        const wire::DecodeResult result = wire::decode(bytes);
+        const wire::ViewResult result = wire::decode_view(bytes);
         if (!result.ok()) {
             ++driver_.metrics_mut().decode_errors;
             if (result.error() == wire::DecodeError::BadCrc) ++driver_.metrics_mut().crc_errors;
             return;  // treated as loss
         }
-        const wire::DecodedFrame& frame = result.frame();
-        if (const auto* ack = std::get_if<wire::AckFrame>(&frame)) {
-            driver_.handle_ack(proto::Ack{ack->lo, ack->hi});
-        } else if (const auto* nak = std::get_if<wire::NakFrame>(&frame)) {
-            driver_.handle_nak(proto::Nak{nak->seq});
-        } else {
-            // DATA at the sender endpoint of a one-way transfer: a frame
-            // we never sent for.  Count it as a decode-level anomaly.
-            ++driver_.metrics_mut().decode_errors;
+        handle_frame(result.frame());
+    }
+
+    /// The receive arena, built on first poll(): a server-driven session
+    /// never polls its own transport, so it never pays for one.
+    RecvBatch& rx_batch() {
+        if (!rx_batch_) {
+            rx_batch_ =
+                std::make_unique<RecvBatch>(cfg_.effective_batch(), cfg_.max_datagram);
         }
+        return *rx_batch_;
     }
 
     NetConfig cfg_;
     TimerWheel& wheel_;
     Transport* transport_;
-    RecvBatch rx_batch_{cfg_.effective_batch()};
+    std::unique_ptr<RecvBatch> rx_batch_;        // lazy: see rx_batch()
     SendBatch tx_batch_;                         // the tick's staged frames
     std::vector<std::uint8_t> payload_scratch_;  // pattern bytes, reused
     runtime::EndpointDriver<Core, NetSender> driver_;  // last: uses members above
@@ -268,7 +307,14 @@ public:
         : cfg_(cfg),
           wheel_(wheel),
           transport_(&transport),
-          driver_(cfg_.engine_config(), std::move(options), *this) {}
+          driver_(cfg_.engine_config(), std::move(options), *this) {
+        // A receiver arms at most the ack-flush timer plus the driver's
+        // bookkeeping singletons; the stash holds at most a window of
+        // out-of-order payloads.  Reserve both to worst case so the first
+        // loss burst (which may come long after warmup) allocates nothing.
+        wheel_.reserve(4);
+        stash_.reserve_buffers(static_cast<std::size_t>(cfg_.w) + 1, cfg_.payload_size);
+    }
 
     NetReceiver(const NetReceiver&) = delete;
     NetReceiver& operator=(const NetReceiver&) = delete;
@@ -280,14 +326,38 @@ public:
     std::size_t poll() {
         std::size_t work = wheel_.fire_due();
         transport_->flush();  // delayed impairer copies matured above
+        RecvBatch& rx = rx_batch();
         for (;;) {
-            const std::size_t n = transport_->recv_batch(rx_batch_);
-            for (std::size_t i = 0; i < n; ++i) handle_datagram(rx_batch_[i]);
+            const std::size_t n = transport_->recv_batch(rx);
+            for (std::size_t i = 0; i < n; ++i) handle_datagram(rx[i]);
             work += n;
-            if (n < rx_batch_.capacity()) break;
+            if (n < rx.capacity()) break;
         }
         tx_batch_.flush(*transport_);
         return work;
+    }
+
+    /// Feeds one already-decoded frame to the driver (server demux entry
+    /// point; poll() routes its own datagrams through here too).  The
+    /// payload is stashed before the driver steps so a delivery it
+    /// unlocks can always find its bytes.
+    void handle_frame(const wire::FrameView& frame) {
+        if (frame.type != wire::FrameType::Data) {
+            ++driver_.metrics_mut().decode_errors;  // ACK/NAK at the receiver: anomaly
+            return;
+        }
+        // Latest write wins, so a wire value being reused (bounded
+        // cores) always maps to the newest message.
+        stash_.put(frame.seq, frame.payload);
+        const std::uint64_t dup_acks_before = driver_.metrics().dup_acks;
+        driver_.handle_data(proto::Data{frame.seq});
+        // A re-acked arrival (the core answered with a singleton re-ack
+        // instead of buffering) will never be consumed -- drop its bytes
+        // now, or every retransmission of a delivered message grows the
+        // stash by one dead entry forever.  In-window duplicates of
+        // still-buffered messages take the other branch (no dup-ack) and
+        // keep their bytes.
+        if (driver_.metrics().dup_acks != dup_acks_before) stash_.erase(frame.seq);
     }
 
     Seq delivered() const { return driver_.delivered(); }
@@ -325,24 +395,27 @@ public:
             if (ack.lo > ack.hi) {
                 const Seq top = driver_.core().ack_wire_domain() - 1;
                 tx_batch_.append_with([&](std::vector<std::uint8_t>& slab) {
-                    wire::encode_ack_to(slab, ack.lo, top);
+                    wire::encode_ack_to(slab, ack.lo, top, wire::kFlagNone, wire::kNoStream,
+                                        cfg_.conn);
                 });
                 tx_batch_.append_with([&](std::vector<std::uint8_t>& slab) {
-                    wire::encode_ack_to(slab, 0, ack.hi);
+                    wire::encode_ack_to(slab, 0, ack.hi, wire::kFlagNone, wire::kNoStream,
+                                        cfg_.conn);
                 });
                 if (cfg_.effective_batch() <= 1) tx_batch_.flush(*transport_);
                 return;
             }
         }
         tx_batch_.append_with([&](std::vector<std::uint8_t>& slab) {
-            wire::encode_ack_to(slab, ack.lo, ack.hi);
+            wire::encode_ack_to(slab, ack.lo, ack.hi, wire::kFlagNone, wire::kNoStream,
+                                cfg_.conn);
         });
         if (cfg_.effective_batch() <= 1) tx_batch_.flush(*transport_);
     }
 
     void send_nak(const proto::Nak& nak) {
         tx_batch_.append_with([&](std::vector<std::uint8_t>& slab) {
-            wire::encode_nak_to(slab, nak.seq);
+            wire::encode_nak_to(slab, nak.seq, wire::kFlagNone, wire::kNoStream, cfg_.conn);
         });
         if (cfg_.effective_batch() <= 1) tx_batch_.flush(*transport_);
     }
@@ -358,35 +431,36 @@ public:
         if constexpr (runtime::kCoreWireMapped<Core>) {
             key = driver_.core().wire_seq(true_seq);
         }
-        const auto it = stash_.find(key);
-        BACP_ASSERT_MSG(it != stash_.end(), "delivered message has no stashed payload");
-        expected_scratch_.resize(it->second.size());
+        const std::vector<std::uint8_t>* bytes = stash_.find(key);
+        BACP_ASSERT_MSG(bytes != nullptr, "delivered message has no stashed payload");
+        expected_scratch_.resize(bytes->size());
         pattern_fill(true_seq, expected_scratch_);
-        if (it->second != expected_scratch_) ++payload_mismatches_;
-        bytes_delivered_ += it->second.size();
-        stash_.erase(it);
+        if (*bytes != expected_scratch_) ++payload_mismatches_;
+        bytes_delivered_ += bytes->size();
+        stash_.erase(key);
     }
 
     void after_step() {}
 
 private:
     void handle_datagram(std::span<const std::uint8_t> bytes) {
-        const wire::DecodeResult result = wire::decode(bytes);
+        const wire::ViewResult result = wire::decode_view(bytes);
         if (!result.ok()) {
             ++driver_.metrics_mut().decode_errors;
             if (result.error() == wire::DecodeError::BadCrc) ++driver_.metrics_mut().crc_errors;
             return;  // treated as loss
         }
-        const auto* data = std::get_if<wire::DataFrame>(&result.frame());
-        if (data == nullptr) {
-            ++driver_.metrics_mut().decode_errors;  // ACK/NAK at the receiver: anomaly
-            return;
+        handle_frame(result.frame());
+    }
+
+    /// The receive arena, built on first poll(): a server-driven session
+    /// never polls its own transport, so it never pays for one.
+    RecvBatch& rx_batch() {
+        if (!rx_batch_) {
+            rx_batch_ =
+                std::make_unique<RecvBatch>(cfg_.effective_batch(), cfg_.max_datagram);
         }
-        // Stash before consulting the driver so a delivery it unlocks can
-        // always find its bytes; latest write wins, so a wire value being
-        // reused (bounded cores) always maps to the newest message.
-        stash_.insert_or_assign(data->seq, data->payload);
-        driver_.handle_data(proto::Data{data->seq});
+        return *rx_batch_;
     }
 
     NetConfig cfg_;
@@ -395,8 +469,10 @@ private:
 
     std::uint64_t bytes_delivered_ = 0;
     std::uint64_t payload_mismatches_ = 0;
-    std::unordered_map<Seq, std::vector<std::uint8_t>> stash_;  // wire seq -> payload
-    RecvBatch rx_batch_{cfg_.effective_batch()};
+    // Live stash entries are protocol-bounded by the window (+1 for the
+    // in-flight arrival, so a full window never triggers a table grow).
+    PayloadStash stash_{static_cast<std::size_t>(cfg_.w) + 1};  // wire seq -> payload
+    std::unique_ptr<RecvBatch> rx_batch_;        // lazy: see rx_batch()
     SendBatch tx_batch_;                          // the tick's staged acks/naks
     std::vector<std::uint8_t> expected_scratch_;  // pattern verify, reused
     runtime::EndpointDriver<Core, NetReceiver> driver_;  // last: uses members above

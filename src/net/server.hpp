@@ -1,0 +1,568 @@
+#pragma once
+
+/// \file server.hpp
+/// Multi-session server: connection-multiplexed endpoint sessions over
+/// shared sockets.
+///
+/// NetEngine pairs one endpoint with one socket -- the right shape for
+/// measuring a protocol, the wrong one for serving at scale.  Server
+/// inverts the ownership: N *shards* (event loops) each own one shared
+/// socket, one TimerWheel, one receive arena, and a disjoint slice of a
+/// flat session table keyed by (peer address, connection id).  Sessions
+/// are passive: a session is an EndpointDriver adapter (NetReceiver)
+/// with no thread, no socket, and no receive arena of its own -- the
+/// shard demuxes arriving datagrams to it (each decoded exactly once,
+/// as a zero-copy FrameView) and collects its egress.
+///
+/// The batching economics that bench_e19/e21 bought survive
+/// multiplexing by construction:
+///   ingress  one recvmmsg fills the shard arena; demux is a hash
+///            lookup per datagram, allocation-free.
+///   egress   each session "flushes" into a SessionEgress that merely
+///            appends to the *shard's* AddressedSendBatch; the shard
+///            pushes the whole tick's frames -- interleaved across every
+///            session that spoke -- through one sendmmsg.
+///
+/// Sharding is SO_REUSEPORT-style: all shard sockets bind one port and
+/// the kernel hashes each client's source address to exactly one of
+/// them, so a session's frames always arrive on the same shard and the
+/// per-shard state needs no locks.  (The InprocHub used by tests is the
+/// single-shard degenerate case of the same topology.)
+///
+/// Lifecycle: sessions open implicitly on the first frame from an
+/// unknown (peer, conn); a frame with a *higher* epoch resets the
+/// session (peer restarted -- fresh driver state, stale frames of the
+/// old incarnation are dropped by their lower epoch); idle sessions are
+/// evicted by a periodic sweep.  Teardown is destructor-driven: the
+/// driver, its OneShot timers, and the per-session Impairer all cancel
+/// their wheel timers on destruction, so eviction can never leave a
+/// closure that fires into freed memory.  Frames from v1 (single
+/// session) peers carry no connection tag and map to conn id 0 with v1
+/// untagged replies -- the backward-compatibility contract of
+/// PROTOCOL.md §9.
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/impairer.hpp"
+#include "net/net_engine.hpp"
+#include "net/timer_wheel.hpp"
+#include "net/transport.hpp"
+#include "runtime/session_util.hpp"
+#include "wire/codec.hpp"
+
+namespace bacp::net {
+
+/// Server-wide knobs on top of the per-session protocol surface.
+struct ServerConfig {
+    /// Per-session protocol configuration (window, count, timeout mode,
+    /// payload size, base seed...).  Each session gets a copy with its
+    /// connection tag, sub-seed, and immediate-flush egress applied.
+    NetConfig session;
+    /// Evict a session after this much silence.
+    SimTime idle_timeout = 5 * kSecond;
+    /// How often each shard scans its slice for idle sessions.
+    SimTime sweep_interval = 500 * kMillisecond;
+    /// Shard receive-arena capacity (datagrams per recvmmsg).
+    std::size_t recv_batch = 256;
+    /// Hard cap on sessions per shard; first frames beyond it are
+    /// dropped (counted, like any other load shedding).
+    std::size_t max_sessions = 1 << 16;
+    /// Ack-direction impairment applied per session, seeded from
+    /// (session.seed, conn id) so multi-session runs replay exactly.
+    ImpairSpec impair;
+
+    bool impaired() const {
+        return impair.loss > 0 || impair.dup > 0 || impair.reorder > 0 ||
+               impair.delay_hi > 0 || !impair.scripted_drops.empty();
+    }
+};
+
+/// Session-lifecycle counters, in the net::Metrics fields()/to_json()
+/// idiom so bench emitters serialize them the same way.
+struct ServerStats {
+    std::uint64_t sessions_opened = 0;
+    std::uint64_t sessions_evicted = 0;
+    std::uint64_t sessions_reset = 0;      // epoch bumps observed
+    std::uint64_t stale_epoch_drops = 0;   // frames from dead incarnations
+    std::uint64_t sessions_rejected = 0;   // table at max_sessions
+    std::uint64_t decode_errors = 0;       // pre-demux rejects
+    std::uint64_t crc_errors = 0;
+
+    ServerStats& operator+=(const ServerStats& o) {
+        sessions_opened += o.sessions_opened;
+        sessions_evicted += o.sessions_evicted;
+        sessions_reset += o.sessions_reset;
+        stale_epoch_drops += o.stale_epoch_drops;
+        sessions_rejected += o.sessions_rejected;
+        decode_errors += o.decode_errors;
+        crc_errors += o.crc_errors;
+        return *this;
+    }
+
+    struct Field {
+        const char* name;
+        std::uint64_t value;
+    };
+    static constexpr std::size_t kFieldCount = 7;
+
+    std::array<Field, kFieldCount> fields() const {
+        return {{{"sessions_opened", sessions_opened},
+                 {"sessions_evicted", sessions_evicted},
+                 {"sessions_reset", sessions_reset},
+                 {"stale_epoch_drops", stale_epoch_drops},
+                 {"sessions_rejected", sessions_rejected},
+                 {"decode_errors", decode_errors},
+                 {"crc_errors", crc_errors}}};
+    }
+
+    std::string to_json() const {
+        std::string out = "{";
+        bool first = true;
+        for (const Field& f : fields()) {
+            if (!first) out += ",";
+            first = false;
+            out += "\"";
+            out += f.name;
+            out += "\":";
+            out += std::to_string(f.value);
+        }
+        out += "}";
+        return out;
+    }
+};
+
+/// Per-session egress: a Transport that stages every datagram onto the
+/// shard's shared AddressedSendBatch, bound for this session's peer.
+/// No boundary crossing happens here (syscall counters stay zero); the
+/// shard's one flush is the crossing.  Its datagram/byte counters are
+/// the per-session send totals the metrics view reports.
+class SessionEgress final : public Transport {
+public:
+    SessionEgress(AddressedSendBatch& out, PeerAddr peer) : out_(&out), peer_(peer) {}
+
+    std::size_t send_batch(std::span<const std::span<const std::uint8_t>> datagrams) override {
+        for (const std::span<const std::uint8_t> datagram : datagrams) {
+            out_->append(peer_, datagram);
+            stats_.bytes_sent += datagram.size();
+        }
+        stats_.datagrams_sent += datagrams.size();
+        return datagrams.size();
+    }
+
+    std::size_t recv_batch(RecvBatch& batch) override {
+        batch.clear();  // sessions never receive through their egress
+        return 0;
+    }
+
+private:
+    AddressedSendBatch* out_;
+    PeerAddr peer_;
+};
+
+/// Flat session-table key: which peer socket, which connection at it.
+struct SessionKey {
+    std::uint64_t peer = 0;  // PeerAddr::key()
+    Seq conn = 0;
+
+    friend bool operator==(const SessionKey&, const SessionKey&) = default;
+};
+
+struct SessionKeyHash {
+    std::size_t operator()(const SessionKey& k) const {
+        std::uint64_t x = k.peer ^ (k.conn * 0x9E3779B97F4A7C15ULL);
+        return static_cast<std::size_t>(splitmix64(x));
+    }
+};
+
+/// Read-only snapshot of one session, for reporting and tests.
+struct SessionView {
+    PeerAddr peer;
+    Seq conn = 0;
+    Seq epoch = 0;
+    Seq delivered = 0;
+    std::uint64_t bytes_delivered = 0;
+    std::uint64_t payload_mismatches = 0;
+    Metrics transport;  // egress totals (+ impairment decisions if any)
+    const sim::Metrics* protocol = nullptr;  // driver counters; server-owned
+};
+
+template <runtime::EndpointCore Core>
+class Server {
+public:
+    using Options = typename Core::Options;
+
+    /// One shard per entry of \p shard_transports (not owned; must
+    /// outlive the server).  All shards share \p clock; each owns its
+    /// TimerWheel, arena, egress batch, and session-table slice.
+    Server(ServerConfig cfg, Options options, Clock& clock,
+           std::vector<AddressedTransport*> shard_transports)
+        : cfg_(std::move(cfg)), options_(std::move(options)) {
+        BACP_ASSERT_MSG(!shard_transports.empty(), "server needs at least one shard");
+        shards_.reserve(shard_transports.size());
+        for (AddressedTransport* transport : shard_transports) {
+            auto shard = std::make_unique<Shard>();
+            shard->transport = transport;
+            shard->wheel = std::make_unique<TimerWheel>(clock);
+            shard->rx.reshape(cfg_.recv_batch, cfg_.session.max_datagram);
+            shards_.push_back(std::move(shard));
+        }
+    }
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    std::size_t shard_count() const { return shards_.size(); }
+
+    /// One event-loop iteration of shard \p idx: fire its wheel, drain
+    /// its socket (demuxing each datagram to its session), flush the
+    /// tick's egress as one addressed batch, and periodically sweep for
+    /// idle sessions.  Each shard must be polled by one thread only;
+    /// distinct shards may be polled concurrently.
+    std::size_t poll_shard(std::size_t idx) {
+        Shard& s = *shards_[idx];
+        const std::size_t fired = s.wheel->fire_due();
+        std::size_t work = fired;
+        if (fired > 0 && s.has_impaired) {
+            // Matured delayed copies were staged by the wheel; push each
+            // session's coalesced group into the shard batch.
+            for (auto& [key, session] : s.sessions) {
+                if (session->impairer && session->impairer->has_staged()) {
+                    session->impairer->flush();
+                }
+            }
+        }
+        for (;;) {
+            const std::size_t n = s.transport->recv_batch(s.rx);
+            for (std::size_t i = 0; i < n; ++i) demux(s, s.rx.peer(i), s.rx[i]);
+            work += n;
+            if (n < s.rx.capacity()) break;
+        }
+        s.tx.flush(*s.transport);
+        const SimTime now = s.wheel->now();
+        if (now >= s.next_sweep) {
+            work += sweep(s, now);
+            s.next_sweep = now + cfg_.sweep_interval;
+        }
+        return work;
+    }
+
+    /// Polls every shard once from the calling thread (the
+    /// deterministic single-thread mode tests and ManualClock runs use).
+    std::size_t poll() {
+        std::size_t work = 0;
+        for (std::size_t i = 0; i < shards_.size(); ++i) work += poll_shard(i);
+        return work;
+    }
+
+    /// Runs one event-loop thread per shard until \p stop becomes true.
+    /// Idle shards sleep on their socket with a timer-deadline-capped
+    /// poll(2), so timers stay on schedule without busy-waiting.
+    void run_threads(const std::atomic<bool>& stop) {
+        std::vector<std::thread> threads;
+        threads.reserve(shards_.size());
+        for (std::size_t i = 0; i < shards_.size(); ++i) {
+            threads.emplace_back([this, i, &stop] {
+                Shard& s = *shards_[i];
+                const int fds[] = {s.transport->fd()};
+                while (!stop.load(std::memory_order_relaxed)) {
+                    if (poll_shard(i) > 0) continue;
+                    SimTime wait = kMillisecond;
+                    if (const auto next = s.wheel->next_deadline()) {
+                        wait = std::clamp<SimTime>(*next - s.wheel->now(), 0, wait);
+                    }
+                    wait_readable(fds, wait);
+                }
+            });
+        }
+        for (std::thread& t : threads) t.join();
+    }
+
+    /// Total sessions currently open, across shards.
+    std::size_t session_count() const {
+        std::size_t n = 0;
+        for (const auto& s : shards_) n += s->sessions.size();
+        return n;
+    }
+
+    /// Summed lifecycle counters.
+    ServerStats stats() const {
+        ServerStats total;
+        for (const auto& s : shards_) total += s->stats;
+        return total;
+    }
+
+    /// Shard-socket counters only: real boundary crossings.  This is
+    /// where the dgrams/syscall amortization gate reads from.
+    Metrics transport_metrics() const {
+        Metrics total;
+        for (const auto& s : shards_) total += s->transport->stats();
+        return total;
+    }
+
+    /// Merged view: shard sockets plus every session's egress and
+    /// impairment counters (evicted sessions included -- their totals
+    /// are drained into the shard on teardown).
+    Metrics merged_metrics() const {
+        Metrics total = transport_metrics();
+        for (const auto& s : shards_) {
+            total += s->drained;
+            for (const auto& [key, session] : s->sessions) total += session_transport(*session);
+        }
+        return total;
+    }
+
+    /// Per-session protocol counters, summed (live sessions).
+    sim::Metrics protocol_metrics() const {
+        sim::Metrics total;
+        bool first = true;
+        for (const auto& s : shards_) {
+            for (const auto& [key, session] : s->sessions) {
+                const sim::Metrics& m = session->endpoint->metrics();
+                if (first) {
+                    total = m;
+                    first = false;
+                } else {
+                    total.data_received += m.data_received;
+                    total.duplicates += m.duplicates;
+                    total.acks_sent += m.acks_sent;
+                    total.dup_acks += m.dup_acks;
+                    total.delivered += m.delivered;
+                    total.naks_sent += m.naks_sent;
+                    total.decode_errors += m.decode_errors;
+                    total.crc_errors += m.crc_errors;
+                }
+            }
+        }
+        return total;
+    }
+
+    /// Snapshot of every live session (not the hot path: allocates).
+    std::vector<SessionView> sessions() const {
+        std::vector<SessionView> views;
+        views.reserve(session_count());
+        for (const auto& s : shards_) {
+            for (const auto& [key, session] : s->sessions) {
+                SessionView v;
+                v.peer = session->peer;
+                v.conn = session->conn;
+                v.epoch = session->epoch;
+                v.delivered = session->endpoint->delivered();
+                v.bytes_delivered = session->endpoint->bytes_delivered();
+                v.payload_mismatches = session->endpoint->payload_mismatches();
+                v.transport = session_transport(*session);
+                v.protocol = &session->endpoint->metrics();
+                views.push_back(std::move(v));
+            }
+        }
+        return views;
+    }
+
+    /// Aggregate + per-session JSON: {"server":{...},"transport":{...},
+    /// "sessions":[{...}]}.  E22 serializes this verbatim.
+    std::string to_json() const {
+        std::string out = "{\"server\":";
+        out += stats().to_json();
+        out += ",\"transport\":";
+        out += merged_metrics().to_json();
+        out += ",\"sessions\":[";
+        bool first = true;
+        for (const SessionView& v : sessions()) {
+            if (!first) out += ",";
+            first = false;
+            out += "{\"conn\":";
+            out += std::to_string(v.conn);
+            out += ",\"epoch\":";
+            out += std::to_string(v.epoch);
+            out += ",\"delivered\":";
+            out += std::to_string(v.delivered);
+            out += ",\"bytes_delivered\":";
+            out += std::to_string(v.bytes_delivered);
+            out += ",\"transport\":";
+            out += v.transport.to_json();
+            out += ",\"protocol\":";
+            out += v.protocol->to_json();
+            out += "}";
+        }
+        out += "]}";
+        return out;
+    }
+
+    /// The shard wheel servicing shard \p idx (tests: timer-count
+    /// assertions around eviction).
+    TimerWheel& shard_wheel(std::size_t idx) { return *shards_[idx]->wheel; }
+
+    /// Delivered count of the session (peer, conn), or 0 if unknown.
+    Seq session_delivered(PeerAddr peer, Seq conn) const {
+        for (const auto& s : shards_) {
+            const auto it = s->sessions.find(SessionKey{peer.key(), conn});
+            if (it != s->sessions.end()) return it->second->endpoint->delivered();
+        }
+        return 0;
+    }
+
+private:
+    struct Session {
+        PeerAddr peer;
+        Seq conn = 0;
+        Seq epoch = 0;
+        bool tagged = false;  // v1 peers get v1 (untagged) replies
+        SimTime last_activity = 0;
+        std::unique_ptr<SessionEgress> egress;
+        std::unique_ptr<Impairer> impairer;  // null when cfg.impair is transparent
+        std::unique_ptr<NetReceiver<Core>> endpoint;
+    };
+
+    struct Shard {
+        AddressedTransport* transport = nullptr;
+        std::unique_ptr<TimerWheel> wheel;
+        RecvBatch rx{1};
+        AddressedSendBatch tx;
+        std::unordered_map<SessionKey, std::unique_ptr<Session>, SessionKeyHash> sessions;
+        SimTime next_sweep = 0;
+        ServerStats stats;
+        Metrics drained;  // egress/impair totals of evicted sessions
+        bool has_impaired = false;
+        std::vector<SessionKey> evict_scratch;
+    };
+
+    static Metrics session_transport(const Session& session) {
+        // The impairer wraps the egress, so its counters *include* the
+        // forwarding totals; report whichever is outermost.
+        return session.impairer ? session.impairer->stats() : session.egress->stats();
+    }
+
+    void demux(Shard& s, PeerAddr peer, std::span<const std::uint8_t> bytes) {
+        const wire::ViewResult result = wire::decode_view(bytes);
+        if (!result.ok()) {
+            ++s.stats.decode_errors;
+            if (result.error() == wire::DecodeError::BadCrc) ++s.stats.crc_errors;
+            return;  // treated as loss
+        }
+        const wire::FrameView& frame = result.frame();
+        // v1 peers carry no tag: they are the single legacy session at
+        // their address, conn id 0, epoch 0.
+        const bool tagged = frame.conn.tagged();
+        const Seq conn = tagged ? frame.conn.id : 0;
+        const Seq epoch = tagged ? frame.conn.epoch : 0;
+        const SessionKey key{peer.key(), conn};
+        auto it = s.sessions.find(key);
+        if (it == s.sessions.end()) {
+            if (s.sessions.size() >= cfg_.max_sessions) {
+                ++s.stats.sessions_rejected;
+                return;  // load shed: indistinguishable from loss
+            }
+            it = s.sessions.emplace(key, make_session(s, peer, conn, epoch, tagged)).first;
+            ++s.stats.sessions_opened;
+        } else if (epoch > it->second->epoch) {
+            // Peer restarted: tear down the old incarnation's state
+            // (destructors cancel its timers) and start fresh.
+            reset_session(s, *it->second, epoch);
+            ++s.stats.sessions_reset;
+        } else if (epoch < it->second->epoch) {
+            ++s.stats.stale_epoch_drops;  // late frame from a dead incarnation
+            return;
+        }
+        Session& session = *it->second;
+        session.last_activity = s.wheel->now();
+        session.endpoint->handle_frame(frame);
+    }
+
+    std::unique_ptr<Session> make_session(Shard& s, PeerAddr peer, Seq conn, Seq epoch,
+                                          bool tagged) {
+        auto session = std::make_unique<Session>();
+        session->peer = peer;
+        session->conn = conn;
+        session->epoch = epoch;
+        session->tagged = tagged;
+        session->last_activity = s.wheel->now();
+        session->egress = std::make_unique<SessionEgress>(s.tx, peer);
+        attach_endpoint(s, *session);
+        return session;
+    }
+
+    /// (Re)builds the protocol half of a session: per-session config
+    /// (conn tag, sub-seed, immediate-flush egress), optional impairer,
+    /// endpoint driver.
+    void attach_endpoint(Shard& s, Session& session) {
+        NetConfig cfg = cfg_.session;
+        // Every send_ack lands in the shard batch the same tick; the
+        // *shard* flush is the real batching boundary.
+        cfg.batch = 1;
+        cfg.seed = runtime::mix_seed(cfg_.session.seed, session.conn);
+        if (session.tagged) cfg.conn = wire::Conn{session.conn, session.epoch};
+        Transport* sink = session.egress.get();
+        if (cfg_.impaired()) {
+            session.impairer = std::make_unique<Impairer>(
+                *sink, *s.wheel, cfg_.impair, runtime::mix_seed(cfg_.session.seed, session.conn));
+            sink = session.impairer.get();
+            s.has_impaired = true;
+        }
+        session.endpoint =
+            std::make_unique<NetReceiver<Core>>(cfg, options_, *s.wheel, *sink);
+    }
+
+    void reset_session(Shard& s, Session& session, Seq epoch) {
+        // Order matters: the endpoint sends through the impairer, so it
+        // dies first; both cancel their wheel timers on destruction.
+        s.drained += session_transport(session);
+        session.endpoint.reset();
+        session.impairer.reset();
+        session.epoch = epoch;
+        attach_endpoint(s, session);
+    }
+
+    std::size_t sweep(Shard& s, SimTime now) {
+        s.evict_scratch.clear();
+        for (const auto& [key, session] : s.sessions) {
+            if (now - session->last_activity >= cfg_.idle_timeout) {
+                s.evict_scratch.push_back(key);
+            }
+        }
+        for (const SessionKey& key : s.evict_scratch) {
+            const auto it = s.sessions.find(key);
+            s.drained += session_transport(*it->second);
+            s.sessions.erase(it);  // destructors cancel all wheel timers
+            ++s.stats.sessions_evicted;
+        }
+        return s.evict_scratch.size();
+    }
+
+    ServerConfig cfg_;
+    Options options_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// N SO_REUSEPORT sockets sharing one UDP port (0 = pick an ephemeral
+/// port with the first, then bind the rest to it).  Feed the raw
+/// pointers to Server and keep the vector alive alongside it.
+inline std::pair<std::vector<std::unique_ptr<UdpTransport>>, std::uint16_t>
+make_reuseport_shards(std::uint16_t port, std::size_t shards) {
+    BACP_ASSERT_MSG(shards > 0, "at least one shard");
+    std::vector<std::unique_ptr<UdpTransport>> sockets;
+    sockets.reserve(shards);
+    sockets.push_back(std::make_unique<UdpTransport>(port, /*reuse_port=*/true));
+    const std::uint16_t bound = sockets.front()->local_port();
+    for (std::size_t i = 1; i < shards; ++i) {
+        sockets.push_back(std::make_unique<UdpTransport>(bound, /*reuse_port=*/true));
+    }
+    // Hundreds of sessions hash to each shard; synchronized window
+    // bursts overflow the default socket buffers long before the
+    // protocol is the bottleneck.
+    for (auto& s : sockets) s->request_buffer_sizes(std::size_t{4} << 20);
+    return {std::move(sockets), bound};
+}
+
+}  // namespace bacp::net

@@ -52,6 +52,12 @@ public:
     /// Live (armed, not yet fired or cancelled) timers.
     std::size_t armed() const { return heap_.size(); }
 
+    /// Pre-sizes the heap for \p additional more concurrent timers
+    /// beyond those currently armed.  Endpoints call this at attach with
+    /// their worst-case timer count (window-bounded), so a shared wheel
+    /// reaches its high-water mark before traffic does.
+    void reserve(std::size_t additional) { heap_.reserve(heap_.size() + additional); }
+
 private:
     Clock* clock_;
     SlabTimerHeap<Handler> heap_;

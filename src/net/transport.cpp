@@ -65,12 +65,17 @@ std::optional<std::size_t> Transport::recv(std::span<std::uint8_t> out) {
 struct UdpTransport::Scratch {
     std::vector<::mmsghdr> hdrs;
     std::vector<::iovec> iovs;
+    std::vector<::sockaddr_in> addrs;  // per-slot msg_name storage
 
     void shape(std::size_t n) {
         if (hdrs.size() >= n) return;
         hdrs.resize(n);
         iovs.resize(n);
-        // resize() may have moved iovs; re-wire every header.
+        addrs.resize(n);
+        // resize() may have moved iovs; re-wire every header.  msg_name
+        // stays null here: each call path sets (or clears) it per slot,
+        // since connected sends must not carry an address while
+        // addressed sends and server receives must.
         for (std::size_t i = 0; i < hdrs.size(); ++i) {
             std::memset(&hdrs[i], 0, sizeof(hdrs[i]));
             hdrs[i].msg_hdr.msg_iov = &iovs[i];
@@ -79,11 +84,18 @@ struct UdpTransport::Scratch {
     }
 };
 
-UdpTransport::UdpTransport(std::uint16_t port) : scratch_(std::make_unique<Scratch>()) {
+UdpTransport::UdpTransport(std::uint16_t port, bool reuse_port)
+    : scratch_(std::make_unique<Scratch>()) {
     fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
     if (fd_ < 0) throw_errno("socket");
     const int flags = ::fcntl(fd_, F_GETFL, 0);
     if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) throw_errno("fcntl");
+    if (reuse_port) {
+        const int one = 1;
+        if (::setsockopt(fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) < 0) {
+            throw_errno("setsockopt(SO_REUSEPORT)");
+        }
+    }
     sockaddr_in addr = loopback(port);
     if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
         throw_errno("bind");
@@ -97,6 +109,12 @@ UdpTransport::UdpTransport(std::uint16_t port) : scratch_(std::make_unique<Scrat
 
 UdpTransport::~UdpTransport() {
     if (fd_ >= 0) ::close(fd_);
+}
+
+void UdpTransport::request_buffer_sizes(std::size_t bytes) {
+    const int v = static_cast<int>(std::min<std::size_t>(bytes, 1U << 30));
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &v, sizeof(v));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &v, sizeof(v));
 }
 
 void UdpTransport::connect_peer(std::uint16_t port) {
@@ -116,7 +134,40 @@ std::size_t UdpTransport::send_batch(std::span<const std::span<const std::uint8_
         // usual iovec impedance mismatch.
         sc.iovs[i].iov_base = const_cast<std::uint8_t*>(datagrams[i].data());
         sc.iovs[i].iov_len = datagrams[i].size();
+        // A connected-socket send must carry no address (EISCONN
+        // otherwise); clear what send_batch_to / recv_batch may have set.
+        sc.hdrs[i].msg_hdr.msg_name = nullptr;
+        sc.hdrs[i].msg_hdr.msg_namelen = 0;
     }
+    return drain_sendmmsg(datagrams);
+}
+
+std::size_t UdpTransport::send_batch_to(
+    std::span<const std::span<const std::uint8_t>> datagrams,
+    std::span<const PeerAddr> peers) {
+    BACP_ASSERT_MSG(datagrams.size() == peers.size(), "addressed batch spans not parallel");
+    if (datagrams.empty()) return 0;
+    Scratch& sc = *scratch_;
+    sc.shape(datagrams.size());
+    for (std::size_t i = 0; i < datagrams.size(); ++i) {
+        BACP_ASSERT_MSG(datagrams[i].size() <= kMaxDatagram, "datagram exceeds UDP limit");
+        sc.iovs[i].iov_base = const_cast<std::uint8_t*>(datagrams[i].data());
+        sc.iovs[i].iov_len = datagrams[i].size();
+        sc.addrs[i] = sockaddr_in{};
+        sc.addrs[i].sin_family = AF_INET;
+        sc.addrs[i].sin_addr.s_addr = htonl(peers[i].ip);
+        sc.addrs[i].sin_port = htons(peers[i].port);
+        sc.hdrs[i].msg_hdr.msg_name = &sc.addrs[i];
+        sc.hdrs[i].msg_hdr.msg_namelen = sizeof(sc.addrs[i]);
+    }
+    return drain_sendmmsg(datagrams);
+}
+
+/// Runs the staged sendmmsg loop over \p datagrams (headers already set
+/// up in scratch) and keeps the send-side stats.
+std::size_t UdpTransport::drain_sendmmsg(
+    std::span<const std::span<const std::uint8_t>> datagrams) {
+    Scratch& sc = *scratch_;
     std::size_t sent = 0;
     while (sent < datagrams.size()) {
         const int n = ::sendmmsg(fd_, sc.hdrs.data() + sent,
@@ -149,6 +200,11 @@ std::size_t UdpTransport::recv_batch(RecvBatch& batch) {
         const std::span<std::uint8_t> slot = batch.slot(i);
         sc.iovs[i].iov_base = slot.data();
         sc.iovs[i].iov_len = slot.size();
+        // Record each datagram's source so a server can demux by peer;
+        // the kernel rewrites msg_namelen per datagram, so reset it
+        // every call.
+        sc.hdrs[i].msg_hdr.msg_name = &sc.addrs[i];
+        sc.hdrs[i].msg_hdr.msg_namelen = sizeof(sc.addrs[i]);
     }
     int n;
     do {
@@ -162,7 +218,13 @@ std::size_t UdpTransport::recv_batch(RecvBatch& batch) {
     }
     for (int i = 0; i < n; ++i) {
         const std::size_t len = sc.hdrs[i].msg_len;
-        batch.push_filled(len);
+        PeerAddr peer;
+        if (sc.hdrs[i].msg_hdr.msg_namelen >= sizeof(sockaddr_in) &&
+            sc.addrs[i].sin_family == AF_INET) {
+            peer.ip = ntohl(sc.addrs[i].sin_addr.s_addr);
+            peer.port = ntohs(sc.addrs[i].sin_port);
+        }
+        batch.push_filled(len, peer);
         stats_.bytes_received += len;
     }
     stats_.datagrams_received += static_cast<std::uint64_t>(n);

@@ -47,6 +47,23 @@ namespace bacp::net {
 /// Largest UDP payload over IPv4 (65535 - 20 IP - 8 UDP).
 inline constexpr std::size_t kMaxDatagram = 65507;
 
+/// Source/destination address of one datagram: an IPv4 address and port
+/// in host byte order.  A default-constructed PeerAddr is "no address"
+/// (what a connected-socket transport records).  This is half of the
+/// server's session key -- (PeerAddr, conn id) names a session -- so it
+/// is a value type with equality and a perfect 48-bit key for hashing.
+struct PeerAddr {
+    std::uint32_t ip = 0;
+    std::uint16_t port = 0;
+
+    bool valid() const { return ip != 0 || port != 0; }
+
+    /// Injective packing, usable directly as a hash key.
+    std::uint64_t key() const { return (std::uint64_t{ip} << 16) | port; }
+
+    friend bool operator==(const PeerAddr&, const PeerAddr&) = default;
+};
+
 /// Caller-owned, reusable receive arena for Transport::recv_batch(): one
 /// contiguous byte slab of capacity x max_datagram plus a length record
 /// per datagram.  All memory is allocated at construction (or on an
@@ -73,6 +90,7 @@ public:
         max_datagram_ = max_datagram > 0 ? max_datagram : 1;
         slab_.assign(capacity_ * max_datagram_, 0);
         lens_.assign(capacity_, 0);
+        peers_.assign(capacity_, PeerAddr{});
         size_ = 0;
     }
 
@@ -87,6 +105,11 @@ public:
         return {slab_.data() + i * max_datagram_, lens_[i]};
     }
 
+    /// Source address of datagram \p i, when the transport records one
+    /// (unconnected UDP sockets, InprocHub server endpoints); a
+    /// default-constructed PeerAddr otherwise.
+    PeerAddr peer(std::size_t i) const { return peers_[i]; }
+
     // ---- writer side (transports only) --------------------------------
 
     /// Writable region of the next free slot (max_datagram bytes).
@@ -99,16 +122,19 @@ public:
         return {slab_.data() + i * max_datagram_, max_datagram_};
     }
 
-    /// Marks the next slot as holding \p len received bytes.  Slots are
-    /// committed strictly in order (the fixed stride implies it).
-    void push_filled(std::size_t len) {
+    /// Marks the next slot as holding \p len received bytes from \p peer.
+    /// Slots are committed strictly in order (the fixed stride implies
+    /// it).
+    void push_filled(std::size_t len, PeerAddr peer = {}) {
         lens_[size_] = len;
+        peers_[size_] = peer;
         ++size_;
     }
 
 private:
     std::vector<std::uint8_t> slab_;
     std::vector<std::size_t> lens_;
+    std::vector<PeerAddr> peers_;
     std::size_t capacity_ = 0;
     std::size_t max_datagram_ = 0;
     std::size_t size_ = 0;
@@ -231,15 +257,95 @@ inline std::size_t SendBatch::flush(Transport& t) {
     return accepted;
 }
 
+/// A Transport that can also address each datagram individually: what a
+/// server needs to speak to many peers over one shared socket.  The
+/// unaddressed send_batch() remains available for connected use.
+class AddressedTransport : public Transport {
+public:
+    /// Sends datagrams[i] to peers[i] (parallel spans, equal length) in
+    /// one boundary crossing.  Same partial-send contract as
+    /// send_batch(): returns the accepted prefix length, counting the
+    /// tail in send_drops.
+    virtual std::size_t send_batch_to(std::span<const std::span<const std::uint8_t>> datagrams,
+                                      std::span<const PeerAddr> peers) = 0;
+};
+
+/// Builder for a send_batch_to() call: SendBatch's slab idiom plus a
+/// destination per staged datagram, so one server flush can interleave
+/// frames bound for many sessions and still cross the syscall boundary
+/// once.  This is what keeps batching economics alive under
+/// multiplexing -- per-session egress is tiny (often one ack), but the
+/// *shared* batch still amortizes sendmmsg across every session that
+/// spoke this tick.
+class AddressedSendBatch {
+public:
+    std::size_t size() const { return extents_.size(); }
+    bool empty() const { return extents_.empty(); }
+    std::size_t bytes() const { return slab_.size(); }
+
+    void clear() {
+        slab_.clear();
+        extents_.clear();
+    }
+
+    /// Stages a copy of \p datagram bound for \p peer.
+    void append(PeerAddr peer, std::span<const std::uint8_t> datagram) {
+        append_with(peer, [&](std::vector<std::uint8_t>& slab) {
+            slab.insert(slab.end(), datagram.begin(), datagram.end());
+        });
+    }
+
+    /// Stages whatever \p fn appends to the slab as one datagram bound
+    /// for \p peer.
+    template <typename Fn>
+    void append_with(PeerAddr peer, Fn&& fn) {
+        const std::size_t base = slab_.size();
+        fn(slab_);
+        extents_.push_back({base, slab_.size() - base, peer});
+    }
+
+    /// Sends every staged datagram through \p t in one send_batch_to
+    /// call and clears the builder.  Returns how many were accepted.
+    std::size_t flush(AddressedTransport& t) {
+        if (extents_.empty()) return 0;
+        spans_scratch_.clear();
+        peers_scratch_.clear();
+        spans_scratch_.reserve(extents_.size());
+        peers_scratch_.reserve(extents_.size());
+        for (const Extent& e : extents_) {
+            spans_scratch_.emplace_back(slab_.data() + e.offset, e.length);
+            peers_scratch_.push_back(e.peer);
+        }
+        const std::size_t accepted = t.send_batch_to(spans_scratch_, peers_scratch_);
+        clear();
+        return accepted;
+    }
+
+private:
+    struct Extent {
+        std::size_t offset;
+        std::size_t length;
+        PeerAddr peer;
+    };
+    std::vector<std::uint8_t> slab_;
+    std::vector<Extent> extents_;
+    std::vector<std::span<const std::uint8_t>> spans_scratch_;
+    std::vector<PeerAddr> peers_scratch_;
+};
+
 /// Non-blocking UDP over 127.0.0.1.
-class UdpTransport final : public Transport {
+class UdpTransport final : public AddressedTransport {
 public:
     /// Alias of net::kMaxDatagram, kept for existing spellings.
     static constexpr std::size_t kMaxDatagram = net::kMaxDatagram;
 
     /// Binds a non-blocking socket on 127.0.0.1:\p port (0 = ephemeral).
+    /// With \p reuse_port, sets SO_REUSEPORT before binding so N server
+    /// shards can share one port -- the kernel then hashes each client's
+    /// source address to exactly one shard's socket, which is what makes
+    /// per-shard session tables race-free by construction.
     /// Throws std::system_error on socket failures.
-    explicit UdpTransport(std::uint16_t port = 0);
+    explicit UdpTransport(std::uint16_t port = 0, bool reuse_port = false);
     ~UdpTransport() override;
 
     UdpTransport(const UdpTransport&) = delete;
@@ -251,7 +357,15 @@ public:
 
     std::uint16_t local_port() const { return port_; }
 
+    /// Best-effort SO_RCVBUF/SO_SNDBUF request (the kernel clamps to its
+    /// rmem/wmem limits; failures are ignored).  A server shard absorbing
+    /// synchronized bursts from hundreds of sessions needs more than the
+    /// default receive buffer, or the loss it recovers from is self-made.
+    void request_buffer_sizes(std::size_t bytes);
+
     std::size_t send_batch(std::span<const std::span<const std::uint8_t>> datagrams) override;
+    std::size_t send_batch_to(std::span<const std::span<const std::uint8_t>> datagrams,
+                              std::span<const PeerAddr> peers) override;
     std::size_t recv_batch(RecvBatch& batch) override;
     int fd() const override { return fd_; }
 
@@ -259,10 +373,15 @@ public:
     static std::pair<std::unique_ptr<UdpTransport>, std::unique_ptr<UdpTransport>> make_pair();
 
 private:
-    /// Reusable mmsghdr/iovec arrays for sendmmsg/recvmmsg; sized to the
-    /// largest batch seen, so the steady state never allocates.  Defined
-    /// in the .cpp to keep <sys/socket.h> out of this header.
+    /// Reusable mmsghdr/iovec/sockaddr arrays for sendmmsg/recvmmsg;
+    /// sized to the largest batch seen, so the steady state never
+    /// allocates.  Defined in the .cpp to keep <sys/socket.h> out of
+    /// this header.
     struct Scratch;
+
+    /// Shared sendmmsg drain loop behind send_batch / send_batch_to
+    /// (headers are already staged in scratch when this runs).
+    std::size_t drain_sendmmsg(std::span<const std::span<const std::uint8_t>> datagrams);
 
     int fd_ = -1;
     std::uint16_t port_ = 0;

@@ -296,6 +296,29 @@ public:
     void handle_ack(const proto::Ack& ack) {
         ++metrics_.acks_received;
         core_.on_ack(ack, txview());
+        // Sender-observed latency: sweep the retirement cursor over
+        // messages this ack (cumulatively) settled.  can_resend() going
+        // false is the core-agnostic "acknowledged" signal (the same one
+        // per-message timers consult), and the cursor makes the sweep
+        // O(newly acked) amortized.
+        while (ack_cursor_ < sent_new_ && !core_.can_resend(ack_cursor_)) {
+            const SimTime sent = first_send_.get(ack_cursor_);
+            if (sent != SeqTimeTable::kNever) {
+                metrics_.ack_latency.add(env_.now() - sent);
+            }
+            // Reclaim the retired message's expiry timer now instead of
+            // letting it fire as a no-op: lazy cancellation would keep
+            // one live timer per message sent within a timeout window,
+            // and the heap's high-water mark with it, unbounded by w.
+            if (mode_ == TimeoutMode::PerMessageTimer) {
+                const TimerId id = pm_timers_.get(ack_cursor_);
+                if (id != kInvalidTimer) {
+                    env_.timer_service().cancel(id);
+                    pm_timers_.clear(ack_cursor_);
+                }
+            }
+            ++ack_cursor_;
+        }
         if (mode_ == TimeoutMode::SimpleTimer && !core_.has_outstanding()) {
             simple_timer_.cancel();
         }
@@ -454,9 +477,14 @@ private:
     void pump_send() {
         while (sent_new_ < cfg_.count && sent_new_ < app_released_ && core_.can_send_new()) {
             if constexpr (kTimeGatedSend) {
-                const SimTime ready = core_.send_blocked_until(env_.now());
-                if (ready > env_.now()) {
-                    if (!blocked_timer_.armed()) blocked_timer_.restart(ready - env_.now());
+                // One now() snapshot for the whole decision: under a real
+                // clock, time advances between reads, and a deadline that
+                // tested as future against the first read can be past by
+                // the next -- handing the timer wheel a negative delay.
+                const SimTime now = env_.now();
+                const SimTime ready = core_.send_blocked_until(now);
+                if (ready > now) {
+                    if (!blocked_timer_.armed()) blocked_timer_.restart(ready - now);
                     return;
                 }
             }
@@ -643,6 +671,7 @@ private:
     SimTime data_lifetime_ = 0;  // cached cfg_.data_link.max_lifetime()
     bool gate_waiters_ = false;  // a per-message fire was gate-blocked
     Seq sent_new_ = 0;      // new messages handed to the wire (== true ns)
+    Seq ack_cursor_ = 0;    // messages retired by acks (latency sweep)
     Seq delivered_ = 0;     // in-order deliveries at the receiver (== true vr)
     Seq app_released_ = 0;  // open loop: messages made available so far
     SeqTimeTable arrival_time_;     // open loop only

@@ -48,6 +48,13 @@ struct Metrics {
     /// moment nr passes it), in simulated nanoseconds.
     Histogram latency{5};
 
+    /// Sender-observed ack latency per message (first transmission to
+    /// the ack that retired it), in the sender's clock.  The receiver's
+    /// `latency` needs both endpoints' tables in one driver (true in the
+    /// DES); this one fills at any sending endpoint, so split-process
+    /// runs (net clients against a Server) still get a latency figure.
+    Histogram ack_latency{5};
+
     SimTime elapsed() const { return end_time - start_time; }
 
     /// Accepted messages per simulated second.

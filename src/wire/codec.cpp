@@ -32,24 +32,30 @@ void append_crc(std::vector<std::uint8_t>& out, std::size_t base) {
     writer.put_u32(crc);
 }
 
-void put_header(BufWriter& writer, FrameType type, std::uint8_t flags, Seq stream) {
+void put_header(BufWriter& writer, FrameType type, std::uint8_t flags, Seq stream,
+                Conn conn) {
     const bool tagged = stream != kNoStream;
     writer.put_u8(kMagic);
-    writer.put_u8(kVersion);
+    writer.put_u8(conn.tagged() ? kVersion2 : kVersion);
     writer.put_u8(static_cast<std::uint8_t>(type));
     writer.put_u8(tagged ? static_cast<std::uint8_t>(flags | kFlagStream) : flags);
+    if (conn.tagged()) {
+        writer.put_varint(conn.id);
+        writer.put_varint(conn.epoch);
+    }
     if (tagged) writer.put_varint(stream);
 }
 
 }  // namespace
 
 void encode_data_to(std::vector<std::uint8_t>& out, Seq seq,
-                    std::span<const std::uint8_t> payload, std::uint8_t flags, Seq stream) {
+                    std::span<const std::uint8_t> payload, std::uint8_t flags, Seq stream,
+                    Conn conn) {
     BACP_ASSERT_MSG(payload.size() <= kMaxPayload, "payload exceeds kMaxPayload");
     const std::size_t base = out.size();
     out.reserve(base + kMinFrameSize + payload.size() + 8);
     BufWriter writer(out);
-    put_header(writer, FrameType::Data, flags, stream);
+    put_header(writer, FrameType::Data, flags, stream, conn);
     writer.put_varint(seq);
     writer.put_varint(payload.size());
     writer.put_bytes(payload);
@@ -57,35 +63,36 @@ void encode_data_to(std::vector<std::uint8_t>& out, Seq seq,
 }
 
 void encode_ack_to(std::vector<std::uint8_t>& out, Seq lo, Seq hi, std::uint8_t flags,
-                   Seq stream) {
+                   Seq stream, Conn conn) {
     BACP_ASSERT_MSG(lo <= hi, "ack encode with lo > hi");
     const std::size_t base = out.size();
     out.reserve(base + kMinFrameSize + 8);
     BufWriter writer(out);
-    put_header(writer, FrameType::Ack, flags, stream);
+    put_header(writer, FrameType::Ack, flags, stream, conn);
     writer.put_varint(lo);
     writer.put_varint(hi);
     append_crc(out, base);
 }
 
-void encode_nak_to(std::vector<std::uint8_t>& out, Seq seq, std::uint8_t flags, Seq stream) {
+void encode_nak_to(std::vector<std::uint8_t>& out, Seq seq, std::uint8_t flags, Seq stream,
+                   Conn conn) {
     const std::size_t base = out.size();
     out.reserve(base + kMinFrameSize + 8);
     BufWriter writer(out);
-    put_header(writer, FrameType::Nak, flags, stream);
+    put_header(writer, FrameType::Nak, flags, stream, conn);
     writer.put_varint(seq);
     append_crc(out, base);
 }
 
 void encode_data_ack_to(std::vector<std::uint8_t>& out, Seq seq, Seq ack_lo, Seq ack_hi,
                         std::span<const std::uint8_t> payload, std::uint8_t flags,
-                        Seq stream) {
+                        Seq stream, Conn conn) {
     BACP_ASSERT_MSG(ack_lo <= ack_hi, "piggyback ack encode with lo > hi");
     BACP_ASSERT_MSG(payload.size() <= kMaxPayload, "payload exceeds kMaxPayload");
     const std::size_t base = out.size();
     out.reserve(base + kMinFrameSize + payload.size() + 16);
     BufWriter writer(out);
-    put_header(writer, FrameType::DataAck, flags, stream);
+    put_header(writer, FrameType::DataAck, flags, stream, conn);
     writer.put_varint(seq);
     writer.put_varint(payload.size());
     writer.put_bytes(payload);
@@ -95,29 +102,30 @@ void encode_data_ack_to(std::vector<std::uint8_t>& out, Seq seq, Seq ack_lo, Seq
 }
 
 std::vector<std::uint8_t> encode_data(Seq seq, std::span<const std::uint8_t> payload,
-                                      std::uint8_t flags, Seq stream) {
+                                      std::uint8_t flags, Seq stream, Conn conn) {
     std::vector<std::uint8_t> out;
-    encode_data_to(out, seq, payload, flags, stream);
+    encode_data_to(out, seq, payload, flags, stream, conn);
     return out;
 }
 
-std::vector<std::uint8_t> encode_ack(Seq lo, Seq hi, std::uint8_t flags, Seq stream) {
+std::vector<std::uint8_t> encode_ack(Seq lo, Seq hi, std::uint8_t flags, Seq stream,
+                                     Conn conn) {
     std::vector<std::uint8_t> out;
-    encode_ack_to(out, lo, hi, flags, stream);
+    encode_ack_to(out, lo, hi, flags, stream, conn);
     return out;
 }
 
-std::vector<std::uint8_t> encode_nak(Seq seq, std::uint8_t flags, Seq stream) {
+std::vector<std::uint8_t> encode_nak(Seq seq, std::uint8_t flags, Seq stream, Conn conn) {
     std::vector<std::uint8_t> out;
-    encode_nak_to(out, seq, flags, stream);
+    encode_nak_to(out, seq, flags, stream, conn);
     return out;
 }
 
 std::vector<std::uint8_t> encode_data_ack(Seq seq, Seq ack_lo, Seq ack_hi,
                                           std::span<const std::uint8_t> payload,
-                                          std::uint8_t flags, Seq stream) {
+                                          std::uint8_t flags, Seq stream, Conn conn) {
     std::vector<std::uint8_t> out;
-    encode_data_ack_to(out, seq, ack_lo, ack_hi, payload, flags, stream);
+    encode_data_ack_to(out, seq, ack_lo, ack_hi, payload, flags, stream, conn);
     return out;
 }
 
@@ -135,7 +143,7 @@ std::vector<std::uint8_t> encode_message(const proto::Message& msg, std::uint8_t
     return encode_data_ack(da.data.seq, da.ack.lo, da.ack.hi, {}, flags);
 }
 
-DecodeResult decode(std::span<const std::uint8_t> bytes) {
+ViewResult decode_view(std::span<const std::uint8_t> bytes) {
     if (bytes.size() < kMinFrameSize) return {DecodeError::TooShort};
 
     // CRC first: corrupted frames must be rejected before any field is
@@ -149,16 +157,30 @@ DecodeResult decode(std::span<const std::uint8_t> bytes) {
     const auto magic = reader.get_u8();
     if (!magic || *magic != kMagic) return {DecodeError::BadMagic};
     const auto version = reader.get_u8();
-    if (!version || *version != kVersion) return {DecodeError::BadVersion};
+    if (!version || (*version != kVersion && *version != kVersion2)) {
+        return {DecodeError::BadVersion};
+    }
     const auto type = reader.get_u8();
     if (!type) return {DecodeError::Truncated};
     const auto flags = reader.get_u8();
     if (!flags) return {DecodeError::Truncated};
-    Seq stream = 0;
+
+    FrameView view;
+    view.flags = *flags;
+    if (*version == kVersion2) {
+        const auto conn_id = reader.get_varint();
+        if (!conn_id) return {DecodeError::Truncated};
+        const auto epoch = reader.get_varint();
+        if (!epoch) return {DecodeError::Truncated};
+        // A v2 header whose conn id is the untagged sentinel would
+        // round-trip as a v1 frame; no conforming encoder emits it.
+        if (*conn_id == kNoConnId) return {DecodeError::BadVersion};
+        view.conn = Conn{*conn_id, *epoch};
+    }
     if (*flags & kFlagStream) {
         const auto id = reader.get_varint();
         if (!id) return {DecodeError::Truncated};
-        stream = *id;
+        view.stream = *id;
     }
 
     switch (static_cast<FrameType>(*type)) {
@@ -173,12 +195,10 @@ DecodeResult decode(std::span<const std::uint8_t> bytes) {
             const auto payload = reader.get_bytes(static_cast<std::size_t>(*len));
             if (!payload) return {DecodeError::Truncated};
             if (!reader.exhausted()) return {DecodeError::TrailingBytes};
-            DataFrame frame;
-            frame.seq = *seq;
-            frame.flags = *flags;
-            frame.stream = stream;
-            frame.payload.assign(payload->begin(), payload->end());
-            return {DecodedFrame{std::move(frame)}};
+            view.type = FrameType::Data;
+            view.seq = *seq;
+            view.payload = *payload;
+            return {view};
         }
         case FrameType::Ack: {
             const auto lo = reader.get_varint();
@@ -187,13 +207,18 @@ DecodeResult decode(std::span<const std::uint8_t> bytes) {
             if (!hi) return {DecodeError::Truncated};
             if (!reader.exhausted()) return {DecodeError::TrailingBytes};
             if (*lo > *hi) return {DecodeError::BadAckRange};
-            return {DecodedFrame{AckFrame{*lo, *hi, *flags, stream}}};
+            view.type = FrameType::Ack;
+            view.lo = *lo;
+            view.hi = *hi;
+            return {view};
         }
         case FrameType::Nak: {
             const auto seq = reader.get_varint();
             if (!seq) return {DecodeError::Truncated};
             if (!reader.exhausted()) return {DecodeError::TrailingBytes};
-            return {DecodedFrame{NakFrame{*seq, *flags, stream}}};
+            view.type = FrameType::Nak;
+            view.seq = *seq;
+            return {view};
         }
         case FrameType::DataAck: {
             const auto seq = reader.get_varint();
@@ -209,23 +234,59 @@ DecodeResult decode(std::span<const std::uint8_t> bytes) {
             if (!hi) return {DecodeError::Truncated};
             if (!reader.exhausted()) return {DecodeError::TrailingBytes};
             if (*lo > *hi) return {DecodeError::BadAckRange};
-            DataAckFrame frame;
-            frame.seq = *seq;
-            frame.ack_lo = *lo;
-            frame.ack_hi = *hi;
-            frame.flags = *flags;
-            frame.stream = stream;
-            frame.payload.assign(payload->begin(), payload->end());
-            return {DecodedFrame{std::move(frame)}};
+            view.type = FrameType::DataAck;
+            view.seq = *seq;
+            view.lo = *lo;
+            view.hi = *hi;
+            view.payload = *payload;
+            return {view};
         }
         default:
             return {DecodeError::BadType};
     }
 }
 
+DecodeResult decode(std::span<const std::uint8_t> bytes) {
+    const ViewResult parsed = decode_view(bytes);
+    if (!parsed.ok()) return {parsed.error()};
+    const FrameView& view = parsed.frame();
+    switch (view.type) {
+        case FrameType::Data: {
+            DataFrame frame;
+            frame.seq = view.seq;
+            frame.flags = view.flags;
+            frame.stream = view.stream;
+            frame.conn = view.conn;
+            frame.payload.assign(view.payload.begin(), view.payload.end());
+            return {DecodedFrame{std::move(frame)}};
+        }
+        case FrameType::Ack:
+            return {DecodedFrame{AckFrame{view.lo, view.hi, view.flags, view.stream,
+                                          view.conn}}};
+        case FrameType::Nak:
+            return {DecodedFrame{NakFrame{view.seq, view.flags, view.stream, view.conn}}};
+        case FrameType::DataAck: {
+            DataAckFrame frame;
+            frame.seq = view.seq;
+            frame.ack_lo = view.lo;
+            frame.ack_hi = view.hi;
+            frame.flags = view.flags;
+            frame.stream = view.stream;
+            frame.conn = view.conn;
+            frame.payload.assign(view.payload.begin(), view.payload.end());
+            return {DecodedFrame{std::move(frame)}};
+        }
+    }
+    return {DecodeError::BadType};  // unreachable: decode_view validated type
+}
+
 Seq stream_of(const DecodedFrame& frame) {
     return std::visit(
         [](const auto& f) { return (f.flags & kFlagStream) ? f.stream : kNoStream; }, frame);
+}
+
+Conn conn_of(const DecodedFrame& frame) {
+    return std::visit([](const auto& f) { return f.conn; }, frame);
 }
 
 proto::Message to_message(const DecodedFrame& frame) {

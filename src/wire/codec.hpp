@@ -44,27 +44,40 @@ struct DecodeResult {
     DecodeError error() const { return std::get<DecodeError>(value); }
 };
 
+/// Result of decode_view(): a non-owning FrameView or the rejection
+/// reason.  The view (payload span included) is valid only as long as
+/// the decoded bytes are.
+struct ViewResult {
+    std::variant<FrameView, DecodeError> value;
+
+    bool ok() const { return std::holds_alternative<FrameView>(value); }
+    const FrameView& frame() const { return std::get<FrameView>(value); }
+    DecodeError error() const { return std::get<DecodeError>(value); }
+};
+
 /// Sentinel: frame is not stream-tagged.
 inline constexpr Seq kNoStream = ~Seq{0};
 
 /// Serializes a DATA frame.  Passing a \p stream other than kNoStream
-/// sets kFlagStream and prepends the stream id to the body.
+/// sets kFlagStream and prepends the stream id to the body; passing a
+/// tagged \p conn emits the v2 header (conn id + epoch varints).
 std::vector<std::uint8_t> encode_data(Seq seq, std::span<const std::uint8_t> payload = {},
-                                      std::uint8_t flags = kFlagNone, Seq stream = kNoStream);
+                                      std::uint8_t flags = kFlagNone, Seq stream = kNoStream,
+                                      Conn conn = {});
 
 /// Serializes an ACK frame.  Precondition: lo <= hi.
 std::vector<std::uint8_t> encode_ack(Seq lo, Seq hi, std::uint8_t flags = kFlagNone,
-                                     Seq stream = kNoStream);
+                                     Seq stream = kNoStream, Conn conn = {});
 
 /// Serializes a NAK frame.
 std::vector<std::uint8_t> encode_nak(Seq seq, std::uint8_t flags = kFlagNone,
-                                     Seq stream = kNoStream);
+                                     Seq stream = kNoStream, Conn conn = {});
 
 /// Serializes a DATA+ACK piggyback frame.  Precondition: lo <= hi.
 std::vector<std::uint8_t> encode_data_ack(Seq seq, Seq ack_lo, Seq ack_hi,
                                           std::span<const std::uint8_t> payload = {},
                                           std::uint8_t flags = kFlagNone,
-                                          Seq stream = kNoStream);
+                                          Seq stream = kNoStream, Conn conn = {});
 
 // Append-style variants: serialize the frame onto the *end* of \p out,
 // leaving prior bytes untouched (the CRC covers only the appended frame).
@@ -75,20 +88,24 @@ std::vector<std::uint8_t> encode_data_ack(Seq seq, Seq ack_lo, Seq ack_hi,
 
 void encode_data_to(std::vector<std::uint8_t>& out, Seq seq,
                     std::span<const std::uint8_t> payload = {},
-                    std::uint8_t flags = kFlagNone, Seq stream = kNoStream);
+                    std::uint8_t flags = kFlagNone, Seq stream = kNoStream, Conn conn = {});
 
 void encode_ack_to(std::vector<std::uint8_t>& out, Seq lo, Seq hi,
-                   std::uint8_t flags = kFlagNone, Seq stream = kNoStream);
+                   std::uint8_t flags = kFlagNone, Seq stream = kNoStream, Conn conn = {});
 
 void encode_nak_to(std::vector<std::uint8_t>& out, Seq seq, std::uint8_t flags = kFlagNone,
-                   Seq stream = kNoStream);
+                   Seq stream = kNoStream, Conn conn = {});
 
 void encode_data_ack_to(std::vector<std::uint8_t>& out, Seq seq, Seq ack_lo, Seq ack_hi,
                         std::span<const std::uint8_t> payload = {},
-                        std::uint8_t flags = kFlagNone, Seq stream = kNoStream);
+                        std::uint8_t flags = kFlagNone, Seq stream = kNoStream,
+                        Conn conn = {});
 
 /// Stream id of a decoded frame, or kNoStream when untagged.
 Seq stream_of(const DecodedFrame& frame);
+
+/// Connection tag of a decoded frame (untagged on v1 frames).
+Conn conn_of(const DecodedFrame& frame);
 
 /// Serializes an abstract protocol message (payload-less).
 std::vector<std::uint8_t> encode_message(const proto::Message& msg,
@@ -96,6 +113,12 @@ std::vector<std::uint8_t> encode_message(const proto::Message& msg,
 
 /// Parses one complete frame occupying exactly \p bytes.
 DecodeResult decode(std::span<const std::uint8_t> bytes);
+
+/// Parses one complete frame without materializing it: the returned
+/// FrameView's payload is a span into \p bytes, so nothing is copied and
+/// nothing is allocated.  decode() is this plus materialization; the
+/// parsing (and rejection) behavior is identical by construction.
+ViewResult decode_view(std::span<const std::uint8_t> bytes);
 
 /// Converts a decoded frame to the abstract message type (drops payload).
 proto::Message to_message(const DecodedFrame& frame);

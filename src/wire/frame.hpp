@@ -5,9 +5,11 @@
 ///
 /// Layout (little-endian):
 ///   magic   u8   0xBA
-///   version u8   0x01
+///   version u8   0x01 single-session, 0x02 connection-multiplexed
 ///   type    u8   1 = DATA, 2 = ACK, 3 = NAK, 4 = DATA+ACK
 ///   flags   u8   bit0: bounded-domain residue seqnums
+///   conn    varint  (v2 only) connection id within the peer address
+///   epoch   varint  (v2 only) session incarnation, see PROTOCOL.md §8
 ///   body         DATA:     seq varint, payload_len varint, payload bytes
 ///                ACK:      lo varint, hi varint
 ///                NAK:      seq varint
@@ -15,11 +17,20 @@
 ///                          lo varint, hi varint (piggybacked block ack)
 ///   crc32c  u32  over every preceding byte
 ///
+/// Version 2 adds exactly two header varints -- a connection id (which
+/// session at this peer address the frame belongs to) and an epoch (which
+/// incarnation of that session, so a crashed-and-restarted peer can
+/// rejoin without its stale frames corrupting the new run).  An encoder
+/// emits v2 only when the frame is connection-tagged, so single-session
+/// traffic stays byte-identical to v1 and a v1-only peer never sees a
+/// version it cannot parse; a decoder accepts both versions.
+///
 /// Varint sequence numbers keep the common case (small residues of the
 /// bounded SV protocol) at one byte while still carrying full 64-bit
 /// values for the unbounded variants.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -28,6 +39,22 @@ namespace bacp::wire {
 
 inline constexpr std::uint8_t kMagic = 0xBA;
 inline constexpr std::uint8_t kVersion = 0x01;
+inline constexpr std::uint8_t kVersion2 = 0x02;
+
+/// Sentinel: frame carries no connection tag (encodes as version 1).
+inline constexpr Seq kNoConnId = ~Seq{0};
+
+/// Connection tag of a v2 frame: which session at a peer address, and
+/// which incarnation of it.  A default-constructed Conn is untagged and
+/// selects the v1 encoding.
+struct Conn {
+    Seq id = kNoConnId;
+    Seq epoch = 0;
+
+    bool tagged() const { return id != kNoConnId; }
+
+    friend bool operator==(const Conn&, const Conn&) = default;
+};
 
 enum class FrameType : std::uint8_t { Data = 1, Ack = 2, Nak = 3, DataAck = 4 };
 
@@ -44,6 +71,7 @@ struct DataFrame {
     Seq seq = 0;
     std::uint8_t flags = kFlagNone;
     Seq stream = 0;  // meaningful when flags & kFlagStream
+    Conn conn;       // untagged on v1 frames
     std::vector<std::uint8_t> payload;
 };
 
@@ -53,6 +81,7 @@ struct AckFrame {
     Seq hi = 0;
     std::uint8_t flags = kFlagNone;
     Seq stream = 0;
+    Conn conn;
 };
 
 /// Decoded NAK frame (fast-retransmit request, advisory).
@@ -60,6 +89,7 @@ struct NakFrame {
     Seq seq = 0;
     std::uint8_t flags = kFlagNone;
     Seq stream = 0;
+    Conn conn;
 };
 
 /// Decoded DATA+ACK frame (duplex piggyback).
@@ -69,7 +99,25 @@ struct DataAckFrame {
     Seq ack_hi = 0;
     std::uint8_t flags = kFlagNone;
     Seq stream = 0;
+    Conn conn;
     std::vector<std::uint8_t> payload;
+};
+
+/// Non-owning decoded frame: every header field flattened into one
+/// struct, with the payload as a span into the caller's receive buffer.
+/// This is what the hot paths consume (net demux + endpoint adapters):
+/// decoding a datagram through decode_view() touches no heap at all,
+/// which is what keeps the server's per-datagram allocation count at
+/// exactly zero.  Fields not applicable to `type` are zero.
+struct FrameView {
+    FrameType type = FrameType::Data;
+    std::uint8_t flags = kFlagNone;
+    Seq stream = 0;  // meaningful when flags & kFlagStream
+    Conn conn;       // untagged on v1 frames
+    Seq seq = 0;     // DATA / NAK / DATA+ACK
+    Seq lo = 0;      // ACK / DATA+ACK
+    Seq hi = 0;
+    std::span<const std::uint8_t> payload;  // DATA / DATA+ACK, view only
 };
 
 /// Smallest possible frame: header (4) + one varint (1) + crc (4).

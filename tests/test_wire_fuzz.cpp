@@ -30,6 +30,13 @@ std::vector<std::vector<std::uint8_t>> corpus() {
     frames.push_back(encode_nak(999999, kFlagBoundedSeq, 5));
     frames.push_back(encode_data_ack(3, 0, 2, payload));
     frames.push_back(encode_data_ack(3, 0, 2, payload, kFlagBoundedSeq, 1));
+    // v2 connection-tagged variants of every type.
+    const Conn conn{17, 4};
+    frames.push_back(encode_data(12345, payload, kFlagNone, kNoStream, conn));
+    frames.push_back(encode_data(7, payload, kFlagBoundedSeq, /*stream=*/3, conn));
+    frames.push_back(encode_ack(100, 100000, kFlagNone, kNoStream, Conn{0, 0}));
+    frames.push_back(encode_nak(999999, kFlagBoundedSeq, 5, Conn{~Seq{0} - 1, ~Seq{0}}));
+    frames.push_back(encode_data_ack(3, 0, 2, payload, kFlagNone, kNoStream, conn));
     return frames;
 }
 
@@ -71,6 +78,11 @@ TEST_P(CodecFuzz, MutationsNeverCrashAndRarelyValidate) {
         }
         if (frame == original) continue;  // identity mutation (e.g. double flip)
         const auto result = decode(frame);  // must not throw
+        const auto view = decode_view(frame);  // must agree bit-for-bit on accept/reject
+        ASSERT_EQ(result.ok(), view.ok());
+        if (!result.ok()) {
+            ASSERT_EQ(result.error(), view.error());
+        }
         if (result.ok()) ++accepted_mutants;
     }
     // A mutated frame survives only by colliding CRC-32C; with 4000
@@ -85,6 +97,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Values(1, 2, 3, 4, 5, 6, 7
 TEST(CodecFuzzSanity, UnmutatedCorpusAllValid) {
     for (const auto& frame : corpus()) {
         EXPECT_TRUE(decode(frame).ok());
+        EXPECT_TRUE(decode_view(frame).ok());
     }
 }
 
