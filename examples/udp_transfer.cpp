@@ -37,6 +37,7 @@
 // or any delivered payload fails verification.
 
 #include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,6 +56,13 @@ using namespace bacp::literals;
 namespace {
 
 constexpr std::size_t kChunk = 1024;
+
+// --serve runs open-ended until its deadline, so ^C is the normal way to
+// stop it; the handler only raises a flag the poll loop checks between
+// (at most 1 ms) waits, letting the final census line still print.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void on_sigint(int) { g_interrupted = 1; }
 
 struct Params {
     double mb = 4.0;
@@ -267,9 +275,10 @@ int run_serve(const Params& p) {
                 port, p.shards, p.proto.c_str(),
                 (unsigned long long)scfg.session.count, kChunk, p.loss * 100);
 
+    std::signal(SIGINT, on_sigint);
     const SimTime start = clock.now();
     SimTime last_print = start;
-    while (clock.now() - start <= p.deadline) {
+    while (g_interrupted == 0 && clock.now() - start <= p.deadline) {
         if (server.poll() == 0) net::wait_readable(fds, kMillisecond);
         if (clock.now() - last_print >= kSecond) {
             last_print = clock.now();
@@ -283,6 +292,9 @@ int run_serve(const Params& p) {
             std::fflush(stdout);
         }
     }
+
+    std::signal(SIGINT, SIG_DFL);  // a second ^C kills for real
+    if (g_interrupted != 0) std::printf("^C -- final census:\n");
 
     std::uint64_t bytes = 0;
     std::uint64_t mismatches = 0;

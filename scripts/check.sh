@@ -52,6 +52,16 @@ echo "== bench smoke: E21 batch transport alloc gate (budget 0) =="
 echo "== bench smoke: E22 server scale alloc gate (budget 0) =="
 (cd "$BUILD_DIR"/bench && ./bench_e22_server_scale --quick --check-budget 0)
 
+# Self-stabilization gate.  E23 injects every chaos fault class (state
+# corruption, duplication storms, reorder bursts, below-CRC payload
+# corruption, crash/restart) into ba/gbn/sr and requires re-entry into
+# the paper's invariants plus transfer completion, and exactly-once
+# delivery across a real mid-window crash + epoch rejoin.  Budget 0 =
+# converge within the harness's own window (32 timeouts), a count/flag
+# gate that holds under sanitizers.
+echo "== bench smoke: E23 self-stabilization convergence gate =="
+(cd "$BUILD_DIR"/bench && ./bench_e23_stabilization --quick --check-budget 0)
+
 # Sweep determinism: the parallel experiment fan-out must render
 # byte-identical tables at 1, 2, and 8 threads (see scripts/sweep.sh).
 echo "== sweep determinism: E8 at 1/2/8 threads =="

@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <concepts>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "ba/bounded_receiver.hpp"
@@ -49,6 +50,11 @@ public:
         runtime::TimeoutMode::PerMessageTimer;
     static constexpr bool kInvariantCheckable =
         std::same_as<SenderT, Sender> && std::same_as<ReceiverT, Receiver>;
+    // A block ack covers exactly the contiguous run below vr: everything
+    // inside a (correctly computed) range was delivered, so a stale copy
+    // of an earlier range is harmless.  The chaos harness keys its
+    // plausible-ack mutation flavor on this.
+    static constexpr bool kCumulativeAcks = true;
 
     explicit EngineCore(const runtime::EngineConfig& cfg, Options = {})
         : w_(cfg.w),
@@ -200,6 +206,23 @@ public:
 
     runtime::RxOutcome on_data(const proto::Data& msg, SimTime now) {
         runtime::RxOutcome out;
+        // Harden the receive-window precondition (invariant 8/11) into a
+        // rejection: the CRC authenticates bytes, not semantics, so a
+        // corrupted-below-CRC or hostile frame can still carry a sequence
+        // number no conforming sender could have emitted.  The pure
+        // receiver's precondition assert must stay unreachable from wire
+        // input.
+        if constexpr (kBoundedReceiver) {
+            if (msg.seq >= receiver_.domain()) {
+                out.rejected = true;
+                return out;
+            }
+        } else {
+            if (msg.seq >= receiver_.nr() + receiver_.window()) {
+                out.rejected = true;
+                return out;
+            }
+        }
         const auto dup = receiver_.on_data(msg);
         if (dup) {
             out.duplicate = true;
@@ -230,6 +253,92 @@ public:
     }
 
     proto::Ack make_ack() { return receiver_.make_ack(); }
+
+    // ---- chaos hook (runtime::kCoreCorruptible, src/chaos) -----------------
+
+    /// Applies one seeded perturbation from the reachable-but-wrong state
+    /// space: a forgotten ack scoreboard (na regression), a flipped ackd
+    /// bit, a forgotten receiver stash entry, or a regressed nr.  Forward
+    /// corruption (na beyond the acked prefix, rcvd bits for unsent
+    /// seqs, vr regression) is deliberately excluded -- those states are
+    /// unreachable by *any* crash-and-lose-memory fault and would break
+    /// exactly-once delivery rather than test recovery; the crash story
+    /// for truly arbitrary state is the epoch rejoin (PROTOCOL.md §8).
+    /// Unbounded cores only: residue cores recover by epoch, not repair.
+    std::string corrupt_state(Rng& rng)
+        requires kInvariantCheckable
+    {
+        // Start at a random class and take the first whose guard holds,
+        // so mid-run states get variety while a drained endpoint still
+        // yields something when it can.
+        const std::uint64_t first = rng.uniform(4);
+        for (std::uint64_t k = 0; k < 4; ++k) {
+            switch ((first + k) % 4) {
+                case 0: {  // sender forgets its ack scoreboard
+                    const Seq ns = sender_.ns();
+                    const Seq floor = ns >= w_ ? ns - w_ : 0;
+                    const Seq old_na = sender_.na();
+                    if (old_na <= floor) break;
+                    const Seq new_na = floor + rng.uniform(old_na - floor);
+                    sender_.chaos_forget_acks(new_na);
+                    return "sender forgot acks: na " + std::to_string(old_na) + " -> " +
+                           std::to_string(new_na);
+                }
+                case 1: {  // one ackd bit flips off
+                    const Seq na = sender_.na();
+                    const Seq ns = sender_.ns();
+                    Seq count = 0;
+                    for (Seq i = na; i < ns; ++i) count += sender_.ackd(i) ? 1 : 0;
+                    if (count == 0) break;
+                    Seq pick = rng.uniform(count);
+                    for (Seq i = na; i < ns; ++i) {
+                        if (!sender_.ackd(i)) continue;
+                        if (pick == 0) {
+                            sender_.chaos_clear_ackd(i);
+                            return "sender ackd[" + std::to_string(i) + "] flipped off";
+                        }
+                        --pick;
+                    }
+                    break;
+                }
+                case 2: {  // receiver forgets a buffered out-of-order message
+                    // Forgettable only while the sender still holds it
+                    // unacked (a stash entry can be singleton-acked by a
+                    // duplicate arrival): once acked, the sender provably
+                    // never resends, so losing the copy is unrecoverable
+                    // by repair -- that fault belongs to the epoch rejoin.
+                    const auto forgettable = [this](Seq i) {
+                        return receiver_.rcvd(i) && i >= sender_.na() &&
+                               i < sender_.ns() && !sender_.ackd(i);
+                    };
+                    const Seq vr = receiver_.vr();
+                    Seq count = 0;
+                    for (Seq i = vr + 1; i < vr + w_; ++i) count += forgettable(i) ? 1 : 0;
+                    if (count == 0) break;
+                    Seq pick = rng.uniform(count);
+                    for (Seq i = vr + 1; i < vr + w_; ++i) {
+                        if (!forgettable(i)) continue;
+                        if (pick == 0) {
+                            receiver_.chaos_clear_rcvd(i);
+                            return "receiver rcvd[" + std::to_string(i) + "] flipped off";
+                        }
+                        --pick;
+                    }
+                    break;
+                }
+                case 3: {  // receiver's in-order pointer regresses
+                    const Seq old_nr = receiver_.nr();
+                    const Seq floor = old_nr >= w_ ? old_nr - w_ : 0;
+                    if (old_nr <= floor) break;
+                    const Seq new_nr = floor + rng.uniform(old_nr - floor);
+                    receiver_.chaos_regress_nr(new_nr);
+                    return "receiver nr " + std::to_string(old_nr) + " -> " +
+                           std::to_string(new_nr);
+                }
+            }
+        }
+        return "";
+    }
 
     /// Wire residue the message with true sequence number \p true_seq
     /// travels under.  Bounded senders only -- unbounded cores put the

@@ -30,4 +30,14 @@ proto::Ack Receiver::make_ack() {
     return ack;
 }
 
+void Receiver::chaos_clear_rcvd(Seq m) {
+    BACP_ASSERT_MSG(m > vr_ && m < vr_ + w_, "chaos rcvd clear outside (vr, vr+w)");
+    rcvd_.clear(m);
+}
+
+void Receiver::chaos_regress_nr(Seq new_nr) {
+    BACP_ASSERT_MSG(new_nr <= nr_, "chaos nr regression must move backward");
+    nr_ = new_nr;
+}
+
 }  // namespace bacp::ba

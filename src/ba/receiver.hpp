@@ -53,6 +53,17 @@ public:
     /// Action 5: returns the block acknowledgment (nr, vr-1) and slides nr.
     proto::Ack make_ack();
 
+    /// Chaos (src/chaos): forgets a buffered out-of-order message
+    /// (rcvd[m] := false, vr < m < vr + w).  The sender's timers resend
+    /// it; vr itself never regresses, so exactly-once delivery holds
+    /// through the fault.  Never called by the protocol itself.
+    void chaos_clear_rcvd(Seq m);
+
+    /// Chaos: regresses the acknowledged-in-order pointer (nr := new_nr
+    /// <= nr).  The next action 5 re-acknowledges [new_nr, vr) and the
+    /// sender clips the duplicate coverage.
+    void chaos_regress_nr(Seq new_nr);
+
     friend bool operator==(const Receiver&, const Receiver&) = default;
 
     template <typename H>

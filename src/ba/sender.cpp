@@ -59,4 +59,16 @@ proto::Data Sender::resend(Seq i) const {
     return proto::Data{i};
 }
 
+void Sender::chaos_forget_acks(Seq new_na) {
+    BACP_ASSERT_MSG(new_na <= na_, "chaos na regression must move backward");
+    BACP_ASSERT_MSG(ns_ <= new_na + w_, "chaos na regression beyond one window of ns");
+    na_ = new_na;
+    ackd_ = proto::WindowBitmap(w_, new_na);
+}
+
+void Sender::chaos_clear_ackd(Seq m) {
+    BACP_ASSERT_MSG(m >= na_ && m < ns_, "chaos ackd clear outside [na, ns)");
+    ackd_.clear(m);
+}
+
 }  // namespace bacp::ba

@@ -84,6 +84,18 @@ public:
     /// the channel).
     proto::Data resend(Seq i) const;
 
+    /// Chaos (src/chaos): forgets acknowledgment state -- na regresses to
+    /// \p new_na and every ackd bit above it clears, as if a transient
+    /// fault wiped the ack scoreboard.  \p new_na must stay within one
+    /// window of ns so the healing re-acks land inside the rebuilt
+    /// bitmap.  Never called by the protocol itself.
+    void chaos_forget_acks(Seq new_na);
+
+    /// Chaos: forgets a single acknowledgment (ackd[m] := false,
+    /// na <= m < ns).  The peer re-acks it as a duplicate and the
+    /// runtime's SACK clipping re-applies the coverage.
+    void chaos_clear_ackd(Seq m);
+
     friend bool operator==(const Sender&, const Sender&) = default;
 
     /// Feeds the canonical state into a hash accumulator.

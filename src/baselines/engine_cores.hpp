@@ -14,6 +14,7 @@
 /// them.
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "ba/sender.hpp"
@@ -40,6 +41,7 @@ public:
     static constexpr runtime::TimeoutMode kDefaultTimeoutMode =
         runtime::TimeoutMode::SimpleTimer;
     static constexpr bool kInvariantCheckable = false;
+    static constexpr bool kCumulativeAcks = true;  // ack names the delivery floor
 
     explicit AbpCore(const runtime::EngineConfig&, Options = {}) {}
 
@@ -92,6 +94,7 @@ public:
     static constexpr runtime::TimeoutMode kDefaultTimeoutMode =
         runtime::TimeoutMode::SimpleTimer;
     static constexpr bool kInvariantCheckable = false;
+    static constexpr bool kCumulativeAcks = true;
 
     GbnCore(const runtime::EngineConfig& cfg, Options options)
         : sender_(cfg.w, options.domain), receiver_(options.domain) {}
@@ -137,6 +140,34 @@ public:
     /// value (the net runtime's payload stash) consult this.
     Seq wire_seq(Seq m) const { return wire_of(m); }
 
+    /// Chaos hook (runtime::kCoreCorruptible, src/chaos): go-back-N has
+    /// exactly two forgettable facts -- the sender's cumulative na and
+    /// the receiver's ack progress.  Unbounded domain only: regressing
+    /// bounded-mode state feeds the SI aliasing bug instead of testing
+    /// recovery.
+    std::string corrupt_state(Rng& rng) {
+        if (sender_.domain() != 0) return "";
+        const std::uint64_t first = rng.uniform(2);
+        for (std::uint64_t k = 0; k < 2; ++k) {
+            if ((first + k) % 2 == 0) {
+                const Seq ns = sender_.ns();
+                const Seq floor = ns >= sender_.window() ? ns - sender_.window() : 0;
+                const Seq old_na = sender_.na();
+                if (old_na <= floor) continue;
+                const Seq new_na = floor + rng.uniform(old_na - floor);
+                sender_.chaos_regress_na(new_na);
+                return "gbn sender na " + std::to_string(old_na) + " -> " +
+                       std::to_string(new_na);
+            }
+            const Seq acked = receiver_.acked();
+            if (acked == 0) continue;
+            const Seq new_acked = rng.uniform(acked);
+            receiver_.chaos_regress_acked(new_acked);
+            return "gbn receiver re-acks from " + std::to_string(new_acked);
+        }
+        return "";
+    }
+
 private:
     Seq wire_of(Seq m) const { return sender_.domain() == 0 ? m : m % sender_.domain(); }
 
@@ -162,6 +193,10 @@ public:
     static constexpr runtime::TimeoutMode kDefaultTimeoutMode =
         runtime::TimeoutMode::PerMessageTimer;
     static constexpr bool kInvariantCheckable = false;
+    // Selective acks name individual arrivals: sequence numbers *below*
+    // an acked one may still be undelivered holes, so a stale-shifted
+    // ack is a false ack here, not a harmless duplicate.
+    static constexpr bool kCumulativeAcks = false;
 
     explicit SrCore(const runtime::EngineConfig& cfg, Options = {})
         : sender_(cfg.w), receiver_(cfg.w) {}
@@ -180,6 +215,13 @@ public:
 
     runtime::RxOutcome on_data(const proto::Data& msg, SimTime) {
         runtime::RxOutcome out;
+        // Same hardening as ba::EngineCore: a CRC-valid frame can still
+        // carry an impossible sequence number; reject it instead of
+        // tripping the pure receiver's window precondition.
+        if (msg.seq >= receiver_.nr() + receiver_.window()) {
+            out.rejected = true;
+            return out;
+        }
         const bool was_new = msg.seq >= receiver_.nr() && !receiver_.rcvd(msg.seq);
         // Selective repeat: one distinct acknowledgment per data message.
         out.immediate_ack = receiver_.on_data(msg);
@@ -198,6 +240,52 @@ public:
     bool can_resend(Seq true_seq) const { return sender_.can_resend(true_seq); }
     proto::Data resend(Seq true_seq, SimTime) { return sender_.resend(true_seq); }
     void simple_timeout_set(std::vector<Seq>& out) const { out.push_back(sender_.na()); }
+
+    /// Chaos hook (runtime::kCoreCorruptible, src/chaos): the sender is
+    /// ba::Sender, so its scoreboard faults apply verbatim.  Receiver
+    /// memory is *not* corruptible here: SR acks every arrival
+    /// individually and immediately, so any buffered message may already
+    /// be promised by an ack in flight -- once that ack lands, the
+    /// sender provably never resends and a forgotten copy wedges the
+    /// session.  (BA's receiver stash above the contiguous block is
+    /// unacked until the block closes, which is what makes the same
+    /// fault repairable there -- see ba::EngineCore::corrupt_state.)
+    std::string corrupt_state(Rng& rng) {
+        const std::uint64_t first = rng.uniform(2);
+        for (std::uint64_t k = 0; k < 2; ++k) {
+            switch ((first + k) % 2) {
+                case 0: {  // sender forgets its ack scoreboard
+                    const Seq ns = sender_.ns();
+                    const Seq w = sender_.window();
+                    const Seq floor = ns >= w ? ns - w : 0;
+                    const Seq old_na = sender_.na();
+                    if (old_na <= floor) break;
+                    const Seq new_na = floor + rng.uniform(old_na - floor);
+                    sender_.chaos_forget_acks(new_na);
+                    return "sr sender forgot acks: na " + std::to_string(old_na) + " -> " +
+                           std::to_string(new_na);
+                }
+                case 1: {  // one ackd bit flips off
+                    Seq count = 0;
+                    for (Seq i = sender_.na(); i < sender_.ns(); ++i) {
+                        count += sender_.ackd(i) ? 1 : 0;
+                    }
+                    if (count == 0) break;
+                    Seq pick = rng.uniform(count);
+                    for (Seq i = sender_.na(); i < sender_.ns(); ++i) {
+                        if (!sender_.ackd(i)) continue;
+                        if (pick == 0) {
+                            sender_.chaos_clear_ackd(i);
+                            return "sr sender ackd[" + std::to_string(i) + "] flipped off";
+                        }
+                        --pick;
+                    }
+                    break;
+                }
+            }
+        }
+        return "";
+    }
 
 private:
     ba::Sender sender_;
@@ -228,6 +316,7 @@ public:
     static constexpr runtime::TimeoutMode kDefaultTimeoutMode =
         runtime::TimeoutMode::SimpleTimer;
     static constexpr bool kInvariantCheckable = false;
+    static constexpr bool kCumulativeAcks = true;
 
     TcCore(const runtime::EngineConfig& cfg, Options options)
         : sender_(cfg.w, options.domain,

@@ -33,6 +33,12 @@ void GbnSender::on_ack(const proto::Ack& ack) {
     }
 }
 
+void GbnSender::chaos_regress_na(Seq new_na) {
+    BACP_ASSERT_MSG(new_na <= na_, "chaos na regression must move backward");
+    BACP_ASSERT_MSG(ns_ <= new_na + w_, "chaos na regression beyond one window of ns");
+    na_ = new_na;
+}
+
 std::vector<proto::Data> GbnSender::retransmit_window() const {
     std::vector<proto::Data> out;
     out.reserve(static_cast<std::size_t>(outstanding()));
@@ -50,6 +56,11 @@ void GbnReceiver::on_data(const proto::Data& msg) {
     // Discarded.  If it looks like an old accepted message, schedule a
     // re-ack so a sender stuck on a lost ack can recover.
     if (nr_ > 0) reack_ = true;
+}
+
+void GbnReceiver::chaos_regress_acked(Seq new_acked) {
+    BACP_ASSERT_MSG(new_acked <= acked_, "chaos acked regression must move backward");
+    acked_ = new_acked;
 }
 
 proto::Ack GbnReceiver::make_ack() {

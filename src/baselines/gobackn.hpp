@@ -51,6 +51,12 @@ public:
     /// Go-back-N retransmission: every outstanding message, in order.
     std::vector<proto::Data> retransmit_window() const;
 
+    /// Chaos (src/chaos): regresses na as if the cumulative-ack state
+    /// was lost; the receiver's next cumulative ack restores it in one
+    /// round trip, at the cost of retransmitting [new_na, ns).  Never
+    /// called by the protocol itself.
+    void chaos_regress_na(Seq new_na);
+
     friend bool operator==(const GbnSender&, const GbnSender&) = default;
 
     template <typename H>
@@ -75,6 +81,8 @@ public:
     Seq domain() const { return domain_; }
     /// Next expected in-order sequence number (true, unbounded count).
     Seq nr() const { return nr_; }
+    /// nr value covered by the last ack sent (chaos + tests).
+    Seq acked() const { return acked_; }
 
     /// Accepts the message when it is the expected one; anything else is
     /// discarded (go-back-N receivers keep no out-of-order buffer).
@@ -86,6 +94,12 @@ public:
     bool can_ack() const { return (nr_ > acked_ || reack_) && nr_ > 0; }
     /// Emits the cumulative acknowledgment for nr - 1.
     proto::Ack make_ack();
+
+    /// Chaos (src/chaos): forgets acknowledgment progress (acked :=
+    /// new_acked <= acked); the receiver re-acknowledges cumulatively on
+    /// its next ack action.  nr itself never regresses (it is the
+    /// delivery count).
+    void chaos_regress_acked(Seq new_acked);
 
     friend bool operator==(const GbnReceiver&, const GbnReceiver&) = default;
 

@@ -16,6 +16,11 @@ proto::Ack SrReceiver::on_data(const proto::Data& msg) {
     return proto::Ack{v, v};
 }
 
+void SrReceiver::chaos_clear_rcvd(Seq m) {
+    BACP_ASSERT_MSG(m > nr_ && m < nr_ + w_, "chaos rcvd clear outside (nr, nr+w)");
+    rcvd_.clear(m);
+}
+
 void SrReceiver::deliver() {
     BACP_ASSERT_MSG(can_deliver(), "deliver while next message missing");
     ++nr_;

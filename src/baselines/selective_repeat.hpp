@@ -40,6 +40,12 @@ public:
     bool can_deliver() const { return rcvd_.test(nr_); }
     void deliver();
 
+    /// Chaos (src/chaos): forgets a buffered out-of-order message
+    /// (rcvd[m] := false, nr < m < nr + w); the sender's per-message
+    /// timer resends it.  nr never regresses (it is the delivery
+    /// pointer, and regressing it would re-deliver).
+    void chaos_clear_rcvd(Seq m);
+
     friend bool operator==(const SrReceiver&, const SrReceiver&) = default;
 
     template <typename H>

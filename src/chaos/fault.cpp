@@ -1,0 +1,52 @@
+#include "chaos/fault.hpp"
+
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace bacp::chaos {
+
+const char* to_string(FaultClass fault) {
+    switch (fault) {
+        case FaultClass::StateCorruption: return "state-corruption";
+        case FaultClass::DuplicationStorm: return "duplication-storm";
+        case FaultClass::ReorderBurst: return "reorder-burst";
+        case FaultClass::PayloadCorruption: return "payload-corruption";
+        case FaultClass::CrashRestart: return "crash-restart";
+    }
+    BACP_ASSERT_MSG(false, "unknown FaultClass");
+    return "?";
+}
+
+double ConvergenceReport::goodput_cost() const {
+    const SimTime base = baseline.elapsed();
+    if (base == 0) return 0.0;
+    const SimTime got = faulted.elapsed();
+    if (got <= base) return 0.0;
+    return static_cast<double>(got - base) / static_cast<double>(base);
+}
+
+std::uint64_t ConvergenceReport::extra_retx() const {
+    const std::uint64_t retx = faulted.data_retx + faulted.fast_retx;
+    const std::uint64_t base = baseline.data_retx + baseline.fast_retx;
+    return retx > base ? retx - base : 0;
+}
+
+std::string ConvergenceReport::summary() const {
+    std::string out = to_string(fault);
+    out += ": ";
+    if (injections == 0) {
+        out += "nothing to inject";
+        return out;
+    }
+    out += std::to_string(injections) + " injection(s), ";
+    out += converged ? "converged" : (completed ? "over budget" : "DID NOT COMPLETE");
+    out += " (" + std::string(exact ? "exact" : "approx") + ")";
+    out += ", worst " + std::to_string(worst_convergence / kMillisecond) + "ms";
+    out += ", dirty " + std::to_string(dirty_probes) + "/" + std::to_string(probes);
+    out += ", goodput cost " + std::to_string(goodput_cost());
+    out += ", extra retx " + std::to_string(extra_retx());
+    return out;
+}
+
+}  // namespace bacp::chaos

@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file fault.hpp
+/// Fault vocabulary and convergence records for the self-stabilization
+/// subsystem (DESIGN.md §13, experiment E23).
+///
+/// A protocol is self-stabilizing when, after an arbitrary transient
+/// fault, it re-enters its invariant (the paper's assertions 6-8) and
+/// resumes correct service without outside intervention.  This module
+/// names the fault classes the harness can inject, the knobs of one
+/// injection campaign, and the report a faulted run produces: did the
+/// system converge, how long did it take, and what did the detour cost
+/// in goodput relative to a fault-free twin of the same run.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/metrics.hpp"
+
+namespace bacp::chaos {
+
+/// The injectable transient-fault classes.
+enum class FaultClass : std::uint8_t {
+    /// Endpoint state corruption: a seeded "forget" fault on the protocol
+    /// scoreboards (regressed na/nr, cleared ackd/rcvd bits) plus a
+    /// scrambled timer set -- the state a crash-and-lose-soft-state
+    /// restart leaves behind.
+    StateCorruption,
+    /// Unbounded duplication: in-flight copies of data and ack messages
+    /// are re-injected into the channel, violating the one-copy property
+    /// (assertion 8) outright until the extras drain.
+    DuplicationStorm,
+    /// Non-FIFO reorder burst: in-flight messages exchange delivery
+    /// slots, defeating even a FIFO-clamped channel's ordering.
+    ReorderBurst,
+    /// In-flight corruption below the checksum: sequence numbers and ack
+    /// ranges are rewritten while the message is in transit -- both the
+    /// silently-plausible flavor (lands inside a window) and the
+    /// impossible flavor (rejected, counted as a decode error).
+    PayloadCorruption,
+    /// Crash and restart.  In the DES: every forgettable fact forgotten
+    /// at once with timers restarted from scratch.  Over the net
+    /// runtime: a real mid-window process death and an epoch-bump rejoin
+    /// (crash_restart.hpp, PROTOCOL.md §8).
+    CrashRestart,
+};
+
+inline constexpr FaultClass kAllFaultClasses[] = {
+    FaultClass::StateCorruption,   FaultClass::DuplicationStorm,
+    FaultClass::ReorderBurst,      FaultClass::PayloadCorruption,
+    FaultClass::CrashRestart,
+};
+
+const char* to_string(FaultClass fault);
+
+/// One injection campaign: when, how often, how hard.
+struct FaultSpec {
+    FaultClass fault = FaultClass::StateCorruption;
+    /// First injection instant; 0 derives one quarter of the fault-free
+    /// run, which lands mid-transfer at any load.
+    SimTime inject_at = 0;
+    /// Gap between rounds; 0 derives one retransmission timeout.
+    SimTime inject_every = 0;
+    std::size_t rounds = 1;
+    /// Per-round amplitude: duplicate copies, swap pairs, mutated
+    /// messages, or corruption draws (CrashRestart).
+    std::size_t intensity = 8;
+    /// Re-convergence budget per injection; 0 derives 32 timeouts.
+    SimTime budget = 0;
+    /// Chaos draw stream, decoupled from the run's own seed so the same
+    /// workload can face different faults.
+    std::uint64_t seed = 7;
+};
+
+/// What one faulted run did, against its fault-free twin.
+struct ConvergenceReport {
+    FaultClass fault = FaultClass::StateCorruption;
+    /// true: convergence was established by exact invariant probes
+    /// (assertions 6-8 over endpoint + channel snapshots).  false: by
+    /// the approximate criterion -- delivery progress resumed and the
+    /// transfer completed (cores outside the checker's vocabulary).
+    bool exact = false;
+    std::size_t injections = 0;      // rounds that found something to break
+    bool completed = false;          // transfer finished within the deadline
+    bool budget_exceeded = false;    // some injection outlived its budget
+    bool converged = false;          // injected, all within budget, completed
+    SimTime worst_convergence = 0;   // slowest injection -> first clean probe
+    std::size_t probes = 0;
+    std::size_t dirty_probes = 0;    // probes that saw a violated invariant
+    std::vector<std::string> faults; // what was corrupted, per injection
+    sim::Metrics baseline;           // fault-free twin (same config + seed)
+    sim::Metrics faulted;
+
+    /// Fractional completion-time slowdown vs the fault-free twin -- the
+    /// goodput the fault cost (0 = free recovery).
+    double goodput_cost() const;
+
+    /// Retransmissions the recovery spent beyond the baseline's.
+    std::uint64_t extra_retx() const;
+
+    /// One-line human-readable report.
+    std::string summary() const;
+};
+
+}  // namespace bacp::chaos

@@ -1,0 +1,327 @@
+#pragma once
+
+/// \file harness.hpp
+/// The DES fault-injection and convergence-verification harness.
+///
+/// run_faulted<Core>() runs the same transfer twice: once fault-free
+/// (the goodput baseline) and once with a FaultSpec campaign injected
+/// mid-flight.  The faulted run is driven in slices -- Engine::start()
+/// plus simulator().run_until() -- so the harness can stop virtual time
+/// at the injection instant, corrupt endpoint state / the in-flight
+/// message sets through the chaos hooks, and then probe for
+/// re-convergence at sub-timeout resolution.
+///
+/// Convergence has two notions, chosen by the core's capabilities:
+///   - exact (ba cores): verify::check_invariants over live endpoint +
+///     channel snapshots; converged = first probe with assertions 6-8
+///     clean again (Relaxed channel conjuncts under the per-message
+///     timer, exactly as the always-on DES checker applies them);
+///   - approximate (go-back-N, selective repeat): in-order delivery
+///     progress resumed after the fault, and the transfer completed.
+/// Either way the transfer must finish within the run's deadline --
+/// "converged but wedged" does not count.
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "chaos/fault.hpp"
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "protocol/message.hpp"
+#include "runtime/endpoint_core.hpp"
+#include "runtime/endpoint_driver.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/session_util.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "verify/invariants.hpp"
+
+namespace bacp::chaos {
+
+namespace detail {
+
+/// In-flight data corruption below the checksum.  Half the draws are
+/// silently plausible -- a nudge of at most one window, which lands on a
+/// duplicate or a hole the protocol must absorb as if the channel had
+/// lied convincingly; the other half are impossible sequence numbers
+/// that the hardened on_data paths must reject (RxOutcome::rejected,
+/// counted with the decode errors) instead of tripping a receiver
+/// precondition.
+inline void mutate_data_seq(proto::Message& m, Rng& rng, Seq w) {
+    auto* data = std::get_if<proto::Data>(&m);
+    if (data == nullptr) return;
+    if (rng.chance(0.5)) {
+        const Seq delta = 1 + rng.uniform(w);
+        data->seq = (rng.chance(0.5) && data->seq >= delta) ? data->seq - delta
+                                                            : data->seq + delta;
+    } else {
+        data->seq += w + 1 + rng.uniform(std::uint64_t{1} << 16);
+    }
+}
+
+/// In-flight ack corruption: the block slides to a *stale* range (a lie
+/// the receiver could have told earlier, absorbed as a duplicate ack)
+/// or to an impossible range far above anything sent, which the
+/// sender-side clip (runtime/ack_clip.hpp) reduces to nothing -- loss.
+/// A flip that falsely acknowledges an undelivered in-window message is
+/// deliberately outside the model: no window protocol can recover from
+/// it (the sender would never retransmit, and assertions 6-8 hold all
+/// the way to the wedge), which is exactly why integrity on that axis
+/// is the CRC's job, not the protocol's -- see net::ImpairSpec::corrupt
+/// for the layer that exercises the checksum story.  The stale flavor
+/// is itself only a lie-the-receiver-could-have-told under *cumulative*
+/// acks (everything below hi was delivered when the receiver spoke);
+/// under selective acks a down-shifted range can land on an undelivered
+/// hole -- a false ack again -- so non-cumulative cores only get the
+/// impossible flavor.  NAKs are advisory and left alone.
+inline void mutate_ack_range(proto::Message& m, Rng& rng, Seq w, bool cumulative) {
+    auto* ack = std::get_if<proto::Ack>(&m);
+    if (ack == nullptr) return;
+    if (cumulative && rng.chance(0.5)) {
+        // Stale: both endpoints slide down, so hi' <= hi stays within
+        // what the receiver had already delivered when it spoke.
+        const Seq delta = std::min<Seq>(1 + rng.uniform(2 * w), ack->lo);
+        ack->lo -= delta;
+        ack->hi -= delta;
+    } else {
+        // Impossible: far beyond any sent sequence number; clips empty.
+        const Seq jump = (Seq{1} << 32) + rng.uniform(std::uint64_t{1} << 16);
+        ack->lo += jump;
+        ack->hi += jump;
+    }
+}
+
+/// Applies one round of \p spec to the live engine.  Returns whether the
+/// round found anything to break (an idle channel or a drained endpoint
+/// can make a round a no-op; such rounds do not count as injections).
+template <runtime::EndpointCore Core>
+bool inject(runtime::Engine<Core>& engine, Rng& rng, const FaultSpec& spec, Seq w,
+            ConvergenceReport& report) {
+    switch (spec.fault) {
+        case FaultClass::StateCorruption: {
+            if constexpr (runtime::kCoreCorruptible<Core>) {
+                const std::string what = engine.driver().chaos_corrupt_state(rng);
+                if (what.empty()) return false;
+                report.faults.push_back(what);
+                engine.driver().chaos_scramble_timers(rng);
+                return true;
+            } else {
+                return false;  // core exposes no corruptible state
+            }
+        }
+        case FaultClass::CrashRestart: {
+            // DES analogue of a crash: every forgettable fact forgotten
+            // at once, timers restarted from scratch.  The wire-level
+            // epoch rejoin over a real net::Server is crash_restart.hpp.
+            if constexpr (runtime::kCoreCorruptible<Core>) {
+                std::size_t hits = 0;
+                for (std::size_t k = 0; k < spec.intensity; ++k) {
+                    const std::string what = engine.driver().chaos_corrupt_state(rng);
+                    if (what.empty()) break;
+                    report.faults.push_back(what);
+                    ++hits;
+                }
+                engine.driver().chaos_scramble_timers(rng);
+                return hits > 0;
+            } else {
+                return false;
+            }
+        }
+        case FaultClass::DuplicationStorm: {
+            std::size_t n =
+                engine.data_channel().chaos_duplicate_in_flight(rng, spec.intensity);
+            n += engine.ack_channel().chaos_duplicate_in_flight(
+                rng, std::max<std::size_t>(1, spec.intensity / 2));
+            if (n == 0) return false;
+            report.faults.push_back("duplicated " + std::to_string(n) +
+                                    " in-flight copies");
+            return true;
+        }
+        case FaultClass::ReorderBurst: {
+            std::size_t n = engine.data_channel().chaos_swap_in_flight(rng, spec.intensity);
+            n += engine.ack_channel().chaos_swap_in_flight(
+                rng, std::max<std::size_t>(1, spec.intensity / 2));
+            if (n == 0) return false;
+            report.faults.push_back("swapped " + std::to_string(n) + " in-flight pairs");
+            return true;
+        }
+        case FaultClass::PayloadCorruption: {
+            std::size_t n = 0;
+            for (std::size_t k = 0; k < spec.intensity; ++k) {
+                // Mostly data, some acks: both directions must survive.
+                if (k % 4 == 3) {
+                    n += engine.ack_channel().chaos_mutate_in_flight(
+                             rng, [&rng, w](proto::Message& m) {
+                                 mutate_ack_range(m, rng, w, Core::kCumulativeAcks);
+                             })
+                             ? 1
+                             : 0;
+                } else {
+                    n += engine.data_channel().chaos_mutate_in_flight(
+                             rng, [&rng, w](proto::Message& m) {
+                                 mutate_data_seq(m, rng, w);
+                             })
+                             ? 1
+                             : 0;
+                }
+            }
+            if (n == 0) return false;
+            report.faults.push_back("corrupted " + std::to_string(n) +
+                                    " in-flight messages");
+            return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace detail
+
+/// Runs \p cfg under the \p spec fault campaign and reports convergence
+/// against a fault-free twin.  The config's channel tracking is forced
+/// on (the chaos hooks and the invariant probes both need the in-flight
+/// multisets); the always-on fatal checker stays off -- this harness
+/// *expects* transient violations and measures how long they last.
+template <runtime::EndpointCore Core>
+ConvergenceReport run_faulted(runtime::EngineConfig cfg,
+                              typename Core::Options options = {},
+                              const FaultSpec& spec = {}) {
+    cfg.data_link.track_contents = true;
+    cfg.ack_link.track_contents = true;
+    cfg.check_invariants = false;
+
+    ConvergenceReport report;
+    report.fault = spec.fault;
+    report.exact = Core::kInvariantCheckable;
+
+    {
+        runtime::Engine<Core> twin(cfg, options);
+        report.baseline = twin.run();
+        BACP_ASSERT_MSG(twin.completed(), "chaos baseline run did not complete");
+    }
+
+    const SimTime timeout = runtime::effective_timeout(cfg);
+    const SimTime inject_at = spec.inject_at > 0
+                                  ? spec.inject_at
+                                  : std::max<SimTime>(report.baseline.elapsed() / 4, 1);
+    const SimTime inject_every = spec.inject_every > 0 ? spec.inject_every : timeout;
+    const SimTime budget = spec.budget > 0 ? spec.budget : 32 * timeout;
+    const SimTime probe_every = std::max<SimTime>(timeout / 8, 1);
+
+    runtime::Engine<Core> engine(cfg, std::move(options));
+    sim::Simulator& sim = engine.simulator();
+    Rng rng(runtime::mix_seed(spec.seed, 0xc4a05));
+    const auto strictness = [&engine] {
+        if constexpr (Core::kInvariantCheckable) {
+            // Mirror the always-on checker: the realistic per-message
+            // timer legitimately relaxes assertion 8's channel conjuncts.
+            return engine.timeout_mode() == runtime::TimeoutMode::PerMessageTimer
+                       ? verify::ChannelStrictness::Relaxed
+                       : verify::ChannelStrictness::Strict;
+        } else {
+            return verify::ChannelStrictness::Strict;  // unused
+        }
+    }();
+
+    const bool channel_fault = spec.fault == FaultClass::DuplicationStorm ||
+                               spec.fault == FaultClass::ReorderBurst ||
+                               spec.fault == FaultClass::PayloadCorruption;
+
+    engine.start();
+    for (std::size_t round = 0; round < spec.rounds; ++round) {
+        sim.run_until(inject_at + static_cast<SimTime>(round) * inject_every,
+                      cfg.max_events);
+        if (engine.completed()) break;
+        if (channel_fault) {
+            // Data spends only its transit delay in flight -- a small
+            // slice of the timer period -- so an arbitrary instant
+            // usually finds the data channel empty.  Creep forward in
+            // sub-timeout steps until a data message is actually in
+            // transit (bounded: one timeout always produces traffic).
+            // The creep cursor advances on its own grid: run_until leaves
+            // now() at the last processed event, so stepping relative to
+            // now() would freeze when a step lands between events.
+            const SimTime step = std::max<SimTime>(timeout / 64, 1);
+            SimTime horizon = sim.now();
+            const SimTime creep_end = horizon + 2 * timeout;
+            while (engine.data_channel().in_flight() == 0 && !engine.completed() &&
+                   horizon < creep_end) {
+                horizon += step;
+                sim.run_until(horizon, cfg.max_events);
+            }
+            if (engine.completed()) break;
+        }
+        // A protocol in a tidy instant can have nothing to break (na
+        // hugging ns - w with no interior ackd bits, an empty channel
+        // slot draw): retry on a sub-timeout grid until the fault finds
+        // purchase, bounded so an uncorruptible stretch just skips the
+        // round rather than stalling the campaign.
+        bool injected = detail::inject(engine, rng, spec, cfg.w, report);
+        if (!injected) {
+            const SimTime step = std::max<SimTime>(timeout / 64, 1);
+            SimTime horizon = sim.now();
+            const SimTime creep_end = horizon + 2 * timeout;
+            while (!injected && !engine.completed() && horizon < creep_end) {
+                horizon += step;
+                sim.run_until(horizon, cfg.max_events);
+                injected = detail::inject(engine, rng, spec, cfg.w, report);
+            }
+        }
+        if (!injected) continue;
+        const SimTime injected_at = sim.now();
+        ++report.injections;
+
+        // Probe until the convergence criterion holds or the budget runs
+        // out.  The first probe fires at the injection instant itself:
+        // some faults (reorder, which permutes delivery times but not
+        // the in-flight multiset) never violate the invariant at all and
+        // legitimately converge in zero time.
+        const Seq delivered_before = engine.delivered();
+        const auto clean = [&]() -> bool {
+            if constexpr (Core::kInvariantCheckable) {
+                return engine.probe_invariants(strictness).ok();
+            } else {
+                return engine.delivered() > delivered_before || engine.completed();
+            }
+        };
+        SimTime next_probe = injected_at;
+        bool converged_round = false;
+        for (;;) {
+            ++report.probes;
+            if (clean()) {
+                converged_round = true;
+                break;
+            }
+            ++report.dirty_probes;
+            if (sim.now() - injected_at >= budget) break;
+            // A dead event queue cannot converge and cannot advance the
+            // clock either -- without this the budget check never trips.
+            if (sim.pending_events() == 0) break;
+            next_probe += probe_every;
+            sim.run_until(next_probe, cfg.max_events);
+        }
+        if (converged_round) {
+            report.worst_convergence =
+                std::max(report.worst_convergence, sim.now() - injected_at);
+        } else {
+            report.budget_exceeded = true;
+        }
+    }
+
+    sim.run_until(cfg.deadline, cfg.max_events);
+    report.completed = engine.completed();
+    report.converged =
+        report.injections > 0 && !report.budget_exceeded && report.completed;
+
+    sim::Metrics& m = engine.driver().metrics_mut();
+    if (m.end_time == 0) m.end_time = sim.now();
+    m.sr_dropped = engine.data_channel().stats().dropped;
+    m.rs_dropped = engine.ack_channel().stats().dropped;
+    report.faulted = m;
+    return report;
+}
+
+}  // namespace bacp::chaos

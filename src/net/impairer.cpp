@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "runtime/session_util.hpp"
+#include "wire/crc32.hpp"
 
 namespace bacp::net {
 
@@ -19,7 +21,11 @@ ImpairSpec ImpairSpec::lossy(double p) {
 }
 
 Impairer::Impairer(Transport& inner, TimerWheel& wheel, ImpairSpec spec, std::uint64_t seed)
-    : inner_(&inner), wheel_(&wheel), spec_(std::move(spec)), rng_(seed) {
+    : inner_(&inner),
+      wheel_(&wheel),
+      spec_(std::move(spec)),
+      rng_(seed),
+      rng_corrupt_(runtime::mix_seed(seed, 0xc0)) {
     BACP_ASSERT_MSG(spec_.delay_lo >= 0 && spec_.delay_hi >= spec_.delay_lo,
                     "bad impairment delay range");
     std::sort(spec_.scripted_drops.begin(), spec_.scripted_drops.end());
@@ -38,6 +44,7 @@ std::size_t Impairer::send_batch(std::span<const std::span<const std::uint8_t>> 
     // datagrams; push them out first to keep rough FIFO order.
     flush();
     immediate_.clear();
+    corrupt_scratch_.clear();
     for (const std::span<const std::uint8_t> datagram : datagrams) {
         const std::uint64_t index = stats_.offered++;
         // A scripted drop consumes no RNG draw (the DES ScriptedLoss
@@ -79,6 +86,7 @@ std::size_t Impairer::send_batch(std::span<const std::span<const std::uint8_t>> 
     // amortization survives the impairment boundary.
     forward_spans(immediate_);
     immediate_.clear();
+    corrupt_scratch_.clear();
     return datagrams.size();
 }
 
@@ -98,7 +106,35 @@ void Impairer::forward_spans(std::span<const std::span<const std::uint8_t>> span
     stats_.send_drops += spans.size() - accepted;
 }
 
+std::span<const std::uint8_t> Impairer::maybe_corrupt(std::span<const std::uint8_t> copy) {
+    // One chance draw per forwarded copy, from the corrupt stream only:
+    // the knob never touches rng_, so enabling it leaves an existing
+    // seed's loss/dup/reorder sequence bit-for-bit intact.
+    if (spec_.corrupt <= 0.0 || copy.size() <= 4) return copy;
+    if (!rng_corrupt_.chance(spec_.corrupt)) return copy;
+    ++stats_.corrupted;
+    std::vector<std::uint8_t> owned(copy.begin(), copy.end());
+    const std::size_t body = owned.size() - 4;  // bytes under the CRC trailer
+    owned[rng_corrupt_.uniform(body)] ^=
+        static_cast<std::uint8_t>(1 + rng_corrupt_.uniform(255));
+    if (rng_corrupt_.chance(0.5)) {
+        // Re-seal: recompute the trailer over the flipped body so the
+        // codec accepts the frame and the damage travels upward, where
+        // only semantic checks can catch it.  Unsealed flips keep the
+        // stale trailer and die at the codec as BadCrc.
+        const std::uint32_t crc = wire::crc32c({owned.data(), body});
+        owned[body + 0] = static_cast<std::uint8_t>(crc);
+        owned[body + 1] = static_cast<std::uint8_t>(crc >> 8);
+        owned[body + 2] = static_cast<std::uint8_t>(crc >> 16);
+        owned[body + 3] = static_cast<std::uint8_t>(crc >> 24);
+        ++stats_.corrupted_sealed;
+    }
+    corrupt_scratch_.push_back(std::move(owned));
+    return corrupt_scratch_.back();
+}
+
 void Impairer::dispatch(std::span<const std::uint8_t> copy, SimTime delay) {
+    copy = maybe_corrupt(copy);
     if (delay <= 0) {
         // Caller memory stays valid until send_batch returns, which is
         // when immediate_ is forwarded and cleared.

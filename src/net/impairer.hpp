@@ -47,6 +47,16 @@ struct ImpairSpec {
     SimTime delay_lo = 0;    // uniform base delay range applied to
     SimTime delay_hi = 0;    //   every copy that is not dropped
     SimTime reorder_extra = 2 * kMillisecond;  // overtaking window
+    /// P(flip one random byte of a copy in flight).  Corruption draws
+    /// come from a *separately seeded* stream (mix_seed(seed, 0xc0)),
+    /// drawn once per forwarded copy, so turning this knob never
+    /// perturbs an existing seed's loss/dup/reorder sequence.  Half the
+    /// flips (a further draw on the corrupt stream) land below the CRC
+    /// and the trailer is re-sealed -- the frame decodes cleanly and the
+    /// corruption must be rejected or absorbed *semantically*; the other
+    /// half leave the trailer stale, so the codec rejects the frame
+    /// outright (BadCrc: ordinary loss to the protocol).
+    double corrupt = 0.0;
     /// Deterministic loss script: drops exactly the datagrams with these
     /// 0-based offered indices, consuming no RNG draw -- the same
     /// semantics as the DES LinkSpec::Loss::Scripted, so a scenario (or
@@ -104,14 +114,24 @@ private:
     /// Stages one copy for immediate forwarding or parks it on the wheel.
     void dispatch(std::span<const std::uint8_t> copy, SimTime delay);
 
+    /// Applies the corrupt knob to one copy: returns the original span,
+    /// or a mutated owned copy (valid until the end of the send_batch
+    /// call that produced it).
+    std::span<const std::uint8_t> maybe_corrupt(std::span<const std::uint8_t> copy);
+
     Transport* inner_;
     TimerWheel* wheel_;
     ImpairSpec spec_;
     Rng rng_;
+    Rng rng_corrupt_;  // decoupled stream: see ImpairSpec::corrupt
     std::unordered_set<TimerId> live_timers_;
     /// Copies going out in the current send_batch call (zero-delay) --
     /// spans into caller memory, valid for the duration of the call.
     std::vector<std::span<const std::uint8_t>> immediate_;
+    /// Owned storage for corrupted copies; lives as long as immediate_
+    /// (a vector-of-vectors relocation moves the inner buffers' handles,
+    /// not their bytes, so spans into them survive growth).
+    std::vector<std::vector<std::uint8_t>> corrupt_scratch_;
     /// Matured delayed copies awaiting the next flush().
     SendBatch staged_;
 };

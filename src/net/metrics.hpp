@@ -47,6 +47,12 @@ struct Metrics {
     std::uint64_t duplicated = 0;  // extra copies created
     std::uint64_t reordered = 0;   // copies given the reorder delay
     std::uint64_t delayed = 0;     // copies parked on the timer wheel
+    std::uint64_t corrupted = 0;   // copies with a byte flipped in flight
+    /// The subset of `corrupted` whose CRC trailer was re-sealed after
+    /// the flip: the codec accepts the frame and the corruption must be
+    /// caught (or absorbed) semantically.  The remainder keep the stale
+    /// trailer and are rejected as BadCrc -- ordinary loss.
+    std::uint64_t corrupted_sealed = 0;
 
     double datagrams_per_send_syscall() const {
         return syscalls_sent > 0
@@ -72,6 +78,8 @@ struct Metrics {
         duplicated += o.duplicated;
         reordered += o.reordered;
         delayed += o.delayed;
+        corrupted += o.corrupted;
+        corrupted_sealed += o.corrupted_sealed;
         return *this;
     }
 
@@ -79,7 +87,7 @@ struct Metrics {
         const char* name;
         std::uint64_t value;
     };
-    static constexpr std::size_t kFieldCount = 12;
+    static constexpr std::size_t kFieldCount = 14;
 
     /// Stable name->value view of every counter, in declaration order.
     /// The single source of truth for serialization: to_json() and
@@ -96,7 +104,9 @@ struct Metrics {
                  {"dropped", dropped},
                  {"duplicated", duplicated},
                  {"reordered", reordered},
-                 {"delayed", delayed}}};
+                 {"delayed", delayed},
+                 {"corrupted", corrupted},
+                 {"corrupted_sealed", corrupted_sealed}}};
     }
 
     /// Flat JSON object of every counter.

@@ -45,6 +45,15 @@ public:
         bits_[slot(m)] = true;
     }
 
+    /// Clears position \p m (must lie inside the window).  Normal
+    /// protocol operation never unsets a bit -- this exists for the
+    /// chaos corruptors, which model a peer forgetting state it had
+    /// already recorded (Dolev-style transient memory faults).
+    void clear(Seq m) {
+        BACP_ASSERT_MSG(m >= base_ && m < base_ + width(), "clear outside window");
+        bits_[slot(m)] = false;
+    }
+
     /// Slides the base forward to \p new_base.  Every position the base
     /// moves past must already be set (they become implicitly true).
     void advance_to(Seq new_base) {

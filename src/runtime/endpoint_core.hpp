@@ -15,6 +15,9 @@
 #include <optional>
 #include <vector>
 
+#include <string>
+
+#include "common/rng.hpp"
 #include "common/types.hpp"
 #include "protocol/message.hpp"
 #include "runtime/timeout_mode.hpp"
@@ -84,6 +87,12 @@ struct RxOutcome {
     std::optional<proto::Ack> immediate_ack;
     /// Fast-retransmit request the receiver wants on the ack channel.
     std::optional<proto::Nak> nak;
+    /// Arrival was syntactically valid but semantically impossible (e.g.
+    /// a sequence number beyond nr + w that no conforming sender could
+    /// have emitted).  A CRC-valid-but-corrupted frame lands here; the
+    /// runtime counts it as a decode error and otherwise treats it as
+    /// loss instead of crashing on a receiver precondition.
+    bool rejected = false;
 };
 
 // clang-format off
@@ -140,6 +149,19 @@ inline constexpr bool kCoreHandlesNak =
     requires(C& c, const proto::Nak& n, const TxView& tx) {
         { c.on_nak(n, tx) } -> std::same_as<std::optional<Seq>>;
     };
+
+/// Chaos hook (src/chaos): the core can apply one seeded perturbation
+/// drawn from its reachable-but-wrong state space -- forgotten acks, a
+/// regressed cumulative pointer, cleared cache bits.  Returns a short
+/// human-readable description of what was corrupted, or "" when the
+/// current state offers nothing to corrupt.  Implementations must keep
+/// the state *internally* consistent (no broken representation
+/// invariants) while making it *protocol*-inconsistent with the peer;
+/// self-stabilization is measured from exactly such configurations.
+template <typename C>
+inline constexpr bool kCoreCorruptible = requires(C& c, Rng& rng) {
+    { c.corrupt_state(rng) } -> std::convertible_to<std::string>;
+};
 
 /// Last-transmission log: the bookkeeping every runtime keeps so cores
 /// can evaluate time-based rules.  matured() is the realistic

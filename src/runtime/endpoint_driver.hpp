@@ -353,6 +353,15 @@ public:
     void handle_data(const proto::Data& msg) {
         ++metrics_.data_received;
         const RxOutcome out = core_.on_data(msg, env_.now());
+        if (out.rejected) {
+            // Semantically impossible arrival (e.g. seq beyond nr + w): a
+            // CRC-valid-but-corrupted frame, or a peer speaking a
+            // different configuration.  Counted with the decode errors
+            // and otherwise treated as loss -- the timers recover.
+            ++metrics_.decode_errors;
+            env_.after_step();
+            return;
+        }
         if (out.dup_ack) {
             ++metrics_.duplicates;
             ++metrics_.dup_acks;
@@ -418,6 +427,57 @@ public:
         // at idle), so progress is guaranteed.
         BACP_ASSERT_MSG(any, "oracle timeout found no eligible candidate");
         return true;
+    }
+
+    // ---- chaos hooks (src/chaos fault injection) ---------------------------
+
+    /// Applies one seeded corruption to the core's protocol state and
+    /// then re-arms the timer discipline over the corrupted state -- a
+    /// power-cycled peer restarts its timers too, so recovery must not
+    /// depend on timers armed before the fault.  Returns the core's
+    /// description of what was corrupted ("" = state offered nothing).
+    std::string chaos_corrupt_state(Rng& rng)
+        requires kCoreCorruptible<Core>
+    {
+        const std::string what = core_.corrupt_state(rng);
+        if (!what.empty()) chaos_rearm();
+        return what;
+    }
+
+    /// Scrambles the timer sets without touching protocol state: every
+    /// live per-message expiry is cancelled and re-armed at a uniformly
+    /// random fraction of the timeout, and the single/quiescence timers
+    /// are similarly perturbed.  Early fires re-arm instead of resending
+    /// (the one-copy maturity rule still gates the wire), so scrambling
+    /// costs spurious wakeups, never a silently dropped retransmission.
+    /// Returns the number of timers perturbed.
+    std::size_t chaos_scramble_timers(Rng& rng) {
+        std::size_t scrambled = 0;
+        if (mode_ == TimeoutMode::PerMessageTimer) {
+            seq_scratch_.clear();
+            core_.resend_candidates(seq_scratch_);
+            for (const Seq true_seq : seq_scratch_) {
+                const TimerId prev = pm_timers_.get(true_seq);
+                if (prev != kInvalidTimer) env_.timer_service().cancel(prev);
+                const SimTime delay = chaos_delay(rng);
+                const TimerId id =
+                    env_.timer_service().schedule_after(delay, [this, true_seq] {
+                        pm_timers_.clear(true_seq);
+                        chaos_premature_fire(true_seq);
+                    });
+                pm_timers_.set(true_seq, id);
+                ++scrambled;
+            }
+        }
+        if (simple_timer_.armed()) {
+            simple_timer_.restart(chaos_delay(rng));
+            ++scrambled;
+        }
+        if (quiescence_timer_.armed()) {
+            quiescence_timer_.restart(chaos_delay(rng));
+            ++scrambled;
+        }
+        return scrambled;
     }
 
     // ---- observers ---------------------------------------------------------
@@ -583,6 +643,58 @@ private:
             transmit(core_.resend(true_seq, env_.now()), true_seq, /*retx=*/true);
         }
         gate_waiters_ = still_blocked;
+    }
+
+    // ---- chaos internals ---------------------------------------------------
+
+    SimTime chaos_delay(Rng& rng) {
+        return static_cast<SimTime>(rng.uniform(static_cast<std::uint64_t>(timeout_) + 1));
+    }
+
+    /// Post-corruption timer discipline: every resend candidate the
+    /// corrupted state now exposes gets an expiry (forgotten acks revive
+    /// seqs whose timers were reclaimed on acknowledgment), and a
+    /// receiver with a regressed nr gets its re-ack flushed on the usual
+    /// policy delay instead of waiting for the next arrival.
+    void chaos_rearm() {
+        if (mode_ == TimeoutMode::PerMessageTimer) {
+            seq_scratch_.clear();
+            core_.resend_candidates(seq_scratch_);
+            for (const Seq true_seq : seq_scratch_) {
+                if (pm_timers_.get(true_seq) == kInvalidTimer) {
+                    schedule_per_message(true_seq);
+                }
+            }
+        } else if (mode_ == TimeoutMode::SimpleTimer) {
+            if (core_.has_outstanding() && !simple_timer_.armed()) {
+                simple_timer_.restart(timeout_);
+            }
+        } else {
+            if constexpr (!Env::kHasOracle) touch_quiescence();
+        }
+        if (core_.ack_pending() > 0 && !ack_flush_timer_.armed()) {
+            ack_flush_timer_.restart(cfg_.ack_policy.flush_delay);
+        }
+        // The ack-latency sweep must not stall on seqs the corruption
+        // re-opened: the cursor only ever moves forward, so clamp it past
+        // nothing -- but the sweep condition consults can_resend, which a
+        // revived seq now satisfies.  Re-sweeping later acks would
+        // double-count latency samples, so leave the cursor where it is;
+        // revived seqs simply record no second latency sample.
+        pump_send();
+    }
+
+    /// Fire path for scrambled timers: an early fire (the copy has not
+    /// matured) re-arms for the normal expiry instead of falling through
+    /// per_message_fire's maturity check, which would silently drop the
+    /// seq's timer forever.
+    void chaos_premature_fire(Seq true_seq) {
+        if (!core_.can_resend(true_seq)) return;
+        if (!matured(true_seq)) {
+            schedule_per_message(true_seq);
+            return;
+        }
+        per_message_fire(true_seq);
     }
 
     // ---- quiescence approximation (environments without an oracle) ---------

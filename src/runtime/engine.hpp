@@ -123,6 +123,13 @@ public:
         return m;
     }
 
+    /// Opens the faucet without running the simulator: callers advance
+    /// virtual time themselves via simulator().run_until().  The chaos
+    /// harness (src/chaos) drives runs in slices this way, injecting
+    /// faults and probing invariants between slices; run() is the
+    /// one-shot equivalent.
+    void start() { driver_.start(); }
+
     /// All messages delivered in order and fully acknowledged.
     bool completed() const { return driver_.completed(); }
 
@@ -134,6 +141,28 @@ public:
     const sim::TraceRecorder& trace() const { return trace_; }
     sim::Simulator& simulator() { return sim_; }
     const std::vector<std::string>& invariant_violations() const { return violations_; }
+
+    /// The embedded protocol driver -- the chaos corruptors reach its
+    /// state/timer fault hooks through here.
+    EndpointDriver<Core, Engine>& driver() { return driver_; }
+
+    /// The two simulated channels, for in-flight fault injection
+    /// (duplication storms, reorder bursts, payload mutation).
+    sim::SimChannel& data_channel() { return data_ch_; }
+    sim::SimChannel& ack_channel() { return ack_ch_; }
+
+    /// Non-fatal invariant probe (the chaos convergence checker):
+    /// evaluates assertions 6-8 against the current endpoint + channel
+    /// state and returns the report instead of asserting.  Requires
+    /// set-tracked channels (LinkSpec::track_contents, or
+    /// cfg.check_invariants).
+    verify::InvariantReport probe_invariants(verify::ChannelStrictness strictness) const
+        requires(Core::kInvariantCheckable)
+    {
+        return verify::check_invariants(driver_.core().sender_core(),
+                                        driver_.core().receiver_core(), data_ch_.snapshot(),
+                                        ack_ch_.snapshot(), strictness);
+    }
 
     /// Attach (or detach, with nullptr) a protocol-decision recorder --
     /// the cross-runtime parity test compares this stream against the

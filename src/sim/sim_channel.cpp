@@ -25,6 +25,37 @@ channel::TransitView SimChannel::snapshot() const {
     return channel::TransitView(contents_);
 }
 
+std::size_t SimChannel::chaos_duplicate_in_flight(Rng& rng, std::size_t copies) {
+    BACP_ASSERT_MSG(track_contents_, "chaos duplication requires track_contents");
+    if (contents_.empty()) return 0;
+    std::size_t injected = 0;
+    for (std::size_t k = 0; k < copies; ++k) {
+        const auto i = static_cast<std::size_t>(rng.uniform(contents_.size()));
+        // Copy first: send() may grow contents_ and invalidate references.
+        const proto::Message copy = contents_[i];
+        send(copy);
+        ++injected;
+    }
+    return injected;
+}
+
+std::size_t SimChannel::chaos_swap_in_flight(Rng& rng, std::size_t swaps) {
+    BACP_ASSERT_MSG(track_contents_, "chaos reorder requires track_contents");
+    if (contents_.size() < 2) return 0;
+    std::size_t done = 0;
+    for (std::size_t k = 0; k < swaps; ++k) {
+        const auto a = static_cast<std::size_t>(rng.uniform(contents_.size()));
+        const auto b = static_cast<std::size_t>(rng.uniform(contents_.size()));
+        if (a == b) continue;
+        // Exchange the messages, not the events: each delivery event
+        // fires at its original time but now carries the other message.
+        std::swap(slots_[contents_slot_[a]].msg, slots_[contents_slot_[b]].msg);
+        std::swap(contents_[a], contents_[b]);
+        ++done;
+    }
+    return done;
+}
+
 std::uint32_t SimChannel::alloc_slot(const proto::Message& msg) {
     std::uint32_t slot;
     if (free_head_ != kNoSlot) {

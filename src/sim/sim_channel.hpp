@@ -23,6 +23,7 @@
 #include "channel/delay_model.hpp"
 #include "channel/loss_model.hpp"
 #include "channel/transit_view.hpp"
+#include "common/assert.hpp"
 #include "common/inplace_function.hpp"
 #include "common/rng.hpp"
 #include "protocol/message.hpp"
@@ -87,6 +88,37 @@ public:
     /// valid until the next send or delivery).
     /// Precondition: constructed with track_contents = true.
     channel::TransitView snapshot() const;
+
+    // ---- chaos hooks (src/chaos; tracked channels only) --------------------
+
+    /// Duplication storm: re-sends copies of randomly chosen in-flight
+    /// messages through the normal loss/delay pipeline, breaking the
+    /// one-copy property (assertion 8) outright.  Returns the number of
+    /// copies injected (each still subject to the loss model).
+    std::size_t chaos_duplicate_in_flight(Rng& rng, std::size_t copies);
+
+    /// Non-FIFO reorder burst: exchanges the payloads of random
+    /// in-flight pairs.  Delivery events capture only slot indices, so
+    /// swapping the messages swaps their delivery times -- an exact
+    /// reorder that works even in fifo mode, below the FIFO clamp.
+    /// Returns the number of pairs swapped.
+    std::size_t chaos_swap_in_flight(Rng& rng, std::size_t swaps);
+
+    /// In-flight corruption: applies \p mutate to one random in-transit
+    /// message, in place -- the DES analogue of flipping bytes below the
+    /// CRC (the channel carries structured messages, so "below the
+    /// checksum" means a mutated-but-well-formed message).  The chaos
+    /// layer supplies protocol-aware mutators; the channel stays
+    /// generic.  Returns false when nothing is in flight.
+    template <typename F>
+    bool chaos_mutate_in_flight(Rng& rng, F&& mutate) {
+        BACP_ASSERT_MSG(track_contents_, "chaos mutation requires track_contents");
+        if (contents_.empty()) return false;
+        const auto i = static_cast<std::size_t>(rng.uniform(contents_.size()));
+        mutate(contents_[i]);
+        slots_[contents_slot_[i]].msg = contents_[i];
+        return true;
+    }
 
 private:
     /// In-flight messages live in a slot pool: the delivery event captures

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/net_session.hpp"
+#include "wire/crc32.hpp"
 
 namespace bacp::net {
 namespace {
@@ -447,6 +448,139 @@ TEST(Impairer, BatchAndSingleDatagramPathsAreSeedEquivalent) {
     EXPECT_EQ(batch_stats.reordered, single_stats.reordered);
     EXPECT_EQ(batch_stats.delayed, single_stats.delayed);
     EXPECT_GT(batch_stats.dropped, 0u);  // the impairments actually ran
+}
+
+TEST(Impairer, CorruptKnobDoesNotPerturbImpairmentStream) {
+    // Corruption draws come from a separately seeded stream, so turning
+    // the knob on must not move a single loss/dup/reorder decision of an
+    // existing seed.
+    auto run = [](double corrupt) {
+        ManualClock clock;
+        TimerWheel wheel(clock);
+        auto [a, b] = InprocTransport::make_pair();
+        ImpairSpec spec;
+        spec.loss = 0.25;
+        spec.dup = 0.25;
+        spec.reorder = 0.25;
+        spec.delay_lo = 1 * kMillisecond;
+        spec.delay_hi = 3 * kMillisecond;
+        spec.corrupt = corrupt;
+        Impairer impaired(*a, wheel, spec, /*seed=*/1234);
+        for (std::size_t i = 0; i < 128; ++i) impaired.send(numbered_datagram(i, 16));
+        while (const auto deadline = wheel.next_deadline()) {
+            clock.advance_to(*deadline);
+            wheel.fire_due();
+            impaired.flush();
+        }
+        while (recv_copy(*b)) {
+        }
+        return impaired.impair_stats();
+    };
+    const Metrics off = run(0.0);
+    const Metrics on = run(0.5);
+    EXPECT_EQ(off.dropped, on.dropped);
+    EXPECT_EQ(off.duplicated, on.duplicated);
+    EXPECT_EQ(off.reordered, on.reordered);
+    EXPECT_EQ(off.delayed, on.delayed);
+    EXPECT_EQ(off.corrupted, 0u);
+    EXPECT_GT(on.corrupted, 0u);
+    // Both flavors showed up: some flips re-sealed, some left stale.
+    EXPECT_GT(on.corrupted_sealed, 0u);
+    EXPECT_LT(on.corrupted_sealed, on.corrupted);
+}
+
+TEST(Impairer, CorruptBatchAndSinglePathsAreSeedEquivalent) {
+    // The per-copy corrupt draw happens in dispatch order, so batch and
+    // single-shot sends corrupt the same copies the same way.
+    auto run = [](bool batched) {
+        ManualClock clock;
+        TimerWheel wheel(clock);
+        auto [a, b] = InprocTransport::make_pair();
+        ImpairSpec spec;
+        spec.loss = 0.2;
+        spec.dup = 0.2;
+        spec.delay_lo = 1 * kMillisecond;
+        spec.delay_hi = 2 * kMillisecond;
+        spec.corrupt = 0.5;
+        Impairer impaired(*a, wheel, spec, /*seed=*/77);
+        std::vector<std::vector<std::uint8_t>> datagrams;
+        std::vector<std::span<const std::uint8_t>> spans;
+        for (std::size_t i = 0; i < 64; ++i) {
+            datagrams.push_back(numbered_datagram(i, 12));
+            spans.emplace_back(datagrams.back());
+        }
+        if (batched) {
+            impaired.send_batch(spans);
+        } else {
+            for (const auto& s : spans) impaired.send(s);
+        }
+        while (const auto deadline = wheel.next_deadline()) {
+            clock.advance_to(*deadline);
+            wheel.fire_due();
+            impaired.flush();
+        }
+        std::vector<std::vector<std::uint8_t>> received;
+        while (auto datagram = recv_copy(*b)) received.push_back(*datagram);
+        return std::make_pair(received, impaired.impair_stats());
+    };
+    const auto [batch_rx, batch_stats] = run(true);
+    const auto [single_rx, single_stats] = run(false);
+    EXPECT_EQ(batch_rx, single_rx);  // byte-identical, flips included
+    EXPECT_EQ(batch_stats.corrupted, single_stats.corrupted);
+    EXPECT_EQ(batch_stats.corrupted_sealed, single_stats.corrupted_sealed);
+    EXPECT_GT(batch_stats.corrupted, 0u);
+}
+
+TEST(Impairer, CorruptSplitsSealedAndStaleCrcFlavors) {
+    // Feed CRC-framed datagrams (body + crc32c trailer, the codec's
+    // layout) through corrupt=1.0: every copy gets a byte flipped in the
+    // body, and the sealed half must still carry a *valid* trailer --
+    // those are the frames the codec cannot catch.
+    ManualClock clock;
+    TimerWheel wheel(clock);
+    auto [a, b] = InprocTransport::make_pair();
+    ImpairSpec spec;
+    spec.corrupt = 1.0;
+    Impairer impaired(*a, wheel, spec, /*seed=*/5);
+    constexpr std::size_t kN = 64;
+    std::vector<std::vector<std::uint8_t>> sent;
+    for (std::size_t i = 0; i < kN; ++i) {
+        std::vector<std::uint8_t> frame(12, static_cast<std::uint8_t>(i));
+        const std::uint32_t crc = wire::crc32c({frame.data(), frame.size()});
+        for (int shift = 0; shift < 32; shift += 8) {
+            frame.push_back(static_cast<std::uint8_t>(crc >> shift));
+        }
+        sent.push_back(frame);
+        impaired.send(frame);
+    }
+    const Metrics stats = impaired.impair_stats();
+    EXPECT_EQ(stats.corrupted, kN);
+    EXPECT_GT(stats.corrupted_sealed, 0u);
+    EXPECT_LT(stats.corrupted_sealed, kN);
+    std::size_t received = 0;
+    std::size_t crc_valid = 0;
+    while (auto datagram = recv_copy(*b)) {
+        const std::size_t body = datagram->size() - 4;
+        const std::size_t i = received++;
+        ASSERT_EQ(datagram->size(), sent[i].size());
+        // The flip always lands below the trailer and never XORs zero.
+        EXPECT_NE(to_vec(std::span(datagram->data(), body)),
+                  to_vec(std::span(sent[i].data(), body)));
+        const std::uint32_t crc = wire::crc32c({datagram->data(), body});
+        std::uint32_t trailer = 0;
+        for (int shift = 0; shift < 32; shift += 8) {
+            trailer |= static_cast<std::uint32_t>((*datagram)[body + shift / 8]) << shift;
+        }
+        if (crc == trailer) ++crc_valid;
+    }
+    EXPECT_EQ(received, kN);
+    // Exactly the re-sealed copies still verify; the rest are BadCrc.
+    EXPECT_EQ(crc_valid, stats.corrupted_sealed);
+
+    // Frames too small to carry a trailer pass through untouched.
+    impaired.send(bytes({1, 2, 3}));
+    EXPECT_EQ(*recv_copy(*b), bytes({1, 2, 3}));
+    EXPECT_EQ(impaired.impair_stats().corrupted, kN);
 }
 
 TEST(Impairer, TransparentByDefault) {

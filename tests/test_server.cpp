@@ -25,7 +25,9 @@
 #include "net/payload_stash.hpp"
 #include "net/server.hpp"
 #include "net/transport.hpp"
+#include "wire/buffer.hpp"
 #include "wire/codec.hpp"
+#include "wire/crc32.hpp"
 
 namespace bacp::net {
 namespace {
@@ -212,6 +214,59 @@ TEST(Server, EpochBumpResetsSessionAndStaleEpochFramesDrop) {
     EXPECT_EQ(server.sessions()[0].delivered, 5u);
 }
 
+TEST(Server, MidWindowCrashThenEpochRejoinDeliversExactlyOnce) {
+    ManualClock clock;
+    InprocHub hub;
+    Server<Core> server(server_config(), {}, clock, {&hub.server()});
+
+    // First incarnation: conn 9, epoch 1, intends 24 messages but dies
+    // mid-window -- un-acked frames still in flight, all soft state gone.
+    Client a = make_client(hub, clock, client_config(24, wire::Conn{9, 1}));
+    while (server.protocol_metrics().delivered < 12) {
+        for (;;) {
+            const std::size_t work = server.poll() + a.sender->poll();
+            if (work == 0 || server.protocol_metrics().delivered >= 12) break;
+        }
+        if (server.protocol_metrics().delivered >= 12) break;
+        std::optional<SimTime> next;
+        const auto consider = [&next](std::optional<SimTime> d) {
+            if (d && (!next || *d < *next)) next = d;
+        };
+        for (std::size_t i = 0; i < server.shard_count(); ++i) {
+            consider(server.shard_wheel(i).next_deadline());
+        }
+        consider(a.sender->wheel().next_deadline());
+        ASSERT_TRUE(next.has_value());
+        clock.advance_to(*next);
+    }
+    ASSERT_FALSE(a.sender->done());  // the cut landed mid-transfer
+
+    // The crash keeps the transport (same source address), so whatever
+    // the dead incarnation still had in the fabric stays there for the
+    // server's stale-epoch filter.
+    a.sender.reset();
+    a.wheel = std::make_unique<TimerWheel>(clock);
+    a.sender = std::make_unique<NetSender<Core>>(client_config(16, wire::Conn{9, 2}),
+                                                 typename Core::Options{}, *a.wheel,
+                                                 *a.transport);
+    a.sender->start();
+    drive(clock, server, {&a});
+    EXPECT_TRUE(a.sender->done());
+
+    // Rejoin was an in-place reset, not a second session, and the second
+    // incarnation's transfer is exactly-once: its own 16, no duplicates
+    // carried over, byte-verified payloads.
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.sessions_opened, 1u);
+    EXPECT_EQ(stats.sessions_reset, 1u);
+    ASSERT_EQ(server.session_count(), 1u);
+    const SessionView view = server.sessions()[0];
+    EXPECT_EQ(view.conn, 9u);
+    EXPECT_EQ(view.epoch, 2u);
+    EXPECT_EQ(view.delivered, 16u);
+    EXPECT_EQ(view.payload_mismatches, 0u);
+}
+
 TEST(Server, IdleEvictionCancelsAllSessionTimers) {
     ServerConfig cfg = server_config();
     cfg.idle_timeout = 100 * kMillisecond;
@@ -291,6 +346,55 @@ TEST(Server, CountsDecodeAndCrcErrorsAtDemux) {
     EXPECT_EQ(stats.decode_errors, 2u);
     EXPECT_EQ(stats.crc_errors, 1u);
     EXPECT_EQ(server.session_count(), 0u);  // neither datagram opened a session
+}
+
+TEST(Server, MalformedConnTagVarintsCountAsDecodeErrorsNotSessions) {
+    ManualClock clock;
+    InprocHub hub;
+    Server<Core> server(server_config(), {}, clock, {&hub.server()});
+    const std::unique_ptr<Transport> t = hub.make_client();
+
+    // Hand-assembled v2 frames whose trailing CRC is *valid*, so they
+    // die in the conn-tag varint parser, not at the integrity check: a
+    // truncated tag, an overlong (11-byte) varint, and the reserved
+    // untagged sentinel as a conn id.  Each is a decode error; none may
+    // open a session.
+    const auto v2_frame = [](std::span<const std::uint8_t> tag) {
+        std::vector<std::uint8_t> out;
+        wire::BufWriter writer(out);
+        writer.put_u8(wire::kMagic);
+        writer.put_u8(wire::kVersion2);
+        writer.put_u8(static_cast<std::uint8_t>(wire::FrameType::Data));
+        writer.put_u8(wire::kFlagNone);
+        writer.put_bytes(tag);
+        writer.put_varint(0);  // seq
+        writer.put_varint(0);  // empty payload
+        const std::uint32_t crc =
+            wire::crc32c(std::span<const std::uint8_t>(out.data(), out.size()));
+        writer.put_u32(crc);
+        return out;
+    };
+    const std::uint8_t truncated[] = {0x91};
+    std::vector<std::uint8_t> overlong(11, 0x80);
+    overlong.push_back(0x01);
+    overlong.push_back(0x00);
+    std::vector<std::uint8_t> sentinel;
+    {
+        wire::BufWriter w(sentinel);
+        w.put_varint(wire::kNoConnId);
+        w.put_varint(1);
+    }
+    for (const auto& frame : {v2_frame(truncated), v2_frame(overlong), v2_frame(sentinel)}) {
+        const std::span<const std::uint8_t> batch[] = {std::span<const std::uint8_t>{frame}};
+        t->send_batch(batch);
+    }
+
+    server.poll();
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.decode_errors, 3u);
+    EXPECT_EQ(stats.crc_errors, 0u);  // the CRCs were fine; the tags were not
+    EXPECT_EQ(server.session_count(), 0u);
+    EXPECT_EQ(stats.sessions_opened, 0u);
 }
 
 TEST(Server, ToJsonCarriesServerTransportAndSessionViews) {
