@@ -26,6 +26,10 @@
 //                      datagram exceed X at any multi-session point
 //   --sessions N       override the largest session count
 //   --shards N         server shard (socket + wheel) count, default 4
+//   --offload MODE     transport offload tier for the server shards and
+//                      the clients: auto (default; GSO sends so the
+//                      server's GRO coalesces), mmsg, gso, uring --
+//                      unavailable tiers fall back per resolve_offload
 
 #include <atomic>
 #include <chrono>
@@ -44,6 +48,7 @@
 #include "json_out.hpp"
 #include "net/clock.hpp"
 #include "net/net_engine.hpp"
+#include "net/offload.hpp"
 #include "net/server.hpp"
 #include "net/transport.hpp"
 #include "workload/report.hpp"
@@ -200,13 +205,14 @@ struct Client {
 
 /// One full point: \p sessions concurrent transfers of \p count messages
 /// each, all sharing the server's \p shards reuseport sockets.
-ScaleResult run_point(std::size_t sessions, Seq count, std::size_t shards) {
+ScaleResult run_point(std::size_t sessions, Seq count, std::size_t shards,
+                      OffloadMode offload) {
     ScaleResult out;
     out.sessions = sessions;
     out.count_per_session = count;
 
     SteadyClock clock;
-    auto [shard_sockets, port] = make_reuseport_shards(0, shards);
+    auto [shard_sockets, port] = make_reuseport_shards(0, shards, offload);
     std::vector<AddressedTransport*> shard_ptrs;
     for (const auto& s : shard_sockets) shard_ptrs.push_back(s.get());
 
@@ -235,6 +241,7 @@ ScaleResult run_point(std::size_t sessions, Seq count, std::size_t shards) {
         cfg.conn = wire::Conn{static_cast<Seq>(i + 1), 1};
         Client c;
         c.transport = std::make_unique<UdpTransport>();
+        c.transport->enable_offload(offload);
         c.transport->connect_peer(port);
         c.wheel = std::make_unique<TimerWheel>(clock);
         c.sender = std::make_unique<NetSender<Core>>(cfg, typename Core::Options{},
@@ -364,6 +371,7 @@ int main(int argc, char** argv) {
     double budget = -1;
     std::size_t shards = 4;
     std::size_t max_sessions = 0;
+    OffloadMode offload = OffloadMode::Auto;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             quick = true;
@@ -373,10 +381,17 @@ int main(int argc, char** argv) {
             max_sessions = static_cast<std::size_t>(std::atoll(argv[++i]));
         } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
             shards = static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else if (std::strcmp(argv[i], "--offload") == 0 && i + 1 < argc) {
+            const auto parsed = parse_offload_mode(argv[++i]);
+            if (!parsed) {
+                std::fprintf(stderr, "unknown --offload mode '%s'\n", argv[i]);
+                return 2;
+            }
+            offload = *parsed;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--quick] [--check-budget X] [--sessions N] "
-                         "[--shards N]\n",
+                         "[--shards N] [--offload auto|mmsg|gso|uring]\n",
                          argv[0]);
             return 2;
         }
@@ -385,10 +400,13 @@ int main(int argc, char** argv) {
     // Equal offered load across the sweep: sessions x count = total.
     const std::uint64_t total_msgs = quick ? 6400 : 40000;
 
+    const OffloadMode tier = resolve_offload(offload);
     std::printf("E22: server scale, %zu shard(s), %llu x %zu B total per point\n"
                 "     (real loopback UDP; every client a full NetSender, every\n"
-                "      session demuxed off the shared reuseport sockets)\n\n",
-                shards, static_cast<unsigned long long>(total_msgs), kPayload);
+                "      session demuxed off the shared reuseport sockets;\n"
+                "      offload %s -> tier %s)\n\n",
+                shards, static_cast<unsigned long long>(total_msgs), kPayload,
+                offload_mode_name(offload), offload_mode_name(tier));
 
     std::vector<std::size_t> sweep{1};
     if (max_sessions >= 100) sweep.push_back(max_sessions / 10);
@@ -405,7 +423,7 @@ int main(int argc, char** argv) {
 
     for (const std::size_t sessions : sweep) {
         const Seq count = static_cast<Seq>(total_msgs / sessions);
-        const ScaleResult r = run_point(sessions, count, shards);
+        const ScaleResult r = run_point(sessions, count, shards, offload);
         incomplete = incomplete || !r.completed;
         if (sessions == 1) single_goodput = r.goodput_mbps();
         if (sessions == max_sessions) {
@@ -453,6 +471,8 @@ int main(int argc, char** argv) {
     out.meta("total_messages", bench::Json::num(total_msgs))
         .meta("payload_bytes", bench::Json::num(static_cast<std::uint64_t>(kPayload)))
         .meta("shards", bench::Json::num(static_cast<std::uint64_t>(shards)))
+        .meta("offload_requested", bench::Json::str(offload_mode_name(offload)))
+        .meta("offload_tier", bench::Json::str(offload_mode_name(tier)))
         .meta("quick", bench::Json::boolean(quick))
         .meta("goodput_retained_at_scale", bench::Json::num(retained))
         .meta("points", std::move(points))

@@ -47,6 +47,7 @@
 
 #include "common/types.hpp"
 #include "net/net_session.hpp"
+#include "net/offload.hpp"
 #include "net/server.hpp"
 #include "runtime/session_util.hpp"
 
@@ -76,6 +77,9 @@ struct Params {
     std::uint16_t port = 0;
     std::uint16_t peer = 0;
     std::size_t shards = 2;  // --serve: reuseport sockets sharing the port
+    // Kernel offload tier for every UDP socket this process opens; mmsg
+    // keeps the portable baseline, auto climbs to what the kernel has.
+    net::OffloadMode offload = net::OffloadMode::Mmsg;
 };
 
 net::NetConfig make_cfg(const Params& p) {
@@ -121,14 +125,16 @@ void progress(const char* who, SimTime elapsed, const sim::Metrics& m, Seq deliv
 /// when every message was sent and acknowledged before the deadline.
 template <typename Core>
 bool sender_loop(const net::NetConfig& cfg, net::Clock& clock, net::TimerWheel& wheel,
-                 net::Transport& transport, int fd, bool live) {
+                 net::Transport& transport, bool live) {
     net::NetSender<Core> sender(cfg, {}, wheel, transport);
     const SimTime start = clock.now();
     SimTime last_print = start;
     sender.start();
     while (!sender.done() && clock.now() - start <= cfg.deadline) {
         if (sender.poll() == 0) {
-            const int fds[] = {fd};
+            // Re-read per wait: the uring tier swaps in its ring fd once
+            // the receive path initializes.
+            const int fds[] = {transport.fd()};
             net::wait_readable(fds, kMillisecond);
         }
         if (live && clock.now() - last_print >= kSecond) {
@@ -149,7 +155,7 @@ bool sender_loop(const net::NetConfig& cfg, net::Clock& clock, net::TimerWheel& 
 /// verified against the pattern.
 template <typename Core>
 bool receiver_loop(const net::NetConfig& cfg, net::Clock& clock, net::TimerWheel& wheel,
-                   net::Transport& transport, int fd, bool live,
+                   net::Transport& transport, bool live,
                    const std::atomic<bool>* stop = nullptr) {
     net::NetReceiver<Core> receiver(cfg, {}, wheel, transport);
     // After the last delivery the receiver must stay up to re-ack
@@ -168,7 +174,7 @@ bool receiver_loop(const net::NetConfig& cfg, net::Clock& clock, net::TimerWheel
                 clock.now() - last_activity >= linger) {
                 break;
             }
-            const int fds[] = {fd};
+            const int fds[] = {transport.fd()};
             net::wait_readable(fds, kMillisecond);
         }
         if (live && clock.now() - last_print >= kSecond) {
@@ -196,17 +202,17 @@ int run_threads(const Params& p) {
     net::TimerWheel wheel_s(clock);
     net::TimerWheel wheel_r(clock);
     auto [udp_s, udp_r] = net::UdpTransport::make_pair();
+    udp_s->enable_offload(p.offload);
+    udp_r->enable_offload(p.offload);
     net::Impairer imp_s(*udp_s, wheel_s, cfg.impair, runtime::mix_seed(cfg.seed, 0xd1));
     net::Impairer imp_r(*udp_r, wheel_r, cfg.impair, runtime::mix_seed(cfg.seed, 0xac));
 
     std::atomic<bool> stop{false};
     bool rx_ok = false;
     std::thread rx([&] {
-        rx_ok = receiver_loop<Core>(cfg, clock, wheel_r, imp_r, udp_r->fd(),
-                                    /*live=*/false, &stop);
+        rx_ok = receiver_loop<Core>(cfg, clock, wheel_r, imp_r, /*live=*/false, &stop);
     });
-    const bool tx_ok =
-        sender_loop<Core>(cfg, clock, wheel_s, imp_s, udp_s->fd(), /*live=*/true);
+    const bool tx_ok = sender_loop<Core>(cfg, clock, wheel_s, imp_s, /*live=*/true);
     stop.store(true, std::memory_order_relaxed);
     rx.join();
     return tx_ok && rx_ok ? 0 : 1;
@@ -236,15 +242,16 @@ int run_endpoint(const Params& p) {
     net::SteadyClock clock;
     net::TimerWheel wheel(clock);
     net::UdpTransport udp(p.port);
+    udp.enable_offload(p.offload);
     udp.connect_peer(p.peer);
     net::Impairer imp(udp, wheel, cfg.impair,
                       runtime::mix_seed(cfg.seed, sending ? 0xd1 : 0xac));
-    std::printf("%s endpoint on 127.0.0.1:%u -> peer :%u (%.1f MB, %.0f%% loss)\n",
+    std::printf("%s endpoint on 127.0.0.1:%u -> peer :%u (%.1f MB, %.0f%% loss, "
+                "offload %s)\n",
                 sending ? "sender" : "receiver", udp.local_port(), p.peer, p.mb,
-                p.loss * 100);
-    const bool ok = sending
-                        ? sender_loop<Core>(cfg, clock, wheel, imp, udp.fd(), true)
-                        : receiver_loop<Core>(cfg, clock, wheel, imp, udp.fd(), true);
+                p.loss * 100, net::offload_mode_name(udp.offload_tier()));
+    const bool ok = sending ? sender_loop<Core>(cfg, clock, wheel, imp, true)
+                            : receiver_loop<Core>(cfg, clock, wheel, imp, true);
     return ok ? 0 : 1;
 }
 
@@ -262,24 +269,27 @@ int run_serve(const Params& p) {
     scfg.session.impair = {};
 
     net::SteadyClock clock;
-    auto [shard_sockets, port] = net::make_reuseport_shards(p.port, p.shards);
+    auto [shard_sockets, port] = net::make_reuseport_shards(p.port, p.shards, p.offload);
     std::vector<net::AddressedTransport*> shards;
-    std::vector<int> fds;
-    for (const auto& s : shard_sockets) {
-        shards.push_back(s.get());
-        fds.push_back(s->fd());
-    }
+    for (const auto& s : shard_sockets) shards.push_back(s.get());
     net::Server<Core> server(scfg, {}, clock, shards);
-    std::printf("serving on 127.0.0.1:%u, %zu shard(s), protocol %s -- expecting "
-                "%llu x %zu B per session, %.0f%% ack-side loss\n",
+    std::printf("serving on 127.0.0.1:%u, %zu shard(s), protocol %s, offload %s -- "
+                "expecting %llu x %zu B per session, %.0f%% ack-side loss\n",
                 port, p.shards, p.proto.c_str(),
+                net::offload_mode_name(shard_sockets.front()->offload_tier()),
                 (unsigned long long)scfg.session.count, kChunk, p.loss * 100);
 
     std::signal(SIGINT, on_sigint);
     const SimTime start = clock.now();
     SimTime last_print = start;
+    std::vector<int> fds(shards.size());
     while (g_interrupted == 0 && clock.now() - start <= p.deadline) {
-        if (server.poll() == 0) net::wait_readable(fds, kMillisecond);
+        if (server.poll() == 0) {
+            // Refreshed per wait: a uring shard's pollable fd changes
+            // once its ring comes up.
+            for (std::size_t i = 0; i < shards.size(); ++i) fds[i] = shards[i]->fd();
+            net::wait_readable(fds, kMillisecond);
+        }
         if (clock.now() - last_print >= kSecond) {
             last_print = clock.now();
             const net::ServerStats& st = server.stats();
@@ -333,6 +343,7 @@ int usage(const char* argv0) {
                  "          [--w N] [--timeout-mode simple|per-message|oracle-simple|\n"
                  "                                  oracle-per-message]\n"
                  "          [--proto ba|ba-bounded|ba-hole|abp|gbn|sr|tc] [--inproc]\n"
+                 "          [--offload auto|mmsg|gso|uring]\n"
                  "          [--send|--recv --port P --peer P]\n"
                  "          [--serve --port P [--shards N]]\n",
                  argv0);
@@ -377,6 +388,12 @@ int main(int argc, char** argv) {
             if (!p.timeout_mode) return usage(argv[0]);
         } else if (arg == "--proto") {
             if (const char* v = next()) p.proto = v; else return usage(argv[0]);
+        } else if (arg == "--offload") {
+            const char* v = next();
+            if (v == nullptr) return usage(argv[0]);
+            const auto parsed = net::parse_offload_mode(v);
+            if (!parsed) return usage(argv[0]);
+            p.offload = *parsed;
         } else if (arg == "--port") {
             if (const char* v = next()) p.port = static_cast<std::uint16_t>(std::atoi(v));
             else return usage(argv[0]);

@@ -38,12 +38,15 @@ echo "== bench smoke: E20 steady-state alloc gate (budget 0) =="
 # Batch transport gates.  E19 asserts the engine-level syscall
 # amortization (>= 8 datagrams per sendmmsg on the clean batched path);
 # E21 asserts the zero-alloc receive arena (0 steady-state allocations
-# per datagram on every batched row).  Both are count gates, not timing
-# gates, so they hold under sanitizers.
+# per datagram on every batched and offloaded row) and the offload
+# ladder (GSO+GRO goodput >= the mmsg baseline; the ladder gate
+# soft-skips itself on kernels without UDP_SEGMENT/UDP_GRO, so the
+# script stays green off Linux >= 4.18/5.0).  All are count/ratio
+# gates, not absolute timings, so they hold under sanitizers.
 echo "== bench smoke: E19 batched-path amortization gate =="
 (cd "$BUILD_DIR"/bench && ./bench_e19_net_loopback --quick)
-echo "== bench smoke: E21 batch transport alloc gate (budget 0) =="
-(cd "$BUILD_DIR"/bench && ./bench_e21_batch_transport --quick --check-budget 0)
+echo "== bench smoke: E21 batch transport alloc + offload ladder gates =="
+(cd "$BUILD_DIR"/bench && ./bench_e21_batch_transport --quick --check-budget 0 --check-ladder)
 
 # Multi-session server gate.  E22 demuxes many concurrent loopback
 # sessions off shared reuseport sockets; the gate holds the same

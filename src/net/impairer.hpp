@@ -89,6 +89,7 @@ public:
     std::size_t send_batch(std::span<const std::span<const std::uint8_t>> datagrams) override;
     std::size_t recv_batch(RecvBatch& batch) override { return inner_->recv_batch(batch); }
     int fd() const override { return inner_->fd(); }
+    OffloadMode offload_tier() const override { return inner_->offload_tier(); }
 
     /// Forwards every matured delayed copy staged since the last flush
     /// through one inner send_batch.

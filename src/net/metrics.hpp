@@ -41,6 +41,27 @@ struct Metrics {
     std::uint64_t syscalls_sent = 0;
     std::uint64_t syscalls_received = 0;
 
+    // ---- kernel-offload counters (zero on the mmsg tier) --------------
+    /// UDP_SEGMENT super-buffers sent (mmsghdr entries carrying a GSO
+    /// cmsg) and the datagrams they covered: gso_segments /
+    /// gso_sends is the kernel-side splitting factor.
+    std::uint64_t gso_sends = 0;
+    std::uint64_t gso_segments = 0;
+    /// UDP_GRO coalesced buffers received and the datagrams recv_batch
+    /// split back out of them.
+    std::uint64_t gro_recvs = 0;
+    std::uint64_t gro_segments = 0;
+    /// Datagrams completed through the io_uring multishot path (each is
+    /// one CQE, not one syscall).
+    std::uint64_t uring_cqes = 0;
+
+    // ---- timer-wheel counters (folded in by NetEngine/Server) --------
+    /// fire_due() calls that fired at least one timer, and the total
+    /// timers fired: timers_fired / timer_fire_batches is how well the
+    /// deadline math batches expiry work per loop wakeup.
+    std::uint64_t timer_fire_batches = 0;
+    std::uint64_t timers_fired = 0;
+
     // ---- impairment counters (zero on plain transports) ---------------
     std::uint64_t offered = 0;     // datagrams handed to the impairer
     std::uint64_t dropped = 0;     // silently lost
@@ -73,6 +94,13 @@ struct Metrics {
         send_drops += o.send_drops;
         syscalls_sent += o.syscalls_sent;
         syscalls_received += o.syscalls_received;
+        gso_sends += o.gso_sends;
+        gso_segments += o.gso_segments;
+        gro_recvs += o.gro_recvs;
+        gro_segments += o.gro_segments;
+        uring_cqes += o.uring_cqes;
+        timer_fire_batches += o.timer_fire_batches;
+        timers_fired += o.timers_fired;
         offered += o.offered;
         dropped += o.dropped;
         duplicated += o.duplicated;
@@ -87,7 +115,7 @@ struct Metrics {
         const char* name;
         std::uint64_t value;
     };
-    static constexpr std::size_t kFieldCount = 14;
+    static constexpr std::size_t kFieldCount = 21;
 
     /// Stable name->value view of every counter, in declaration order.
     /// The single source of truth for serialization: to_json() and
@@ -100,6 +128,13 @@ struct Metrics {
                  {"send_drops", send_drops},
                  {"syscalls_sent", syscalls_sent},
                  {"syscalls_received", syscalls_received},
+                 {"gso_sends", gso_sends},
+                 {"gso_segments", gso_segments},
+                 {"gro_recvs", gro_recvs},
+                 {"gro_segments", gro_segments},
+                 {"uring_cqes", uring_cqes},
+                 {"timer_fire_batches", timer_fire_batches},
+                 {"timers_fired", timers_fired},
                  {"offered", offered},
                  {"dropped", dropped},
                  {"duplicated", duplicated},

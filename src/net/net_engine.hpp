@@ -102,6 +102,11 @@ struct NetConfig : runtime::EngineConfig {
     /// a server session sets it so its acks come back tagged for demux
     /// at a multiplexed peer.
     wire::Conn conn;
+    /// Kernel-offload tier for the UDP transports (net/offload.hpp):
+    /// Mmsg keeps the portable sendmmsg/recvmmsg baseline, Gso/Uring
+    /// climb the ladder, Auto takes the best the kernel supports.
+    /// Ignored in Inproc mode (no kernel below the queues).
+    OffloadMode offload = OffloadMode::Mmsg;
 
     std::size_t effective_batch() const {
         if (batch > 0) return batch;
@@ -523,6 +528,8 @@ public:
         if (netmode_ == NetMode::Udp) {
             clock_ = &steady_clock_;
             auto [a, b] = UdpTransport::make_pair();
+            a->enable_offload(cfg_.offload);
+            b->enable_offload(cfg_.offload);
             raw_s_ = std::move(a);
             raw_r_ = std::move(b);
         } else {
@@ -575,9 +582,11 @@ public:
         const SimTime start = clock_->now();
         std::atomic<bool> stop{false};
         std::thread rx([this, &stop] {
-            const int fds[] = {receiver_fd()};
             while (!stop.load(std::memory_order_relaxed)) {
                 if (receiver_->poll() == 0) {
+                    // Re-read fd() each wait: it changes when the
+                    // io_uring tier arms on the first recv_batch.
+                    const int fds[] = {receiver_fd()};
                     wait_readable(fds, receiver_->wheel().next_deadline()
                                            ? kMillisecond
                                            : 5 * kMillisecond);
@@ -647,6 +656,10 @@ private:
         report.impair_rs = imp_r_->impair_stats();
         report.transport_sr = raw_s_->stats();
         report.transport_rs = raw_r_->stats();
+        // Each endpoint's timer-wheel batching rides in its transport
+        // view, so one Metrics carries the whole per-direction story.
+        wheel_s_->add_stats(report.transport_sr);
+        wheel_r_->add_stats(report.transport_rs);
         report.elapsed = clock_->now() - start;
         report.completed = sender_->done() && receiver_->delivered() == cfg_.count &&
                            report.payload_mismatches == 0;

@@ -100,6 +100,10 @@ struct ServerStats {
     std::uint64_t sessions_rejected = 0;   // table at max_sessions
     std::uint64_t decode_errors = 0;       // pre-demux rejects
     std::uint64_t crc_errors = 0;
+    /// Kernel-offload tier the shard sockets run (OffloadMode numeric
+    /// value: 0 mmsg, 1 gso, 2 uring).  Merged by max -- shards share
+    /// one kernel, so mixed tiers only appear after a runtime demotion.
+    std::uint64_t offload_tier = 0;
 
     ServerStats& operator+=(const ServerStats& o) {
         sessions_opened += o.sessions_opened;
@@ -109,6 +113,7 @@ struct ServerStats {
         sessions_rejected += o.sessions_rejected;
         decode_errors += o.decode_errors;
         crc_errors += o.crc_errors;
+        offload_tier = std::max(offload_tier, o.offload_tier);
         return *this;
     }
 
@@ -116,7 +121,7 @@ struct ServerStats {
         const char* name;
         std::uint64_t value;
     };
-    static constexpr std::size_t kFieldCount = 7;
+    static constexpr std::size_t kFieldCount = 8;
 
     std::array<Field, kFieldCount> fields() const {
         return {{{"sessions_opened", sessions_opened},
@@ -125,7 +130,8 @@ struct ServerStats {
                  {"stale_epoch_drops", stale_epoch_drops},
                  {"sessions_rejected", sessions_rejected},
                  {"decode_errors", decode_errors},
-                 {"crc_errors", crc_errors}}};
+                 {"crc_errors", crc_errors},
+                 {"offload_tier", offload_tier}}};
     }
 
     std::string to_json() const {
@@ -276,13 +282,15 @@ public:
         for (std::size_t i = 0; i < shards_.size(); ++i) {
             threads.emplace_back([this, i, &stop] {
                 Shard& s = *shards_[i];
-                const int fds[] = {s.transport->fd()};
                 while (!stop.load(std::memory_order_relaxed)) {
                     if (poll_shard(i) > 0) continue;
                     SimTime wait = kMillisecond;
                     if (const auto next = s.wheel->next_deadline()) {
                         wait = std::clamp<SimTime>(*next - s.wheel->now(), 0, wait);
                     }
+                    // Re-read fd() each wait: it changes when the
+                    // io_uring tier arms on the first recv_batch.
+                    const int fds[] = {s.transport->fd()};
                     wait_readable(fds, wait);
                 }
             });
@@ -297,10 +305,16 @@ public:
         return n;
     }
 
-    /// Summed lifecycle counters.
+    /// Summed lifecycle counters, plus the offload tier the shard
+    /// sockets actually run (reflecting any runtime demotion).
     ServerStats stats() const {
         ServerStats total;
-        for (const auto& s : shards_) total += s->stats;
+        for (const auto& s : shards_) {
+            total += s->stats;
+            total.offload_tier = std::max(
+                total.offload_tier,
+                static_cast<std::uint64_t>(s->transport->offload_tier()));
+        }
         return total;
     }
 
@@ -319,6 +333,7 @@ public:
         Metrics total = transport_metrics();
         for (const auto& s : shards_) {
             total += s->drained;
+            s->wheel->add_stats(total);  // shard expiry batching (E22 JSON)
             for (const auto& [key, session] : s->sessions) total += session_transport(*session);
         }
         return total;
@@ -546,10 +561,12 @@ private:
 };
 
 /// N SO_REUSEPORT sockets sharing one UDP port (0 = pick an ephemeral
-/// port with the first, then bind the rest to it).  Feed the raw
-/// pointers to Server and keep the vector alive alongside it.
+/// port with the first, then bind the rest to it), each running the
+/// requested kernel-offload tier.  Feed the raw pointers to Server and
+/// keep the vector alive alongside it.
 inline std::pair<std::vector<std::unique_ptr<UdpTransport>>, std::uint16_t>
-make_reuseport_shards(std::uint16_t port, std::size_t shards) {
+make_reuseport_shards(std::uint16_t port, std::size_t shards,
+                      OffloadMode offload = OffloadMode::Mmsg) {
     BACP_ASSERT_MSG(shards > 0, "at least one shard");
     std::vector<std::unique_ptr<UdpTransport>> sockets;
     sockets.reserve(shards);
@@ -561,7 +578,10 @@ make_reuseport_shards(std::uint16_t port, std::size_t shards) {
     // Hundreds of sessions hash to each shard; synchronized window
     // bursts overflow the default socket buffers long before the
     // protocol is the bottleneck.
-    for (auto& s : sockets) s->request_buffer_sizes(std::size_t{4} << 20);
+    for (auto& s : sockets) {
+        s->request_buffer_sizes(std::size_t{4} << 20);
+        s->enable_offload(offload);
+    }
     return {std::move(sockets), bound};
 }
 

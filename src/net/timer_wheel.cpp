@@ -19,6 +19,10 @@ std::size_t TimerWheel::fire_due() {
         due.handler();
         ++fired;
     }
+    if (fired > 0) {
+        ++fire_batches_;
+        timers_fired_ += fired;
+    }
     return fired;
 }
 

@@ -20,12 +20,14 @@
 /// fire_due() call.
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 
 #include "common/slab_heap.hpp"
 #include "common/timer_service.hpp"
 #include "common/types.hpp"
 #include "net/clock.hpp"
+#include "net/metrics.hpp"
 
 namespace bacp::net {
 
@@ -52,6 +54,20 @@ public:
     /// Live (armed, not yet fired or cancelled) timers.
     std::size_t armed() const { return heap_.size(); }
 
+    /// fire_due() calls that fired at least one timer, and the total
+    /// timers they fired -- the ratio says how well the event loop's
+    /// deadline math batches expiry work per wakeup.  NetEngine and
+    /// Server fold both into their net::Metrics views
+    /// (timer_fire_batches / timers_fired).
+    std::uint64_t fire_batches() const { return fire_batches_; }
+    std::uint64_t timers_fired() const { return timers_fired_; }
+
+    /// Adds this wheel's counters to a metrics view.
+    void add_stats(Metrics& m) const {
+        m.timer_fire_batches += fire_batches_;
+        m.timers_fired += timers_fired_;
+    }
+
     /// Pre-sizes the heap for \p additional more concurrent timers
     /// beyond those currently armed.  Endpoints call this at attach with
     /// their worst-case timer count (window-bounded), so a shared wheel
@@ -61,6 +77,8 @@ public:
 private:
     Clock* clock_;
     SlabTimerHeap<Handler> heap_;
+    std::uint64_t fire_batches_ = 0;
+    std::uint64_t timers_fired_ = 0;
 };
 
 }  // namespace bacp::net

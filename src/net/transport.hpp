@@ -23,7 +23,12 @@
 ///   UdpTransport     a non-blocking IPv4/UDP socket on loopback;
 ///                    send_batch/recv_batch are one sendmmsg(2)/
 ///                    recvmmsg(2) each; fd() exposes the descriptor for
-///                    poll(2)-based waiting.
+///                    poll(2)-based waiting.  enable_offload() climbs
+///                    the kernel-offload ladder (net/offload.hpp):
+///                    UDP_SEGMENT send coalescing + UDP_GRO receive
+///                    splitting, then io_uring multishot receive --
+///                    same interface, same arena contract, graceful
+///                    fallback to plain mmsg at every step.
 ///   InprocTransport  a cross-connected in-process queue pair for
 ///                    deterministic unit tests and single-process runs;
 ///                    a batch is one mutex acquisition, and a free list
@@ -41,6 +46,7 @@
 #include "common/ring_buffer.hpp"
 #include "common/types.hpp"
 #include "net/metrics.hpp"
+#include "net/offload.hpp"
 
 namespace bacp::net {
 
@@ -141,6 +147,7 @@ private:
 };
 
 class Transport;
+class UringRx;
 
 /// Builder for a send_batch() call: encoded datagrams packed back to
 /// back in one reusable slab.  append_with() lets an encoder serialize
@@ -235,8 +242,15 @@ public:
     std::optional<std::size_t> recv(std::span<std::uint8_t> out);
 
     /// Pollable file descriptor, or -1 when the transport has none
-    /// (in-process queues).
+    /// (in-process queues).  May change when an offload tier activates
+    /// (UdpTransport swaps in the io_uring fd), so event loops should
+    /// re-read it per wait rather than caching it.
     virtual int fd() const { return -1; }
+
+    /// The kernel-offload tier this transport is currently running
+    /// (never Auto); decorators forward to the transport they wrap.
+    /// Everything but UdpTransport is the trivial baseline.
+    virtual OffloadMode offload_tier() const { return OffloadMode::Mmsg; }
 
     const Metrics& stats() const { return stats_; }
 
@@ -367,13 +381,33 @@ public:
     std::size_t send_batch_to(std::span<const std::span<const std::uint8_t>> datagrams,
                               std::span<const PeerAddr> peers) override;
     std::size_t recv_batch(RecvBatch& batch) override;
-    int fd() const override { return fd_; }
+
+    /// The socket fd -- or, once the io_uring tier is active, the ring
+    /// fd (pollable the same way: POLLIN when completions are pending).
+    int fd() const override;
+
+    /// Climbs the offload ladder (resolving Auto against the probed
+    /// capabilities): Gso turns on UDP_SEGMENT send coalescing and the
+    /// UDP_GRO receive split; Uring keeps the GSO send and arms the
+    /// io_uring multishot receive on first recv_batch.  Call before
+    /// traffic, not mid-stream (the GRO sockopt changes what the kernel
+    /// delivers).  Unsupported features silently stay on the mmsg
+    /// baseline; offload_tier() reports what actually runs, including
+    /// later runtime demotions (a GSO EINVAL/EIO, an io_uring refusal).
+    void enable_offload(OffloadMode mode);
+    OffloadMode offload_tier() const override;
+
+    /// Test hook: the next GSO-carrying sendmmsg behaves as if the
+    /// kernel rejected it with EINVAL, exercising the disable-and-
+    /// resend-plain fallback without needing a GSO-less kernel.
+    void fail_next_gso_send_for_test() { gso_fail_injected_ = true; }
 
     /// Two ephemeral loopback sockets connected to each other.
     static std::pair<std::unique_ptr<UdpTransport>, std::unique_ptr<UdpTransport>> make_pair();
 
 private:
-    /// Reusable mmsghdr/iovec/sockaddr arrays for sendmmsg/recvmmsg;
+    /// Reusable mmsghdr/iovec/sockaddr/cmsg arrays for
+    /// sendmmsg/recvmmsg plus the GSO run map and GRO staging buffers;
     /// sized to the largest batch seen, so the steady state never
     /// allocates.  Defined in the .cpp to keep <sys/socket.h> out of
     /// this header.
@@ -383,9 +417,33 @@ private:
     /// (headers are already staged in scratch when this runs).
     std::size_t drain_sendmmsg(std::span<const std::span<const std::uint8_t>> datagrams);
 
+    /// GSO path: coalesces equal-stride runs into UDP_SEGMENT
+    /// super-buffer entries and drains them; empty \p peers means the
+    /// connected socket.  Falls back (permanently) to the plain path on
+    /// a kernel rejection.
+    std::size_t send_gso(std::span<const std::span<const std::uint8_t>> datagrams,
+                         std::span<const PeerAddr> peers);
+
+    /// GRO path: recvmmsg into full-size staging buffers, split each
+    /// coalesced payload back into the caller's fixed-stride arena.
+    /// Staged segments that overflow the arena carry over to the next
+    /// call (no syscall needed until the staging is drained).
+    std::size_t recv_gro(RecvBatch& batch);
+    void drain_gro_staging(RecvBatch& batch);
+
+    bool gso_active() const { return gso_on_ && !gso_failed_; }
+
     int fd_ = -1;
     std::uint16_t port_ = 0;
     std::unique_ptr<Scratch> scratch_;
+
+    OffloadMode tier_ = OffloadMode::Mmsg;  // resolved request
+    bool gso_on_ = false;      // UDP_SEGMENT coalescing requested + supported
+    bool gro_on_ = false;      // UDP_GRO sockopt set; recv must use staging
+    bool gso_failed_ = false;  // kernel rejected a GSO send: plain forever
+    bool gso_fail_injected_ = false;
+    bool uring_failed_ = false;  // setup or multishot refused: recvmmsg forever
+    std::unique_ptr<UringRx> uring_;  // built lazily on first recv_batch
 };
 
 /// In-process datagram pair: what one side sends, the other receives.

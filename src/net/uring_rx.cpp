@@ -1,0 +1,254 @@
+#include "net/uring_rx.hpp"
+
+#include <linux/io_uring.h>
+#include <netinet/in.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace bacp::net {
+
+namespace {
+
+long sys_io_uring_setup(unsigned entries, io_uring_params* p) {
+    return ::syscall(__NR_io_uring_setup, entries, p);
+}
+
+long sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete, unsigned flags) {
+    return ::syscall(__NR_io_uring_enter, fd, to_submit, min_complete, flags, nullptr,
+                     std::size_t{0});
+}
+
+long sys_io_uring_register(int fd, unsigned opcode, void* arg, unsigned nr_args) {
+    return ::syscall(__NR_io_uring_register, fd, opcode, arg, nr_args);
+}
+
+std::size_t next_pow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+}
+
+void* map_anon(std::size_t bytes) {
+    void* mem = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    return mem == MAP_FAILED ? nullptr : mem;
+}
+
+void* map_ring(int fd, std::size_t bytes, std::uint64_t offset) {
+    void* mem = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED | MAP_POPULATE,
+                       fd, static_cast<off_t>(offset));
+    return mem == MAP_FAILED ? nullptr : mem;
+}
+
+}  // namespace
+
+static_assert(sizeof(::msghdr) <= 64, "msg_storage_ too small for msghdr");
+
+void* UringRx::msg() { return msg_storage_; }
+
+UringRx::UringRx(int sock_fd, std::size_t buf_count, std::size_t buf_bytes)
+    : sock_fd_(sock_fd) {
+    buf_count_ = next_pow2(std::clamp<std::size_t>(buf_count, 8, 1024));
+    // Each buffer holds the recvmsg completion layout: the
+    // io_uring_recvmsg_out header, the reserved name bytes, then the
+    // payload.  (No control bytes are reserved.)
+    buf_bytes_ = sizeof(io_uring_recvmsg_out) + sizeof(sockaddr_in) + buf_bytes;
+    buf_bytes_ = (buf_bytes_ + 15) & ~std::size_t{15};
+
+    io_uring_params params{};
+    params.flags = IORING_SETUP_CQSIZE;
+    // CQ deeper than the buffer pool, so a full pool of completions can
+    // never overflow it in the steady state.
+    params.cq_entries =
+        static_cast<unsigned>(std::min<std::size_t>(next_pow2(buf_count_ * 2), 4096));
+    const long ring = sys_io_uring_setup(8, &params);
+    if (ring < 0) return;
+    ring_fd_ = static_cast<int>(ring);
+
+    sq_bytes_ = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+    cq_bytes_ = params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+    const bool single = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single) sq_bytes_ = cq_bytes_ = std::max(sq_bytes_, cq_bytes_);
+    sq_mem_ = map_ring(ring_fd_, sq_bytes_, IORING_OFF_SQ_RING);
+    cq_mem_ = single ? sq_mem_
+                     : map_ring(ring_fd_, cq_bytes_, IORING_OFF_CQ_RING);
+    sqe_bytes_ = params.sq_entries * sizeof(io_uring_sqe);
+    sqe_mem_ = sq_mem_ ? map_ring(ring_fd_, sqe_bytes_, IORING_OFF_SQES) : nullptr;
+    if (!sq_mem_ || !cq_mem_ || !sqe_mem_) {
+        teardown();
+        return;
+    }
+    auto* sq = static_cast<std::uint8_t*>(sq_mem_);
+    sq_head_ = reinterpret_cast<unsigned*>(sq + params.sq_off.head);
+    sq_tail_ = reinterpret_cast<unsigned*>(sq + params.sq_off.tail);
+    sq_mask_ = reinterpret_cast<unsigned*>(sq + params.sq_off.ring_mask);
+    sq_flags_ = reinterpret_cast<unsigned*>(sq + params.sq_off.flags);
+    sq_array_ = reinterpret_cast<unsigned*>(sq + params.sq_off.array);
+    auto* cq = static_cast<std::uint8_t*>(cq_mem_);
+    cq_head_ = reinterpret_cast<unsigned*>(cq + params.cq_off.head);
+    cq_tail_ = reinterpret_cast<unsigned*>(cq + params.cq_off.tail);
+    cq_mask_ = reinterpret_cast<unsigned*>(cq + params.cq_off.ring_mask);
+    cqes_ = cq + params.cq_off.cqes;
+
+    // Provided-buffer ring (group 0) plus the slab it hands out.
+    buf_ring_bytes_ = buf_count_ * sizeof(io_uring_buf);
+    buf_ring_mem_ = map_anon(buf_ring_bytes_);
+    bufs_bytes_ = buf_count_ * buf_bytes_;
+    bufs_ = static_cast<std::uint8_t*>(map_anon(bufs_bytes_));
+    if (!buf_ring_mem_ || !bufs_) {
+        teardown();
+        return;
+    }
+    io_uring_buf_reg reg{};
+    reg.ring_addr = reinterpret_cast<std::uint64_t>(buf_ring_mem_);
+    reg.ring_entries = static_cast<unsigned>(buf_count_);
+    reg.bgid = 0;
+    if (sys_io_uring_register(ring_fd_, IORING_REGISTER_PBUF_RING, &reg, 1) != 0) {
+        teardown();
+        return;
+    }
+    for (std::size_t i = 0; i < buf_count_; ++i) {
+        recycle(static_cast<std::uint16_t>(kBidBase + i));
+    }
+
+    // The multishot recvmsg template: only the reserved name space
+    // matters (the pointer fields are unused; name/control/payload all
+    // land in the selected buffer).
+    auto* m = static_cast<::msghdr*>(msg());
+    std::memset(m, 0, sizeof(*m));
+    m->msg_namelen = sizeof(sockaddr_in);
+}
+
+UringRx::~UringRx() { teardown(); }
+
+void UringRx::teardown() {
+    if (sqe_mem_) ::munmap(sqe_mem_, sqe_bytes_);
+    if (cq_mem_ && cq_mem_ != sq_mem_) ::munmap(cq_mem_, cq_bytes_);
+    if (sq_mem_) ::munmap(sq_mem_, sq_bytes_);
+    if (buf_ring_mem_) ::munmap(buf_ring_mem_, buf_ring_bytes_);
+    if (bufs_) ::munmap(bufs_, bufs_bytes_);
+    sqe_mem_ = cq_mem_ = sq_mem_ = buf_ring_mem_ = nullptr;
+    bufs_ = nullptr;
+    if (ring_fd_ >= 0) ::close(ring_fd_);  // also unregisters the pbuf ring
+    ring_fd_ = -1;
+}
+
+void UringRx::recycle(std::uint16_t bid) {
+    // Deliberately NOT io_uring_buf_ring::bufs: the uapi header declares
+    // that flexible array behind __DECLARE_FLEX_ARRAY, whose dummy empty
+    // struct is size 1 in C++ (size 0 in C), silently shifting bufs[] to
+    // offset 8 and corrupting every entry the kernel reads.  Index the
+    // mapping as raw io_uring_buf entries instead; the shared tail
+    // overlays entry 0's resv field (the documented layout).
+    auto* entries = static_cast<io_uring_buf*>(buf_ring_mem_);
+    io_uring_buf& slot = entries[br_tail_ & (buf_count_ - 1)];
+    slot.addr = reinterpret_cast<std::uint64_t>(
+        bufs_ + static_cast<std::size_t>(bid - kBidBase) * buf_bytes_);
+    slot.len = static_cast<unsigned>(buf_bytes_);
+    slot.bid = bid;
+    ++br_tail_;
+    // Publish: the kernel reads the tail with acquire semantics.
+    __atomic_store_n(&entries[0].resv, static_cast<std::uint16_t>(br_tail_),
+                     __ATOMIC_RELEASE);
+}
+
+void UringRx::arm(Metrics& stats) {
+    const unsigned tail = *sq_tail_;  // sole producer: plain read
+    const unsigned idx = tail & *sq_mask_;
+    auto* sqe = static_cast<io_uring_sqe*>(sqe_mem_) + idx;
+    std::memset(sqe, 0, sizeof(*sqe));
+    sqe->opcode = IORING_OP_RECVMSG;
+    sqe->fd = sock_fd_;
+    sqe->addr = reinterpret_cast<std::uint64_t>(msg());
+    sqe->ioprio = IORING_RECV_MULTISHOT;
+    sqe->flags = IOSQE_BUFFER_SELECT;
+    sqe->buf_group = 0;
+    sq_array_[idx] = idx;
+    __atomic_store_n(sq_tail_, tail + 1, __ATOMIC_RELEASE);
+    const long ret = sys_io_uring_enter(ring_fd_, 1, 0, 0);
+    ++stats.syscalls_received;  // the tier's only recurring recv syscall
+    armed_ = ret >= 0;
+}
+
+std::size_t UringRx::drain(RecvBatch& batch, Metrics& stats) {
+    if (broken_) return 0;
+    bool need_arm = !armed_;
+    std::size_t appended = 0;
+    unsigned head = *cq_head_;  // sole consumer: plain read
+    const unsigned tail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
+    const unsigned mask = *cq_mask_;
+    auto* cqes = static_cast<const io_uring_cqe*>(cqes_);
+    while (head != tail && batch.size() < batch.capacity()) {
+        const io_uring_cqe& cqe = cqes[head & mask];
+        if (cqe.res < 0) {
+            // -ENOBUFS terminates the multishot when the provided pool
+            // runs dry; buffers recycled below make the re-arm viable.
+            // An immediate -EINVAL from a kernel without multishot
+            // support (< 6.0) means this path will never work: flag it
+            // so the owner falls back to recvmmsg.
+            if (cqe.res == -EINVAL && !ever_delivered_) broken_ = true;
+            armed_ = false;
+            need_arm = true;
+        } else if (cqe.flags & IORING_CQE_F_BUFFER) {
+            const auto bid =
+                static_cast<std::uint16_t>(cqe.flags >> IORING_CQE_BUFFER_SHIFT);
+            BACP_ASSERT_MSG(bid >= kBidBase && bid < kBidBase + buf_count_,
+                            "io_uring completion names an unknown buffer");
+            std::uint8_t* buf =
+                bufs_ + static_cast<std::size_t>(bid - kBidBase) * buf_bytes_;
+            const auto* out = reinterpret_cast<const io_uring_recvmsg_out*>(buf);
+            // Buffer layout: out header | name (reserved size) | payload
+            // (we reserve no control bytes, and out->controllen echoes
+            // that).  Clamp against both the buffer and the arena slot;
+            // oversize datagrams truncate exactly like recvmmsg does.
+            const std::size_t header =
+                sizeof(io_uring_recvmsg_out) + sizeof(sockaddr_in) + out->controllen;
+            std::size_t len = out->payloadlen;
+            len = std::min(len, buf_bytes_ > header ? buf_bytes_ - header : 0);
+            PeerAddr peer;
+            if (out->namelen >= sizeof(sockaddr_in)) {
+                sockaddr_in addr;
+                std::memcpy(&addr, buf + sizeof(io_uring_recvmsg_out), sizeof(addr));
+                if (addr.sin_family == AF_INET) {
+                    peer.ip = ntohl(addr.sin_addr.s_addr);
+                    peer.port = ntohs(addr.sin_port);
+                }
+            }
+            const std::span<std::uint8_t> slot = batch.slot(batch.size());
+            const std::size_t copied = std::min(len, slot.size());
+            std::memcpy(slot.data(), buf + header, copied);
+            batch.push_filled(copied, peer);
+            stats.bytes_received += copied;
+            ++stats.datagrams_received;
+            ++stats.uring_cqes;
+            ever_delivered_ = true;
+            recycle(bid);
+            ++appended;
+            if (!(cqe.flags & IORING_CQE_F_MORE)) {
+                armed_ = false;
+                need_arm = true;
+            }
+        }
+        ++head;
+    }
+    __atomic_store_n(cq_head_, head, __ATOMIC_RELEASE);
+    if (head == tail &&
+        (__atomic_load_n(sq_flags_, __ATOMIC_ACQUIRE) & IORING_SQ_CQ_OVERFLOW)) {
+        // NODROP kernels park overflowed completions aside; an enter
+        // with GETEVENTS flushes them into the now-empty CQ.
+        sys_io_uring_enter(ring_fd_, 0, 0, IORING_ENTER_GETEVENTS);
+        ++stats.syscalls_received;
+    }
+    if (need_arm && !broken_) arm(stats);
+    return appended;
+}
+
+}  // namespace bacp::net

@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file uring_rx.hpp
+/// io_uring multishot receive loop for one UDP socket -- the top rung
+/// of the offload ladder (net/offload.hpp).
+///
+/// One armed IORING_OP_RECVMSG SQE with IORING_RECV_MULTISHOT stays
+/// resident in the kernel: every arriving datagram completes into a
+/// buffer the kernel selects from a provided-buffer ring we registered
+/// up front (IORING_REGISTER_PBUF_RING), so the steady state does *no*
+/// receive syscalls at all -- drain() just walks the completion queue
+/// in user space and republishes consumed buffers.  io_uring_enter(2)
+/// is only touched to (re)arm after the multishot terminates (buffer
+/// exhaustion, -ENOBUFS) -- that is the residual count behind
+/// syscalls_received on this tier.
+///
+/// The ring fd polls exactly like a socket (readable when completions
+/// are pending), which is what lets UdpTransport::fd() swap it in and
+/// leave every event loop untouched.
+///
+/// Raw syscalls + <linux/io_uring.h> only: no liburing dependency.
+/// Every setup step can be refused by an older kernel; the constructor
+/// then leaves ok() false and the owner stays on recvmmsg.  A kernel
+/// new enough to build the rings but too old for multishot (< 6.0)
+/// rejects the submission itself with an immediate -EINVAL completion;
+/// that flips broken() and the owner falls back the same way.
+///
+/// Single-threaded by contract, like the transport that owns it.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/metrics.hpp"
+#include "net/transport.hpp"
+
+namespace bacp::net {
+
+class UringRx {
+public:
+    /// Builds the rings, registers a provided-buffer ring of
+    /// \p buf_count buffers of \p buf_bytes payload capacity each, and
+    /// publishes them.  On any kernel refusal, ok() is false and the
+    /// object holds no resources.
+    UringRx(int sock_fd, std::size_t buf_count, std::size_t buf_bytes);
+    ~UringRx();
+
+    UringRx(const UringRx&) = delete;
+    UringRx& operator=(const UringRx&) = delete;
+
+    bool ok() const { return ring_fd_ >= 0; }
+
+    /// Pollable like the socket: POLLIN when completions are pending.
+    int ring_fd() const { return ring_fd_; }
+
+    /// The kernel rejected the multishot submission itself (too old):
+    /// tear this down and use recvmmsg.  Datagrams are still in the
+    /// socket queue -- nothing armed ever consumed one.
+    bool broken() const { return broken_; }
+
+    /// Appends completed datagrams to \p batch (up to its capacity),
+    /// recycles their buffers, re-arms the multishot receive when it
+    /// terminated, and keeps recv-side counters in \p stats.  Returns
+    /// how many datagrams were appended.
+    std::size_t drain(RecvBatch& batch, Metrics& stats);
+
+private:
+    void arm(Metrics& stats);
+    void recycle(std::uint16_t bid);
+    void* msg();  // the persistent msghdr template, in msg_storage_
+    void teardown();
+
+    /// Buffer ids start here.  Id selection is the kernel's; the values
+    /// are opaque to it, and skipping the lowest ones sidesteps a
+    /// deployment kernel observed to complete CQEs for buffer id 1
+    /// without ever copying the payload.
+    static constexpr std::uint16_t kBidBase = 2;
+
+    int sock_fd_ = -1;
+    int ring_fd_ = -1;
+
+    // Kernel ring mappings (SQ+CQ share one with FEAT_SINGLE_MMAP).
+    void* sq_mem_ = nullptr;
+    std::size_t sq_bytes_ = 0;
+    void* cq_mem_ = nullptr;  // == sq_mem_ under single-mmap
+    std::size_t cq_bytes_ = 0;
+    void* sqe_mem_ = nullptr;
+    std::size_t sqe_bytes_ = 0;
+
+    // Raw pointers into the mappings.
+    unsigned* sq_head_ = nullptr;
+    unsigned* sq_tail_ = nullptr;
+    unsigned* sq_mask_ = nullptr;
+    unsigned* sq_flags_ = nullptr;
+    unsigned* sq_array_ = nullptr;
+    unsigned* cq_head_ = nullptr;
+    unsigned* cq_tail_ = nullptr;
+    unsigned* cq_mask_ = nullptr;
+    void* cqes_ = nullptr;
+
+    // Provided-buffer ring + the payload slab it publishes.
+    void* buf_ring_mem_ = nullptr;
+    std::size_t buf_ring_bytes_ = 0;
+    std::uint8_t* bufs_ = nullptr;
+    std::size_t bufs_bytes_ = 0;
+    std::size_t buf_count_ = 0;  // power of two
+    std::size_t buf_bytes_ = 0;
+    unsigned br_tail_ = 0;  // local shadow of the buffer-ring tail
+
+    alignas(8) unsigned char msg_storage_[64] = {};  // holds a ::msghdr
+
+    bool armed_ = false;
+    bool broken_ = false;
+    bool ever_delivered_ = false;
+};
+
+}  // namespace bacp::net
