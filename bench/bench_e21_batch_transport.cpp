@@ -8,8 +8,9 @@
 //      loopback UDP through three shapes of the same traffic: the
 //      pre-batch API reproduced from the seed (one send syscall per
 //      datagram, one ::recv into a freshly allocated-and-zeroed 64 KiB
-//      vector per receive), the single-shot recv(span) shim
-//      (batch-of-one underneath), and send_batch/recv_batch at burst
+//      vector per receive), a batch-of-one (send_batch/recv_batch driven
+//      one datagram at a time -- what the late single-shot shims cost
+//      before they were removed), and send_batch/recv_batch at burst
 //      8..128.  Reported per point: goodput, datagrams per syscall,
 //      allocations.  The headline compares the highest offered-load
 //      batched point against the pre-batch baseline.
@@ -146,8 +147,8 @@ enum class Path {
               // one ::recv(2) into a freshly value-initialized
               // kMaxDatagram vector per call (alloc + 64 KiB zeroing +
               // syscall per datagram) -- the "before" this PR replaces
-    Shim,     // the single-shot recv(span) shim (batch-of-one into a
-              // caller buffer under the hood; no per-datagram copy out)
+    Shim,     // batch-of-one: the batch API driven one datagram at a
+              // time (the removed single-shot shims, reproduced exactly)
     Batched,  // send_batch/recv_batch at the row's burst size
 };
 
@@ -175,7 +176,8 @@ BlastResult blast(Transport& tx, Transport& rx, std::size_t burst, Path path) {
     }
     std::vector<std::span<const std::uint8_t>> spans(burst, std::span(payload));
     RecvBatch batch(burst, kMaxDatagram);
-    std::vector<std::uint8_t> shim_buf(kMaxDatagram);  // Path::Shim scratch
+    const std::span<const std::uint8_t> single[] = {std::span(payload)};
+    RecvBatch one_slot(1, kMaxDatagram);  // Path::Shim capacity-1 arena
 
     const std::size_t half = g_datagrams / 2;
     std::uint64_t allocs_at_half = 0;
@@ -187,7 +189,7 @@ BlastResult blast(Transport& tx, Transport& rx, std::size_t burst, Path path) {
         const std::size_t chunk = std::min(burst, g_datagrams - out.sent);
         switch (path) {
             case Path::OldApi:
-                tx.send(payload);
+                tx.send_batch(single);
                 out.sent += 1;
                 while (old_api_recv(rx.fd())) {
                     ++out.received;
@@ -195,9 +197,9 @@ BlastResult blast(Transport& tx, Transport& rx, std::size_t burst, Path path) {
                 }
                 break;
             case Path::Shim:
-                tx.send(payload);
+                tx.send_batch(single);
                 out.sent += 1;
-                while (rx.recv(std::span<std::uint8_t>(shim_buf))) ++out.received;
+                while (rx.recv_batch(one_slot) > 0) ++out.received;
                 break;
             case Path::Batched:
                 tx.send_batch(std::span(spans.data(), chunk));

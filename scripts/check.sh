@@ -65,6 +65,14 @@ echo "== bench smoke: E22 server scale alloc gate (budget 0) =="
 echo "== bench smoke: E23 self-stabilization convergence gate =="
 (cd "$BUILD_DIR"/bench && ./bench_e23_stabilization --quick --check-budget 0)
 
+# Fleet-vs-server gate.  E24 drives a ClientFleet (many sessions, few
+# sockets) against a socket-owning Server and holds E22's zero-alloc
+# budget once every flat session table, stash, and wheel level is at
+# high water -- plus the hierarchical-wheel scaling check (idle polls
+# over 100k armed timers must do no per-timer work).
+echo "== bench smoke: E24 fleet scale alloc + timer scaling gate =="
+(cd "$BUILD_DIR"/bench && ./bench_e24_fleet_scale --quick --check-budget 0)
+
 # Sweep determinism: the parallel experiment fan-out must render
 # byte-identical tables at 1, 2, and 8 threads (see scripts/sweep.sh).
 echo "== sweep determinism: E8 at 1/2/8 threads =="

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file metrics_table.hpp
+/// One counter-table implementation for every metrics struct.
+///
+/// sim::Metrics, net::Metrics, and net::ServerStats all expose the same
+/// shape -- a flat struct of uint64 counters plus a stable name->value
+/// view (`fields()`) that serializers walk -- and each used to hand-roll
+/// the view and the JSON emitter.  This header centralizes the
+/// machinery: a metrics struct declares one constexpr table of
+/// {name, member-pointer} rows, and derives fields(), to_json(), and
+/// (where the merge is a plain sum) operator+= from it.  The table is
+/// the single source of truth; adding a counter is one row, and the
+/// name list can no longer drift from the accumulation list.
+///
+/// bench::counters_json() keeps working unchanged: it is generic over
+/// anything with fields() returning {name, value} rows, which is
+/// exactly what counter_fields() produces.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace bacp {
+
+/// One row of a serialized counter view: stable name, current value.
+struct MetricsField {
+    const char* name;
+    std::uint64_t value;
+};
+
+/// One row of a counter table: stable name, pointer to the counter
+/// member it reads (and, for summed merges, accumulates).
+template <typename T>
+struct CounterDef {
+    const char* name;
+    std::uint64_t T::* member;
+};
+
+/// Materialize the name->value view of `obj` described by `defs`, in
+/// table order.
+template <typename T, std::size_t N>
+std::array<MetricsField, N> counter_fields(const T& obj,
+                                           const std::array<CounterDef<T>, N>& defs) {
+    std::array<MetricsField, N> out{};
+    for (std::size_t i = 0; i < N; ++i) out[i] = {defs[i].name, obj.*(defs[i].member)};
+    return out;
+}
+
+/// Sum every tabled counter of `from` into `into`.  Only correct for
+/// metrics whose merge semantics are plain addition on every row;
+/// structs with max-merged or sampled fields keep a hand-written merge.
+template <typename T, std::size_t N>
+void add_counters(T& into, const T& from, const std::array<CounterDef<T>, N>& defs) {
+    for (const CounterDef<T>& def : defs) into.*(def.member) += from.*(def.member);
+}
+
+/// Flat JSON object {"name":value,...} over a materialized field view.
+template <std::size_t N>
+std::string fields_json(const std::array<MetricsField, N>& fields) {
+    std::string out = "{";
+    bool first = true;
+    for (const MetricsField& f : fields) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"";
+        out += f.name;
+        out += "\":";
+        out += std::to_string(f.value);
+    }
+    out += "}";
+    return out;
+}
+
+}  // namespace bacp

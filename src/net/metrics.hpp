@@ -23,6 +23,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/metrics_table.hpp"
+
 namespace bacp::net {
 
 struct Metrics {
@@ -86,84 +88,46 @@ struct Metrics {
                                      : 0.0;
     }
 
+    using Field = MetricsField;
+    static constexpr std::size_t kFieldCount = 21;
+
+    /// The counter table: single source of truth for fields(),
+    /// to_json(), and operator+= (every row merges by summation).
+    static constexpr std::array<CounterDef<Metrics>, kFieldCount> kCounters = {{
+        {"datagrams_sent", &Metrics::datagrams_sent},
+        {"bytes_sent", &Metrics::bytes_sent},
+        {"datagrams_received", &Metrics::datagrams_received},
+        {"bytes_received", &Metrics::bytes_received},
+        {"send_drops", &Metrics::send_drops},
+        {"syscalls_sent", &Metrics::syscalls_sent},
+        {"syscalls_received", &Metrics::syscalls_received},
+        {"gso_sends", &Metrics::gso_sends},
+        {"gso_segments", &Metrics::gso_segments},
+        {"gro_recvs", &Metrics::gro_recvs},
+        {"gro_segments", &Metrics::gro_segments},
+        {"uring_cqes", &Metrics::uring_cqes},
+        {"timer_fire_batches", &Metrics::timer_fire_batches},
+        {"timers_fired", &Metrics::timers_fired},
+        {"offered", &Metrics::offered},
+        {"dropped", &Metrics::dropped},
+        {"duplicated", &Metrics::duplicated},
+        {"reordered", &Metrics::reordered},
+        {"delayed", &Metrics::delayed},
+        {"corrupted", &Metrics::corrupted},
+        {"corrupted_sealed", &Metrics::corrupted_sealed},
+    }};
+
     Metrics& operator+=(const Metrics& o) {
-        datagrams_sent += o.datagrams_sent;
-        bytes_sent += o.bytes_sent;
-        datagrams_received += o.datagrams_received;
-        bytes_received += o.bytes_received;
-        send_drops += o.send_drops;
-        syscalls_sent += o.syscalls_sent;
-        syscalls_received += o.syscalls_received;
-        gso_sends += o.gso_sends;
-        gso_segments += o.gso_segments;
-        gro_recvs += o.gro_recvs;
-        gro_segments += o.gro_segments;
-        uring_cqes += o.uring_cqes;
-        timer_fire_batches += o.timer_fire_batches;
-        timers_fired += o.timers_fired;
-        offered += o.offered;
-        dropped += o.dropped;
-        duplicated += o.duplicated;
-        reordered += o.reordered;
-        delayed += o.delayed;
-        corrupted += o.corrupted;
-        corrupted_sealed += o.corrupted_sealed;
+        add_counters(*this, o, kCounters);
         return *this;
     }
 
-    struct Field {
-        const char* name;
-        std::uint64_t value;
-    };
-    static constexpr std::size_t kFieldCount = 21;
-
     /// Stable name->value view of every counter, in declaration order.
-    /// The single source of truth for serialization: to_json() and
-    /// bench::counters_json() both walk it.
-    std::array<Field, kFieldCount> fields() const {
-        return {{{"datagrams_sent", datagrams_sent},
-                 {"bytes_sent", bytes_sent},
-                 {"datagrams_received", datagrams_received},
-                 {"bytes_received", bytes_received},
-                 {"send_drops", send_drops},
-                 {"syscalls_sent", syscalls_sent},
-                 {"syscalls_received", syscalls_received},
-                 {"gso_sends", gso_sends},
-                 {"gso_segments", gso_segments},
-                 {"gro_recvs", gro_recvs},
-                 {"gro_segments", gro_segments},
-                 {"uring_cqes", uring_cqes},
-                 {"timer_fire_batches", timer_fire_batches},
-                 {"timers_fired", timers_fired},
-                 {"offered", offered},
-                 {"dropped", dropped},
-                 {"duplicated", duplicated},
-                 {"reordered", reordered},
-                 {"delayed", delayed},
-                 {"corrupted", corrupted},
-                 {"corrupted_sealed", corrupted_sealed}}};
-    }
+    /// bench::counters_json() walks it.
+    std::array<Field, kFieldCount> fields() const { return counter_fields(*this, kCounters); }
 
     /// Flat JSON object of every counter.
-    std::string to_json() const {
-        std::string out = "{";
-        bool first = true;
-        for (const Field& f : fields()) {
-            if (!first) out += ",";
-            first = false;
-            out += "\"";
-            out += f.name;
-            out += "\":";
-            out += std::to_string(f.value);
-        }
-        out += "}";
-        return out;
-    }
+    std::string to_json() const { return fields_json(fields()); }
 };
-
-/// Transitional aliases (one PR): the split stat structs are unified in
-/// Metrics; out-of-tree code keeps compiling against the old names.
-using TransportStats = Metrics;
-using ImpairStats = Metrics;
 
 }  // namespace bacp::net

@@ -49,11 +49,12 @@
 #include <span>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/flat_table.hpp"
+#include "common/metrics_table.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "net/impairer.hpp"
@@ -65,12 +66,28 @@
 
 namespace bacp::net {
 
-/// Server-wide knobs on top of the per-session protocol surface.
+/// Server-wide knobs on top of the per-session protocol surface.  One
+/// aggregate covers everything that used to arrive through positional
+/// arguments and helper calls: shard/socket topology, session-table
+/// sizing, idle eviction, memory budgets, and impairment seeding.
 struct ServerConfig {
     /// Per-session protocol configuration (window, count, timeout mode,
     /// payload size, base seed...).  Each session gets a copy with its
     /// connection tag, sub-seed, and immediate-flush egress applied.
     NetConfig session;
+    /// Shard (event loop + socket) count for the socket-owning
+    /// constructor; the transport-vector constructor takes one shard
+    /// per supplied transport instead.
+    std::size_t shards = 1;
+    /// UDP port for the socket-owning constructor (0 = ephemeral; read
+    /// the result from port()).
+    std::uint16_t port = 0;
+    /// Kernel-offload tier the shard sockets run.
+    OffloadMode offload = OffloadMode::Mmsg;
+    /// Socket buffer request per shard socket.  Hundreds of sessions
+    /// hash to each shard; synchronized window bursts overflow default
+    /// buffers long before the protocol is the bottleneck.
+    std::size_t socket_buffer = std::size_t{4} << 20;
     /// Evict a session after this much silence.
     SimTime idle_timeout = 5 * kSecond;
     /// How often each shard scans its slice for idle sessions.
@@ -78,8 +95,18 @@ struct ServerConfig {
     /// Shard receive-arena capacity (datagrams per recvmmsg).
     std::size_t recv_batch = 256;
     /// Hard cap on sessions per shard; first frames beyond it are
-    /// dropped (counted, like any other load shedding).
+    /// rejected (counted, like any other load shedding) unless
+    /// evict_on_pressure frees a victim first.
     std::size_t max_sessions = 1 << 16;
+    /// Per-shard session-memory budget in bytes (0 = uncapped).  The
+    /// effective shard cap is min(max_sessions, budget / footprint)
+    /// where the footprint counts the session record, driver, and the
+    /// w-sized payload stash -- out-of-order caching is a budgeted
+    /// resource, not an implicit per-session given.
+    std::size_t arena_budget = 0;
+    /// At the cap, evict the least-recently-active session to admit a
+    /// new peer (LRU-ish, sampled) instead of rejecting it.
+    bool evict_on_pressure = true;
     /// Ack-direction impairment applied per session, seeded from
     /// (session.seed, conn id) so multi-session runs replay exactly.
     ImpairSpec impair;
@@ -90,14 +117,19 @@ struct ServerConfig {
     }
 };
 
-/// Session-lifecycle counters, in the net::Metrics fields()/to_json()
-/// idiom so bench emitters serialize them the same way.
+/// Session-lifecycle counters, tabled through common/metrics_table.hpp
+/// (the same machinery sim::Metrics and net::Metrics use) so bench
+/// emitters serialize them identically.
 struct ServerStats {
     std::uint64_t sessions_opened = 0;
-    std::uint64_t sessions_evicted = 0;
+    std::uint64_t sessions_evicted = 0;    // idle sweep
     std::uint64_t sessions_reset = 0;      // epoch bumps observed
     std::uint64_t stale_epoch_drops = 0;   // frames from dead incarnations
-    std::uint64_t sessions_rejected = 0;   // table at max_sessions
+    std::uint64_t sessions_rejected = 0;   // table at cap, no victim freed
+    /// Sessions evicted under memory pressure: the shard hit its
+    /// session cap (max_sessions or arena_budget) and the LRU-ish
+    /// victim sampler freed room for a new peer.
+    std::uint64_t sessions_pressure_evicted = 0;
     std::uint64_t decode_errors = 0;       // pre-demux rejects
     std::uint64_t crc_errors = 0;
     /// Kernel-offload tier the shard sockets run (OffloadMode numeric
@@ -105,49 +137,33 @@ struct ServerStats {
     /// one kernel, so mixed tiers only appear after a runtime demotion.
     std::uint64_t offload_tier = 0;
 
+    using Field = MetricsField;
+    static constexpr std::size_t kFieldCount = 9;
+
+    static constexpr std::array<CounterDef<ServerStats>, kFieldCount> kCounters = {{
+        {"sessions_opened", &ServerStats::sessions_opened},
+        {"sessions_evicted", &ServerStats::sessions_evicted},
+        {"sessions_reset", &ServerStats::sessions_reset},
+        {"stale_epoch_drops", &ServerStats::stale_epoch_drops},
+        {"sessions_rejected", &ServerStats::sessions_rejected},
+        {"sessions_pressure_evicted", &ServerStats::sessions_pressure_evicted},
+        {"decode_errors", &ServerStats::decode_errors},
+        {"crc_errors", &ServerStats::crc_errors},
+        {"offload_tier", &ServerStats::offload_tier},
+    }};
+
     ServerStats& operator+=(const ServerStats& o) {
-        sessions_opened += o.sessions_opened;
-        sessions_evicted += o.sessions_evicted;
-        sessions_reset += o.sessions_reset;
-        stale_epoch_drops += o.stale_epoch_drops;
-        sessions_rejected += o.sessions_rejected;
-        decode_errors += o.decode_errors;
-        crc_errors += o.crc_errors;
-        offload_tier = std::max(offload_tier, o.offload_tier);
+        // Every row sums except the tier, which merges by max; redo it
+        // after the tabled accumulation.
+        const std::uint64_t tier = std::max(offload_tier, o.offload_tier);
+        add_counters(*this, o, kCounters);
+        offload_tier = tier;
         return *this;
     }
 
-    struct Field {
-        const char* name;
-        std::uint64_t value;
-    };
-    static constexpr std::size_t kFieldCount = 8;
+    std::array<Field, kFieldCount> fields() const { return counter_fields(*this, kCounters); }
 
-    std::array<Field, kFieldCount> fields() const {
-        return {{{"sessions_opened", sessions_opened},
-                 {"sessions_evicted", sessions_evicted},
-                 {"sessions_reset", sessions_reset},
-                 {"stale_epoch_drops", stale_epoch_drops},
-                 {"sessions_rejected", sessions_rejected},
-                 {"decode_errors", decode_errors},
-                 {"crc_errors", crc_errors},
-                 {"offload_tier", offload_tier}}};
-    }
-
-    std::string to_json() const {
-        std::string out = "{";
-        bool first = true;
-        for (const Field& f : fields()) {
-            if (!first) out += ",";
-            first = false;
-            out += "\"";
-            out += f.name;
-            out += "\":";
-            out += std::to_string(f.value);
-        }
-        out += "}";
-        return out;
-    }
+    std::string to_json() const { return fields_json(fields()); }
 };
 
 /// Per-session egress: a Transport that stages every datagram onto the
@@ -205,24 +221,43 @@ struct SessionView {
     const sim::Metrics* protocol = nullptr;  // driver counters; server-owned
 };
 
+std::pair<std::vector<std::unique_ptr<UdpTransport>>, std::uint16_t> inline make_reuseport_shards(
+    std::uint16_t port, std::size_t shards, OffloadMode offload = OffloadMode::Mmsg,
+    std::size_t socket_buffer = std::size_t{4} << 20);
+
 template <runtime::EndpointCore Core>
 class Server {
 public:
     using Options = typename Core::Options;
 
+    /// Socket-owning constructor: binds cfg.shards SO_REUSEPORT sockets
+    /// on cfg.port (0 = ephemeral; see port()) at cfg.offload, sized by
+    /// cfg.socket_buffer.  The whole construction surface is the one
+    /// ServerConfig aggregate.
+    Server(ServerConfig cfg, Options options, Clock& clock)
+        : Server(make_reuseport_shards(cfg.port, cfg.shards, cfg.offload, cfg.socket_buffer),
+                 std::move(cfg), std::move(options), clock) {}
+
     /// One shard per entry of \p shard_transports (not owned; must
     /// outlive the server).  All shards share \p clock; each owns its
-    /// TimerWheel, arena, egress batch, and session-table slice.
+    /// TimerWheel, arena, egress batch, and session-table slice.  Tests
+    /// and in-process topologies (InprocHub) supply their transports
+    /// here; cfg.shards/port/offload/socket_buffer are ignored.
     Server(ServerConfig cfg, Options options, Clock& clock,
            std::vector<AddressedTransport*> shard_transports)
         : cfg_(std::move(cfg)), options_(std::move(options)) {
         BACP_ASSERT_MSG(!shard_transports.empty(), "server needs at least one shard");
+        shard_cap_ = shard_session_cap();
         shards_.reserve(shard_transports.size());
         for (AddressedTransport* transport : shard_transports) {
             auto shard = std::make_unique<Shard>();
             shard->transport = transport;
             shard->wheel = std::make_unique<TimerWheel>(clock);
             shard->rx.reshape(cfg_.recv_batch, cfg_.session.max_datagram);
+            // Warm the session table toward its cap without paying the
+            // full worst case up front: growth doubles from here, and
+            // once high water is reached steady state never allocates.
+            shard->sessions.reserve(std::min<std::size_t>(shard_cap_, 1024));
             shards_.push_back(std::move(shard));
         }
     }
@@ -231,6 +266,12 @@ public:
     Server& operator=(const Server&) = delete;
 
     std::size_t shard_count() const { return shards_.size(); }
+
+    /// Bound UDP port (socket-owning constructor only; 0 otherwise).
+    std::uint16_t port() const { return port_; }
+
+    /// Effective per-shard session cap after the arena budget.
+    std::size_t session_cap() const { return shard_cap_; }
 
     /// One event-loop iteration of shard \p idx: fire its wheel, drain
     /// its socket (demuxing each datagram to its session), flush the
@@ -244,11 +285,11 @@ public:
         if (fired > 0 && s.has_impaired) {
             // Matured delayed copies were staged by the wheel; push each
             // session's coalesced group into the shard batch.
-            for (auto& [key, session] : s.sessions) {
-                if (session->impairer && session->impairer->has_staged()) {
-                    session->impairer->flush();
+            s.sessions.for_each([](const SessionKey&, Session& session) {
+                if (session.impairer && session.impairer->has_staged()) {
+                    session.impairer->flush();
                 }
-            }
+            });
         }
         for (;;) {
             const std::size_t n = s.transport->recv_batch(s.rx);
@@ -334,7 +375,9 @@ public:
         for (const auto& s : shards_) {
             total += s->drained;
             s->wheel->add_stats(total);  // shard expiry batching (E22 JSON)
-            for (const auto& [key, session] : s->sessions) total += session_transport(*session);
+            s->sessions.for_each([&total](const SessionKey&, const Session& session) {
+                total += session_transport(session);
+            });
         }
         return total;
     }
@@ -344,8 +387,8 @@ public:
         sim::Metrics total;
         bool first = true;
         for (const auto& s : shards_) {
-            for (const auto& [key, session] : s->sessions) {
-                const sim::Metrics& m = session->endpoint->metrics();
+            s->sessions.for_each([&](const SessionKey&, const Session& session) {
+                const sim::Metrics& m = session.endpoint->metrics();
                 if (first) {
                     total = m;
                     first = false;
@@ -359,7 +402,7 @@ public:
                     total.decode_errors += m.decode_errors;
                     total.crc_errors += m.crc_errors;
                 }
-            }
+            });
         }
         return total;
     }
@@ -369,18 +412,18 @@ public:
         std::vector<SessionView> views;
         views.reserve(session_count());
         for (const auto& s : shards_) {
-            for (const auto& [key, session] : s->sessions) {
+            s->sessions.for_each([&views](const SessionKey&, const Session& session) {
                 SessionView v;
-                v.peer = session->peer;
-                v.conn = session->conn;
-                v.epoch = session->epoch;
-                v.delivered = session->endpoint->delivered();
-                v.bytes_delivered = session->endpoint->bytes_delivered();
-                v.payload_mismatches = session->endpoint->payload_mismatches();
-                v.transport = session_transport(*session);
-                v.protocol = &session->endpoint->metrics();
+                v.peer = session.peer;
+                v.conn = session.conn;
+                v.epoch = session.epoch;
+                v.delivered = session.endpoint->delivered();
+                v.bytes_delivered = session.endpoint->bytes_delivered();
+                v.payload_mismatches = session.endpoint->payload_mismatches();
+                v.transport = session_transport(session);
+                v.protocol = &session.endpoint->metrics();
                 views.push_back(std::move(v));
-            }
+            });
         }
         return views;
     }
@@ -422,8 +465,9 @@ public:
     /// Delivered count of the session (peer, conn), or 0 if unknown.
     Seq session_delivered(PeerAddr peer, Seq conn) const {
         for (const auto& s : shards_) {
-            const auto it = s->sessions.find(SessionKey{peer.key(), conn});
-            if (it != s->sessions.end()) return it->second->endpoint->delivered();
+            if (const Session* session = s->sessions.find(SessionKey{peer.key(), conn})) {
+                return session->endpoint->delivered();
+            }
         }
         return 0;
     }
@@ -445,12 +489,16 @@ private:
         std::unique_ptr<TimerWheel> wheel;
         RecvBatch rx{1};
         AddressedSendBatch tx;
-        std::unordered_map<SessionKey, std::unique_ptr<Session>, SessionKeyHash> sessions;
+        /// Flat open-addressing table over a contiguous Session slab:
+        /// demux is one probe run with no node chase, erase is
+        /// tombstone-free, and steady state never allocates.
+        FlatTable<SessionKey, Session, SessionKeyHash> sessions;
         SimTime next_sweep = 0;
         ServerStats stats;
         Metrics drained;  // egress/impair totals of evicted sessions
         bool has_impaired = false;
         std::vector<SessionKey> evict_scratch;
+        std::size_t victim_cursor = 0;  // rotating pressure-sampling start
     };
 
     static Metrics session_transport(const Session& session) {
@@ -473,31 +521,36 @@ private:
         const Seq conn = tagged ? frame.conn.id : 0;
         const Seq epoch = tagged ? frame.conn.epoch : 0;
         const SessionKey key{peer.key(), conn};
-        auto it = s.sessions.find(key);
-        if (it == s.sessions.end()) {
-            if (s.sessions.size() >= cfg_.max_sessions) {
-                ++s.stats.sessions_rejected;
-                return;  // load shed: indistinguishable from loss
+        Session* session = s.sessions.find(key);
+        if (session == nullptr) {
+            if (s.sessions.size() >= shard_cap_) {
+                // At the cap: under pressure policy, free the LRU-ish
+                // victim to admit the new peer; otherwise load shed
+                // (indistinguishable from loss).
+                if (!cfg_.evict_on_pressure || !evict_victim(s)) {
+                    ++s.stats.sessions_rejected;
+                    return;
+                }
+                ++s.stats.sessions_pressure_evicted;
             }
-            it = s.sessions.emplace(key, make_session(s, peer, conn, epoch, tagged)).first;
+            session = make_session(s, key, peer, conn, epoch, tagged);
             ++s.stats.sessions_opened;
-        } else if (epoch > it->second->epoch) {
+        } else if (epoch > session->epoch) {
             // Peer restarted: tear down the old incarnation's state
             // (destructors cancel its timers) and start fresh.
-            reset_session(s, *it->second, epoch);
+            reset_session(s, *session, epoch);
             ++s.stats.sessions_reset;
-        } else if (epoch < it->second->epoch) {
+        } else if (epoch < session->epoch) {
             ++s.stats.stale_epoch_drops;  // late frame from a dead incarnation
             return;
         }
-        Session& session = *it->second;
-        session.last_activity = s.wheel->now();
-        session.endpoint->handle_frame(frame);
+        session->last_activity = s.wheel->now();
+        session->endpoint->handle_frame(frame);
     }
 
-    std::unique_ptr<Session> make_session(Shard& s, PeerAddr peer, Seq conn, Seq epoch,
-                                          bool tagged) {
-        auto session = std::make_unique<Session>();
+    Session* make_session(Shard& s, const SessionKey& key, PeerAddr peer, Seq conn, Seq epoch,
+                          bool tagged) {
+        Session* session = s.sessions.try_emplace(key).first;
         session->peer = peer;
         session->conn = conn;
         session->epoch = epoch;
@@ -506,6 +559,37 @@ private:
         session->egress = std::make_unique<SessionEgress>(s.tx, peer);
         attach_endpoint(s, *session);
         return session;
+    }
+
+    /// Sample a handful of live slots from the session slab and evict
+    /// the least recently active (Redis-style approximate LRU: no
+    /// ordering structure to maintain on the hot path).  Returns false
+    /// only if the slab holds nothing to evict.
+    bool evict_victim(Shard& s) {
+        static constexpr std::size_t kSamples = 8;
+        const std::size_t slots = s.sessions.slot_count();
+        if (slots == 0 || s.sessions.empty()) return false;
+        bool found = false;
+        SessionKey victim{};
+        SimTime oldest = 0;
+        std::size_t seen = 0;
+        for (std::size_t probe = 0; probe < slots && seen < kSamples; ++probe) {
+            const std::size_t slot = (s.victim_cursor + probe) % slots;
+            if (!s.sessions.slot_live(slot)) continue;
+            ++seen;
+            const Session& candidate = s.sessions.slot_value(slot);
+            if (!found || candidate.last_activity < oldest) {
+                found = true;
+                oldest = candidate.last_activity;
+                victim = s.sessions.slot_key(slot);
+            }
+        }
+        s.victim_cursor = (s.victim_cursor + kSamples) % std::max<std::size_t>(slots, 1);
+        if (!found) return false;
+        Session* doomed = s.sessions.find(victim);
+        s.drained += session_transport(*doomed);
+        s.sessions.erase(victim);  // destructors cancel all wheel timers
+        return true;
     }
 
     /// (Re)builds the protocol half of a session: per-session config
@@ -541,32 +625,73 @@ private:
 
     std::size_t sweep(Shard& s, SimTime now) {
         s.evict_scratch.clear();
-        for (const auto& [key, session] : s.sessions) {
-            if (now - session->last_activity >= cfg_.idle_timeout) {
+        s.sessions.for_each([&](const SessionKey& key, const Session& session) {
+            if (now - session.last_activity >= cfg_.idle_timeout) {
                 s.evict_scratch.push_back(key);
             }
-        }
+        });
         for (const SessionKey& key : s.evict_scratch) {
-            const auto it = s.sessions.find(key);
-            s.drained += session_transport(*it->second);
-            s.sessions.erase(it);  // destructors cancel all wheel timers
+            s.drained += session_transport(*s.sessions.find(key));
+            s.sessions.erase(key);  // destructors cancel all wheel timers
             ++s.stats.sessions_evicted;
         }
         return s.evict_scratch.size();
     }
 
+    /// Estimated resident bytes per session: the slab record, the
+    /// driver/endpoint adapter, and the dominant term -- the w-sized
+    /// out-of-order payload stash (w+1 parked buffers).  Timer nodes
+    /// ride on the shared wheel (~4 per session).  An estimate, not an
+    /// accounting: the budget steers the cap, the cap is exact.
+    std::size_t session_footprint() const {
+        const std::size_t w = static_cast<std::size_t>(cfg_.session.w);
+        return sizeof(Session) + sizeof(NetReceiver<Core>) + sizeof(SessionEgress) +
+               (w + 1) * (cfg_.session.payload_size + sizeof(std::vector<std::uint8_t>)) +
+               4 * 128;
+    }
+
+    std::size_t shard_session_cap() const {
+        std::size_t cap = cfg_.max_sessions;
+        if (cfg_.arena_budget > 0) {
+            cap = std::min(cap, std::max<std::size_t>(1, cfg_.arena_budget / session_footprint()));
+        }
+        return cap;
+    }
+
+    /// Socket-owning delegate: adopt the reuseport sockets, then hand
+    /// their raw pointers to the transport-vector constructor.
+    Server(std::pair<std::vector<std::unique_ptr<UdpTransport>>, std::uint16_t> bound,
+           ServerConfig cfg, Options options, Clock& clock)
+        : Server(std::move(cfg), std::move(options), clock, raw_transports(bound.first)) {
+        owned_sockets_ = std::move(bound.first);
+        port_ = bound.second;
+    }
+
+    static std::vector<AddressedTransport*> raw_transports(
+        const std::vector<std::unique_ptr<UdpTransport>>& sockets) {
+        std::vector<AddressedTransport*> raw;
+        raw.reserve(sockets.size());
+        for (const auto& s : sockets) raw.push_back(s.get());
+        return raw;
+    }
+
     ServerConfig cfg_;
     Options options_;
+    std::size_t shard_cap_ = 0;
+    // Declared before shards_ so owned sockets outlive the shards that
+    // point at them during teardown.
+    std::vector<std::unique_ptr<UdpTransport>> owned_sockets_;
+    std::uint16_t port_ = 0;
     std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 /// N SO_REUSEPORT sockets sharing one UDP port (0 = pick an ephemeral
 /// port with the first, then bind the rest to it), each running the
-/// requested kernel-offload tier.  Feed the raw pointers to Server and
-/// keep the vector alive alongside it.
-inline std::pair<std::vector<std::unique_ptr<UdpTransport>>, std::uint16_t>
-make_reuseport_shards(std::uint16_t port, std::size_t shards,
-                      OffloadMode offload = OffloadMode::Mmsg) {
+/// requested kernel-offload tier.  Server's socket-owning constructor
+/// calls this for you; feed the raw pointers to the transport-vector
+/// constructor and keep the vector alive alongside it otherwise.
+std::pair<std::vector<std::unique_ptr<UdpTransport>>, std::uint16_t> inline make_reuseport_shards(
+    std::uint16_t port, std::size_t shards, OffloadMode offload, std::size_t socket_buffer) {
     BACP_ASSERT_MSG(shards > 0, "at least one shard");
     std::vector<std::unique_ptr<UdpTransport>> sockets;
     sockets.reserve(shards);
@@ -579,7 +704,7 @@ make_reuseport_shards(std::uint16_t port, std::size_t shards,
     // bursts overflow the default socket buffers long before the
     // protocol is the bottleneck.
     for (auto& s : sockets) {
-        s->request_buffer_sizes(std::size_t{4} << 20);
+        s->request_buffer_sizes(socket_buffer);
         s->enable_offload(offload);
     }
     return {std::move(sockets), bound};

@@ -9,16 +9,12 @@ namespace bacp::net {
 TimerId TimerWheel::schedule_after(SimTime delay, Handler fn) {
     BACP_ASSERT_MSG(delay >= 0, "negative delay");
     BACP_ASSERT(fn);
-    return heap_.push(clock_->now() + delay, std::move(fn));
+    const SimTime now = clock_->now();
+    return wheel_.push(now, now + delay, std::move(fn));
 }
 
 std::size_t TimerWheel::fire_due() {
-    std::size_t fired = 0;
-    while (!heap_.empty() && heap_.top_time() <= clock_->now()) {
-        auto due = heap_.pop();
-        due.handler();
-        ++fired;
-    }
+    const std::size_t fired = wheel_.fire_due(clock_->now());
     if (fired > 0) {
         ++fire_batches_;
         timers_fired_ += fired;

@@ -5,25 +5,28 @@
 ///
 /// TimerWheel keys deadlines off a net::Clock and fires everything due
 /// when the owning event loop calls fire_due() -- the real-time analogue
-/// of the simulator executing its event queue.  Deadlines live in the
-/// same common::SlabTimerHeap that backs sim::EventQueue: an indexed
-/// 4-ary min-heap over pooled records with a FIFO tiebreak, eager
-/// O(log n) cancellation via generation-stamped ids, and no steady-state
-/// allocation.  Protocol timers are sparse and unsorted-insert heavy,
-/// where a heap beats a cascading hashed wheel at our scale, and the
-/// FIFO tiebreak is what keeps ManualClock runs exactly reproducible.
+/// of the simulator executing its event queue.  Deadlines live in a
+/// common::HierTimerWheel: a hierarchical bucketed wheel with O(1)
+/// arm/cancel and fire work proportional to the timers actually due,
+/// not the armed population.  The old SlabTimerHeap backend (still the
+/// right shape for the simulator's strictly-ordered event queue) paid
+/// O(log n) per arm and a top-of-heap probe per poll that grew with
+/// every armed timer; at 100k multiplexed server sessions the wheel is
+/// what keeps an idle poll cheap.  See common/hier_wheel.hpp for the
+/// design and DESIGN.md section 15 for the measurements.
 ///
-/// Semantics match the simulator's half of the TimerService contract:
-/// a fired or cancelled id never becomes valid again, cancel of such an
-/// id is a no-op, and equal deadlines fire in schedule order.  A handler
-/// may schedule new timers freely; ones already due fire within the same
+/// Semantics match the simulator's half of the TimerService contract
+/// exactly -- the wheel buckets placement, never order: a fired or
+/// cancelled id never becomes valid again, cancel of such an id is a
+/// no-op, and equal deadlines fire in schedule order.  A handler may
+/// schedule new timers freely; ones already due fire within the same
 /// fire_due() call.
 
 #include <cstddef>
 #include <cstdint>
 #include <optional>
 
-#include "common/slab_heap.hpp"
+#include "common/hier_wheel.hpp"
 #include "common/timer_service.hpp"
 #include "common/types.hpp"
 #include "net/clock.hpp"
@@ -39,20 +42,19 @@ public:
 
     TimerId schedule_after(SimTime delay, Handler fn) override;
 
-    void cancel(TimerId id) override { heap_.cancel(id); }
+    void cancel(TimerId id) override { wheel_.cancel(id); }
 
-    /// Deadline of the earliest live timer, or nullopt when none is armed.
-    std::optional<SimTime> next_deadline() const {
-        if (heap_.empty()) return std::nullopt;
-        return heap_.top_time();
-    }
+    /// Deadline of the earliest live timer, or nullopt when none is
+    /// armed.  Exact (not rounded to a bucket), so event loops can
+    /// sleep to it and ManualClock tests can advance to it.
+    std::optional<SimTime> next_deadline() const { return wheel_.next_deadline(); }
 
     /// Fires every timer whose deadline has been reached, in deadline
     /// (then FIFO) order; returns how many fired.
     std::size_t fire_due();
 
     /// Live (armed, not yet fired or cancelled) timers.
-    std::size_t armed() const { return heap_.size(); }
+    std::size_t armed() const { return wheel_.size(); }
 
     /// fire_due() calls that fired at least one timer, and the total
     /// timers they fired -- the ratio says how well the event loop's
@@ -62,21 +64,26 @@ public:
     std::uint64_t fire_batches() const { return fire_batches_; }
     std::uint64_t timers_fired() const { return timers_fired_; }
 
+    /// Cumulative structural work done by fire_due (nodes examined,
+    /// staged, cascaded).  bench_e24 pins that this scales with due
+    /// timers, not armed timers.
+    std::uint64_t fire_work() const { return wheel_.work_ops(); }
+
     /// Adds this wheel's counters to a metrics view.
     void add_stats(Metrics& m) const {
         m.timer_fire_batches += fire_batches_;
         m.timers_fired += timers_fired_;
     }
 
-    /// Pre-sizes the heap for \p additional more concurrent timers
+    /// Pre-sizes the wheel for \p additional more concurrent timers
     /// beyond those currently armed.  Endpoints call this at attach with
     /// their worst-case timer count (window-bounded), so a shared wheel
     /// reaches its high-water mark before traffic does.
-    void reserve(std::size_t additional) { heap_.reserve(heap_.size() + additional); }
+    void reserve(std::size_t additional) { wheel_.reserve(wheel_.size() + additional); }
 
 private:
     Clock* clock_;
-    SlabTimerHeap<Handler> heap_;
+    HierTimerWheel<Handler> wheel_;
     std::uint64_t fire_batches_ = 0;
     std::uint64_t timers_fired_ = 0;
 };

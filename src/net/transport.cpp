@@ -60,22 +60,6 @@ bool tolerable_send_errno(int err) {
 
 }  // namespace
 
-// ---- single-shot shims on the batch path ------------------------------
-
-RecvBatch& Transport::shim_batch() {
-    if (!shim_batch_) shim_batch_ = std::make_unique<RecvBatch>(/*capacity=*/1);
-    return *shim_batch_;
-}
-
-std::optional<std::size_t> Transport::recv(std::span<std::uint8_t> out) {
-    RecvBatch& batch = shim_batch();
-    if (recv_batch(batch) == 0) return std::nullopt;
-    const std::span<const std::uint8_t> datagram = batch[0];
-    BACP_ASSERT_MSG(datagram.size() <= out.size(), "recv buffer smaller than datagram");
-    std::copy(datagram.begin(), datagram.end(), out.begin());
-    return datagram.size();
-}
-
 // ---- UdpTransport -----------------------------------------------------
 
 /// mmsghdr/iovec staging arrays, reused across calls; resize() past the

@@ -10,14 +10,14 @@
 /// receives never block either, so a single-threaded event loop can
 /// interleave I/O with timer processing.
 ///
-/// The API is *batch-first*: the two virtuals every transport implements
+/// The API is *batch-only*: the two virtuals every transport implements
 /// are send_batch() and recv_batch(), moving a whole window's worth of
 /// datagrams per boundary crossing.  That is the shape the protocol
 /// already produces -- NetEngine builds a window of DATA per tick and one
 /// block ack covers a burst -- so per-datagram fixed costs (syscalls,
-/// allocations) amortize across it.  The single-shot send()/recv() are
-/// thin non-virtual shims over a batch of one, kept so existing callers
-/// migrate incrementally.
+/// allocations) amortize across it.  A caller that genuinely has one
+/// datagram passes a batch of one; the single-shot send()/recv() shims
+/// that once papered over the old interface are gone.
 ///
 /// Two implementations:
 ///   UdpTransport     a non-blocking IPv4/UDP socket on loopback;
@@ -38,7 +38,6 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <span>
 #include <utility>
 #include <vector>
@@ -228,19 +227,6 @@ public:
     /// Impairer's matured delayed copies).  Default: nothing staged.
     virtual void flush() {}
 
-    /// Single-shot shim: a send_batch of one.  Returns false when the
-    /// transport dropped the datagram.
-    bool send(std::span<const std::uint8_t> datagram) {
-        const std::span<const std::uint8_t> one[] = {datagram};
-        return send_batch(one) == 1;
-    }
-
-    /// Single-shot shim on the batch path: receives one whole datagram
-    /// into \p out (which must be at least its size -- kMaxDatagram
-    /// always suffices) and returns its length, or nullopt when nothing
-    /// is waiting.
-    std::optional<std::size_t> recv(std::span<std::uint8_t> out);
-
     /// Pollable file descriptor, or -1 when the transport has none
     /// (in-process queues).  May change when an offload tier activates
     /// (UdpTransport swaps in the io_uring fd), so event loops should
@@ -256,12 +242,6 @@ public:
 
 protected:
     Metrics stats_;
-
-private:
-    /// Capacity-1 arena backing the single-shot recv shims, built on
-    /// first use so batch-only users never pay for it.
-    RecvBatch& shim_batch();
-    std::unique_ptr<RecvBatch> shim_batch_;
 };
 
 inline std::size_t SendBatch::flush(Transport& t) {

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/histogram.hpp"
+#include "common/metrics_table.hpp"
 #include "common/types.hpp"
 
 namespace bacp::sim {
@@ -70,50 +71,43 @@ struct Metrics {
     /// One-line human-readable report.
     std::string summary() const;
 
-    struct Field {
-        const char* name;
-        std::uint64_t value;
-    };
+    using Field = MetricsField;
     static constexpr std::size_t kFieldCount = 15;
+
+    /// The counter table (common/metrics_table.hpp): time stamps and the
+    /// latency histograms are not counters and stay out; consumers
+    /// report those through their own fields.
+    static constexpr std::array<CounterDef<Metrics>, kFieldCount> kCounters = {{
+        {"data_new", &Metrics::data_new},
+        {"data_retx", &Metrics::data_retx},
+        {"acks_received", &Metrics::acks_received},
+        {"data_received", &Metrics::data_received},
+        {"duplicates", &Metrics::duplicates},
+        {"acks_sent", &Metrics::acks_sent},
+        {"dup_acks", &Metrics::dup_acks},
+        {"delivered", &Metrics::delivered},
+        {"naks_sent", &Metrics::naks_sent},
+        {"naks_received", &Metrics::naks_received},
+        {"fast_retx", &Metrics::fast_retx},
+        {"sr_dropped", &Metrics::sr_dropped},
+        {"rs_dropped", &Metrics::rs_dropped},
+        {"decode_errors", &Metrics::decode_errors},
+        {"crc_errors", &Metrics::crc_errors},
+    }};
 
     /// Stable name->value view of every protocol counter, in declaration
     /// order -- the same shape net::Metrics exposes, so benches serialize
     /// identically from either runtime (bench::counters_json walks it).
-    /// Time stamps and the latency histogram are not counters and stay
-    /// out; consumers report those through their own fields.
-    std::array<Field, kFieldCount> fields() const {
-        return {{{"data_new", data_new},
-                 {"data_retx", data_retx},
-                 {"acks_received", acks_received},
-                 {"data_received", data_received},
-                 {"duplicates", duplicates},
-                 {"acks_sent", acks_sent},
-                 {"dup_acks", dup_acks},
-                 {"delivered", delivered},
-                 {"naks_sent", naks_sent},
-                 {"naks_received", naks_received},
-                 {"fast_retx", fast_retx},
-                 {"sr_dropped", sr_dropped},
-                 {"rs_dropped", rs_dropped},
-                 {"decode_errors", decode_errors},
-                 {"crc_errors", crc_errors}}};
-    }
+    std::array<Field, kFieldCount> fields() const { return counter_fields(*this, kCounters); }
+
+    /// Sum every tabled protocol counter of `o` into this record.  Times
+    /// and histograms are left alone -- merge those by hand where the
+    /// aggregation semantics are known (e.g. ClientFleet keeps its own
+    /// merged ack-latency histogram).
+    void add_counters_from(const Metrics& o) { add_counters(*this, o, kCounters); }
 
     /// Flat JSON object of every counter.
-    std::string to_json() const {
-        std::string out = "{";
-        bool first = true;
-        for (const Field& f : fields()) {
-            if (!first) out += ",";
-            first = false;
-            out += "\"";
-            out += f.name;
-            out += "\":";
-            out += std::to_string(f.value);
-        }
-        out += "}";
-        return out;
-    }
+    std::string to_json() const { return fields_json(fields()); }
 };
 
 }  // namespace bacp::sim

@@ -29,13 +29,19 @@ std::vector<std::uint8_t> to_vec(std::span<const std::uint8_t> s) {
     return std::vector<std::uint8_t>(s.begin(), s.end());
 }
 
-/// Single-shot receive through the caller-buffer overload, returning an
+/// Batch-of-one send: the smallest legal send_batch.  True when the
+/// transport accepted the datagram.
+bool send_one(Transport& t, std::span<const std::uint8_t> datagram) {
+    const std::span<const std::uint8_t> one[] = {datagram};
+    return t.send_batch(one) == 1;
+}
+
+/// Single-datagram receive through a capacity-1 arena, returning an
 /// owned copy for easy comparison.
 std::optional<std::vector<std::uint8_t>> recv_copy(Transport& t) {
-    std::uint8_t buf[kMaxDatagram];
-    const auto n = t.recv(std::span<std::uint8_t>(buf));
-    if (!n) return std::nullopt;
-    return std::vector<std::uint8_t>(buf, buf + *n);
+    RecvBatch batch(1);
+    if (t.recv_batch(batch) == 0) return std::nullopt;
+    return to_vec(batch[0]);
 }
 
 // -------------------------------------------------------- transports --
@@ -43,8 +49,8 @@ std::optional<std::vector<std::uint8_t>> recv_copy(Transport& t) {
 TEST(InprocTransport, RoundTripBothDirections) {
     auto [a, b] = InprocTransport::make_pair();
     EXPECT_FALSE(recv_copy(*a).has_value());
-    EXPECT_TRUE(a->send(bytes({1, 2, 3})));
-    EXPECT_TRUE(b->send(bytes({9})));
+    EXPECT_TRUE(send_one(*a, bytes({1, 2, 3})));
+    EXPECT_TRUE(send_one(*b, bytes({9})));
     const auto at_b = recv_copy(*b);
     const auto at_a = recv_copy(*a);
     ASSERT_TRUE(at_b.has_value());
@@ -58,12 +64,12 @@ TEST(InprocTransport, RoundTripBothDirections) {
 
 TEST(InprocTransport, TailDropsWhenFull) {
     auto [a, b] = InprocTransport::make_pair(/*capacity=*/2);
-    EXPECT_TRUE(a->send(bytes({1})));
-    EXPECT_TRUE(a->send(bytes({2})));
-    EXPECT_FALSE(a->send(bytes({3})));
+    EXPECT_TRUE(send_one(*a, bytes({1})));
+    EXPECT_TRUE(send_one(*a, bytes({2})));
+    EXPECT_FALSE(send_one(*a, bytes({3})));
     EXPECT_EQ(a->stats().send_drops, 1u);
     EXPECT_EQ(*recv_copy(*b), bytes({1}));
-    EXPECT_TRUE(a->send(bytes({3})));  // space again
+    EXPECT_TRUE(send_one(*a, bytes({3})));  // space again
     EXPECT_EQ(*recv_copy(*b), bytes({2}));
     EXPECT_EQ(*recv_copy(*b), bytes({3}));
 }
@@ -71,24 +77,12 @@ TEST(InprocTransport, TailDropsWhenFull) {
 TEST(UdpTransport, LoopbackRoundTrip) {
     auto [a, b] = UdpTransport::make_pair();
     ASSERT_GE(a->fd(), 0);
-    EXPECT_TRUE(a->send(bytes({0xBA, 0x01})));
+    EXPECT_TRUE(send_one(*a, bytes({0xBA, 0x01})));
     const int fds[] = {b->fd()};
     ASSERT_TRUE(wait_readable(fds, 2 * kSecond));
     const auto got = recv_copy(*b);
     ASSERT_TRUE(got.has_value());
     EXPECT_EQ(*got, bytes({0xBA, 0x01}));
-}
-
-TEST(Transport, CallerBufferRecvReportsLength) {
-    auto [a, b] = InprocTransport::make_pair();
-    ASSERT_TRUE(a->send(bytes({5, 6, 7, 8})));
-    std::uint8_t buf[16] = {};
-    const auto n = b->recv(std::span<std::uint8_t>(buf));
-    ASSERT_TRUE(n.has_value());
-    EXPECT_EQ(*n, 4u);
-    EXPECT_EQ(buf[0], 5u);
-    EXPECT_EQ(buf[3], 8u);
-    EXPECT_FALSE(b->recv(std::span<std::uint8_t>(buf)).has_value());
 }
 
 // -------------------------------------------------------- batch path --
@@ -174,7 +168,7 @@ TEST(TransportBatch, PartialSendCountsTailAsDrops) {
     EXPECT_EQ(to_vec(batch[3]), to_vec(spans[3]));
 }
 
-TEST(TransportBatch, InprocBatchAndSingleShotMoveIdenticalBytes) {
+TEST(TransportBatch, InprocBatchAndBatchOfOneMoveIdenticalBytes) {
     auto [a1, b1] = InprocTransport::make_pair();
     auto [a2, b2] = InprocTransport::make_pair();
     std::vector<std::vector<std::uint8_t>> datagrams;
@@ -184,7 +178,7 @@ TEST(TransportBatch, InprocBatchAndSingleShotMoveIdenticalBytes) {
         spans.emplace_back(datagrams.back());
     }
     EXPECT_EQ(a1->send_batch(spans), 9u);
-    for (const auto& s : spans) EXPECT_TRUE(a2->send(s));
+    for (const auto& s : spans) EXPECT_TRUE(send_one(*a2, s));
     // Same datagrams, same order, same totals -- only the syscall count
     // differs (1 sweep vs 9).
     for (std::size_t i = 0; i < 9; ++i) {
@@ -242,11 +236,10 @@ TEST(WaitReadable, HandlesFdSetsAcrossTheStackCapacityBoundary) {
             << count;
         // Make the *last* descriptor in the set readable so truncation
         // would be caught.
-        ASSERT_TRUE(pairs_a[count - 1]->send(bytes({1})));
+        ASSERT_TRUE(send_one(*pairs_a[count - 1], bytes({1})));
         EXPECT_TRUE(wait_readable(std::span<const int>(fds.data(), count), 2 * kSecond))
             << count;
-        std::uint8_t buf[4];
-        ASSERT_TRUE(pairs_b[count - 1]->recv(std::span<std::uint8_t>(buf)).has_value());
+        ASSERT_TRUE(recv_copy(*pairs_b[count - 1]).has_value());
     }
 }
 
@@ -380,7 +373,7 @@ std::vector<std::vector<std::uint8_t>> impaired_run(std::uint64_t seed, int n) {
     spec.delay_hi = 4 * kMillisecond;
     Impairer impaired(*a, wheel, spec, seed);
     for (int i = 0; i < n; ++i) {
-        impaired.send(std::vector<std::uint8_t>{static_cast<std::uint8_t>(i)});
+        send_one(impaired, std::vector<std::uint8_t>{static_cast<std::uint8_t>(i)});
     }
     while (const auto deadline = wheel.next_deadline()) {
         clock.advance_to(*deadline);
@@ -429,7 +422,7 @@ TEST(Impairer, BatchAndSingleDatagramPathsAreSeedEquivalent) {
         if (batched) {
             impaired.send_batch(spans);
         } else {
-            for (const auto& s : spans) impaired.send(s);
+            for (const auto& s : spans) send_one(impaired, s);
         }
         while (const auto deadline = wheel.next_deadline()) {
             clock.advance_to(*deadline);
@@ -466,7 +459,7 @@ TEST(Impairer, CorruptKnobDoesNotPerturbImpairmentStream) {
         spec.delay_hi = 3 * kMillisecond;
         spec.corrupt = corrupt;
         Impairer impaired(*a, wheel, spec, /*seed=*/1234);
-        for (std::size_t i = 0; i < 128; ++i) impaired.send(numbered_datagram(i, 16));
+        for (std::size_t i = 0; i < 128; ++i) send_one(impaired, numbered_datagram(i, 16));
         while (const auto deadline = wheel.next_deadline()) {
             clock.advance_to(*deadline);
             wheel.fire_due();
@@ -491,7 +484,7 @@ TEST(Impairer, CorruptKnobDoesNotPerturbImpairmentStream) {
 
 TEST(Impairer, CorruptBatchAndSinglePathsAreSeedEquivalent) {
     // The per-copy corrupt draw happens in dispatch order, so batch and
-    // single-shot sends corrupt the same copies the same way.
+    // one-at-a-time sends corrupt the same copies the same way.
     auto run = [](bool batched) {
         ManualClock clock;
         TimerWheel wheel(clock);
@@ -512,7 +505,7 @@ TEST(Impairer, CorruptBatchAndSinglePathsAreSeedEquivalent) {
         if (batched) {
             impaired.send_batch(spans);
         } else {
-            for (const auto& s : spans) impaired.send(s);
+            for (const auto& s : spans) send_one(impaired, s);
         }
         while (const auto deadline = wheel.next_deadline()) {
             clock.advance_to(*deadline);
@@ -551,7 +544,7 @@ TEST(Impairer, CorruptSplitsSealedAndStaleCrcFlavors) {
             frame.push_back(static_cast<std::uint8_t>(crc >> shift));
         }
         sent.push_back(frame);
-        impaired.send(frame);
+        send_one(impaired, frame);
     }
     const Metrics stats = impaired.impair_stats();
     EXPECT_EQ(stats.corrupted, kN);
@@ -578,7 +571,7 @@ TEST(Impairer, CorruptSplitsSealedAndStaleCrcFlavors) {
     EXPECT_EQ(crc_valid, stats.corrupted_sealed);
 
     // Frames too small to carry a trailer pass through untouched.
-    impaired.send(bytes({1, 2, 3}));
+    send_one(impaired, bytes({1, 2, 3}));
     EXPECT_EQ(*recv_copy(*b), bytes({1, 2, 3}));
     EXPECT_EQ(impaired.impair_stats().corrupted, kN);
 }
@@ -589,7 +582,7 @@ TEST(Impairer, TransparentByDefault) {
     auto [a, b] = InprocTransport::make_pair();
     Impairer impaired(*a, wheel, ImpairSpec{}, 7);
     for (int i = 0; i < 50; ++i) {
-        impaired.send(std::vector<std::uint8_t>{static_cast<std::uint8_t>(i)});
+        send_one(impaired, std::vector<std::uint8_t>{static_cast<std::uint8_t>(i)});
     }
     EXPECT_EQ(wheel.armed(), 0u);  // nothing parked
     for (int i = 0; i < 50; ++i) {

@@ -35,6 +35,12 @@ std::vector<std::uint8_t> numbered_datagram(std::size_t i, std::size_t size) {
     return d;
 }
 
+/// Batch-of-one send: the smallest legal send_batch.
+bool send_one(Transport& t, std::span<const std::uint8_t> datagram) {
+    const std::span<const std::uint8_t> one[] = {datagram};
+    return t.send_batch(one) == 1;
+}
+
 struct Corpus {
     std::vector<std::vector<std::uint8_t>> datagrams;
     std::vector<std::span<const std::uint8_t>> spans;
@@ -267,7 +273,7 @@ TEST(OffloadUring, RingFdIsPollable) {
     b->recv_batch(batch);  // arms the multishot; fd() is now the ring
     if (b->offload_tier() != OffloadMode::Uring) GTEST_SKIP() << "uring demoted at runtime";
 
-    ASSERT_TRUE(a->send(numbered_datagram(0, 64)));
+    ASSERT_TRUE(send_one(*a, numbered_datagram(0, 64)));
     const int fds[] = {b->fd()};
     ASSERT_TRUE(wait_readable(fds, 2 * kSecond));
     ASSERT_EQ(b->recv_batch(batch), 1u);
@@ -285,7 +291,7 @@ TEST(OffloadUring, RecordsPeerAddressesForDemux) {
     server.enable_offload(OffloadMode::Uring);
     UdpTransport client;
     client.connect_peer(server.local_port());
-    ASSERT_TRUE(client.send(numbered_datagram(3, 99)));
+    ASSERT_TRUE(send_one(client, numbered_datagram(3, 99)));
 
     RecvBatch batch(8, 2048);
     std::size_t n = 0;
@@ -328,7 +334,7 @@ TEST(OffloadFallback, ImpairerDecidesPerDatagramBeforeCoalescing) {
     // The impairment boundary sits above the transport, so its per-
     // datagram decision stream must be identical whether the transport
     // below coalesces (GSO) or not -- and identical between batch and
-    // single-shot sends.  Loss only: decisions are synchronous, and the
+    // one-at-a-time sends.  Loss only: decisions are synchronous, and the
     // survivor set is a pure function of the seed.
     auto survivors = [](bool batched, OffloadMode mode) {
         SteadyClock clock;
@@ -344,7 +350,7 @@ TEST(OffloadFallback, ImpairerDecidesPerDatagramBeforeCoalescing) {
         if (batched) {
             impaired.send_batch(c.view());
         } else {
-            for (const auto& d : c.datagrams) impaired.send(d);
+            for (const auto& d : c.datagrams) send_one(impaired, d);
         }
         const std::uint64_t offered = impaired.impair_stats().offered;
         const std::uint64_t dropped = impaired.impair_stats().dropped;

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "ba/engine_core.hpp"
+#include "net/client_fleet.hpp"
 #include "net/clock.hpp"
 #include "net/inproc_hub.hpp"
 #include "net/net_engine.hpp"
@@ -304,6 +306,7 @@ TEST(Server, IdleEvictionCancelsAllSessionTimers) {
 TEST(Server, RejectsSessionsBeyondCapacity) {
     ServerConfig cfg = server_config();
     cfg.max_sessions = 2;
+    cfg.evict_on_pressure = false;  // shed, don't evict
 
     ManualClock clock;
     InprocHub hub;
@@ -320,6 +323,130 @@ TEST(Server, RejectsSessionsBeyondCapacity) {
     EXPECT_FALSE(clients[2].sender->done());  // shed, never opened
     EXPECT_EQ(server.session_count(), 2u);
     EXPECT_GT(server.stats().sessions_rejected, 0u);
+}
+
+TEST(Server, PressureEvictsLeastRecentlyActiveSession) {
+    ServerConfig cfg = server_config();
+    cfg.max_sessions = 2;  // evict_on_pressure stays at its true default
+
+    ManualClock clock;
+    InprocHub hub;
+    Server<Core> server(cfg, {}, clock, {&hub.server()});
+    const std::unique_ptr<Transport> a = hub.make_client();
+    const std::unique_ptr<Transport> b = hub.make_client();
+    const std::unique_ptr<Transport> c = hub.make_client();
+
+    // Stagger activity so recency is unambiguous: a is the oldest.
+    inject_data(*a, 1, wire::Conn{1, 1});
+    server.poll();
+    clock.advance(10 * kMillisecond);
+    inject_data(*b, 1, wire::Conn{2, 1});
+    server.poll();
+    clock.advance(10 * kMillisecond);
+    inject_data(*c, 1, wire::Conn{3, 1});
+    server.poll();
+
+    EXPECT_EQ(server.session_count(), 2u);
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.sessions_opened, 3u);
+    EXPECT_EQ(stats.sessions_pressure_evicted, 1u);
+    EXPECT_EQ(stats.sessions_rejected, 0u);
+    // The victim was the least recently active (conn 1); 2 and 3 remain.
+    std::vector<Seq> conns;
+    for (const SessionView& v : server.sessions()) conns.push_back(v.conn);
+    std::sort(conns.begin(), conns.end());
+    EXPECT_EQ(conns, (std::vector<Seq>{2, 3}));
+    // Eviction cancelled the victim's timers; no stale closure can fire.
+    clock.advance(10 * kSecond);
+    server.poll();
+}
+
+TEST(Server, ArenaBudgetCapsSessionsBelowMaxSessions) {
+    ServerConfig cfg = server_config();
+    cfg.max_sessions = 1 << 16;
+    cfg.arena_budget = 1;  // floor: budget always admits at least one
+
+    ManualClock clock;
+    InprocHub hub;
+    Server<Core> server(cfg, {}, clock, {&hub.server()});
+    EXPECT_EQ(server.session_cap(), 1u);
+
+    const std::unique_ptr<Transport> a = hub.make_client();
+    const std::unique_ptr<Transport> b = hub.make_client();
+    inject_data(*a, 1, wire::Conn{1, 1});
+    server.poll();
+    clock.advance(kMillisecond);
+    inject_data(*b, 1, wire::Conn{2, 1});
+    server.poll();
+
+    EXPECT_EQ(server.session_count(), 1u);
+    EXPECT_EQ(server.stats().sessions_pressure_evicted, 1u);
+
+    // No budget: the cap is max_sessions itself.
+    Server<Core> uncapped(server_config(), {}, clock, {&hub.server()});
+    EXPECT_EQ(uncapped.session_cap(), ServerConfig{}.max_sessions);
+}
+
+TEST(ClientFleet, ManySessionsOverFewSocketsCompleteWithinAdmissionWindow) {
+    ManualClock clock;
+    InprocHub hub;
+    Server<Core> server(server_config(), {}, clock, {&hub.server()});
+
+    FleetConfig fcfg;
+    fcfg.session = client_config(12);
+    fcfg.sessions = 24;
+    fcfg.max_active = 8;
+
+    const std::unique_ptr<Transport> s0 = hub.make_client();
+    const std::unique_ptr<Transport> s1 = hub.make_client();
+    const std::unique_ptr<Transport> s2 = hub.make_client();
+    ClientFleet<Core> fleet(fcfg, {}, clock, {s0.get(), s1.get(), s2.get()});
+
+    std::size_t max_active_seen = 0;
+    while (!fleet.done()) {
+        for (;;) {
+            const std::size_t work = server.poll() + fleet.poll();
+            max_active_seen = std::max(max_active_seen, fleet.active_count());
+            if (work == 0) break;
+        }
+        if (fleet.done()) break;
+        std::optional<SimTime> next = fleet.wheel().next_deadline();
+        for (std::size_t i = 0; i < server.shard_count(); ++i) {
+            const auto d = server.shard_wheel(i).next_deadline();
+            if (d && (!next || *d < *next)) next = d;
+        }
+        ASSERT_TRUE(next) << "fleet stalled with no armed deadline";
+        ASSERT_LT(*next, 120 * kSecond);
+        clock.advance_to(*next);
+    }
+
+    const FleetStats& stats = fleet.stats();
+    EXPECT_EQ(stats.sessions_started, 24u);
+    EXPECT_EQ(fleet.finished_count(), 24u);
+    EXPECT_LE(max_active_seen, 8u);  // the ramp never exceeds the window
+    EXPECT_EQ(stats.decode_errors, 0u);
+    EXPECT_EQ(stats.unknown_conn_drops, 0u);
+
+    // Every session landed, demuxed, and delivered fully at the server.
+    EXPECT_EQ(server.stats().sessions_opened, 24u);
+    EXPECT_EQ(server.session_count(), 24u);
+    for (const SessionView& v : server.sessions()) {
+        EXPECT_EQ(v.delivered, 12u);
+        EXPECT_EQ(v.payload_mismatches, 0u);
+    }
+}
+
+TEST(Server, SocketOwningConstructorBindsConfiguredShards) {
+    ServerConfig cfg = server_config();
+    cfg.shards = 2;
+    cfg.port = 0;  // ephemeral
+
+    SteadyClock clock;
+    Server<Core> server(cfg, {}, clock);
+    EXPECT_EQ(server.shard_count(), 2u);
+    EXPECT_NE(server.port(), 0u);
+    EXPECT_EQ(server.session_count(), 0u);
+    server.poll();  // sockets are live and non-blocking
 }
 
 TEST(Server, CountsDecodeAndCrcErrorsAtDemux) {
