@@ -62,6 +62,23 @@ net::NetReport run_once(net::NetMode mode) {
     return engine.run();
 }
 
+/// The duplex scenario: the same transfer with an equal reverse flow
+/// sharing the socket pair and acks deferred onto reverse DATA (wire
+/// type 4).  E25 owns the piggyback-ratio headline; this row pins the
+/// scenario into the loopback suite alongside the one-way cores.
+net::NetReport run_duplex(net::NetMode mode) {
+    net::NetConfig cfg = config();
+    cfg.reverse_count = g_count;
+    cfg.piggyback = true;
+    // Paced arrivals, not bulk: closed-loop reverse DATA only moves when
+    // acks arrive, and acks are exactly what deferral holds back -- a
+    // clock-driven workload gives every deferred ack a carrier (E25
+    // explores this dynamic; its paced scenario is the ratio headline).
+    cfg.arrival_interval = kMillisecond;
+    net::BaNetEngine engine(cfg, {}, mode);
+    return engine.run();
+}
+
 std::string cell(const net::NetReport& r) {
     if (!r.completed) return "INCOMPLETE";
     return workload::fmt(r.goodput_mbps(), 1) + " Mbit/s  " +
@@ -91,6 +108,26 @@ struct Outcome {
         ok &= r.completed && r.payload_mismatches == 0 &&
               r.bytes_delivered >= g_count * kPayload;
     }
+
+    void run_duplex_row() {
+        const net::NetReport r = run_duplex(net::NetMode::Udp);
+        table.add_row({"block-ack duplex", cell(r),
+                       workload::fmt(static_cast<double>(r.bytes_delivered) / 1e6, 2),
+                       workload::fmt(r.datagrams_per_send_syscall(), 2),
+                       std::to_string(r.payload_mismatches),
+                       std::to_string(r.metrics.decode_errors)});
+        counters.set("block-ack duplex",
+                     bench::Json::object()
+                         .set("protocol", bench::counters_json(r.metrics))
+                         .set("transport", bench::counters_json(r.transport_totals()))
+                         .set("piggybacked", bench::Json::num(r.piggybacked))
+                         .set("standalone_acks", bench::Json::num(r.standalone_acks)));
+        // Both directions must complete, uncorrupted, and at least some
+        // acks must have ridden reverse DATA.
+        ok &= r.completed && r.payload_mismatches == 0 &&
+              r.bytes_delivered >= g_count * kPayload &&
+              r.reverse_bytes_delivered >= g_count * kPayload && r.piggybacked > 0;
+    }
 };
 
 struct InprocOutcome {
@@ -109,6 +146,21 @@ struct InprocOutcome {
                        std::to_string(a.metrics.data_retx),
                        replays ? "IDENTICAL" : "DIVERGED"});
         ok &= replays && a.payload_mismatches == 0;
+    }
+
+    void run_duplex_row() {
+        const net::NetReport a = run_duplex(net::NetMode::Inproc);
+        const net::NetReport b = run_duplex(net::NetMode::Inproc);
+        const bool replays = a.completed && b.completed &&
+                             a.bytes_delivered == b.bytes_delivered &&
+                             a.reverse_bytes_delivered == b.reverse_bytes_delivered &&
+                             a.piggybacked == b.piggybacked &&
+                             a.metrics.data_retx == b.metrics.data_retx &&
+                             a.elapsed == b.elapsed;
+        table.add_row({"block-ack duplex", std::to_string(a.bytes_delivered),
+                       std::to_string(a.metrics.data_retx),
+                       replays ? "IDENTICAL" : "DIVERGED"});
+        ok &= replays && a.payload_mismatches == 0 && a.piggybacked > 0;
     }
 };
 
@@ -171,6 +223,7 @@ int main(int argc, char** argv) {
         outcome.run<net::BaNetEngine>("block-ack");
         outcome.run<net::GbnNetEngine>("go-back-n");
         outcome.run<net::SrNetEngine>("selective-repeat");
+        outcome.run_duplex_row();
         outcome.table.print("E19-inproc: same seed => byte-identical replay");
         if (!outcome.ok) {
             std::printf("FAILED: a run diverged or corrupted data\n");
@@ -190,6 +243,7 @@ int main(int argc, char** argv) {
     outcome.run<net::BaNetEngine>("block-ack");
     outcome.run<net::GbnNetEngine>("go-back-n");
     outcome.run<net::SrNetEngine>("selective-repeat");
+    outcome.run_duplex_row();
     outcome.table.print("E19: goodput over real sockets (wall-clock; varies by machine)");
 
     std::printf("\n(Impairment jitters every copy onto its own timer, but copies that\n"

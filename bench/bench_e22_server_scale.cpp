@@ -2,7 +2,7 @@
 //
 // E19/E21 established what one endpoint pair gets from the batch
 // transport.  This bench asks whether those economics survive
-// multiplexing: N real loopback UDP clients, each a full NetSender
+// multiplexing: N real loopback UDP clients, each a full NetEndpoint
 // running the block-ack protocol, against one net::Server whose
 // SO_REUSEPORT shards demux every arriving datagram to its session and
 // coalesce all sessions' acks into shared sendmmsg flushes.
@@ -200,7 +200,7 @@ struct ScaleResult {
 struct Client {
     std::unique_ptr<UdpTransport> transport;
     std::unique_ptr<TimerWheel> wheel;
-    std::unique_ptr<NetSender<Core>> sender;
+    std::unique_ptr<NetEndpoint<Core>> sender;
 };
 
 /// One full point: \p sessions concurrent transfers of \p count messages
@@ -218,7 +218,7 @@ ScaleResult run_point(std::size_t sessions, Seq count, std::size_t shards,
 
     ServerConfig scfg;
     scfg.session.w = kWindow;
-    scfg.session.count = count;
+    scfg.session.rx_count = count;
     scfg.session.payload_size = kPayload;
     scfg.session.max_datagram = kMaxFrame;
     scfg.session.link_lifetime = kLifetime;
@@ -244,7 +244,7 @@ ScaleResult run_point(std::size_t sessions, Seq count, std::size_t shards,
         c.transport->enable_offload(offload);
         c.transport->connect_peer(port);
         c.wheel = std::make_unique<TimerWheel>(clock);
-        c.sender = std::make_unique<NetSender<Core>>(cfg, typename Core::Options{},
+        c.sender = std::make_unique<NetEndpoint<Core>>(cfg, typename Core::Options{},
                                                      *c.wheel, *c.transport);
         clients.push_back(std::move(c));
     }
@@ -402,7 +402,7 @@ int main(int argc, char** argv) {
 
     const OffloadMode tier = resolve_offload(offload);
     std::printf("E22: server scale, %zu shard(s), %llu x %zu B total per point\n"
-                "     (real loopback UDP; every client a full NetSender, every\n"
+                "     (real loopback UDP; every client a full NetEndpoint, every\n"
                 "      session demuxed off the shared reuseport sockets;\n"
                 "      offload %s -> tier %s)\n\n",
                 shards, static_cast<unsigned long long>(total_msgs), kPayload,

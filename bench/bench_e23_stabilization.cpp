@@ -14,7 +14,7 @@
 // checker probes live sender/receiver/channel snapshots on a
 // sub-timeout grid) and *approximate* for the baselines (in-order
 // delivery progress resumed, transfer completed).  A second table runs
-// the wire-level crash/restart: a real NetSender dies mid-window over
+// the wire-level crash/restart: a real client endpoint dies mid-window over
 // net::InprocHub and rejoins its net::Server session by bumping the
 // connection epoch, with exactly-once delivery required.
 //

@@ -204,7 +204,7 @@ FleetResult run_point(std::size_t sessions, std::size_t shards, std::size_t flee
 
     ServerConfig scfg;
     scfg.session.w = kWindow;
-    scfg.session.count = 1 << 20;  // receivers run open-ended
+    scfg.session.rx_count = 1 << 20;  // receivers run open-ended
     scfg.session.payload_size = kPayload;
     scfg.session.max_datagram = kMaxFrame;
     scfg.session.link_lifetime = kLifetime;

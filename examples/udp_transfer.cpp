@@ -1,15 +1,16 @@
 // udp_transfer: the block-ack protocol moving real bytes over real
 // sockets.
 //
-// Default mode runs a complete transfer inside one process -- sender on
-// the main thread, receiver on a worker thread, two UDP sockets on
+// Default mode runs a complete transfer inside one process -- endpoint A
+// on the main thread, endpoint B on a worker thread, two UDP sockets on
 // loopback with seeded loss/dup/reorder between them -- and prints live
-// per-second metrics from the sender's event loop.
+// per-second metrics from A's event loop.
 //
 //   $ ./udp_transfer                          # 4 MB, 5% loss, two threads
 //   $ ./udp_transfer --mb 16 --loss 0.2 --proto sr
 //   $ ./udp_transfer --inproc                 # deterministic replay mode
 //   $ ./udp_transfer --proto ba-bounded --timeout-mode simple --w 16
+//   $ ./udp_transfer --duplex                 # bidirectional, piggybacked acks
 //
 // The protocol knobs (--w, --timeout-mode) are the unified
 // runtime::EngineConfig surface NetConfig inherits: the same fields, with
@@ -19,10 +20,17 @@
 // receiver translates back at delivery.
 //
 // Two-process mode splits the endpoints across real processes; each side
-// binds its own port and connects to the peer's:
+// binds its own port and connects to the peer's.  Every endpoint is
+// duplex-capable: --send and --recv give the classic one-way pair, and
+// --duplex on both sides transfers --mb megabytes in *each* direction
+// simultaneously, with each side's acks piggybacked on its own DATA
+// (wire DATA+ACK frames) and payloads verified at both ends:
 //
 //   terminal 1: ./udp_transfer --recv --port 9001 --peer 9000
 //   terminal 2: ./udp_transfer --send --port 9000 --peer 9001
+//
+//   terminal 1: ./udp_transfer --duplex --port 9001 --peer 9000
+//   terminal 2: ./udp_transfer --duplex --port 9000 --peer 9001
 //
 // Server mode multiplexes many concurrent senders over a few shared
 // sockets (net::Server): every client -- tagged or plain v1 -- becomes
@@ -74,6 +82,12 @@ struct Params {
     std::optional<runtime::TimeoutMode> timeout_mode;  // nullopt = core default
     std::string proto = "ba";
     enum class Mode { Threads, Inproc, Send, Recv, Serve } mode = Mode::Threads;
+    /// Bidirectional: both endpoints transfer --mb each way, acks ride
+    /// reverse DATA.  Combines with Threads/Inproc (one process) or with
+    /// --port/--peer (a two-process duplex endpoint).
+    bool duplex = false;
+    bool piggyback = true;  // --no-piggyback: duplex without deferral (A/B)
+    double pb_delay_ms = 4.0;  // --pb-delay-ms: ack-deferral bound
     std::uint16_t port = 0;
     std::uint16_t peer = 0;
     std::size_t shards = 2;  // --serve: reuseport sockets sharing the port
@@ -95,6 +109,11 @@ net::NetConfig make_cfg(const Params& p) {
     cfg.payload_size = kChunk;
     cfg.impair = net::ImpairSpec::lossy(p.loss);
     cfg.link_lifetime = 20 * kMillisecond;
+    if (p.duplex) {
+        cfg.reverse_count = cfg.count;  // NetEngine modes: B sends back too
+        cfg.piggyback = p.piggyback;
+        cfg.piggyback_delay = static_cast<SimTime>(p.pb_delay_ms * kMillisecond);
+    }
     return cfg;
 }
 
@@ -121,17 +140,31 @@ void progress(const char* who, SimTime elapsed, const sim::Metrics& m, Seq deliv
     std::fflush(stdout);
 }
 
-/// Sender event loop over an already-connected transport.  Returns true
-/// when every message was sent and acknowledged before the deadline.
+/// One duplex endpoint's event loop over an already-connected transport.
+/// Covers every role: pure sender (rx_count == 0), pure receiver
+/// (count == 0), and full duplex.  Returns true when everything this
+/// endpoint originates is acknowledged AND everything it expects has
+/// been delivered and verified, before the deadline.
 template <typename Core>
-bool sender_loop(const net::NetConfig& cfg, net::Clock& clock, net::TimerWheel& wheel,
-                 net::Transport& transport, bool live) {
-    net::NetSender<Core> sender(cfg, {}, wheel, transport);
+bool endpoint_loop(const net::NetConfig& cfg, net::Clock& clock, net::TimerWheel& wheel,
+                   net::Transport& transport, bool live, const char* who,
+                   const std::atomic<bool>* stop = nullptr) {
+    net::NetEndpoint<Core> endpoint(cfg, {}, wheel, transport);
+    // A receiving side must stay up after its last delivery to re-ack
+    // duplicate retransmissions (its final acks may have been lost); it
+    // exits after a quiet linger period.  A pure sender's acks are the
+    // peer's problem, so it exits the moment it is done.
+    const SimTime linger = cfg.rx_count > 0 ? 2 * cfg.effective_timeout() : 0;
     const SimTime start = clock.now();
     SimTime last_print = start;
-    sender.start();
-    while (!sender.done() && clock.now() - start <= cfg.deadline) {
-        if (sender.poll() == 0) {
+    SimTime last_activity = start;
+    endpoint.start();
+    while (clock.now() - start <= cfg.deadline) {
+        if (stop != nullptr && stop->load(std::memory_order_relaxed)) break;
+        if (endpoint.poll() > 0) {
+            last_activity = clock.now();
+        } else {
+            if (endpoint.done() && clock.now() - last_activity >= linger) break;
             // Re-read per wait: the uring tier swaps in its ring fd once
             // the receive path initializes.
             const int fds[] = {transport.fd()};
@@ -139,83 +172,58 @@ bool sender_loop(const net::NetConfig& cfg, net::Clock& clock, net::TimerWheel& 
         }
         if (live && clock.now() - last_print >= kSecond) {
             last_print = clock.now();
-            progress("send", last_print - start, sender.metrics(), 0);
+            progress(who, last_print - start, endpoint.metrics(), endpoint.delivered());
         }
     }
-    const sim::Metrics& m = sender.metrics();
-    std::printf("sender: %s in %.1fs -- %llu new, %llu retx (%.1f%%), %llu acks in\n",
-                sender.done() ? "completed" : "DEADLINE EXCEEDED",
+    const sim::Metrics& m = endpoint.metrics();
+    const bool intact = endpoint.payload_mismatches() == 0;
+    std::printf("%s: %s in %.1fs -- tx %llu new + %llu retx (%.1f%%), "
+                "rx %llu/%llu delivered (%.2f MB)",
+                who, endpoint.done() ? "completed" : "DEADLINE EXCEEDED",
                 to_seconds(clock.now() - start), (unsigned long long)m.data_new,
                 (unsigned long long)m.data_retx, m.retx_fraction() * 100,
-                (unsigned long long)m.acks_received);
-    return sender.done();
-}
-
-/// Receiver event loop; done when the full count has been delivered and
-/// verified against the pattern.
-template <typename Core>
-bool receiver_loop(const net::NetConfig& cfg, net::Clock& clock, net::TimerWheel& wheel,
-                   net::Transport& transport, bool live,
-                   const std::atomic<bool>* stop = nullptr) {
-    net::NetReceiver<Core> receiver(cfg, {}, wheel, transport);
-    // After the last delivery the receiver must stay up to re-ack
-    // duplicate retransmissions (its final acks may have been lost);
-    // it exits on the stop flag or after a quiet linger period.
-    const SimTime linger = 2 * cfg.effective_timeout();
-    const SimTime start = clock.now();
-    SimTime last_print = start;
-    SimTime last_activity = start;
-    while (clock.now() - start <= cfg.deadline) {
-        if (stop != nullptr && stop->load(std::memory_order_relaxed)) break;
-        if (receiver.poll() > 0) {
-            last_activity = clock.now();
-        } else {
-            if (receiver.delivered() == cfg.count &&
-                clock.now() - last_activity >= linger) {
-                break;
-            }
-            const int fds[] = {transport.fd()};
-            net::wait_readable(fds, kMillisecond);
-        }
-        if (live && clock.now() - last_print >= kSecond) {
-            last_print = clock.now();
-            progress("recv", last_print - start, receiver.metrics(), receiver.delivered());
-        }
+                (unsigned long long)endpoint.delivered(), (unsigned long long)cfg.rx_count,
+                static_cast<double>(endpoint.bytes_delivered()) / 1e6);
+    if (cfg.piggyback) {
+        std::printf(", %llu acks piggybacked / %llu standalone",
+                    (unsigned long long)endpoint.piggybacked(),
+                    (unsigned long long)endpoint.standalone_acks());
     }
-    const bool complete = receiver.delivered() == cfg.count;
-    const bool intact = receiver.payload_mismatches() == 0;
-    std::printf("receiver: %llu/%llu messages, %.2f MB, %llu dups dropped, "
-                "%llu decode errors -- payloads %s\n",
-                (unsigned long long)receiver.delivered(), (unsigned long long)cfg.count,
-                static_cast<double>(receiver.bytes_delivered()) / 1e6,
-                (unsigned long long)receiver.metrics().duplicates,
-                (unsigned long long)receiver.metrics().decode_errors,
-                intact ? (complete ? "INTACT" : "intact so far") : "CORRUPT");
-    return complete && intact;
+    if (cfg.rx_count > 0) std::printf(" -- payloads %s", intact ? "INTACT" : "CORRUPT");
+    std::printf("\n");
+    return endpoint.done() && intact;
 }
 
 /// One process, two threads, two UDP sockets: the real deployment shape.
+/// With --duplex both endpoints source and sink --mb megabytes.
 template <typename Core>
 int run_threads(const Params& p) {
-    const net::NetConfig cfg = make_cfg(p);
+    const net::NetConfig base = make_cfg(p);
+    net::NetConfig cfg_a = base;
+    cfg_a.rx_count = base.reverse_count;
+    net::NetConfig cfg_b = base;
+    cfg_b.count = base.reverse_count;
+    cfg_b.rx_count = base.count;
     net::SteadyClock clock;
-    net::TimerWheel wheel_s(clock);
-    net::TimerWheel wheel_r(clock);
-    auto [udp_s, udp_r] = net::UdpTransport::make_pair();
-    udp_s->enable_offload(p.offload);
-    udp_r->enable_offload(p.offload);
-    net::Impairer imp_s(*udp_s, wheel_s, cfg.impair, runtime::mix_seed(cfg.seed, 0xd1));
-    net::Impairer imp_r(*udp_r, wheel_r, cfg.impair, runtime::mix_seed(cfg.seed, 0xac));
+    net::TimerWheel wheel_a(clock);
+    net::TimerWheel wheel_b(clock);
+    auto [udp_a, udp_b] = net::UdpTransport::make_pair();
+    udp_a->enable_offload(p.offload);
+    udp_b->enable_offload(p.offload);
+    net::Impairer imp_a(*udp_a, wheel_a, base.impair, runtime::mix_seed(base.seed, 0xd1));
+    net::Impairer imp_b(*udp_b, wheel_b, base.impair, runtime::mix_seed(base.seed, 0xac));
 
     std::atomic<bool> stop{false};
-    bool rx_ok = false;
+    bool b_ok = false;
     std::thread rx([&] {
-        rx_ok = receiver_loop<Core>(cfg, clock, wheel_r, imp_r, /*live=*/false, &stop);
+        b_ok = endpoint_loop<Core>(cfg_b, clock, wheel_b, imp_b, /*live=*/false,
+                                   p.duplex ? "peer" : "recv", &stop);
     });
-    const bool tx_ok = sender_loop<Core>(cfg, clock, wheel_s, imp_s, /*live=*/true);
+    const bool a_ok = endpoint_loop<Core>(cfg_a, clock, wheel_a, imp_a, /*live=*/true,
+                                          p.duplex ? "main" : "send");
     stop.store(true, std::memory_order_relaxed);
     rx.join();
-    return tx_ok && rx_ok ? 0 : 1;
+    return a_ok && b_ok ? 0 : 1;
 }
 
 /// Deterministic single-threaded variant: InprocTransport + ManualClock.
@@ -230,29 +238,46 @@ int run_inproc(const Params& p) {
                 (unsigned long long)r.metrics.data_retx,
                 (unsigned long long)r.metrics.acks_received,
                 to_seconds(r.elapsed) * 1e3, (unsigned long long)r.payload_mismatches);
+    if (p.duplex) {
+        std::printf("duplex: %.2f MB reverse, %llu acks piggybacked, "
+                    "%llu standalone (%.0f%% piggybacked)\n",
+                    static_cast<double>(r.reverse_bytes_delivered) / 1e6,
+                    (unsigned long long)r.piggybacked,
+                    (unsigned long long)r.standalone_acks, r.piggyback_ratio() * 100);
+    }
     std::printf("(same seed => byte-identical rerun; try it)\n");
     return r.completed ? 0 : 1;
 }
 
 /// One endpoint of a two-process run: bind --port, connect to --peer.
+/// --send and --recv are the classic one-way pair; --duplex transfers
+/// in both directions at once.
 template <typename Core>
 int run_endpoint(const Params& p) {
-    const net::NetConfig cfg = make_cfg(p);
-    const bool sending = p.mode == Params::Mode::Send;
+    net::NetConfig cfg = make_cfg(p);
+    const char* role = "sender";
+    if (p.duplex) {
+        cfg.rx_count = cfg.count;
+        role = "duplex";
+    } else if (p.mode == Params::Mode::Recv) {
+        cfg.rx_count = cfg.count;
+        cfg.count = 0;
+        role = "receiver";
+    }
     net::SteadyClock clock;
     net::TimerWheel wheel(clock);
     net::UdpTransport udp(p.port);
     udp.enable_offload(p.offload);
     udp.connect_peer(p.peer);
-    net::Impairer imp(udp, wheel, cfg.impair,
-                      runtime::mix_seed(cfg.seed, sending ? 0xd1 : 0xac));
-    std::printf("%s endpoint on 127.0.0.1:%u -> peer :%u (%.1f MB, %.0f%% loss, "
+    // Distinct impairment streams per side: seed by the local port in
+    // duplex mode (the roles are symmetric), by the role otherwise.
+    const std::uint64_t salt = p.duplex ? p.port : (cfg.count > 0 ? 0xd1 : 0xac);
+    net::Impairer imp(udp, wheel, cfg.impair, runtime::mix_seed(cfg.seed, salt));
+    std::printf("%s endpoint on 127.0.0.1:%u -> peer :%u (%.1f MB%s, %.0f%% loss, "
                 "offload %s)\n",
-                sending ? "sender" : "receiver", udp.local_port(), p.peer, p.mb,
+                role, udp.local_port(), p.peer, p.mb, p.duplex ? " each way" : "",
                 p.loss * 100, net::offload_mode_name(udp.offload_tier()));
-    const bool ok = sending ? sender_loop<Core>(cfg, clock, wheel, imp, true)
-                            : receiver_loop<Core>(cfg, clock, wheel, imp, true);
-    return ok ? 0 : 1;
+    return endpoint_loop<Core>(cfg, clock, wheel, imp, true, role) ? 0 : 1;
 }
 
 /// Multi-session server: every arriving client (tagged conn or plain v1)
@@ -263,6 +288,10 @@ template <typename Core>
 int run_serve(const Params& p) {
     net::ServerConfig scfg;
     scfg.session = make_cfg(p);
+    // Server sessions sink what clients send (open-ended: the clients
+    // decide the length) and originate nothing back.
+    scfg.session.rx_count = 1 << 20;
+    scfg.session.count = 0;
     // Impairment moves up a level: the server wraps each session's
     // egress, so the session config's own impair spec must not apply.
     scfg.impair = scfg.session.impair;
@@ -274,10 +303,10 @@ int run_serve(const Params& p) {
     for (const auto& s : shard_sockets) shards.push_back(s.get());
     net::Server<Core> server(scfg, {}, clock, shards);
     std::printf("serving on 127.0.0.1:%u, %zu shard(s), protocol %s, offload %s -- "
-                "expecting %llu x %zu B per session, %.0f%% ack-side loss\n",
+                "%zu B chunks, %.0f%% ack-side loss\n",
                 port, p.shards, p.proto.c_str(),
-                net::offload_mode_name(shard_sockets.front()->offload_tier()),
-                (unsigned long long)scfg.session.count, kChunk, p.loss * 100);
+                net::offload_mode_name(shard_sockets.front()->offload_tier()), kChunk,
+                p.loss * 100);
 
     std::signal(SIGINT, on_sigint);
     const SimTime start = clock.now();
@@ -344,7 +373,8 @@ int usage(const char* argv0) {
                  "                                  oracle-per-message]\n"
                  "          [--proto ba|ba-bounded|ba-hole|abp|gbn|sr|tc] [--inproc]\n"
                  "          [--offload auto|mmsg|gso|uring]\n"
-                 "          [--send|--recv --port P --peer P]\n"
+                 "          [--duplex [--no-piggyback] [--pb-delay-ms MS]]\n"
+                 "          [--send|--recv|--duplex --port P --peer P]\n"
                  "          [--serve --port P [--shards N]]\n",
                  argv0);
     return 2;
@@ -363,6 +393,13 @@ int main(int argc, char** argv) {
             p.mode = Params::Mode::Send;
         } else if (arg == "--recv") {
             p.mode = Params::Mode::Recv;
+        } else if (arg == "--duplex") {
+            p.duplex = true;
+        } else if (arg == "--no-piggyback") {
+            p.piggyback = false;
+        } else if (arg == "--pb-delay-ms") {
+            if (const char* v = next()) p.pb_delay_ms = std::atof(v);
+            else return usage(argv[0]);
         } else if (arg == "--serve") {
             p.mode = Params::Mode::Serve;
         } else if (arg == "--shards") {
@@ -404,17 +441,21 @@ int main(int argc, char** argv) {
             return usage(argv[0]);
         }
     }
+    // --duplex with a bound port is the two-process endpoint shape; the
+    // Send/Recv modes share that path.
+    if (p.duplex && p.port != 0) p.mode = Params::Mode::Send;
     if ((p.mode == Params::Mode::Send || p.mode == Params::Mode::Recv) &&
         (p.port == 0 || p.peer == 0)) {
-        std::fprintf(stderr, "--send/--recv need --port and --peer\n");
+        std::fprintf(stderr, "--send/--recv/--duplex need --port and --peer\n");
         return usage(argv[0]);
     }
 
     if (p.mode == Params::Mode::Threads) {
-        std::printf("udp_transfer: %.1f MB as %llu x %zu B over loopback UDP, "
-                    "%.0f%% loss impairment, protocol %s\n",
-                    p.mb, (unsigned long long)make_cfg(p).count, kChunk, p.loss * 100,
-                    p.proto.c_str());
+        std::printf("udp_transfer: %.1f MB%s as %llu x %zu B over loopback UDP, "
+                    "%.0f%% loss impairment, protocol %s%s\n",
+                    p.mb, p.duplex ? " each way" : "",
+                    (unsigned long long)make_cfg(p).count, kChunk, p.loss * 100,
+                    p.proto.c_str(), p.duplex && p.piggyback ? ", piggybacked acks" : "");
     }
 
     if (p.proto == "ba-bounded") {

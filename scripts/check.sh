@@ -28,6 +28,20 @@ echo "== example smoke: udp_transfer --inproc =="
 echo "== example smoke: udp_transfer (UDP loopback, 2 s cap) =="
 "$BUILD_DIR"/examples/udp_transfer --mb 0.25 --deadline-ms 2000
 
+# Bidirectional two-process smoke: two real processes, one duplex
+# endpoint each, --mb megabytes transferred in EACH direction with
+# block acks piggybacked on reverse DATA.  Each endpoint verifies the
+# payload bytes it receives and exits nonzero on any mismatch or an
+# incomplete transfer, so either side failing fails the script.
+echo "== example smoke: udp_transfer --duplex (two processes, both directions) =="
+"$BUILD_DIR"/examples/udp_transfer --duplex --port 19401 --peer 19400 \
+    --mb 0.25 --deadline-ms 20000 &
+DUPLEX_PEER=$!
+sleep 0.3
+"$BUILD_DIR"/examples/udp_transfer --duplex --port 19400 --peer 19401 \
+    --mb 0.25 --deadline-ms 20000
+wait "$DUPLEX_PEER"
+
 # Bench smoke: the E20 steady-state allocation gate.  The budget is an
 # allocation count, not a wall-clock number, so it holds on shared and
 # sanitized runners alike: after warm-up the slab event queue + pooled
@@ -72,6 +86,14 @@ echo "== bench smoke: E23 self-stabilization convergence gate =="
 # over 100k armed timers must do no per-timer work).
 echo "== bench smoke: E24 fleet scale alloc + timer scaling gate =="
 (cd "$BUILD_DIR"/bench && ./bench_e24_fleet_scale --quick --check-budget 0)
+
+# Duplex piggyback gate.  E25 runs bidirectional load through one
+# NetEndpoint per side and requires >= 50% of acks piggybacked on
+# reverse DATA, fewer total datagrams than two one-way sessions,
+# deterministic replay, and the same zero-steady-state-allocation
+# budget per datagram as E20-E24 -- counts and ratios, sanitizer-stable.
+echo "== bench smoke: E25 duplex piggyback + alloc gate =="
+(cd "$BUILD_DIR"/bench && ./bench_e25_duplex --quick --check-budget 0)
 
 # Sweep determinism: the parallel experiment fan-out must render
 # byte-identical tables at 1, 2, and 8 threads (see scripts/sweep.sh).

@@ -64,7 +64,12 @@ public:
           nak_enabled_(cfg.enable_nak),
           nak_threshold_(cfg.nak_threshold),
           data_lifetime_(cfg.data_link.max_lifetime()),
-          nak_interval_(cfg.data_link.max_lifetime() + cfg.ack_link.max_lifetime()) {}
+          nak_interval_(cfg.data_link.max_lifetime() + cfg.ack_link.max_lifetime()) {
+        // Clipping one ack yields at most ceil(w/2) disjoint runs
+        // (covered/uncovered must alternate); reserving now keeps the
+        // worst-case ack off the allocator mid-run.
+        runs_scratch_.reserve(static_cast<std::size_t>(cfg.w) / 2 + 1);
+    }
 
     const SenderT& sender_core() const { return sender_; }
     const ReceiverT& receiver_core() const { return receiver_; }

@@ -79,7 +79,7 @@ CrashRestartReport run_crash_restart(const CrashRestartSpec& spec = {}) {
     scfg.session.w = spec.w;
     scfg.session.seed = spec.seed;
     scfg.session.payload_size = spec.payload_size;
-    scfg.session.count = 1 << 20;  // receivers run open-ended
+    scfg.session.rx_count = 1 << 20;  // receivers run open-ended
     scfg.impair.loss = spec.loss;
     net::Server<Core> server(scfg, {}, clock, {&hub.server()});
 
@@ -95,7 +95,7 @@ CrashRestartReport run_crash_restart(const CrashRestartSpec& spec = {}) {
 
     std::unique_ptr<net::Transport> transport = hub.make_client();
     auto wheel = std::make_unique<net::TimerWheel>(clock);
-    auto sender = std::make_unique<net::NetSender<Core>>(
+    auto sender = std::make_unique<net::NetEndpoint<Core>>(
         client_config(spec.first_count, wire::Conn{7, 1}), typename Core::Options{},
         *wheel, *transport);
     sender->start();
@@ -137,7 +137,7 @@ CrashRestartReport run_crash_restart(const CrashRestartSpec& spec = {}) {
 
     // ---- incarnation 2: same conn, epoch + 1, no handshake -----------------
     const SimTime restarted_at = clock.now();
-    sender = std::make_unique<net::NetSender<Core>>(
+    sender = std::make_unique<net::NetEndpoint<Core>>(
         client_config(spec.second_count, wire::Conn{7, 2}), typename Core::Options{},
         *wheel, *transport);
     sender->start();

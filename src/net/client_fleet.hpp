@@ -7,7 +7,7 @@
 /// harness that loads it must do the same or the *client* becomes the
 /// bottleneck (100k NetEngines would mean 100k sockets, 100k receive
 /// arenas, and 100k poll loops).  ClientFleet is the sender-side mirror
-/// of the server's shard: N NetSender sessions share F connected
+/// of the server's shard: N NetEndpoint sessions share F connected
 /// sockets, one TimerWheel, and one receive arena.  Each session's
 /// egress stages onto its socket's shared SendBatch (the tick's frames
 /// from every session on that socket leave in one sendmmsg), and
@@ -15,7 +15,7 @@
 /// once, handed to the owning session as a FrameView.
 ///
 /// Sessions never touch a socket themselves: they are driven through
-/// NetSender::handle_frame(), so their lazy receive arenas are never
+/// NetEndpoint::handle_frame(), so their lazy receive arenas are never
 /// built and per-session memory stays at the protocol state proper.
 /// Connection ids are dense (first_conn .. first_conn + sessions - 1),
 /// making demux an index, not a hash.
@@ -215,7 +215,7 @@ private:
         Member(const NetConfig& cfg, const Options& options, TimerWheel& wheel, SendBatch& out)
             : egress(out), sender(cfg, options, wheel, egress) {}
         FleetEgress egress;        // declared first: sender holds a reference
-        NetSender<Core> sender;
+        NetEndpoint<Core> sender;
         bool touched = false;
         bool finished = false;
     };

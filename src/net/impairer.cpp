@@ -36,7 +36,39 @@ bool Impairer::scripted_drop(std::uint64_t index) const {
 }
 
 Impairer::~Impairer() {
-    for (const TimerId id : live_timers_) wheel_->cancel(id);
+    for (const Parked& slot : parked_) {
+        if (slot.live) wheel_->cancel(slot.timer);
+    }
+}
+
+void Impairer::reserve_slots(std::size_t slots, std::size_t bytes) {
+    if (parked_.size() >= slots) return;
+    parked_.reserve(slots);
+    free_slots_.reserve(slots);
+    while (parked_.size() < slots) {
+        parked_.emplace_back();
+        parked_.back().buf.reserve(bytes);
+        free_slots_.push_back(static_cast<std::uint32_t>(parked_.size() - 1));
+    }
+    wheel_->reserve(slots);
+    // Every parked copy can mature into the same flush, and every copy in
+    // one offered batch can go out immediately (with a duplicate each);
+    // size the staging structures for that worst case up front.
+    staged_.reserve(slots, slots * bytes);
+    immediate_.reserve(2 * slots);
+}
+
+std::uint32_t Impairer::acquire_slot() {
+    if (!free_slots_.empty()) {
+        const std::uint32_t idx = free_slots_.back();
+        free_slots_.pop_back();
+        return idx;
+    }
+    parked_.emplace_back();
+    // Keep the free list's capacity in step with the pool so releasing a
+    // slot never allocates either.
+    free_slots_.reserve(parked_.size());
+    return static_cast<std::uint32_t>(parked_.size() - 1);
 }
 
 std::size_t Impairer::send_batch(std::span<const std::span<const std::uint8_t>> datagrams) {
@@ -142,18 +174,22 @@ void Impairer::dispatch(std::span<const std::uint8_t> copy, SimTime delay) {
         return;
     }
     ++stats_.delayed;
-    // The timer id is only known after schedule_after() returns, so the
-    // closure reads it through a shared slot patched in just below.
-    auto slot = std::make_shared<TimerId>(kInvalidTimer);
-    auto payload = std::make_shared<std::vector<std::uint8_t>>(copy.begin(), copy.end());
-    const TimerId id = wheel_->schedule_after(delay, [this, slot, payload]() {
-        live_timers_.erase(*slot);
+    // Park the copy in a pooled slot; the handler captures only (this,
+    // index), which fits the wheel's inplace handler storage, so the
+    // steady-state delayed path never touches the allocator (the slot's
+    // buffer keeps its high-water capacity across reuse).
+    const std::uint32_t idx = acquire_slot();
+    Parked& slot = parked_[idx];
+    slot.buf.assign(copy.begin(), copy.end());
+    slot.live = true;
+    slot.timer = wheel_->schedule_after(delay, [this, idx]() {
+        Parked& fired = parked_[idx];
         // Stage rather than send: due copies coalesce into one inner
         // batch at the owner's next flush(), right after fire_due().
-        staged_.append(*payload);
+        staged_.append(fired.buf);
+        fired.live = false;
+        free_slots_.push_back(idx);
     });
-    *slot = id;
-    live_timers_.insert(id);
 }
 
 }  // namespace bacp::net

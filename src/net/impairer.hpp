@@ -27,7 +27,6 @@
 #include <cstdint>
 #include <memory>
 #include <span>
-#include <unordered_set>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -103,6 +102,15 @@ public:
     /// TransportStats/ImpairStats merger for existing callers.
     const Metrics& impair_stats() const { return stats(); }
 
+    /// Pre-warms the delayed-copy pool: \p slots parked copies of up to
+    /// \p bytes each, plus matching wheel capacity.  Owners that know
+    /// their worst-case in-flight population (NetEngine: both windows
+    /// plus duplication headroom) call this at wiring time so a loss
+    /// burst late in a run grows nothing -- the allocation gates snap
+    /// their baseline mid-run and would otherwise count high-water
+    /// trickle as steady-state work.
+    void reserve_slots(std::size_t slots, std::size_t bytes);
+
 private:
     /// True when the datagram with 0-based offered index \p index is on
     /// the loss script.
@@ -120,12 +128,27 @@ private:
     /// call that produced it).
     std::span<const std::uint8_t> maybe_corrupt(std::span<const std::uint8_t> copy);
 
+    /// One parked delayed copy.  Slots live in a pool and are recycled
+    /// through free_slots_: the payload vector keeps its capacity across
+    /// reuse and the wheel handler captures only (this, index), so once
+    /// the pool and every buffer reach high-water size the delayed path
+    /// allocates nothing -- the same steady-state discipline as the
+    /// transports (E25 gates on it with impairment enabled).
+    struct Parked {
+        std::vector<std::uint8_t> buf;
+        TimerId timer = kInvalidTimer;
+        bool live = false;
+    };
+
+    std::uint32_t acquire_slot();
+
     Transport* inner_;
     TimerWheel* wheel_;
     ImpairSpec spec_;
     Rng rng_;
     Rng rng_corrupt_;  // decoupled stream: see ImpairSpec::corrupt
-    std::unordered_set<TimerId> live_timers_;
+    std::vector<Parked> parked_;
+    std::vector<std::uint32_t> free_slots_;
     /// Copies going out in the current send_batch call (zero-delay) --
     /// spans into caller memory, valid for the duration of the call.
     std::vector<std::span<const std::uint8_t>> immediate_;

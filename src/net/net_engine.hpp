@@ -2,22 +2,31 @@
 
 /// \file net_engine.hpp
 /// The real-time transport runtime: transport adapters over
-/// runtime::EndpointDriver, driving the same EndpointCore machines the
+/// runtime::DuplexDriver, driving the same EndpointCore machines the
 /// discrete-event runtime::Engine drives -- over actual datagrams and a
 /// wall (or manual) clock.
 ///
 /// Where the DES engine adapts the shared driver to a simulator and two
-/// SimChannels, a real network forces a split at the channel: NetSender
-/// and NetReceiver each embed their own EndpointDriver over a full core
-/// (a core bundles both protocol halves; each endpoint simply exercises
-/// only its half -- the halves share no state), supply a TimerWheel as
-/// the driver's TimerService, and exchange frames serialized through
-/// wire::codec.  All timeout disciplines, window pumping, ack policy, and
-/// resend selection live in the driver (runtime/endpoint_driver.hpp);
-/// these classes only encode/decode, batch, stash payloads, and count
+/// SimChannels, a real network has one endpoint per socket end -- and a
+/// real endpoint is *duplex*.  NetEndpoint embeds a DuplexDriver (a
+/// sending-half and a receiving-half EndpointDriver sharing this
+/// environment's clock, TimerWheel, and egress batch), supplies the
+/// wheel as the drivers' TimerService, and exchanges frames serialized
+/// through wire::codec.  The classic one-way shapes are trivial
+/// configurations of it: count > 0, rx_count == 0 is the old pure
+/// sender; count == 0, rx_count > 0 the old pure receiver.  With
+/// `piggyback` on, the duplex layer defers acks so reverse DATA carries
+/// them as DATA+ACK frames (wire type 4); off, every ack egresses
+/// immediately and the one-way decision streams are byte-identical to
+/// the pre-duplex runtime (tests/test_driver_parity.cpp pins that).
+///
+/// All timeout disciplines, window pumping, ack policy, resend
+/// selection, and the ack-deferral policy live in the runtime layer
+/// (runtime/endpoint_driver.hpp, runtime/duplex_driver.hpp); this class
+/// only encodes/decodes, batches, stashes payloads, and counts
 /// transport-level anomalies.  Every datagram is CRC-32C checked on
-/// receive; a frame that fails decode is counted and dropped, i.e. fed to
-/// the loss tolerance the protocol already has -- exactly the channel
+/// receive; a frame that fails decode is counted and dropped, i.e. fed
+/// to the loss tolerance the protocol already has -- exactly the channel
 /// model the paper's proof assumes.
 ///
 /// This environment advertises kHasOracle = false: real time cannot
@@ -25,23 +34,23 @@
 /// with its quiescence timer (a full conservative timeout of silence)
 /// instead of the DES's provable idle point.
 ///
-/// NetEngine<Core> composes a sender and receiver endpoint over a
-/// transport pair (UDP loopback or in-process queues) with seeded
-/// impairment, and drives a fixed-size transfer of pattern payloads to
-/// completion.  With --inproc (InprocTransport + ManualClock) a run is a
-/// pure function of its seed: time advances only to the next timer
-/// deadline, so two runs deliver byte-identical traffic.
+/// NetEngine<Core> composes two endpoints over a transport pair (UDP
+/// loopback or in-process queues) with seeded impairment and drives a
+/// fixed-size transfer of pattern payloads to completion -- one-way by
+/// default, bidirectional when reverse_count > 0.  With --inproc
+/// (InprocTransport + ManualClock) a run is a pure function of its seed:
+/// time advances only to the next timer deadline, so two runs deliver
+/// byte-identical traffic.
 
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
 #include <thread>
-#include <unordered_map>
 #include <utility>
-#include <variant>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -54,6 +63,7 @@
 #include "net/timer_wheel.hpp"
 #include "net/transport.hpp"
 #include "protocol/message.hpp"
+#include "runtime/duplex_driver.hpp"
 #include "runtime/endpoint_core.hpp"
 #include "runtime/endpoint_driver.hpp"
 #include "runtime/session_util.hpp"
@@ -107,6 +117,28 @@ struct NetConfig : runtime::EngineConfig {
     /// climb the ladder, Auto takes the best the kernel supports.
     /// Ignored in Inproc mode (no kernel below the queues).
     OffloadMode offload = OffloadMode::Mmsg;
+    /// Messages this endpoint expects to *sink* (its receiving half's
+    /// target); the inherited `count` stays the messages it originates.
+    /// (count, 0) is the classic pure sender, (0, rx_count) the pure
+    /// receiver, both nonzero a duplex endpoint.
+    Seq rx_count = 0;
+    /// NetEngine only: reverse-direction message count (endpoint B back
+    /// to endpoint A), turning the engine's transfer bidirectional.  The
+    /// endpoints derive their own count/rx_count splits from it.
+    Seq reverse_count = 0;
+    /// Defer acks so reverse DATA carries them as DATA+ACK piggyback
+    /// frames (wire type 4); a flush timer bounds the deferral at
+    /// piggyback_delay.  Both endpoints of a session must agree on this
+    /// pair, exactly as they must agree on w and the ack policy: the
+    /// conservatively derived timeout folds the deferral bound in.
+    /// Off by default -- one-way sessions gain nothing, and the pinned
+    /// cross-runtime decision parity stays timestamp-exact.
+    bool piggyback = false;
+    SimTime piggyback_delay = 2 * kMillisecond;
+    /// Stream tag stamped on every frame (kNoStream = untagged): the
+    /// link-layer mux (link::NetStreamMux) runs several endpoints over
+    /// one shared transport and demuxes arrivals by this id.
+    Seq stream = wire::kNoStream;
 
     std::size_t effective_batch() const {
         if (batch > 0) return batch;
@@ -124,10 +156,19 @@ struct NetConfig : runtime::EngineConfig {
         return e;
     }
 
+    runtime::DuplexSpec duplex_spec() const {
+        return runtime::DuplexSpec{rx_count, piggyback, piggyback_delay};
+    }
+
     /// Retransmission timeout: explicit, or the conservative bound
     /// L_SR + L_RS + max ack delay + margin (the one shared formula,
-    /// runtime::derived_timeout).
-    SimTime effective_timeout() const { return runtime::effective_timeout(engine_config()); }
+    /// runtime::derived_timeout) -- widened by the ack-deferral bound
+    /// when piggybacking, mirroring DuplexDriver's own derivation.
+    SimTime effective_timeout() const {
+        SimTime t = runtime::effective_timeout(engine_config());
+        if (timeout == 0 && piggyback) t += piggyback_delay;
+        return t;
+    }
 };
 
 /// Deterministic payload for message \p seq: a splitmix64 stream keyed by
@@ -152,41 +193,79 @@ inline std::vector<std::uint8_t> pattern_payload(Seq seq, std::size_t size) {
     return payload;
 }
 
-/// Sending endpoint: the transport environment for the sender half of a
-/// core's driver.  poll() is the event loop body -- fire due timers,
-/// drain arriving datagrams -- and must be called from one thread only.
+/// One duplex transport endpoint: the environment for a DuplexDriver
+/// over a real transport.  poll() is the event-loop body -- fire due
+/// timers, drain arriving datagrams, flush staged frames -- and must be
+/// called from one thread only.
+///
+/// Payload bytes default to the verifiable pattern; set_payload_source /
+/// set_deliver_sink rebind both ends to real data (the link layer and
+/// the file-transfer example feed actual bytes through these).
 template <runtime::EndpointCore Core>
-class NetSender {
+class NetEndpoint {
 public:
     using Options = typename Core::Options;
+    /// Fills `out` with the payload of message \p true_seq.  Must be
+    /// random-access: retransmissions re-request any outstanding seq.
+    using PayloadSource = std::function<void(Seq true_seq, std::vector<std::uint8_t>& out)>;
+    /// Consumes the bytes of one in-order delivery.
+    using DeliverSink = std::function<void(Seq true_seq, std::span<const std::uint8_t> payload)>;
 
     /// \p wheel is this endpoint's (and, when impaired, its Impairer's)
     /// timer wheel; poll() fires it, so both must live on one thread.
-    NetSender(const NetConfig& cfg, Options options, TimerWheel& wheel, Transport& transport)
+    NetEndpoint(const NetConfig& cfg, Options options, TimerWheel& wheel, Transport& transport)
         : cfg_(cfg),
           wheel_(wheel),
           transport_(&transport),
-          driver_(cfg_.engine_config(), std::move(options), *this) {
+          duplex_(cfg_.engine_config(), cfg_.duplex_spec(), std::move(options), *this) {
         // Worst case live timers: one per outstanding message (per-message
-        // mode) plus the simple/quiescence/pacing singletons.  Reserving
-        // now means a loss burst late in a run grows nothing.
-        wheel_.reserve(static_cast<std::size_t>(cfg_.w) + 4);
+        // mode) plus the simple/quiescence/pacing/ack-flush singletons of
+        // each active half and the deferral flush timer.  Reserving now
+        // means a loss burst late in a run grows nothing.
+        std::size_t timers = 4;
+        if (cfg_.count > 0) timers += static_cast<std::size_t>(cfg_.w) + 4;
+        if (cfg_.piggyback) timers += 1;
+        wheel_.reserve(timers);
+        // The stash holds at most a window of out-of-order payloads (+1
+        // for the in-flight arrival, so a full window never triggers a
+        // table grow); reserve to worst case so the first loss burst
+        // (which may come long after warmup) allocates nothing.
+        if (cfg_.rx_count > 0) {
+            stash_.reserve_buffers(static_cast<std::size_t>(cfg_.w) + 1, cfg_.payload_size);
+        }
+        // One tick can stage a timeout burst of DATA, the acks provoked
+        // by a full receive arena, and the retransmissions those acks
+        // release -- all before the poll's flush; size the batch builder
+        // for that now rather than letting it creep to high water
+        // mid-run.
+        const std::size_t burst = 4 * static_cast<std::size_t>(cfg_.w) + 32;
+        tx_batch_.reserve(burst, burst * (cfg_.payload_size + 128));
+        batch_cap_ = burst;
     }
 
-    NetSender(const NetSender&) = delete;
-    NetSender& operator=(const NetSender&) = delete;
+    NetEndpoint(const NetEndpoint&) = delete;
+    NetEndpoint& operator=(const NetEndpoint&) = delete;
 
-    /// Opens the faucet.  Call once before the poll loop.
+    /// Opens the faucet of the sending half (a pure receiver has none).
+    /// Call once before the poll loop.
     void start() {
-        driver_.start();
+        if (cfg_.count > 0) duplex_.start();
+        tx_batch_.flush(*transport_);
+    }
+
+    /// Application-gated arrivals (EngineConfig::app_arrivals): the
+    /// caller queued \p n more payloads with its payload source, so the
+    /// window may pump them now.  Flushes whatever the pump staged.
+    void release(Seq n) {
+        duplex_.release(n);
         tx_batch_.flush(*transport_);
     }
 
     /// One event-loop iteration: fires due timers, pushes out matured
     /// delayed copies, then handles every datagram currently readable --
     /// drained a whole arena at a time -- and finally flushes everything
-    /// the tick staged (new sends, retransmits) as one batch.  Returns
-    /// how many units of work (timers + datagrams) were processed.
+    /// the tick staged (new sends, retransmits, acks) as one batch.
+    /// Returns how many units of work (timers + datagrams) were processed.
     std::size_t poll() {
         std::size_t work = wheel_.fire_due();
         transport_->flush();  // delayed impairer copies matured above
@@ -201,38 +280,80 @@ public:
         return work;
     }
 
-    /// Feeds one already-decoded frame to the driver -- the entry point
+    /// Feeds one already-decoded frame to the drivers -- the entry point
     /// a server uses after demuxing a shared socket's arena (each
     /// datagram is decoded exactly once, by the demux).  poll() routes
-    /// its own datagrams through here too.
+    /// its own datagrams through here too.  Frames for a direction this
+    /// endpoint does not run (DATA at a pure sender, ACK at a pure
+    /// receiver) are counted as anomalies and dropped.
     void handle_frame(const wire::FrameView& frame) {
         switch (frame.type) {
             case wire::FrameType::Ack:
-                driver_.handle_ack(proto::Ack{frame.lo, frame.hi});
+                if (cfg_.count == 0) return count_anomaly();
+                duplex_.handle_ack(proto::Ack{frame.lo, frame.hi});
                 break;
             case wire::FrameType::Nak:
-                driver_.handle_nak(proto::Nak{frame.seq});
+                if (cfg_.count == 0) return count_anomaly();
+                duplex_.handle_nak(proto::Nak{frame.seq});
                 break;
-            default:
-                // DATA at the sender endpoint of a one-way transfer: a
-                // frame we never asked for.  Count it as an anomaly.
-                ++driver_.metrics_mut().decode_errors;
+            case wire::FrameType::Data:
+                if (cfg_.rx_count == 0) return count_anomaly();
+                ingest_data(frame, nullptr);
                 break;
+            case wire::FrameType::DataAck: {
+                // The ack half rides for our sending side; the data half
+                // for our receiving side.  A pure receiver still absorbs
+                // the data half (the ack half clips to an empty window).
+                if (cfg_.rx_count == 0) return count_anomaly();
+                const proto::Ack ack{frame.lo, frame.hi};
+                ingest_data(frame, &ack);
+                break;
+            }
         }
     }
 
-    /// Every message sent and acknowledged.
-    bool done() const { return driver_.all_sent_and_acked(); }
+    /// Every originated message sent and acknowledged, every expected
+    /// arrival delivered.
+    bool done() const { return duplex_.done(); }
+    bool tx_done() const { return duplex_.tx_done(); }
+    bool rx_done() const { return duplex_.rx_done(); }
+
+    Seq delivered() const { return duplex_.delivered(); }
+    std::uint64_t bytes_delivered() const { return bytes_delivered_; }
+    /// Delivered payloads whose bytes did not match the expected pattern.
+    /// Must be zero: CRC-32C rejects corruption before the core sees it.
+    std::uint64_t payload_mismatches() const { return payload_mismatches_; }
+    /// Acks that rode reverse DATA frames vs. egressed standalone.
+    std::uint64_t piggybacked() const { return duplex_.piggybacked(); }
+    std::uint64_t standalone_acks() const { return duplex_.standalone_acks(); }
 
     TimerWheel& wheel() { return wheel_; }
-    const sim::Metrics& metrics() const { return driver_.metrics(); }
-    SimTime timeout_value() const { return driver_.timeout_value(); }
-    const Core& core() const { return driver_.core(); }
+    SimTime timeout_value() const { return duplex_.timeout_value(); }
+    const Core& tx_core() const { return duplex_.tx_core(); }
+    const Core& rx_core() const { return duplex_.rx_core(); }
 
-    /// Attach (or detach, with nullptr) a protocol-decision recorder.
-    void set_decision_log(runtime::DecisionLog* log) { driver_.set_decision_log(log); }
+    /// Field-wise sum of both halves' counters, with the receiving
+    /// half's delivery-latency histogram and the sending half's
+    /// ack-latency histogram riding along.  Recomputed per call into a
+    /// stable member, so the reference outlives the call.
+    const sim::Metrics& metrics() const {
+        merged_ = duplex_.tx_metrics();
+        merged_.add_counters_from(duplex_.rx_metrics());
+        merged_.latency = duplex_.rx_metrics().latency;
+        return merged_;
+    }
+    const sim::Metrics& tx_metrics() const { return duplex_.tx_metrics(); }
+    const sim::Metrics& rx_metrics() const { return duplex_.rx_metrics(); }
 
-    // ---- Environment hooks (called by EndpointDriver) ----------------------
+    /// Attach (or detach, with nullptr) a protocol-decision recorder;
+    /// both halves share it ('S' / 'R' endpoint chars keep the streams
+    /// separable).
+    void set_decision_log(runtime::DecisionLog* log) { duplex_.set_decision_log(log); }
+
+    void set_payload_source(PayloadSource source) { payload_source_ = std::move(source); }
+    void set_deliver_sink(DeliverSink sink) { deliver_sink_ = std::move(sink); }
+
+    // ---- Environment hooks (called by DuplexDriver) ------------------------
     // Public because the driver is a distinct type; not user API.
 
     /// Real time cannot prove quiescence; the driver substitutes its
@@ -244,149 +365,32 @@ public:
 
     void send_data(const proto::Data& msg, Seq true_seq, bool /*retx*/) {
         // Stage the frame on the tick's batch; poll() flushes the whole
-        // window in one send_batch.  The payload pattern is keyed by the
-        // true sequence number (the receiver re-derives it at delivery),
-        // while the frame carries the core's wire value -- identical for
-        // unbounded cores, a residue for bounded ones.  The pattern is
-        // generated into a reused scratch and encoded straight onto the
-        // slab -- no per-frame allocation once both are at high-water
-        // mark.
-        payload_scratch_.resize(cfg_.payload_size);
-        pattern_fill(true_seq, payload_scratch_);
+        // window in one send_batch.  The payload is keyed by the true
+        // sequence number (the receiver re-derives or reassembles it at
+        // delivery), while the frame carries the core's wire value --
+        // identical for unbounded cores, a residue for bounded ones.
+        // The bytes land in a reused scratch and are encoded straight
+        // onto the slab -- no per-frame allocation once both are at
+        // high-water mark.
+        stage_payload(true_seq);
         tx_batch_.append_with([&](std::vector<std::uint8_t>& slab) {
-            wire::encode_data_to(slab, msg.seq, payload_scratch_, wire::kFlagNone,
-                                 wire::kNoStream, cfg_.conn);
+            wire::encode_data_to(slab, msg.seq, payload_scratch_, wire::kFlagNone, cfg_.stream,
+                                 cfg_.conn);
         });
-        if (cfg_.effective_batch() <= 1) tx_batch_.flush(*transport_);
+        maybe_flush();
     }
 
-    void send_ack(const proto::Ack&, runtime::AckKind) {
-        BACP_ASSERT_MSG(false, "sender endpoint produced an ack");
-    }
-    void send_nak(const proto::Nak&) {
-        BACP_ASSERT_MSG(false, "sender endpoint produced a nak");
-    }
-    void on_delivery(Seq) { BACP_ASSERT_MSG(false, "sender endpoint delivered data"); }
-    void after_step() {}
-
-private:
-    void handle_datagram(std::span<const std::uint8_t> bytes) {
-        const wire::ViewResult result = wire::decode_view(bytes);
-        if (!result.ok()) {
-            ++driver_.metrics_mut().decode_errors;
-            if (result.error() == wire::DecodeError::BadCrc) ++driver_.metrics_mut().crc_errors;
-            return;  // treated as loss
-        }
-        handle_frame(result.frame());
-    }
-
-    /// The receive arena, built on first poll(): a server-driven session
-    /// never polls its own transport, so it never pays for one.
-    RecvBatch& rx_batch() {
-        if (!rx_batch_) {
-            rx_batch_ =
-                std::make_unique<RecvBatch>(cfg_.effective_batch(), cfg_.max_datagram);
-        }
-        return *rx_batch_;
-    }
-
-    NetConfig cfg_;
-    TimerWheel& wheel_;
-    Transport* transport_;
-    std::unique_ptr<RecvBatch> rx_batch_;        // lazy: see rx_batch()
-    SendBatch tx_batch_;                         // the tick's staged frames
-    std::vector<std::uint8_t> payload_scratch_;  // pattern bytes, reused
-    runtime::EndpointDriver<Core, NetSender> driver_;  // last: uses members above
-};
-
-/// Receiving endpoint: the transport environment for the receiver half of
-/// a core's driver -- reassembles and verifies pattern payloads while the
-/// driver speaks the ack policy.
-template <runtime::EndpointCore Core>
-class NetReceiver {
-public:
-    using Options = typename Core::Options;
-
-    /// Same threading contract as NetSender: \p wheel is fired by poll().
-    NetReceiver(const NetConfig& cfg, Options options, TimerWheel& wheel, Transport& transport)
-        : cfg_(cfg),
-          wheel_(wheel),
-          transport_(&transport),
-          driver_(cfg_.engine_config(), std::move(options), *this) {
-        // A receiver arms at most the ack-flush timer plus the driver's
-        // bookkeeping singletons; the stash holds at most a window of
-        // out-of-order payloads.  Reserve both to worst case so the first
-        // loss burst (which may come long after warmup) allocates nothing.
-        wheel_.reserve(4);
-        stash_.reserve_buffers(static_cast<std::size_t>(cfg_.w) + 1, cfg_.payload_size);
-    }
-
-    NetReceiver(const NetReceiver&) = delete;
-    NetReceiver& operator=(const NetReceiver&) = delete;
-
-    /// One event-loop iteration; single-threaded, like NetSender::poll().
-    /// Drains arriving data an arena at a time and flushes the acks the
-    /// tick produced as one batch -- with an eager ack policy that is one
-    /// sendmmsg covering the whole received burst.
-    std::size_t poll() {
-        std::size_t work = wheel_.fire_due();
-        transport_->flush();  // delayed impairer copies matured above
-        RecvBatch& rx = rx_batch();
-        for (;;) {
-            const std::size_t n = transport_->recv_batch(rx);
-            for (std::size_t i = 0; i < n; ++i) handle_datagram(rx[i]);
-            work += n;
-            if (n < rx.capacity()) break;
-        }
-        tx_batch_.flush(*transport_);
-        return work;
-    }
-
-    /// Feeds one already-decoded frame to the driver (server demux entry
-    /// point; poll() routes its own datagrams through here too).  The
-    /// payload is stashed before the driver steps so a delivery it
-    /// unlocks can always find its bytes.
-    void handle_frame(const wire::FrameView& frame) {
-        if (frame.type != wire::FrameType::Data) {
-            ++driver_.metrics_mut().decode_errors;  // ACK/NAK at the receiver: anomaly
-            return;
-        }
-        // Latest write wins, so a wire value being reused (bounded
-        // cores) always maps to the newest message.
-        stash_.put(frame.seq, frame.payload);
-        const std::uint64_t dup_acks_before = driver_.metrics().dup_acks;
-        driver_.handle_data(proto::Data{frame.seq});
-        // A re-acked arrival (the core answered with a singleton re-ack
-        // instead of buffering) will never be consumed -- drop its bytes
-        // now, or every retransmission of a delivered message grows the
-        // stash by one dead entry forever.  In-window duplicates of
-        // still-buffered messages take the other branch (no dup-ack) and
-        // keep their bytes.
-        if (driver_.metrics().dup_acks != dup_acks_before) stash_.erase(frame.seq);
-    }
-
-    Seq delivered() const { return driver_.delivered(); }
-    std::uint64_t bytes_delivered() const { return bytes_delivered_; }
-    /// Delivered payloads whose bytes did not match the expected pattern.
-    /// Must be zero: CRC-32C rejects corruption before the core sees it.
-    std::uint64_t payload_mismatches() const { return payload_mismatches_; }
-
-    TimerWheel& wheel() { return wheel_; }
-    const sim::Metrics& metrics() const { return driver_.metrics(); }
-    const Core& core() const { return driver_.core(); }
-
-    /// Attach (or detach, with nullptr) a protocol-decision recorder.
-    void set_decision_log(runtime::DecisionLog* log) { driver_.set_decision_log(log); }
-
-    // ---- Environment hooks (called by EndpointDriver) ----------------------
-
-    static constexpr bool kHasOracle = false;
-
-    TimerService& timer_service() { return wheel_; }
-    SimTime now() const { return wheel_.now(); }
-
-    void send_data(const proto::Data&, Seq, bool) {
-        BACP_ASSERT_MSG(false, "receiver endpoint transmitted data");
+    /// Reverse DATA carrying a deferred ack block.  The duplex layer
+    /// splits wrapped bounded-BA ranges before piggybacking, so the wire
+    /// precondition lo <= hi always holds here.
+    void send_data_ack(const proto::Data& msg, Seq true_seq, bool /*retx*/,
+                       const proto::Ack& ack, runtime::AckKind) {
+        stage_payload(true_seq);
+        tx_batch_.append_with([&](std::vector<std::uint8_t>& slab) {
+            wire::encode_data_ack_to(slab, msg.seq, ack.lo, ack.hi, payload_scratch_,
+                                     wire::kFlagNone, cfg_.stream, cfg_.conn);
+        });
+        maybe_flush();
     }
 
     /// Bounded cores ack residue *ranges*; a block that straddles the
@@ -398,31 +402,30 @@ public:
     void send_ack(const proto::Ack& ack, runtime::AckKind) {
         if constexpr (runtime::kCoreAckWireWrapped<Core>) {
             if (ack.lo > ack.hi) {
-                const Seq top = driver_.core().ack_wire_domain() - 1;
+                const Seq top = duplex_.rx_core().ack_wire_domain() - 1;
                 tx_batch_.append_with([&](std::vector<std::uint8_t>& slab) {
-                    wire::encode_ack_to(slab, ack.lo, top, wire::kFlagNone, wire::kNoStream,
+                    wire::encode_ack_to(slab, ack.lo, top, wire::kFlagNone, cfg_.stream,
                                         cfg_.conn);
                 });
                 tx_batch_.append_with([&](std::vector<std::uint8_t>& slab) {
-                    wire::encode_ack_to(slab, 0, ack.hi, wire::kFlagNone, wire::kNoStream,
+                    wire::encode_ack_to(slab, 0, ack.hi, wire::kFlagNone, cfg_.stream,
                                         cfg_.conn);
                 });
-                if (cfg_.effective_batch() <= 1) tx_batch_.flush(*transport_);
+                maybe_flush();
                 return;
             }
         }
         tx_batch_.append_with([&](std::vector<std::uint8_t>& slab) {
-            wire::encode_ack_to(slab, ack.lo, ack.hi, wire::kFlagNone, wire::kNoStream,
-                                cfg_.conn);
+            wire::encode_ack_to(slab, ack.lo, ack.hi, wire::kFlagNone, cfg_.stream, cfg_.conn);
         });
-        if (cfg_.effective_batch() <= 1) tx_batch_.flush(*transport_);
+        maybe_flush();
     }
 
     void send_nak(const proto::Nak& nak) {
         tx_batch_.append_with([&](std::vector<std::uint8_t>& slab) {
-            wire::encode_nak_to(slab, nak.seq, wire::kFlagNone, wire::kNoStream, cfg_.conn);
+            wire::encode_nak_to(slab, nak.seq, wire::kFlagNone, cfg_.stream, cfg_.conn);
         });
-        if (cfg_.effective_batch() <= 1) tx_batch_.flush(*transport_);
+        maybe_flush();
     }
 
     /// Consumes the stashed payload of one in-order delivery.  The stash
@@ -434,14 +437,18 @@ public:
     void on_delivery(Seq true_seq) {
         Seq key = true_seq;
         if constexpr (runtime::kCoreWireMapped<Core>) {
-            key = driver_.core().wire_seq(true_seq);
+            key = duplex_.rx_core().wire_seq(true_seq);
         }
         const std::vector<std::uint8_t>* bytes = stash_.find(key);
         BACP_ASSERT_MSG(bytes != nullptr, "delivered message has no stashed payload");
-        expected_scratch_.resize(bytes->size());
-        pattern_fill(true_seq, expected_scratch_);
-        if (*bytes != expected_scratch_) ++payload_mismatches_;
         bytes_delivered_ += bytes->size();
+        if (deliver_sink_) {
+            deliver_sink_(true_seq, *bytes);
+        } else {
+            expected_scratch_.resize(bytes->size());
+            pattern_fill(true_seq, expected_scratch_);
+            if (*bytes != expected_scratch_) ++payload_mismatches_;
+        }
         stash_.erase(key);
     }
 
@@ -451,11 +458,49 @@ private:
     void handle_datagram(std::span<const std::uint8_t> bytes) {
         const wire::ViewResult result = wire::decode_view(bytes);
         if (!result.ok()) {
-            ++driver_.metrics_mut().decode_errors;
-            if (result.error() == wire::DecodeError::BadCrc) ++driver_.metrics_mut().crc_errors;
+            ++duplex_.tx_metrics_mut().decode_errors;
+            if (result.error() == wire::DecodeError::BadCrc) {
+                ++duplex_.tx_metrics_mut().crc_errors;
+            }
             return;  // treated as loss
         }
         handle_frame(result.frame());
+    }
+
+    /// A frame for a direction this endpoint does not run.  Counted on
+    /// the sending half's metrics; the per-endpoint merge makes the
+    /// choice of half invisible.
+    void count_anomaly() { ++duplex_.tx_metrics_mut().decode_errors; }
+
+    /// DATA (optionally carrying a piggybacked ack) into the receiving
+    /// half.  The payload is stashed before the driver steps so a
+    /// delivery it unlocks can always find its bytes; latest write wins,
+    /// so a wire value being reused (bounded cores) always maps to the
+    /// newest message.
+    void ingest_data(const wire::FrameView& frame, const proto::Ack* ack) {
+        stash_.put(frame.seq, frame.payload);
+        const std::uint64_t dup_acks_before = duplex_.rx_metrics().dup_acks;
+        if (ack != nullptr) {
+            duplex_.handle_data_ack(proto::Data{frame.seq}, *ack);
+        } else {
+            duplex_.handle_data(proto::Data{frame.seq});
+        }
+        // A re-acked arrival (the core answered with a singleton re-ack
+        // instead of buffering) will never be consumed -- drop its bytes
+        // now, or every retransmission of a delivered message grows the
+        // stash by one dead entry forever.  In-window duplicates of
+        // still-buffered messages take the other branch (no dup-ack) and
+        // keep their bytes.
+        if (duplex_.rx_metrics().dup_acks != dup_acks_before) stash_.erase(frame.seq);
+    }
+
+    void stage_payload(Seq true_seq) {
+        if (payload_source_) {
+            payload_source_(true_seq, payload_scratch_);
+        } else {
+            payload_scratch_.resize(cfg_.payload_size);
+            pattern_fill(true_seq, payload_scratch_);
+        }
     }
 
     /// The receive arena, built on first poll(): a server-driven session
@@ -478,17 +523,38 @@ private:
     // in-flight arrival, so a full window never triggers a table grow).
     PayloadStash stash_{static_cast<std::size_t>(cfg_.w) + 1};  // wire seq -> payload
     std::unique_ptr<RecvBatch> rx_batch_;        // lazy: see rx_batch()
-    SendBatch tx_batch_;                          // the tick's staged acks/naks
+    /// Flushes the staged batch when unbatched sending is configured, or
+    /// when the builder has filled its reserved burst -- a post-stall
+    /// poll can drain an arbitrary backlog in one pass, and capping the
+    /// batch here bounds the builder to the ctor's reserve (a real
+    /// sendmmsg caps a batch at IOV_MAX the same way).
+    void maybe_flush() {
+        if (cfg_.effective_batch() <= 1 || tx_batch_.size() >= batch_cap_) {
+            tx_batch_.flush(*transport_);
+        }
+    }
+
+    SendBatch tx_batch_;                          // the tick's staged frames
+    std::size_t batch_cap_ = 0;                   // reserved burst; see ctor
+    std::vector<std::uint8_t> payload_scratch_;   // outbound bytes, reused
     std::vector<std::uint8_t> expected_scratch_;  // pattern verify, reused
-    runtime::EndpointDriver<Core, NetReceiver> driver_;  // last: uses members above
+    PayloadSource payload_source_;  // empty = pattern payloads
+    DeliverSink deliver_sink_;      // empty = pattern verification
+    mutable sim::Metrics merged_;   // metrics() scratch
+    runtime::DuplexDriver<Core, NetEndpoint> duplex_;  // last: uses members above
 };
 
 /// Everything a real-time run measures.
 struct NetReport {
-    sim::Metrics metrics;  // sender + receiver counters, field-wise sum
-    std::uint64_t bytes_delivered = 0;
+    sim::Metrics metrics;  // both endpoints' counters, field-wise sum
+    std::uint64_t bytes_delivered = 0;          // forward direction (A -> B)
+    std::uint64_t reverse_bytes_delivered = 0;  // duplex runs: B -> A
     std::uint64_t payload_mismatches = 0;
-    Metrics impair_sr;  // impairment boundary, sender->receiver direction
+    /// Ack egress split across both endpoints: blocks that rode reverse
+    /// DATA vs. standalone ACK frames.
+    std::uint64_t piggybacked = 0;
+    std::uint64_t standalone_acks = 0;
+    Metrics impair_sr;  // impairment boundary, A -> B direction
     Metrics impair_rs;
     Metrics transport_sr;  // inner transport, post-impairment
     Metrics transport_rs;
@@ -498,6 +564,12 @@ struct NetReport {
     double goodput_mbps() const {
         if (elapsed <= 0) return 0.0;
         return static_cast<double>(bytes_delivered) * 8.0 / to_seconds(elapsed) / 1e6;
+    }
+
+    /// Fraction of ack blocks that rode a reverse DATA frame.
+    double piggyback_ratio() const {
+        const double total = static_cast<double>(piggybacked + standalone_acks);
+        return total > 0 ? static_cast<double>(piggybacked) / total : 0.0;
     }
 
     /// Inner-transport totals, both directions -- the send-side ratio is
@@ -517,7 +589,10 @@ enum class NetMode {
     Inproc,  // in-process queues, ManualClock (deterministic)
 };
 
-/// A complete two-endpoint transfer in one process.
+/// A complete two-endpoint transfer in one process: A sends `count`
+/// messages to B; with reverse_count > 0, B simultaneously sends
+/// `reverse_count` back to A (and `piggyback` lets each direction's
+/// acks ride the other's DATA).
 template <runtime::EndpointCore Core>
 class NetEngine {
 public:
@@ -530,37 +605,66 @@ public:
             auto [a, b] = UdpTransport::make_pair();
             a->enable_offload(cfg_.offload);
             b->enable_offload(cfg_.offload);
-            raw_s_ = std::move(a);
-            raw_r_ = std::move(b);
+            raw_a_ = std::move(a);
+            raw_b_ = std::move(b);
         } else {
             clock_ = &manual_clock_;
             auto [a, b] = InprocTransport::make_pair();
-            raw_s_ = std::move(a);
-            raw_r_ = std::move(b);
+            // Both directions' buffer pools at full-frame capacity up
+            // front, so no recycled buffer regrows mid-run when a small
+            // ack's vector comes back around carrying a DATA+ACK frame.
+            const std::size_t bufs = 4 * static_cast<std::size_t>(cfg_.w) + 32;
+            a->reserve_buffers(bufs, cfg_.payload_size + 128);
+            b->reserve_buffers(bufs, cfg_.payload_size + 128);
+            raw_a_ = std::move(a);
+            raw_b_ = std::move(b);
         }
         // One wheel per endpoint thread; the impairer of a direction
         // shares the wheel of the endpoint that sends through it.
-        wheel_s_ = std::make_unique<TimerWheel>(*clock_);
-        wheel_r_ = std::make_unique<TimerWheel>(*clock_);
-        imp_s_ = std::make_unique<Impairer>(*raw_s_, *wheel_s_, cfg_.impair,
+        wheel_a_ = std::make_unique<TimerWheel>(*clock_);
+        wheel_b_ = std::make_unique<TimerWheel>(*clock_);
+        imp_a_ = std::make_unique<Impairer>(*raw_a_, *wheel_a_, cfg_.impair,
                                             runtime::mix_seed(cfg_.seed, 0xd1));
-        imp_r_ = std::make_unique<Impairer>(*raw_r_, *wheel_r_,
+        imp_b_ = std::make_unique<Impairer>(*raw_b_, *wheel_b_,
                                             cfg_.impair_ack.value_or(cfg_.impair),
                                             runtime::mix_seed(cfg_.seed, 0xac));
-        sender_ = std::make_unique<NetSender<Core>>(cfg_, options, *wheel_s_, *imp_s_);
-        receiver_ = std::make_unique<NetReceiver<Core>>(cfg_, options, *wheel_r_, *imp_r_);
+        // Worst-case concurrent delayed copies per direction: a full
+        // window of DATA plus its acks, doubled for duplication and
+        // retransmission overlap.  Pre-warming here keeps a late loss
+        // burst from growing the pools mid-measurement.
+        const std::size_t slots = 4 * static_cast<std::size_t>(cfg_.w) + 32;
+        imp_a_->reserve_slots(slots, cfg_.payload_size + 128);
+        imp_b_->reserve_slots(slots, cfg_.payload_size + 128);
+        NetConfig cfg_endpoint_a = cfg_;
+        cfg_endpoint_a.rx_count = cfg_.reverse_count;
+        NetConfig cfg_endpoint_b = cfg_;
+        cfg_endpoint_b.count = cfg_.reverse_count;
+        cfg_endpoint_b.rx_count = cfg_.count;
+        a_ = std::make_unique<NetEndpoint<Core>>(cfg_endpoint_a, options, *wheel_a_, *imp_a_);
+        b_ = std::make_unique<NetEndpoint<Core>>(cfg_endpoint_b, options, *wheel_b_, *imp_b_);
     }
 
     /// Runs the transfer to completion or the deadline; single-threaded
     /// (both endpoints serviced by the calling thread).  With
     /// NetMode::Inproc this is exactly reproducible from the seed.
     NetReport run() {
+        return run([](NetEngine&) {});
+    }
+
+    /// run() with an observer called after every service iteration --
+    /// benches use it to snapshot allocator / transport state mid-run
+    /// (e.g. at the steady-state half-way point) without owning the
+    /// loop.  The observer must not mutate the engine.
+    template <typename Tick>
+    NetReport run(Tick&& tick) {
         const SimTime start = clock_->now();
-        sender_->start();
+        a_->start();
+        b_->start();
         while (!finished()) {
             if (clock_->now() - start > cfg_.deadline) break;
             // Fixed service order keeps Inproc runs deterministic.
-            const std::size_t work = sender_->poll() + receiver_->poll();
+            const std::size_t work = a_->poll() + b_->poll();
+            tick(*this);
             if (work > 0) continue;
             if (netmode_ == NetMode::Inproc) {
                 // Idle with empty queues: jump to the next timer deadline.
@@ -568,115 +672,119 @@ public:
                 if (!next) break;  // no timers, no traffic: wedged
                 manual_clock_.advance_to(*next);
             } else {
-                idle_wait(start);
+                idle_wait();
             }
         }
         return make_report(start);
     }
 
-    /// Runs with the receiver endpoint on a worker thread -- the real
-    /// deployment shape (two independent event loops).  Requires real
-    /// time (Udp mode); determinism is naturally out the window.
+    /// Live inner-transport counters, both directions summed -- the
+    /// mid-run counterpart of NetReport::transport_totals().
+    Metrics transport_snapshot() const {
+        Metrics t = raw_a_->stats();
+        t += raw_b_->stats();
+        return t;
+    }
+
+    /// Runs with endpoint B on a worker thread -- the real deployment
+    /// shape (two independent event loops).  Requires real time (Udp
+    /// mode); determinism is naturally out the window.
     NetReport run_threaded() {
         BACP_ASSERT_MSG(netmode_ == NetMode::Udp, "threaded run needs real time");
         const SimTime start = clock_->now();
         std::atomic<bool> stop{false};
         std::thread rx([this, &stop] {
+            b_->start();
             while (!stop.load(std::memory_order_relaxed)) {
-                if (receiver_->poll() == 0) {
+                if (b_->poll() == 0) {
                     // Re-read fd() each wait: it changes when the
                     // io_uring tier arms on the first recv_batch.
-                    const int fds[] = {receiver_fd()};
-                    wait_readable(fds, receiver_->wheel().next_deadline()
+                    const int fds[] = {fd_b()};
+                    wait_readable(fds, b_->wheel().next_deadline()
                                            ? kMillisecond
                                            : 5 * kMillisecond);
                 }
             }
         });
-        sender_->start();
-        while (!sender_->done() && clock_->now() - start <= cfg_.deadline) {
-            if (sender_->poll() == 0) {
-                const int fds[] = {sender_fd()};
+        a_->start();
+        while (!a_->done() && clock_->now() - start <= cfg_.deadline) {
+            if (a_->poll() == 0) {
+                const int fds[] = {fd_a()};
                 wait_readable(fds, kMillisecond);
             }
         }
         stop.store(true, std::memory_order_relaxed);
         rx.join();
-        // Drain anything the receiver loop had not picked up yet.
-        receiver_->poll();
+        // Both endpoints back on this thread: drain the in-flight tail
+        // (B's last acks, a duplex run's reverse stragglers).  A healthy
+        // run exits in a poll or two; a wedged one runs to the deadline,
+        // same as run().
+        while (!finished() && clock_->now() - start <= cfg_.deadline) {
+            if (a_->poll() + b_->poll() == 0) idle_wait();
+        }
         return make_report(start);
     }
 
-    NetSender<Core>& sender() { return *sender_; }
-    NetReceiver<Core>& receiver() { return *receiver_; }
+    /// Endpoint A originates the forward direction -- the "sender" of a
+    /// one-way run; B its peer.  Both are full duplex endpoints.
+    NetEndpoint<Core>& sender() { return *a_; }
+    NetEndpoint<Core>& receiver() { return *b_; }
 
     /// Attach protocol-decision recorders to the two endpoints (the
     /// cross-runtime parity test compares them against a DES run's).
-    void set_decision_logs(runtime::DecisionLog* sender_log, runtime::DecisionLog* receiver_log) {
-        sender_->set_decision_log(sender_log);
-        receiver_->set_decision_log(receiver_log);
+    void set_decision_logs(runtime::DecisionLog* a_log, runtime::DecisionLog* b_log) {
+        a_->set_decision_log(a_log);
+        b_->set_decision_log(b_log);
     }
 
 private:
-    bool finished() const {
-        return sender_->done() && receiver_->delivered() == cfg_.count;
-    }
+    bool finished() const { return a_->done() && b_->done(); }
 
     std::optional<SimTime> earliest_deadline() const {
-        const auto a = sender_->wheel().next_deadline();
-        const auto b = receiver_->wheel().next_deadline();
+        const auto a = a_->wheel().next_deadline();
+        const auto b = b_->wheel().next_deadline();
         if (!a) return b;
         if (!b) return a;
         return std::min(*a, *b);
     }
 
-    int sender_fd() const { return raw_s_->fd(); }
-    int receiver_fd() const { return raw_r_->fd(); }
+    int fd_a() const { return raw_a_->fd(); }
+    int fd_b() const { return raw_b_->fd(); }
 
-    void idle_wait(SimTime start) {
+    void idle_wait() {
         // Sleep until a datagram arrives or (approximately) the next
         // timer deadline; cap the wait so the deadline check stays live.
         SimTime wait = 5 * kMillisecond;
         if (const auto next = earliest_deadline()) {
             wait = std::clamp<SimTime>(*next - clock_->now(), 0, wait);
         }
-        const int fds[] = {sender_fd(), receiver_fd()};
+        const int fds[] = {fd_a(), fd_b()};
         wait_readable(fds, wait);
-        (void)start;
     }
 
     NetReport make_report(SimTime start) const {
         NetReport report;
-        report.metrics = merge(sender_->metrics(), receiver_->metrics());
+        report.metrics = a_->metrics();
+        report.metrics.add_counters_from(b_->metrics());
         report.metrics.start_time = start;
         report.metrics.end_time = clock_->now();
-        report.bytes_delivered = receiver_->bytes_delivered();
-        report.payload_mismatches = receiver_->payload_mismatches();
-        report.impair_sr = imp_s_->impair_stats();
-        report.impair_rs = imp_r_->impair_stats();
-        report.transport_sr = raw_s_->stats();
-        report.transport_rs = raw_r_->stats();
+        report.bytes_delivered = b_->bytes_delivered();
+        report.reverse_bytes_delivered = a_->bytes_delivered();
+        report.payload_mismatches = a_->payload_mismatches() + b_->payload_mismatches();
+        report.piggybacked = a_->piggybacked() + b_->piggybacked();
+        report.standalone_acks = a_->standalone_acks() + b_->standalone_acks();
+        report.impair_sr = imp_a_->impair_stats();
+        report.impair_rs = imp_b_->impair_stats();
+        report.transport_sr = raw_a_->stats();
+        report.transport_rs = raw_b_->stats();
         // Each endpoint's timer-wheel batching rides in its transport
         // view, so one Metrics carries the whole per-direction story.
-        wheel_s_->add_stats(report.transport_sr);
-        wheel_r_->add_stats(report.transport_rs);
+        wheel_a_->add_stats(report.transport_sr);
+        wheel_b_->add_stats(report.transport_rs);
         report.elapsed = clock_->now() - start;
-        report.completed = sender_->done() && receiver_->delivered() == cfg_.count &&
-                           report.payload_mismatches == 0;
+        report.completed =
+            a_->done() && b_->done() && report.payload_mismatches == 0;
         return report;
-    }
-
-    static sim::Metrics merge(const sim::Metrics& s, const sim::Metrics& r) {
-        sim::Metrics m = s;
-        m.data_received += r.data_received;
-        m.duplicates += r.duplicates;
-        m.acks_sent += r.acks_sent;
-        m.dup_acks += r.dup_acks;
-        m.delivered += r.delivered;
-        m.naks_sent += r.naks_sent;
-        m.decode_errors += r.decode_errors;
-        m.crc_errors += r.crc_errors;
-        return m;
     }
 
     NetConfig cfg_;
@@ -684,14 +792,14 @@ private:
     SteadyClock steady_clock_;
     ManualClock manual_clock_;
     Clock* clock_ = nullptr;
-    std::unique_ptr<Transport> raw_s_;
-    std::unique_ptr<Transport> raw_r_;
-    std::unique_ptr<TimerWheel> wheel_s_;
-    std::unique_ptr<TimerWheel> wheel_r_;
-    std::unique_ptr<Impairer> imp_s_;
-    std::unique_ptr<Impairer> imp_r_;
-    std::unique_ptr<NetSender<Core>> sender_;
-    std::unique_ptr<NetReceiver<Core>> receiver_;
+    std::unique_ptr<Transport> raw_a_;
+    std::unique_ptr<Transport> raw_b_;
+    std::unique_ptr<TimerWheel> wheel_a_;
+    std::unique_ptr<TimerWheel> wheel_b_;
+    std::unique_ptr<Impairer> imp_a_;
+    std::unique_ptr<Impairer> imp_b_;
+    std::unique_ptr<NetEndpoint<Core>> a_;
+    std::unique_ptr<NetEndpoint<Core>> b_;
 };
 
 }  // namespace bacp::net

@@ -6,6 +6,9 @@
 /// All cores run here, including residue (wire-mapped) ones: the net
 /// runtime keys its payload stash by wire value and translates back at
 /// delivery through the cores' wire_seq() (runtime::kCoreWireMapped).
+/// Every engine is duplex-capable: set reverse_count (and optionally
+/// piggyback) on the NetConfig for a bidirectional transfer; the
+/// defaults keep the classic one-way shape.
 
 #include "ba/engine_core.hpp"
 #include "baselines/engine_cores.hpp"

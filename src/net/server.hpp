@@ -9,7 +9,7 @@
 /// inverts the ownership: N *shards* (event loops) each own one shared
 /// socket, one TimerWheel, one receive arena, and a disjoint slice of a
 /// flat session table keyed by (peer address, connection id).  Sessions
-/// are passive: a session is an EndpointDriver adapter (NetReceiver)
+/// are passive: a session is a DuplexDriver adapter (NetEndpoint)
 /// with no thread, no socket, and no receive arena of its own -- the
 /// shard demuxes arriving datagrams to it (each decoded exactly once,
 /// as a zero-copy FrameView) and collects its egress.
@@ -27,7 +27,10 @@
 /// the kernel hashes each client's source address to exactly one of
 /// them, so a session's frames always arrive on the same shard and the
 /// per-shard state needs no locks.  (The InprocHub used by tests is the
-/// single-shard degenerate case of the same topology.)
+/// single-shard degenerate case of the same topology.)  Sessions are
+/// full duplex: with session.count > 0 each one also originates data
+/// back to its peer through the same shard egress, acks piggybacking on
+/// that reverse DATA when session.piggyback is set.
 ///
 /// Lifecycle: sessions open implicitly on the first frame from an
 /// unknown (peer, conn); a frame with a *higher* epoch resets the
@@ -71,9 +74,12 @@ namespace bacp::net {
 /// arguments and helper calls: shard/socket topology, session-table
 /// sizing, idle eviction, memory budgets, and impairment seeding.
 struct ServerConfig {
-    /// Per-session protocol configuration (window, count, timeout mode,
-    /// payload size, base seed...).  Each session gets a copy with its
-    /// connection tag, sub-seed, and immediate-flush egress applied.
+    /// Per-session protocol configuration (window, rx_count, timeout
+    /// mode, payload size, base seed...).  Each session gets a copy with
+    /// its connection tag, sub-seed, and immediate-flush egress applied.
+    /// Sessions are duplex endpoints: rx_count is what each session
+    /// expects to sink from its peer, count what it originates back
+    /// (default 0 -- a classic sink-only server).
     NetConfig session;
     /// Shard (event loop + socket) count for the socket-owning
     /// constructor; the transport-vector constructor takes one shard
@@ -110,6 +116,10 @@ struct ServerConfig {
     /// Ack-direction impairment applied per session, seeded from
     /// (session.seed, conn id) so multi-session runs replay exactly.
     ImpairSpec impair;
+
+    /// Server sessions sink by default; originating traffic back to the
+    /// peer is the explicit opt-in (session.count > 0).
+    ServerConfig() { session.count = 0; }
 
     bool impaired() const {
         return impair.loss > 0 || impair.dup > 0 || impair.reorder > 0 ||
@@ -481,7 +491,7 @@ private:
         SimTime last_activity = 0;
         std::unique_ptr<SessionEgress> egress;
         std::unique_ptr<Impairer> impairer;  // null when cfg.impair is transparent
-        std::unique_ptr<NetReceiver<Core>> endpoint;
+        std::unique_ptr<NetEndpoint<Core>> endpoint;
     };
 
     struct Shard {
@@ -610,7 +620,11 @@ private:
             s.has_impaired = true;
         }
         session.endpoint =
-            std::make_unique<NetReceiver<Core>>(cfg, options_, *s.wheel, *sink);
+            std::make_unique<NetEndpoint<Core>>(cfg, options_, *s.wheel, *sink);
+        // A duplex session (count > 0) starts originating immediately:
+        // the first frame from the peer both opened the session and
+        // proved the reverse path.
+        if (cfg.count > 0) session.endpoint->start();
     }
 
     void reset_session(Shard& s, Session& session, Seq epoch) {
@@ -645,7 +659,7 @@ private:
     /// accounting: the budget steers the cap, the cap is exact.
     std::size_t session_footprint() const {
         const std::size_t w = static_cast<std::size_t>(cfg_.session.w);
-        return sizeof(Session) + sizeof(NetReceiver<Core>) + sizeof(SessionEgress) +
+        return sizeof(Session) + sizeof(NetEndpoint<Core>) + sizeof(SessionEgress) +
                (w + 1) * (cfg_.session.payload_size + sizeof(std::vector<std::uint8_t>)) +
                4 * 128;
     }

@@ -609,6 +609,16 @@ InprocTransport::make_pair(std::size_t capacity) {
     return {std::move(a), std::move(b)};
 }
 
+void InprocTransport::reserve_buffers(std::size_t count, std::size_t bytes) {
+    const std::scoped_lock lock(outbox_->mutex);
+    if (outbox_->free_list.size() >= count) return;
+    outbox_->free_list.reserve(std::max(count, outbox_->datagrams.capacity()));
+    while (outbox_->free_list.size() < count) {
+        outbox_->free_list.emplace_back();
+        outbox_->free_list.back().reserve(bytes);
+    }
+}
+
 std::size_t InprocTransport::send_batch(std::span<const std::span<const std::uint8_t>> datagrams) {
     if (datagrams.empty()) return 0;
     std::size_t accepted = 0;

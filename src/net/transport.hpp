@@ -164,6 +164,17 @@ public:
         extents_.clear();
     }
 
+    /// Pre-sizes the builder for \p datagrams staged entries totalling up
+    /// to \p bytes.  Owners that know their worst-case burst (an endpoint
+    /// tick, the impairer's matured-copy backlog) call this at wiring
+    /// time so the slab's high-water growth happens before the allocation
+    /// gates snap their baseline, not mid-run.
+    void reserve(std::size_t datagrams, std::size_t bytes) {
+        slab_.reserve(bytes);
+        extents_.reserve(datagrams);
+        spans_scratch_.reserve(datagrams);
+    }
+
     /// Stages a copy of \p datagram.
     void append(std::span<const std::uint8_t> datagram) {
         append_with([&](std::vector<std::uint8_t>& slab) {
@@ -436,6 +447,14 @@ public:
 
     std::size_t send_batch(std::span<const std::span<const std::uint8_t>> datagrams) override;
     std::size_t recv_batch(RecvBatch& batch) override;
+
+    /// Pre-warms this endpoint's send-side free list with \p count
+    /// recycled buffers of \p bytes capacity each.  Without it the pool
+    /// grows on demand and buffers first used for small frames get
+    /// regrown the first time they recycle under a larger one -- high-
+    /// water trickle the allocation gates would count as steady-state
+    /// work.  Call on both endpoints of a pair to cover both directions.
+    void reserve_buffers(std::size_t count, std::size_t bytes);
 
 private:
     /// Bounded FIFO with tail drop is exactly a ring buffer.  The free

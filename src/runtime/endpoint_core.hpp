@@ -4,8 +4,7 @@
 /// The EndpointCore protocol surface and the transport-agnostic helpers
 /// shared by the two runtimes that drive cores: the discrete-event
 /// runtime::Engine (virtual time, sim::SimChannel) and the real-time
-/// net::NetSender / net::NetReceiver (wall clock, UDP or in-process
-/// datagrams).  Extracted from engine.hpp so a core written once runs
+/// net::NetEndpoint (wall clock, UDP or in-process datagrams).  Extracted from engine.hpp so a core written once runs
 /// unchanged over both -- the paper's protocol machines never learn
 /// which kind of time or channel is underneath them.
 

@@ -9,7 +9,7 @@
 /// absorption and the AckPolicy, resend-candidate rescans, the NAK fast
 /// path, in-order delivery accounting, and the derived-timeout
 /// computation.  The discrete-event runtime::Engine and the real-time
-/// net::NetSender / net::NetReceiver are thin adapters over this class:
+/// net::NetEndpoint (via DuplexDriver) are thin adapters over this class:
 /// they supply an *Environment* -- a clock, a TimerService, and egress /
 /// delivery / verification hooks -- and forward arriving protocol
 /// messages to handle_ack / handle_nak / handle_data.  The driver logic
@@ -93,6 +93,13 @@ struct EngineConfig {
     /// arrival-to-delivery sojourn (queueing included).
     SimTime arrival_interval = 0;
     bool poisson_arrivals = false;
+    /// Application-gated workload: start() releases nothing, and each
+    /// message becomes available only when the application calls
+    /// EndpointDriver::release() -- the link layer's send() path, where
+    /// payload bytes exist only after the caller queues them.  `count`
+    /// still bounds the total.  Mutually exclusive with
+    /// arrival_interval > 0.
+    bool app_arrivals = false;
 };
 
 /// The conservative retransmission timeout: one data lifetime out, one
@@ -282,12 +289,24 @@ public:
     /// first window.  Call once, from the sending endpoint.
     void start() {
         metrics_.start_time = env_.now();
-        if (cfg_.arrival_interval > 0) {
+        if (cfg_.app_arrivals) {
+            // Nothing to release yet: the application feeds messages in
+            // through release() as it queues their payloads.
+        } else if (cfg_.arrival_interval > 0) {
             app_released_ = 0;
             schedule_arrival();
         } else {
             app_released_ = cfg_.count;
         }
+        pump_send();
+    }
+
+    /// Releases \p n more messages into the window (app_arrivals mode):
+    /// the application has queued their payloads, so the environment's
+    /// payload source can now serve them.  Clamped to `count`; pumps
+    /// immediately, so frames may egress from inside this call.
+    void release(Seq n) {
+        app_released_ = std::min<Seq>(cfg_.count, app_released_ + n);
         pump_send();
     }
 

@@ -9,8 +9,8 @@
 /// invariant-check hook, and the seed/deadline/max_events policy -- and
 /// delegates every protocol decision (timeout disciplines, window
 /// pumping, ack policy, resend selection) to the embedded
-/// EndpointDriver.  The real-time runtime (net::NetSender /
-/// net::NetReceiver) adapts the same driver over sockets; the driving
+/// EndpointDriver.  The real-time runtime (net::NetEndpoint over
+/// DuplexDriver) adapts the same driver over sockets; the driving
 /// logic exists exactly once, in endpoint_driver.hpp.
 ///
 /// The DES is the one environment that can *prove* quiescence: when the

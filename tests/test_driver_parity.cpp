@@ -198,5 +198,114 @@ TEST(DriverParity, TimeConstrained) {
     expect_parity_all_modes<baselines::TcCore>();
 }
 
+// ---- duplex composition ------------------------------------------------
+//
+// NetEndpoint composes two EndpointDrivers (a sender half and a receiver
+// half) into one DuplexDriver over one socket.  The pin: that composition
+// must change NO one-way decision stream.  Each direction of a duplex
+// session, viewed in isolation, must make exactly the decisions the DES
+// one-way engine makes for the same scenario -- timestamps included for
+// the timer disciplines.
+//
+// The scenario is lossless fixed-delay: in duplex each pathway carries
+// one direction's DATA interleaved with the other's ACKs, so a scripted
+// drop index on the shared pathway could never be world-isomorphic to a
+// one-way run (the offered-datagram counter sees both flows).  Loss and
+// retransmission parity is the one-way tests' job above; this test pins
+// composition, so it removes loss and keeps everything else.  Piggyback
+// stays OFF: deferral deliberately reshapes the ack stream, which is
+// measured by E25, not pinned here.
+
+template <typename Core>
+void expect_duplex_parity(TimeoutMode mode, typename Core::Options options = {}) {
+    const Seq w = mode == TimeoutMode::OraclePerMessage ? 1 : 4;
+
+    // One-way DES reference: same fixed delays, no loss.
+    runtime::EngineConfig des_cfg = des_config(mode, w);
+    des_cfg.data_link.loss_kind = runtime::LinkSpec::Loss::None;
+    des_cfg.data_link.scripted_drops.clear();
+    DecisionLog des_log;
+    runtime::Engine<Core> des(des_cfg, options);
+    des.set_decision_log(&des_log);
+    des.run();
+    ASSERT_TRUE(des.completed()) << "DES run did not complete";
+    std::vector<Decision> des_sender;
+    std::vector<Decision> des_receiver;
+    for (const Decision& d : des_log.entries) {
+        (d.endpoint == 'S' ? des_sender : des_receiver).push_back(d);
+    }
+
+    // Duplex net run: kCount each way over the same lossless links.
+    net::NetConfig net_cfg = net_config(mode, w);
+    net_cfg.impair.scripted_drops.clear();
+    net_cfg.reverse_count = kCount;
+    net_cfg.piggyback = false;
+    DecisionLog a_log;
+    DecisionLog b_log;
+    net::NetEngine<Core> nete(net_cfg, options, net::NetMode::Inproc);
+    nete.set_decision_logs(&a_log, &b_log);
+    const net::NetReport report = nete.run();
+    ASSERT_TRUE(report.completed) << "net duplex run did not complete";
+    EXPECT_EQ(report.piggybacked, 0u);  // piggyback off: pure composition
+
+    // Each endpoint's log interleaves its sender half ('S', for the
+    // direction it originates) with its receiver half ('R', for the
+    // direction it sinks); splitting by role recovers the four one-way
+    // streams.
+    const auto split = [](const DecisionLog& log, char role) {
+        std::vector<Decision> out;
+        for (const Decision& d : log.entries) {
+            if (d.endpoint == role) out.push_back(d);
+        }
+        return out;
+    };
+    struct Direction {
+        const char* name;
+        std::vector<Decision> sender;
+        std::vector<Decision> receiver;
+    };
+    Direction dirs[] = {
+        {"forward (A->B)", split(a_log, 'S'), split(b_log, 'R')},
+        {"reverse (B->A)", split(b_log, 'S'), split(a_log, 'R')},
+    };
+    for (Direction& dir : dirs) {
+        SCOPED_TRACE(dir.name);
+        if (is_oracle(mode)) {
+            strip_times(dir.sender);
+            strip_times(dir.receiver);
+        }
+        auto want_sender = des_sender;
+        auto want_receiver = des_receiver;
+        if (is_oracle(mode)) {
+            strip_times(want_sender);
+            strip_times(want_receiver);
+        }
+        EXPECT_EQ(want_sender, dir.sender)
+            << "duplex sender half diverged from one-way\nDES:\n"
+            << render(want_sender) << "net:\n"
+            << render(dir.sender);
+        EXPECT_EQ(want_receiver, dir.receiver)
+            << "duplex receiver half diverged from one-way\nDES:\n"
+            << render(want_receiver) << "net:\n"
+            << render(dir.receiver);
+    }
+}
+
+template <typename Core>
+void expect_duplex_parity_all_modes(typename Core::Options options = {}) {
+    for (const TimeoutMode mode : kAllModes) {
+        SCOPED_TRACE(runtime::to_string(mode));
+        expect_duplex_parity<Core>(mode, options);
+    }
+}
+
+TEST(DriverParity, DuplexCompositionUnbounded) {
+    expect_duplex_parity_all_modes<ba::EngineCore<ba::Sender, ba::Receiver>>();
+}
+
+TEST(DriverParity, DuplexCompositionBounded) {
+    expect_duplex_parity_all_modes<ba::EngineCore<ba::BoundedSender, ba::BoundedReceiver>>();
+}
+
 }  // namespace
 }  // namespace bacp

@@ -379,7 +379,7 @@ std::vector<std::vector<std::uint8_t>> impaired_run(std::uint64_t seed, int n) {
         clock.advance_to(*deadline);
         wheel.fire_due();
         // Matured delayed copies stage until the owner flushes -- the same
-        // contract NetSender/NetReceiver::poll() follow after fire_due().
+        // contract NetEndpoint::poll() follow after fire_due().
         impaired.flush();
     }
     std::vector<std::vector<std::uint8_t>> received;

@@ -39,11 +39,11 @@ using Core = ba::EngineCore<ba::Sender, ba::Receiver>;
 // ---- rig ---------------------------------------------------------------
 
 /// One client endpoint: its hub ring, its wheel on the shared clock, and
-/// a NetSender tagged with its connection identity.
+/// a NetEndpoint tagged with its connection identity.
 struct Client {
     std::unique_ptr<Transport> transport;
     std::unique_ptr<TimerWheel> wheel;
-    std::unique_ptr<NetSender<Core>> sender;
+    std::unique_ptr<NetEndpoint<Core>> sender;
 };
 
 NetConfig client_config(Seq count, wire::Conn conn = {}) {
@@ -60,7 +60,7 @@ Client make_client(InprocHub& hub, ManualClock& clock, const NetConfig& cfg) {
     Client c;
     c.transport = hub.make_client();
     c.wheel = std::make_unique<TimerWheel>(clock);
-    c.sender = std::make_unique<NetSender<Core>>(cfg, typename Core::Options{}, *c.wheel,
+    c.sender = std::make_unique<NetEndpoint<Core>>(cfg, typename Core::Options{}, *c.wheel,
                                                  *c.transport);
     c.sender->start();
     return c;
@@ -71,7 +71,7 @@ ServerConfig server_config() {
     cfg.session.w = 4;
     cfg.session.seed = 11;
     cfg.session.payload_size = 64;
-    cfg.session.count = 1 << 20;  // receivers run open-ended; senders decide length
+    cfg.session.rx_count = 1 << 20;  // receivers run open-ended; senders decide length
     return cfg;
 }
 
@@ -192,7 +192,7 @@ TEST(Server, EpochBumpResetsSessionAndStaleEpochFramesDrop) {
     // be swallowed as duplicates of the first incarnation.
     a.sender.reset();
     a.wheel = std::make_unique<TimerWheel>(clock);
-    a.sender = std::make_unique<NetSender<Core>>(client_config(5, wire::Conn{7, 2}),
+    a.sender = std::make_unique<NetEndpoint<Core>>(client_config(5, wire::Conn{7, 2}),
                                                  typename Core::Options{}, *a.wheel,
                                                  *a.transport);
     a.sender->start();
@@ -248,7 +248,7 @@ TEST(Server, MidWindowCrashThenEpochRejoinDeliversExactlyOnce) {
     // server's stale-epoch filter.
     a.sender.reset();
     a.wheel = std::make_unique<TimerWheel>(clock);
-    a.sender = std::make_unique<NetSender<Core>>(client_config(16, wire::Conn{9, 2}),
+    a.sender = std::make_unique<NetEndpoint<Core>>(client_config(16, wire::Conn{9, 2}),
                                                  typename Core::Options{}, *a.wheel,
                                                  *a.transport);
     a.sender->start();
@@ -616,7 +616,7 @@ TEST(Server, RunThreadsServesRealUdpClients) {
     struct UdpClient {
         std::unique_ptr<UdpTransport> transport;
         std::unique_ptr<TimerWheel> wheel;
-        std::unique_ptr<NetSender<Core>> sender;
+        std::unique_ptr<NetEndpoint<Core>> sender;
     };
     std::vector<UdpClient> clients;
     for (std::size_t i = 0; i < kClients; ++i) {
@@ -627,7 +627,7 @@ TEST(Server, RunThreadsServesRealUdpClients) {
         c.transport = std::make_unique<UdpTransport>();
         c.transport->connect_peer(port);
         c.wheel = std::make_unique<TimerWheel>(clock);
-        c.sender = std::make_unique<NetSender<Core>>(cfg, typename Core::Options{},
+        c.sender = std::make_unique<NetEndpoint<Core>>(cfg, typename Core::Options{},
                                                      *c.wheel, *c.transport);
         clients.push_back(std::move(c));
     }
